@@ -1,0 +1,162 @@
+//! Degree assortativity of directed graphs.
+//!
+//! Section IV-A: "the network has a slight degree dissortativity of −0.04
+//! which is in contrast to the degree homophily formerly observed for the
+//! entire Twitter network". Assortativity is the Pearson correlation of
+//! endpoint degrees over all edges; in a directed graph there are four
+//! natural variants depending on which degree is read at each endpoint
+//! (Foster et al., PNAS 2010). The paper's headline number corresponds to
+//! the out→in variant (a follow edge links a follower's friending activity
+//! to the followee's popularity).
+
+use vnet_graph::DiGraph;
+
+/// Which degree to read at an edge endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegreeMode {
+    /// Out-degree at source, in-degree at target (the default notion for
+    /// follow graphs; the paper's −0.04).
+    OutIn,
+    /// Out-degree at both endpoints.
+    OutOut,
+    /// In-degree at both endpoints.
+    InIn,
+    /// In-degree at source, out-degree at target.
+    InOut,
+    /// Total degree (in + out) at both endpoints — the undirected notion
+    /// Kwak et al. used for the whole Twittersphere.
+    TotalTotal,
+}
+
+/// Degree assortativity coefficient of `g` under `mode`.
+///
+/// Returns `None` when the graph has no edges or either endpoint-degree
+/// sequence is constant over edges (correlation undefined).
+pub fn degree_assortativity(g: &DiGraph, mode: DegreeMode) -> Option<f64> {
+    let m = g.edge_count();
+    if m == 0 {
+        return None;
+    }
+    // Single pass accumulating the Pearson moments over edges.
+    let (mut sx, mut sy, mut sxx, mut syy, mut sxy) = (0.0f64, 0.0, 0.0, 0.0, 0.0);
+    for (u, v) in g.edges() {
+        let (x, y) = endpoint_degrees(g, u, v, mode);
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    let n = m as f64;
+    let cov = sxy / n - (sx / n) * (sy / n);
+    let vx = sxx / n - (sx / n) * (sx / n);
+    let vy = syy / n - (sy / n) * (sy / n);
+    if vx <= 0.0 || vy <= 0.0 {
+        return None;
+    }
+    Some(cov / (vx * vy).sqrt())
+}
+
+fn endpoint_degrees(g: &DiGraph, u: u32, v: u32, mode: DegreeMode) -> (f64, f64) {
+    match mode {
+        DegreeMode::OutIn => (g.out_degree(u) as f64, g.in_degree(v) as f64),
+        DegreeMode::OutOut => (g.out_degree(u) as f64, g.out_degree(v) as f64),
+        DegreeMode::InIn => (g.in_degree(u) as f64, g.in_degree(v) as f64),
+        DegreeMode::InOut => (g.in_degree(u) as f64, g.out_degree(v) as f64),
+        DegreeMode::TotalTotal => (
+            (g.in_degree(u) + g.out_degree(u)) as f64,
+            (g.in_degree(v) + g.out_degree(v)) as f64,
+        ),
+    }
+}
+
+/// All four directed variants plus the total-degree variant, keyed by mode.
+pub fn assortativity_profile(g: &DiGraph) -> Vec<(DegreeMode, Option<f64>)> {
+    [
+        DegreeMode::OutIn,
+        DegreeMode::OutOut,
+        DegreeMode::InIn,
+        DegreeMode::InOut,
+        DegreeMode::TotalTotal,
+    ]
+    .into_iter()
+    .map(|m| (m, degree_assortativity(g, m)))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_graph::builder::from_edges;
+    use vnet_graph::GraphBuilder;
+
+    #[test]
+    fn star_graph_is_dissortative() {
+        // Hub 0 follows many leaves that follow back: classic dissortative.
+        let mut b = GraphBuilder::new(9);
+        for leaf in 1..9u32 {
+            b.add_edge(0, leaf).unwrap();
+            b.add_edge(leaf, 0).unwrap();
+        }
+        let g = b.build();
+        let r = degree_assortativity(&g, DegreeMode::TotalTotal).unwrap();
+        assert!(r < -0.9, "star should be strongly dissortative, got {r}");
+    }
+
+    #[test]
+    fn regular_cycle_has_undefined_assortativity() {
+        // Every node has identical degrees → zero variance → None.
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        assert_eq!(degree_assortativity(&g, DegreeMode::OutIn), None);
+    }
+
+    #[test]
+    fn empty_graph_none() {
+        assert_eq!(degree_assortativity(&DiGraph::empty(3), DegreeMode::OutIn), None);
+    }
+
+    #[test]
+    fn assortative_example() {
+        // Two disjoint mutual cliques of different sizes; high-degree nodes
+        // connect to high-degree nodes → positive assortativity.
+        let mut b = GraphBuilder::new(7);
+        // Clique of 4 (ids 0-3), mutual edges.
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    b.add_edge(i, j).unwrap();
+                }
+            }
+        }
+        // Pair (ids 4-5) mutual, plus a pendant one-way 6 -> 4.
+        b.add_edge(4, 5).unwrap();
+        b.add_edge(5, 4).unwrap();
+        b.add_edge(6, 4).unwrap();
+        let g = b.build();
+        let r = degree_assortativity(&g, DegreeMode::TotalTotal).unwrap();
+        assert!(r > 0.5, "clique mixture should be assortative, got {r}");
+    }
+
+    #[test]
+    fn profile_covers_all_modes() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap();
+        let p = assortativity_profile(&g);
+        assert_eq!(p.len(), 5);
+        // All coefficients, when defined, must be in [-1, 1].
+        for (_, r) in p {
+            if let Some(v) = r {
+                assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn modes_read_correct_degrees() {
+        // 0 -> 1, 2 -> 1: deg_out(0)=1, deg_in(1)=2, deg_out(1)=0.
+        let g = from_edges(3, &[(0, 1), (2, 1)]).unwrap();
+        // OutIn pairs: (1,2) and (1,2) — constant → None.
+        assert_eq!(degree_assortativity(&g, DegreeMode::OutIn), None);
+        // InOut pairs: (0,0) and (0,0) — constant → None.
+        assert_eq!(degree_assortativity(&g, DegreeMode::InOut), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! Local clustering coefficients.
+//!
+//! Section IV-A: "a low average local clustering coefficient of 0.1583".
+//! Following the convention of the tooling the paper used (networkx), the
+//! coefficient is computed on the undirected projection of the follow
+//! graph, and nodes with fewer than two neighbors contribute zero to the
+//! average.
+
+use rand::Rng;
+use vnet_graph::{DiGraph, NodeId};
+
+/// Undirected neighborhood of `u`: the sorted union of in- and
+/// out-neighbors, excluding `u` itself.
+pub fn undirected_neighbors(g: &DiGraph, u: NodeId) -> Vec<NodeId> {
+    let a = g.out_neighbors(u);
+    let b = g.in_neighbors(u);
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+                x
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                i += 1;
+                x
+            }
+            (Some(_), Some(&y)) => {
+                j += 1;
+                y
+            }
+            (Some(&x), None) => {
+                i += 1;
+                x
+            }
+            (None, Some(&y)) => {
+                j += 1;
+                y
+            }
+            (None, None) => unreachable!(),
+        };
+        if next != u && out.last() != Some(&next) {
+            out.push(next);
+        }
+    }
+    out
+}
+
+/// Local clustering coefficient of `u` on the undirected projection:
+/// the fraction of neighbor pairs that are themselves connected (in either
+/// direction). Nodes with fewer than two neighbors return 0.
+pub fn local_clustering(g: &DiGraph, u: NodeId) -> f64 {
+    let nbrs = undirected_neighbors(g, u);
+    let k = nbrs.len();
+    if k < 2 {
+        return 0.0;
+    }
+    // Mark the neighborhood, then for each member scan its own undirected
+    // adjacency for marked nodes. Each connected unordered pair is seen
+    // from both sides, so halve at the end. O(Σ_{v∈N(u)} deg(v)).
+    let mut marked = vec![false; g.node_count()];
+    for &v in &nbrs {
+        marked[v as usize] = true;
+    }
+    let mut hits: u64 = 0;
+    for &v in &nbrs {
+        for &w in undirected_neighbors(g, v).iter() {
+            if w != u && marked[w as usize] {
+                hits += 1;
+            }
+        }
+    }
+    let links = hits as f64 / 2.0;
+    links / (k as f64 * (k as f64 - 1.0) / 2.0)
+}
+
+/// Average local clustering coefficient over all nodes (exact).
+pub fn average_local_clustering(g: &DiGraph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = g.nodes().map(|u| local_clustering(g, u)).sum();
+    total / n as f64
+}
+
+/// Average local clustering estimated from `samples` uniformly chosen nodes
+/// (with replacement). Accurate to ~1/√samples; the estimator of choice at
+/// paper scale, where exact evaluation touches every hub's neighborhood.
+pub fn average_local_clustering_sampled<R: Rng + ?Sized>(
+    g: &DiGraph,
+    samples: usize,
+    rng: &mut R,
+) -> f64 {
+    let n = g.node_count();
+    if n == 0 || samples == 0 {
+        return 0.0;
+    }
+    let total: f64 = (0..samples)
+        .map(|_| local_clustering(g, rng.random_range(0..n as u32)))
+        .sum();
+    total / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vnet_graph::builder::from_edges;
+    use vnet_graph::GraphBuilder;
+
+    fn directed_triangle_plus_tail() -> DiGraph {
+        // Triangle 0->1->2->0 plus tail 2->3.
+        from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn undirected_neighbors_merge() {
+        let g = directed_triangle_plus_tail();
+        assert_eq!(undirected_neighbors(&g, 0), vec![1, 2]);
+        assert_eq!(undirected_neighbors(&g, 2), vec![0, 1, 3]);
+        assert_eq!(undirected_neighbors(&g, 3), vec![2]);
+    }
+
+    #[test]
+    fn triangle_nodes_fully_clustered() {
+        let g = directed_triangle_plus_tail();
+        assert_eq!(local_clustering(&g, 0), 1.0);
+        assert_eq!(local_clustering(&g, 1), 1.0);
+        // Node 2 has neighbors {0,1,3}; only pair (0,1) is linked → 1/3.
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+        // Degree-1 node contributes zero.
+        assert_eq!(local_clustering(&g, 3), 0.0);
+    }
+
+    #[test]
+    fn average_matches_hand_computation() {
+        let g = directed_triangle_plus_tail();
+        let expected = (1.0 + 1.0 + 1.0 / 3.0 + 0.0) / 4.0;
+        assert!((average_local_clustering(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_graph_zero_clustering() {
+        let mut b = GraphBuilder::new(6);
+        for leaf in 1..6u32 {
+            b.add_edge(0, leaf).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(average_local_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn complete_mutual_graph_full_clustering() {
+        let n = 5u32;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    b.add_edge(i, j).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        assert!((average_local_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reciprocal_edges_not_double_counted() {
+        // 0 <-> 1, both also link 2 one-way: neighborhood of 2 is {0,1},
+        // which is connected (mutually) → C(2) must be exactly 1, not 2.
+        let g = from_edges(3, &[(0, 1), (1, 0), (0, 2), (1, 2)]).unwrap();
+        assert_eq!(local_clustering(&g, 2), 1.0);
+    }
+
+    #[test]
+    fn sampled_estimate_close_to_exact() {
+        // Random-ish small graph: sampled (with many samples) ≈ exact.
+        let g = from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (6, 0), (6, 1), (7, 6)],
+        )
+        .unwrap();
+        let exact = average_local_clustering(&g);
+        let mut rng = StdRng::seed_from_u64(99);
+        let approx = average_local_clustering_sampled(&g, 20_000, &mut rng);
+        assert!((approx - exact).abs() < 0.02, "exact={exact} approx={approx}");
+    }
+
+    #[test]
+    fn empty_graph_zero() {
+        assert_eq!(average_local_clustering(&DiGraph::empty(0)), 0.0);
+        assert_eq!(average_local_clustering(&DiGraph::empty(3)), 0.0);
+    }
+}

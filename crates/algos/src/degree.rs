@@ -1,0 +1,91 @@
+//! Degree-sequence utilities shared by the power-law pipeline and the
+//! figure generators.
+
+use vnet_graph::DiGraph;
+
+/// `(degree, count)` pairs sorted by degree, for the out-degree sequence.
+pub fn out_degree_counts(g: &DiGraph) -> Vec<(u64, u64)> {
+    degree_counts(&g.out_degrees())
+}
+
+/// `(degree, count)` pairs sorted by degree, for the in-degree sequence.
+pub fn in_degree_counts(g: &DiGraph) -> Vec<(u64, u64)> {
+    degree_counts(&g.in_degrees())
+}
+
+/// Collapse a degree sequence into sorted `(value, count)` pairs.
+pub fn degree_counts(seq: &[u64]) -> Vec<(u64, u64)> {
+    let mut sorted = seq.to_vec();
+    sorted.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::new();
+    for &d in &sorted {
+        match out.last_mut() {
+            Some((v, c)) if *v == d => *c += 1,
+            _ => out.push((d, 1)),
+        }
+    }
+    out
+}
+
+/// The proportion-of-users series of the paper's Figure 2: for each
+/// out-degree value, the fraction of nodes with exactly that out-degree.
+/// Zero-degree nodes are excluded (they vanish on a log-log plot).
+pub fn out_degree_proportions(g: &DiGraph) -> Vec<(u64, f64)> {
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    out_degree_counts(g)
+        .into_iter()
+        .filter(|&(d, _)| d > 0)
+        .map(|(d, c)| (d, c as f64 / n as f64))
+        .collect()
+}
+
+/// Strictly positive out-degrees as f64, the input to discrete power-law
+/// MLE (Section IV-B fits on the out-degree distribution).
+pub fn positive_out_degrees(g: &DiGraph) -> Vec<f64> {
+    g.out_degrees().into_iter().filter(|&d| d > 0).map(|d| d as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_graph::builder::from_edges;
+
+    fn sample() -> DiGraph {
+        // out-degrees: 0:2, 1:1, 2:1, 3:0
+        from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn degree_counts_sorted_and_summed() {
+        let g = sample();
+        assert_eq!(out_degree_counts(&g), vec![(0, 1), (1, 2), (2, 1)]);
+        assert_eq!(in_degree_counts(&g), vec![(0, 1), (1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn proportions_exclude_zero_degree() {
+        let g = sample();
+        let p = out_degree_proportions(&g);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], (1, 0.5));
+        assert_eq!(p[1], (2, 0.25));
+    }
+
+    #[test]
+    fn positive_out_degrees_filters() {
+        let g = sample();
+        let mut d = positive_out_degrees(&g);
+        d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(d, vec![1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::empty(0);
+        assert!(out_degree_counts(&g).is_empty());
+        assert!(out_degree_proportions(&g).is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! HITS (Kleinberg's hubs and authorities).
+//!
+//! A natural companion to PageRank on follow graphs: *authorities* are the
+//! followed elite (celebrities, outlets), *hubs* are the curators who
+//! follow the right people. The paper's Figure 5 uses PageRank and
+//! betweenness; HITS is provided as the extension centrality for the
+//! `verified-net` ablation benches — on the verified sub-graph, authority
+//! scores should track followers even more directly than PageRank, since
+//! they are driven purely by in-links from good hubs.
+
+use vnet_graph::DiGraph;
+
+/// Result of a HITS computation.
+#[derive(Debug, Clone)]
+pub struct HitsResult {
+    /// Hub score per node (L2-normalized).
+    pub hubs: Vec<f64>,
+    /// Authority score per node (L2-normalized).
+    pub authorities: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the L1 change fell below tolerance.
+    pub converged: bool,
+}
+
+/// Power-iterate the HITS fixed point: `a ∝ Aᵀ h`, `h ∝ A a`.
+pub fn hits(g: &DiGraph, tol: f64, max_iter: usize) -> HitsResult {
+    let n = g.node_count();
+    if n == 0 {
+        return HitsResult { hubs: Vec::new(), authorities: Vec::new(), iterations: 0, converged: true };
+    }
+    let norm0 = 1.0 / (n as f64).sqrt();
+    let mut hubs = vec![norm0; n];
+    let mut authorities = vec![norm0; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iter {
+        iterations += 1;
+        // a_v = Σ_{u -> v} h_u
+        let mut new_auth = vec![0.0f64; n];
+        for v in 0..n as u32 {
+            let mut acc = 0.0;
+            for &u in g.in_neighbors(v) {
+                acc += hubs[u as usize];
+            }
+            new_auth[v as usize] = acc;
+        }
+        normalize_l2(&mut new_auth);
+        // h_u = Σ_{u -> v} a_v
+        let mut new_hubs = vec![0.0f64; n];
+        for u in 0..n as u32 {
+            let mut acc = 0.0;
+            for &v in g.out_neighbors(u) {
+                acc += new_auth[v as usize];
+            }
+            new_hubs[u as usize] = acc;
+        }
+        normalize_l2(&mut new_hubs);
+
+        let delta: f64 = hubs
+            .iter()
+            .zip(&new_hubs)
+            .chain(authorities.iter().zip(&new_auth))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        hubs = new_hubs;
+        authorities = new_auth;
+        if delta < tol {
+            converged = true;
+            break;
+        }
+    }
+    HitsResult { hubs, authorities, iterations, converged }
+}
+
+fn normalize_l2(v: &mut [f64]) {
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_graph::builder::from_edges;
+    use vnet_graph::GraphBuilder;
+
+    #[test]
+    fn star_separates_hubs_and_authorities() {
+        // Nodes 1..5 all follow node 0: node 0 is the pure authority,
+        // the followers are equal hubs.
+        let mut b = GraphBuilder::new(6);
+        for u in 1..6u32 {
+            b.add_edge(u, 0).unwrap();
+        }
+        let r = hits(&b.build(), 1e-12, 200);
+        assert!(r.converged);
+        assert!(r.authorities[0] > 0.99, "auth0={}", r.authorities[0]);
+        assert!(r.hubs[0] < 1e-9);
+        for u in 1..6 {
+            assert!((r.hubs[u] - r.hubs[1]).abs() < 1e-12);
+            assert!(r.authorities[u] < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scores_l2_normalized() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]).unwrap();
+        let r = hits(&g, 1e-12, 500);
+        let h: f64 = r.hubs.iter().map(|x| x * x).sum();
+        let a: f64 = r.authorities.iter().map(|x| x * x).sum();
+        assert!((h - 1.0).abs() < 1e-9);
+        assert!((a - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bipartite_hub_authority_structure() {
+        // Hubs {0,1} each follow authorities {2,3,4}; authority scores
+        // should be equal and dominate.
+        let g = from_edges(5, &[(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
+        let r = hits(&g, 1e-12, 200);
+        for v in 2..5 {
+            assert!((r.authorities[v] - r.authorities[2]).abs() < 1e-10);
+            assert!(r.authorities[v] > 0.5);
+        }
+        for u in 0..2 {
+            assert!((r.hubs[u] - r.hubs[0]).abs() < 1e-10);
+            assert!(r.hubs[u] > 0.6);
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let r = hits(&vnet_graph::DiGraph::empty(0), 1e-10, 50);
+        assert!(r.hubs.is_empty());
+        let r = hits(&vnet_graph::DiGraph::empty(3), 1e-10, 50);
+        assert_eq!(r.hubs.len(), 3);
+        // Edgeless graph: scores collapse to zero after one step.
+        assert!(r.authorities.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn iteration_cap() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let r = hits(&g, 0.0, 7);
+        assert_eq!(r.iterations, 7);
+        assert!(!r.converged);
+    }
+}

@@ -1,0 +1,44 @@
+//! Benchmark of the §III acquisition pipeline end-to-end: society
+//! generation, the simulated-API crawl (roster → hydrate → filter →
+//! friends → induce), and the profile-marginal construction of Figure 1
+//! (experiments E2 and the dataset itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use verified_net::degrees::figure1;
+use verified_net::{Dataset, SynthesisConfig};
+use vnet_bench::bench_dataset;
+use vnet_twittersim::{Crawler, RateLimitPolicy, SimClock, Society, SocietyConfig, TwitterApi};
+
+fn bench_society_and_crawl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crawl_section3");
+    group.sample_size(10);
+    group.bench_function("generate_society_4k", |b| {
+        b.iter(|| black_box(Society::generate(&SocietyConfig::small())).user_count())
+    });
+    let society = Society::generate(&SocietyConfig::small());
+    group.bench_function("crawl_unlimited_quota", |b| {
+        b.iter(|| {
+            let api =
+                TwitterApi::new(&society, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+            black_box(Crawler::new(&api).crawl().unwrap()).graph.edge_count()
+        })
+    });
+    group.bench_function("synthesize_dataset_end_to_end", |b| {
+        b.iter(|| black_box(Dataset::synthesize(&SynthesisConfig::small())).graph.edge_count())
+    });
+    group.finish();
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let ds = bench_dataset();
+    let mut group = c.benchmark_group("profile_hist_fig1");
+    group.sample_size(20);
+    group.bench_function("four_marginals_40_bins", |b| {
+        b.iter(|| black_box(figure1(black_box(ds), 40)).marginals.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_society_and_crawl, bench_figure1);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Benchmarks for the §IV-B power-law inference (experiments E3/E4),
+//! including the xmin-scan strategy ablation called out in DESIGN.md:
+//! exhaustive Clauset scan vs quantile-restricted scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use vnet_bench::bench_dataset;
+use vnet_powerlaw::vuong::{vuong_discrete, Alternative};
+use vnet_powerlaw::{fit_continuous, fit_discrete, FitOptions, XminStrategy};
+use vnet_stats::sampling::ContinuousPowerLaw;
+
+fn degrees() -> Vec<u64> {
+    bench_dataset().graph.out_degrees().into_iter().filter(|&d| d > 0).collect()
+}
+
+fn bench_xmin_scan_ablation(c: &mut Criterion) {
+    let data = degrees();
+    let mut group = c.benchmark_group("ablation_xmin_scan");
+    group.sample_size(10);
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            let opts = FitOptions { xmin: XminStrategy::Exhaustive, min_tail: 30 };
+            black_box(fit_discrete(black_box(&data), &opts).unwrap()).alpha
+        })
+    });
+    for q in [20usize, 60] {
+        group.bench_function(format!("quantiles_{q}"), |b| {
+            b.iter(|| {
+                let opts = FitOptions { xmin: XminStrategy::Quantiles(q), min_tail: 30 };
+                black_box(fit_discrete(black_box(&data), &opts).unwrap()).alpha
+            })
+        });
+    }
+    group.finish();
+
+    // Fidelity side of the ablation, printed once: how far does the fast
+    // scan drift from the exhaustive optimum?
+    let full = fit_discrete(&data, &FitOptions { xmin: XminStrategy::Exhaustive, min_tail: 30 })
+        .unwrap();
+    for q in [20usize, 60] {
+        let quick =
+            fit_discrete(&data, &FitOptions { xmin: XminStrategy::Quantiles(q), min_tail: 30 })
+                .unwrap();
+        println!(
+            "[ablation_xmin_scan] quantiles_{q}: alpha {:.3} vs exhaustive {:.3} (Δ {:+.3}), KS {:.4} vs {:.4}",
+            quick.alpha,
+            full.alpha,
+            quick.alpha - full.alpha,
+            quick.ks,
+            full.ks
+        );
+    }
+}
+
+fn bench_vuong(c: &mut Criterion) {
+    let data = degrees();
+    let fit = fit_discrete(&data, &FitOptions { xmin: XminStrategy::Quantiles(40), min_tail: 30 })
+        .unwrap();
+    let mut group = c.benchmark_group("vuong_fig2");
+    group.sample_size(10);
+    for alt in [Alternative::Exponential, Alternative::Poisson] {
+        group.bench_function(format!("vs_{alt}"), |b| {
+            b.iter(|| black_box(vuong_discrete(black_box(&data), &fit, alt).unwrap()).lr)
+        });
+    }
+    group.finish();
+}
+
+fn bench_continuous_fit(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let eigen_like = ContinuousPowerLaw::new(3.18, 50.0).sample_n(&mut rng, 2_000);
+    let mut group = c.benchmark_group("continuous_fit_eigen");
+    group.sample_size(10);
+    group.bench_function("fit_2000_values", |b| {
+        b.iter(|| {
+            let opts = FitOptions { xmin: XminStrategy::Quantiles(40), min_tail: 25 };
+            black_box(fit_continuous(black_box(&eigen_like), &opts).unwrap()).alpha
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xmin_scan_ablation, bench_vuong, bench_continuous_fit);
+criterion_main!(benches);

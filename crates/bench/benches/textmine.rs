@@ -1,0 +1,41 @@
+//! Benchmarks for the §IV-E bio mining (experiments E7–E9): tokenization,
+//! n-gram counting and ranking over the synthetic corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vnet_bench::bench_dataset;
+use vnet_textmine::{tokenize, NgramCounter};
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let bios: Vec<&str> =
+        bench_dataset().profiles.iter().map(|p| p.bio.as_str()).collect();
+    let mut group = c.benchmark_group("ngrams_tables");
+    group.sample_size(20);
+    group.bench_function("tokenize_all_bios", |b| {
+        b.iter(|| {
+            let total: usize = bios.iter().map(|bio| tokenize(black_box(bio)).len()).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("count_all_ngrams", |b| {
+        b.iter(|| {
+            let mut counter = NgramCounter::new();
+            for bio in &bios {
+                counter.add_document(black_box(bio));
+            }
+            black_box(counter.distinct(2))
+        })
+    });
+    // Ranking on a pre-built counter.
+    let mut counter = NgramCounter::new();
+    for bio in &bios {
+        counter.add_document(bio);
+    }
+    group.bench_function("top_15_bigrams", |b| {
+        b.iter(|| black_box(counter.top_k(2, 15)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tokenizer);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Benchmarks for the §V activity analysis (experiments E11–E13):
+//! portmanteau tests at the paper's 185-lag horizon, the ADF regression,
+//! single-penalty PELT, and the penalty cool-down consensus protocol
+//! (the DESIGN.md PELT ablation: one run vs the paper's sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vnet_bench::bench_dataset;
+use vnet_timeseries::adf::{adf_test, AdfRegression, LagSelection};
+use vnet_timeseries::binseg::binary_segmentation;
+use vnet_timeseries::kpss::{kpss_test, KpssRegression};
+use vnet_timeseries::pelt::{pelt, pelt_consensus};
+use vnet_timeseries::portmanteau::{box_pierce, ljung_box};
+use vnet_timeseries::seasonal::deseasonalize_weekly;
+
+fn bench_portmanteau(c: &mut Criterion) {
+    let s = &bench_dataset().activity;
+    let mut group = c.benchmark_group("portmanteau_fig6");
+    group.sample_size(20);
+    group.bench_function("ljung_box_lag185", |b| {
+        b.iter(|| black_box(ljung_box(black_box(s), 185).unwrap()).statistic)
+    });
+    group.bench_function("box_pierce_lag185", |b| {
+        b.iter(|| black_box(box_pierce(black_box(s), 185).unwrap()).statistic)
+    });
+    group.finish();
+}
+
+fn bench_adf(c: &mut Criterion) {
+    let s = &bench_dataset().activity;
+    let mut group = c.benchmark_group("adf");
+    group.sample_size(20);
+    group.bench_function("fixed_lag7", |b| {
+        b.iter(|| {
+            black_box(
+                adf_test(black_box(s), AdfRegression::ConstantTrend, LagSelection::Fixed(7))
+                    .unwrap(),
+            )
+            .statistic
+        })
+    });
+    group.bench_function("aic_up_to_14", |b| {
+        b.iter(|| {
+            black_box(
+                adf_test(black_box(s), AdfRegression::ConstantTrend, LagSelection::Aic(14))
+                    .unwrap(),
+            )
+            .statistic
+        })
+    });
+    group.finish();
+}
+
+fn bench_pelt(c: &mut Criterion) {
+    let s = deseasonalize_weekly(&bench_dataset().activity).unwrap();
+    let n = s.len() as f64;
+    let mut group = c.benchmark_group("ablation_pelt_protocol");
+    group.sample_size(20);
+    group.bench_function("single_run", |b| {
+        b.iter(|| black_box(pelt(black_box(&s), 8.0 * n.ln()).unwrap()).changepoints.len())
+    });
+    group.bench_function("cooldown_consensus_12_runs", |b| {
+        b.iter(|| {
+            black_box(
+                pelt_consensus(black_box(&s), 40.0 * n.ln(), 2.5 * n.ln(), 12, 6, 0.5).unwrap(),
+            )
+            .len()
+        })
+    });
+    group.finish();
+
+    // Fidelity: does a single mid-penalty run find the same points as the
+    // paper's sweep?
+    let single = pelt(&s, 8.0 * n.ln()).unwrap();
+    let consensus = pelt_consensus(&s, 40.0 * n.ln(), 2.5 * n.ln(), 12, 6, 0.5).unwrap();
+    println!(
+        "[ablation_pelt_protocol] single-run cps {:?} vs consensus {:?}",
+        single.changepoints,
+        consensus.iter().map(|&(i, _)| i).collect::<Vec<_>>()
+    );
+}
+
+fn bench_changepoint_methods(c: &mut Criterion) {
+    // DESIGN.md ablation: PELT (exact, pruned) vs greedy binary
+    // segmentation on the deseasonalized activity series.
+    let s = deseasonalize_weekly(&bench_dataset().activity).unwrap();
+    let n = s.len() as f64;
+    let penalty = 8.0 * n.ln();
+    let mut group = c.benchmark_group("ablation_changepoint_method");
+    group.sample_size(20);
+    group.bench_function("pelt", |b| {
+        b.iter(|| black_box(pelt(black_box(&s), penalty).unwrap()).changepoints.len())
+    });
+    group.bench_function("binary_segmentation", |b| {
+        b.iter(|| {
+            black_box(binary_segmentation(black_box(&s), penalty, 5).unwrap())
+                .changepoints
+                .len()
+        })
+    });
+    group.finish();
+
+    let p = pelt(&s, penalty).unwrap();
+    let bs = binary_segmentation(&s, penalty, 5).unwrap();
+    println!(
+        "[ablation_changepoint_method] pelt {:?} vs binseg {:?}",
+        p.changepoints, bs.changepoints
+    );
+}
+
+fn bench_kpss(c: &mut Criterion) {
+    let s = &bench_dataset().activity;
+    let mut group = c.benchmark_group("kpss");
+    group.sample_size(20);
+    group.bench_function("trend_default_lags", |b| {
+        b.iter(|| {
+            black_box(kpss_test(black_box(s), KpssRegression::ConstantTrend, None).unwrap())
+                .statistic
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_portmanteau, bench_adf, bench_pelt, bench_changepoint_methods, bench_kpss);
+criterion_main!(benches);

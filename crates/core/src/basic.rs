@@ -1,0 +1,134 @@
+//! Section IV-A: basic network analysis.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use serde::Serialize;
+use vnet_algos::assortativity::{degree_assortativity, DegreeMode};
+use vnet_algos::clustering::average_local_clustering_sampled;
+use vnet_algos::components::{
+    attracting_components, strongly_connected_components, weakly_connected_components,
+};
+
+/// Results of the paper's basic analysis (its §III/§IV-A in-text numbers).
+#[derive(Debug, Clone, Serialize)]
+pub struct BasicReport {
+    /// Users in the English verified sub-graph (paper: 231,246).
+    pub users: usize,
+    /// Directed edges (paper: 79,213,811).
+    pub edges: usize,
+    /// Density (paper: 0.00148).
+    pub density: f64,
+    /// Mean out-degree (paper: 342.55).
+    pub mean_out_degree: f64,
+    /// Maximum out-degree (paper: 114,815 — `@6BillionPeople`).
+    pub max_out_degree: u64,
+    /// Handle attaining it.
+    pub max_out_handle: String,
+    /// Isolated users (paper: 6,027).
+    pub isolated: usize,
+    /// Average local clustering coefficient, node-sampled (paper: 0.1583).
+    pub clustering: f64,
+    /// Degree assortativity, out→in (paper: −0.04).
+    pub assortativity_out_in: f64,
+    /// Size of the giant strongly connected component (paper: 224,872).
+    pub giant_scc: usize,
+    /// Its share of all users (paper: 97.24%).
+    pub giant_scc_fraction: f64,
+    /// Weakly connected components (paper: 6,251).
+    pub weak_components: usize,
+    /// Attracting components — sink SCCs (paper: 6,091).
+    pub attracting_components: usize,
+    /// Handles of the largest-in-degree celebrity sinks (the paper names
+    /// `@ladbible`, `@MrRPMurphy`, `@SriSri`).
+    pub top_sink_handles: Vec<String>,
+}
+
+/// Run the basic analysis. `clustering_samples` bounds the clustering
+/// estimator cost (the paper's exact value is a full pass; sampling is
+/// accurate to ~1/√samples).
+pub fn basic_analysis<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    clustering_samples: usize,
+    rng: &mut R,
+) -> BasicReport {
+    let g = &dataset.graph;
+    let scc = strongly_connected_components(g);
+    let wcc = weakly_connected_components(g);
+    let attracting = attracting_components(g);
+
+    // Celebrity sinks: non-singleton-isolated attracting cores, ranked by
+    // in-degree.
+    let mut sinks: Vec<(u64, String)> = attracting
+        .iter()
+        .flat_map(|c| c.members.iter())
+        .filter(|&&v| !g.is_isolated(v))
+        .map(|&v| {
+            (g.in_degree(v) as u64, dataset.profiles[v as usize].screen_name.clone())
+        })
+        .collect();
+    sinks.sort_by(|a, b| b.0.cmp(&a.0));
+
+    let summary = dataset.summary();
+    BasicReport {
+        users: summary.users,
+        edges: summary.edges,
+        density: summary.density,
+        mean_out_degree: summary.mean_out_degree,
+        max_out_degree: summary.max_out_degree,
+        max_out_handle: summary.max_out_handle,
+        isolated: summary.isolated,
+        clustering: average_local_clustering_sampled(g, clustering_samples, rng),
+        assortativity_out_in: degree_assortativity(g, DegreeMode::OutIn).unwrap_or(0.0),
+        giant_scc: scc.giant_size(),
+        giant_scc_fraction: scc.giant_fraction(),
+        weak_components: wcc.count,
+        attracting_components: attracting.len(),
+        top_sink_handles: sinks.into_iter().take(5).map(|(_, h)| h).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SynthesisConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_report_matches_paper_shape() {
+        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = basic_analysis(&ds, 1500, &mut rng);
+
+        // Sparse but highly connected.
+        assert!(r.density < 0.05, "density={}", r.density);
+        // The 4k-node test scale pays an induction toll (the English
+        // filter strands periphery nodes); at the 1:10 reproduction scale
+        // the induced giant SCC sits at ~96.6% vs the paper's 97.24%.
+        assert!(r.giant_scc_fraction > 0.88, "giant SCC {}", r.giant_scc_fraction);
+        // Low clustering (paper: 0.1583 at 15x our scale's mean degree).
+        assert!(r.clustering > 0.01 && r.clustering < 0.35, "clustering={}", r.clustering);
+        // Slight dissortativity.
+        assert!(
+            r.assortativity_out_in < 0.02 && r.assortativity_out_in > -0.2,
+            "assortativity={}",
+            r.assortativity_out_in
+        );
+        // Attracting components ≈ isolated + celebrity sinks + a few
+        // accidental sinks minted by the English filter (a node whose only
+        // out-edges pointed to non-English users loses them all in the
+        // induced sub-graph) — the same composition the paper reports
+        // (6,091 attracting vs 6,027 isolated).
+        assert!(r.attracting_components >= r.isolated);
+        assert!(r.attracting_components <= r.isolated + 40);
+        // Celebrity sinks got their cameo names in the top handles.
+        assert!(
+            r.top_sink_handles.iter().any(|h| h == "ladbible" || h == "SriSri" || h == "MrRPMurphy"),
+            "sink handles: {:?}",
+            r.top_sink_handles
+        );
+        // Weak components = isolated singletons + giant + few stragglers.
+        assert!(r.weak_components >= r.isolated + 1);
+        assert!(r.weak_components <= r.isolated + 30);
+    }
+}

@@ -1,0 +1,180 @@
+//! Section IV-F and Figure 5: centrality vs global reach.
+//!
+//! The paper's claim: "how strongly a user is embedded in the Twitter
+//! verified user network is highly predictive of their reach in the
+//! generic Twittersphere" — PageRank and betweenness inside the sub-graph
+//! correlate with global follower counts and list memberships, with GAM
+//! regression splines drawn over log-log scatter plots.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use serde::Serialize;
+use vnet_algos::betweenness::betweenness_sampled_parallel;
+use vnet_algos::pagerank::{pagerank, PageRankConfig};
+use vnet_stats::correlation::{pearson, spearman};
+use vnet_stats::spline::PenalizedSpline;
+
+/// One point of a fitted spline curve with its confidence band
+/// (log10 space, like the paper's axes).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CurvePoint {
+    /// log10(x).
+    pub x: f64,
+    /// Fitted log10(y).
+    pub fit: f64,
+    /// Lower 95% bound.
+    pub lo: f64,
+    /// Upper 95% bound.
+    pub hi: f64,
+}
+
+/// One Figure 5 panel.
+#[derive(Debug, Clone, Serialize)]
+pub struct Panel {
+    /// Panel id ("a".."f").
+    pub id: String,
+    /// X-axis metric name.
+    pub x_metric: String,
+    /// Y-axis metric name.
+    pub y_metric: String,
+    /// Pearson correlation of log10 values.
+    pub pearson_log: f64,
+    /// Spearman rank correlation (raw values).
+    pub spearman: f64,
+    /// Points used (zeros on either axis are excluded, as on any log plot).
+    pub n: usize,
+    /// The regression spline with 95% band, on a 40-point grid.
+    pub spline: Vec<CurvePoint>,
+}
+
+/// Figure 5: all six panels.
+#[derive(Debug, Clone, Serialize)]
+pub struct CentralityReport {
+    /// Panels (a)–(f).
+    pub panels: Vec<Panel>,
+    /// Pivots used for the betweenness estimate.
+    pub betweenness_pivots: usize,
+    /// PageRank iterations to convergence.
+    pub pagerank_iterations: usize,
+}
+
+/// Build Figure 5. `pivots` controls the betweenness sample; `threads`
+/// the Brandes parallelism.
+pub fn centrality_analysis<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    pivots: usize,
+    threads: usize,
+    rng: &mut R,
+) -> CentralityReport {
+    let g = &dataset.graph;
+    let pr = pagerank(g, PageRankConfig::default());
+    let bc = betweenness_sampled_parallel(g, pivots.min(g.node_count()), threads, rng);
+
+    let followers = dataset.followers();
+    let listed = dataset.listed();
+    let statuses = dataset.statuses();
+    let pr_scores: Vec<f64> = pr.scores.clone();
+
+    let panels = vec![
+        make_panel("a", "betweenness", &bc, "listed", &listed),
+        make_panel("b", "betweenness", &bc, "followers", &followers),
+        make_panel("c", "pagerank", &pr_scores, "listed", &listed),
+        make_panel("d", "pagerank", &pr_scores, "followers", &followers),
+        make_panel("e", "statuses", &statuses, "followers", &followers),
+        make_panel("f", "listed", &listed, "followers", &followers),
+    ];
+
+    CentralityReport {
+        panels,
+        betweenness_pivots: pivots.min(g.node_count()),
+        pagerank_iterations: pr.iterations,
+    }
+}
+
+fn make_panel(id: &str, x_name: &str, x: &[f64], y_name: &str, y: &[f64]) -> Panel {
+    // Log-log scatter: keep strictly positive pairs.
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|&(&a, &b)| a > 0.0 && b > 0.0)
+        .map(|(&a, &b)| (a.log10(), b.log10()))
+        .collect();
+    let lx: Vec<f64> = pairs.iter().map(|&(a, _)| a).collect();
+    let ly: Vec<f64> = pairs.iter().map(|&(_, b)| b).collect();
+    let pearson_log = pearson(&lx, &ly).unwrap_or(0.0);
+    let spearman_raw = spearman(x, y).unwrap_or(0.0);
+
+    let spline = if lx.len() >= 40 {
+        PenalizedSpline::fit(&lx, &ly, 10, 1.0)
+            .map(|s| {
+                let lo = lx.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = lx.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                s.curve(lo, hi, 40, 0.95)
+                    .into_iter()
+                    .map(|p| CurvePoint { x: p.x, fit: p.fit, lo: p.lo, hi: p.hi })
+                    .collect()
+            })
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+
+    Panel {
+        id: id.to_string(),
+        x_metric: x_name.to_string(),
+        y_metric: y_name.to_string(),
+        pearson_log,
+        spearman: spearman_raw,
+        n: pairs.len(),
+        spline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SynthesisConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn figure5_correlations_match_paper_directions() {
+        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let mut rng = StdRng::seed_from_u64(11);
+        let r = centrality_analysis(&ds, 120, 2, &mut rng);
+        assert_eq!(r.panels.len(), 6);
+        let by_id = |id: &str| r.panels.iter().find(|p| p.id == id).unwrap();
+
+        // Paper: PageRank vs followers/lists "especially strong".
+        assert!(by_id("c").pearson_log > 0.3, "c: {}", by_id("c").pearson_log);
+        assert!(by_id("d").pearson_log > 0.3, "d: {}", by_id("d").pearson_log);
+        // Followers vs lists: almost exclusively upward (paper §IV-F).
+        assert!(by_id("f").pearson_log > 0.5, "f: {}", by_id("f").pearson_log);
+        // Followers vs statuses: positive but weaker.
+        assert!(by_id("e").pearson_log > 0.05, "e: {}", by_id("e").pearson_log);
+        // Betweenness panels: positive ("lukewarm at first" per the paper).
+        assert!(by_id("a").pearson_log > 0.05, "a: {}", by_id("a").pearson_log);
+        assert!(by_id("b").pearson_log > 0.05, "b: {}", by_id("b").pearson_log);
+
+        // Splines exist and their bands bracket the fit.
+        for p in &r.panels {
+            assert!(!p.spline.is_empty(), "panel {} has no spline", p.id);
+            for pt in &p.spline {
+                assert!(pt.lo <= pt.fit && pt.fit <= pt.hi);
+            }
+        }
+    }
+
+    #[test]
+    fn spline_trends_upward_for_strong_panels() {
+        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let mut rng = StdRng::seed_from_u64(13);
+        let r = centrality_analysis(&ds, 80, 2, &mut rng);
+        let f = r.panels.iter().find(|p| p.id == "f").unwrap();
+        // Paper: followers trend "almost exclusively upwards" with list
+        // memberships — compare spline ends.
+        let first = f.spline.first().unwrap().fit;
+        let last = f.spline.last().unwrap().fit;
+        assert!(last > first, "panel f spline not increasing: {first} -> {last}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Dataset persistence: checkpoint a crawled dataset to disk and reload
+//! it without re-synthesizing.
+//!
+//! The paper's authors crawled once (July 2018) and analyzed for months;
+//! a downstream user of this library does the same — synthesize or crawl
+//! once, `save` the bundle, and iterate on analyses against `load`.
+//!
+//! Layout of a dataset directory:
+//!
+//! ```text
+//! <dir>/graph.vng         — binary CSR graph (vnet-graph VNG1 format)
+//! <dir>/profiles.json     — profiles, aligned with node ids
+//! <dir>/activity.json     — daily series + start date
+//! ```
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use vnet_timeseries::Date;
+use vnet_twittersim::UserProfile;
+
+/// Errors from dataset persistence.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Graph (de)serialization failure.
+    Graph(vnet_graph::GraphError),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The bundle's components disagree (e.g. profile count ≠ node count).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io: {e}"),
+            IoError::Graph(e) => write!(f, "graph: {e}"),
+            IoError::Json(e) => write!(f, "json: {e}"),
+            IoError::Inconsistent(m) => write!(f, "inconsistent bundle: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+impl From<vnet_graph::GraphError> for IoError {
+    fn from(e: vnet_graph::GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct ActivityBundle {
+    start: Date,
+    values: Vec<f64>,
+}
+
+/// Save `dataset` into `dir` (created if missing).
+pub fn save_dataset<P: AsRef<Path>>(dataset: &Dataset, dir: P) -> Result<(), IoError> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    vnet_graph::io::save(&dataset.graph, dir.join("graph.vng"))?;
+    let profiles = serde_json::to_vec(&dataset.profiles)?;
+    std::fs::write(dir.join("profiles.json"), profiles)?;
+    let activity = serde_json::to_vec(&ActivityBundle {
+        start: dataset.activity_start,
+        values: dataset.activity.clone(),
+    })?;
+    std::fs::write(dir.join("activity.json"), activity)?;
+    Ok(())
+}
+
+/// Load a dataset bundle from `dir`.
+pub fn load_dataset<P: AsRef<Path>>(dir: P) -> Result<Dataset, IoError> {
+    let dir = dir.as_ref();
+    let graph = vnet_graph::io::load(dir.join("graph.vng"))?;
+    let profiles: Vec<UserProfile> =
+        serde_json::from_slice(&std::fs::read(dir.join("profiles.json"))?)?;
+    if profiles.len() != graph.node_count() {
+        return Err(IoError::Inconsistent(format!(
+            "{} profiles vs {} nodes",
+            profiles.len(),
+            graph.node_count()
+        )));
+    }
+    let activity: ActivityBundle =
+        serde_json::from_slice(&std::fs::read(dir.join("activity.json"))?)?;
+    Ok(Dataset::from_parts(graph, profiles, activity.values, activity.start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SynthesisConfig;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("verified_net_io").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let dir = tmp_dir("roundtrip");
+        save_dataset(&ds, &dir).unwrap();
+        let loaded = load_dataset(&dir).unwrap();
+        assert_eq!(loaded.graph, ds.graph);
+        assert_eq!(loaded.profiles, ds.profiles);
+        assert_eq!(loaded.activity, ds.activity);
+        assert_eq!(loaded.activity_start, ds.activity_start);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inconsistent_bundle_rejected() {
+        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let dir = tmp_dir("inconsistent");
+        save_dataset(&ds, &dir).unwrap();
+        // Corrupt: drop one profile.
+        let mut profiles: Vec<UserProfile> =
+            serde_json::from_slice(&std::fs::read(dir.join("profiles.json")).unwrap()).unwrap();
+        profiles.pop();
+        std::fs::write(dir.join("profiles.json"), serde_json::to_vec(&profiles).unwrap())
+            .unwrap();
+        assert!(matches!(load_dataset(&dir), Err(IoError::Inconsistent(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_io_error() {
+        assert!(matches!(
+            load_dataset("/nonexistent/vnet/bundle"),
+            Err(IoError::Io(_)) | Err(IoError::Graph(_))
+        ));
+    }
+}

@@ -1,0 +1,197 @@
+//! Markdown rendering of an [`AnalysisReport`] — the machine-written
+//! counterpart of `EXPERIMENTS.md`.
+//!
+//! `repro --markdown <file>` (and any downstream user) can turn a full
+//! analysis into a self-contained paper-vs-measured document.
+
+use crate::report::AnalysisReport;
+use std::fmt::Write as _;
+
+/// Render `report` as a Markdown document with paper-vs-measured tables.
+pub fn render_markdown(report: &AnalysisReport) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    let w = &mut out;
+
+    let _ = writeln!(w, "# verified-net analysis report\n");
+    let _ = writeln!(
+        w,
+        "Dataset: **{} English verified users**, **{} internal follow edges** \
+         (paper: 231,246 / 79,213,811), {} days of activity.\n",
+        report.dataset.users, report.dataset.edges, report.activity.days
+    );
+
+    let _ = writeln!(w, "## Headline statistics (§III, §IV-A)\n");
+    let _ = writeln!(w, "| statistic | paper | measured |");
+    let _ = writeln!(w, "|---|---|---|");
+    let rows: Vec<(&str, String, String)> = vec![
+        ("density", "0.00148".into(), format!("{:.5}", report.dataset.density)),
+        (
+            "isolated users",
+            "6,027 (2.61%)".into(),
+            format!(
+                "{} ({:.2}%)",
+                report.basic.isolated,
+                100.0 * report.basic.isolated as f64 / report.basic.users.max(1) as f64
+            ),
+        ),
+        (
+            "giant SCC share",
+            "97.24%".into(),
+            format!("{:.2}%", 100.0 * report.basic.giant_scc_fraction),
+        ),
+        ("avg local clustering", "0.1583".into(), format!("{:.4}", report.basic.clustering)),
+        (
+            "degree assortativity (out→in)",
+            "−0.04".into(),
+            format!("{:.4}", report.basic.assortativity_out_in),
+        ),
+        (
+            "reciprocity",
+            "33.7%".into(),
+            format!("{:.1}%", 100.0 * report.reciprocity.reciprocity),
+        ),
+        ("mean degrees of separation", "2.74".into(), format!("{:.2}", report.separation.mean)),
+        ("out-degree power-law α", "3.24".into(), format!("{:.2}", report.degrees.alpha)),
+        ("eigenvalue power-law α", "3.18".into(), format!("{:.2}", report.eigen.alpha)),
+        ("ADF statistic", "−3.86".into(), format!("{:.2}", report.activity.adf_statistic)),
+    ];
+    for (name, paper, measured) in rows {
+        let _ = writeln!(w, "| {name} | {paper} | {measured} |");
+    }
+
+    let _ = writeln!(w, "\n## Vuong model comparison (§IV-B)\n");
+    let _ = writeln!(w, "| alternative | LR | statistic | p | verdict |");
+    let _ = writeln!(w, "|---|---|---|---|---|");
+    for v in &report.degrees.vuong {
+        let _ = writeln!(
+            w,
+            "| {} | {:.1} | {:.2} | {:.2e} | {} |",
+            v.alternative,
+            v.lr,
+            v.statistic,
+            v.p_value,
+            if v.lr > 0.0 { "power law preferred" } else { "alternative preferred" }
+        );
+    }
+
+    let _ = writeln!(w, "\n## Table I — top bigrams (§IV-E)\n");
+    let _ = writeln!(w, "| bigram | occurrences |");
+    let _ = writeln!(w, "|---|---|");
+    for row in &report.bios.top_bigrams {
+        let _ = writeln!(w, "| {} | {} |", row.ngram, row.occurrences);
+    }
+
+    let _ = writeln!(w, "\n## Table II — top trigrams (§IV-E)\n");
+    let _ = writeln!(w, "| trigram | occurrences |");
+    let _ = writeln!(w, "|---|---|");
+    for row in &report.bios.top_trigrams {
+        let _ = writeln!(w, "| {} | {} |", row.ngram, row.occurrences);
+    }
+
+    let _ = writeln!(w, "\n## Figure 5 — centrality vs reach (§IV-F)\n");
+    let _ = writeln!(w, "| panel | y vs x | Pearson (log) | Spearman | n |");
+    let _ = writeln!(w, "|---|---|---|---|---|");
+    for p in &report.centrality.panels {
+        let _ = writeln!(
+            w,
+            "| ({}) | {} vs {} | {:.3} | {:.3} | {} |",
+            p.id, p.y_metric, p.x_metric, p.pearson_log, p.spearman, p.n
+        );
+    }
+
+    let _ = writeln!(w, "\n## Activity (§V)\n");
+    let _ = writeln!(
+        w,
+        "Ljung-Box max p: **{:.2e}** (paper 3.81e-38) · Box-Pierce max p: \
+         **{:.2e}** (paper 7.57e-38) · lag cap {}.",
+        report.activity.ljung_box_max_p, report.activity.box_pierce_max_p, report.activity.lag_cap
+    );
+    let _ = writeln!(
+        w,
+        "\nADF {:.2} vs critical {:.2} → {}; KPSS (longest break-free segment) \
+         {:.3} → piecewise stationarity {}.",
+        report.activity.adf_statistic,
+        report.activity.adf_crit_5pct,
+        if report.activity.stationary { "stationary" } else { "unit root not rejected" },
+        report.activity.kpss_segment_statistic,
+        if report.activity.stationarity_confirmed { "confirmed" } else { "not confirmed" }
+    );
+    let _ = writeln!(w, "\nChange-points (paper: 23–25 Dec 2017, first week of April 2018):\n");
+    for cp in &report.activity.changepoints {
+        let _ = writeln!(w, "- {} (support {:.0}%)", cp.date, 100.0 * cp.support);
+    }
+
+    let _ = writeln!(w, "\n## Extensions\n");
+    let inner = report.elite_core.bands.last();
+    if let Some(inner) = inner {
+        let _ = writeln!(
+            w,
+            "**Elite core (§IV-C conjecture):** degeneracy {}, innermost core \
+             {} members at reciprocity {:.1}% (graph-wide {:.1}%) — conjecture {}.",
+            report.elite_core.degeneracy,
+            inner.members,
+            100.0 * inner.reciprocity,
+            100.0 * report.elite_core.overall_reciprocity,
+            if report.elite_core.core_reciprocity_elevated && report.elite_core.core_reach_elevated
+            {
+                "validated"
+            } else {
+                "not validated at this scale"
+            }
+        );
+    }
+    let _ = writeln!(
+        w,
+        "\n**User categories:** news-adjacent share {:.1}%; top categories: {}.",
+        100.0 * report.categories.news_share,
+        report
+            .categories
+            .profiles
+            .iter()
+            .take(3)
+            .map(|p| format!("{} ({:.1}%)", p.category, 100.0 * p.share))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SynthesisConfig;
+    use crate::report::{run_full_analysis, AnalysisOptions};
+    use crate::Dataset;
+
+    #[test]
+    fn renders_complete_document() {
+        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let report = run_full_analysis(&ds, &AnalysisOptions::quick());
+        let md = render_markdown(&report);
+        for heading in [
+            "# verified-net analysis report",
+            "## Headline statistics",
+            "## Vuong model comparison",
+            "## Table I",
+            "## Table II",
+            "## Figure 5",
+            "## Activity",
+            "## Extensions",
+        ] {
+            assert!(md.contains(heading), "missing heading {heading}");
+        }
+        assert!(md.contains("Official Twitter"));
+        assert!(md.contains("power law preferred"));
+        // Table rows are well-formed (every pipe row has the same arity in
+        // the headline table).
+        let headline: Vec<&str> = md
+            .lines()
+            .skip_while(|l| !l.starts_with("| statistic"))
+            .take_while(|l| l.starts_with('|'))
+            .collect();
+        assert!(headline.len() >= 10);
+        for row in &headline {
+            assert_eq!(row.matches('|').count(), 4, "bad row: {row}");
+        }
+    }
+}

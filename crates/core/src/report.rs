@@ -1,0 +1,178 @@
+//! The full-analysis driver: every paper section in one call.
+
+use crate::activity::{activity_analysis, ActivityReport};
+use crate::basic::{basic_analysis, BasicReport};
+use crate::bios::{bio_analysis, BioReport};
+use crate::categories::{category_analysis, CategoryReport};
+use crate::centrality::{centrality_analysis, CentralityReport};
+use crate::dataset::{Dataset, DatasetSummary};
+use crate::degrees::{degree_analysis, figure1, DegreeReport, Figure1};
+use crate::eigen::{eigen_analysis, EigenReport};
+use crate::elite_core::{elite_core_analysis, EliteCoreReport};
+use crate::recip::{reciprocity_analysis, ReciprocityReport};
+use crate::separation::{separation_analysis, SeparationReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use vnet_powerlaw::{FitOptions, XminStrategy};
+
+/// Cost/precision knobs for the full battery.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptions {
+    /// Node samples for the clustering estimate.
+    pub clustering_samples: usize,
+    /// BFS sources for the distance distribution (`usize::MAX` = exact).
+    pub distance_sources: usize,
+    /// Brandes pivots for betweenness.
+    pub betweenness_pivots: usize,
+    /// Worker threads for betweenness.
+    pub threads: usize,
+    /// Top-k Laplacian eigenvalues.
+    pub eigen_k: usize,
+    /// Lanczos iterations.
+    pub lanczos_steps: usize,
+    /// Power-law xmin scan strategy.
+    pub fit: FitOptions,
+    /// Bootstrap replicates for goodness-of-fit p (0 = skip; the paper
+    /// used the plfit/poweRlaw defaults).
+    pub bootstrap_reps: usize,
+    /// Portmanteau lag cap (paper: 185).
+    pub lag_cap: usize,
+    /// Rows per n-gram table (paper: 15).
+    pub ngram_rows: usize,
+    /// Log bins for Figure 1.
+    pub fig1_bins: usize,
+    /// Master seed for all randomized estimators.
+    pub seed: u64,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self {
+            clustering_samples: 3_000,
+            distance_sources: 200,
+            betweenness_pivots: 150,
+            threads: 4,
+            eigen_k: 300,
+            lanczos_steps: 450,
+            fit: FitOptions { xmin: XminStrategy::Quantiles(60), min_tail: 30 },
+            bootstrap_reps: 0,
+            lag_cap: 185,
+            ngram_rows: 15,
+            fig1_bins: 40,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Cheap settings for tests and quick demos.
+    pub fn quick() -> Self {
+        Self {
+            clustering_samples: 800,
+            distance_sources: 60,
+            betweenness_pivots: 50,
+            threads: 2,
+            eigen_k: 100,
+            lanczos_steps: 160,
+            fit: FitOptions { xmin: XminStrategy::Quantiles(25), min_tail: 25 },
+            bootstrap_reps: 0,
+            lag_cap: 40,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything the paper measures, in one serializable bundle.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisReport {
+    /// §III headline numbers.
+    pub dataset: DatasetSummary,
+    /// §IV-A.
+    pub basic: BasicReport,
+    /// Figure 1.
+    pub figure1: Figure1,
+    /// §IV-B discrete + Figure 2.
+    pub degrees: DegreeReport,
+    /// §IV-B continuous (eigenvalues).
+    pub eigen: EigenReport,
+    /// §IV-C.
+    pub reciprocity: ReciprocityReport,
+    /// §IV-D + Figure 3.
+    pub separation: SeparationReport,
+    /// §IV-E + Figure 4 + Tables I & II.
+    pub bios: BioReport,
+    /// §IV-F + Figure 5.
+    pub centrality: CentralityReport,
+    /// §V + Figure 6.
+    pub activity: ActivityReport,
+    /// §IV-C's deferred conjecture, validated (extension).
+    pub elite_core: EliteCoreReport,
+    /// Bio-based user categorization (extension; paper index term).
+    pub categories: CategoryReport,
+}
+
+/// Run every analysis of the paper on `dataset`.
+///
+/// # Panics
+/// Panics if the dataset is too small for the configured estimators
+/// (power-law fits need tails; the battery is meant for graphs of at
+/// least a few thousand nodes).
+pub fn run_full_analysis(dataset: &Dataset, opts: &AnalysisOptions) -> AnalysisReport {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    AnalysisReport {
+        dataset: dataset.summary(),
+        basic: basic_analysis(dataset, opts.clustering_samples, &mut rng),
+        figure1: figure1(dataset, opts.fig1_bins),
+        degrees: degree_analysis(dataset, &opts.fit, opts.bootstrap_reps, &mut rng)
+            .expect("degree power-law fit failed — dataset too small?"),
+        eigen: eigen_analysis(
+            dataset,
+            opts.eigen_k,
+            opts.lanczos_steps,
+            &opts.fit,
+            opts.bootstrap_reps,
+            &mut rng,
+        )
+        .expect("eigenvalue power-law fit failed — dataset too small?"),
+        reciprocity: reciprocity_analysis(dataset),
+        separation: separation_analysis(dataset, opts.distance_sources, &mut rng),
+        bios: bio_analysis(dataset, opts.ngram_rows),
+        centrality: centrality_analysis(
+            dataset,
+            opts.betweenness_pivots,
+            opts.threads,
+            &mut rng,
+        ),
+        activity: activity_analysis(dataset, opts.lag_cap)
+            .expect("activity analysis failed — series too short?"),
+        elite_core: elite_core_analysis(dataset),
+        categories: category_analysis(dataset),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SynthesisConfig;
+
+    #[test]
+    fn full_battery_runs_and_serializes() {
+        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let report = run_full_analysis(&ds, &AnalysisOptions::quick());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.len() > 1_000);
+        // Spot checks across sections.
+        assert_eq!(report.dataset.users, ds.graph.node_count());
+        assert!(report.degrees.alpha > 2.0);
+        assert!(report.reciprocity.reciprocity > 0.25);
+        assert!(report.activity.stationary);
+        assert!(report.activity.stationarity_confirmed, "KPSS disagreed with ADF");
+        assert_eq!(report.bios.top_bigrams[0].ngram, "Official Twitter");
+        // Elite-core direction is asserted at reproduction scale in
+        // elite_core's own test; here just check the bands are sane.
+        assert!(report.elite_core.bands.len() >= 3);
+        assert!(report.elite_core.degeneracy > 0);
+        assert!(report.categories.news_share > 0.1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Section IV-D and Figure 3: degrees of separation.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use serde::Serialize;
+use vnet_algos::distances::{distance_distribution, SourceSpec};
+
+/// Reference mean path lengths the paper compares against.
+pub const WHOLE_TWITTER_SAMPLED: f64 = 4.12; // Kwak et al., sampling
+/// Bakhshandeh et al.'s optimal-search estimate for all of Twitter.
+pub const WHOLE_TWITTER_SEARCH: f64 = 3.43;
+
+/// Degrees-of-separation results (paper: mean 2.74 omitting isolated
+/// nodes; Figure 3's distance histogram).
+#[derive(Debug, Clone, Serialize)]
+pub struct SeparationReport {
+    /// `(distance, ordered pair count)` — Figure 3's series.
+    pub histogram: Vec<(u32, u64)>,
+    /// Mean pairwise distance over reachable ordered pairs.
+    pub mean: f64,
+    /// Median distance.
+    pub median: u32,
+    /// 90th-percentile effective diameter.
+    pub effective_diameter: f64,
+    /// Largest observed distance (diameter lower bound under sampling).
+    pub max_observed: u32,
+    /// BFS sources used.
+    pub sources: usize,
+    /// Reachable ordered pairs counted.
+    pub pairs: u64,
+}
+
+/// Run the distance analysis from `sources` sampled BFS roots (use
+/// `usize::MAX` for the exact all-pairs computation).
+pub fn separation_analysis<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    sources: usize,
+    rng: &mut R,
+) -> SeparationReport {
+    let spec = if sources == usize::MAX {
+        SourceSpec::All
+    } else {
+        SourceSpec::Sampled(sources)
+    };
+    let d = distance_distribution(&dataset.graph, spec, rng);
+    SeparationReport {
+        histogram: d.series(),
+        mean: d.mean,
+        median: d.median,
+        effective_diameter: d.effective_diameter,
+        max_observed: d.max_observed,
+        sources: d.sources,
+        pairs: d.pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SynthesisConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separation_is_short_like_the_paper() {
+        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = separation_analysis(&ds, 200, &mut rng);
+        // Paper: 2.74 mean, below both whole-Twitter estimates.
+        assert!(r.mean > 1.5 && r.mean < 3.5, "mean={}", r.mean);
+        assert!(r.mean < WHOLE_TWITTER_SEARCH);
+        assert!(r.mean < WHOLE_TWITTER_SAMPLED);
+        // Mode of the distribution at 2 or 3 (Figure 3's peak).
+        let (mode, _) = r.histogram.iter().max_by_key(|&&(_, c)| c).unwrap();
+        assert!((2..=3).contains(mode), "mode={mode}");
+        assert!(r.effective_diameter <= r.max_observed as f64);
+        assert_eq!(r.sources, 200);
+    }
+}

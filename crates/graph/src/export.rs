@@ -1,0 +1,120 @@
+//! Visualization exports: Graphviz DOT and GraphML.
+//!
+//! For eyeballing small sub-graphs (an attracting component and its
+//! feeders, the innermost k-core) in standard tooling. Both writers accept
+//! an optional labeller so callers can attach screen names.
+
+use crate::csr::{DiGraph, NodeId};
+use crate::Result;
+use std::io::{BufWriter, Write};
+
+/// Write `g` as a Graphviz DOT digraph. `label` maps a node to its display
+/// name; pass `|v| v.to_string()` for bare ids.
+pub fn write_dot<W: Write>(
+    g: &DiGraph,
+    w: &mut W,
+    mut label: impl FnMut(NodeId) -> String,
+) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "digraph verified_net {{")?;
+    writeln!(w, "  rankdir=LR;")?;
+    writeln!(w, "  node [shape=ellipse, fontsize=10];")?;
+    for v in g.nodes() {
+        writeln!(w, "  n{v} [label=\"{}\"];", escape(&label(v)))?;
+    }
+    for (u, v) in g.edges() {
+        writeln!(w, "  n{u} -> n{v};")?;
+    }
+    writeln!(w, "}}")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Write `g` as GraphML (yEd/Gephi-compatible).
+pub fn write_graphml<W: Write>(
+    g: &DiGraph,
+    w: &mut W,
+    mut label: impl FnMut(NodeId) -> String,
+) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, r#"<?xml version="1.0" encoding="UTF-8"?>"#)?;
+    writeln!(w, r#"<graphml xmlns="http://graphml.graphdrawing.org/xmlns">"#)?;
+    writeln!(w, r#"  <key id="label" for="node" attr.name="label" attr.type="string"/>"#)?;
+    writeln!(w, r#"  <graph id="G" edgedefault="directed">"#)?;
+    for v in g.nodes() {
+        writeln!(
+            w,
+            r#"    <node id="n{v}"><data key="label">{}</data></node>"#,
+            escape_xml(&label(v))
+        )?;
+    }
+    for (i, (u, v)) in g.edges().enumerate() {
+        writeln!(w, r#"    <edge id="e{i}" source="n{u}" target="n{v}"/>"#)?;
+    }
+    writeln!(w, "  </graph>")?;
+    writeln!(w, "</graphml>")?;
+    w.flush()?;
+    Ok(())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn sample() -> DiGraph {
+        from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf, |v| format!("user{v}")).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("digraph"));
+        for v in 0..3 {
+            assert!(text.contains(&format!("n{v} [label=\"user{v}\"]")));
+        }
+        assert!(text.contains("n0 -> n1;"));
+        assert!(text.contains("n2 -> n0;"));
+        assert_eq!(text.matches(" -> ").count(), 3);
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let g = from_edges(1, &[]).unwrap();
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf, |_| "a\"b".into()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn graphml_well_formed_enough() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_graphml(&g, &mut buf, |v| format!("<user {v}>")).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("&lt;user 0&gt;"));
+        assert_eq!(text.matches("<node ").count(), 3);
+        assert_eq!(text.matches("<edge ").count(), 3);
+        assert!(text.trim_end().ends_with("</graphml>"));
+    }
+
+    #[test]
+    fn empty_graph_exports() {
+        let g = DiGraph::empty(0);
+        let mut buf = Vec::new();
+        write_dot(&g, &mut buf, |v| v.to_string()).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("digraph"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Graph serialization: whitespace edge lists and a compact binary format.
+//!
+//! The edge-list format interoperates with the tooling ecosystem the paper
+//! used (SNAP/networkx-style `u v` lines, `#` comments). The binary format
+//! is the workspace-native cold store: little-endian, length-prefixed, with
+//! a magic header, so a paper-scale crawl can be checkpointed and reloaded
+//! in seconds.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{DiGraph, NodeId};
+use crate::{GraphError, Result};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary graph format ("VNG1").
+const MAGIC: [u8; 4] = *b"VNG1";
+
+/// Write `g` as a text edge list: header comments, then one `u v` pair per
+/// line.
+pub fn write_edge_list<W: Write>(g: &DiGraph, w: &mut W) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "# verified-net edge list")?;
+    writeln!(w, "# nodes: {} edges: {}", g.node_count(), g.edge_count())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parse a text edge list. Lines starting with `#` are comments; node count
+/// is the max id + 1 unless `min_nodes` demands more.
+pub fn read_edge_list<R: Read>(r: R, min_nodes: u32) -> Result<DiGraph> {
+    let reader = BufReader::new(r);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: u32 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Result<u32> {
+            s.ok_or_else(|| GraphError::Parse(format!("line {}: missing field", lineno + 1)))?
+                .parse::<u32>()
+                .map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))
+        };
+        let u = parse(parts.next())?;
+        let v = parse(parts.next())?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse(format!("line {}: too many fields", lineno + 1)));
+        }
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() { min_nodes } else { (max_id + 1).max(min_nodes) };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    b.add_edges(edges)?;
+    Ok(b.build())
+}
+
+/// Write `g` in the compact binary format (`VNG1`).
+pub fn write_binary<W: Write>(g: &DiGraph, w: &mut W) -> Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(&MAGIC)?;
+    w.write_all(&(g.node_count() as u32).to_le_bytes())?;
+    w.write_all(&(g.edge_count() as u64).to_le_bytes())?;
+    // Out-degree per node, then concatenated sorted targets. The reverse
+    // CSR is rebuilt on load.
+    for u in g.nodes() {
+        w.write_all(&(g.out_degree(u) as u32).to_le_bytes())?;
+    }
+    for (_, v) in g.edges() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a graph in the compact binary format (`VNG1`).
+pub fn read_binary<R: Read>(r: R) -> Result<DiGraph> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(GraphError::Parse("bad magic; not a VNG1 graph".into()));
+    }
+    let mut b4 = [0u8; 4];
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b4)?;
+    let n = u32::from_le_bytes(b4);
+    r.read_exact(&mut b8)?;
+    let m = u64::from_le_bytes(b8) as usize;
+    let mut degrees = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        r.read_exact(&mut b4)?;
+        degrees.push(u32::from_le_bytes(b4));
+    }
+    let total: u64 = degrees.iter().map(|&d| d as u64).sum();
+    if total != m as u64 {
+        return Err(GraphError::Parse(format!("degree sum {total} != edge count {m}")));
+    }
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    for (u, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            r.read_exact(&mut b4)?;
+            let v = u32::from_le_bytes(b4);
+            builder.add_edge(u as u32, v)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Write a graph to `path` in binary format.
+pub fn save<P: AsRef<Path>>(g: &DiGraph, path: P) -> Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write_binary(g, &mut f)
+}
+
+/// Load a binary-format graph from `path`.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<DiGraph> {
+    let f = std::fs::File::open(path)?;
+    read_binary(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    fn sample() -> DiGraph {
+        from_edges(6, &[(0, 1), (0, 5), (1, 2), (2, 0), (4, 1)]).unwrap()
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..], 6).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_min_nodes_pads_isolated_tail() {
+        let text = b"0 1\n";
+        let g = read_edge_list(&text[..], 10).unwrap();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list(&b"0 x\n"[..], 0).is_err());
+        assert!(read_edge_list(&b"0\n"[..], 0).is_err());
+        assert!(read_edge_list(&b"0 1 2\n"[..], 0).is_err());
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blanks() {
+        let text = b"# hello\n\n0 1\n  \n# trailing\n1 0\n";
+        let g = read_edge_list(&text[..], 0).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOPE\x00\x00\x00\x00";
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Parse(_))));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_save_load_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("vnet_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.vng");
+        save(&g, &path).unwrap();
+        let g2 = load(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips_both_formats() {
+        let g = DiGraph::empty(4);
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+        let mut buf2 = Vec::new();
+        write_edge_list(&g, &mut buf2).unwrap();
+        assert_eq!(read_edge_list(&buf2[..], 4).unwrap(), g);
+    }
+}

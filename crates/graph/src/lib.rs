@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! # vnet-graph
+//!
+//! Directed-graph substrate for the `verified-net` workspace (the Rust
+//! reproduction of *"Elites Tweet?"*, ICDE 2019).
+//!
+//! The paper's object of study is a single large sparse directed graph:
+//! 231,246 verified users and 79.2 million follow edges. Everything in this
+//! crate is designed around that shape:
+//!
+//! * [`DiGraph`] — an immutable compressed-sparse-row (CSR) directed graph
+//!   holding both out- and in-adjacency, so that forward BFS, reverse BFS,
+//!   PageRank and reciprocity checks are all cache-friendly array scans.
+//!   Memory is `O(V + E)` with 4-byte node ids: the full paper-scale graph
+//!   fits in well under a gigabyte.
+//! * [`GraphBuilder`] — the only mutable entry point; deduplicates edges,
+//!   drops self-loops (Twitter has none: you cannot follow yourself) and
+//!   freezes into a [`DiGraph`].
+//! * [`subgraph`] — induced sub-graphs with id remapping (the paper's
+//!   dataset *is* an induced sub-graph: the verified users inside the full
+//!   Twitter graph).
+//! * [`io`] — plain edge-list and compact binary serialization.
+//! * [`NodeTable`] — typed per-node attribute columns.
+
+pub mod builder;
+pub mod csr;
+pub mod export;
+pub mod io;
+pub mod subgraph;
+pub mod table;
+
+pub use builder::GraphBuilder;
+pub use csr::{DiGraph, NodeId};
+pub use subgraph::induced_subgraph;
+pub use table::NodeTable;
+
+/// Errors produced by graph construction and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id referenced an index `>=` the declared node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The graph's node count.
+        count: u32,
+    },
+    /// Malformed input while parsing an edge list or binary blob.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, count } => {
+                write!(f, "node {node} out of range (count {count})")
+            }
+            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

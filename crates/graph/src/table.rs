@@ -1,0 +1,127 @@
+//! Typed per-node attribute columns.
+
+use crate::csr::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A dense column of per-node attributes, indexed by [`NodeId`].
+///
+/// The crawler attaches profile metrics (follower counts, list memberships,
+/// status counts, bios) to graph nodes through these tables, keeping the
+/// graph itself purely structural.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeTable<T> {
+    name: String,
+    values: Vec<T>,
+}
+
+impl<T> NodeTable<T> {
+    /// Build a column named `name` from `values` (index = node id).
+    pub fn new(name: impl Into<String>, values: Vec<T>) -> Self {
+        Self { name: name.into(), values }
+    }
+
+    /// Build a column of `n` copies of `default`.
+    pub fn filled(name: impl Into<String>, n: usize, default: T) -> Self
+    where
+        T: Clone,
+    {
+        Self { name: name.into(), values: vec![default; n] }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value for node `u`, or `None` out of range.
+    pub fn get(&self, u: NodeId) -> Option<&T> {
+        self.values.get(u as usize)
+    }
+
+    /// Mutable value for node `u`.
+    pub fn get_mut(&mut self, u: NodeId) -> Option<&mut T> {
+        self.values.get_mut(u as usize)
+    }
+
+    /// All values in node-id order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Map into a new column, preserving the name suffix.
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> NodeTable<U> {
+        NodeTable { name: self.name.clone(), values: self.values.iter().map(f).collect() }
+    }
+
+    /// Re-index the column for an induced sub-graph: row `i` of the result
+    /// is the value of `original_of[i]` in `self`.
+    pub fn reindex(&self, original_of: &[NodeId]) -> NodeTable<T>
+    where
+        T: Clone,
+    {
+        NodeTable {
+            name: self.name.clone(),
+            values: original_of.iter().map(|&o| self.values[o as usize].clone()).collect(),
+        }
+    }
+}
+
+impl<T> std::ops::Index<NodeId> for NodeTable<T> {
+    type Output = T;
+    fn index(&self, u: NodeId) -> &T {
+        &self.values[u as usize]
+    }
+}
+
+impl<T> std::ops::IndexMut<NodeId> for NodeTable<T> {
+    fn index_mut(&mut self, u: NodeId) -> &mut T {
+        &mut self.values[u as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_access() {
+        let mut t = NodeTable::new("followers", vec![10u64, 20, 30]);
+        assert_eq!(t.name(), "followers");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1], 20);
+        assert_eq!(t.get(5), None);
+        t[2] = 99;
+        assert_eq!(*t.get(2).unwrap(), 99);
+    }
+
+    #[test]
+    fn filled_and_map() {
+        let t = NodeTable::filled("x", 4, 1.5f64);
+        assert_eq!(t.values(), &[1.5; 4]);
+        let doubled = t.map(|v| v * 2.0);
+        assert_eq!(doubled.values(), &[3.0; 4]);
+    }
+
+    #[test]
+    fn reindex_follows_subgraph_mapping() {
+        let t = NodeTable::new("v", vec![100, 200, 300, 400]);
+        let sub = t.reindex(&[3, 1]);
+        assert_eq!(sub.values(), &[400, 200]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t: NodeTable<u8> = NodeTable::new("e", vec![]);
+        assert!(t.is_empty());
+    }
+}

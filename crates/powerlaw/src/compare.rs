@@ -1,0 +1,140 @@
+//! Model-selection convenience: one call producing the full comparison
+//! table of Section IV-B (power law vs every alternative), plus CSN
+//! standard errors for the fitted exponent.
+
+use crate::discrete::DiscreteFit;
+use crate::vuong::{vuong_discrete, Alternative, VuongResult};
+use crate::Result;
+use serde::Serialize;
+
+/// CSN asymptotic standard error of a discrete/continuous power-law
+/// exponent: `σ ≈ (α − 1) / √n + O(1/n)`.
+pub fn alpha_stderr(alpha: f64, n_tail: usize) -> f64 {
+    if n_tail == 0 {
+        return f64::INFINITY;
+    }
+    (alpha - 1.0) / (n_tail as f64).sqrt()
+}
+
+/// One row of the model-selection table.
+#[derive(Debug, Clone, Serialize)]
+pub struct ComparisonRow {
+    /// Alternative name.
+    pub alternative: String,
+    /// Raw log-likelihood ratio (positive favours the power law).
+    pub lr: f64,
+    /// Normalized Vuong statistic.
+    pub statistic: f64,
+    /// Two-sided p-value of "equally good".
+    pub p_value: f64,
+    /// Verdict string in poweRlaw style.
+    pub verdict: String,
+}
+
+/// The full comparison table the paper's §IV-B narrates: the power law
+/// against log-normal, exponential and Poisson, each via Vuong's test on
+/// the common tail.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelComparison {
+    /// Fitted exponent.
+    pub alpha: f64,
+    /// CSN standard error of the exponent.
+    pub alpha_stderr: f64,
+    /// Fitted cutoff.
+    pub xmin: u64,
+    /// Tail size.
+    pub n_tail: usize,
+    /// One row per alternative.
+    pub rows: Vec<ComparisonRow>,
+    /// `true` when the power law wins or draws every comparison (the
+    /// paper's conclusion for the verified out-degree distribution).
+    pub power_law_undefeated: bool,
+}
+
+/// Build the comparison table for a discrete fit.
+pub fn compare_discrete(data: &[u64], fit: &DiscreteFit) -> Result<ModelComparison> {
+    let mut rows = Vec::new();
+    let mut undefeated = true;
+    for alt in [Alternative::LogNormal, Alternative::Exponential, Alternative::Poisson] {
+        let v: VuongResult = vuong_discrete(data, fit, alt)?;
+        let verdict = if v.p_value > 0.1 {
+            "inconclusive (models comparable)".to_string()
+        } else if v.lr > 0.0 {
+            "power law preferred".to_string()
+        } else {
+            undefeated = false;
+            format!("{alt} preferred")
+        };
+        // A significant loss is a defeat regardless of the verdict text.
+        if v.lr < 0.0 && v.p_value <= 0.1 {
+            undefeated = false;
+        }
+        rows.push(ComparisonRow {
+            alternative: alt.to_string(),
+            lr: v.lr,
+            statistic: v.statistic,
+            p_value: v.p_value,
+            verdict,
+        });
+    }
+    Ok(ModelComparison {
+        alpha: fit.alpha,
+        alpha_stderr: alpha_stderr(fit.alpha, fit.n_tail),
+        xmin: fit.xmin,
+        n_tail: fit.n_tail,
+        rows,
+        power_law_undefeated: undefeated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::fit_discrete;
+    use crate::{FitOptions, XminStrategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vnet_stats::sampling::DiscretePowerLaw;
+
+    #[test]
+    fn stderr_formula() {
+        assert!((alpha_stderr(3.24, 10_000) - 2.24 / 100.0).abs() < 1e-12);
+        assert!(alpha_stderr(2.0, 0).is_infinite());
+    }
+
+    #[test]
+    fn power_law_data_is_undefeated() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let data = DiscretePowerLaw::new(2.7, 2).sample_n(&mut rng, 10_000);
+        let opts = FitOptions { xmin: XminStrategy::Quantiles(25), min_tail: 50 };
+        let fit = fit_discrete(&data, &opts).unwrap();
+        let table = compare_discrete(&data, &fit).unwrap();
+        assert!(table.power_law_undefeated, "{:#?}", table.rows);
+        assert_eq!(table.rows.len(), 3);
+        // Exponential and Poisson lose decisively on genuine power-law data.
+        for row in &table.rows {
+            if row.alternative != "log-normal" {
+                assert!(row.lr > 0.0, "{}: lr {}", row.alternative, row.lr);
+            }
+        }
+        assert!(table.alpha_stderr < 0.1);
+    }
+
+    #[test]
+    fn geometric_data_defeats_power_law() {
+        // Exponential-tail data: the exponential alternative must win at
+        // least once.
+        let mut rng = StdRng::seed_from_u64(67);
+        use rand::Rng;
+        let data: Vec<u64> = (0..10_000)
+            .map(|_| {
+                let u: f64 = rng.random();
+                (1.0 + (-u.ln()) * 8.0).floor() as u64
+            })
+            .collect();
+        let opts = FitOptions { xmin: XminStrategy::Quantiles(25), min_tail: 1_000 };
+        let fit = fit_discrete(&data, &opts).unwrap();
+        let table = compare_discrete(&data, &fit).unwrap();
+        assert!(!table.power_law_undefeated, "{:#?}", table.rows);
+    }
+}

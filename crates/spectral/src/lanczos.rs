@@ -1,0 +1,231 @@
+//! Lanczos iteration with full reorthogonalization.
+
+use crate::laplacian::SymLaplacian;
+use crate::tridiag::tridiag_eigenvalues;
+use rand::Rng;
+
+/// Approximate the largest `k` eigenvalues of the Laplacian with `steps`
+/// Lanczos iterations (full reorthogonalization), returned in *descending*
+/// order.
+///
+/// `steps` should comfortably exceed `k` (a 2–3× margin is typical); it is
+/// clamped to the operator dimension, in which case the Ritz values are
+/// exact eigenvalues up to the tridiagonal tolerance.
+///
+/// Full reorthogonalization costs `O(steps² · n)` but eliminates the ghost
+/// eigenvalue problem, which matters here: the power-law fit of Section
+/// IV-B is on the eigenvalue *distribution*, and spurious duplicates would
+/// bias the tail weight.
+pub fn lanczos_topk<R: Rng + ?Sized>(
+    op: &SymLaplacian,
+    k: usize,
+    steps: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let n = op.dim();
+    if n == 0 || k == 0 {
+        return Vec::new();
+    }
+    let m = steps.max(k).min(n);
+
+    // Random unit start vector.
+    let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    normalize(&mut v);
+
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut alpha: Vec<f64> = Vec::with_capacity(m);
+    let mut beta: Vec<f64> = Vec::with_capacity(m.saturating_sub(1));
+    let mut w = vec![0.0f64; n];
+
+    for j in 0..m {
+        basis.push(v.clone());
+        op.matvec_into(&v, &mut w);
+        let a = dot(&w, &v);
+        alpha.push(a);
+        // w -= a v + beta_{j-1} v_{j-1}
+        for i in 0..n {
+            w[i] -= a * v[i];
+        }
+        if j > 0 {
+            let b_prev = beta[j - 1];
+            let v_prev = &basis[j - 1];
+            for i in 0..n {
+                w[i] -= b_prev * v_prev[i];
+            }
+        }
+        // Full reorthogonalization (twice is enough — Parlett).
+        for _ in 0..2 {
+            for q in &basis {
+                let c = dot(&w, q);
+                if c != 0.0 {
+                    for i in 0..n {
+                        w[i] -= c * q[i];
+                    }
+                }
+            }
+        }
+        let b = norm(&w);
+        if j + 1 == m {
+            break;
+        }
+        if b < 1e-12 {
+            // Invariant subspace exhausted: restart with a fresh random
+            // direction orthogonal to the current basis.
+            let mut fresh: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+            for q in &basis {
+                let c = dot(&fresh, q);
+                for i in 0..n {
+                    fresh[i] -= c * q[i];
+                }
+            }
+            let fb = norm(&fresh);
+            if fb < 1e-12 {
+                break; // space exhausted (n small)
+            }
+            for x in &mut fresh {
+                *x /= fb;
+            }
+            beta.push(0.0);
+            v = fresh;
+        } else {
+            beta.push(b);
+            v = w.iter().map(|&x| x / b).collect();
+        }
+    }
+
+    let mut ev = tridiag_eigenvalues(&alpha, &beta, 1e-10);
+    ev.reverse(); // descending
+    ev.truncate(k);
+    // Laplacian eigenvalues are nonnegative; clip tiny negatives from
+    // bisection tolerance.
+    for x in &mut ev {
+        if *x < 0.0 && *x > -1e-8 {
+            *x = 0.0;
+        }
+    }
+    ev
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+fn normalize(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vnet_graph::builder::from_edges;
+    use vnet_graph::GraphBuilder;
+
+    #[test]
+    fn path_graph_full_spectrum() {
+        // Undirected path P4 Laplacian eigenvalues: 2 - 2cos(kπ/4)... i.e.
+        // 4 sin²(kπ/8): {0, 0.586, 2, 3.414}.
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let l = SymLaplacian::from_digraph(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        let ev = lanczos_topk(&l, 4, 4, &mut rng);
+        let expect = [3.414_213_562, 2.0, 0.585_786_437, 0.0];
+        for (got, want) in ev.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-6, "got {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K5 Laplacian: eigenvalue n=5 with multiplicity 4, and 0.
+        let n = 5u32;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    b.add_edge(i, j).unwrap();
+                }
+            }
+        }
+        let l = SymLaplacian::from_digraph(&b.build());
+        let mut rng = StdRng::seed_from_u64(3);
+        let ev = lanczos_topk(&l, 5, 5, &mut rng);
+        for &x in &ev[..4] {
+            assert!((x - 5.0).abs() < 1e-6, "got {x}");
+        }
+        assert!(ev[4].abs() < 1e-6);
+    }
+
+    #[test]
+    fn star_graph_top_eigenvalue() {
+        // Star K_{1,n-1}: λ_max = n.
+        let n = 30u32;
+        let mut b = GraphBuilder::new(n);
+        for leaf in 1..n {
+            b.add_edge(0, leaf).unwrap();
+        }
+        let l = SymLaplacian::from_digraph(&b.build());
+        let mut rng = StdRng::seed_from_u64(4);
+        let ev = lanczos_topk(&l, 3, 25, &mut rng);
+        assert!((ev[0] - n as f64).abs() < 1e-6, "λmax={} want {n}", ev[0]);
+        // The middle of the spectrum is all 1's for a star.
+        assert!((ev[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn topk_truncates_and_descends() {
+        let g = from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)])
+            .unwrap();
+        let l = SymLaplacian::from_digraph(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ev = lanczos_topk(&l, 3, 8, &mut rng);
+        assert_eq!(ev.len(), 3);
+        for w in ev.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_bounded_by_two_dmax() {
+        let g = from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (5, 6), (1, 2)]).unwrap();
+        let l = SymLaplacian::from_digraph(&g);
+        let mut rng = StdRng::seed_from_u64(6);
+        let ev = lanczos_topk(&l, 7, 7, &mut rng);
+        for &x in &ev {
+            assert!(x >= -1e-9 && x <= 2.0 * l.max_degree() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_multiple_zero_eigenvalues() {
+        // Two disjoint undirected edges → two zero eigenvalues.
+        let g = from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let l = SymLaplacian::from_digraph(&g);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ev = lanczos_topk(&l, 4, 4, &mut rng);
+        // Spectrum: {2, 2, 0, 0}
+        assert!((ev[0] - 2.0).abs() < 1e-6);
+        assert!((ev[1] - 2.0).abs() < 1e-6);
+        assert!(ev[2].abs() < 1e-6);
+        assert!(ev[3].abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let l = SymLaplacian::from_digraph(&vnet_graph::DiGraph::empty(0));
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(lanczos_topk(&l, 5, 10, &mut rng).is_empty());
+        let l2 = SymLaplacian::from_digraph(&vnet_graph::DiGraph::empty(3));
+        assert!(lanczos_topk(&l2, 0, 10, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Eigenvalues of symmetric tridiagonal matrices by Sturm-sequence
+//! bisection.
+//!
+//! This is the inner solver of the Lanczos pipeline: Lanczos reduces the
+//! huge sparse Laplacian to a small tridiagonal `T`, whose eigenvalues
+//! (Ritz values) approximate the extremal Laplacian spectrum. Bisection on
+//! the Sturm count is slower than QL but is branch-free to reason about,
+//! unconditionally stable, and lets us extract *only* the largest `k`
+//! values — exactly what the power-law fit needs.
+
+/// Number of eigenvalues of the symmetric tridiagonal matrix
+/// (diagonal `a`, off-diagonal `b`, `b.len() == a.len() − 1`) that are
+/// strictly less than `x`, via the LDLᵀ Sturm recurrence.
+pub fn sturm_count(a: &[f64], b: &[f64], x: f64) -> usize {
+    debug_assert!(b.len() + 1 == a.len() || a.is_empty());
+    let mut count = 0usize;
+    let mut d = 1.0f64;
+    for i in 0..a.len() {
+        let off2 = if i == 0 { 0.0 } else { b[i - 1] * b[i - 1] };
+        d = a[i] - x - if d != 0.0 { off2 / d } else { off2 / 1e-300 };
+        if d < 0.0 {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// All eigenvalues of the symmetric tridiagonal `(a, b)` in ascending
+/// order, each located by bisection to absolute tolerance `tol`.
+pub fn tridiag_eigenvalues(a: &[f64], b: &[f64], tol: f64) -> Vec<f64> {
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Gershgorin bounds.
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for i in 0..n {
+        let r = if i == 0 { 0.0 } else { b[i - 1].abs() }
+            + if i + 1 < n { b[i].abs() } else { 0.0 };
+        lo = lo.min(a[i] - r);
+        hi = hi.max(a[i] + r);
+    }
+    lo -= tol;
+    hi += tol;
+    (0..n).map(|k| bisect_kth(a, b, k, lo, hi, tol)).collect()
+}
+
+/// The `k`-th smallest eigenvalue (0-based) via bisection on the Sturm
+/// count within `[lo, hi]`.
+fn bisect_kth(a: &[f64], b: &[f64], k: usize, mut lo: f64, mut hi: f64, tol: f64) -> f64 {
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if sturm_count(a, b, mid) > k {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let a = [3.0, 1.0, 2.0];
+        let b = [0.0, 0.0];
+        let ev = tridiag_eigenvalues(&a, &b, 1e-12);
+        assert!((ev[0] - 1.0).abs() < 1e-9);
+        assert!((ev[1] - 2.0).abs() < 1e-9);
+        assert!((ev[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let ev = tridiag_eigenvalues(&[2.0, 2.0], &[1.0], 1e-12);
+        assert!((ev[0] - 1.0).abs() < 1e-9);
+        assert!((ev[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_laplacian_spectrum() {
+        // Laplacian of the n-path has eigenvalues 2 - 2 cos(k π / n)... for
+        // the path graph: 4 sin²(kπ / (2n)), k = 0..n-1.
+        let n = 6usize;
+        let a: Vec<f64> = (0..n)
+            .map(|i| if i == 0 || i == n - 1 { 1.0 } else { 2.0 })
+            .collect();
+        let b = vec![-1.0; n - 1];
+        let ev = tridiag_eigenvalues(&a, &b, 1e-12);
+        for (k, &lambda) in ev.iter().enumerate() {
+            let expect = 4.0 * (k as f64 * std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+            assert!((lambda - expect).abs() < 1e-8, "k={k}: {lambda} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sturm_count_monotone() {
+        let a = [2.0, 2.0, 2.0, 2.0];
+        let b = [-1.0, -1.0, -1.0];
+        let mut prev = 0;
+        for i in 0..40 {
+            let x = -1.0 + i as f64 * 0.2;
+            let c = sturm_count(&a, &b, x);
+            assert!(c >= prev, "count must be nondecreasing in x");
+            prev = c;
+        }
+        assert_eq!(sturm_count(&a, &b, 100.0), 4);
+        assert_eq!(sturm_count(&a, &b, -100.0), 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        assert!(tridiag_eigenvalues(&[], &[], 1e-12).is_empty());
+    }
+
+    #[test]
+    fn eigenvalues_sorted_ascending() {
+        let a = [5.0, -1.0, 3.0, 0.5, 2.0];
+        let b = [1.5, -0.3, 2.0, 0.7];
+        let ev = tridiag_eigenvalues(&a, &b, 1e-11);
+        for w in ev.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+        // Trace check: sum of eigenvalues equals trace.
+        let trace: f64 = a.iter().sum();
+        let sum: f64 = ev.iter().sum();
+        assert!((trace - sum).abs() < 1e-7, "trace {trace} vs sum {sum}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Pearson and Spearman correlation with tie-aware ranking.
+//!
+//! The paper's Figure 5 reads off how centrality inside the verified
+//! sub-graph tracks global reach (followers, list memberships); these two
+//! coefficients are the quantitative backbone of those panels.
+
+use crate::{Result, StatsError};
+
+/// Pearson product-moment correlation of two equal-length samples.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(StatsError::InvalidParameter("length mismatch"));
+    }
+    if x.len() < 2 {
+        return Err(StatsError::TooFewObservations { needed: 2, got: x.len() });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::InvalidParameter("zero variance"));
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Fractional (mid) ranks of `data`, ties receive the average rank.
+/// Ranks are 1-based, matching the statistical convention.
+pub fn ranks(data: &[f64]) -> Vec<f64> {
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j < n && data[idx[j]] == data[idx[i]] {
+            j += 1;
+        }
+        // Average of ranks i+1 ..= j
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            out[k] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks, so ties are handled).
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(StatsError::InvalidParameter("length mismatch"));
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Fisher z-transform based two-sided p-value for the null `ρ = 0`.
+pub fn pearson_pvalue(r: f64, n: usize) -> Result<f64> {
+    if n < 4 {
+        return Err(StatsError::TooFewObservations { needed: 4, got: n });
+    }
+    if !(-1.0..=1.0).contains(&r) {
+        return Err(StatsError::InvalidParameter("r must be in [-1, 1]"));
+    }
+    let z = 0.5 * ((1.0 + r) / (1.0 - r)).ln() * ((n as f64 - 3.0).sqrt());
+    Ok(2.0 * crate::dist::norm_sf(z.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &yneg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_errors() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn pearson_length_mismatch_errors() {
+        assert!(pearson(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_midranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|&v| v * v * v).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_known_tied_example() {
+        // Midranks: x -> [1, 2.5, 2.5, 4], y -> [1, 3, 2, 4];
+        // Pearson of those ranks is 4.5 / sqrt(4.5 * 5) = 0.94868...
+        let rho = spearman(&[1.0, 2.0, 2.0, 3.0], &[1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert!((rho - 4.5 / 22.5f64.sqrt()).abs() < 1e-12, "rho={rho}");
+    }
+
+    #[test]
+    fn pearson_pvalue_behaviour() {
+        // Strong correlation with big n → tiny p; r=0 → p=1.
+        assert!(pearson_pvalue(0.9, 1000).unwrap() < 1e-10);
+        assert!((pearson_pvalue(0.0, 100).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_bounded(x in proptest::collection::vec(-1e3f64..1e3, 3..50),
+                           y in proptest::collection::vec(-1e3f64..1e3, 3..50)) {
+            let n = x.len().min(y.len());
+            if let Ok(r) = pearson(&x[..n], &y[..n]) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+            }
+        }
+
+        #[test]
+        fn ranks_are_permutation_of_midranks(data in proptest::collection::vec(-100f64..100.0, 1..60)) {
+            let r = ranks(&data);
+            let sum: f64 = r.iter().sum();
+            let n = data.len() as f64;
+            // Sum of ranks is always n(n+1)/2 regardless of ties.
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn spearman_invariant_to_monotone_transform(
+            x in proptest::collection::vec(0.1f64..1e3, 5..40)) {
+            let y: Vec<f64> = x.iter().map(|&v| v.ln()).collect();
+            if let (Ok(a), Ok(b)) = (spearman(&x, &x), spearman(&x, &y)) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Descriptive statistics: moments, quantiles and summaries.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean of `data`.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance (denominator `n − 1`), computed with the
+/// numerically stable two-pass algorithm.
+pub fn variance(data: &[f64]) -> Result<f64> {
+    if data.len() < 2 {
+        return Err(StatsError::TooFewObservations { needed: 2, got: data.len() });
+    }
+    let m = mean(data)?;
+    let ss: f64 = data.iter().map(|&x| (x - m) * (x - m)).sum();
+    Ok(ss / (data.len() - 1) as f64)
+}
+
+/// Population variance (denominator `n`).
+pub fn variance_pop(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let m = mean(data)?;
+    let ss: f64 = data.iter().map(|&x| (x - m) * (x - m)).sum();
+    Ok(ss / data.len() as f64)
+}
+
+/// Sample standard deviation.
+pub fn stddev(data: &[f64]) -> Result<f64> {
+    variance(data).map(f64::sqrt)
+}
+
+/// Sample skewness (adjusted Fisher-Pearson).
+pub fn skewness(data: &[f64]) -> Result<f64> {
+    let n = data.len();
+    if n < 3 {
+        return Err(StatsError::TooFewObservations { needed: 3, got: n });
+    }
+    let m = mean(data)?;
+    let s = stddev(data)?;
+    if s == 0.0 {
+        return Err(StatsError::InvalidParameter("zero variance"));
+    }
+    let nf = n as f64;
+    let m3: f64 = data.iter().map(|&x| ((x - m) / s).powi(3)).sum::<f64>() / nf;
+    Ok(m3 * (nf * (nf - 1.0)).sqrt() / (nf - 2.0))
+}
+
+/// Linear-interpolation quantile (type 7, the R/numpy default).
+///
+/// `q` must be in `[0, 1]`. The input need not be sorted; a sorted copy is
+/// made internally.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile must be in [0,1]"));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// Quantile on pre-sorted data (no allocation). See [`quantile`].
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Median absolute deviation scaled to be consistent for the normal
+/// distribution (factor 1.4826).
+pub fn mad(data: &[f64]) -> Result<f64> {
+    let med = quantile(data, 0.5)?;
+    let dev: Vec<f64> = data.iter().map(|&x| (x - med).abs()).collect();
+    Ok(1.4826 * quantile(&dev, 0.5)?)
+}
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 if fewer than two observations).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Compute the summary of `data`.
+    pub fn of(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        Ok(Summary {
+            n: data.len(),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean: mean(data)?,
+            stddev: stddev(data).unwrap_or(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&d).unwrap() - 5.0).abs() < 1e-12);
+        assert!((variance_pop(&d).unwrap() - 4.0).abs() < 1e-12);
+        assert!((variance(&d).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+        assert!(variance(&[1.0]).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn quantile_type7_matches_reference() {
+        // numpy.percentile([1,2,3,4], [25, 50, 75]) = [1.75, 2.5, 3.25]
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&d, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!((quantile(&d, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!((quantile(&d, 0.75).unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let d = [4.0, 1.0, 3.0, 2.0];
+        assert!((quantile(&d, 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        let right = [1.0, 1.0, 1.0, 2.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        let left = [-10.0, -2.0, -1.0, -1.0, -1.0];
+        assert!(skewness(&left).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn mad_of_constant_is_zero() {
+        assert_eq!(mad(&[5.0, 5.0, 5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let d = [3.0, 1.0, 2.0, 5.0, 4.0];
+        let s = Summary::of(&d).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone_in_q(mut data in proptest::collection::vec(-1e6f64..1e6, 2..200),
+                                     q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile_sorted(&data, lo) <= quantile_sorted(&data, hi) + 1e-9);
+        }
+
+        #[test]
+        fn variance_nonnegative(data in proptest::collection::vec(-1e6f64..1e6, 2..100)) {
+            prop_assert!(variance(&data).unwrap() >= 0.0);
+        }
+
+        #[test]
+        fn mean_within_bounds(data in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let m = mean(&data).unwrap();
+            let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+        }
+
+        #[test]
+        fn summary_ordering(data in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let s = Summary::of(&data).unwrap();
+            prop_assert!(s.min <= s.q1 + 1e-9);
+            prop_assert!(s.q1 <= s.median + 1e-9);
+            prop_assert!(s.median <= s.q3 + 1e-9);
+            prop_assert!(s.q3 <= s.max + 1e-9);
+        }
+    }
+}

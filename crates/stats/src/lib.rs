@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+
+//! # vnet-stats
+//!
+//! Numerical and statistical substrate for the `verified-net` workspace, the
+//! Rust reproduction of *"Elites Tweet? Characterizing the Twitter Verified
+//! User Network"* (Paul et al., ICDE 2019).
+//!
+//! The paper leans on a stack of statistical tooling (R's `poweRlaw`,
+//! Python's `statsmodels`, the `plfit` C library). This crate provides the
+//! numerical bedrock those tools rest on, implemented from scratch:
+//!
+//! * [`special`] — log-gamma, error function, regularized incomplete
+//!   gamma/beta functions.
+//! * [`dist`] — parametric distributions (normal, chi-squared, Student-t,
+//!   exponential, log-normal, Poisson) with PDFs, CDFs and samplers.
+//! * [`descriptive`] — means, variances, quantiles, five-number summaries.
+//! * [`histogram`] — linear and logarithmic binning, CCDFs (the paper's
+//!   Figures 1–3 are all binned marginals).
+//! * [`correlation`] — Pearson and Spearman correlation (Figure 5).
+//! * [`matrix`] — small dense linear algebra (Cholesky) used by regression.
+//! * [`regression`] — ordinary least squares.
+//! * [`spline`] — penalized B-spline regression with confidence bands, a
+//!   lightweight stand-in for the Generalized Additive Model splines the
+//!   paper fits in Figure 5.
+//! * [`sampling`] — alias-method weighted sampling, reservoir sampling and
+//!   heavy-tailed (Zipf / discrete power-law) samplers used by the synthetic
+//!   network generators.
+
+pub mod correlation;
+pub mod descriptive;
+pub mod dist;
+pub mod histogram;
+pub mod kstest;
+pub mod matrix;
+pub mod regression;
+pub mod sampling;
+pub mod special;
+pub mod spline;
+
+pub use correlation::{pearson, spearman};
+pub use descriptive::{mean, quantile, stddev, variance, Summary};
+pub use histogram::{Histogram, LogHistogram};
+pub use kstest::{ks_two_sample, KsResult};
+pub use matrix::Mat;
+pub use regression::Ols;
+pub use spline::PenalizedSpline;
+
+/// Error type shared across the statistics crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// Input slice was empty where at least one observation is required.
+    EmptyInput,
+    /// Input slice was shorter than the minimum required length.
+    TooFewObservations {
+        /// Minimum observations the routine needs.
+        needed: usize,
+        /// Observations actually supplied.
+        got: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. negative variance).
+    InvalidParameter(&'static str),
+    /// A linear system was singular or not positive definite.
+    SingularMatrix,
+    /// An iterative routine failed to converge.
+    NoConvergence(&'static str),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "empty input"),
+            StatsError::TooFewObservations { needed, got } => {
+                write!(f, "too few observations: needed {needed}, got {got}")
+            }
+            StatsError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+            StatsError::SingularMatrix => write!(f, "matrix is singular or not positive definite"),
+            StatsError::NoConvergence(w) => write!(f, "no convergence in {w}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

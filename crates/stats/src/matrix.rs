@@ -1,0 +1,305 @@
+//! Small dense matrices with Cholesky factorization.
+//!
+//! Sized for the regression problems in this workspace: normal equations of
+//! OLS designs and penalized B-spline bases (tens of columns). Row-major
+//! `Vec<f64>` storage, no unsafe, no external BLAS.
+
+use crate::{Result, StatsError};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major flat slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "Mat::from_rows: size mismatch");
+        Self { rows, cols, data: data.to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Transpose.
+    pub fn t(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Mat) -> Mat {
+        assert_eq!(self.cols, rhs.rows, "matmul: dimension mismatch");
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            out[i] = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Gram matrix `self^T * self` computed without forming the transpose.
+    pub fn gram(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for i in 0..self.cols {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..self.cols {
+                    out[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+        out
+    }
+
+    /// Add `alpha * other` in place.
+    pub fn axpy(&mut self, alpha: f64, other: &Mat) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "axpy: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Cholesky factor `L` (lower triangular, `self = L Lᵀ`) of a symmetric
+    /// positive-definite matrix.
+    pub fn cholesky(&self) -> Result<Mat> {
+        if self.rows != self.cols {
+            return Err(StatsError::InvalidParameter("cholesky: matrix not square"));
+        }
+        let n = self.rows;
+        let mut l = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(StatsError::SingularMatrix);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Solve `self * x = b` for SPD `self` via Cholesky.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let l = self.cholesky()?;
+        Ok(l.solve_cholesky_factored(b))
+    }
+
+    /// Given `self` already equal to the Cholesky factor `L`, solve
+    /// `L Lᵀ x = b` by forward then backward substitution.
+    pub fn solve_cholesky_factored(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self[(i, k)] * y[k];
+            }
+            y[i] = sum / self[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self[(k, i)] * x[k];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Inverse of an SPD matrix via Cholesky (used for coefficient
+    /// covariance in the spline bands). O(n³), fine for small n.
+    pub fn spd_inverse(&self) -> Result<Mat> {
+        let l = self.cholesky()?;
+        let n = self.rows;
+        let mut inv = Mat::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.iter_mut().for_each(|v| *v = 0.0);
+            e[j] = 1.0;
+            let col = l.solve_cholesky_factored(&e);
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        Ok(inv)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Mat {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Mat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Mat::from_rows(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Mat::from_rows(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.t().t(), a);
+    }
+
+    #[test]
+    fn gram_equals_att_a() {
+        let a = Mat::from_rows(3, 2, &[1.0, 2.0, 0.0, 1.0, 4.0, -1.0]);
+        assert_eq!(a.gram(), a.t().matmul(&a));
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Mat::from_rows(3, 3, &[4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]);
+        let l = a.cholesky().unwrap();
+        let recon = l.matmul(&l.t());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let a = Mat::from_rows(2, 2, &[1.0, 2.0, 2.0, 1.0]); // indefinite
+        assert_eq!(a.cholesky(), Err(StatsError::SingularMatrix));
+    }
+
+    #[test]
+    fn cholesky_solve_known_system() {
+        let a = Mat::from_rows(2, 2, &[4.0, 1.0, 1.0, 3.0]);
+        let x = a.cholesky_solve(&[1.0, 2.0]).unwrap();
+        // Solution of [[4,1],[1,3]] x = [1,2] is [1/11, 7/11]
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spd_inverse_times_matrix_is_identity() {
+        let a = Mat::from_rows(3, 3, &[4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]);
+        let inv = a.spd_inverse().unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Mat::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let v = [1.0, 0.5, -1.0];
+        assert_eq!(a.matvec(&v), vec![-1.0, 0.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn cholesky_solve_residual_small(vals in proptest::collection::vec(-2.0f64..2.0, 12),
+                                         b in proptest::collection::vec(-5.0f64..5.0, 3)) {
+            // Build SPD as G = M Mᵀ + I from a random 3x4 M.
+            let m = Mat::from_rows(3, 4, &vals);
+            let mut g = m.matmul(&m.t());
+            g.axpy(1.0, &Mat::eye(3));
+            let x = g.cholesky_solve(&b).unwrap();
+            let r = g.matvec(&x);
+            for i in 0..3 {
+                prop_assert!((r[i] - b[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Ordinary least squares with standard errors.
+//!
+//! Used by the Augmented Dickey-Fuller implementation in `vnet-timeseries`
+//! (the ADF statistic is just the t-ratio of one OLS coefficient) and by the
+//! spline smoother's dispersion estimate.
+
+use crate::matrix::Mat;
+use crate::{Result, StatsError};
+
+/// Result of an ordinary least squares fit `y = X β + ε`.
+#[derive(Debug, Clone)]
+pub struct Ols {
+    /// Estimated coefficients, one per design column.
+    pub beta: Vec<f64>,
+    /// Standard error of each coefficient.
+    pub stderr: Vec<f64>,
+    /// t-statistics (`beta / stderr`).
+    pub t_stats: Vec<f64>,
+    /// Residual sum of squares.
+    pub rss: f64,
+    /// Residual variance estimate `rss / (n − k)`.
+    pub sigma2: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Observations used.
+    pub n: usize,
+    /// Design columns.
+    pub k: usize,
+    /// Residuals `y − X β`.
+    pub residuals: Vec<f64>,
+}
+
+impl Ols {
+    /// Fit by solving the normal equations with a Cholesky factorization.
+    ///
+    /// `x` is the `n × k` design matrix (include an intercept column of
+    /// ones yourself if you want one); `y` has length `n`.
+    pub fn fit(x: &Mat, y: &[f64]) -> Result<Ols> {
+        let n = x.rows();
+        let k = x.cols();
+        if y.len() != n {
+            return Err(StatsError::InvalidParameter("y length != design rows"));
+        }
+        if n <= k {
+            return Err(StatsError::TooFewObservations { needed: k + 1, got: n });
+        }
+        let xtx = x.gram();
+        let xty = x.t().matvec(y);
+        // Tiny ridge keeps nearly collinear ADF designs solvable without
+        // measurably perturbing the estimates.
+        let mut xtx_r = xtx.clone();
+        for i in 0..k {
+            xtx_r[(i, i)] += 1e-10 * (1.0 + xtx[(i, i)].abs());
+        }
+        let beta = xtx_r.cholesky_solve(&xty)?;
+        let fitted = x.matvec(&beta);
+        let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(&a, &b)| a - b).collect();
+        let rss: f64 = residuals.iter().map(|r| r * r).sum();
+        let sigma2 = rss / (n - k) as f64;
+        let cov = xtx_r.spd_inverse()?;
+        let stderr: Vec<f64> = (0..k).map(|i| (sigma2 * cov[(i, i)]).max(0.0).sqrt()).collect();
+        let t_stats: Vec<f64> = beta
+            .iter()
+            .zip(&stderr)
+            .map(|(&b, &s)| if s > 0.0 { b / s } else { f64::NAN })
+            .collect();
+        let ybar = y.iter().sum::<f64>() / n as f64;
+        let tss: f64 = y.iter().map(|&v| (v - ybar) * (v - ybar)).sum();
+        let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 0.0 };
+        Ok(Ols { beta, stderr, t_stats, rss, sigma2, r_squared, n, k, residuals })
+    }
+
+    /// Convenience: simple regression `y = a + b x`, returning the full fit
+    /// with `beta[0] = a`, `beta[1] = b`.
+    pub fn simple(x: &[f64], y: &[f64]) -> Result<Ols> {
+        if x.len() != y.len() {
+            return Err(StatsError::InvalidParameter("length mismatch"));
+        }
+        let n = x.len();
+        let mut design = Mat::zeros(n, 2);
+        for (i, &xi) in x.iter().enumerate() {
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = xi;
+        }
+        Ols::fit(&design, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|&v| 2.0 + 3.0 * v).collect();
+        let fit = Ols::simple(&x, &y).unwrap();
+        // Tolerance accounts for the stabilizing ridge (~1e-10 relative).
+        assert!((fit.beta[0] - 2.0).abs() < 1e-7);
+        assert!((fit.beta[1] - 3.0).abs() < 1e-7);
+        assert!(fit.rss < 1e-8);
+        assert!((fit.r_squared - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn known_noisy_fit() {
+        // Anscombe's first quartet: slope 0.5001, intercept 3.0001, R² ≈ 0.6665.
+        let x = [10.0, 8.0, 13.0, 9.0, 11.0, 14.0, 6.0, 4.0, 12.0, 7.0, 5.0];
+        let y = [8.04, 6.95, 7.58, 8.81, 8.33, 9.96, 7.24, 4.26, 10.84, 4.82, 5.68];
+        let fit = Ols::simple(&x, &y).unwrap();
+        assert!((fit.beta[1] - 0.5001).abs() < 1e-3, "slope={}", fit.beta[1]);
+        assert!((fit.beta[0] - 3.0001).abs() < 1e-2, "icept={}", fit.beta[0]);
+        assert!((fit.r_squared - 0.6665).abs() < 1e-3);
+    }
+
+    #[test]
+    fn t_stats_match_manual() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [1.1, 1.9, 3.2, 3.9, 5.1, 5.8];
+        let fit = Ols::simple(&x, &y).unwrap();
+        for i in 0..2 {
+            assert!((fit.t_stats[i] - fit.beta[i] / fit.stderr[i]).abs() < 1e-12);
+        }
+        // The slope is obviously significant here.
+        assert!(fit.t_stats[1] > 10.0);
+    }
+
+    #[test]
+    fn multivariate_design() {
+        // y = 1 + 2 x1 - 3 x2 exactly.
+        let n = 12;
+        let mut design = Mat::zeros(n, 3);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let x1 = i as f64;
+            let x2 = (i as f64).sin();
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = x1;
+            design[(i, 2)] = x2;
+            y[i] = 1.0 + 2.0 * x1 - 3.0 * x2;
+        }
+        let fit = Ols::fit(&design, &y).unwrap();
+        assert!((fit.beta[0] - 1.0).abs() < 1e-7);
+        assert!((fit.beta[1] - 2.0).abs() < 1e-7);
+        assert!((fit.beta[2] + 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn underdetermined_errors() {
+        let x = [1.0, 2.0];
+        let y = [1.0, 2.0];
+        assert!(Ols::simple(&x, &y).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn residuals_orthogonal_to_design(
+            xs in proptest::collection::vec(-10.0f64..10.0, 8..40),
+            noise in proptest::collection::vec(-1.0f64..1.0, 8..40)) {
+            let n = xs.len().min(noise.len());
+            let x = &xs[..n];
+            let y: Vec<f64> = x.iter().zip(&noise[..n]).map(|(&a, &e)| 1.0 + 0.5 * a + e).collect();
+            let fit = Ols::simple(x, &y).unwrap();
+            // X'r ≈ 0 is the defining property of least squares.
+            let dot_const: f64 = fit.residuals.iter().sum();
+            let dot_x: f64 = fit.residuals.iter().zip(x).map(|(&r, &xi)| r * xi).sum();
+            prop_assert!(dot_const.abs() < 1e-5);
+            prop_assert!(dot_x.abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Sampling utilities: alias-method weighted sampling, reservoir sampling,
+//! and heavy-tailed integer samplers.
+//!
+//! The synthetic verified-network generator draws millions of weighted
+//! endpoints per build; Walker's alias method makes each draw O(1). The
+//! Zipf/discrete-power-law sampler produces the heavy-tailed attribute
+//! marginals of the paper's Figure 1.
+
+use rand::Rng;
+
+/// Walker alias table for O(1) sampling from a fixed discrete distribution.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not necessarily normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative value, or sums
+    /// to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "AliasTable: empty weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "AliasTable: weights must sum to > 0");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0, "AliasTable: negative weight");
+                w * n as f64 / total
+            })
+            .collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual buckets get probability 1 (numerical slack).
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let n = self.prob.len();
+        let i = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (cannot occur post-`new`).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+/// Reservoir-sample `k` items uniformly from an iterator of unknown length
+/// (Vitter's Algorithm R).
+pub fn reservoir_sample<T, I, R>(iter: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng + ?Sized,
+{
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    if k == 0 {
+        return reservoir;
+    }
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.random_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Sample from a discrete power law `P(X = k) ∝ k^{−alpha}` for
+/// `k >= xmin`, via the continuous-approximation + rejection scheme of
+/// Clauset et al. (2009), Appendix D.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscretePowerLaw {
+    /// Exponent (must be > 1).
+    pub alpha: f64,
+    /// Minimum value (must be >= 1).
+    pub xmin: u64,
+}
+
+impl DiscretePowerLaw {
+    /// Construct; panics if parameters are out of domain.
+    pub fn new(alpha: f64, xmin: u64) -> Self {
+        assert!(alpha > 1.0, "DiscretePowerLaw: alpha must be > 1");
+        assert!(xmin >= 1, "DiscretePowerLaw: xmin must be >= 1");
+        Self { alpha, xmin }
+    }
+
+    /// Draw one variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Continuous power-law proposal x = (xmin - 1/2)(1-u)^{-1/(α-1)} + 1/2,
+        // accepted with the discrete/continuous density ratio. The simple
+        // floor approximation is accurate for α in (1.5, 4) which covers our
+        // use (the paper reports α ≈ 3.2).
+        let xm = self.xmin as f64 - 0.5;
+        loop {
+            let u: f64 = rng.random::<f64>();
+            let x = xm * (1.0 - u).powf(-1.0 / (self.alpha - 1.0)) + 0.5;
+            if x.is_finite() && x < 1e18 {
+                return x.floor() as u64;
+            }
+        }
+    }
+
+    /// Draw `n` variates.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Sample from a continuous (Pareto-type) power law with density
+/// `∝ x^{−alpha}` for `x >= xmin` by inversion.
+#[derive(Debug, Clone, Copy)]
+pub struct ContinuousPowerLaw {
+    /// Exponent (must be > 1).
+    pub alpha: f64,
+    /// Minimum value (must be > 0).
+    pub xmin: f64,
+}
+
+impl ContinuousPowerLaw {
+    /// Construct; panics if parameters are out of domain.
+    pub fn new(alpha: f64, xmin: f64) -> Self {
+        assert!(alpha > 1.0, "ContinuousPowerLaw: alpha must be > 1");
+        assert!(xmin > 0.0, "ContinuousPowerLaw: xmin must be > 0");
+        Self { alpha, xmin }
+    }
+
+    /// Draw one variate by inverse-CDF.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random::<f64>();
+        self.xmin * (1.0 - u).powf(-1.0 / (self.alpha - 1.0))
+    }
+
+    /// Draw `n` variates.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Weighted shuffle-free choice of `k` *distinct* indices in `0..n` with
+/// uniform probability (partial Fisher-Yates on an index map).
+pub fn sample_distinct<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "sample_distinct: k must be <= n");
+    // For small k relative to n, use a hash-probe; otherwise partial shuffle.
+    if k * 8 < n {
+        let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            let v = rng.random_range(0..n);
+            if chosen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
+    } else {
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let mut counts = [0u64; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / n as f64;
+            assert!((observed - expected).abs() < 0.01, "bucket {i}: {observed} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_never_drawn() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "negative weight")]
+    fn alias_table_rejects_negative() {
+        AliasTable::new(&[1.0, -0.5]);
+    }
+
+    #[test]
+    fn reservoir_sample_uniformity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hit = vec![0u64; 10];
+        for _ in 0..40_000 {
+            for v in reservoir_sample(0..10usize, 3, &mut rng) {
+                hit[v] += 1;
+            }
+        }
+        // Each element should appear with probability 3/10.
+        for (i, &h) in hit.iter().enumerate() {
+            let p = h as f64 / 40_000.0;
+            assert!((p - 0.3).abs() < 0.02, "elem {i}: p={p}");
+        }
+    }
+
+    #[test]
+    fn reservoir_sample_short_input() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = reservoir_sample(0..3usize, 10, &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn discrete_powerlaw_respects_xmin() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = DiscretePowerLaw::new(2.5, 7);
+        for _ in 0..5_000 {
+            assert!(d.sample(&mut rng) >= 7);
+        }
+    }
+
+    #[test]
+    fn discrete_powerlaw_tail_ratio() {
+        // For α = 3, P(X >= 2 xmin)/P(X >= xmin) ≈ 2^{-(α-1)} = 1/4.
+        let mut rng = StdRng::seed_from_u64(17);
+        let d = DiscretePowerLaw::new(3.0, 10);
+        let n = 300_000;
+        let ge20 = (0..n).filter(|_| d.sample(&mut rng) >= 20).count() as f64 / n as f64;
+        assert!((ge20 - 0.25).abs() < 0.02, "P(X>=2xmin)={ge20}");
+    }
+
+    #[test]
+    fn continuous_powerlaw_inversion_tail() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = ContinuousPowerLaw::new(3.0, 1.0);
+        let n = 300_000;
+        let ge2 = (0..n).filter(|_| d.sample(&mut rng) >= 2.0).count() as f64 / n as f64;
+        // P(X >= 2) = 2^{-(α-1)} = 0.25 exactly for the continuous law.
+        assert!((ge2 - 0.25).abs() < 0.01, "P(X>=2)={ge2}");
+    }
+
+    #[test]
+    fn sample_distinct_no_duplicates_both_paths() {
+        let mut rng = StdRng::seed_from_u64(31);
+        // Hash-probe path (k << n) and shuffle path (k ~ n).
+        for &(n, k) in &[(1000usize, 5usize), (20, 15)] {
+            let s = sample_distinct(n, k, &mut rng);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k);
+            assert!(s.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let mut s = sample_distinct(8, 8, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+}

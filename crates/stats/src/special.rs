@@ -1,0 +1,315 @@
+//! Special functions: log-gamma, error function, regularized incomplete
+//! gamma and beta functions.
+//!
+//! These are the primitives behind every CDF used by the paper's statistical
+//! tests: the chi-squared CDF of the Ljung-Box statistic, the normal CDF of
+//! the Vuong statistic, and the Student-t quantiles of the spline confidence
+//! bands. Implementations follow the classical Lanczos / continued-fraction
+//! formulations and are accurate to roughly 1e-10 over the ranges exercised
+//! here.
+
+/// Lanczos coefficients for `g = 7`, `n = 9` (Godfrey's table).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`.
+///
+/// # Examples
+/// ```
+/// let lg = vnet_stats::special::ln_gamma(5.0);
+/// assert!((lg - (24.0f64).ln()).abs() < 1e-12); // Γ(5) = 4! = 24
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = LANCZOS_COEF[0];
+        let t = x + LANCZOS_G + 0.5;
+        for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Natural logarithm of `n!` computed via [`ln_gamma`].
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// Error function `erf(x)`, accurate to ~1e-12.
+///
+/// Uses the incomplete-gamma relation `erf(x) = P(1/2, x²)` for positive
+/// `x`, which inherits the series/continued-fraction accuracy of
+/// [`gamma_p`].
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        -erf(-x)
+    } else {
+        gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Computed via `Q(1/2, x²)` for positive `x` so that the far tail keeps
+/// full relative precision (important for the astronomically small
+/// portmanteau p-values the paper reports, e.g. 3.81×10⁻³⁸).
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        2.0 - erfc(-x)
+    } else {
+        gamma_q(0.5, x * x)
+    }
+}
+
+const GAMMA_EPS: f64 = 1e-15;
+const GAMMA_MAX_ITER: usize = 500;
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// `P(k/2, x/2)` is the chi-squared CDF with `k` degrees of freedom, which
+/// drives the Ljung-Box and Box-Pierce tests in the paper's Section V.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain: a > 0, x >= 0");
+    if x == 0.0 {
+        0.0
+    } else if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+///
+/// Evaluated directly by continued fraction in the tail so that tiny
+/// survival probabilities keep relative precision.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain: a > 0, x >= 0");
+    if x == 0.0 {
+        1.0
+    } else if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series expansion of `P(a, x)` (converges quickly for `x < a + 1`).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..GAMMA_MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * GAMMA_EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Lentz continued-fraction evaluation of `Q(a, x)` (for `x >= a + 1`).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=GAMMA_MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < GAMMA_EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// `I` underlies the Student-t CDF used for the spline confidence bands of
+/// Figure 5.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "beta_inc domain: a, b > 0");
+    assert!((0.0..=1.0).contains(&x), "beta_inc domain: 0 <= x <= 1");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=GAMMA_MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < GAMMA_EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..15 {
+            let direct: f64 = (1..=n).map(|k| (k as f64).ln()).sum();
+            assert!(
+                (ln_gamma(n as f64 + 1.0) - direct).abs() < 1e-10,
+                "ln_gamma({}) mismatch",
+                n + 1
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π
+        let expected = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expected).abs() < 1e-12);
+        // Γ(3/2) = √π / 2
+        let expected = (std::f64::consts::PI.sqrt() / 2.0).ln();
+        assert!((ln_gamma(1.5) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_reflection_branch() {
+        // Γ(0.25) ≈ 3.62561
+        assert!((ln_gamma(0.25) - 3.625_609_908_221_908f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-15);
+        assert!((erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-10);
+        assert!((erf(2.0) - 0.995_322_265_018_952_7).abs() < 1e-10);
+        assert!((erf(-1.0) + 0.842_700_792_949_714_9).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erfc_deep_tail_keeps_relative_precision() {
+        // erfc(10) ≈ 2.088e-45; must not collapse to 0 or lose all digits.
+        let v = erfc(10.0);
+        assert!(v > 0.0);
+        assert!((v / 2.088_487_583_762_545e-45 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gamma_p_plus_q_is_one() {
+        for &(a, x) in &[(0.5, 0.3), (2.0, 1.0), (5.0, 10.0), (30.0, 25.0)] {
+            assert!((gamma_p(a, x) + gamma_q(a, x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}
+        for &x in &[0.1, 1.0, 2.5, 7.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x_f(x)).exp())).abs() < 1e-12);
+        }
+        fn x_f(x: f64) -> f64 {
+            x
+        }
+    }
+
+    #[test]
+    fn beta_inc_symmetry() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.4), (0.5, 0.5, 0.7), (10.0, 2.0, 0.9)] {
+            assert!((beta_inc(a, b, x) - (1.0 - beta_inc(b, a, 1.0 - x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_uniform_special_case() {
+        // I_x(1,1) = x
+        for &x in &[0.0, 0.2, 0.5, 0.8, 1.0] {
+            assert!((beta_inc(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_endpoints() {
+        assert_eq!(beta_inc(2.0, 5.0, 0.0), 0.0);
+        assert_eq!(beta_inc(2.0, 5.0, 1.0), 1.0);
+    }
+}

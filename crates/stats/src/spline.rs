@@ -1,0 +1,288 @@
+//! Penalized cubic B-spline regression ("P-splines", Eilers & Marx 1996).
+//!
+//! The paper's Figure 5 overlays "regression splines and 95% confidence
+//! intervals computed using a Generalized Additive Model" on log-log
+//! scatter plots. A single-covariate GAM with a Gaussian link is exactly a
+//! penalized regression spline, which this module implements: a cubic
+//! B-spline basis on equally spaced knots, a second-difference coefficient
+//! penalty, and sandwich-form pointwise confidence bands.
+
+use crate::dist::student_t_ppf;
+use crate::matrix::Mat;
+use crate::{Result, StatsError};
+
+/// A fitted penalized spline smoother.
+#[derive(Debug, Clone)]
+pub struct PenalizedSpline {
+    knot_lo: f64,
+    knot_step: f64,
+    n_basis: usize,
+    coef: Vec<f64>,
+    /// `(B'B + λP)⁻¹` kept for pointwise variance evaluation.
+    inv_penalized: Mat,
+    /// `B'B` for the sandwich variance.
+    gram: Mat,
+    /// Residual variance estimate.
+    pub sigma2: f64,
+    /// Effective degrees of freedom `tr(H)` of the smoother.
+    pub edf: f64,
+    /// Number of observations used in the fit.
+    pub n_obs: usize,
+    /// Smoothing parameter used.
+    pub lambda: f64,
+}
+
+/// One point of an evaluated spline curve with its confidence band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplinePoint {
+    /// Abscissa.
+    pub x: f64,
+    /// Fitted mean.
+    pub fit: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+}
+
+impl PenalizedSpline {
+    /// Fit a cubic P-spline to `(x, y)` with `n_segments` basis segments and
+    /// smoothing parameter `lambda >= 0`.
+    ///
+    /// Typical usage in this workspace: `n_segments = 12`, `lambda = 1.0`,
+    /// on log-transformed influence metrics.
+    pub fn fit(x: &[f64], y: &[f64], n_segments: usize, lambda: f64) -> Result<Self> {
+        if x.len() != y.len() {
+            return Err(StatsError::InvalidParameter("length mismatch"));
+        }
+        if n_segments < 1 {
+            return Err(StatsError::InvalidParameter("need at least one segment"));
+        }
+        if lambda < 0.0 {
+            return Err(StatsError::InvalidParameter("lambda must be >= 0"));
+        }
+        let n = x.len();
+        let n_basis = n_segments + 3; // cubic B-splines on uniform knots
+        if n < n_basis {
+            return Err(StatsError::TooFewObservations { needed: n_basis, got: n });
+        }
+        let (lo, hi) = x.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+        if !(hi > lo) {
+            return Err(StatsError::InvalidParameter("x has zero range"));
+        }
+        let step = (hi - lo) / n_segments as f64;
+        // Pad so the spline support covers [lo, hi].
+        let knot_lo = lo - 3.0 * step;
+
+        // Design matrix.
+        let mut design = Mat::zeros(n, n_basis);
+        for (r, &xi) in x.iter().enumerate() {
+            fill_basis_row(&mut design, r, xi, knot_lo, step, n_basis);
+        }
+        let gram = design.gram();
+
+        // Second-difference penalty P = D'D.
+        let mut penalty = Mat::zeros(n_basis, n_basis);
+        for i in 0..n_basis.saturating_sub(2) {
+            // D row: (1, -2, 1) at columns i, i+1, i+2
+            let idx = [i, i + 1, i + 2];
+            let w = [1.0, -2.0, 1.0];
+            for (a, &ia) in idx.iter().enumerate() {
+                for (b, &ib) in idx.iter().enumerate() {
+                    penalty[(ia, ib)] += w[a] * w[b];
+                }
+            }
+        }
+
+        let mut lhs = gram.clone();
+        lhs.axpy(lambda, &penalty);
+        // Ridge epsilon guards empty basis columns when data is clumped.
+        for i in 0..n_basis {
+            lhs[(i, i)] += 1e-9;
+        }
+        let rhs = design.t().matvec(y);
+        let coef = lhs.cholesky_solve(&rhs)?;
+        let inv_penalized = lhs.spd_inverse()?;
+
+        // Effective degrees of freedom: tr((B'B+λP)⁻¹ B'B).
+        let hat_core = inv_penalized.matmul(&gram);
+        let edf: f64 = (0..n_basis).map(|i| hat_core[(i, i)]).sum();
+
+        let fitted = design.matvec(&coef);
+        let rss: f64 = y.iter().zip(&fitted).map(|(&a, &b)| (a - b) * (a - b)).sum();
+        let denom = (n as f64 - edf).max(1.0);
+        let sigma2 = rss / denom;
+
+        Ok(Self {
+            knot_lo,
+            knot_step: step,
+            n_basis,
+            coef,
+            inv_penalized,
+            gram,
+            sigma2,
+            edf,
+            n_obs: n,
+            lambda,
+        })
+    }
+
+    /// Evaluate the fitted mean at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        let b = self.basis_row(x);
+        b.iter().zip(&self.coef).map(|(&a, &c)| a * c).sum()
+    }
+
+    /// Pointwise standard error of the fitted mean at `x` (sandwich form
+    /// `b' A⁻¹ B'B A⁻¹ b · σ²` with `A = B'B + λP`).
+    pub fn stderr_at(&self, x: f64) -> f64 {
+        let b = self.basis_row(x);
+        let u = self.inv_penalized.matvec(&b);
+        let gu = self.gram.matvec(&u);
+        let var: f64 = u.iter().zip(&gu).map(|(&a, &c)| a * c).sum::<f64>() * self.sigma2;
+        var.max(0.0).sqrt()
+    }
+
+    /// Evaluate the curve with a symmetric `level` confidence band (e.g.
+    /// `0.95`) on an equally spaced grid of `n_points` spanning `[lo, hi]`.
+    pub fn curve(&self, lo: f64, hi: f64, n_points: usize, level: f64) -> Vec<SplinePoint> {
+        assert!(n_points >= 2, "curve: need at least two points");
+        assert!(level > 0.0 && level < 1.0, "curve: level in (0,1)");
+        let nu = (self.n_obs as f64 - self.edf).max(1.0);
+        let t = student_t_ppf(0.5 + level / 2.0, nu);
+        (0..n_points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n_points - 1) as f64;
+                let fit = self.predict(x);
+                let se = self.stderr_at(x);
+                SplinePoint { x, fit, lo: fit - t * se, hi: fit + t * se }
+            })
+            .collect()
+    }
+
+    fn basis_row(&self, x: f64) -> Vec<f64> {
+        let mut m = Mat::zeros(1, self.n_basis);
+        fill_basis_row(&mut m, 0, x, self.knot_lo, self.knot_step, self.n_basis);
+        (0..self.n_basis).map(|j| m[(0, j)]).collect()
+    }
+}
+
+/// Cubic B-spline basis value for uniform knots: `B((x − t_j)/h)` where `B`
+/// is the cardinal cubic B-spline supported on `[0, 4]`.
+fn cubic_bspline(u: f64) -> f64 {
+    // Cardinal cubic B-spline on [0,4], piecewise cubic, integrates to 1·h.
+    if !(0.0..4.0).contains(&u) {
+        return 0.0;
+    }
+    let v = u;
+    if v < 1.0 {
+        v * v * v / 6.0
+    } else if v < 2.0 {
+        let w = v - 1.0;
+        (1.0 + 3.0 * w + 3.0 * w * w - 3.0 * w * w * w) / 6.0
+    } else if v < 3.0 {
+        let w = v - 2.0;
+        (4.0 - 6.0 * w * w + 3.0 * w * w * w) / 6.0
+    } else {
+        let w = 4.0 - v;
+        w * w * w / 6.0
+    }
+}
+
+fn fill_basis_row(m: &mut Mat, row: usize, x: f64, knot_lo: f64, step: f64, n_basis: usize) {
+    for j in 0..n_basis {
+        let t_j = knot_lo + j as f64 * step;
+        let u = (x - t_j) / step;
+        let v = cubic_bspline(u);
+        if v != 0.0 {
+            m[(row, j)] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize, f: impl Fn(f64) -> f64) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64 * 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| f(v)).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn bspline_partition_of_unity() {
+        // Sum of shifted cardinal B-splines is 1 everywhere inside support.
+        for &x in &[0.0, 0.31, 1.77, 2.5, 3.99] {
+            let total: f64 = (-4..8).map(|j| cubic_bspline(x - j as f64 + 3.0)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "x={x} total={total}");
+        }
+    }
+
+    #[test]
+    fn reproduces_linear_function_exactly() {
+        // Cubic splines reproduce degree-1 polynomials even with penalty
+        // (second differences of linear coefficients vanish).
+        let (x, y) = toy_data(50, |v| 2.0 - 0.5 * v);
+        let s = PenalizedSpline::fit(&x, &y, 8, 5.0).unwrap();
+        for &xi in &[0.0, 2.5, 5.0, 9.9] {
+            assert!((s.predict(xi) - (2.0 - 0.5 * xi)).abs() < 1e-6, "x={xi}");
+        }
+    }
+
+    #[test]
+    fn smooths_sine_with_small_error() {
+        let (x, y) = toy_data(200, |v| (v / 2.0).sin());
+        let s = PenalizedSpline::fit(&x, &y, 15, 0.1).unwrap();
+        let mut max_err: f64 = 0.0;
+        for &xi in x.iter() {
+            max_err = max_err.max((s.predict(xi) - (xi / 2.0).sin()).abs());
+        }
+        assert!(max_err < 0.01, "max_err={max_err}");
+    }
+
+    #[test]
+    fn heavier_penalty_reduces_edf() {
+        let (x, y) = toy_data(100, |v| (v).sin() + 0.3 * v);
+        let loose = PenalizedSpline::fit(&x, &y, 12, 0.01).unwrap();
+        let stiff = PenalizedSpline::fit(&x, &y, 12, 1000.0).unwrap();
+        assert!(stiff.edf < loose.edf, "edf {} !< {}", stiff.edf, loose.edf);
+        // A very stiff penalty approaches a straight line: edf → 2.
+        assert!(stiff.edf < 4.0);
+    }
+
+    #[test]
+    fn confidence_band_contains_fit_and_orders() {
+        let (x, y) = toy_data(80, |v| v.sqrt());
+        let s = PenalizedSpline::fit(&x, &y, 10, 1.0).unwrap();
+        for p in s.curve(0.5, 9.5, 25, 0.95) {
+            assert!(p.lo <= p.fit && p.fit <= p.hi);
+        }
+    }
+
+    #[test]
+    fn band_width_shrinks_with_more_data() {
+        let f = |v: f64| 1.0 + v;
+        let noise = |i: usize| if i % 2 == 0 { 0.5 } else { -0.5 };
+        let make = |n: usize| {
+            let x: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64 * 10.0).collect();
+            let y: Vec<f64> = x.iter().enumerate().map(|(i, &v)| f(v) + noise(i)).collect();
+            PenalizedSpline::fit(&x, &y, 8, 1.0).unwrap()
+        };
+        let small = make(40);
+        let big = make(640);
+        let w_small = small.stderr_at(5.0);
+        let w_big = big.stderr_at(5.0);
+        assert!(w_big < w_small, "band did not shrink: {w_big} !< {w_small}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(PenalizedSpline::fit(&[1.0], &[1.0, 2.0], 5, 1.0).is_err());
+        assert!(PenalizedSpline::fit(&[1.0; 10], &[1.0; 10], 5, 1.0).is_err()); // zero range
+        let (x, y) = toy_data(30, |v| v);
+        assert!(PenalizedSpline::fit(&x, &y, 5, -1.0).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vnet_synth::{VerifiedNetConfig, VerifiedNetwork};
+use vnet_algos::*;
+use vnet_algos::distances::SourceSpec;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let cfg = VerifiedNetConfig::default();
+    let t0 = std::time::Instant::now();
+    let net = VerifiedNetwork::generate(&cfg, &mut rng);
+    let g = &net.graph;
+    println!("gen: {:?}, nodes={} edges={} density={:.5} mean_out={:.1}",
+        t0.elapsed(), g.node_count(), g.edge_count(), g.density(), g.mean_out_degree());
+    println!("isolated={} ({:.3}%)", g.isolated_nodes().len(), 100.0*g.isolated_nodes().len() as f64/g.node_count() as f64);
+    let scc = strongly_connected_components(g);
+    println!("giant SCC frac={:.4} (paper 0.9724), wcc count={}", scc.giant_fraction(), weakly_connected_components(g).count);
+    println!("attracting={} (iso+sinks expected)", attracting_components(g).len());
+    println!("reciprocity={:.4} (paper 0.337)", reciprocity(g));
+    for (m, r) in vnet_algos::assortativity::assortativity_profile(g) {
+        println!("assortativity {:?} = {:?} (paper OutIn -0.04)", m, r);
+    }
+    let clus = clustering::average_local_clustering_sampled(g, 3000, &mut rng);
+    println!("clustering(sampled)={:.4} (paper 0.1583)", clus);
+    let d = distance_distribution(g, SourceSpec::Sampled(150), &mut rng);
+    println!("mean dist={:.3} (paper 2.74), eff diam={:.2}, max={}", d.mean, d.effective_diameter, d.max_observed);
+    let degs = vnet_algos::degree::positive_out_degrees(g).iter().map(|&x| x as u64).collect::<Vec<_>>();
+    let t1 = std::time::Instant::now();
+    let fit = vnet_powerlaw::fit_discrete(&degs, &vnet_powerlaw::FitOptions{xmin: vnet_powerlaw::XminStrategy::Quantiles(60), min_tail: 50}).unwrap();
+    println!("powerlaw fit: alpha={:.3} xmin={} ks={:.4} ntail={} ({:?}) (paper alpha 3.24)", fit.alpha, fit.xmin, fit.ks, fit.n_tail, t1.elapsed());
+}

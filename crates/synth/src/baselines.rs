@@ -1,0 +1,219 @@
+//! Baseline graph models: directed Erdős–Rényi, the directed configuration
+//! model, and directed preferential attachment.
+//!
+//! These serve two purposes in the reproduction:
+//!
+//! 1. **Null models** — the paper contrasts the verified sub-graph against
+//!    the whole Twittersphere (no out-degree power law, degree homophily,
+//!    22.1% reciprocity); preferential attachment plays the
+//!    whole-Twitter-like null in our benches.
+//! 2. **Ablations** — the configuration model preserves the verified
+//!    model's degree sequences while destroying reciprocity, clustering
+//!    and role structure, isolating which statistics are degree-driven.
+
+use rand::Rng;
+use vnet_graph::{DiGraph, GraphBuilder, NodeId};
+use vnet_stats::sampling::AliasTable;
+
+/// Directed Erdős–Rényi `G(n, m)`: `m` distinct directed non-loop edges
+/// chosen uniformly.
+pub fn erdos_renyi_directed<R: Rng + ?Sized>(n: u32, m: usize, rng: &mut R) -> DiGraph {
+    assert!(n >= 2, "need at least 2 nodes");
+    let max_edges = n as u64 * (n as u64 - 1);
+    assert!(m as u64 <= max_edges, "more edges than the complete digraph holds");
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && seen.insert((u, v)) {
+            builder.add_edge(u, v).expect("ids in range");
+        }
+    }
+    builder.build()
+}
+
+/// Directed configuration model: a random graph with (approximately) the
+/// given out- and in-degree sequences. Stub-matching with rejection of
+/// self-loops and duplicate edges (dropped, so realized degrees can fall
+/// slightly short — the standard "erased" configuration model).
+///
+/// # Panics
+/// Panics if the two sequences have different lengths or different sums.
+pub fn directed_configuration_model<R: Rng + ?Sized>(
+    out_seq: &[u64],
+    in_seq: &[u64],
+    rng: &mut R,
+) -> DiGraph {
+    assert_eq!(out_seq.len(), in_seq.len(), "degree sequences differ in length");
+    let total_out: u64 = out_seq.iter().sum();
+    let total_in: u64 = in_seq.iter().sum();
+    assert_eq!(total_out, total_in, "degree sums must match");
+    let n = out_seq.len() as u32;
+
+    // Build stub arrays and shuffle the in-stubs (Fisher–Yates).
+    let mut out_stubs: Vec<NodeId> = Vec::with_capacity(total_out as usize);
+    let mut in_stubs: Vec<NodeId> = Vec::with_capacity(total_in as usize);
+    for (v, (&o, &i)) in out_seq.iter().zip(in_seq).enumerate() {
+        out_stubs.extend(std::iter::repeat_n(v as NodeId, o as usize));
+        in_stubs.extend(std::iter::repeat_n(v as NodeId, i as usize));
+    }
+    for i in (1..in_stubs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        in_stubs.swap(i, j);
+    }
+
+    let mut builder = GraphBuilder::with_capacity(n, out_stubs.len());
+    for (&u, &v) in out_stubs.iter().zip(&in_stubs) {
+        if u != v {
+            builder.add_edge(u, v).expect("ids in range");
+        }
+    }
+    builder.build() // dedup in build() erases multi-edges
+}
+
+/// Directed preferential attachment à la Bollobás et al.: nodes arrive one
+/// at a time and send `m` edges to targets chosen proportionally to
+/// (in-degree + 1). Produces the heavy-tailed in-degree and degree
+/// homophily profile of a whole-Twitter-like graph.
+pub fn preferential_attachment_directed<R: Rng + ?Sized>(
+    n: u32,
+    m: usize,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(n as usize > m && m >= 1, "need n > m >= 1");
+    let mut builder = GraphBuilder::with_capacity(n, n as usize * m);
+    // in-degree + 1 weights, maintained incrementally; sampling by
+    // "repeated draw from the cumulative edge list" trick: every past
+    // edge target appears once, plus each node once (the +1 smoothing).
+    let mut targets_pool: Vec<NodeId> = Vec::with_capacity(n as usize * (m + 1));
+    targets_pool.push(0);
+    for u in 1..n {
+        let mut picked = std::collections::HashSet::with_capacity(m * 2);
+        let tries = m.min(u as usize);
+        while picked.len() < tries {
+            let v = targets_pool[rng.random_range(0..targets_pool.len())];
+            if v != u {
+                picked.insert(v);
+            }
+        }
+        for &v in &picked {
+            builder.add_edge(u, v).expect("ids in range");
+            targets_pool.push(v);
+        }
+        targets_pool.push(u);
+    }
+    builder.build()
+}
+
+/// Sample a directed graph with a given *expected* out-degree per node and
+/// fame-weighted targets — a minimal "whole Twittersphere" surrogate whose
+/// out-degree distribution is NOT power law (geometric-ish), matching Kwak
+/// et al.'s negative finding. Used by benches contrasting the verified
+/// sub-graph against its parent graph.
+pub fn fame_weighted_random<R: Rng + ?Sized>(
+    n: u32,
+    mean_out: f64,
+    fame: &[f64],
+    rng: &mut R,
+) -> DiGraph {
+    assert_eq!(fame.len(), n as usize, "fame length mismatch");
+    let alias = AliasTable::new(fame);
+    let mut builder = GraphBuilder::with_capacity(n, (n as f64 * mean_out) as usize);
+    for u in 0..n {
+        // Geometric out-degree with the requested mean.
+        let p = 1.0 / (1.0 + mean_out);
+        let mut d = 0usize;
+        while rng.random::<f64>() > p {
+            d += 1;
+        }
+        for _ in 0..d {
+            let v = alias.sample(rng) as NodeId;
+            if v != u {
+                builder.add_edge(u, v).expect("ids in range");
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = erdos_renyi_directed(100, 500, &mut rng);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 500);
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_degenerate_full() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = erdos_renyi_directed(4, 12, &mut rng); // complete digraph
+        assert_eq!(g.edge_count(), 12);
+    }
+
+    #[test]
+    fn configuration_model_approximates_degrees() {
+        let mut rng = StdRng::seed_from_u64(17);
+        // Heavy-ish degree sequence; sums must match.
+        let out_seq: Vec<u64> = (0..500).map(|i| (i % 7) as u64).collect();
+        let mut in_seq = out_seq.clone();
+        // Reverse to decorrelate while keeping the sum.
+        in_seq.reverse();
+        let g = directed_configuration_model(&out_seq, &in_seq, &mut rng);
+        // Erased model: realized degree <= requested, and close on average.
+        let mut shortfall = 0u64;
+        for v in 0..500u32 {
+            let want = out_seq[v as usize];
+            let got = g.out_degree(v) as u64;
+            assert!(got <= want);
+            shortfall += want - got;
+        }
+        let total: u64 = out_seq.iter().sum();
+        assert!(
+            (shortfall as f64) < 0.05 * total as f64,
+            "erased {shortfall} of {total} stubs"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degree sums must match")]
+    fn configuration_model_rejects_mismatched_sums() {
+        let mut rng = StdRng::seed_from_u64(19);
+        directed_configuration_model(&[1, 2], &[1, 1], &mut rng);
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = preferential_attachment_directed(5_000, 3, &mut rng);
+        let in_degrees = g.in_degrees();
+        let max_in = *in_degrees.iter().max().unwrap();
+        let mean_in = g.edge_count() as f64 / 5_000.0;
+        assert!(max_in as f64 > 20.0 * mean_in, "max={max_in} mean={mean_in}");
+        // Out-degree is ~constant m by construction (except early nodes).
+        assert!(g.out_degree(4_999) <= 3);
+    }
+
+    #[test]
+    fn fame_weighted_random_out_degree_not_heavy() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let fame: Vec<f64> = (0..2_000).map(|_| rng.random::<f64>() + 0.01).collect();
+        let g = fame_weighted_random(2_000, 10.0, &fame, &mut rng);
+        let mean = g.mean_out_degree();
+        assert!((mean - 10.0).abs() < 1.0, "mean={mean}");
+        // Geometric tail: max out-degree stays within a small multiple of
+        // the mean (no power-law hubs).
+        let max = g.out_degrees().into_iter().max().unwrap();
+        assert!((max as f64) < 15.0 * mean, "max={max}");
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # vnet-synth
+//!
+//! Synthetic graph generators for the `verified-net` workspace.
+//!
+//! The paper's dataset — the directed follow graph among 231,246 English
+//! verified Twitter users — is unobtainable (closed API, never-released
+//! crawl). This crate builds its stand-in: [`verified_model`] generates
+//! graphs whose structural fingerprint matches what Section III/IV report:
+//!
+//! * a power-law out-degree tail (α ≈ 3.2) over a log-normal bulk;
+//! * heavy-tailed popularity (in-degree) with celebrity "sink" accounts
+//!   that follow nobody — the cores of the paper's attracting components;
+//! * a tunable mutual-edge share hitting the 33.7% reciprocity rate;
+//! * triadic closure lifting local clustering toward the paper's 0.1583;
+//! * a sliver of isolated accounts (2.6%);
+//! * a giant strongly connected component holding ~97% of users;
+//! * short distances (mean ≈ 2.7) and slight degree dissortativity.
+//!
+//! Baselines for comparison and ablation live in [`baselines`]:
+//! directed Erdős–Rényi, the directed configuration model, and directed
+//! preferential attachment (a whole-Twitter-like null model).
+
+pub mod baselines;
+pub mod verified_model;
+
+pub use baselines::{directed_configuration_model, erdos_renyi_directed, preferential_attachment_directed};
+pub use verified_model::{NodeRole, VerifiedNetConfig, VerifiedNetwork};

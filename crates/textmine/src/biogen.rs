@@ -1,0 +1,361 @@
+//! Synthetic bio-corpus generator.
+//!
+//! Substitute for the unobtainable real verified-user biographies
+//! (Section IV-E). The generator draws a user archetype (journalism-heavy,
+//! per the paper's "being a pre-eminent journalist in an English media
+//! outlet seems to be one of the surest ways to get verified") and
+//! assembles a bio from phrase pools seeded with the themes of Figure 4
+//! and Tables I & II, with inclusion probabilities tuned so the mined
+//! ranking reproduces the published ordering: "Official Twitter" as the
+//! runaway top bigram, "Official Twitter Account" as top trigram, and so
+//! on.
+
+use rand::Rng;
+
+/// Archetypes of verified users, mirroring the paper's observed themes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UserCategory {
+    /// News people: anchors, reporters, editors.
+    Journalist,
+    /// Sports figures (the paper's rugby/baseball/Olympic n-grams).
+    Athlete,
+    /// Musicians ("New Album", "Singer Songwriter").
+    Musician,
+    /// Screen and stage.
+    Actor,
+    /// Brands and businesses ("Official Twitter", "For Customer Service").
+    Brand,
+    /// Media outlets and weather services ("Weather Alerts EN").
+    MediaOutlet,
+    /// Politicians and public officials.
+    Politician,
+    /// Founders and executives ("Co Founder").
+    Executive,
+    /// Authors ("Best Selling Author").
+    Author,
+    /// Generic famous individuals.
+    Influencer,
+}
+
+impl UserCategory {
+    /// All categories with their sampling weights (journalism and media
+    /// dominate, per Section IV-E).
+    pub const WEIGHTED: &'static [(UserCategory, f64)] = &[
+        (UserCategory::Journalist, 0.24),
+        (UserCategory::MediaOutlet, 0.13),
+        (UserCategory::Brand, 0.14),
+        (UserCategory::Athlete, 0.12),
+        (UserCategory::Musician, 0.09),
+        (UserCategory::Actor, 0.07),
+        (UserCategory::Politician, 0.05),
+        (UserCategory::Executive, 0.07),
+        (UserCategory::Author, 0.04),
+        (UserCategory::Influencer, 0.05),
+    ];
+
+    /// Short stable label, used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            UserCategory::Journalist => "journalist",
+            UserCategory::Athlete => "athlete",
+            UserCategory::Musician => "musician",
+            UserCategory::Actor => "actor",
+            UserCategory::Brand => "brand",
+            UserCategory::MediaOutlet => "media-outlet",
+            UserCategory::Politician => "politician",
+            UserCategory::Executive => "executive",
+            UserCategory::Author => "author",
+            UserCategory::Influencer => "influencer",
+        }
+    }
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Alex", "Jordan", "Taylor", "Morgan", "Casey", "Riley", "Avery", "Quinn", "Harper", "Rowan",
+    "Sasha", "Devon", "Ellis", "Finley", "Marley", "Reese", "Skyler", "Emerson", "Hayden", "Kai",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Walker", "Bennett", "Hughes", "Foster", "Coleman", "Brooks", "Murphy", "Sanders", "Hayes",
+    "Palmer", "Barnes", "Fisher", "Graham", "Wallace", "Dixon", "Lawson", "Pearce", "Whitfield",
+    "Mercer", "Sutton",
+];
+
+const OUTLETS: &[&str] = &[
+    "Daily Chronicle", "Global Wire", "Metro Tribune", "The Sentinel", "City Herald",
+    "National Post", "Evening Standard Press", "Coastal Times",
+];
+
+const CITIES: &[&str] =
+    &["London", "New York", "Sydney", "Toronto", "Dublin", "Chicago", "Manchester", "Austin"];
+
+/// Deterministic bio generator over an owned RNG-free API: callers supply
+/// the RNG so corpus generation stays reproducible and parallelizable.
+#[derive(Debug, Clone, Default)]
+pub struct BioGenerator;
+
+impl BioGenerator {
+    /// A generator (stateless; kept as a type for API symmetry and future
+    /// corpus-level options).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Sample a user category from the paper-weighted marginal.
+    pub fn sample_category<R: Rng + ?Sized>(&self, rng: &mut R) -> UserCategory {
+        let total: f64 = UserCategory::WEIGHTED.iter().map(|&(_, w)| w).sum();
+        let mut t = rng.random::<f64>() * total;
+        for &(cat, w) in UserCategory::WEIGHTED {
+            if t < w {
+                return cat;
+            }
+            t -= w;
+        }
+        UserCategory::Influencer
+    }
+
+    /// Generate one bio for `category`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, category: UserCategory) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let name = format!(
+            "{} {}",
+            pick(rng, FIRST_NAMES),
+            pick(rng, LAST_NAMES)
+        );
+        match category {
+            UserCategory::Journalist => {
+                parts.push(
+                    match rng.random_range(0..5u8) {
+                        0 => format!("Anchor reporter at {}", pick(rng, OUTLETS)),
+                        1 => "Award winning journalist".to_string(),
+                        2 => format!("Managing editor of {}", pick(rng, OUTLETS)),
+                        3 => "Breaking news and politics".to_string(),
+                        _ => format!("Editor in chief, {}", pick(rng, OUTLETS)),
+                    },
+                );
+                if rng.random::<f64>() < 0.12 {
+                    parts.push("Formerly New York Times and Wall Street Journal".into());
+                }
+                if rng.random::<f64>() < 0.25 {
+                    parts.push("Emmy award winning coverage".into());
+                }
+                if rng.random::<f64>() < 0.55 {
+                    parts.push("Opinions own".into());
+                }
+            }
+            UserCategory::MediaOutlet => {
+                parts.push(match rng.random_range(0..4u8) {
+                    0 => "Official Twitter account for latest news".to_string(),
+                    1 => "Official Twitter account. Breaking news first".to_string(),
+                    2 => "Weather alerts EN and traffic updates".to_string(),
+                    _ => format!("Latest news from {}", pick(rng, CITIES)),
+                });
+                if rng.random::<f64>() < 0.5 {
+                    parts.push("Follow us for breaking news".into());
+                }
+                if rng.random::<f64>() < 0.3 {
+                    parts.push("Newsroom open Monday to Friday".into());
+                }
+            }
+            UserCategory::Brand => {
+                parts.push(match rng.random_range(0..3u8) {
+                    0 => "Official Twitter account".to_string(),
+                    1 => "Official Twitter page".to_string(),
+                    _ => "The official account. International support".to_string(),
+                });
+                if rng.random::<f64>() < 0.45 {
+                    parts.push("For customer service follow us".into());
+                }
+                if rng.random::<f64>() < 0.3 {
+                    parts.push("Booking and support Monday to Friday".into());
+                }
+                if rng.random::<f64>() < 0.25 {
+                    parts.push("Report crime here".into());
+                }
+            }
+            UserCategory::Athlete => {
+                parts.push(match rng.random_range(0..4u8) {
+                    0 => "Professional rugby player".to_string(),
+                    1 => "Professional baseball player".to_string(),
+                    2 => "Olympic gold medalist".to_string(),
+                    _ => format!("Official Twitter of {name}"),
+                });
+                if rng.random::<f64>() < 0.45 {
+                    parts.push("Husband father and proud sport fan".into());
+                }
+            }
+            UserCategory::Musician => {
+                parts.push("Singer songwriter".into());
+                if rng.random::<f64>() < 0.5 {
+                    parts.push("New album out now".into());
+                }
+                if rng.random::<f64>() < 0.3 {
+                    parts.push(format!("Official Twitter of {name}"));
+                }
+                if rng.random::<f64>() < 0.25 {
+                    parts.push("Award winning artist".into());
+                }
+            }
+            UserCategory::Actor => {
+                parts.push(match rng.random_range(0..3u8) {
+                    0 => "Actor and producer".to_string(),
+                    1 => "Award winning actor".to_string(),
+                    _ => format!("Official Twitter page of {name}"),
+                });
+                if rng.random::<f64>() < 0.3 {
+                    parts.push("Emmy award winning performer".into());
+                }
+            }
+            UserCategory::Politician => {
+                parts.push(format!("Official account of {name}"));
+                if rng.random::<f64>() < 0.5 {
+                    parts.push(format!("Serving the people of {}", pick(rng, CITIES)));
+                }
+                if rng.random::<f64>() < 0.5 {
+                    parts.push("Opinions own. RTs not endorsements".into());
+                }
+            }
+            UserCategory::Executive => {
+                parts.push(match rng.random_range(0..3u8) {
+                    0 => "Co founder and CEO".to_string(),
+                    1 => "Co founder. Tech investor".to_string(),
+                    _ => "Co founder and co host of the weekly show".to_string(),
+                });
+                if rng.random::<f64>() < 0.4 {
+                    parts.push("Husband father builder".into());
+                }
+                if rng.random::<f64>() < 0.35 {
+                    parts.push("Opinions own".into());
+                }
+            }
+            UserCategory::Author => {
+                parts.push("Best selling author".to_string());
+                if rng.random::<f64>() < 0.4 {
+                    parts.push("Award winning journalist turned novelist".into());
+                }
+                if rng.random::<f64>() < 0.3 {
+                    parts.push("New book out now".into());
+                }
+            }
+            UserCategory::Influencer => {
+                parts.push(match rng.random_range(0..3u8) {
+                    0 => format!("Official Twitter of {name}"),
+                    1 => "Gay. Proud. Loud".to_string(),
+                    _ => format!("Just a person from {}", pick(rng, CITIES)),
+                });
+                if rng.random::<f64>() < 0.5 {
+                    parts.push("Instagram and Snapchat same handle".into());
+                }
+                if rng.random::<f64>() < 0.3 {
+                    parts.push("Booking: contact below".into());
+                }
+            }
+        }
+        // Cross-platform links appear across all categories (paper: the
+        // most frequent unigrams include Instagram, Facebook, Snapchat).
+        // Varied phrasings keep the unigrams frequent without minting a
+        // single dominant boilerplate bigram.
+        if rng.random::<f64>() < 0.10 {
+            parts.push(
+                match rng.random_range(0..4u8) {
+                    0 => "Instagram links below",
+                    1 => "Also on Facebook and Snapchat",
+                    2 => "Snapchat and Instagram same name",
+                    _ => "Find me on Facebook and Instagram",
+                }
+                .into(),
+            );
+        }
+        parts.join(". ")
+    }
+
+    /// Generate a corpus of `n` (category, bio) pairs.
+    pub fn generate_corpus<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        n: usize,
+    ) -> Vec<(UserCategory, String)> {
+        (0..n)
+            .map(|_| {
+                let cat = self.sample_category(rng);
+                (cat, self.generate(rng, cat))
+            })
+            .collect()
+    }
+}
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngrams::NgramCounter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn category_marginal_matches_weights() {
+        let g = BioGenerator::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let mut journo = 0usize;
+        for _ in 0..n {
+            if g.sample_category(&mut rng) == UserCategory::Journalist {
+                journo += 1;
+            }
+        }
+        let p = journo as f64 / n as f64;
+        assert!((p - 0.24).abs() < 0.01, "journalist share {p}");
+    }
+
+    #[test]
+    fn bios_are_nonempty_and_category_flavored() {
+        let g = BioGenerator::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let bio = g.generate(&mut rng, UserCategory::Musician);
+            assert!(bio.to_lowercase().contains("singer songwriter"), "bio={bio}");
+        }
+        let bio = g.generate(&mut rng, UserCategory::Author);
+        assert!(bio.to_lowercase().contains("best selling author"));
+    }
+
+    #[test]
+    fn corpus_reproducible_for_same_seed() {
+        let g = BioGenerator::new();
+        let a = g.generate_corpus(&mut StdRng::seed_from_u64(42), 50);
+        let b = g.generate_corpus(&mut StdRng::seed_from_u64(42), 50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mined_corpus_reproduces_paper_headliners() {
+        // The end-to-end check: generate a corpus, mine it, and verify the
+        // paper's headline n-grams surface at the top.
+        let g = BioGenerator::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counter = NgramCounter::new();
+        for (_, bio) in g.generate_corpus(&mut rng, 20_000) {
+            counter.add_document(&bio);
+        }
+        let bigrams = counter.top_k(2, 15);
+        assert_eq!(bigrams[0].ngram, "official twitter", "top bigram: {:?}", bigrams[0]);
+        let big_set: Vec<&str> = bigrams.iter().map(|b| b.ngram.as_str()).collect();
+        for expected in ["award winning", "follow us", "co founder", "breaking news"] {
+            assert!(big_set.contains(&expected), "missing bigram {expected}: {big_set:?}");
+        }
+        let trigrams = counter.top_k(3, 15);
+        assert_eq!(trigrams[0].ngram, "official twitter account");
+        let tri_set: Vec<&str> = trigrams.iter().map(|t| t.ngram.as_str()).collect();
+        for expected in ["official twitter page", "monday to friday"] {
+            assert!(tri_set.contains(&expected), "missing trigram {expected}: {tri_set:?}");
+        }
+        // Unigram cloud is journalism-heavy.
+        let unis = counter.top_k(1, 25);
+        let uni_set: Vec<&str> = unis.iter().map(|u| u.ngram.as_str()).collect();
+        assert!(uni_set.contains(&"official"));
+        assert!(uni_set.contains(&"news"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Bio-based user categorization.
+//!
+//! "Online User Characterization, User Categorization" are index terms of
+//! the paper; Section IV-E reads professional themes straight out of the
+//! bios ("Being a pre-eminent journalist in an English media outlet seems
+//! to be one of the surest ways to get verified"). This module implements
+//! the inverse task: assign a [`UserCategory`] to a bio from keyword
+//! evidence — usable on any corpus, and validated against the generator's
+//! ground-truth labels in `verified-net`'s category analysis.
+
+use crate::biogen::UserCategory;
+use crate::tokenize::tokenize;
+
+/// Keyword evidence for one category.
+struct Signature {
+    category: UserCategory,
+    /// Unigram cues (lowercase), each worth 1 vote.
+    cues: &'static [&'static str],
+    /// Bigram cues (space-joined), each worth 2 votes.
+    strong_cues: &'static [&'static str],
+}
+
+const SIGNATURES: &[Signature] = &[
+    Signature {
+        category: UserCategory::Journalist,
+        cues: &["journalist", "reporter", "editor", "anchor", "correspondent", "newsroom"],
+        strong_cues: &["breaking news", "managing editor", "editor in", "anchor reporter"],
+    },
+    Signature {
+        category: UserCategory::MediaOutlet,
+        cues: &["weather", "alerts", "traffic", "headlines"],
+        strong_cues: &["latest news", "weather alerts", "news first"],
+    },
+    Signature {
+        category: UserCategory::Brand,
+        cues: &["support", "booking", "international", "store", "brand"],
+        strong_cues: &["customer service", "official twitter", "official account", "report crime"],
+    },
+    Signature {
+        category: UserCategory::Athlete,
+        cues: &["rugby", "baseball", "olympic", "medalist", "athlete", "sport", "player"],
+        strong_cues: &["rugby player", "baseball player", "gold medalist"],
+    },
+    Signature {
+        category: UserCategory::Musician,
+        cues: &["singer", "songwriter", "album", "band", "musician", "artist"],
+        strong_cues: &["singer songwriter", "new album"],
+    },
+    Signature {
+        category: UserCategory::Actor,
+        cues: &["actor", "actress", "producer", "screenwriter", "performer"],
+        strong_cues: &["award winning actor"],
+    },
+    Signature {
+        category: UserCategory::Politician,
+        cues: &["senator", "minister", "mayor", "governor", "serving"],
+        strong_cues: &["serving the", "official account of"],
+    },
+    Signature {
+        category: UserCategory::Executive,
+        cues: &["founder", "ceo", "investor", "entrepreneur", "builder"],
+        strong_cues: &["co founder", "tech investor"],
+    },
+    Signature {
+        category: UserCategory::Author,
+        cues: &["author", "novelist", "writer", "book"],
+        strong_cues: &["selling author", "new book"],
+    },
+];
+
+/// Classify a bio into a [`UserCategory`] by keyword votes; ties go to the
+/// earlier signature (journalism first, matching the corpus prior), and a
+/// bio with no evidence lands in [`UserCategory::Influencer`].
+pub fn categorize_bio(bio: &str) -> UserCategory {
+    let tokens = tokenize(bio);
+    let joined = tokens.join(" ");
+    let mut best = (UserCategory::Influencer, 0usize);
+    for sig in SIGNATURES {
+        let mut votes = 0;
+        for cue in sig.cues {
+            votes += tokens.iter().filter(|t| t.as_str() == *cue).count();
+        }
+        for strong in sig.strong_cues {
+            votes += 2 * joined.matches(strong).count();
+        }
+        if votes > best.1 {
+            best = (sig.category, votes);
+        }
+    }
+    best.0
+}
+
+/// Distribution of categories over a corpus: `(category, count)` sorted by
+/// count descending.
+pub fn category_distribution<'a, I>(bios: I) -> Vec<(UserCategory, usize)>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut counts: std::collections::HashMap<UserCategory, usize> =
+        std::collections::HashMap::new();
+    for bio in bios {
+        *counts.entry(categorize_bio(bio)).or_insert(0) += 1;
+    }
+    let mut out: Vec<(UserCategory, usize)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.label().cmp(b.0.label())));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biogen::BioGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn obvious_bios_classified() {
+        assert_eq!(
+            categorize_bio("Award winning journalist. Breaking news and politics."),
+            UserCategory::Journalist
+        );
+        assert_eq!(categorize_bio("Singer songwriter. New album out now"), UserCategory::Musician);
+        assert_eq!(categorize_bio("Co founder and CEO"), UserCategory::Executive);
+        assert_eq!(
+            categorize_bio("Professional rugby player. Husband father"),
+            UserCategory::Athlete
+        );
+        assert_eq!(categorize_bio("Best selling author"), UserCategory::Author);
+    }
+
+    #[test]
+    fn empty_or_vague_bios_default_to_influencer() {
+        assert_eq!(categorize_bio(""), UserCategory::Influencer);
+        assert_eq!(categorize_bio("Just a person from London"), UserCategory::Influencer);
+    }
+
+    #[test]
+    fn recovers_generator_labels_better_than_chance() {
+        // Generate labelled bios and measure classification accuracy; must
+        // beat the majority-class baseline by a wide margin.
+        let g = BioGenerator::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        let corpus = g.generate_corpus(&mut rng, 4_000);
+        let correct = corpus
+            .iter()
+            .filter(|(truth, bio)| categorize_bio(bio) == *truth)
+            .count();
+        let accuracy = correct as f64 / corpus.len() as f64;
+        assert!(accuracy > 0.55, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn distribution_is_journalism_heavy_on_generated_corpus() {
+        let g = BioGenerator::new();
+        let mut rng = StdRng::seed_from_u64(79);
+        let corpus = g.generate_corpus(&mut rng, 5_000);
+        let dist = category_distribution(corpus.iter().map(|(_, b)| b.as_str()));
+        let total: usize = dist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 5_000);
+        // Journalists among the top categories (the paper's headline theme).
+        let top3: Vec<UserCategory> = dist.iter().take(3).map(|&(c, _)| c).collect();
+        assert!(
+            top3.contains(&UserCategory::Journalist),
+            "top categories: {:?}",
+            dist.iter().take(5).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # vnet-textmine
+//!
+//! Biography text mining for Section IV-E of *"Elites Tweet?"*
+//! (ICDE 2019): the paper extracts the most frequent unigrams, bigrams and
+//! trigrams from verified-user bios after filtering "n-grams constituted
+//! largely of non-informative words", producing Figure 4 (unigram word
+//! cloud) and Tables I & II (top bigrams / trigrams).
+//!
+//! Because the real bios are unobtainable (closed API, unreleased dataset),
+//! [`biogen`] synthesizes a bio corpus from a template grammar seeded with
+//! the paper's own reported n-gram themes — journalism, sport, music,
+//! brands, personal descriptors — so the *mining pipeline* (tokenise →
+//! stop-filter → count → rank) is exercised end-to-end and its output can
+//! be compared against the published tables.
+
+pub mod biogen;
+pub mod categorize;
+pub mod ngrams;
+pub mod stopwords;
+pub mod tokenize;
+pub mod wordcloud;
+
+pub use biogen::{BioGenerator, UserCategory};
+pub use categorize::{categorize_bio, category_distribution};
+pub use ngrams::{NgramCounter, RankedNgram};
+pub use stopwords::is_stopword;
+pub use tokenize::tokenize;
+pub use wordcloud::{wordcloud_weights, WordcloudEntry};

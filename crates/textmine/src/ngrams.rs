@@ -1,0 +1,174 @@
+//! N-gram counting, informativeness filtering and ranking.
+
+use crate::stopwords::is_stopword;
+use crate::tokenize::{display_ngram, tokenize};
+use std::collections::HashMap;
+
+/// A ranked n-gram with its corpus frequency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedNgram {
+    /// The n-gram, lowercase, space-joined.
+    pub ngram: String,
+    /// Display form ("official twitter account" → "Official Twitter
+    /// Account").
+    pub display: String,
+    /// Occurrence count across the corpus.
+    pub count: u64,
+}
+
+/// Streaming counter of unigrams, bigrams and trigrams over a bio corpus.
+#[derive(Debug, Default, Clone)]
+pub struct NgramCounter {
+    counts: [HashMap<String, u64>; 3],
+    docs: usize,
+}
+
+impl NgramCounter {
+    /// A fresh counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count all 1/2/3-grams of one bio. N-grams never cross bios.
+    pub fn add_document(&mut self, text: &str) {
+        let tokens = tokenize(text);
+        self.docs += 1;
+        for n in 1..=3usize {
+            if tokens.len() < n {
+                continue;
+            }
+            for window in tokens.windows(n) {
+                if !is_informative(window) {
+                    continue;
+                }
+                let key = window.join(" ");
+                *self.counts[n - 1].entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Documents processed.
+    pub fn documents(&self) -> usize {
+        self.docs
+    }
+
+    /// Distinct informative n-grams of order `n` (1, 2 or 3).
+    pub fn distinct(&self, n: usize) -> usize {
+        assert!((1..=3).contains(&n), "n must be 1, 2 or 3");
+        self.counts[n - 1].len()
+    }
+
+    /// Count of one specific (lowercase) n-gram.
+    pub fn count_of(&self, ngram: &str) -> u64 {
+        let n = ngram.split(' ').count();
+        if !(1..=3).contains(&n) {
+            return 0;
+        }
+        self.counts[n - 1].get(ngram).copied().unwrap_or(0)
+    }
+
+    /// The `k` most frequent n-grams of order `n`, ties broken
+    /// lexicographically (deterministic output for the tables).
+    pub fn top_k(&self, n: usize, k: usize) -> Vec<RankedNgram> {
+        assert!((1..=3).contains(&n), "n must be 1, 2 or 3");
+        let mut entries: Vec<(&String, &u64)> = self.counts[n - 1].iter().collect();
+        entries.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        entries
+            .into_iter()
+            .take(k)
+            .map(|(g, &c)| RankedNgram { ngram: g.clone(), display: display_ngram(g), count: c })
+            .collect()
+    }
+}
+
+/// The paper's informativeness rule, made precise: an n-gram is kept when
+/// its stop-word tokens number at most `floor(n/2)` — so unigrams must be
+/// content words, while "Follow Us" (1 stopword of 2) and "Monday to
+/// Friday" (1 of 3) survive but "of the" and "to be or" do not. Tokens of
+/// one letter are treated as non-informative regardless.
+pub fn is_informative(window: &[String]) -> bool {
+    let n = window.len();
+    let stops = window.iter().filter(|w| is_stopword(w) || w.len() <= 1).count();
+    stops <= n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_of(docs: &[&str]) -> NgramCounter {
+        let mut c = NgramCounter::new();
+        for d in docs {
+            c.add_document(d);
+        }
+        c
+    }
+
+    #[test]
+    fn unigram_counts_filter_stopwords() {
+        let c = counter_of(&["the official account", "official news of the day"]);
+        assert_eq!(c.count_of("official"), 2);
+        assert_eq!(c.count_of("the"), 0); // stopword filtered
+        assert_eq!(c.count_of("news"), 1);
+    }
+
+    #[test]
+    fn bigram_rule_allows_one_stopword() {
+        let c = counter_of(&["follow us for breaking news"]);
+        assert_eq!(c.count_of("follow us"), 1);
+        assert_eq!(c.count_of("breaking news"), 1);
+        assert_eq!(c.count_of("us for"), 0); // 2 stopwords
+        assert_eq!(c.count_of("for breaking"), 1); // 1 of 2: kept
+    }
+
+    #[test]
+    fn trigram_rule() {
+        let c = counter_of(&["monday to friday", "to be or"]);
+        assert_eq!(c.count_of("monday to friday"), 1);
+        assert_eq!(c.count_of("to be or"), 0);
+    }
+
+    #[test]
+    fn ngrams_do_not_cross_documents() {
+        let c = counter_of(&["official twitter", "account manager"]);
+        assert_eq!(c.count_of("twitter account"), 0);
+    }
+
+    #[test]
+    fn top_k_orders_by_count_then_lexicographic() {
+        let c = counter_of(&[
+            "official twitter account",
+            "official twitter page",
+            "official twitter account",
+        ]);
+        let top = c.top_k(2, 2);
+        assert_eq!(top[0].ngram, "official twitter");
+        assert_eq!(top[0].count, 3);
+        assert_eq!(top[0].display, "Official Twitter");
+        assert_eq!(top[1].ngram, "twitter account");
+        assert_eq!(top[1].count, 2);
+    }
+
+    #[test]
+    fn top_k_handles_small_k_and_empty() {
+        let c = counter_of(&[]);
+        assert!(c.top_k(1, 5).is_empty());
+        let c = counter_of(&["hello world"]);
+        assert_eq!(c.top_k(2, 100).len(), 1);
+    }
+
+    #[test]
+    fn document_and_distinct_counts() {
+        let c = counter_of(&["singer songwriter", "award winning singer"]);
+        assert_eq!(c.documents(), 2);
+        assert_eq!(c.distinct(1), 4); // singer, songwriter, award, winning
+        assert_eq!(c.count_of("singer"), 2);
+    }
+
+    #[test]
+    fn single_letter_tokens_non_informative() {
+        let informative = is_informative(&["x".to_string(), "factor".to_string()]);
+        assert!(informative); // 1 of 2 non-informative: allowed in bigram
+        assert!(!is_informative(&["x".to_string()]));
+    }
+}

@@ -1,0 +1,67 @@
+//! English stop-word list for the "non-informative word" filter.
+//!
+//! The paper "filter[s] out n-grams constituted largely of non-informative
+//! words". This is the classic English function-word list used by that
+//! style of filter; note that content-bearing bio words the paper's tables
+//! keep ("official", "own", "us" in "Follow Us") are judged by the n-gram
+//! rule in [`crate::ngrams`], not by this list alone.
+
+/// Sorted list of stop words (binary-searchable).
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "can't", "cannot", "could", "couldn't", "did", "didn't", "do", "does",
+    "doesn't", "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had",
+    "hadn't", "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her",
+    "here", "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i", "i'd",
+    "i'll", "i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself",
+    "let's", "me", "more", "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "same", "shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't", "so",
+    "some", "such", "than", "that", "that's", "the", "their", "theirs", "them", "themselves",
+    "then", "there", "there's", "these", "they", "they'd", "they'll", "they're", "they've",
+    "this", "those", "through", "to", "too", "under", "until", "up", "us", "very", "was",
+    "wasn't", "we", "we'd", "we'll", "we're", "we've", "were", "weren't", "what", "what's",
+    "when", "when's", "where", "where's", "which", "while", "who", "who's", "whom", "why",
+    "why's", "with", "won't", "would", "wouldn't", "you", "you'd", "you'll", "you're", "you've",
+    "your", "yours", "yourself", "yourselves",
+];
+
+/// `true` if `word` (already lowercase) is an English function word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduped() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "stopword list unsorted near {:?}", w);
+        }
+    }
+
+    #[test]
+    fn common_words_flagged() {
+        for w in ["the", "and", "of", "to", "i'm", "you're", "us"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["official", "twitter", "journalist", "award", "winning", "rugby", "husband"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn own_is_stopword_but_survives_bigram_rule() {
+        // "Opinions Own" appears in the paper's Table I; "own" alone is a
+        // function word but the n-gram rule (≤ floor(n/2) stopwords)
+        // lets the bigram through.
+        assert!(is_stopword("own"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Bio tokenizer.
+//!
+//! Twitter bios are short, punctuation-heavy and full of handles, hashtags
+//! and URLs. The tokenizer lowercases, strips URLs and emoji, keeps
+//! alphabetic tokens (with internal apostrophes), and drops pure numbers —
+//! matching the preprocessing that makes "Official Twitter Account" the top
+//! trigram rather than "http t co".
+
+/// Tokenize a bio into lowercase word tokens.
+///
+/// Rules:
+/// * `http`/`https`/`www` URL fragments are removed entirely;
+/// * `@handles` and `#hashtags` are kept without their sigil (they carry
+///   the cross-linking signal the paper notes: "Instagram", "Snapchat");
+/// * alphabetic runs with internal apostrophes/hyphens are single tokens;
+/// * standalone numbers and emoji are dropped.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for raw in text.split_whitespace() {
+        let lower = raw.to_lowercase();
+        if lower.starts_with("http") || lower.starts_with("www.") {
+            continue;
+        }
+        let mut current = String::new();
+        for ch in lower.chars() {
+            if ch.is_alphabetic() {
+                current.push(ch);
+            } else if (ch == '\'' || ch == '-') && !current.is_empty() {
+                // Internal punctuation: keep only between letters; a
+                // trailing one is trimmed below.
+                current.push(ch);
+            } else if !current.is_empty() {
+                flush(&mut tokens, &mut current);
+            }
+        }
+        flush(&mut tokens, &mut current);
+    }
+    tokens
+}
+
+fn flush(tokens: &mut Vec<String>, current: &mut String) {
+    while current.ends_with('\'') || current.ends_with('-') {
+        current.pop();
+    }
+    if !current.is_empty() {
+        tokens.push(std::mem::take(current));
+    }
+}
+
+/// Title-case a (lowercase) n-gram for display, the way the paper prints
+/// "Official Twitter Account". Short connectives stay lowercase except in
+/// first position ("Monday to Friday", "Editor in Chief").
+pub fn display_ngram(ngram: &str) -> String {
+    ngram
+        .split(' ')
+        .enumerate()
+        .map(|(i, w)| {
+            if i > 0 && matches!(w, "to" | "in" | "of" | "for" | "the" | "and" | "a" | "at") {
+                w.to_string()
+            } else {
+                let mut c = w.chars();
+                match c.next() {
+                    Some(first) => first.to_uppercase().collect::<String>() + c.as_str(),
+                    None => String::new(),
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(
+            tokenize("Award winning journalist. Opinions my own!"),
+            vec!["award", "winning", "journalist", "opinions", "my", "own"]
+        );
+    }
+
+    #[test]
+    fn urls_removed() {
+        assert_eq!(
+            tokenize("Booking: https://example.com/x www.site.org contact"),
+            vec!["booking", "contact"]
+        );
+    }
+
+    #[test]
+    fn handles_and_hashtags_keep_word() {
+        assert_eq!(tokenize("@NYTimes #Breaking news"), vec!["nytimes", "breaking", "news"]);
+    }
+
+    #[test]
+    fn numbers_and_emoji_dropped() {
+        assert_eq!(tokenize("Est. 1998 🏆 winner x2"), vec!["est", "winner", "x"]);
+    }
+
+    #[test]
+    fn apostrophes_and_hyphens_internal() {
+        assert_eq!(tokenize("world's co-founder rock'n'roll"), vec![
+            "world's",
+            "co-founder",
+            "rock'n'roll"
+        ]);
+    }
+
+    #[test]
+    fn trailing_punct_trimmed() {
+        assert_eq!(tokenize("singer- writer'"), vec!["singer", "writer"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+        assert!(tokenize("123 456 !!!").is_empty());
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(display_ngram("official twitter account"), "Official Twitter Account");
+        assert_eq!(display_ngram("monday to friday"), "Monday to Friday");
+        assert_eq!(display_ngram("editor in chief"), "Editor in Chief");
+        assert_eq!(display_ngram("to be fair"), "To Be Fair");
+    }
+}

@@ -1,0 +1,91 @@
+//! Word-cloud weights for Figure 4.
+//!
+//! A word cloud is just a top-k unigram list with counts mapped to font
+//! sizes; this module computes those weights so the `repro` harness can
+//! print the Figure-4 panel as a ranked, weighted list.
+
+use crate::ngrams::NgramCounter;
+
+/// One word-cloud entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordcloudEntry {
+    /// The word (lowercase).
+    pub word: String,
+    /// Raw corpus count.
+    pub count: u64,
+    /// Relative weight in `(0, 1]` (1 for the most frequent word).
+    pub weight: f64,
+    /// Suggested font size in points, `min_pt + weight^0.7 (max_pt −
+    /// min_pt)` — the sublinear exponent mimics the typical cloud layout
+    /// where mid-frequency words stay legible.
+    pub font_pt: f64,
+}
+
+/// Compute word-cloud weights for the `k` most frequent unigrams.
+pub fn wordcloud_weights(counter: &NgramCounter, k: usize, min_pt: f64, max_pt: f64) -> Vec<WordcloudEntry> {
+    assert!(max_pt >= min_pt, "font range inverted");
+    let top = counter.top_k(1, k);
+    let max_count = top.first().map(|e| e.count).unwrap_or(0);
+    if max_count == 0 {
+        return Vec::new();
+    }
+    top.into_iter()
+        .map(|e| {
+            let weight = e.count as f64 / max_count as f64;
+            WordcloudEntry {
+                word: e.ngram,
+                count: e.count,
+                weight,
+                font_pt: min_pt + weight.powf(0.7) * (max_pt - min_pt),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter() -> NgramCounter {
+        let mut c = NgramCounter::new();
+        for _ in 0..10 {
+            c.add_document("journalist");
+        }
+        for _ in 0..5 {
+            c.add_document("producer");
+        }
+        c.add_document("founder");
+        c
+    }
+
+    #[test]
+    fn weights_normalized_to_leader() {
+        let w = wordcloud_weights(&counter(), 10, 8.0, 40.0);
+        assert_eq!(w[0].word, "journalist");
+        assert_eq!(w[0].weight, 1.0);
+        assert_eq!(w[0].font_pt, 40.0);
+        assert_eq!(w[1].word, "producer");
+        assert!((w[1].weight - 0.5).abs() < 1e-12);
+        assert!(w[1].font_pt < 40.0 && w[1].font_pt > 8.0);
+    }
+
+    #[test]
+    fn font_sizes_monotone_in_count() {
+        let w = wordcloud_weights(&counter(), 10, 8.0, 40.0);
+        for pair in w.windows(2) {
+            assert!(pair[0].font_pt >= pair[1].font_pt);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_empty_cloud() {
+        let c = NgramCounter::new();
+        assert!(wordcloud_weights(&c, 10, 8.0, 40.0).is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let w = wordcloud_weights(&counter(), 2, 8.0, 40.0);
+        assert_eq!(w.len(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Sample autocorrelation function.
+
+use crate::{Result, TsError};
+
+/// Sample autocorrelations `ρ_1 .. ρ_max_lag` of `series` (biased
+/// denominator-n estimator, the standard choice inside portmanteau
+/// statistics).
+pub fn autocorrelation(series: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    let n = series.len();
+    if max_lag == 0 {
+        return Err(TsError::InvalidParameter("max_lag must be >= 1"));
+    }
+    if n < max_lag + 2 {
+        return Err(TsError::TooShort { needed: max_lag + 2, got: n });
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let denom: f64 = series.iter().map(|&x| (x - mean) * (x - mean)).sum();
+    if denom == 0.0 {
+        return Err(TsError::InvalidParameter("constant series"));
+    }
+    let mut rho = Vec::with_capacity(max_lag);
+    for k in 1..=max_lag {
+        let num: f64 = (k..n).map(|t| (series[t] - mean) * (series[t - k] - mean)).sum();
+        rho.push(num / denom);
+    }
+    Ok(rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn white_noise_has_tiny_acf() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let series: Vec<f64> = (0..5_000).map(|_| rng.random::<f64>() - 0.5).collect();
+        let rho = autocorrelation(&series, 20).unwrap();
+        for (k, &r) in rho.iter().enumerate() {
+            assert!(r.abs() < 0.05, "lag {}: rho={r}", k + 1);
+        }
+    }
+
+    #[test]
+    fn ar1_acf_decays_geometrically() {
+        // AR(1) with φ=0.8: ρ_k ≈ 0.8^k.
+        let mut rng = StdRng::seed_from_u64(73);
+        let mut x = 0.0f64;
+        let series: Vec<f64> = (0..20_000)
+            .map(|_| {
+                x = 0.8 * x + vnet_stats::dist::sample_standard_normal(&mut rng);
+                x
+            })
+            .collect();
+        let rho = autocorrelation(&series, 5).unwrap();
+        for (k, &r) in rho.iter().enumerate() {
+            let expect = 0.8f64.powi(k as i32 + 1);
+            assert!((r - expect).abs() < 0.05, "lag {}: {r} vs {expect}", k + 1);
+        }
+    }
+
+    #[test]
+    fn periodic_series_peaks_at_period() {
+        let series: Vec<f64> = (0..700)
+            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 7.0).sin())
+            .collect();
+        let rho = autocorrelation(&series, 14).unwrap();
+        assert!(rho[6] > 0.95, "lag-7 autocorrelation should be ~1, got {}", rho[6]);
+        assert!(rho[2] < 0.0, "lag-3 should be negative for period 7");
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_err());
+        assert!(autocorrelation(&[3.0; 50], 5).is_err());
+        assert!(autocorrelation(&[1.0, 2.0, 3.0, 4.0], 0).is_err());
+    }
+}

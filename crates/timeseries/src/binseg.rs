@@ -1,0 +1,158 @@
+//! Binary segmentation — the classical change-point baseline PELT was
+//! built to beat (Killick et al. 2012 benchmark against it).
+//!
+//! Greedy: find the single split that most reduces the Gaussian
+//! mean+variance cost, recurse on both halves while the penalized gain is
+//! positive. Approximate (greedy splits need not be globally optimal) but
+//! `O(n log n)`-ish; kept as the ablation comparator for PELT in the
+//! `ablation_changepoint_method` bench.
+
+use crate::{Result, TsError};
+
+/// Result of binary segmentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinSegResult {
+    /// Detected change-points (segment start indices), ascending.
+    pub changepoints: Vec<usize>,
+    /// Penalty used.
+    pub penalty: f64,
+}
+
+struct Cost {
+    prefix: Vec<f64>,
+    prefix_sq: Vec<f64>,
+}
+
+impl Cost {
+    fn new(series: &[f64]) -> Self {
+        let mut prefix = vec![0.0];
+        let mut prefix_sq = vec![0.0];
+        let (mut s, mut s2) = (0.0, 0.0);
+        for &x in series {
+            s += x;
+            s2 += x * x;
+            prefix.push(s);
+            prefix_sq.push(s2);
+        }
+        Self { prefix, prefix_sq }
+    }
+
+    fn segment(&self, a: usize, b: usize) -> f64 {
+        let n = (b - a) as f64;
+        let sum = self.prefix[b] - self.prefix[a];
+        let sum_sq = self.prefix_sq[b] - self.prefix_sq[a];
+        let var = (sum_sq / n - (sum / n) * (sum / n)).max(1e-12);
+        n * ((2.0 * std::f64::consts::PI).ln() + var.ln() + 1.0)
+    }
+}
+
+/// Greedy binary segmentation with Gaussian mean+variance cost, penalty
+/// per change-point, and minimum segment length `min_seg` (>= 2).
+pub fn binary_segmentation(
+    series: &[f64],
+    penalty: f64,
+    min_seg: usize,
+) -> Result<BinSegResult> {
+    if min_seg < 2 {
+        return Err(TsError::InvalidParameter("min_seg must be >= 2"));
+    }
+    if series.len() < 2 * min_seg {
+        return Err(TsError::TooShort { needed: 2 * min_seg, got: series.len() });
+    }
+    if penalty < 0.0 || !penalty.is_finite() {
+        return Err(TsError::InvalidParameter("penalty must be finite and >= 0"));
+    }
+    let cost = Cost::new(series);
+    let mut cps: Vec<usize> = Vec::new();
+    let mut queue: Vec<(usize, usize)> = vec![(0, series.len())];
+    while let Some((a, b)) = queue.pop() {
+        if b - a < 2 * min_seg {
+            continue;
+        }
+        let whole = cost.segment(a, b);
+        let mut best: Option<(f64, usize)> = None;
+        for t in (a + min_seg)..=(b - min_seg) {
+            let split = cost.segment(a, t) + cost.segment(t, b);
+            let gain = whole - split - penalty;
+            if gain > 0.0 && best.map_or(true, |(g, _)| gain > g) {
+                best = Some((gain, t));
+            }
+        }
+        if let Some((_, t)) = best {
+            cps.push(t);
+            queue.push((a, t));
+            queue.push((t, b));
+        }
+    }
+    cps.sort_unstable();
+    Ok(BinSegResult { changepoints: cps, penalty })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pelt::pelt;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vnet_stats::dist::sample_standard_normal;
+
+    fn two_step_series(seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Vec::with_capacity(300);
+        for seg in 0..3 {
+            let mu = [0.0, 7.0, -4.0][seg];
+            for _ in 0..100 {
+                s.push(mu + sample_standard_normal(&mut rng));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn finds_clear_mean_shifts() {
+        let s = two_step_series(21);
+        let r = binary_segmentation(&s, 3.0 * (300.0f64).ln(), 5).unwrap();
+        assert_eq!(r.changepoints.len(), 2, "cps={:?}", r.changepoints);
+        assert!(r.changepoints[0].abs_diff(100) <= 3);
+        assert!(r.changepoints[1].abs_diff(200) <= 3);
+    }
+
+    #[test]
+    fn agrees_with_pelt_on_well_separated_shifts() {
+        let s = two_step_series(23);
+        let penalty = 3.0 * (300.0f64).ln();
+        let bs = binary_segmentation(&s, penalty, 5).unwrap();
+        let p = pelt(&s, penalty).unwrap();
+        assert_eq!(bs.changepoints.len(), p.changepoints.len());
+        for (a, b) in bs.changepoints.iter().zip(&p.changepoints) {
+            assert!(a.abs_diff(*b) <= 2, "binseg {a} vs pelt {b}");
+        }
+    }
+
+    #[test]
+    fn noise_only_yields_nothing() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let s: Vec<f64> = (0..400).map(|_| sample_standard_normal(&mut rng)).collect();
+        let r = binary_segmentation(&s, 4.0 * (400.0f64).ln(), 5).unwrap();
+        assert!(r.changepoints.len() <= 1, "cps={:?}", r.changepoints);
+    }
+
+    #[test]
+    fn respects_min_segment() {
+        let s = two_step_series(31);
+        let r = binary_segmentation(&s, 5.0, 40).unwrap();
+        let mut bounds = vec![0];
+        bounds.extend(&r.changepoints);
+        bounds.push(s.len());
+        for w in bounds.windows(2) {
+            assert!(w[1] - w[0] >= 40, "segment too short: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(binary_segmentation(&[1.0; 5], 1.0, 5).is_err());
+        assert!(binary_segmentation(&[1.0; 50], -1.0, 5).is_err());
+        assert!(binary_segmentation(&[1.0; 50], 1.0, 1).is_err());
+    }
+}

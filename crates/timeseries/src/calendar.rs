@@ -1,0 +1,270 @@
+//! Civil-date arithmetic and calendar-heatmap aggregation (Figure 6).
+//!
+//! The paper presents "calendar maps for verified user tweet activity
+//! levels over our one-year collection period" — a month × weekday grid of
+//! daily totals. This module provides a minimal proleptic-Gregorian date
+//! type (days-since-epoch arithmetic after Howard Hinnant's algorithms)
+//! and the heatmap aggregation itself; no external chrono dependency.
+
+use serde::{Deserialize, Serialize};
+
+/// A proleptic Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// Year (e.g. 2017).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day of month, 1–31.
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date; panics if the combination is invalid.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!(day >= 1 && day <= days_in_month(year, month), "day out of range");
+        Self { year, month, day }
+    }
+
+    /// Days since the civil epoch 1970-01-01 (negative before it).
+    pub fn to_epoch_days(self) -> i64 {
+        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Date::to_epoch_days`].
+    pub fn from_epoch_days(days: i64) -> Self {
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8;
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8;
+        Date { year: (if m <= 2 { y + 1 } else { y }) as i32, month: m, day: d }
+    }
+
+    /// Weekday with Monday = 0 … Sunday = 6 (ISO).
+    pub fn weekday(self) -> u8 {
+        // 1970-01-01 was a Thursday (ISO index 3).
+        (self.to_epoch_days().rem_euclid(7) as u8 + 3) % 7
+    }
+
+    /// The date `n` days later (or earlier for negative `n`).
+    pub fn plus_days(self, n: i64) -> Date {
+        Date::from_epoch_days(self.to_epoch_days() + n)
+    }
+
+    /// Iterate `count` consecutive dates starting here.
+    pub fn iter_days(self, count: usize) -> impl Iterator<Item = Date> {
+        let start = self.to_epoch_days();
+        (0..count as i64).map(move |i| Date::from_epoch_days(start + i))
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Days in a month, honoring Gregorian leap years.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Gregorian leap-year predicate.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// One cell of the calendar heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HeatmapCell {
+    /// The date of the cell.
+    pub date: Date,
+    /// ISO weekday (Mon=0 … Sun=6) — the heatmap row.
+    pub weekday: u8,
+    /// Week column index counted from the series start.
+    pub week: u32,
+    /// The day's value.
+    pub value: f64,
+}
+
+/// A calendar heatmap: daily values laid out week-by-week (Figure 6).
+#[derive(Debug, Clone, Serialize)]
+pub struct CalendarHeatmap {
+    /// All cells in chronological order.
+    pub cells: Vec<HeatmapCell>,
+    /// First date of the series.
+    pub start: Date,
+}
+
+impl CalendarHeatmap {
+    /// Lay out `values[i]` at `start + i` days.
+    pub fn new(start: Date, values: &[f64]) -> Self {
+        let first_weekday = start.weekday() as u32;
+        let cells = start
+            .iter_days(values.len())
+            .enumerate()
+            .map(|(i, date)| HeatmapCell {
+                date,
+                weekday: date.weekday(),
+                week: (i as u32 + first_weekday) / 7,
+                value: values[i],
+            })
+            .collect();
+        Self { cells, start }
+    }
+
+    /// Mean value per ISO weekday (the paper's "activity rates on Sundays
+    /// are reliably lower than those on weekdays").
+    pub fn weekday_means(&self) -> [f64; 7] {
+        let mut sums = [0.0f64; 7];
+        let mut counts = [0u32; 7];
+        for c in &self.cells {
+            sums[c.weekday as usize] += c.value;
+            counts[c.weekday as usize] += 1;
+        }
+        let mut out = [0.0; 7];
+        for i in 0..7 {
+            out[i] = if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 };
+        }
+        out
+    }
+
+    /// Total value per `(year, month)` in chronological order.
+    pub fn monthly_totals(&self) -> Vec<((i32, u8), f64)> {
+        let mut out: Vec<((i32, u8), f64)> = Vec::new();
+        for c in &self.cells {
+            let key = (c.date.year, c.date.month);
+            match out.last_mut() {
+                Some((k, v)) if *k == key => *v += c.value,
+                _ => out.push((key, c.value)),
+            }
+        }
+        out
+    }
+
+    /// The `k` lowest-valued cells (e.g. the Christmas dip days).
+    pub fn lowest_days(&self, k: usize) -> Vec<&HeatmapCell> {
+        let mut refs: Vec<&HeatmapCell> = self.cells.iter().collect();
+        refs.sort_by(|a, b| a.value.partial_cmp(&b.value).expect("NaN heat value"));
+        refs.truncate(k);
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        for &(y, m, d) in
+            &[(1970, 1, 1), (2000, 2, 29), (2017, 6, 1), (2018, 5, 31), (1899, 12, 31)]
+        {
+            let date = Date::new(y, m, d);
+            assert_eq!(Date::from_epoch_days(date.to_epoch_days()), date);
+        }
+        assert_eq!(Date::new(1970, 1, 1).to_epoch_days(), 0);
+    }
+
+    #[test]
+    fn known_weekdays() {
+        // 2017-06-01 was a Thursday; 2017-12-25 a Monday; 2018-04-01 a Sunday.
+        assert_eq!(Date::new(2017, 6, 1).weekday(), 3);
+        assert_eq!(Date::new(2017, 12, 25).weekday(), 0);
+        assert_eq!(Date::new(2018, 4, 1).weekday(), 6);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2016));
+        assert!(!is_leap(2017));
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2017, 2), 28);
+    }
+
+    #[test]
+    fn plus_days_across_year_boundary() {
+        let d = Date::new(2017, 12, 30).plus_days(3);
+        assert_eq!(d, Date::new(2018, 1, 2));
+        let back = d.plus_days(-3);
+        assert_eq!(back, Date::new(2017, 12, 30));
+    }
+
+    #[test]
+    fn paper_collection_period_is_365_days() {
+        // June 2017 through May 2018 inclusive.
+        let start = Date::new(2017, 6, 1);
+        let end = Date::new(2018, 5, 31);
+        assert_eq!(end.to_epoch_days() - start.to_epoch_days() + 1, 365);
+    }
+
+    #[test]
+    fn heatmap_layout() {
+        // Start on a Thursday: first week column holds 4 cells (Thu-Sun).
+        let start = Date::new(2017, 6, 1);
+        let values: Vec<f64> = (0..14).map(|i| i as f64).collect();
+        let hm = CalendarHeatmap::new(start, &values);
+        assert_eq!(hm.cells.len(), 14);
+        assert_eq!(hm.cells[0].weekday, 3);
+        assert_eq!(hm.cells[0].week, 0);
+        // Next Monday (2017-06-05, index 4) starts week 1.
+        assert_eq!(hm.cells[4].weekday, 0);
+        assert_eq!(hm.cells[4].week, 1);
+    }
+
+    #[test]
+    fn weekday_means_detect_sunday_dip() {
+        let start = Date::new(2017, 6, 5); // a Monday
+        let values: Vec<f64> =
+            (0..70).map(|i| if i % 7 == 6 { 10.0 } else { 100.0 }).collect();
+        let hm = CalendarHeatmap::new(start, &values);
+        let means = hm.weekday_means();
+        assert!((means[6] - 10.0).abs() < 1e-12);
+        for wd in 0..6 {
+            assert!((means[wd] - 100.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn monthly_totals_and_lowest_days() {
+        let start = Date::new(2017, 12, 30);
+        let values = [5.0, 4.0, 1.0, 8.0]; // Dec 30, 31; Jan 1, 2
+        let hm = CalendarHeatmap::new(start, &values);
+        let months = hm.monthly_totals();
+        assert_eq!(months, vec![((2017, 12), 9.0), ((2018, 1), 9.0)]);
+        let lows = hm.lowest_days(1);
+        assert_eq!(lows[0].date, Date::new(2018, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn invalid_date_rejected() {
+        Date::new(2017, 2, 29);
+    }
+}

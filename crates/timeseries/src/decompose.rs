@@ -1,0 +1,166 @@
+//! Classical seasonal decomposition (moving-average trend + periodic
+//! seasonal + remainder) — an STL-lite for the activity diagnostics.
+//!
+//! The Section-V extension analyses use it to quantify how much of the
+//! activity variance the weekly cycle explains (the "seasonal strength" of
+//! Wang, Smith & Hyndman 2006) and to hand a clean remainder to
+//! diagnostics that assume no seasonality.
+
+use crate::{Result, TsError};
+
+/// A decomposition `series = trend + seasonal + remainder`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Centered moving-average trend (edges extended by nearest value).
+    pub trend: Vec<f64>,
+    /// Periodic seasonal component (zero mean over one period).
+    pub seasonal: Vec<f64>,
+    /// What's left.
+    pub remainder: Vec<f64>,
+    /// Period used.
+    pub period: usize,
+}
+
+impl Decomposition {
+    /// Seasonal strength `max(0, 1 − Var(remainder)/Var(seasonal +
+    /// remainder))` in `[0, 1]`.
+    pub fn seasonal_strength(&self) -> f64 {
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        let detrended: Vec<f64> =
+            self.seasonal.iter().zip(&self.remainder).map(|(&s, &r)| s + r).collect();
+        let vd = var(&detrended);
+        if vd <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - var(&self.remainder) / vd).max(0.0)
+    }
+}
+
+/// Additive classical decomposition with period `p`.
+pub fn decompose_additive(series: &[f64], period: usize) -> Result<Decomposition> {
+    if period < 2 {
+        return Err(TsError::InvalidParameter("period must be >= 2"));
+    }
+    let n = series.len();
+    if n < 3 * period {
+        return Err(TsError::TooShort { needed: 3 * period, got: n });
+    }
+
+    // Centered moving average of window `period` (even periods use the
+    // classical 2×p average).
+    let trend = centered_moving_average(series, period);
+
+    // Seasonal: mean detrended value per phase, re-centered to zero mean.
+    let mut phase_sum = vec![0.0f64; period];
+    let mut phase_n = vec![0u32; period];
+    for t in 0..n {
+        let d = series[t] - trend[t];
+        phase_sum[t % period] += d;
+        phase_n[t % period] += 1;
+    }
+    let mut phase_mean: Vec<f64> =
+        (0..period).map(|k| phase_sum[k] / phase_n[k].max(1) as f64).collect();
+    let grand = phase_mean.iter().sum::<f64>() / period as f64;
+    for m in &mut phase_mean {
+        *m -= grand;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|t| phase_mean[t % period]).collect();
+    let remainder: Vec<f64> =
+        (0..n).map(|t| series[t] - trend[t] - seasonal[t]).collect();
+    Ok(Decomposition { trend, seasonal, remainder, period })
+}
+
+fn centered_moving_average(series: &[f64], period: usize) -> Vec<f64> {
+    let n = series.len();
+    let half = period / 2;
+    let mut out = vec![0.0f64; n];
+    for t in 0..n {
+        let lo = t.saturating_sub(half);
+        let hi = (t + half).min(n - 1);
+        // For even periods weight the endpoints by 1/2 (2×p MA) when the
+        // full window is available; fall back to a plain mean at edges.
+        if period % 2 == 0 && t >= half && t + half < n {
+            let mut acc = 0.5 * series[t - half] + 0.5 * series[t + half];
+            for u in (t - half + 1)..(t + half) {
+                acc += series[u];
+            }
+            out[t] = acc / period as f64;
+        } else {
+            let w = &series[lo..=hi];
+            out[t] = w.iter().sum::<f64>() / w.len() as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weekly_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|t| 100.0 + 0.05 * t as f64 + if t % 7 == 6 { -20.0 } else { 3.0 })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_weekly_pattern() {
+        let s = weekly_series(140);
+        let d = decompose_additive(&s, 7).unwrap();
+        // Sunday phase (t % 7 == 6) should be strongly negative.
+        let sunday = d.seasonal[6];
+        let monday = d.seasonal[0];
+        assert!(sunday < -15.0, "sunday seasonal {sunday}");
+        assert!(monday > 0.0, "monday seasonal {monday}");
+        // Seasonal repeats with period 7.
+        for t in 0..133 {
+            assert!((d.seasonal[t] - d.seasonal[t + 7]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn seasonal_component_zero_mean() {
+        let s = weekly_series(140);
+        let d = decompose_additive(&s, 7).unwrap();
+        let m: f64 = d.seasonal[..7].iter().sum();
+        assert!(m.abs() < 1e-9);
+    }
+
+    #[test]
+    fn components_sum_to_series() {
+        let s = weekly_series(105);
+        let d = decompose_additive(&s, 7).unwrap();
+        for t in 0..s.len() {
+            let recon = d.trend[t] + d.seasonal[t] + d.remainder[t];
+            assert!((recon - s[t]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seasonal_strength_ordering() {
+        // Strong weekly pattern → strength near 1; pure trend → near 0.
+        let strong = decompose_additive(&weekly_series(140), 7).unwrap();
+        assert!(strong.seasonal_strength() > 0.9, "{}", strong.seasonal_strength());
+        let flat: Vec<f64> = (0..140).map(|t| (t as f64 * 0.7).sin() * 0.001 + t as f64).collect();
+        let weak = decompose_additive(&flat, 7).unwrap();
+        assert!(weak.seasonal_strength() < 0.4, "{}", weak.seasonal_strength());
+    }
+
+    #[test]
+    fn trend_tracks_drift() {
+        let s = weekly_series(140);
+        let d = decompose_additive(&s, 7).unwrap();
+        // 0.05/day drift: trend at the end exceeds trend at the start.
+        assert!(d.trend[130] > d.trend[10] + 4.0);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(decompose_additive(&[1.0; 10], 1).is_err());
+        assert!(decompose_additive(&[1.0; 10], 7).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! KPSS stationarity test (Kwiatkowski–Phillips–Schmidt–Shin 1992).
+//!
+//! The standard companion to the ADF test the paper runs: ADF's null is a
+//! unit root (rejection ⇒ stationary), KPSS's null is stationarity
+//! (rejection ⇒ unit root). Concluding stationarity is most convincing
+//! when ADF rejects *and* KPSS does not — the confirmatory protocol this
+//! workspace's activity analysis extension uses on the verified-user
+//! series.
+
+use crate::{Result, TsError};
+use vnet_stats::{Mat, Ols};
+
+/// Deterministic component under the KPSS null.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KpssRegression {
+    /// Level-stationarity (constant mean).
+    Constant,
+    /// Trend-stationarity (constant + linear trend) — pairs with the
+    /// paper's ADF specification.
+    ConstantTrend,
+}
+
+/// Result of a KPSS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KpssResult {
+    /// The KPSS statistic (large ⇒ reject stationarity).
+    pub statistic: f64,
+    /// Newey–West lag truncation used for the long-run variance.
+    pub lags: usize,
+    /// 1% critical value.
+    pub crit_1pct: f64,
+    /// 5% critical value.
+    pub crit_5pct: f64,
+    /// 10% critical value.
+    pub crit_10pct: f64,
+    /// Specification tested.
+    pub regression: KpssRegression,
+}
+
+impl KpssResult {
+    /// `true` when stationarity is NOT rejected at 5% (the desired
+    /// confirmatory outcome next to an ADF rejection).
+    pub fn is_stationary_5pct(&self) -> bool {
+        self.statistic < self.crit_5pct
+    }
+}
+
+/// Run the KPSS test with `lags` Newey–West truncation; pass `None` for
+/// the Schwert/statsmodels default `⌊12 (T/100)^{1/4}⌋` ("legacy" rule).
+pub fn kpss_test(
+    series: &[f64],
+    regression: KpssRegression,
+    lags: Option<usize>,
+) -> Result<KpssResult> {
+    let t = series.len();
+    if t < 12 {
+        return Err(TsError::TooShort { needed: 12, got: t });
+    }
+    let lags = lags.unwrap_or_else(|| (12.0 * (t as f64 / 100.0).powf(0.25)).floor() as usize);
+    if lags + 2 >= t {
+        return Err(TsError::InvalidParameter("lag truncation too large for series"));
+    }
+
+    // Residuals from the deterministic regression.
+    let k = match regression {
+        KpssRegression::Constant => 1,
+        KpssRegression::ConstantTrend => 2,
+    };
+    let mut x = Mat::zeros(t, k);
+    for i in 0..t {
+        x[(i, 0)] = 1.0;
+        if k == 2 {
+            x[(i, 1)] = (i + 1) as f64;
+        }
+    }
+    let fit = Ols::fit(&x, series)?;
+    let e = &fit.residuals;
+
+    // Partial sums of residuals.
+    let mut s = 0.0f64;
+    let mut sum_s2 = 0.0f64;
+    for &ei in e {
+        s += ei;
+        sum_s2 += s * s;
+    }
+
+    // Newey–West long-run variance with Bartlett kernel.
+    let tf = t as f64;
+    let mut lrv: f64 = e.iter().map(|&x| x * x).sum::<f64>() / tf;
+    for j in 1..=lags {
+        let w = 1.0 - j as f64 / (lags as f64 + 1.0);
+        let gamma: f64 = (j..t).map(|i| e[i] * e[i - j]).sum::<f64>() / tf;
+        lrv += 2.0 * w * gamma;
+    }
+    if lrv <= 0.0 {
+        return Err(TsError::InvalidParameter("non-positive long-run variance"));
+    }
+    let statistic = sum_s2 / (tf * tf * lrv);
+
+    // Asymptotic critical values (KPSS 1992, Table 1).
+    let (c1, c5, c10) = match regression {
+        KpssRegression::Constant => (0.739, 0.463, 0.347),
+        KpssRegression::ConstantTrend => (0.216, 0.146, 0.119),
+    };
+    Ok(KpssResult { statistic, lags, crit_1pct: c1, crit_5pct: c5, crit_10pct: c10, regression })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vnet_stats::dist::sample_standard_normal;
+
+    fn white_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| sample_standard_normal(&mut rng)).collect()
+    }
+
+    fn random_walk(n: usize, seed: u64) -> Vec<f64> {
+        let mut acc = 0.0;
+        white_noise(n, seed)
+            .into_iter()
+            .map(|e| {
+                acc += e;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stationary_series_not_rejected() {
+        let s = white_noise(500, 3);
+        let r = kpss_test(&s, KpssRegression::Constant, None).unwrap();
+        assert!(r.is_stationary_5pct(), "stat={}", r.statistic);
+    }
+
+    #[test]
+    fn random_walk_rejected() {
+        let s = random_walk(500, 5);
+        let r = kpss_test(&s, KpssRegression::Constant, None).unwrap();
+        assert!(!r.is_stationary_5pct(), "stat={}", r.statistic);
+        assert!(r.statistic > r.crit_1pct, "should reject even at 1%: {}", r.statistic);
+    }
+
+    #[test]
+    fn trend_stationary_series_needs_trend_spec() {
+        // y = 0.05 t + noise: trend-spec KPSS must NOT reject; level-spec
+        // must reject (the trend looks like a unit root to it).
+        let s: Vec<f64> = white_noise(400, 7)
+            .into_iter()
+            .enumerate()
+            .map(|(t, e)| 0.05 * t as f64 + e)
+            .collect();
+        let trend = kpss_test(&s, KpssRegression::ConstantTrend, None).unwrap();
+        assert!(trend.is_stationary_5pct(), "trend spec stat={}", trend.statistic);
+        let level = kpss_test(&s, KpssRegression::Constant, None).unwrap();
+        assert!(!level.is_stationary_5pct(), "level spec stat={}", level.statistic);
+    }
+
+    #[test]
+    fn default_lag_rule_matches_formula() {
+        let s = white_noise(366, 9);
+        let r = kpss_test(&s, KpssRegression::Constant, None).unwrap();
+        let expected = (12.0 * (366.0f64 / 100.0).powf(0.25)).floor() as usize;
+        assert_eq!(r.lags, expected);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(kpss_test(&[1.0; 5], KpssRegression::Constant, None).is_err());
+        assert!(kpss_test(&white_noise(50, 1), KpssRegression::Constant, Some(60)).is_err());
+    }
+}

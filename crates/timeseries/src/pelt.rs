@@ -1,0 +1,323 @@
+//! PELT change-point detection (Killick, Fearnhead & Eckley 2012).
+//!
+//! Section V: "We assume that this time series is drawn from a normal
+//! distribution, with mean and variance that can change at a discrete
+//! number of change-points. We use the PELT algorithm to maximize the
+//! log-likelihood ... with a penalty for the number of change-points.
+//! Results from several runs of the algorithm are recorded while cooling
+//! down the penalty factor and ramping up the number of change-points.
+//! Dates that fall in the change-point list in a significant number of
+//! runs are considered viable change-point candidates." The paper finds
+//! exactly two: 23rd–25th December 2017 and the first week of April 2018.
+
+use crate::{Result, TsError};
+
+/// Result of a single PELT run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeltResult {
+    /// Change-point indices: each is the first index of a new segment,
+    /// strictly increasing, in `1..n`.
+    pub changepoints: Vec<usize>,
+    /// Total penalized cost of the optimal segmentation.
+    pub cost: f64,
+    /// Penalty used.
+    pub penalty: f64,
+}
+
+/// Negative twice the maximized Gaussian log-likelihood of `series[a..b)`
+/// with segment-specific mean and variance:
+/// `n (ln 2π + ln σ̂² + 1)`, with σ̂² floored to avoid log(0) on constant
+/// segments.
+struct NormalCost {
+    prefix: Vec<f64>,
+    prefix_sq: Vec<f64>,
+}
+
+impl NormalCost {
+    fn new(series: &[f64]) -> Self {
+        let mut prefix = Vec::with_capacity(series.len() + 1);
+        let mut prefix_sq = Vec::with_capacity(series.len() + 1);
+        prefix.push(0.0);
+        prefix_sq.push(0.0);
+        let (mut s, mut s2) = (0.0f64, 0.0f64);
+        for &x in series {
+            s += x;
+            s2 += x * x;
+            prefix.push(s);
+            prefix_sq.push(s2);
+        }
+        Self { prefix, prefix_sq }
+    }
+
+    /// Segment cost over `[a, b)`; requires `b − a >= 2` for a meaningful
+    /// variance (callers enforce the minimum segment length).
+    fn cost(&self, a: usize, b: usize) -> f64 {
+        let n = (b - a) as f64;
+        let sum = self.prefix[b] - self.prefix[a];
+        let sum_sq = self.prefix_sq[b] - self.prefix_sq[a];
+        let var = (sum_sq / n - (sum / n) * (sum / n)).max(1e-12);
+        n * ((2.0 * std::f64::consts::PI).ln() + var.ln() + 1.0)
+    }
+}
+
+/// Exact penalized optimal segmentation by PELT with a Gaussian
+/// mean+variance cost and the default minimum segment length of 5.
+///
+/// `penalty` is the cost added per change-point (e.g. `2 ln n` ≈ BIC for
+/// one extra parameter pair; larger → fewer change-points).
+///
+/// The minimum segment length matters under a mean+variance cost: with
+/// only 2–3 points a segment's ML variance can be tiny by chance, making
+/// its log-likelihood spuriously huge; five points make that event
+/// negligible (see `pelt_with_min_seg` to override).
+pub fn pelt(series: &[f64], penalty: f64) -> Result<PeltResult> {
+    pelt_with_min_seg(series, penalty, 5)
+}
+
+/// [`pelt`] with an explicit minimum segment length (must be >= 2).
+pub fn pelt_with_min_seg(series: &[f64], penalty: f64, min_seg: usize) -> Result<PeltResult> {
+    if min_seg < 2 {
+        return Err(TsError::InvalidParameter("min_seg must be >= 2"));
+    }
+    let min_seg_v = min_seg;
+    let n = series.len();
+    if n < 2 * min_seg_v {
+        return Err(TsError::TooShort { needed: 2 * min_seg_v, got: n });
+    }
+    if penalty < 0.0 || !penalty.is_finite() {
+        return Err(TsError::InvalidParameter("penalty must be finite and >= 0"));
+    }
+    let cost = NormalCost::new(series);
+
+    // f[t] = optimal cost of series[0..t]; last_cp[t] = position of the
+    // final change before t in that optimum.
+    let mut f = vec![f64::INFINITY; n + 1];
+    f[0] = -penalty; // standard PELT initialization
+    let mut last_cp = vec![0usize; n + 1];
+    // Candidate previous change positions, pruned as PELT prescribes.
+    let mut candidates: Vec<usize> = vec![0];
+
+    for t in min_seg_v..=n {
+        let mut best = f64::INFINITY;
+        let mut best_s = 0usize;
+        for &s in &candidates {
+            if t - s < min_seg_v {
+                continue;
+            }
+            let c = f[s] + cost.cost(s, t) + penalty;
+            if c < best {
+                best = c;
+                best_s = s;
+            }
+        }
+        f[t] = best;
+        last_cp[t] = best_s;
+        // Prune: drop s where f[s] + C(s,t) > f[t] (cannot be optimal for
+        // any future t' — the Gaussian cost is segment-additive).
+        candidates.retain(|&s| t - s < min_seg_v || f[s] + cost.cost(s, t) <= f[t]);
+        if t + 1 >= 2 * min_seg_v {
+            candidates.push(t - min_seg_v + 1);
+        }
+    }
+
+    // Backtrack.
+    let mut cps = Vec::new();
+    let mut t = n;
+    while t > 0 {
+        let s = last_cp[t];
+        if s == 0 {
+            break;
+        }
+        cps.push(s);
+        t = s;
+    }
+    cps.reverse();
+    Ok(PeltResult { changepoints: cps, cost: f[n], penalty })
+}
+
+/// The paper's penalty "cool-down" consensus protocol: run PELT over a
+/// geometric sweep from `penalty_hi` down to `penalty_lo` (`runs` steps),
+/// count how often each index appears (within `tolerance` positions of an
+/// existing candidate), and keep candidates present in at least
+/// `min_support` fraction of runs.
+///
+/// Returns `(index, support_fraction)` sorted by index.
+pub fn pelt_consensus(
+    series: &[f64],
+    penalty_hi: f64,
+    penalty_lo: f64,
+    runs: usize,
+    tolerance: usize,
+    min_support: f64,
+) -> Result<Vec<(usize, f64)>> {
+    if runs < 2 {
+        return Err(TsError::InvalidParameter("need at least 2 runs"));
+    }
+    if !(penalty_lo > 0.0 && penalty_hi > penalty_lo) {
+        return Err(TsError::InvalidParameter("need penalty_hi > penalty_lo > 0"));
+    }
+    let ratio = (penalty_lo / penalty_hi).powf(1.0 / (runs - 1) as f64);
+    // Cluster hits by proximity: clusters[i] = (representative idx, hits).
+    let mut clusters: Vec<(usize, usize)> = Vec::new();
+    let mut penalty = penalty_hi;
+    for _ in 0..runs {
+        let result = pelt(series, penalty)?;
+        // A short dip (like the 3-day Christmas one) yields two nearby
+        // change-points per run; count each cluster at most once per run
+        // so support stays a fraction of runs.
+        let mut hit_this_run: Vec<usize> = Vec::new();
+        for &cp in &result.changepoints {
+            match clusters
+                .iter_mut()
+                .enumerate()
+                .find(|(_, (rep, _))| rep.abs_diff(cp) <= tolerance)
+            {
+                Some((idx, (_, hits))) => {
+                    if !hit_this_run.contains(&idx) {
+                        *hits += 1;
+                        hit_this_run.push(idx);
+                    }
+                }
+                None => {
+                    clusters.push((cp, 1));
+                    hit_this_run.push(clusters.len() - 1);
+                }
+            }
+        }
+        penalty *= ratio;
+    }
+    let mut out: Vec<(usize, f64)> = clusters
+        .into_iter()
+        .map(|(idx, hits)| (idx, hits as f64 / runs as f64))
+        .filter(|&(_, support)| support >= min_support)
+        .collect();
+    out.sort_by_key(|&(idx, _)| idx);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vnet_stats::dist::sample_standard_normal;
+
+    fn step_series(seed: u64) -> Vec<f64> {
+        // Mean 0 for 100, mean 6 for 100, mean -3 for 100; unit variance.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = Vec::with_capacity(300);
+        for seg in 0..3 {
+            let mu = [0.0, 6.0, -3.0][seg];
+            for _ in 0..100 {
+                s.push(mu + sample_standard_normal(&mut rng));
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn detects_two_mean_shifts() {
+        let s = step_series(111);
+        let r = pelt(&s, 3.0 * (300.0f64).ln()).unwrap();
+        assert_eq!(r.changepoints.len(), 2, "cps={:?}", r.changepoints);
+        assert!(r.changepoints[0].abs_diff(100) <= 3);
+        assert!(r.changepoints[1].abs_diff(200) <= 3);
+    }
+
+    #[test]
+    fn constant_series_no_changepoints() {
+        let s: Vec<f64> = (0..200).map(|t| (t % 2) as f64 * 0.001).collect();
+        let r = pelt(&s, 2.0 * (200.0f64).ln()).unwrap();
+        assert!(r.changepoints.is_empty(), "cps={:?}", r.changepoints);
+    }
+
+    #[test]
+    fn pure_noise_no_changepoints_at_bic_penalty() {
+        let mut rng = StdRng::seed_from_u64(113);
+        let s: Vec<f64> = (0..400).map(|_| sample_standard_normal(&mut rng)).collect();
+        let r = pelt(&s, 4.0 * (400.0f64).ln()).unwrap();
+        assert!(r.changepoints.len() <= 1, "cps={:?}", r.changepoints);
+    }
+
+    #[test]
+    fn variance_change_detected() {
+        // Same mean, variance jumps 1 → 25 at t=150.
+        let mut rng = StdRng::seed_from_u64(115);
+        let mut s = Vec::with_capacity(300);
+        for t in 0..300 {
+            let sd = if t < 150 { 1.0 } else { 5.0 };
+            s.push(sd * sample_standard_normal(&mut rng));
+        }
+        let r = pelt(&s, 3.0 * (300.0f64).ln()).unwrap();
+        assert!(!r.changepoints.is_empty());
+        assert!(r.changepoints.iter().any(|cp| cp.abs_diff(150) <= 5), "cps={:?}", r.changepoints);
+    }
+
+    #[test]
+    fn higher_penalty_fewer_changepoints() {
+        let s = step_series(117);
+        let low = pelt(&s, 5.0).unwrap();
+        let high = pelt(&s, 500.0).unwrap();
+        assert!(high.changepoints.len() <= low.changepoints.len());
+    }
+
+    #[test]
+    fn segmentation_cost_is_optimal_vs_brute_force() {
+        // Tiny series: compare with brute-force over all segmentations.
+        let s = vec![0.0, 0.1, -0.1, 8.0, 8.2, 7.9, 8.1, 0.05];
+        let penalty = 4.0;
+        let r = pelt_with_min_seg(&s, penalty, 2).unwrap();
+        let brute = brute_force_best(&s, penalty);
+        assert!((r.cost - brute).abs() < 1e-9, "pelt {} vs brute {}", r.cost, brute);
+
+        fn brute_force_best(s: &[f64], penalty: f64) -> f64 {
+            let n = s.len();
+            let cost = NormalCost::new(s);
+            // Enumerate all subsets of cut positions (min seg 2).
+            let cuts: Vec<usize> = (2..n - 1).collect();
+            let mut best = f64::INFINITY;
+            for mask in 0..(1u32 << cuts.len()) {
+                let mut bounds = vec![0usize];
+                for (i, &c) in cuts.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        bounds.push(c);
+                    }
+                }
+                bounds.push(n);
+                if bounds.windows(2).any(|w| w[1] - w[0] < 2) {
+                    continue;
+                }
+                let total: f64 = bounds
+                    .windows(2)
+                    .map(|w| cost.cost(w[0], w[1]) + penalty)
+                    .sum::<f64>()
+                    - penalty;
+                best = best.min(total);
+            }
+            best
+        }
+    }
+
+    #[test]
+    fn consensus_finds_stable_changepoints_only() {
+        let s = step_series(119);
+        let cons = pelt_consensus(&s, 60.0 * (300.0f64).ln(), 3.0, 12, 4, 0.6).unwrap();
+        // The two real shifts must survive; spurious low-penalty points
+        // must be filtered by support.
+        assert_eq!(cons.len(), 2, "consensus={cons:?}");
+        assert!(cons[0].0.abs_diff(100) <= 4);
+        assert!(cons[1].0.abs_diff(200) <= 4);
+        for &(_, support) in &cons {
+            assert!(support >= 0.6);
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(pelt(&[1.0, 2.0, 3.0], 5.0).is_err());
+        let s = vec![0.0; 50];
+        assert!(pelt(&s, -1.0).is_err());
+        assert!(pelt_consensus(&s, 1.0, 2.0, 5, 2, 0.5).is_err());
+        assert!(pelt_consensus(&s, 2.0, 1.0, 1, 2, 0.5).is_err());
+    }
+}

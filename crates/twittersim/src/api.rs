@@ -1,0 +1,415 @@
+//! The REST API facade: cursors, rate limits, transient failures.
+//!
+//! Endpoint semantics mirror the real Twitter REST API the paper used:
+//! `friends/ids` returns up to 5,000 ids per page with a `next_cursor`;
+//! `users/lookup` hydrates up to 100 profiles per call; every endpoint has
+//! a 15-minute rate-limit window. Time is simulated — a [`SimClock`] the
+//! crawler advances when it must wait — so a "week-long" crawl runs in
+//! milliseconds while exercising the same control flow.
+
+use crate::society::{Society, UserId, UserProfile};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A shared simulated clock (seconds since crawl start).
+#[derive(Debug, Clone, Default)]
+pub struct SimClock(Arc<Mutex<u64>>);
+
+impl SimClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> u64 {
+        *self.0.lock()
+    }
+
+    /// Advance by `seconds`.
+    pub fn advance(&self, seconds: u64) {
+        *self.0.lock() += seconds;
+    }
+}
+
+/// Per-endpoint request quota per 15-minute window, mirroring the real
+/// API's published limits of the era.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimitPolicy {
+    /// `friends/ids` calls per window (real API: 15).
+    pub friends_ids: u32,
+    /// `users/lookup` calls per window (real API: 300).
+    pub users_lookup: u32,
+    /// `followers/ids`-style roster pages per window.
+    pub roster: u32,
+    /// Window length in seconds (real API: 900).
+    pub window_secs: u64,
+}
+
+impl Default for RateLimitPolicy {
+    fn default() -> Self {
+        Self { friends_ids: 15, users_lookup: 300, roster: 15, window_secs: 900 }
+    }
+}
+
+impl RateLimitPolicy {
+    /// Effectively unlimited — for tests that exercise logic, not waiting.
+    pub fn unlimited() -> Self {
+        Self { friends_ids: u32::MAX, users_lookup: u32::MAX, roster: u32::MAX, window_secs: 900 }
+    }
+}
+
+/// One page of a cursored id listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// The ids on this page.
+    pub ids: Vec<UserId>,
+    /// Cursor for the next page; `0` means exhausted (Twitter convention).
+    pub next_cursor: u64,
+}
+
+/// API error surface the crawler must handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// Quota exhausted; retry after the given simulated seconds.
+    RateLimited {
+        /// Seconds until the window resets.
+        retry_after: u64,
+    },
+    /// No such user.
+    NotFound(UserId),
+    /// Transient server error (HTTP 5xx analogue); safe to retry.
+    ServerError,
+    /// Malformed request (bad cursor, oversized batch).
+    BadRequest(&'static str),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::RateLimited { retry_after } => {
+                write!(f, "rate limited; retry after {retry_after}s")
+            }
+            ApiError::NotFound(id) => write!(f, "user {id} not found"),
+            ApiError::ServerError => write!(f, "transient server error"),
+            ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+/// Ids per `friends/ids` page (real API value).
+pub const FRIENDS_PAGE: usize = 5_000;
+/// Profiles per `users/lookup` batch (real API value).
+pub const LOOKUP_BATCH: usize = 100;
+
+#[derive(Debug)]
+struct Bucket {
+    used: u32,
+    window_start: u64,
+}
+
+/// The simulated REST API bound to a [`Society`].
+pub struct TwitterApi<'a> {
+    society: &'a Society,
+    clock: SimClock,
+    policy: RateLimitPolicy,
+    failure_rate: f64,
+    buckets: Mutex<HashMap<&'static str, Bucket>>,
+    rng: Mutex<StdRng>,
+    calls: Mutex<HashMap<&'static str, u64>>,
+    timeline: Option<crate::churn::RosterTimeline>,
+}
+
+impl<'a> TwitterApi<'a> {
+    /// Bind an API to a society with the given clock, limits and transient
+    /// failure probability.
+    pub fn new(
+        society: &'a Society,
+        clock: SimClock,
+        policy: RateLimitPolicy,
+        failure_rate: f64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&failure_rate), "failure_rate in [0,1)");
+        Self {
+            society,
+            clock,
+            policy,
+            failure_rate,
+            buckets: Mutex::new(HashMap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(0xA11CE)),
+            calls: Mutex::new(HashMap::new()),
+            timeline: None,
+        }
+    }
+
+    /// Bind a verification-churn timeline: the `@verified` roster then
+    /// depends on the simulated day (`clock / 86_400`), so slow crawls can
+    /// observe drift — the hazard the paper's single-snapshot methodology
+    /// sidesteps.
+    pub fn with_timeline(mut self, timeline: crate::churn::RosterTimeline) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// The clock this API reads.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Total successful calls per endpoint (telemetry for crawl stats).
+    pub fn call_counts(&self) -> HashMap<&'static str, u64> {
+        self.calls.lock().clone()
+    }
+
+    fn charge(&self, endpoint: &'static str, quota: u32) -> Result<(), ApiError> {
+        let now = self.clock.now();
+        let mut buckets = self.buckets.lock();
+        let bucket =
+            buckets.entry(endpoint).or_insert(Bucket { used: 0, window_start: now });
+        if now >= bucket.window_start + self.policy.window_secs {
+            bucket.used = 0;
+            bucket.window_start = now;
+        }
+        if bucket.used >= quota {
+            return Err(ApiError::RateLimited {
+                retry_after: bucket.window_start + self.policy.window_secs - now,
+            });
+        }
+        // Transient failures burn quota, like real 5xx responses did.
+        bucket.used += 1;
+        if self.failure_rate > 0.0 && self.rng.lock().random::<f64>() < self.failure_rate {
+            return Err(ApiError::ServerError);
+        }
+        *self.calls.lock().entry(endpoint).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Page through the `@verified` roster (ids of all verified users).
+    /// Cursor 1 starts; 0 in the reply means done (Twitter convention:
+    /// `cursor=-1` starts, but unsigned 1 plays that role here).
+    pub fn verified_ids(&self, cursor: u64) -> Result<Page, ApiError> {
+        self.charge("verified_ids", self.policy.roster)?;
+        let roster = match &self.timeline {
+            Some(t) => {
+                let day = ((self.clock.now() / 86_400) as u32).min(t.days() as u32 - 1);
+                t.roster_at(day)
+            }
+            None => self.society.verified_roster(),
+        };
+        self.paginate(&roster, cursor, FRIENDS_PAGE)
+    }
+
+    /// `friends/ids`: the accounts `id` follows, 5,000 per page.
+    pub fn friends_ids(&self, id: UserId, cursor: u64) -> Result<Page, ApiError> {
+        self.charge("friends_ids", self.policy.friends_ids)?;
+        let node = self.society.node_of(id).ok_or(ApiError::NotFound(id))?;
+        let friends: Vec<UserId> = self
+            .society
+            .network
+            .graph
+            .out_neighbors(node)
+            .iter()
+            .map(|&v| self.society.id_of(v))
+            .collect();
+        self.paginate(&friends, cursor, FRIENDS_PAGE)
+    }
+
+    /// `followers/ids`: the accounts following `id`, 5,000 per page.
+    /// Shares the `friends/ids` quota family, like the real API of the
+    /// era. Used by the reverse-crawl cross-validation.
+    pub fn followers_ids(&self, id: UserId, cursor: u64) -> Result<Page, ApiError> {
+        self.charge("followers_ids", self.policy.friends_ids)?;
+        let node = self.society.node_of(id).ok_or(ApiError::NotFound(id))?;
+        let followers: Vec<UserId> = self
+            .society
+            .network
+            .graph
+            .in_neighbors(node)
+            .iter()
+            .map(|&v| self.society.id_of(v))
+            .collect();
+        self.paginate(&followers, cursor, FRIENDS_PAGE)
+    }
+
+    /// `users/show`: one profile.
+    pub fn users_show(&self, id: UserId) -> Result<UserProfile, ApiError> {
+        self.charge("users_show", self.policy.users_lookup)?;
+        self.society.profile(id).cloned().ok_or(ApiError::NotFound(id))
+    }
+
+    /// `users/lookup`: up to 100 profiles per call; unknown ids are
+    /// silently dropped (real API behaviour).
+    pub fn users_lookup(&self, ids: &[UserId]) -> Result<Vec<UserProfile>, ApiError> {
+        if ids.len() > LOOKUP_BATCH {
+            return Err(ApiError::BadRequest("users/lookup accepts at most 100 ids"));
+        }
+        self.charge("users_lookup", self.policy.users_lookup)?;
+        Ok(ids.iter().filter_map(|&id| self.society.profile(id).cloned()).collect())
+    }
+
+    fn paginate(&self, all: &[UserId], cursor: u64, page: usize) -> Result<Page, ApiError> {
+        // Cursor encoding: 1 = first page; otherwise 1 + offset.
+        if cursor == 0 {
+            return Err(ApiError::BadRequest("cursor 0 is the end-of-list marker"));
+        }
+        let offset = (cursor - 1) as usize;
+        if offset > all.len() {
+            return Err(ApiError::BadRequest("cursor past end"));
+        }
+        let end = (offset + page).min(all.len());
+        let next_cursor = if end == all.len() { 0 } else { end as u64 + 1 };
+        Ok(Page { ids: all[offset..end].to_vec(), next_cursor })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::society::SocietyConfig;
+
+    fn society() -> Society {
+        Society::generate(&SocietyConfig::small())
+    }
+
+    #[test]
+    fn roster_pagination_walks_everything() {
+        let s = society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        let mut cursor = 1u64;
+        let mut collected = Vec::new();
+        loop {
+            let page = api.verified_ids(cursor).unwrap();
+            collected.extend(page.ids);
+            if page.next_cursor == 0 {
+                break;
+            }
+            cursor = page.next_cursor;
+        }
+        assert_eq!(collected.len(), s.user_count());
+        assert_eq!(collected, s.verified_roster());
+    }
+
+    #[test]
+    fn friends_ids_match_graph() {
+        let s = society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        // Find a node with friends.
+        let node = (0..s.user_count() as u32)
+            .find(|&v| s.network.graph.out_degree(v) > 0)
+            .unwrap();
+        let id = s.id_of(node);
+        let page = api.friends_ids(id, 1).unwrap();
+        let expected: Vec<UserId> =
+            s.network.graph.out_neighbors(node).iter().map(|&v| s.id_of(v)).collect();
+        assert_eq!(page.ids, expected[..page.ids.len()]);
+    }
+
+    #[test]
+    fn users_show_and_not_found() {
+        let s = society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        let id = s.id_of(7);
+        assert_eq!(api.users_show(id).unwrap().id, id);
+        assert_eq!(api.users_show(42), Err(ApiError::NotFound(42)));
+    }
+
+    #[test]
+    fn lookup_batch_size_enforced() {
+        let s = society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        let ids: Vec<UserId> = (0..101).map(|v| s.id_of(v % 100)).collect();
+        assert!(matches!(api.users_lookup(&ids), Err(ApiError::BadRequest(_))));
+        let ok = api.users_lookup(&ids[..100]).unwrap();
+        assert!(!ok.is_empty());
+    }
+
+    #[test]
+    fn rate_limit_window_and_reset() {
+        let s = society();
+        let clock = SimClock::new();
+        let api = TwitterApi::new(&s, clock.clone(), RateLimitPolicy::default(), 0.0);
+        let id = s.id_of(0);
+        // Burn the 15-call friends/ids quota.
+        for _ in 0..15 {
+            let _ = api.friends_ids(id, 1);
+        }
+        match api.friends_ids(id, 1) {
+            Err(ApiError::RateLimited { retry_after }) => {
+                assert!(retry_after <= 900);
+                clock.advance(retry_after);
+            }
+            other => panic!("expected rate limit, got {other:?}"),
+        }
+        // After the window resets the call succeeds.
+        assert!(api.friends_ids(id, 1).is_ok());
+    }
+
+    #[test]
+    fn transient_failures_happen_and_burn_quota() {
+        let s = society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.5);
+        let id = s.id_of(0);
+        let mut failures = 0;
+        for _ in 0..200 {
+            if matches!(api.users_show(id), Err(ApiError::ServerError)) {
+                failures += 1;
+            }
+        }
+        assert!((50..150).contains(&failures), "failures={failures}");
+    }
+
+    #[test]
+    fn bad_cursors_rejected() {
+        let s = society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        assert!(matches!(api.verified_ids(0), Err(ApiError::BadRequest(_))));
+        assert!(matches!(
+            api.verified_ids(10_000_000),
+            Err(ApiError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn timeline_bound_roster_drifts_with_the_clock() {
+        let s = society();
+        let timeline =
+            crate::churn::RosterTimeline::generate(&s, &crate::churn::ChurnConfig::default());
+        let clock = SimClock::new();
+        let api = TwitterApi::new(&s, clock.clone(), RateLimitPolicy::unlimited(), 0.0)
+            .with_timeline(timeline.clone());
+        let drain = |api: &TwitterApi| {
+            let mut cursor = 1u64;
+            let mut out = Vec::new();
+            loop {
+                let page = api.verified_ids(cursor).unwrap();
+                out.extend(page.ids);
+                if page.next_cursor == 0 {
+                    return out;
+                }
+                cursor = page.next_cursor;
+            }
+        };
+        let day0 = drain(&api);
+        assert_eq!(day0, timeline.roster_at(0));
+        clock.advance(300 * 86_400);
+        let day300 = drain(&api);
+        assert_eq!(day300, timeline.roster_at(300));
+        assert_ne!(day0.len(), day300.len(), "roster should drift over 300 days");
+    }
+
+    #[test]
+    fn call_counts_tracked() {
+        let s = society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        let _ = api.verified_ids(1);
+        let _ = api.users_show(s.id_of(0));
+        let counts = api.call_counts();
+        assert_eq!(counts.get("verified_ids"), Some(&1));
+        assert_eq!(counts.get("users_show"), Some(&1));
+    }
+}

@@ -1,0 +1,196 @@
+//! Verification-roster churn.
+//!
+//! The paper's dataset is a snapshot: "users who were verified at the
+//! time" (July 18, 2018). Real verification is dynamic — accounts gain
+//! the badge, a few lose it — which is precisely why snapshot timing
+//! matters and why long crawls risk internal inconsistency. This module
+//! simulates that churn as a deterministic per-day timeline, and
+//! [`crate::TwitterApi`] can be bound to it so the `@verified` roster an
+//! API client sees depends on *when* (simulated clock) it asks.
+
+use crate::society::{Society, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Churn process parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Fraction of the society verified on day 0.
+    pub initially_verified: f64,
+    /// Expected fraction of the *unverified pool* gaining the badge per
+    /// day.
+    pub daily_gain: f64,
+    /// Expected fraction of the *verified pool* losing the badge per day
+    /// (rare in practice).
+    pub daily_loss: f64,
+    /// Days of timeline to materialize.
+    pub days: usize,
+    /// Seed for the churn draws.
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        Self {
+            initially_verified: 0.93,
+            daily_gain: 0.004,
+            daily_loss: 0.00005,
+            days: 400,
+            seed: 0xC4A11,
+        }
+    }
+}
+
+/// A materialized per-day verification timeline.
+#[derive(Debug, Clone)]
+pub struct RosterTimeline {
+    /// `intervals[node] = (from_day, until_day)`: verified on day `d` iff
+    /// `from_day <= d < until_day`. Never-verified users get `(MAX, MAX)`.
+    intervals: Vec<(u32, u32)>,
+    /// Roster order (stable society order).
+    ids: Vec<UserId>,
+    days: usize,
+}
+
+impl RosterTimeline {
+    /// Materialize a churn timeline over `society`.
+    pub fn generate(society: &Society, config: &ChurnConfig) -> Self {
+        assert!((0.0..=1.0).contains(&config.initially_verified));
+        assert!(config.daily_gain >= 0.0 && config.daily_loss >= 0.0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = society.user_count();
+        let never = u32::MAX;
+        let mut intervals: Vec<(u32, u32)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng.random::<f64>() < config.initially_verified {
+                // Verified from day 0; may lose the badge later
+                // (geometric with rate daily_loss).
+                let until = sample_geometric_day(&mut rng, config.daily_loss, config.days);
+                intervals.push((0, until));
+            } else {
+                // Unverified; may gain later (geometric with daily_gain),
+                // then may lose again after that.
+                let from = sample_geometric_day(&mut rng, config.daily_gain, config.days);
+                if from == never {
+                    intervals.push((never, never));
+                } else {
+                    let lose_after =
+                        sample_geometric_day(&mut rng, config.daily_loss, config.days);
+                    let until = lose_after.saturating_add(from).max(from + 1);
+                    intervals.push((from, until));
+                }
+            }
+        }
+        Self { intervals, ids: society.verified_roster(), days: config.days }
+    }
+
+    /// Number of modeled days.
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// Is node `v` verified on `day`?
+    pub fn is_verified(&self, v: u32, day: u32) -> bool {
+        let (from, until) = self.intervals[v as usize];
+        from <= day && day < until
+    }
+
+    /// The `@verified` roster on `day`, in stable society order.
+    pub fn roster_at(&self, day: u32) -> Vec<UserId> {
+        self.ids
+            .iter()
+            .enumerate()
+            .filter(|&(v, _)| self.is_verified(v as u32, day))
+            .map(|(_, &id)| id)
+            .collect()
+    }
+
+    /// Roster size per day for the whole timeline.
+    pub fn sizes(&self) -> Vec<usize> {
+        (0..self.days as u32).map(|d| self.roster_at(d).len()).collect()
+    }
+}
+
+/// First day index at which a per-day Bernoulli(rate) event fires, or
+/// `u32::MAX` when it never fires inside the horizon.
+fn sample_geometric_day<R: Rng + ?Sized>(rng: &mut R, rate: f64, horizon: usize) -> u32 {
+    if rate <= 0.0 {
+        return u32::MAX;
+    }
+    // Geometric via inverse transform; clamp to the horizon.
+    let u: f64 = rng.random::<f64>();
+    let day = ((1.0 - u).ln() / (1.0 - rate).ln()).floor();
+    if !day.is_finite() || day >= horizon as f64 {
+        u32::MAX
+    } else {
+        day as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::society::SocietyConfig;
+
+    fn timeline() -> (Society, RosterTimeline) {
+        let s = Society::generate(&SocietyConfig::small());
+        let t = RosterTimeline::generate(&s, &ChurnConfig::default());
+        (s, t)
+    }
+
+    #[test]
+    fn initial_roster_near_configured_fraction() {
+        let (s, t) = timeline();
+        let day0 = t.roster_at(0).len() as f64 / s.user_count() as f64;
+        assert!((day0 - 0.93).abs() < 0.02, "day-0 verified fraction {day0}");
+    }
+
+    #[test]
+    fn roster_grows_on_net_over_the_year() {
+        let (_, t) = timeline();
+        let sizes = t.sizes();
+        // Net gain: daily_gain on the unverified pool exceeds daily_loss
+        // on the verified pool for the default config.
+        assert!(
+            sizes[365] > sizes[0],
+            "roster should grow: day0 {} day365 {}",
+            sizes[0],
+            sizes[365]
+        );
+        // But not explosively.
+        assert!(sizes[365] < sizes[0] + sizes[0] / 5);
+    }
+
+    #[test]
+    fn intervals_are_contiguous() {
+        // Once verified then unverified, a user must not flip back within
+        // this model: verified days form one interval.
+        let (_, t) = timeline();
+        for v in 0..400u32 {
+            let mut states: Vec<bool> =
+                (0..t.days() as u32).map(|d| t.is_verified(v, d)).collect();
+            states.dedup();
+            assert!(states.len() <= 3, "node {v} flips too often: {states:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let s = Society::generate(&SocietyConfig::small());
+        let a = RosterTimeline::generate(&s, &ChurnConfig::default());
+        let b = RosterTimeline::generate(&s, &ChurnConfig::default());
+        assert_eq!(a.roster_at(100), b.roster_at(100));
+    }
+
+    #[test]
+    fn zero_rates_freeze_the_roster() {
+        let s = Society::generate(&SocietyConfig::small());
+        let cfg = ChurnConfig {
+            daily_gain: 0.0,
+            daily_loss: 0.0,
+            ..ChurnConfig::default()
+        };
+        let t = RosterTimeline::generate(&s, &cfg);
+        assert_eq!(t.roster_at(0), t.roster_at(399));
+    }
+}

@@ -1,0 +1,315 @@
+//! The Section III crawler, reproduced as code.
+//!
+//! "The '@verified' handle on Twitter follows all accounts on the platform
+//! that are currently verified. We queried this handle ... and extracted
+//! the IDs of 297,776 users ... We used the REST API to acquire profile
+//! information ... We further extracted a subset of verified users who had
+//! English listed as their profile language. ... For each verified user,
+//! we also queried the API in order to obtain the list of outlinks or
+//! friends ... We filtered this list of friends and retained only those
+//! nodes that were leading to other verified users, thus obtaining the
+//! internal network existing among the verified users."
+//!
+//! The crawler below performs exactly those steps against the simulated
+//! API, including rate-limit waits (simulated-clock sleeps) and retries of
+//! transient failures.
+
+use crate::api::{ApiError, TwitterApi, LOOKUP_BATCH};
+use crate::society::{UserId, UserProfile};
+use std::collections::{HashMap, HashSet};
+use vnet_graph::{DiGraph, GraphBuilder, NodeId};
+
+/// Telemetry from a crawl.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrawlStats {
+    /// Verified ids harvested from the roster.
+    pub roster_size: usize,
+    /// Profiles hydrated.
+    pub profiles_fetched: usize,
+    /// English profiles retained.
+    pub english_users: usize,
+    /// `friends/ids` pages fetched.
+    pub friend_pages: usize,
+    /// Raw friend links seen (before the verified-only filter).
+    pub raw_friend_links: usize,
+    /// Links retained (leading to other English verified users).
+    pub internal_links: usize,
+    /// Rate-limit waits taken.
+    pub rate_limit_waits: usize,
+    /// Transient errors retried.
+    pub transient_retries: usize,
+    /// Simulated seconds the crawl took.
+    pub simulated_seconds: u64,
+}
+
+/// The crawled dataset: the paper's analysis object.
+#[derive(Debug, Clone)]
+pub struct CrawlDataset {
+    /// Induced follow graph among English verified users; node ids are
+    /// dense indices into `profiles`.
+    pub graph: DiGraph,
+    /// Profile of each node.
+    pub profiles: Vec<UserProfile>,
+    /// Platform id of each node.
+    pub platform_ids: Vec<UserId>,
+    /// Crawl telemetry.
+    pub stats: CrawlStats,
+}
+
+/// A crawler over a [`TwitterApi`].
+pub struct Crawler<'a, 's> {
+    api: &'a TwitterApi<'s>,
+    max_retries: usize,
+}
+
+impl<'a, 's> Crawler<'a, 's> {
+    /// Build a crawler with the default retry budget.
+    pub fn new(api: &'a TwitterApi<'s>) -> Self {
+        Self { api, max_retries: 25 }
+    }
+
+    /// Run the full Section III acquisition pipeline.
+    pub fn crawl(&self) -> Result<CrawlDataset, ApiError> {
+        let mut stats = CrawlStats::default();
+        let start_time = self.api.clock().now();
+
+        // Step 1: harvest the @verified roster.
+        let roster = self.collect_cursored(&mut stats, |cursor| self.api.verified_ids(cursor))?;
+        stats.roster_size = roster.len();
+
+        // Step 2: hydrate profiles in lookup batches.
+        let mut profiles_by_id: HashMap<UserId, UserProfile> =
+            HashMap::with_capacity(roster.len());
+        for chunk in roster.chunks(LOOKUP_BATCH) {
+            let batch =
+                self.with_retry(&mut stats, || self.api.users_lookup(chunk))?;
+            for p in batch {
+                profiles_by_id.insert(p.id, p);
+            }
+        }
+        stats.profiles_fetched = profiles_by_id.len();
+
+        // Step 3: filter to English profiles, preserving roster order.
+        let english: Vec<UserId> = roster
+            .iter()
+            .copied()
+            .filter(|id| profiles_by_id.get(id).is_some_and(|p| p.lang == "en"))
+            .collect();
+        stats.english_users = english.len();
+        let node_of: HashMap<UserId, NodeId> =
+            english.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        let english_set: HashSet<UserId> = english.iter().copied().collect();
+
+        // Step 4: crawl friend lists and keep only internal links.
+        let mut builder = GraphBuilder::new(english.len() as u32);
+        for (u, &id) in english.iter().enumerate() {
+            let friends =
+                self.collect_cursored(&mut stats, |cursor| self.api.friends_ids(id, cursor))?;
+            stats.friend_pages += 1 + friends.len() / crate::api::FRIENDS_PAGE;
+            stats.raw_friend_links += friends.len();
+            for fid in friends {
+                if english_set.contains(&fid) {
+                    let v = node_of[&fid];
+                    builder.add_edge(u as u32, v).expect("node ids dense by construction");
+                    stats.internal_links += 1;
+                }
+            }
+        }
+
+        let profiles: Vec<UserProfile> =
+            english.iter().map(|id| profiles_by_id[id].clone()).collect();
+        stats.simulated_seconds = self.api.clock().now() - start_time;
+
+        Ok(CrawlDataset { graph: builder.build(), profiles, platform_ids: english, stats })
+    }
+
+    /// Reverse crawl: rebuild the same induced graph from `followers/ids`
+    /// instead of `friends/ids`. On a consistent platform the result must
+    /// equal [`Crawler::crawl`]'s graph edge-for-edge; real measurement
+    /// studies run exactly this cross-validation to detect API pagination
+    /// bugs and mid-crawl drift.
+    pub fn crawl_reverse(&self) -> Result<CrawlDataset, ApiError> {
+        let mut stats = CrawlStats::default();
+        let start_time = self.api.clock().now();
+
+        let roster = self.collect_cursored(&mut stats, |cursor| self.api.verified_ids(cursor))?;
+        stats.roster_size = roster.len();
+
+        let mut profiles_by_id: HashMap<UserId, UserProfile> =
+            HashMap::with_capacity(roster.len());
+        for chunk in roster.chunks(LOOKUP_BATCH) {
+            let batch = self.with_retry(&mut stats, || self.api.users_lookup(chunk))?;
+            for p in batch {
+                profiles_by_id.insert(p.id, p);
+            }
+        }
+        stats.profiles_fetched = profiles_by_id.len();
+
+        let english: Vec<UserId> = roster
+            .iter()
+            .copied()
+            .filter(|id| profiles_by_id.get(id).is_some_and(|p| p.lang == "en"))
+            .collect();
+        stats.english_users = english.len();
+        let node_of: HashMap<UserId, NodeId> =
+            english.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        let english_set: HashSet<UserId> = english.iter().copied().collect();
+
+        // Reverse direction: each follower edge (f -> id) is recorded at
+        // the *target* side.
+        let mut builder = GraphBuilder::new(english.len() as u32);
+        for (v, &id) in english.iter().enumerate() {
+            let followers = self
+                .collect_cursored(&mut stats, |cursor| self.api.followers_ids(id, cursor))?;
+            stats.friend_pages += 1 + followers.len() / crate::api::FRIENDS_PAGE;
+            stats.raw_friend_links += followers.len();
+            for fid in followers {
+                if english_set.contains(&fid) {
+                    let u = node_of[&fid];
+                    builder.add_edge(u, v as u32).expect("node ids dense by construction");
+                    stats.internal_links += 1;
+                }
+            }
+        }
+
+        let profiles: Vec<UserProfile> =
+            english.iter().map(|id| profiles_by_id[id].clone()).collect();
+        stats.simulated_seconds = self.api.clock().now() - start_time;
+        Ok(CrawlDataset { graph: builder.build(), profiles, platform_ids: english, stats })
+    }
+
+    /// Drain a cursored endpoint into a flat id list.
+    fn collect_cursored<F>(
+        &self,
+        stats: &mut CrawlStats,
+        mut fetch: F,
+    ) -> Result<Vec<UserId>, ApiError>
+    where
+        F: FnMut(u64) -> Result<crate::api::Page, ApiError>,
+    {
+        let mut out = Vec::new();
+        let mut cursor = 1u64;
+        loop {
+            let page = self.with_retry(stats, || fetch(cursor))?;
+            out.extend(page.ids);
+            if page.next_cursor == 0 {
+                return Ok(out);
+            }
+            cursor = page.next_cursor;
+        }
+    }
+
+    /// Retry wrapper handling rate limits (advance the simulated clock)
+    /// and transient server errors (bounded retries).
+    fn with_retry<T, F>(&self, stats: &mut CrawlStats, mut call: F) -> Result<T, ApiError>
+    where
+        F: FnMut() -> Result<T, ApiError>,
+    {
+        let mut retries = 0;
+        loop {
+            match call() {
+                Ok(v) => return Ok(v),
+                Err(ApiError::RateLimited { retry_after }) => {
+                    stats.rate_limit_waits += 1;
+                    self.api.clock().advance(retry_after.max(1));
+                }
+                Err(ApiError::ServerError) => {
+                    retries += 1;
+                    stats.transient_retries += 1;
+                    if retries > self.max_retries {
+                        return Err(ApiError::ServerError);
+                    }
+                    // Linear backoff in simulated time.
+                    self.api.clock().advance(5 * retries as u64);
+                }
+                Err(fatal) => return Err(fatal),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{RateLimitPolicy, SimClock};
+    use crate::society::{Society, SocietyConfig};
+    use vnet_graph::induced_subgraph;
+
+    fn small_society() -> Society {
+        Society::generate(&SocietyConfig::small())
+    }
+
+    #[test]
+    fn crawl_recovers_exact_english_subgraph() {
+        let s = small_society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        let ds = Crawler::new(&api).crawl().unwrap();
+
+        // Ground truth: induce the English sub-graph directly.
+        let english_nodes: Vec<u32> = (0..s.user_count() as u32)
+            .filter(|&v| s.profiles[v as usize].lang == "en")
+            .collect();
+        let truth = induced_subgraph(&s.network.graph, &english_nodes);
+
+        assert_eq!(ds.graph, truth.graph, "crawled graph must equal the induced sub-graph");
+        assert_eq!(ds.stats.roster_size, s.user_count());
+        assert_eq!(ds.stats.english_users, english_nodes.len());
+        assert_eq!(ds.stats.internal_links, truth.graph.edge_count());
+        // Profiles aligned with node ids.
+        for (v, p) in ds.profiles.iter().enumerate() {
+            assert_eq!(p.id, ds.platform_ids[v]);
+            assert_eq!(p.lang, "en");
+        }
+    }
+
+    #[test]
+    fn crawl_survives_rate_limits() {
+        let s = small_society();
+        let clock = SimClock::new();
+        // Tight quotas force many waits.
+        let policy = RateLimitPolicy { friends_ids: 200, users_lookup: 20, roster: 2, window_secs: 900 };
+        let api = TwitterApi::new(&s, clock.clone(), policy, 0.0);
+        let ds = Crawler::new(&api).crawl().unwrap();
+        assert!(ds.stats.rate_limit_waits > 0, "expected rate-limit waits");
+        assert!(ds.stats.simulated_seconds > 0);
+        assert_eq!(ds.stats.english_users, ds.graph.node_count());
+    }
+
+    #[test]
+    fn crawl_survives_transient_failures() {
+        let s = small_society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.10);
+        let ds = Crawler::new(&api).crawl().unwrap();
+        assert!(ds.stats.transient_retries > 0, "expected retries");
+        // The dataset must still be complete and exact.
+        let english_nodes: Vec<u32> = (0..s.user_count() as u32)
+            .filter(|&v| s.profiles[v as usize].lang == "en")
+            .collect();
+        let truth = induced_subgraph(&s.network.graph, &english_nodes);
+        assert_eq!(ds.graph, truth.graph);
+    }
+
+    #[test]
+    fn forward_and_reverse_crawls_agree() {
+        // The §III crawl via friends/ids and the cross-validation crawl
+        // via followers/ids must produce the identical graph.
+        let s = small_society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        let crawler = Crawler::new(&api);
+        let forward = crawler.crawl().unwrap();
+        let reverse = crawler.crawl_reverse().unwrap();
+        assert_eq!(forward.graph, reverse.graph);
+        assert_eq!(forward.platform_ids, reverse.platform_ids);
+        assert_eq!(forward.stats.internal_links, reverse.stats.internal_links);
+    }
+
+    #[test]
+    fn crawled_graph_is_sparse_and_mostly_connected() {
+        let s = small_society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        let ds = Crawler::new(&api).crawl().unwrap();
+        assert!(ds.graph.density() < 0.05);
+        let scc = vnet_algos::components::strongly_connected_components(&ds.graph);
+        assert!(scc.giant_fraction() > 0.9, "giant SCC {}", scc.giant_fraction());
+    }
+}

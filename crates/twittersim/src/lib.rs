@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # vnet-twittersim
+//!
+//! A simulated Twitter platform — the data substrate for the `verified-net`
+//! reproduction of *"Elites Tweet?"* (ICDE 2019).
+//!
+//! The paper acquired its dataset through three channels that no longer
+//! exist or were never public:
+//!
+//! 1. the `@verified` handle's follow list (the roster of verified users),
+//! 2. the REST API (`users/show`, `friends/ids` with cursor pagination and
+//!    15-minute rate-limit windows),
+//! 3. a commercial Firehose subscription (per-user daily statistics for
+//!    June 2017 – May 2018).
+//!
+//! This crate rebuilds all three against a synthetic ground truth:
+//!
+//! * [`society`] — the world itself: a [`vnet_synth::VerifiedNetwork`]
+//!   follow graph plus per-user profiles (screen names, bios from
+//!   `vnet-textmine`, language flags, and global reach metrics correlated
+//!   with the fame field that wired the graph).
+//! * [`api`] — the REST facade: cursor-paginated endpoints, per-endpoint
+//!   token buckets over a simulated clock, and injectable transient
+//!   failures, so the crawler faces the same contract the authors did.
+//! * [`firehose`] — the daily activity streams: a stationary weekly-seasonal
+//!   aggregate with a Christmas dip and an early-April level shift (the two
+//!   change-points the paper's PELT consensus finds), plus per-user
+//!   follower/friend/status trajectories.
+//! * [`crawler`] — Section III reproduced as code: harvest the verified
+//!   roster, hydrate profiles, filter to English, crawl friend lists under
+//!   rate limits, and induce the internal verified-to-verified graph.
+
+pub mod api;
+pub mod churn;
+pub mod crawler;
+pub mod firehose;
+pub mod society;
+
+pub use api::{ApiError, Page, RateLimitPolicy, SimClock, TwitterApi};
+pub use churn::{ChurnConfig, RosterTimeline};
+pub use crawler::{CrawlDataset, CrawlStats, Crawler};
+pub use firehose::{ActivityConfig, Firehose};
+pub use society::{Society, SocietyConfig, UserId, UserProfile};

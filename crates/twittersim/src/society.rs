@@ -1,0 +1,283 @@
+//! The synthetic ground truth: verified users, their follow graph, and
+//! their profiles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vnet_graph::NodeId;
+use vnet_stats::dist::sample_standard_normal;
+use vnet_synth::{NodeRole, VerifiedNetConfig, VerifiedNetwork};
+use vnet_textmine::{BioGenerator, UserCategory};
+
+/// An opaque platform-wide user id (sparse, like real Twitter ids).
+pub type UserId = u64;
+
+/// A verified user's public profile, as returned by `users/show`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Platform id.
+    pub id: UserId,
+    /// Handle without the `@`.
+    pub screen_name: String,
+    /// Profile language code (the paper keeps `"en"` only).
+    pub lang: String,
+    /// Biography text.
+    pub bio: String,
+    /// Global follower count (whole-Twitter reach, not sub-graph
+    /// in-degree).
+    pub followers_count: u64,
+    /// Global friend (following) count.
+    pub friends_count: u64,
+    /// Public list memberships.
+    pub listed_count: u64,
+    /// Lifetime tweet count.
+    pub statuses_count: u64,
+    /// Always true for this roster.
+    pub verified: bool,
+}
+
+/// Configuration of the synthetic society.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocietyConfig {
+    /// Verified-network generator configuration (total verified users of
+    /// all languages — the paper starts from 297,776).
+    pub net: VerifiedNetConfig,
+    /// Fraction of verified users with English profiles (paper:
+    /// 231,246 / 297,776 ≈ 0.7766).
+    pub english_fraction: f64,
+    /// RNG seed for everything derived (profiles, ids, firehose base).
+    pub seed: u64,
+}
+
+impl Default for SocietyConfig {
+    fn default() -> Self {
+        Self { net: VerifiedNetConfig::default(), english_fraction: 0.7766, seed: 20180718 }
+    }
+}
+
+impl SocietyConfig {
+    /// A small society for tests and quick examples.
+    pub fn small() -> Self {
+        Self { net: VerifiedNetConfig::small(), ..Self::default() }
+    }
+}
+
+/// The simulated world: graph, roles, profiles and id mappings.
+#[derive(Debug, Clone)]
+pub struct Society {
+    /// The full verified follow network (all languages).
+    pub network: VerifiedNetwork,
+    /// Profile of each node, indexed by internal [`NodeId`].
+    pub profiles: Vec<UserProfile>,
+    /// Category of each node (drives bios and correlates with nothing
+    /// structural — a pure labelling, as in real life).
+    pub categories: Vec<UserCategory>,
+    id_of_node: Vec<UserId>,
+    node_of_id: HashMap<UserId, NodeId>,
+    config: SocietyConfig,
+}
+
+impl Society {
+    /// Generate a society from `config`.
+    pub fn generate(config: &SocietyConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let network = VerifiedNetwork::generate(&config.net, &mut rng);
+        let n = network.graph.node_count();
+
+        // Sparse platform ids: unique, shuffled-looking.
+        let mut id_of_node = Vec::with_capacity(n);
+        let mut node_of_id = HashMap::with_capacity(n);
+        for v in 0..n as u32 {
+            loop {
+                let id: UserId = rng.random_range(10_000_000..10_000_000_000);
+                if let std::collections::hash_map::Entry::Vacant(e) = node_of_id.entry(id) {
+                    e.insert(v);
+                    id_of_node.push(id);
+                    break;
+                }
+            }
+        }
+
+        let biogen = BioGenerator::new();
+        let mut profiles = Vec::with_capacity(n);
+        let mut categories = Vec::with_capacity(n);
+        let max_fame = network.fame.iter().cloned().fold(f64::MIN, f64::max).max(1.0);
+        for v in 0..n {
+            let category = biogen.sample_category(&mut rng);
+            categories.push(category);
+            let fame = network.fame[v];
+            let in_deg = network.graph.in_degree(v as u32) as f64;
+            let out_deg = network.graph.out_degree(v as u32) as f64;
+
+            // Global reach scales with fame and internal popularity, with
+            // multiplicative noise — this is what makes Figure 5's
+            // centrality-vs-reach correlations emerge rather than being
+            // hard-coded.
+            let noise = |rng: &mut StdRng, sigma: f64| (sigma * sample_standard_normal(rng)).exp();
+            let followers = ((fame * 800.0 + in_deg * 120.0 + 30.0) * noise(&mut rng, 0.8)) as u64;
+            let friends = ((out_deg * 8.0 + 40.0) * noise(&mut rng, 0.7)) as u64;
+            // List membership tracks popularity sublinearly (paper: a
+            // robust influence predictor).
+            let listed = ((followers as f64).powf(0.85) / 18.0 * noise(&mut rng, 0.5)) as u64;
+            // Activity: heavy-tailed, mildly coupled to reach.
+            let statuses =
+                ((followers as f64).powf(0.35) * 60.0 * noise(&mut rng, 1.0)) as u64;
+
+            let lang = if rng.random::<f64>() < config.english_fraction { "en" } else { "other" };
+            let bio = if lang == "en" {
+                biogen.generate(&mut rng, category)
+            } else {
+                String::from("\u{2728}")
+            };
+            profiles.push(UserProfile {
+                id: id_of_node[v],
+                screen_name: format!("user_{}", id_of_node[v]),
+                lang: lang.to_string(),
+                bio,
+                followers_count: followers,
+                friends_count: friends,
+                listed_count: listed,
+                statuses_count: statuses,
+                verified: true,
+            });
+            let _ = max_fame;
+        }
+
+        // Flavor: name the paper's cameo handles. The greatest out-degree
+        // belongs to "@6BillionPeople" (a social-media influencer); the
+        // paper's champion is English, so name the English out-degree
+        // champion (the analysis dataset is the English induced sub-graph).
+        let champion = (0..n as u32)
+            .filter(|&v| profiles[v as usize].lang == "en")
+            .max_by_key(|&v| network.graph.out_degree(v));
+        if let Some(champion) = champion {
+            profiles[champion as usize].screen_name = "6BillionPeople".into();
+        }
+        let sink_names = ["ladbible", "MrRPMurphy", "SriSri"];
+        for (i, v) in network.nodes_with_role(NodeRole::CelebritySink).into_iter().enumerate() {
+            if let Some(name) = sink_names.get(i) {
+                profiles[v as usize].screen_name = (*name).into();
+            }
+        }
+
+        Society { network, profiles, categories, id_of_node, node_of_id, config: *config }
+    }
+
+    /// Number of verified users (all languages).
+    pub fn user_count(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Platform id of an internal node.
+    pub fn id_of(&self, node: NodeId) -> UserId {
+        self.id_of_node[node as usize]
+    }
+
+    /// Internal node of a platform id.
+    pub fn node_of(&self, id: UserId) -> Option<NodeId> {
+        self.node_of_id.get(&id).copied()
+    }
+
+    /// Profile by platform id.
+    pub fn profile(&self, id: UserId) -> Option<&UserProfile> {
+        self.node_of(id).map(|v| &self.profiles[v as usize])
+    }
+
+    /// All verified platform ids in roster order (what the `@verified`
+    /// handle follows).
+    pub fn verified_roster(&self) -> Vec<UserId> {
+        self.id_of_node.clone()
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &SocietyConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Society {
+        Society::generate(&SocietyConfig::small())
+    }
+
+    #[test]
+    fn ids_are_unique_and_bijective() {
+        let s = small();
+        assert_eq!(s.user_count(), 4000);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..4000u32 {
+            let id = s.id_of(v);
+            assert!(seen.insert(id), "duplicate id {id}");
+            assert_eq!(s.node_of(id), Some(v));
+        }
+        assert_eq!(s.node_of(1), None);
+    }
+
+    #[test]
+    fn english_fraction_near_paper() {
+        let s = small();
+        let en = s.profiles.iter().filter(|p| p.lang == "en").count();
+        let frac = en as f64 / s.user_count() as f64;
+        assert!((frac - 0.7766).abs() < 0.03, "english fraction {frac}");
+    }
+
+    #[test]
+    fn followers_correlate_with_internal_popularity() {
+        let s = small();
+        let in_deg: Vec<f64> =
+            (0..s.user_count() as u32).map(|v| s.network.graph.in_degree(v) as f64).collect();
+        let followers: Vec<f64> =
+            s.profiles.iter().map(|p| (p.followers_count as f64 + 1.0).ln()).collect();
+        let log_in: Vec<f64> = in_deg.iter().map(|&d| (d + 1.0).ln()).collect();
+        let r = vnet_stats::pearson(&log_in, &followers).unwrap();
+        assert!(r > 0.4, "log-log correlation too weak: {r}");
+    }
+
+    #[test]
+    fn listed_tracks_followers() {
+        let s = small();
+        let f: Vec<f64> = s.profiles.iter().map(|p| (p.followers_count as f64 + 1.0).ln()).collect();
+        let l: Vec<f64> = s.profiles.iter().map(|p| (p.listed_count as f64 + 1.0).ln()).collect();
+        let r = vnet_stats::pearson(&f, &l).unwrap();
+        assert!(r > 0.6, "listed/followers correlation {r}");
+    }
+
+    #[test]
+    fn cameo_handles_assigned() {
+        let s = small();
+        let names: Vec<&str> = s.profiles.iter().map(|p| p.screen_name.as_str()).collect();
+        assert!(names.contains(&"6BillionPeople"));
+        assert!(names.contains(&"ladbible"));
+        // The champion really is the English max out-degree node (the
+        // paper's champion belongs to the English analysis subset).
+        let champ = names.iter().position(|&n| n == "6BillionPeople").unwrap() as u32;
+        let max_en = (0..s.user_count() as u32)
+            .filter(|&v| s.profiles[v as usize].lang == "en")
+            .max_by_key(|&v| s.network.graph.out_degree(v))
+            .unwrap();
+        assert_eq!(champ, max_en);
+        assert_eq!(s.profiles[champ as usize].lang, "en");
+    }
+
+    #[test]
+    fn english_bios_nonempty_verified_true() {
+        let s = small();
+        for p in &s.profiles {
+            assert!(p.verified);
+            if p.lang == "en" {
+                assert!(!p.bio.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Society::generate(&SocietyConfig::small());
+        let b = Society::generate(&SocietyConfig::small());
+        assert_eq!(a.profiles, b.profiles);
+    }
+}

@@ -1,0 +1,108 @@
+//! Section V deep dive: activity time-series forensics.
+//!
+//! Renders an ASCII calendar heatmap (the paper's Figure 6), runs the
+//! portmanteau tests across lag horizons, the ADF test under both
+//! deterministic specifications, and the PELT penalty cool-down — and
+//! shows *why* deseasonalization matters for the change-point pass by
+//! running PELT both ways.
+//!
+//! ```text
+//! cargo run --release -p vnet-examples --bin activity_forensics
+//! ```
+
+use verified_net::{Dataset, SynthesisConfig};
+use vnet_timeseries::adf::{adf_test, AdfRegression, LagSelection};
+use vnet_timeseries::pelt::pelt_consensus;
+use vnet_timeseries::portmanteau::{box_pierce, ljung_box};
+use vnet_timeseries::seasonal::deseasonalize_weekly;
+use vnet_timeseries::CalendarHeatmap;
+
+fn main() {
+    let dataset = Dataset::synthesize(&SynthesisConfig::small());
+    let series = &dataset.activity;
+    let start = dataset.activity_start;
+    println!(
+        "activity forensics: {} days starting {start} (paper: June 2017 - May 2018)\n",
+        series.len()
+    );
+
+    // --- Figure 6: calendar heatmap (ASCII) ---------------------------
+    let hm = CalendarHeatmap::new(start, series);
+    let lo = series.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let weeks = hm.cells.last().map(|c| c.week as usize + 1).unwrap_or(0);
+    println!("calendar heatmap (rows Mon..Sun, one column per week):");
+    for weekday in 0..7u8 {
+        let mut row = String::with_capacity(weeks);
+        for week in 0..weeks as u32 {
+            let cell = hm.cells.iter().find(|c| c.week == week && c.weekday == weekday);
+            row.push(match cell {
+                Some(c) => {
+                    let t = ((c.value - lo) / (hi - lo)).clamp(0.0, 1.0);
+                    shades[(t * 9.0).round() as usize]
+                }
+                None => ' ',
+            });
+        }
+        let day = ["Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"][weekday as usize];
+        println!("  {day} |{row}|");
+    }
+    let means = hm.weekday_means();
+    println!(
+        "\nweekday means: Mon..Sun = {:?}",
+        means.iter().map(|m| (m / means[0] * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+    println!("(the Sunday dip the paper observes is the light bottom row)\n");
+
+    // --- Portmanteau tests across horizons -----------------------------
+    println!("portmanteau tests (null: no autocorrelation):");
+    println!("{:>6} {:>16} {:>16}", "lags", "Ljung-Box p", "Box-Pierce p");
+    for h in [1usize, 7, 14, 30, 90, 185] {
+        if h + 2 >= series.len() {
+            continue;
+        }
+        let lb = ljung_box(series, h).unwrap();
+        let bp = box_pierce(series, h).unwrap();
+        println!("{h:>6} {:>16.3e} {:>16.3e}", lb.p_value, bp.p_value);
+    }
+    println!("(paper max p: 3.81e-38 LB / 7.57e-38 BP at lags up to 185)\n");
+
+    // --- ADF under both specifications ---------------------------------
+    for (label, reg) in [
+        ("constant", AdfRegression::Constant),
+        ("constant + trend (paper)", AdfRegression::ConstantTrend),
+    ] {
+        let r = adf_test(series, reg, LagSelection::Aic(14)).unwrap();
+        println!(
+            "ADF [{label}]: stat {:.3} | crit 5% {:.3} | lags {} (AIC) -> {}",
+            r.statistic,
+            r.crit_5pct,
+            r.lags,
+            if r.is_stationary_5pct() { "STATIONARY" } else { "unit root not rejected" }
+        );
+    }
+    println!("(paper: -3.86 vs -3.42 with constant + trend)\n");
+
+    // --- PELT: raw vs deseasonalized ------------------------------------
+    let n = series.len() as f64;
+    let sweep = |s: &[f64]| pelt_consensus(s, 40.0 * n.ln(), 2.5 * n.ln(), 12, 6, 0.5).unwrap();
+
+    println!("PELT penalty cool-down (12 runs, support >= 50%):");
+    let raw = sweep(series);
+    println!("  on the raw series:          {} candidate(s)", raw.len());
+    for (i, sup) in &raw {
+        println!("    {} (support {:.0}%)", start.plus_days(*i as i64), 100.0 * sup);
+    }
+    let deseason = deseasonalize_weekly(series).unwrap();
+    let des = sweep(&deseason);
+    println!("  weekly-deseasonalized:      {} candidate(s)", des.len());
+    for (i, sup) in &des {
+        println!("    {} (support {:.0}%)", start.plus_days(*i as i64), 100.0 * sup);
+    }
+    println!(
+        "\n(paper: exactly two — 23-25 Dec 2017 and the first week of April 2018.\n\
+         The weekly cycle inflates PELT's per-segment variance on the raw\n\
+         series, which is why the pipeline deseasonalizes first.)"
+    );
+}

@@ -1,0 +1,137 @@
+//! The full Section III acquisition pipeline under realistic API
+//! constraints, followed by the network characterization — the closest
+//! runnable analogue of what the paper's authors actually did in July
+//! 2018.
+//!
+//! Unlike `quickstart` (which crawls with unlimited quota), this example
+//! enables the real rate-limit policy (15 `friends/ids` calls per
+//! 15-minute window) and a 2% transient-failure rate, then reports how
+//! long the crawl *would* have taken in wall-clock time.
+//!
+//! ```text
+//! cargo run --release -p vnet-examples --bin crawl_and_characterize [nodes]
+//! ```
+
+use verified_net::{run_full_analysis, AnalysisOptions, Dataset, SynthesisConfig};
+use vnet_twittersim::RateLimitPolicy;
+
+fn main() {
+    let nodes: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6_000);
+
+    let mut config = SynthesisConfig::small();
+    config.society.net.nodes = nodes;
+    // Face the same API the authors did: windowed quotas + flaky calls.
+    config.rate_limits = RateLimitPolicy {
+        // Generous parallel-credential budget (the paper's crawl of 231k
+        // users at 15 calls/window per credential would span weeks; real
+        // crawls multiplex credentials).
+        friends_ids: 3_000,
+        users_lookup: 3_000,
+        roster: 100,
+        window_secs: 900,
+    };
+    config.failure_rate = 0.02;
+
+    println!("== Section III: data acquisition ==");
+    let t = std::time::Instant::now();
+    let dataset = Dataset::synthesize(&config);
+    let st = &dataset.crawl_stats;
+    println!("roster harvested:        {:>10} verified ids", st.roster_size);
+    println!("profiles hydrated:       {:>10}", st.profiles_fetched);
+    println!("English retained:        {:>10} ({:.1}%)", st.english_users,
+        100.0 * st.english_users as f64 / st.roster_size.max(1) as f64);
+    println!("raw friend links seen:   {:>10}", st.raw_friend_links);
+    println!("internal links kept:     {:>10} ({:.1}%)", st.internal_links,
+        100.0 * st.internal_links as f64 / st.raw_friend_links.max(1) as f64);
+    println!("rate-limit waits:        {:>10}", st.rate_limit_waits);
+    println!("transient retries:       {:>10}", st.transient_retries);
+    println!(
+        "simulated crawl time:    {:>10.1} hours  (ran in {:.2}s of real time)",
+        st.simulated_seconds as f64 / 3600.0,
+        t.elapsed().as_secs_f64()
+    );
+
+    let s = dataset.summary();
+    println!("\n== dataset ==");
+    println!("users {} | edges {} | density {:.5} | avg out-degree {:.1}",
+        s.users, s.edges, s.density, s.mean_out_degree);
+    println!("max out-degree {} (@{})  | isolated {}",
+        s.max_out_degree, s.max_out_handle, s.isolated);
+
+    println!("\n== Sections IV & V: characterization ==");
+    let report = run_full_analysis(&dataset, &AnalysisOptions::default());
+
+    println!("\n-- §IV-A basic --");
+    println!("giant SCC {:.2}% | {} WCCs | {} attracting components",
+        100.0 * report.basic.giant_scc_fraction,
+        report.basic.weak_components,
+        report.basic.attracting_components);
+    println!("clustering {:.4} | assortativity {:.4}",
+        report.basic.clustering, report.basic.assortativity_out_in);
+    println!("celebrity sink cores: {:?}", report.basic.top_sink_handles);
+
+    println!("\n-- §IV-B power laws --");
+    println!("out-degree: alpha {:.3}, xmin {}, KS {:.4}, tail n {}",
+        report.degrees.alpha, report.degrees.xmin, report.degrees.ks, report.degrees.n_tail);
+    for v in &report.degrees.vuong {
+        println!("  Vuong vs {:<12} LR {:>9.1}  stat {:>7.2}  p {:.2e}",
+            v.alternative, v.lr, v.statistic, v.p_value);
+    }
+    println!("eigenvalues: alpha {:.3}, xmin {:.2}, KS {:.4} (top {} eigenvalues)",
+        report.eigen.alpha, report.eigen.xmin, report.eigen.ks, report.eigen.eigenvalues.len());
+
+    println!("\n-- §IV-C/D --");
+    println!("reciprocity {:.1}% ({}x whole-Twitter)",
+        100.0 * report.reciprocity.reciprocity, fmt1(report.reciprocity.vs_whole_twitter));
+    println!("mean separation {:.2} | effective diameter {:.2} | max seen {}",
+        report.separation.mean, report.separation.effective_diameter, report.separation.max_observed);
+
+    println!("\n-- §IV-E bios (Table I excerpt) --");
+    for row in report.bios.top_bigrams.iter().take(8) {
+        println!("  {:<28} {:>6}", row.ngram, row.occurrences);
+    }
+
+    println!("\n-- §IV-F centrality --");
+    for p in &report.centrality.panels {
+        println!("  panel ({}) {:<12} vs {:<10} pearson(log) {:>6.3}  spearman {:>6.3}",
+            p.id, p.y_metric, p.x_metric, p.pearson_log, p.spearman);
+    }
+
+    println!("\n-- §IV-C conjecture validated (extension) --");
+    let inner = report.elite_core.bands.last().unwrap();
+    println!(
+        "degeneracy {} | innermost core: {} members, reciprocity {:.1}% (graph-wide {:.1}%), mean followers {:.0}",
+        report.elite_core.degeneracy,
+        inner.members,
+        100.0 * inner.reciprocity,
+        100.0 * report.elite_core.overall_reciprocity,
+        inner.mean_followers
+    );
+
+    println!("\n-- user categorization (extension) --");
+    for p in report.categories.profiles.iter().take(5) {
+        println!("  {:<14} {:>6} users ({:>4.1}%)", p.category, p.count, 100.0 * p.share);
+    }
+    println!("  news-adjacent share: {:.1}%", 100.0 * report.categories.news_share);
+
+    println!("\n-- §V activity --");
+    println!("Ljung-Box max p {:.2e} | Box-Pierce max p {:.2e}",
+        report.activity.ljung_box_max_p, report.activity.box_pierce_max_p);
+    println!("ADF {:.2} vs crit {:.2} -> stationary: {}",
+        report.activity.adf_statistic, report.activity.adf_crit_5pct, report.activity.stationary);
+    for cp in &report.activity.changepoints {
+        println!("change-point {} (support {:.0}%)", cp.date, 100.0 * cp.support);
+    }
+
+    // Persist the full report for downstream tooling.
+    let out = std::env::temp_dir().join("verified_net_report.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&report).unwrap()).unwrap();
+    println!("\nfull JSON report written to {}", out.display());
+}
+
+fn fmt1(x: f64) -> String {
+    format!("{x:.2}")
+}

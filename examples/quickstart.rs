@@ -1,0 +1,59 @@
+//! Quickstart: synthesize a verified-user network, run the paper's full
+//! analysis battery, and print the headline numbers next to the paper's.
+//!
+//! ```text
+//! cargo run --release -p vnet-examples --bin quickstart
+//! ```
+
+use verified_net::{run_full_analysis, AnalysisOptions, Dataset, SynthesisConfig};
+
+fn main() {
+    println!("verified-net quickstart — 'Elites Tweet?' (ICDE 2019) reproduction\n");
+
+    // 1. Synthesize the dataset: generate a society, crawl it through the
+    //    simulated REST API exactly as the paper's Section III describes,
+    //    and attach a year of Firehose activity.
+    let config = SynthesisConfig::default(); // 1:10 paper scale (~23k users)
+    println!("synthesizing & crawling a {}-user society ...", config.society.net.nodes);
+    let dataset = Dataset::synthesize(&config);
+    let s = dataset.summary();
+    println!(
+        "  crawled {} English verified users, {} internal follow edges\n",
+        s.users, s.edges
+    );
+
+    // 2. Run every analysis of Sections IV and V.
+    println!("running the Section IV + V battery ...\n");
+    let report = run_full_analysis(&dataset, &AnalysisOptions::quick());
+
+    // 3. Headlines, paper vs measured.
+    println!("{:<38} {:>16} {:>16}", "statistic", "paper", "measured");
+    println!("{}", "-".repeat(72));
+    row("density", "0.00148", format!("{:.5}", report.dataset.density));
+    row(
+        "isolated users (share)",
+        "2.61%",
+        format!("{:.2}%", 100.0 * report.basic.isolated as f64 / report.basic.users as f64),
+    );
+    row("giant SCC share", "97.24%", format!("{:.2}%", 100.0 * report.basic.giant_scc_fraction));
+    row("avg local clustering", "0.1583", format!("{:.4}", report.basic.clustering));
+    row("degree assortativity", "-0.04", format!("{:.4}", report.basic.assortativity_out_in));
+    row("reciprocity", "33.7%", format!("{:.1}%", 100.0 * report.reciprocity.reciprocity));
+    row("mean degrees of separation", "2.74", format!("{:.2}", report.separation.mean));
+    row("out-degree power-law alpha", "3.24", format!("{:.2}", report.degrees.alpha));
+    row("eigenvalue power-law alpha", "3.18", format!("{:.2}", report.eigen.alpha));
+    row("ADF statistic (crit -3.42)", "-3.86", format!("{:.2}", report.activity.adf_statistic));
+    row("Ljung-Box max p", "3.81e-38", format!("{:.2e}", report.activity.ljung_box_max_p));
+    row("PELT change-points", "2", format!("{}", report.activity.changepoints.len()));
+    row("top bio bigram", "Official Twitter", report.bios.top_bigrams[0].ngram.clone());
+
+    println!("\nchange-points found:");
+    for cp in &report.activity.changepoints {
+        println!("  {} (support {:.0}%)", cp.date, 100.0 * cp.support);
+    }
+    println!("(paper: 23-25 Dec 2017 and the first week of April 2018)");
+}
+
+fn row(name: &str, paper: &str, measured: String) {
+    println!("{name:<38} {paper:>16} {measured:>16}");
+}

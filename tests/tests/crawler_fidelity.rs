@@ -1,0 +1,77 @@
+//! Crawler-vs-ground-truth integration: the Section III pipeline must be
+//! exact under every adversity the simulated platform can throw at it,
+//! and the crawled graph must survive serialization.
+
+use vnet_graph::{induced_subgraph, io};
+use vnet_twittersim::{
+    Crawler, RateLimitPolicy, SimClock, Society, SocietyConfig, TwitterApi,
+};
+
+fn ground_truth(society: &Society) -> vnet_graph::DiGraph {
+    let english: Vec<u32> = (0..society.user_count() as u32)
+        .filter(|&v| society.profiles[v as usize].lang == "en")
+        .collect();
+    induced_subgraph(&society.network.graph, &english).graph
+}
+
+#[test]
+fn crawl_exact_under_rate_limits_and_failures() {
+    let society = Society::generate(&SocietyConfig::small());
+    let truth = ground_truth(&society);
+
+    let policy = RateLimitPolicy {
+        friends_ids: 500,
+        users_lookup: 40,
+        roster: 3,
+        window_secs: 900,
+    };
+    let api = TwitterApi::new(&society, SimClock::new(), policy, 0.05);
+    let ds = Crawler::new(&api).crawl().expect("crawl");
+
+    assert_eq!(ds.graph, truth, "adversity must not corrupt the dataset");
+    assert!(ds.stats.rate_limit_waits > 0);
+    assert!(ds.stats.transient_retries > 0);
+    // Simulated time is consistent with the number of waits taken.
+    assert!(ds.stats.simulated_seconds >= ds.stats.rate_limit_waits as u64);
+}
+
+#[test]
+fn crawl_is_idempotent() {
+    let society = Society::generate(&SocietyConfig::small());
+    let api = TwitterApi::new(&society, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+    let a = Crawler::new(&api).crawl().unwrap();
+    let b = Crawler::new(&api).crawl().unwrap();
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.platform_ids, b.platform_ids);
+}
+
+#[test]
+fn crawled_graph_serializes_and_reloads() {
+    let society = Society::generate(&SocietyConfig::small());
+    let api = TwitterApi::new(&society, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+    let ds = Crawler::new(&api).crawl().unwrap();
+
+    // Binary round trip.
+    let mut buf = Vec::new();
+    io::write_binary(&ds.graph, &mut buf).unwrap();
+    let reloaded = io::read_binary(&buf[..]).unwrap();
+    assert_eq!(reloaded, ds.graph);
+
+    // Edge-list round trip (node count preserved via min_nodes).
+    let mut text = Vec::new();
+    io::write_edge_list(&ds.graph, &mut text).unwrap();
+    let reloaded = io::read_edge_list(&text[..], ds.graph.node_count() as u32).unwrap();
+    assert_eq!(reloaded, ds.graph);
+}
+
+#[test]
+fn english_filter_ratio_matches_configuration() {
+    let society = Society::generate(&SocietyConfig::small());
+    let api = TwitterApi::new(&society, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+    let ds = Crawler::new(&api).crawl().unwrap();
+    let ratio = ds.stats.english_users as f64 / ds.stats.roster_size as f64;
+    // Paper: 231,246 / 297,776 = 0.7766.
+    assert!((ratio - 0.7766).abs() < 0.03, "english ratio {ratio}");
+    // Kept links are a strict subset of raw links.
+    assert!(ds.stats.internal_links <= ds.stats.raw_friend_links);
+}

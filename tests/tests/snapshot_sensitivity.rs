@@ -1,0 +1,72 @@
+//! Snapshot-timing sensitivity: the paper crawled once (July 18, 2018) and
+//! treats its statistics as properties of "the verified network". With the
+//! churn timeline bound, we can crawl the *same* society at different
+//! simulated dates and check that the structural fingerprint is robust to
+//! snapshot choice — the implicit assumption behind any one-shot
+//! measurement study.
+
+use vnet_algos::components::strongly_connected_components;
+use vnet_algos::reciprocity::reciprocity;
+use vnet_graph::induced_subgraph;
+use vnet_twittersim::{ChurnConfig, RosterTimeline, SimClock, Society, SocietyConfig};
+
+/// Crawl-equivalent: induce the sub-graph of English verified users as of
+/// `day` directly from the timeline (the API path is exercised elsewhere;
+/// here we want many snapshots cheaply).
+fn snapshot_graph(society: &Society, timeline: &RosterTimeline, day: u32) -> vnet_graph::DiGraph {
+    let members: Vec<u32> = (0..society.user_count() as u32)
+        .filter(|&v| {
+            timeline.is_verified(v, day) && society.profiles[v as usize].lang == "en"
+        })
+        .collect();
+    induced_subgraph(&society.network.graph, &members).graph
+}
+
+#[test]
+fn fingerprint_robust_across_snapshot_dates() {
+    let society = Society::generate(&SocietyConfig::small());
+    let timeline = RosterTimeline::generate(&society, &ChurnConfig::default());
+
+    let mut reciprocities = Vec::new();
+    let mut scc_fractions = Vec::new();
+    for day in [0u32, 90, 180, 270, 365] {
+        let g = snapshot_graph(&society, &timeline, day);
+        reciprocities.push(reciprocity(&g));
+        scc_fractions.push(strongly_connected_components(&g).giant_fraction());
+    }
+    // Every snapshot preserves the fingerprint's direction...
+    for (&r, &s) in reciprocities.iter().zip(&scc_fractions) {
+        assert!(r > 0.221, "reciprocity dropped below whole-Twitter at some snapshot: {r}");
+        // Thinner than the full-roster 97%: the day-0 snapshot keeps only
+        // ~93% of users, and random removal mints accidental sinks.
+        assert!(s > 0.85, "giant SCC broke at some snapshot: {s}");
+    }
+    // ...and the drift across a year of churn stays well inside the gap
+    // that separates the verified network from the whole-Twitter 22.1%.
+    // (The drift is not negligible at this scale: mutual edges concentrate
+    // on few prominent accounts, so dropping a handful of them from a
+    // snapshot moves reciprocity by points — a caveat any one-shot crawl
+    // inherits.)
+    let r_spread = reciprocities.iter().cloned().fold(f64::MIN, f64::max)
+        - reciprocities.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(r_spread < 0.08, "reciprocity drifts too much across snapshots: {reciprocities:?}");
+}
+
+#[test]
+fn api_crawl_sees_the_snapshot_of_its_clock() {
+    use vnet_twittersim::{Crawler, RateLimitPolicy, TwitterApi};
+    let society = Society::generate(&SocietyConfig::small());
+    let timeline = RosterTimeline::generate(&society, &ChurnConfig::default());
+
+    // Crawl "on day 200": the roster the crawler harvests must be exactly
+    // the day-200 roster.
+    let clock = SimClock::new();
+    clock.advance(200 * 86_400);
+    let api = TwitterApi::new(&society, clock, RateLimitPolicy::unlimited(), 0.0)
+        .with_timeline(timeline.clone());
+    let ds = Crawler::new(&api).crawl().unwrap();
+    let expected = timeline.roster_at(200).len();
+    assert_eq!(ds.stats.roster_size, expected);
+    // And it differs from the day-0 roster (churn is real).
+    assert_ne!(ds.stats.roster_size, timeline.roster_at(0).len());
+}
