@@ -47,7 +47,7 @@ pub fn betweenness_sampled<R: Rng + ?Sized>(
 }
 
 /// Parallel pivot-sampled betweenness using `threads` OS threads
-/// (crossbeam scoped). Each thread owns a private accumulator; results are
+/// (std scoped threads). Each thread owns a private accumulator; results are
 /// reduced at the end, so the estimate is identical in distribution to the
 /// serial sampled variant.
 pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
@@ -69,11 +69,11 @@ pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
     let chunks: Vec<&[usize]> =
         sources.chunks(sources.len().div_ceil(threads)).collect();
 
-    let partials: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = vec![0.0f64; n];
                     let mut ws = BrandesWorkspace::new(n);
                     for &s in chunk {
@@ -84,8 +84,7 @@ pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("betweenness worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut centrality = vec![0.0f64; n];
     for partial in partials {

@@ -66,7 +66,7 @@ pub fn basic_analysis<R: Rng + ?Sized>(
             (g.in_degree(v) as u64, dataset.profiles[v as usize].screen_name.clone())
         })
         .collect();
-    sinks.sort_by(|a, b| b.0.cmp(&a.0));
+    sinks.sort_by_key(|s| std::cmp::Reverse(s.0));
 
     let summary = dataset.summary();
     BasicReport {

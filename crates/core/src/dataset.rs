@@ -5,8 +5,8 @@ use vnet_graph::DiGraph;
 use vnet_synth::VerifiedNetConfig;
 use vnet_timeseries::Date;
 use vnet_twittersim::{
-    ActivityConfig, CrawlStats, Crawler, Firehose, RateLimitPolicy, SimClock, Society,
-    SocietyConfig, TwitterApi, UserProfile,
+    ActivityConfig, CrawlOutcome, CrawlStats, Crawler, FaultPlan, Firehose, RateLimitPolicy,
+    SimClock, Society, SocietyConfig, TwitterApi, UserProfile,
 };
 
 /// How to synthesize a dataset: society scale plus crawl/firehose knobs.
@@ -49,6 +49,28 @@ impl SynthesisConfig {
     }
 }
 
+/// Where a [`Dataset`] came from — and, when it was crawled under fault
+/// injection, how trustworthy it is. Analyses that tolerate degraded data
+/// can proceed with the drift on record; ones that cannot should reject
+/// anything but `Synthesized` / `FaultInjected { degraded: false, .. }`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetProvenance {
+    /// A clean simulated crawl (no fault plan bound).
+    Synthesized,
+    /// Crawled through a fault plan.
+    FaultInjected {
+        /// The plan seed (replays the exact crawl).
+        seed: u64,
+        /// `true` when the crawl ended [`CrawlOutcome::Degraded`] — the
+        /// roster was still drifting when the pass budget ran out.
+        degraded: bool,
+        /// Crawl passes taken.
+        passes: usize,
+    },
+    /// Assembled from parts (e.g. loaded from disk); no crawl telemetry.
+    Loaded,
+}
+
 /// The paper's analysis object: the English verified sub-graph, profiles,
 /// and the year of daily activity.
 #[derive(Debug, Clone)]
@@ -63,6 +85,8 @@ pub struct Dataset {
     pub activity_start: Date,
     /// Crawl telemetry (zeroed when the dataset was loaded, not crawled).
     pub crawl_stats: CrawlStats,
+    /// How this dataset was produced.
+    pub provenance: DatasetProvenance,
 }
 
 /// Headline numbers of a dataset (paper Section III / Table-free text).
@@ -109,7 +133,48 @@ impl Dataset {
             activity,
             activity_start: config.activity.start,
             crawl_stats: crawl.stats,
+            provenance: DatasetProvenance::Synthesized,
         }
+    }
+
+    /// Synthesize a dataset through a fault plan: same pipeline as
+    /// [`Dataset::synthesize`], but the API injects the plan's faults and
+    /// the crawl runs the churn-hardened multi-pass
+    /// [`Crawler::crawl_resumable`]. Both complete and degraded crawls are
+    /// accepted — the distinction (and the plan seed, which replays the
+    /// crawl exactly) is recorded in [`Dataset::provenance`]. Aborted
+    /// crawls (non-healing plans can exhaust the retry budget) return the
+    /// error instead.
+    pub fn synthesize_with_faults(
+        config: &SynthesisConfig,
+        plan: &FaultPlan,
+    ) -> Result<Dataset, vnet_twittersim::ApiError> {
+        let society = Society::generate(&config.society);
+        let api = TwitterApi::new(
+            &society,
+            SimClock::new(),
+            config.rate_limits,
+            config.failure_rate,
+        )
+        .with_faults(plan.clone());
+        let (crawl, degraded, passes) = match Crawler::new(&api).crawl_resumable(None) {
+            CrawlOutcome::Complete(ds) => {
+                let passes = ds.stats.passes;
+                (ds, false, passes)
+            }
+            CrawlOutcome::Degraded { dataset, passes, .. } => (dataset, true, passes),
+            CrawlOutcome::Aborted { error, .. } => return Err(error),
+        };
+        let firehose = Firehose::new(&society, config.activity);
+        let activity = firehose.activity_values();
+        Ok(Dataset {
+            graph: crawl.graph,
+            profiles: crawl.profiles,
+            activity,
+            activity_start: config.activity.start,
+            crawl_stats: crawl.stats,
+            provenance: DatasetProvenance::FaultInjected { seed: plan.seed(), degraded, passes },
+        })
     }
 
     /// Assemble a dataset from parts (e.g. loaded from disk).
@@ -120,7 +185,14 @@ impl Dataset {
         activity_start: Date,
     ) -> Dataset {
         assert_eq!(graph.node_count(), profiles.len(), "profiles misaligned with graph");
-        Dataset { graph, profiles, activity, activity_start, crawl_stats: CrawlStats::default() }
+        Dataset {
+            graph,
+            profiles,
+            activity,
+            activity_start,
+            crawl_stats: CrawlStats::default(),
+            provenance: DatasetProvenance::Loaded,
+        }
     }
 
     /// Headline numbers.
@@ -189,6 +261,31 @@ mod tests {
         // of the sub-graph (degree may shrink, order usually holds).
         assert!(!s.max_out_handle.is_empty());
         assert!(s.max_out_degree > 0);
+    }
+
+    #[test]
+    fn synthesize_with_faults_converges_and_records_provenance() {
+        // A generated (healing) plan under realistic rate limits must
+        // converge to the exact fault-free dataset; the only trace of the
+        // faults is the provenance record and the stats tally.
+        let config = SynthesisConfig {
+            rate_limits: RateLimitPolicy::default(),
+            ..SynthesisConfig::small()
+        };
+        let plan = FaultPlan::generate(7);
+        let faulty = Dataset::synthesize_with_faults(&config, &plan).unwrap();
+        match faulty.provenance {
+            DatasetProvenance::FaultInjected { seed, degraded, passes } => {
+                assert_eq!(seed, 7);
+                assert!(!degraded, "healing plan must not degrade");
+                assert!(passes >= 1);
+            }
+            other => panic!("wrong provenance: {other:?}"),
+        }
+        let clean = Dataset::synthesize(&SynthesisConfig::small());
+        assert_eq!(clean.provenance, DatasetProvenance::Synthesized);
+        assert_eq!(faulty.graph, clean.graph);
+        assert_eq!(faulty.profiles, clean.profiles);
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub mod recip;
 pub mod report;
 pub mod separation;
 
-pub use dataset::{Dataset, SynthesisConfig};
+pub use dataset::{Dataset, DatasetProvenance, SynthesisConfig};
 pub use experiments::{Experiment, EXPERIMENTS};
 pub use fingerprint::{classify_fingerprint, NetworkFingerprint};
 pub use io::{load_dataset, save_dataset};

@@ -84,9 +84,9 @@ impl Mat {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec: dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
+            *o = row.iter().zip(v).map(|(&a, &b)| a * b).sum();
         }
         out
     }

@@ -69,7 +69,8 @@ impl PenalizedSpline {
         let (lo, hi) = x.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
             (l.min(v), h.max(v))
         });
-        if !(hi > lo) {
+        // partial_cmp: NaN inputs must also be rejected, not just hi == lo.
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return Err(StatsError::InvalidParameter("x has zero range"));
         }
         let step = (hi - lo) / n_segments as f64;

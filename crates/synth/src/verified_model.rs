@@ -259,6 +259,15 @@ impl VerifiedNetwork {
                 let roll: f64 = rng.random();
                 if roll < config.mutual_fraction {
                     // Mutual pair; retry a few times to dodge collisions.
+                    // The fame^exponent weights are so top-heavy (the tail
+                    // exponent of fame^e is (alpha-1)/e, near 1 at the
+                    // defaults) that the weighted table saturates after a
+                    // handful of distinct partners; without a fallback most
+                    // mutual slots silently mint nothing and reciprocity
+                    // lands far below 2q/(1+q). Uniform fallback keeps the
+                    // slot productive while leaving the bulk of pairs
+                    // fame-concentrated.
+                    let mut minted = false;
                     for _ in 0..12 {
                         let v = mutual_pool[mutual_alias.sample(rng)];
                         if v == u || my_targets.contains(&v) {
@@ -269,7 +278,23 @@ impl VerifiedNetwork {
                             my_targets.insert(v);
                             adj[u as usize].push(v);
                             adj[v as usize].push(u);
+                            minted = true;
                             break;
+                        }
+                    }
+                    if !minted {
+                        for _ in 0..24 {
+                            let v = mutual_pool[rng.random_range(0..mutual_pool.len())];
+                            if v == u || my_targets.contains(&v) {
+                                continue;
+                            }
+                            let key = (u.min(v), u.max(v));
+                            if mutual_seen.insert(key) {
+                                my_targets.insert(v);
+                                adj[u as usize].push(v);
+                                adj[v as usize].push(u);
+                                break;
+                            }
                         }
                     }
                 } else {
@@ -465,3 +490,4 @@ mod tests {
         VerifiedNetwork::generate(&cfg, &mut rng);
     }
 }
+

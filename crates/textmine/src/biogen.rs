@@ -161,7 +161,7 @@ impl BioGenerator {
                 parts.push(match rng.random_range(0..3u8) {
                     0 => "Official Twitter account".to_string(),
                     1 => "Official Twitter page".to_string(),
-                    _ => "The official account. International support".to_string(),
+                    _ => "The official Twitter account. International support".to_string(),
                 });
                 if rng.random::<f64>() < 0.45 {
                     parts.push("For customer service follow us".into());

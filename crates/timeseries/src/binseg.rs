@@ -74,7 +74,7 @@ pub fn binary_segmentation(
         for t in (a + min_seg)..=(b - min_seg) {
             let split = cost.segment(a, t) + cost.segment(t, b);
             let gain = whole - split - penalty;
-            if gain > 0.0 && best.map_or(true, |(g, _)| gain > g) {
+            if gain > 0.0 && best.is_none_or(|(g, _)| gain > g) {
                 best = Some((gain, t));
             }
         }

@@ -83,10 +83,10 @@ fn centered_moving_average(series: &[f64], period: usize) -> Vec<f64> {
         let hi = (t + half).min(n - 1);
         // For even periods weight the endpoints by 1/2 (2×p MA) when the
         // full window is available; fall back to a plain mean at edges.
-        if period % 2 == 0 && t >= half && t + half < n {
+        if period.is_multiple_of(2) && t >= half && t + half < n {
             let mut acc = 0.5 * series[t - half] + 0.5 * series[t + half];
-            for u in (t - half + 1)..(t + half) {
-                acc += series[u];
+            for &s in &series[(t - half + 1)..(t + half)] {
+                acc += s;
             }
             out[t] = acc / period as f64;
         } else {

@@ -7,16 +7,24 @@
 //! crawler advances when it must wait — so a "week-long" crawl runs in
 //! milliseconds while exercising the same control flow.
 
+use crate::churn::FlickerSchedule;
+use crate::faults::{endpoint_salt, FaultClause, FaultPlan, FaultTally};
 use crate::society::{Society, UserId, UserProfile};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// `Mutex::lock` that treats poisoning as fatal (parking-lot semantics;
+/// a panic mid-update means the simulation state is unreliable anyway).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().expect("twittersim mutex poisoned")
+}
 
 /// A shared simulated clock (seconds since crawl start).
 #[derive(Debug, Clone, Default)]
-pub struct SimClock(Arc<Mutex<u64>>);
+pub struct SimClock(Arc<AtomicU64>);
 
 impl SimClock {
     /// A clock at t = 0.
@@ -26,12 +34,12 @@ impl SimClock {
 
     /// Current simulated time in seconds.
     pub fn now(&self) -> u64 {
-        *self.0.lock()
+        self.0.load(Ordering::SeqCst)
     }
 
     /// Advance by `seconds`.
     pub fn advance(&self, seconds: u64) {
-        *self.0.lock() += seconds;
+        self.0.fetch_add(seconds, Ordering::SeqCst);
     }
 }
 
@@ -85,6 +93,10 @@ pub enum ApiError {
     ServerError,
     /// Malformed request (bad cursor, oversized batch).
     BadRequest(&'static str),
+    /// A continuation cursor minted against an older roster generation:
+    /// the listing changed under the client (mid-crawl verification
+    /// churn). Restart the listing from cursor 1.
+    CursorExpired,
 }
 
 impl std::fmt::Display for ApiError {
@@ -96,6 +108,7 @@ impl std::fmt::Display for ApiError {
             ApiError::NotFound(id) => write!(f, "user {id} not found"),
             ApiError::ServerError => write!(f, "transient server error"),
             ApiError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ApiError::CursorExpired => write!(f, "cursor expired: listing changed"),
         }
     }
 }
@@ -107,10 +120,25 @@ pub const FRIENDS_PAGE: usize = 5_000;
 /// Profiles per `users/lookup` batch (real API value).
 pub const LOOKUP_BATCH: usize = 100;
 
+/// Cursor layout: low 40 bits are `offset + 1` (1 = first page, 0 = end
+/// of list), high bits carry the roster generation for listings that can
+/// change under the client.
+const CURSOR_OFFSET_MASK: u64 = (1 << 40) - 1;
+
 #[derive(Debug)]
 struct Bucket {
     used: u32,
     window_start: u64,
+}
+
+/// Per-API fault machinery: the plan, its materialized flicker schedule,
+/// a monotone per-endpoint attempt counter (the replay-stable salt for
+/// per-call decisions), and the running tally.
+struct FaultState {
+    plan: FaultPlan,
+    flicker: FlickerSchedule,
+    attempts: Mutex<HashMap<&'static str, u64>>,
+    tally: Mutex<FaultTally>,
 }
 
 /// The simulated REST API bound to a [`Society`].
@@ -123,6 +151,7 @@ pub struct TwitterApi<'a> {
     rng: Mutex<StdRng>,
     calls: Mutex<HashMap<&'static str, u64>>,
     timeline: Option<crate::churn::RosterTimeline>,
+    faults: Option<FaultState>,
 }
 
 impl<'a> TwitterApi<'a> {
@@ -144,6 +173,7 @@ impl<'a> TwitterApi<'a> {
             rng: Mutex::new(StdRng::seed_from_u64(0xA11CE)),
             calls: Mutex::new(HashMap::new()),
             timeline: None,
+            faults: None,
         }
     }
 
@@ -156,6 +186,26 @@ impl<'a> TwitterApi<'a> {
         self
     }
 
+    /// Bind a deterministic fault plan. Every fault decision is a pure
+    /// function of `(plan seed, clause, endpoint, per-endpoint attempt)`,
+    /// so binding the same plan to a fresh API over the same society
+    /// replays the exact same fault sequence.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        let flicker = FlickerSchedule::from_plan(&plan);
+        self.faults = Some(FaultState {
+            plan,
+            flicker,
+            attempts: Mutex::new(HashMap::new()),
+            tally: Mutex::new(FaultTally::default()),
+        });
+        self
+    }
+
+    /// Running count of injected faults (all zeros when no plan is bound).
+    pub fn fault_tally(&self) -> FaultTally {
+        self.faults.as_ref().map(|f| *lock(&f.tally)).unwrap_or_default()
+    }
+
     /// The clock this API reads.
     pub fn clock(&self) -> &SimClock {
         &self.clock
@@ -163,12 +213,27 @@ impl<'a> TwitterApi<'a> {
 
     /// Total successful calls per endpoint (telemetry for crawl stats).
     pub fn call_counts(&self) -> HashMap<&'static str, u64> {
-        self.calls.lock().clone()
+        lock(&self.calls).clone()
     }
 
-    fn charge(&self, endpoint: &'static str, quota: u32) -> Result<(), ApiError> {
+    /// Admit one call against `endpoint`'s quota and roll its fault
+    /// decisions. Returns the 0-based per-endpoint attempt index (the
+    /// replay-stable salt downstream fault draws key on); always 0 when no
+    /// plan is bound. The counter advances on every call including failed
+    /// ones, so a retry of a faulted call draws a fresh decision.
+    fn charge(&self, endpoint: &'static str, quota: u32) -> Result<u64, ApiError> {
         let now = self.clock.now();
-        let mut buckets = self.buckets.lock();
+        let attempt = match &self.faults {
+            Some(f) => {
+                let mut attempts = lock(&f.attempts);
+                let slot = attempts.entry(endpoint).or_insert(0);
+                let current = *slot;
+                *slot += 1;
+                current
+            }
+            None => 0,
+        };
+        let mut buckets = lock(&self.buckets);
         let bucket =
             buckets.entry(endpoint).or_insert(Bucket { used: 0, window_start: now });
         if now >= bucket.window_start + self.policy.window_secs {
@@ -176,37 +241,90 @@ impl<'a> TwitterApi<'a> {
             bucket.window_start = now;
         }
         if bucket.used >= quota {
-            return Err(ApiError::RateLimited {
-                retry_after: bucket.window_start + self.policy.window_secs - now,
-            });
+            let mut retry_after = bucket.window_start + self.policy.window_secs - now;
+            if let Some(f) = &self.faults {
+                // Rate-limit skew: the reset header overstates the wait.
+                // Costs simulated time only — never data.
+                for c in f.plan.clauses() {
+                    if let FaultClause::RateLimitSkew { extra_secs, .. } = *c {
+                        if c.active_at(now) {
+                            retry_after += extra_secs;
+                            lock(&f.tally).skewed_waits += 1;
+                        }
+                    }
+                }
+            }
+            return Err(ApiError::RateLimited { retry_after });
         }
         // Transient failures burn quota, like real 5xx responses did.
         bucket.used += 1;
-        if self.failure_rate > 0.0 && self.rng.lock().random::<f64>() < self.failure_rate {
+        drop(buckets);
+        if let Some(f) = &self.faults {
+            for (i, c) in f.plan.clauses().iter().enumerate() {
+                if !c.active_at(now) {
+                    continue;
+                }
+                match *c {
+                    FaultClause::Outage { endpoint: ep, .. } if ep.covers(endpoint) => {
+                        lock(&f.tally).outage_failures += 1;
+                        return Err(ApiError::ServerError);
+                    }
+                    FaultClause::ErrorBurst { endpoint: ep, probability, .. }
+                        if ep.covers(endpoint)
+                            && f.plan.decision(i, endpoint_salt(endpoint), attempt)
+                                < probability =>
+                    {
+                        lock(&f.tally).burst_failures += 1;
+                        return Err(ApiError::ServerError);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if self.failure_rate > 0.0 && lock(&self.rng).random::<f64>() < self.failure_rate {
             return Err(ApiError::ServerError);
         }
-        *self.calls.lock().entry(endpoint).or_insert(0) += 1;
-        Ok(())
+        *lock(&self.calls).entry(endpoint).or_insert(0) += 1;
+        Ok(attempt)
     }
 
     /// Page through the `@verified` roster (ids of all verified users).
     /// Cursor 1 starts; 0 in the reply means done (Twitter convention:
-    /// `cursor=-1` starts, but unsigned 1 plays that role here).
+    /// `cursor=-1` starts, but unsigned 1 plays that role here). Under a
+    /// fault plan with roster flicker, continuation cursors carry the
+    /// roster generation they were minted against and expire
+    /// ([`ApiError::CursorExpired`]) once the roster changes under them.
     pub fn verified_ids(&self, cursor: u64) -> Result<Page, ApiError> {
-        self.charge("verified_ids", self.policy.roster)?;
-        let roster = match &self.timeline {
+        let attempt = self.charge("verified_ids", self.policy.roster)?;
+        let now = self.clock.now();
+        let mut roster = match &self.timeline {
             Some(t) => {
-                let day = ((self.clock.now() / 86_400) as u32).min(t.days() as u32 - 1);
+                let day = ((now / 86_400) as u32).min(t.days() as u32 - 1);
                 t.roster_at(day)
             }
             None => self.society.verified_roster(),
         };
-        self.paginate(&roster, cursor, FRIENDS_PAGE)
+        let mut generation = 0u64;
+        if let Some(f) = &self.faults {
+            generation = f.flicker.generation(now);
+            if f.flicker.active(now) {
+                let before = roster.len();
+                roster.retain(|&id| !f.flicker.hidden(id, now));
+                if roster.len() < before {
+                    lock(&f.tally).flickered_roster_reads += 1;
+                }
+            }
+            if cursor > 1 && (cursor >> 40) != generation {
+                lock(&f.tally).expired_cursors += 1;
+                return Err(ApiError::CursorExpired);
+            }
+        }
+        self.paginate(&roster, cursor, FRIENDS_PAGE, "verified_ids", generation, attempt)
     }
 
     /// `friends/ids`: the accounts `id` follows, 5,000 per page.
     pub fn friends_ids(&self, id: UserId, cursor: u64) -> Result<Page, ApiError> {
-        self.charge("friends_ids", self.policy.friends_ids)?;
+        let attempt = self.charge("friends_ids", self.policy.friends_ids)?;
         let node = self.society.node_of(id).ok_or(ApiError::NotFound(id))?;
         let friends: Vec<UserId> = self
             .society
@@ -216,14 +334,16 @@ impl<'a> TwitterApi<'a> {
             .iter()
             .map(|&v| self.society.id_of(v))
             .collect();
-        self.paginate(&friends, cursor, FRIENDS_PAGE)
+        // Follow lists are static in the simulation, so their cursors
+        // never expire: generation 0 throughout.
+        self.paginate(&friends, cursor, FRIENDS_PAGE, "friends_ids", 0, attempt)
     }
 
     /// `followers/ids`: the accounts following `id`, 5,000 per page.
     /// Shares the `friends/ids` quota family, like the real API of the
     /// era. Used by the reverse-crawl cross-validation.
     pub fn followers_ids(&self, id: UserId, cursor: u64) -> Result<Page, ApiError> {
-        self.charge("followers_ids", self.policy.friends_ids)?;
+        let attempt = self.charge("followers_ids", self.policy.friends_ids)?;
         let node = self.society.node_of(id).ok_or(ApiError::NotFound(id))?;
         let followers: Vec<UserId> = self
             .society
@@ -233,13 +353,16 @@ impl<'a> TwitterApi<'a> {
             .iter()
             .map(|&v| self.society.id_of(v))
             .collect();
-        self.paginate(&followers, cursor, FRIENDS_PAGE)
+        self.paginate(&followers, cursor, FRIENDS_PAGE, "followers_ids", 0, attempt)
     }
 
     /// `users/show`: one profile.
     pub fn users_show(&self, id: UserId) -> Result<UserProfile, ApiError> {
-        self.charge("users_show", self.policy.users_lookup)?;
-        self.society.profile(id).cloned().ok_or(ApiError::NotFound(id))
+        let attempt = self.charge("users_show", self.policy.users_lookup)?;
+        let mut profile =
+            self.society.profile(id).cloned().ok_or(ApiError::NotFound(id))?;
+        self.apply_stale(&mut profile, attempt);
+        Ok(profile)
     }
 
     /// `users/lookup`: up to 100 profiles per call; unknown ids are
@@ -248,22 +371,106 @@ impl<'a> TwitterApi<'a> {
         if ids.len() > LOOKUP_BATCH {
             return Err(ApiError::BadRequest("users/lookup accepts at most 100 ids"));
         }
-        self.charge("users_lookup", self.policy.users_lookup)?;
-        Ok(ids.iter().filter_map(|&id| self.society.profile(id).cloned()).collect())
+        let attempt = self.charge("users_lookup", self.policy.users_lookup)?;
+        let mut profiles: Vec<UserProfile> =
+            ids.iter().filter_map(|&id| self.society.profile(id).cloned()).collect();
+        for p in &mut profiles {
+            self.apply_stale(p, attempt);
+        }
+        Ok(profiles)
     }
 
-    fn paginate(&self, all: &[UserId], cursor: u64, page: usize) -> Result<Page, ApiError> {
-        // Cursor encoding: 1 = first page; otherwise 1 + offset.
+    /// Serve a stale cached read when a [`FaultClause::StaleProfiles`]
+    /// window is active: activity counters roll back ~1/8th, but identity
+    /// fields (id, screen name, language, bio, verified) stay intact —
+    /// caches go stale on counts long before they go stale on identity.
+    /// The crawler's English filter and the follow graph are therefore
+    /// unaffected, which is what makes this fault recoverable.
+    fn apply_stale(&self, profile: &mut UserProfile, attempt: u64) {
+        let Some(f) = &self.faults else { return };
+        let now = self.clock.now();
+        for (i, c) in f.plan.clauses().iter().enumerate() {
+            if let FaultClause::StaleProfiles { probability, .. } = *c {
+                if c.active_at(now)
+                    && f.plan.decision(i, profile.id ^ attempt, attempt) < probability
+                {
+                    profile.followers_count -= profile.followers_count / 8;
+                    profile.friends_count -= profile.friends_count / 8;
+                    profile.listed_count -= profile.listed_count / 8;
+                    profile.statuses_count -= profile.statuses_count / 8;
+                    lock(&f.tally).stale_reads += 1;
+                }
+            }
+        }
+    }
+
+    fn paginate(
+        &self,
+        all: &[UserId],
+        cursor: u64,
+        page: usize,
+        endpoint: &'static str,
+        generation: u64,
+        attempt: u64,
+    ) -> Result<Page, ApiError> {
+        // Cursor encoding: low 40 bits are 1 + offset (1 = first page);
+        // high bits carry the roster generation for expirable listings.
         if cursor == 0 {
             return Err(ApiError::BadRequest("cursor 0 is the end-of-list marker"));
         }
-        let offset = (cursor - 1) as usize;
+        let offset = ((cursor & CURSOR_OFFSET_MASK) - 1) as usize;
         if offset > all.len() {
             return Err(ApiError::BadRequest("cursor past end"));
         }
         let end = (offset + page).min(all.len());
-        let next_cursor = if end == all.len() { 0 } else { end as u64 + 1 };
-        Ok(Page { ids: all[offset..end].to_vec(), next_cursor })
+        let mut ids = all[offset..end].to_vec();
+        let mut end_actual = end;
+        if let Some(f) = &self.faults {
+            let now = self.clock.now();
+            for (i, c) in f.plan.clauses().iter().enumerate() {
+                if !c.active_at(now) {
+                    continue;
+                }
+                match *c {
+                    FaultClause::TruncatedPages { endpoint: ep, probability, .. }
+                        if ep.covers(endpoint)
+                            && ids.len() >= 2
+                            && f.plan.decision(i, endpoint_salt(endpoint), attempt)
+                                < probability =>
+                    {
+                        // Keep at least half (and so at least one id):
+                        // the continuation cursor must still advance or
+                        // an always-truncating window would livelock a
+                        // crawler that never moves the clock forward.
+                        let keep = ids.len().div_ceil(2);
+                        ids.truncate(keep);
+                        end_actual = offset + keep;
+                        lock(&f.tally).truncated_pages += 1;
+                    }
+                    FaultClause::DuplicatedPages { endpoint: ep, probability, .. }
+                        if ep.covers(endpoint)
+                            && !ids.is_empty()
+                            && f.plan.decision(i, endpoint_salt(endpoint), attempt)
+                                < probability =>
+                    {
+                        // Re-emit ids already delivered on this page (a
+                        // cursor-shift artefact). First-occurrence order
+                        // is preserved, so a deduping crawler converges.
+                        let k = ids.len().min(2);
+                        let dup: Vec<UserId> = ids[..k].to_vec();
+                        ids.extend(dup);
+                        lock(&f.tally).duplicated_ids += k as u64;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let next_cursor = if end_actual == all.len() {
+            0
+        } else {
+            (end_actual as u64 + 1) | (generation << 40)
+        };
+        Ok(Page { ids, next_cursor })
     }
 }
 
@@ -400,6 +607,104 @@ mod tests {
         let day300 = drain(&api);
         assert_eq!(day300, timeline.roster_at(300));
         assert_ne!(day0.len(), day300.len(), "roster should drift over 300 days");
+    }
+
+    #[test]
+    fn empty_roster_lists_cleanly() {
+        // A flicker window hiding everyone yields an empty roster; the
+        // listing must still terminate with a clean end-of-list page.
+        let s = society();
+        let plan = FaultPlan::new(3).with(FaultClause::RosterFlicker {
+            probability: 1.0,
+            from: 0,
+            until: 100,
+        });
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0)
+            .with_faults(plan);
+        let page = api.verified_ids(1).unwrap();
+        assert!(page.ids.is_empty());
+        assert_eq!(page.next_cursor, 0);
+        assert_eq!(api.fault_tally().flickered_roster_reads, 1);
+    }
+
+    #[test]
+    fn single_page_listing_and_boundary_cursors() {
+        // The small society's roster fits in exactly one page: next_cursor
+        // must be 0 immediately, the just-past-the-end cursor must yield a
+        // valid empty terminal page, and anything further is rejected.
+        let s = society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        assert!(s.user_count() < FRIENDS_PAGE);
+        let page = api.verified_ids(1).unwrap();
+        assert_eq!(page.ids.len(), s.user_count());
+        assert_eq!(page.next_cursor, 0);
+        let boundary = api.verified_ids(s.user_count() as u64 + 1).unwrap();
+        assert!(boundary.ids.is_empty());
+        assert_eq!(boundary.next_cursor, 0);
+        assert!(matches!(
+            api.verified_ids(s.user_count() as u64 + 2),
+            Err(ApiError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn cursor_survives_rate_limit_wait_mid_listing() {
+        // Permanent truncation splits the roster into many short pages;
+        // a 2-call window forces rate-limit waits mid-listing. Resuming
+        // with the same continuation cursor after each wait must still
+        // reassemble the roster exactly, in order, with nothing repeated.
+        let s = society();
+        let clock = SimClock::new();
+        let plan = FaultPlan::new(11).with(FaultClause::TruncatedPages {
+            endpoint: crate::faults::Endpoint::VerifiedIds,
+            probability: 1.0,
+            from: 0,
+            until: u64::MAX,
+        });
+        let policy = RateLimitPolicy { roster: 2, ..RateLimitPolicy::default() };
+        let api = TwitterApi::new(&s, clock.clone(), policy, 0.0).with_faults(plan);
+        let mut cursor = 1u64;
+        let mut out = Vec::new();
+        let mut waits = 0;
+        loop {
+            match api.verified_ids(cursor) {
+                Ok(page) => {
+                    out.extend(page.ids);
+                    if page.next_cursor == 0 {
+                        break;
+                    }
+                    cursor = page.next_cursor;
+                }
+                Err(ApiError::RateLimited { retry_after }) => {
+                    waits += 1;
+                    clock.advance(retry_after);
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert_eq!(out, s.verified_roster());
+        assert!(waits > 0, "the tight quota should have forced waits");
+        assert!(api.fault_tally().truncated_pages > 0);
+    }
+
+    #[test]
+    fn duplicated_pages_preserve_first_occurrence_order() {
+        let s = society();
+        let plan = FaultPlan::new(13).with(FaultClause::DuplicatedPages {
+            endpoint: crate::faults::Endpoint::Any,
+            probability: 1.0,
+            from: 0,
+            until: u64::MAX,
+        });
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0)
+            .with_faults(plan);
+        let page = api.verified_ids(1).unwrap();
+        assert!(page.ids.len() > s.user_count(), "ids must be re-served");
+        let mut seen = std::collections::HashSet::new();
+        let deduped: Vec<UserId> =
+            page.ids.into_iter().filter(|&id| seen.insert(id)).collect();
+        assert_eq!(deduped, s.verified_roster());
+        assert_eq!(api.fault_tally().duplicated_ids, 2);
     }
 
     #[test]

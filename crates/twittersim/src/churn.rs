@@ -8,6 +8,7 @@
 //! [`crate::TwitterApi`] can be bound to it so the `@verified` roster an
 //! API client sees depends on *when* (simulated clock) it asks.
 
+use crate::faults::{FaultClause, FaultPlan};
 use crate::society::{Society, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -111,6 +112,68 @@ impl RosterTimeline {
     }
 }
 
+/// Second-scale verification churn driven by a [`FaultPlan`]: the
+/// materialization of that plan's [`FaultClause::RosterFlicker`] clauses.
+///
+/// Where [`RosterTimeline`] models the *slow* day-scale badge churn the
+/// paper's snapshot methodology worries about, a flicker schedule models
+/// the *fast* hazard: accounts dropping off the `@verified` roster for
+/// minutes-to-hours mid-crawl. Membership is a pure function of
+/// `(plan seed, clause, user id)` — constant within a window — and each
+/// window edge bumps a monotone *generation* counter so the API can
+/// expire roster cursors that straddle a change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlickerSchedule {
+    /// `(clause index in the plan, from, until, probability)` per flicker
+    /// clause, in plan order.
+    windows: Vec<(usize, u64, u64, f64)>,
+    plan: FaultPlan,
+}
+
+impl FlickerSchedule {
+    /// Extract the flicker schedule of `plan` (empty if the plan has no
+    /// [`FaultClause::RosterFlicker`] clauses).
+    pub fn from_plan(plan: &FaultPlan) -> Self {
+        let windows = plan
+            .clauses()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match *c {
+                FaultClause::RosterFlicker { probability, from, until } => {
+                    Some((i, from, until, probability))
+                }
+                _ => None,
+            })
+            .collect();
+        Self { windows, plan: plan.clone() }
+    }
+
+    /// Is user `id` hidden from the roster at simulated time `now`?
+    pub fn hidden(&self, id: UserId, now: u64) -> bool {
+        self.windows.iter().any(|&(clause, from, until, p)| {
+            from <= now && now < until && self.plan.user_draw(clause, id) < p
+        })
+    }
+
+    /// Is any flicker window active at `now`?
+    pub fn active(&self, now: u64) -> bool {
+        self.windows.iter().any(|&(_, from, until, _)| from <= now && now < until)
+    }
+
+    /// The roster generation at `now`: the number of window edges (starts
+    /// and ends) at or before `now`. Any change in roster composition
+    /// changes the generation, and the generation is monotone in time, so
+    /// it is a sound freshness token for roster cursors.
+    pub fn generation(&self, now: u64) -> u64 {
+        self.windows
+            .iter()
+            .map(|&(_, from, until, _)| {
+                u64::from(from <= now) + u64::from(until <= now)
+            })
+            .sum()
+    }
+}
+
 /// First day index at which a per-day Bernoulli(rate) event fires, or
 /// `u32::MAX` when it never fires inside the horizon.
 fn sample_geometric_day<R: Rng + ?Sized>(rng: &mut R, rate: f64, horizon: usize) -> u32 {
@@ -192,5 +255,48 @@ mod tests {
         };
         let t = RosterTimeline::generate(&s, &cfg);
         assert_eq!(t.roster_at(0), t.roster_at(399));
+    }
+
+    #[test]
+    fn flicker_schedule_hides_stable_fraction_inside_window() {
+        use crate::faults::{FaultClause, FaultPlan};
+        let plan = FaultPlan::new(5)
+            .with(FaultClause::RosterFlicker { probability: 0.25, from: 100, until: 200 });
+        let f = FlickerSchedule::from_plan(&plan);
+        let hidden: Vec<UserId> = (0..4_000u64).filter(|&id| f.hidden(id, 150)).collect();
+        let frac = hidden.len() as f64 / 4_000.0;
+        assert!((frac - 0.25).abs() < 0.03, "hidden fraction {frac}");
+        // Stable within the window, empty outside it.
+        let again: Vec<UserId> = (0..4_000u64).filter(|&id| f.hidden(id, 199)).collect();
+        assert_eq!(hidden, again);
+        assert!((0..4_000u64).all(|id| !f.hidden(id, 99) && !f.hidden(id, 200)));
+    }
+
+    #[test]
+    fn flicker_generation_counts_window_edges() {
+        use crate::faults::{FaultClause, FaultPlan};
+        let plan = FaultPlan::new(5)
+            .with(FaultClause::RosterFlicker { probability: 0.1, from: 100, until: 200 })
+            .with(FaultClause::RosterFlicker { probability: 0.1, from: 150, until: 300 });
+        let f = FlickerSchedule::from_plan(&plan);
+        assert_eq!(f.generation(0), 0);
+        assert_eq!(f.generation(100), 1);
+        assert_eq!(f.generation(150), 2);
+        assert_eq!(f.generation(200), 3);
+        assert_eq!(f.generation(300), 4);
+        assert!(f.active(120) && f.active(250) && !f.active(99) && !f.active(300));
+    }
+
+    #[test]
+    fn plans_without_flicker_are_inert() {
+        use crate::faults::{FaultClause, FaultPlan};
+        let plan = FaultPlan::new(1).with(FaultClause::StaleProfiles {
+            probability: 1.0,
+            from: 0,
+            until: u64::MAX,
+        });
+        let f = FlickerSchedule::from_plan(&plan);
+        assert!(!f.hidden(1, 0) && !f.active(0));
+        assert_eq!(f.generation(u64::MAX - 1), 0);
     }
 }

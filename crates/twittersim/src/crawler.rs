@@ -11,16 +11,27 @@
 //! internal network existing among the verified users."
 //!
 //! The crawler below performs exactly those steps against the simulated
-//! API, including rate-limit waits (simulated-clock sleeps) and retries of
-//! transient failures.
+//! API, including rate-limit waits (simulated-clock sleeps), bounded
+//! exponential-backoff retries of transient failures, cursor-restart
+//! handling for mid-crawl roster churn, and — via
+//! [`Crawler::crawl_resumable`] — checkpointed multi-pass crawls that
+//! verify the roster stayed stable and report how degraded the result is
+//! when it did not.
 
 use crate::api::{ApiError, TwitterApi, LOOKUP_BATCH};
+use crate::faults::FaultTally;
 use crate::society::{UserId, UserProfile};
 use std::collections::{HashMap, HashSet};
 use vnet_graph::{DiGraph, GraphBuilder, NodeId};
 
-/// Telemetry from a crawl.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Result of the harvest phase: `(roster, english ids, profiles aligned
+/// with english)`.
+type Harvest = (Vec<UserId>, Vec<UserId>, Vec<UserProfile>);
+
+/// Telemetry from a crawl. Integer counters only, so two runs can be
+/// compared for exact equality (the replay-determinism guarantee of
+/// [`crate::faults::FaultPlan`] is tested that way).
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CrawlStats {
     /// Verified ids harvested from the roster.
     pub roster_size: usize,
@@ -40,6 +51,14 @@ pub struct CrawlStats {
     pub transient_retries: usize,
     /// Simulated seconds the crawl took.
     pub simulated_seconds: u64,
+    /// Cursored listings restarted after [`ApiError::CursorExpired`].
+    pub cursor_restarts: usize,
+    /// Ids dropped by pagination dedupe (re-served by overlapping pages).
+    pub duplicate_ids_dropped: usize,
+    /// Full crawl passes taken (0 for the single-pass [`Crawler::crawl`]).
+    pub passes: usize,
+    /// Faults injected by the API while this crawl ran.
+    pub faults: FaultTally,
 }
 
 /// The crawled dataset: the paper's analysis object.
@@ -56,6 +75,68 @@ pub struct CrawlDataset {
     pub stats: CrawlStats,
 }
 
+/// A serializable resume point for [`Crawler::crawl_resumable`]: everything
+/// needed to pick a crawl back up after an abort — on a fresh process, a
+/// fresh API binding, or after the operator fixed whatever was on fire.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CrawlCheckpoint {
+    /// 1-based pass number (0 in a fresh checkpoint).
+    pub pass: usize,
+    /// Has this pass harvested its roster yet?
+    pub harvested: bool,
+    /// The pass's `@verified` roster (harvest order).
+    pub roster: Vec<UserId>,
+    /// English subset of the roster, in roster order; the node-id space.
+    pub english: Vec<UserId>,
+    /// Profiles aligned with `english`.
+    pub profiles: Vec<UserProfile>,
+    /// Internal (English-verified) friend ids of `english[0..next_index]`,
+    /// one list per crawled user.
+    pub adj: Vec<Vec<UserId>>,
+    /// Next index into `english` whose friend list is still uncrawled.
+    pub next_index: usize,
+    /// Telemetry accumulated so far (across aborts and resumes).
+    pub stats: CrawlStats,
+}
+
+/// How a resumable crawl ended.
+#[derive(Debug)]
+pub enum CrawlOutcome {
+    /// The crawl finished and its end-of-pass roster verification matched:
+    /// the dataset is exactly what a fault-free crawl produces (the fault
+    /// history survives only in [`CrawlStats::faults`]).
+    Complete(CrawlDataset),
+    /// The crawl finished but the roster was still drifting after the pass
+    /// budget: the dataset is internally consistent for the roster its
+    /// final pass observed, and `roster_drift` says how far off it was.
+    Degraded {
+        /// The final pass's dataset.
+        dataset: CrawlDataset,
+        /// Ids present in exactly one of (final pass roster, verification
+        /// roster) — the symmetric-difference size.
+        roster_drift: usize,
+        /// Passes taken (equals the pass budget).
+        passes: usize,
+    },
+    /// A non-recoverable error (retry budget exhausted, bad request):
+    /// resume later from the checkpoint.
+    Aborted {
+        /// The error that stopped the crawl.
+        error: ApiError,
+        /// Resume point capturing all progress made.
+        checkpoint: Box<CrawlCheckpoint>,
+    },
+}
+
+/// Retry backoff parameters: exponential from [`BACKOFF_BASE_SECS`] doubling
+/// per retry, capped at [`BACKOFF_CAP_SECS`] (one rate-limit window), with
+/// deterministic jitter in the upper half of the interval.
+const BACKOFF_BASE_SECS: u64 = 5;
+/// Upper bound of a single backoff sleep.
+const BACKOFF_CAP_SECS: u64 = 900;
+/// Pass budget for [`Crawler::crawl_resumable`].
+const MAX_PASSES: usize = 8;
+
 /// A crawler over a [`TwitterApi`].
 pub struct Crawler<'a, 's> {
     api: &'a TwitterApi<'s>,
@@ -68,34 +149,16 @@ impl<'a, 's> Crawler<'a, 's> {
         Self { api, max_retries: 25 }
     }
 
-    /// Run the full Section III acquisition pipeline.
+    /// Run the full Section III acquisition pipeline (single pass, no
+    /// end-of-pass verification — see [`Crawler::crawl_resumable`] for the
+    /// churn-hardened variant).
     pub fn crawl(&self) -> Result<CrawlDataset, ApiError> {
         let mut stats = CrawlStats::default();
         let start_time = self.api.clock().now();
+        let tally0 = self.api.fault_tally();
 
-        // Step 1: harvest the @verified roster.
-        let roster = self.collect_cursored(&mut stats, |cursor| self.api.verified_ids(cursor))?;
-        stats.roster_size = roster.len();
-
-        // Step 2: hydrate profiles in lookup batches.
-        let mut profiles_by_id: HashMap<UserId, UserProfile> =
-            HashMap::with_capacity(roster.len());
-        for chunk in roster.chunks(LOOKUP_BATCH) {
-            let batch =
-                self.with_retry(&mut stats, || self.api.users_lookup(chunk))?;
-            for p in batch {
-                profiles_by_id.insert(p.id, p);
-            }
-        }
-        stats.profiles_fetched = profiles_by_id.len();
-
-        // Step 3: filter to English profiles, preserving roster order.
-        let english: Vec<UserId> = roster
-            .iter()
-            .copied()
-            .filter(|id| profiles_by_id.get(id).is_some_and(|p| p.lang == "en"))
-            .collect();
-        stats.english_users = english.len();
+        // Steps 1–3: roster, profiles, English filter.
+        let (_, english, profiles) = self.harvest_and_hydrate(&mut stats)?;
         let node_of: HashMap<UserId, NodeId> =
             english.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
         let english_set: HashSet<UserId> = english.iter().copied().collect();
@@ -116,9 +179,8 @@ impl<'a, 's> Crawler<'a, 's> {
             }
         }
 
-        let profiles: Vec<UserProfile> =
-            english.iter().map(|id| profiles_by_id[id].clone()).collect();
         stats.simulated_seconds = self.api.clock().now() - start_time;
+        stats.faults = self.api.fault_tally().since(&tally0);
 
         Ok(CrawlDataset { graph: builder.build(), profiles, platform_ids: english, stats })
     }
@@ -131,26 +193,9 @@ impl<'a, 's> Crawler<'a, 's> {
     pub fn crawl_reverse(&self) -> Result<CrawlDataset, ApiError> {
         let mut stats = CrawlStats::default();
         let start_time = self.api.clock().now();
+        let tally0 = self.api.fault_tally();
 
-        let roster = self.collect_cursored(&mut stats, |cursor| self.api.verified_ids(cursor))?;
-        stats.roster_size = roster.len();
-
-        let mut profiles_by_id: HashMap<UserId, UserProfile> =
-            HashMap::with_capacity(roster.len());
-        for chunk in roster.chunks(LOOKUP_BATCH) {
-            let batch = self.with_retry(&mut stats, || self.api.users_lookup(chunk))?;
-            for p in batch {
-                profiles_by_id.insert(p.id, p);
-            }
-        }
-        stats.profiles_fetched = profiles_by_id.len();
-
-        let english: Vec<UserId> = roster
-            .iter()
-            .copied()
-            .filter(|id| profiles_by_id.get(id).is_some_and(|p| p.lang == "en"))
-            .collect();
-        stats.english_users = english.len();
+        let (_, english, profiles) = self.harvest_and_hydrate(&mut stats)?;
         let node_of: HashMap<UserId, NodeId> =
             english.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
         let english_set: HashSet<UserId> = english.iter().copied().collect();
@@ -172,13 +217,184 @@ impl<'a, 's> Crawler<'a, 's> {
             }
         }
 
-        let profiles: Vec<UserProfile> =
-            english.iter().map(|id| profiles_by_id[id].clone()).collect();
         stats.simulated_seconds = self.api.clock().now() - start_time;
+        stats.faults = self.api.fault_tally().since(&tally0);
         Ok(CrawlDataset { graph: builder.build(), profiles, platform_ids: english, stats })
     }
 
-    /// Drain a cursored endpoint into a flat id list.
+    /// Churn-hardened, checkpointable crawl.
+    ///
+    /// Runs the Section III pipeline in *passes*: after each pass's friend
+    /// crawl, the roster is re-harvested and re-hydrated; if it matches the
+    /// roster the pass was built on, the listing was stable for the whole
+    /// pass and the result is [`CrawlOutcome::Complete`] — under any
+    /// healing [`crate::faults::FaultPlan`] this is bit-identical to the
+    /// fault-free crawl. A mismatch starts a fresh pass from the new
+    /// roster, up to an 8-pass budget, after which the last consistent
+    /// dataset is returned as [`CrawlOutcome::Degraded`] with the measured
+    /// drift. Non-recoverable errors return [`CrawlOutcome::Aborted`] with
+    /// a serializable [`CrawlCheckpoint`]; pass it back in (same or fresh
+    /// API binding) to continue where the crawl stopped.
+    pub fn crawl_resumable(&self, resume: Option<CrawlCheckpoint>) -> CrawlOutcome {
+        let start_time = self.api.clock().now();
+        let tally0 = self.api.fault_tally();
+        let mut ckpt = resume.unwrap_or_default();
+        if ckpt.pass == 0 {
+            ckpt.pass = 1;
+        }
+        let finish_stats = |ckpt: &mut CrawlCheckpoint, crawler: &Self| {
+            ckpt.stats.simulated_seconds += crawler.api.clock().now() - start_time;
+            ckpt.stats.faults.merge(&crawler.api.fault_tally().since(&tally0));
+            ckpt.stats.passes = ckpt.pass;
+        };
+        loop {
+            if let Err(error) = self.run_pass(&mut ckpt) {
+                finish_stats(&mut ckpt, self);
+                return CrawlOutcome::Aborted { error, checkpoint: Box::new(ckpt) };
+            }
+            // End-of-pass verification: a fresh harvest must reproduce the
+            // roster this pass crawled, else the listing moved under us.
+            let mut verify_stats = CrawlStats::default();
+            let fresh = match self.harvest_and_hydrate(&mut verify_stats) {
+                Ok(triple) => triple,
+                Err(error) => {
+                    ckpt.stats.rate_limit_waits += verify_stats.rate_limit_waits;
+                    ckpt.stats.transient_retries += verify_stats.transient_retries;
+                    ckpt.stats.cursor_restarts += verify_stats.cursor_restarts;
+                    ckpt.stats.duplicate_ids_dropped += verify_stats.duplicate_ids_dropped;
+                    finish_stats(&mut ckpt, self);
+                    return CrawlOutcome::Aborted { error, checkpoint: Box::new(ckpt) };
+                }
+            };
+            ckpt.stats.rate_limit_waits += verify_stats.rate_limit_waits;
+            ckpt.stats.transient_retries += verify_stats.transient_retries;
+            ckpt.stats.cursor_restarts += verify_stats.cursor_restarts;
+            ckpt.stats.duplicate_ids_dropped += verify_stats.duplicate_ids_dropped;
+            let (fresh_roster, fresh_english, fresh_profiles) = fresh;
+
+            if fresh_roster == ckpt.roster {
+                // Stable pass. Use the verification profiles — they are the
+                // freshest read, and under a healed plan they are exact.
+                finish_stats(&mut ckpt, self);
+                let dataset = Self::assemble(&ckpt, fresh_profiles);
+                return CrawlOutcome::Complete(dataset);
+            }
+
+            let drift = {
+                let a: HashSet<UserId> = ckpt.roster.iter().copied().collect();
+                let b: HashSet<UserId> = fresh_roster.iter().copied().collect();
+                a.symmetric_difference(&b).count()
+            };
+            if ckpt.pass >= MAX_PASSES {
+                finish_stats(&mut ckpt, self);
+                let passes = ckpt.pass;
+                let profiles = ckpt.profiles.clone();
+                let dataset = Self::assemble(&ckpt, profiles);
+                return CrawlOutcome::Degraded { dataset, roster_drift: drift, passes };
+            }
+            // The verification harvest doubles as the next pass's step 1–3:
+            // carry it over instead of re-fetching.
+            ckpt = CrawlCheckpoint {
+                pass: ckpt.pass + 1,
+                harvested: true,
+                roster: fresh_roster,
+                english: fresh_english,
+                profiles: fresh_profiles,
+                adj: Vec::new(),
+                next_index: 0,
+                stats: CrawlStats {
+                    roster_size: verify_stats.roster_size,
+                    profiles_fetched: verify_stats.profiles_fetched,
+                    english_users: verify_stats.english_users,
+                    ..ckpt.stats
+                },
+            };
+        }
+    }
+
+    /// One pass: harvest + hydrate (unless the checkpoint already did) and
+    /// crawl friend lists from `next_index` on, checkpointing progress.
+    fn run_pass(&self, ckpt: &mut CrawlCheckpoint) -> Result<(), ApiError> {
+        if !ckpt.harvested {
+            let (roster, english, profiles) = self.harvest_and_hydrate(&mut ckpt.stats)?;
+            ckpt.roster = roster;
+            ckpt.english = english;
+            ckpt.profiles = profiles;
+            ckpt.adj = Vec::new();
+            ckpt.next_index = 0;
+            ckpt.harvested = true;
+        }
+        let english_set: HashSet<UserId> = ckpt.english.iter().copied().collect();
+        while ckpt.next_index < ckpt.english.len() {
+            let id = ckpt.english[ckpt.next_index];
+            let friends = self
+                .collect_cursored(&mut ckpt.stats, |cursor| self.api.friends_ids(id, cursor))?;
+            ckpt.stats.friend_pages += 1 + friends.len() / crate::api::FRIENDS_PAGE;
+            ckpt.stats.raw_friend_links += friends.len();
+            let internal: Vec<UserId> =
+                friends.into_iter().filter(|fid| english_set.contains(fid)).collect();
+            ckpt.stats.internal_links += internal.len();
+            ckpt.adj.push(internal);
+            ckpt.next_index += 1;
+        }
+        Ok(())
+    }
+
+    /// Build the dataset from a finished pass's adjacency.
+    fn assemble(ckpt: &CrawlCheckpoint, profiles: Vec<UserProfile>) -> CrawlDataset {
+        let node_of: HashMap<UserId, NodeId> =
+            ckpt.english.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        let mut builder = GraphBuilder::new(ckpt.english.len() as u32);
+        for (u, internal) in ckpt.adj.iter().enumerate() {
+            for fid in internal {
+                let v = node_of[fid];
+                builder.add_edge(u as u32, v).expect("node ids dense by construction");
+            }
+        }
+        CrawlDataset {
+            graph: builder.build(),
+            profiles,
+            platform_ids: ckpt.english.clone(),
+            stats: ckpt.stats.clone(),
+        }
+    }
+
+    /// Steps 1–3 of the pipeline: harvest the roster, hydrate profiles in
+    /// lookup batches, filter to English preserving roster order. Returns
+    /// `(roster, english ids, profiles aligned with english)`.
+    fn harvest_and_hydrate(&self, stats: &mut CrawlStats) -> Result<Harvest, ApiError> {
+        let roster = self.collect_cursored(stats, |cursor| self.api.verified_ids(cursor))?;
+        stats.roster_size = roster.len();
+
+        let mut profiles_by_id: HashMap<UserId, UserProfile> =
+            HashMap::with_capacity(roster.len());
+        for chunk in roster.chunks(LOOKUP_BATCH) {
+            let batch = self.with_retry(stats, || self.api.users_lookup(chunk))?;
+            for p in batch {
+                profiles_by_id.insert(p.id, p);
+            }
+        }
+        stats.profiles_fetched = profiles_by_id.len();
+
+        let english: Vec<UserId> = roster
+            .iter()
+            .copied()
+            .filter(|id| profiles_by_id.get(id).is_some_and(|p| p.lang == "en"))
+            .collect();
+        stats.english_users = english.len();
+        let profiles: Vec<UserProfile> =
+            english.iter().map(|id| profiles_by_id[id].clone()).collect();
+        Ok((roster, english, profiles))
+    }
+
+    /// Drain a cursored endpoint into a flat deduplicated id list.
+    ///
+    /// Duplicate ids (re-served by overlapping pages) are dropped, keeping
+    /// first-occurrence order — this is what makes
+    /// [`crate::faults::FaultClause::DuplicatedPages`] lossless. A
+    /// [`ApiError::CursorExpired`] reply (the listing's generation moved)
+    /// restarts the listing from the top; restarts are finite because the
+    /// generation counter is bounded by the fault plan's window count.
     fn collect_cursored<F>(
         &self,
         stats: &mut CrawlStats,
@@ -188,10 +404,27 @@ impl<'a, 's> Crawler<'a, 's> {
         F: FnMut(u64) -> Result<crate::api::Page, ApiError>,
     {
         let mut out = Vec::new();
+        let mut seen: HashSet<UserId> = HashSet::new();
         let mut cursor = 1u64;
         loop {
-            let page = self.with_retry(stats, || fetch(cursor))?;
-            out.extend(page.ids);
+            let page = match self.with_retry(stats, || fetch(cursor)) {
+                Ok(page) => page,
+                Err(ApiError::CursorExpired) => {
+                    stats.cursor_restarts += 1;
+                    out.clear();
+                    seen.clear();
+                    cursor = 1;
+                    continue;
+                }
+                Err(other) => return Err(other),
+            };
+            for id in page.ids {
+                if seen.insert(id) {
+                    out.push(id);
+                } else {
+                    stats.duplicate_ids_dropped += 1;
+                }
+            }
             if page.next_cursor == 0 {
                 return Ok(out);
             }
@@ -199,13 +432,15 @@ impl<'a, 's> Crawler<'a, 's> {
         }
     }
 
-    /// Retry wrapper handling rate limits (advance the simulated clock)
-    /// and transient server errors (bounded retries).
+    /// Retry wrapper handling rate limits (advance the simulated clock by
+    /// the reported wait) and transient server errors (bounded exponential
+    /// backoff with deterministic jitter, so retry timing replays exactly
+    /// for a given fault seed).
     fn with_retry<T, F>(&self, stats: &mut CrawlStats, mut call: F) -> Result<T, ApiError>
     where
         F: FnMut() -> Result<T, ApiError>,
     {
-        let mut retries = 0;
+        let mut retries = 0usize;
         loop {
             match call() {
                 Ok(v) => return Ok(v),
@@ -219,13 +454,29 @@ impl<'a, 's> Crawler<'a, 's> {
                     if retries > self.max_retries {
                         return Err(ApiError::ServerError);
                     }
-                    // Linear backoff in simulated time.
-                    self.api.clock().advance(5 * retries as u64);
+                    self.api.clock().advance(backoff_secs(retries, self.api.clock().now()));
                 }
                 Err(fatal) => return Err(fatal),
             }
         }
     }
+}
+
+/// Exponential backoff with deterministic jitter: doubling from
+/// [`BACKOFF_BASE_SECS`], capped at [`BACKOFF_CAP_SECS`], and jittered into
+/// the upper half of the interval by a hash of `(retries, now)` — no wall
+/// clock, no RNG state, so the sleep sequence is a pure function of the
+/// simulation history.
+fn backoff_secs(retries: usize, now: u64) -> u64 {
+    let exp = BACKOFF_BASE_SECS.saturating_mul(1 << (retries - 1).min(8));
+    let cap = exp.min(BACKOFF_CAP_SECS);
+    let mut z = (retries as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(now.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    cap / 2 + z % (cap / 2 + 1)
 }
 
 #[cfg(test)]
@@ -311,5 +562,34 @@ mod tests {
         assert!(ds.graph.density() < 0.05);
         let scc = vnet_algos::components::strongly_connected_components(&ds.graph);
         assert!(scc.giant_fraction() > 0.9, "giant SCC {}", scc.giant_fraction());
+    }
+
+    #[test]
+    fn resumable_without_faults_matches_plain_crawl() {
+        let s = small_society();
+        let api = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        let plain = Crawler::new(&api).crawl().unwrap();
+        let api2 = TwitterApi::new(&s, SimClock::new(), RateLimitPolicy::unlimited(), 0.0);
+        match Crawler::new(&api2).crawl_resumable(None) {
+            CrawlOutcome::Complete(ds) => {
+                assert_eq!(ds.graph, plain.graph);
+                assert_eq!(ds.platform_ids, plain.platform_ids);
+                assert_eq!(ds.profiles, plain.profiles);
+                assert_eq!(ds.stats.passes, 1);
+            }
+            other => panic!("fault-free resumable crawl must complete: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        for retries in 1..30usize {
+            for now in [0u64, 17, 900, 123_456] {
+                let a = backoff_secs(retries, now);
+                assert_eq!(a, backoff_secs(retries, now));
+                let cap = (BACKOFF_BASE_SECS << (retries - 1).min(8)).min(BACKOFF_CAP_SECS);
+                assert!(a >= cap / 2 && a <= cap, "retry {retries}: {a} not in [{}/2, {cap}]", cap);
+            }
+        }
     }
 }

@@ -30,15 +30,55 @@
 //! * [`crawler`] — Section III reproduced as code: harvest the verified
 //!   roster, hydrate profiles, filter to English, crawl friend lists under
 //!   rate limits, and induce the internal verified-to-verified graph.
+//! * [`faults`] — deterministic fault injection: a seedable
+//!   [`faults::FaultPlan`] of scheduled outages, error bursts, truncated or
+//!   duplicated cursor pages, stale profile reads, rate-limit skew, and
+//!   mid-crawl roster flicker, all driven by the simulated clock.
+//!
+//! ## Fault injection
+//!
+//! Every fault decision is a pure function of the plan seed, the clause,
+//! and a per-endpoint attempt counter — no wall clock, no global RNG — so
+//! a single `u64` replays an entire degraded crawl bit-for-bit:
+//!
+//! ```
+//! use vnet_twittersim::api::{RateLimitPolicy, SimClock, TwitterApi};
+//! use vnet_twittersim::faults::{Endpoint, FaultClause, FaultPlan};
+//! use vnet_twittersim::society::{Society, SocietyConfig};
+//! use vnet_twittersim::crawler::{CrawlOutcome, Crawler};
+//!
+//! let society = Society::generate(&SocietyConfig::small());
+//! let plan = FaultPlan::new(42)
+//!     .with(FaultClause::Outage { endpoint: Endpoint::FriendsIds, from: 0, until: 600 })
+//!     .with(FaultClause::TruncatedPages {
+//!         endpoint: Endpoint::Any,
+//!         probability: 0.5,
+//!         from: 0,
+//!         until: 1_800,
+//!     });
+//! assert!(plan.is_healing());
+//! let api = TwitterApi::new(&society, SimClock::new(), RateLimitPolicy::default(), 0.0)
+//!     .with_faults(plan);
+//! match Crawler::new(&api).crawl_resumable(None) {
+//!     CrawlOutcome::Complete(dataset) => {
+//!         // Same graph a fault-free crawl produces; the scars live in
+//!         // dataset.stats.faults.
+//!         assert!(dataset.stats.faults.total() > 0);
+//!     }
+//!     other => panic!("healing plan must complete: {other:?}"),
+//! }
+//! ```
 
 pub mod api;
 pub mod churn;
 pub mod crawler;
+pub mod faults;
 pub mod firehose;
 pub mod society;
 
 pub use api::{ApiError, Page, RateLimitPolicy, SimClock, TwitterApi};
-pub use churn::{ChurnConfig, RosterTimeline};
-pub use crawler::{CrawlDataset, CrawlStats, Crawler};
+pub use churn::{ChurnConfig, FlickerSchedule, RosterTimeline};
+pub use crawler::{CrawlCheckpoint, CrawlDataset, CrawlOutcome, CrawlStats, Crawler};
+pub use faults::{Endpoint, FaultClause, FaultPlan, FaultTally};
 pub use firehose::{ActivityConfig, Firehose};
 pub use society::{Society, SocietyConfig, UserId, UserProfile};

@@ -103,7 +103,7 @@ impl Society {
         let mut profiles = Vec::with_capacity(n);
         let mut categories = Vec::with_capacity(n);
         let max_fame = network.fame.iter().cloned().fold(f64::MIN, f64::max).max(1.0);
-        for v in 0..n {
+        for (v, &platform_id) in id_of_node.iter().enumerate() {
             let category = biogen.sample_category(&mut rng);
             categories.push(category);
             let fame = network.fame[v];
@@ -131,8 +131,8 @@ impl Society {
                 String::from("\u{2728}")
             };
             profiles.push(UserProfile {
-                id: id_of_node[v],
-                screen_name: format!("user_{}", id_of_node[v]),
+                id: platform_id,
+                screen_name: format!("user_{platform_id}"),
                 lang: lang.to_string(),
                 bio,
                 followers_count: followers,

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo verification lanes, fastest first:
+#
+#   scripts/verify.sh fast    twittersim unit tests only (~seconds) —
+#                             the fault-injection + crawler fast lane
+#   scripts/verify.sh         tier-1: release build + full quiet test suite
+#   scripts/verify.sh full    tier-1 plus clippy with warnings denied
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+lane="${1:-tier1}"
+
+case "$lane" in
+fast)
+    cargo test -q -p vnet-twittersim
+    ;;
+tier1)
+    cargo build --release
+    cargo test -q
+    ;;
+full)
+    cargo build --release
+    cargo test -q
+    cargo clippy --workspace -- -D warnings
+    ;;
+*)
+    echo "usage: scripts/verify.sh [fast|tier1|full]" >&2
+    exit 2
+    ;;
+esac

@@ -1,0 +1,295 @@
+//! Conformance battery for the deterministic fault-injection harness.
+//!
+//! The central claim (`crates/twittersim/src/faults.rs`): every fault kind
+//! is lossless at the protocol level, so a crawl run through any *healing*
+//! fault plan — under a realistic, clock-advancing rate-limit policy —
+//! converges to a dataset **bit-identical** to the fault-free crawl. The
+//! properties below check that claim over randomized societies and plans,
+//! pin the fault accounting with golden values, and exercise the
+//! checkpoint/resume path including a JSON round-trip.
+
+use proptest::prelude::*;
+use vnet_integration_tests::{fault_free_crawl, healing_fault_plan, tiny_society_config};
+use vnet_twittersim::{
+    ApiError, CrawlCheckpoint, CrawlOutcome, Crawler, Endpoint, FaultClause, FaultPlan,
+    RateLimitPolicy, SimClock, Society, SocietyConfig, TwitterApi,
+};
+
+/// Run the churn-hardened crawl through `plan` under realistic limits.
+fn faulted_outcome(society: &Society, plan: &FaultPlan) -> CrawlOutcome {
+    let api = TwitterApi::new(society, SimClock::new(), RateLimitPolicy::default(), 0.0)
+        .with_faults(plan.clone());
+    Crawler::new(&api).crawl_resumable(None)
+}
+
+/// A fixed tiny society for the deterministic (non-property) tests.
+fn fixed_tiny_config() -> SocietyConfig {
+    let mut cfg = SocietyConfig::small();
+    cfg.net.nodes = 180;
+    cfg.net.mean_out_degree = 9.0;
+    cfg.net.celebrity_sinks = 2;
+    cfg.seed = 0xBEEF;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// THE conformance property: any eventually-healing plan yields a
+    /// crawled dataset bit-identical to the fault-free crawl — same graph,
+    /// same node-id assignment, same profiles.
+    #[test]
+    fn healing_plans_converge_to_the_fault_free_crawl(
+        cfg in tiny_society_config(),
+        plan in healing_fault_plan(),
+    ) {
+        let society = Society::generate(&cfg);
+        let reference = fault_free_crawl(&society);
+        match faulted_outcome(&society, &plan) {
+            CrawlOutcome::Complete(ds) => {
+                prop_assert_eq!(&ds.graph, &reference.graph);
+                prop_assert_eq!(&ds.platform_ids, &reference.platform_ids);
+                prop_assert_eq!(&ds.profiles, &reference.profiles);
+            }
+            other => prop_assert!(
+                false,
+                "healing plan must complete, got {:?} for plan {:?}",
+                other,
+                plan
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replay determinism: binding the same plan to a fresh API over the
+    /// same society reproduces the crawl exactly — identical CrawlStats
+    /// (including the fault tally and simulated clock) and dataset.
+    #[test]
+    fn same_plan_seed_replays_identical_stats(
+        cfg in tiny_society_config(),
+        plan in healing_fault_plan(),
+    ) {
+        let society = Society::generate(&cfg);
+        let complete = |outcome: CrawlOutcome| match outcome {
+            CrawlOutcome::Complete(ds) => ds,
+            other => panic!("healing plan must complete: {other:?}"),
+        };
+        let a = complete(faulted_outcome(&society, &plan));
+        let b = complete(faulted_outcome(&society, &plan));
+        prop_assert_eq!(&a.stats, &b.stats);
+        prop_assert_eq!(&a.graph, &b.graph);
+        prop_assert_eq!(&a.profiles, &b.profiles);
+    }
+}
+
+/// A plan stacking every clause kind at once (the generator draws at most
+/// four; this pins the all-kinds interaction deterministically).
+fn all_kinds_plan() -> FaultPlan {
+    FaultPlan::new(0xC0FFEE)
+        .with(FaultClause::Outage { endpoint: Endpoint::VerifiedIds, from: 0, until: 300 })
+        .with(FaultClause::ErrorBurst {
+            endpoint: Endpoint::FriendsIds,
+            probability: 0.5,
+            from: 0,
+            until: 1_200,
+        })
+        .with(FaultClause::TruncatedPages {
+            endpoint: Endpoint::Any,
+            probability: 0.7,
+            from: 0,
+            until: 1_800,
+        })
+        .with(FaultClause::DuplicatedPages {
+            endpoint: Endpoint::Any,
+            probability: 0.7,
+            from: 0,
+            until: 1_800,
+        })
+        .with(FaultClause::StaleProfiles { probability: 0.6, from: 0, until: 2_400 })
+        .with(FaultClause::RateLimitSkew { extra_secs: 45, from: 0, until: 3_000 })
+        .with(FaultClause::RosterFlicker { probability: 0.2, from: 120, until: 900 })
+}
+
+#[test]
+fn every_fault_kind_at_once_still_converges() {
+    let society = Society::generate(&fixed_tiny_config());
+    let reference = fault_free_crawl(&society);
+    match faulted_outcome(&society, &all_kinds_plan()) {
+        CrawlOutcome::Complete(ds) => {
+            assert_eq!(ds.graph, reference.graph);
+            assert_eq!(ds.platform_ids, reference.platform_ids);
+            assert_eq!(ds.profiles, reference.profiles);
+            assert!(ds.stats.faults.total() > 0, "faults must have fired");
+        }
+        other => panic!("all-kinds plan must still complete: {other:?}"),
+    }
+}
+
+/// Golden fault accounting: the exact tally for a pinned (society, plan)
+/// pair. Any change to decision salting, attempt counting, backoff, or
+/// pagination shows up here first — by design, since replayability is the
+/// harness's core contract.
+#[test]
+fn golden_fault_accounting_for_pinned_plan() {
+    let society = Society::generate(&fixed_tiny_config());
+    let ds = match faulted_outcome(&society, &all_kinds_plan()) {
+        CrawlOutcome::Complete(ds) => ds,
+        other => panic!("pinned plan must complete: {other:?}"),
+    };
+    let t = &ds.stats.faults;
+    let golden = (
+        t.outage_failures,
+        t.burst_failures,
+        t.truncated_pages,
+        t.duplicated_ids,
+        t.stale_reads,
+        t.skewed_waits,
+        t.flickered_roster_reads,
+        t.expired_cursors,
+        ds.stats.cursor_restarts,
+        ds.stats.duplicate_ids_dropped,
+        ds.stats.passes,
+    );
+    assert_eq!(golden, (7, 5, 18, 48, 83, 3, 8, 0, 0, 48, 2), "golden tally moved: {golden:?}");
+}
+
+#[test]
+fn aborted_crawls_resume_from_a_json_checkpoint() {
+    let society = Society::generate(&fixed_tiny_config());
+    let reference = fault_free_crawl(&society);
+
+    // A permanent friends/ids outage exhausts the retry budget: the crawl
+    // must abort with a checkpoint holding the harvested roster.
+    let doom = FaultPlan::new(1).with(FaultClause::Outage {
+        endpoint: Endpoint::FriendsIds,
+        from: 0,
+        until: u64::MAX,
+    });
+    let api = TwitterApi::new(&society, SimClock::new(), RateLimitPolicy::default(), 0.0)
+        .with_faults(doom);
+    let checkpoint = match Crawler::new(&api).crawl_resumable(None) {
+        CrawlOutcome::Aborted { error, checkpoint } => {
+            assert_eq!(error, ApiError::ServerError);
+            checkpoint
+        }
+        other => panic!("permanent outage must abort: {other:?}"),
+    };
+    assert!(checkpoint.harvested, "roster harvest precedes the friends crawl");
+    assert_eq!(checkpoint.next_index, 0, "no friend list can have completed");
+    assert!(checkpoint.stats.faults.outage_failures > 0);
+
+    // The checkpoint must survive serialization (operators store it on
+    // disk between crawl attempts).
+    let json = serde_json::to_string(&*checkpoint).expect("checkpoint serializes");
+    let restored: CrawlCheckpoint = serde_json::from_str(&json).expect("checkpoint parses");
+    assert_eq!(restored, *checkpoint);
+
+    // Resuming against a healthy API completes and converges.
+    let api2 = TwitterApi::new(&society, SimClock::new(), RateLimitPolicy::default(), 0.0);
+    match Crawler::new(&api2).crawl_resumable(Some(restored)) {
+        CrawlOutcome::Complete(ds) => {
+            assert_eq!(ds.graph, reference.graph);
+            assert_eq!(ds.platform_ids, reference.platform_ids);
+            assert_eq!(ds.profiles, reference.profiles);
+            assert!(
+                ds.stats.faults.outage_failures > 0,
+                "stats must carry the pre-abort fault history across the resume"
+            );
+        }
+        other => panic!("resumed crawl must complete: {other:?}"),
+    }
+}
+
+#[test]
+fn mid_listing_churn_expires_cursors_and_still_converges() {
+    // Truncation shreds the roster listing into many short pages while a
+    // tight quota forces waits between them; flicker windows change the
+    // roster generation during those waits. Continuation cursors must
+    // expire, the listing must restart, and — once the windows close —
+    // the crawl must still converge exactly.
+    let society = Society::generate(&fixed_tiny_config());
+    let reference = fault_free_crawl(&society);
+    let plan = FaultPlan::new(77)
+        .with(FaultClause::TruncatedPages {
+            endpoint: Endpoint::VerifiedIds,
+            probability: 1.0,
+            from: 0,
+            until: 3_000,
+        })
+        .with(FaultClause::RosterFlicker { probability: 0.3, from: 0, until: 1_000 })
+        .with(FaultClause::RosterFlicker { probability: 0.3, from: 1_000, until: 2_000 })
+        .with(FaultClause::RosterFlicker { probability: 0.3, from: 2_000, until: 3_000 });
+    let policy = RateLimitPolicy { roster: 2, ..RateLimitPolicy::default() };
+    let api =
+        TwitterApi::new(&society, SimClock::new(), policy, 0.0).with_faults(plan);
+    match Crawler::new(&api).crawl_resumable(None) {
+        CrawlOutcome::Complete(ds) => {
+            assert_eq!(ds.graph, reference.graph);
+            assert_eq!(ds.platform_ids, reference.platform_ids);
+            assert!(ds.stats.cursor_restarts > 0, "expiry must have forced restarts");
+            assert!(ds.stats.faults.expired_cursors > 0);
+            assert!(ds.stats.faults.truncated_pages > 0);
+        }
+        other => panic!("plan heals at t=3000, crawl must complete: {other:?}"),
+    }
+}
+
+#[test]
+fn perpetual_roster_churn_degrades_gracefully() {
+    // Thirty back-to-back flicker windows outlast the entire pass budget:
+    // every end-of-pass verification sees a different roster, so the crawl
+    // must give up after MAX_PASSES and hand back an internally consistent
+    // dataset labelled with the measured drift.
+    let society = Society::generate(&fixed_tiny_config());
+    let plan = (0..30u64).fold(FaultPlan::new(99), |p, k| {
+        p.with(FaultClause::RosterFlicker {
+            probability: 0.3,
+            from: k * 3_000,
+            until: (k + 1) * 3_000,
+        })
+    });
+    match faulted_outcome(&society, &plan) {
+        CrawlOutcome::Degraded { dataset, roster_drift, passes } => {
+            assert_eq!(passes, 8, "pass budget");
+            assert!(roster_drift > 0);
+            // Internally consistent: profiles aligned with the graph, all
+            // English, flicker on record.
+            assert_eq!(dataset.graph.node_count(), dataset.profiles.len());
+            assert_eq!(dataset.graph.node_count(), dataset.platform_ids.len());
+            assert!(dataset.profiles.iter().all(|p| p.lang == "en"));
+            assert!(dataset.stats.faults.flickered_roster_reads > 0);
+        }
+        other => panic!("perpetual churn must degrade: {other:?}"),
+    }
+}
+
+#[test]
+fn degraded_datasets_are_accepted_with_provenance() {
+    // The core crate accepts degraded crawls and records how they came to
+    // be — analyses choose their own tolerance.
+    use verified_net::{Dataset, DatasetProvenance, SynthesisConfig};
+    let mut config = SynthesisConfig::small();
+    config.society = fixed_tiny_config();
+    config.rate_limits = RateLimitPolicy::default();
+    let plan = (0..30u64).fold(FaultPlan::new(99), |p, k| {
+        p.with(FaultClause::RosterFlicker {
+            probability: 0.3,
+            from: k * 3_000,
+            until: (k + 1) * 3_000,
+        })
+    });
+    let ds = Dataset::synthesize_with_faults(&config, &plan).expect("degraded is not an error");
+    match ds.provenance {
+        DatasetProvenance::FaultInjected { seed, degraded, passes } => {
+            assert_eq!(seed, 99);
+            assert!(degraded);
+            assert_eq!(passes, 8);
+        }
+        other => panic!("wrong provenance: {other:?}"),
+    }
+    assert_eq!(ds.graph.node_count(), ds.profiles.len());
+    assert_eq!(ds.summary().users, ds.graph.node_count());
+}

@@ -52,6 +52,33 @@ fn fingerprint_robust_across_snapshot_dates() {
     assert!(r_spread < 0.08, "reciprocity drifts too much across snapshots: {reciprocities:?}");
 }
 
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+    /// Snapshot consistency as a property over the shared tiny-society
+    /// distribution (the same generator the fault-conformance battery
+    /// uses): whatever the society and whatever simulated day the crawl
+    /// starts, the harvested roster is exactly that day's roster, and the
+    /// English cohort is a subset of it.
+    #[test]
+    fn crawl_roster_matches_its_snapshot_day(
+        cfg in vnet_integration_tests::tiny_society_config(),
+        day in 0u32..399,
+    ) {
+        use vnet_twittersim::{Crawler, RateLimitPolicy, TwitterApi};
+        let society = Society::generate(&cfg);
+        let timeline = RosterTimeline::generate(&society, &ChurnConfig::default());
+        let clock = SimClock::new();
+        clock.advance(u64::from(day) * 86_400);
+        let api = TwitterApi::new(&society, clock, RateLimitPolicy::unlimited(), 0.0)
+            .with_timeline(timeline.clone());
+        let ds = Crawler::new(&api).crawl().unwrap();
+        proptest::prop_assert_eq!(ds.stats.roster_size, timeline.roster_at(day).len());
+        proptest::prop_assert!(ds.stats.english_users <= ds.stats.roster_size);
+        proptest::prop_assert_eq!(ds.graph.node_count(), ds.stats.english_users);
+    }
+}
+
 #[test]
 fn api_crawl_sees_the_snapshot_of_its_clock() {
     use vnet_twittersim::{Crawler, RateLimitPolicy, TwitterApi};

@@ -1,0 +1,287 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! Supports `struct`s with named fields (optionally generic over simple
+//! type parameters) and fieldless (`unit-variant`) `enum`s — the only
+//! shapes the workspace derives. Implemented directly on
+//! `proc_macro::TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline): the macro walks tokens to find the item name, generic
+//! parameters and field names, then emits the impl as formatted source.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the token walk discovered about the item being derived.
+struct Item {
+    name: String,
+    /// Type-parameter names (lifetimes/const generics unsupported).
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Struct with named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Enum with unit variants only.
+    Enum(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let is_enum = match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("derive supports only structs and enums, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    // Optional simple generics `<T, U>` (bounds allowed and ignored).
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            for tok in tokens.by_ref() {
+                match &tok {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let s = id.to_string();
+                        assert!(
+                            !s.starts_with('\'') && s != "const",
+                            "only simple type parameters are supported"
+                        );
+                        generics.push(s);
+                        expect_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    // Find the brace group holding the body (skips any `where` clause).
+    let body = tokens
+        .find_map(|tok| match tok {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g),
+            _ => None,
+        })
+        .expect("derive supports only brace-bodied items");
+
+    let kind = if is_enum {
+        ItemKind::Enum(parse_unit_variants(body.stream()))
+    } else {
+        ItemKind::Struct(parse_named_fields(body.stream()))
+    };
+    Item { name, generics, kind }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, found {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-depth 0.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!("only unit enum variants are supported, found {other:?}"),
+        }
+    }
+    variants
+}
+
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (params, target) = impl_header(&item, "Serialize");
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Content::Map(vec![{}])", entries.join(", "))
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}::{v} => serde::Content::Str(String::from(\"{v}\")),",
+                        item.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{params} serde::Serialize for {target} {{\n\
+         fn to_content(&self) -> serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (params, target) = impl_header(&item, "Deserialize");
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let lets: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "let {f} = serde::Deserialize::from_content(\
+                         content.get(\"{f}\").unwrap_or(&serde::Content::Null))\
+                         .map_err(|e| serde::DeError(format!(\
+                         \"field {f}: {{e}}\")))?;"
+                    )
+                })
+                .collect();
+            format!(
+                "{} Ok({} {{ {} }})",
+                lets.join("\n"),
+                item.name,
+                fields.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({}::{v}),", item.name))
+                .collect();
+            format!(
+                "match content {{\n\
+                 serde::Content::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => Err(serde::DeError(format!(\"unknown variant {{other}}\"))),\n\
+                 }},\n\
+                 _ => Err(serde::DeError::expected(\"enum variant string\", content)),\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl{params} serde::Deserialize for {target} {{\n\
+         fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
