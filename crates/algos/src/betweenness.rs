@@ -10,15 +10,31 @@
 use rand::Rng;
 use vnet_graph::{DiGraph, NodeId};
 
+/// Work counters from a betweenness run, for observability manifests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BetweennessStats {
+    /// Brandes source iterations executed.
+    pub sources: u64,
+    /// Out-edge scans across all BFS traversals.
+    pub edge_relaxations: u64,
+}
+
 /// Exact betweenness centrality for all nodes (directed, unweighted).
 pub fn betweenness_exact(g: &DiGraph) -> Vec<f64> {
+    betweenness_exact_counted(g).0
+}
+
+/// [`betweenness_exact`] plus its work counters.
+pub fn betweenness_exact_counted(g: &DiGraph) -> (Vec<f64>, BetweennessStats) {
     let n = g.node_count();
     let mut centrality = vec![0.0f64; n];
     let mut workspace = BrandesWorkspace::new(n);
+    let mut stats = BetweennessStats::default();
     for s in 0..n as u32 {
-        workspace.accumulate_from(g, s, &mut centrality);
+        stats.edge_relaxations += workspace.accumulate_from(g, s, &mut centrality);
+        stats.sources += 1;
     }
-    centrality
+    (centrality, stats)
 }
 
 /// Pivot-sampled betweenness: dependencies from `pivots` uniform random
@@ -28,22 +44,33 @@ pub fn betweenness_sampled<R: Rng + ?Sized>(
     pivots: usize,
     rng: &mut R,
 ) -> Vec<f64> {
+    betweenness_sampled_counted(g, pivots, rng).0
+}
+
+/// [`betweenness_sampled`] plus its work counters.
+pub fn betweenness_sampled_counted<R: Rng + ?Sized>(
+    g: &DiGraph,
+    pivots: usize,
+    rng: &mut R,
+) -> (Vec<f64>, BetweennessStats) {
     let n = g.node_count();
     if n == 0 || pivots == 0 {
-        return vec![0.0; n];
+        return (vec![0.0; n], BetweennessStats::default());
     }
     if pivots >= n {
-        return betweenness_exact(g);
+        return betweenness_exact_counted(g);
     }
     let sources = vnet_stats::sampling::sample_distinct(n, pivots, rng);
     let mut centrality = vec![0.0f64; n];
     let mut workspace = BrandesWorkspace::new(n);
+    let mut stats = BetweennessStats::default();
     for &s in &sources {
-        workspace.accumulate_from(g, s as u32, &mut centrality);
+        stats.edge_relaxations += workspace.accumulate_from(g, s as u32, &mut centrality);
+        stats.sources += 1;
     }
     let scale = n as f64 / pivots as f64;
     centrality.iter_mut().for_each(|c| *c *= scale);
-    centrality
+    (centrality, stats)
 }
 
 /// Parallel pivot-sampled betweenness using `threads` OS threads
@@ -56,30 +83,42 @@ pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
     threads: usize,
     rng: &mut R,
 ) -> Vec<f64> {
+    betweenness_sampled_parallel_counted(g, pivots, threads, rng).0
+}
+
+/// [`betweenness_sampled_parallel`] plus its work counters (summed over
+/// worker threads, so the totals are deterministic).
+pub fn betweenness_sampled_parallel_counted<R: Rng + ?Sized>(
+    g: &DiGraph,
+    pivots: usize,
+    threads: usize,
+    rng: &mut R,
+) -> (Vec<f64>, BetweennessStats) {
     let n = g.node_count();
     if n == 0 || pivots == 0 {
-        return vec![0.0; n];
+        return (vec![0.0; n], BetweennessStats::default());
     }
     let threads = threads.max(1);
     if threads == 1 || pivots < 2 * threads {
-        return betweenness_sampled(g, pivots, rng);
+        return betweenness_sampled_counted(g, pivots, rng);
     }
     let pivots = pivots.min(n);
     let sources = vnet_stats::sampling::sample_distinct(n, pivots, rng);
     let chunks: Vec<&[usize]> =
         sources.chunks(sources.len().div_ceil(threads)).collect();
 
-    let partials: Vec<Vec<f64>> = std::thread::scope(|scope| {
+    let partials: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
                 scope.spawn(move || {
                     let mut local = vec![0.0f64; n];
                     let mut ws = BrandesWorkspace::new(n);
+                    let mut relaxations = 0u64;
                     for &s in chunk {
-                        ws.accumulate_from(g, s as u32, &mut local);
+                        relaxations += ws.accumulate_from(g, s as u32, &mut local);
                     }
-                    local
+                    (local, relaxations)
                 })
             })
             .collect();
@@ -87,14 +126,16 @@ pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
     });
 
     let mut centrality = vec![0.0f64; n];
-    for partial in partials {
+    let mut stats = BetweennessStats { sources: pivots as u64, edge_relaxations: 0 };
+    for (partial, relaxations) in partials {
+        stats.edge_relaxations += relaxations;
         for (c, p) in centrality.iter_mut().zip(partial) {
             *c += p;
         }
     }
     let scale = n as f64 / pivots as f64;
     centrality.iter_mut().for_each(|c| *c *= scale);
-    centrality
+    (centrality, stats)
 }
 
 /// Normalize raw directed betweenness scores by `(n−1)(n−2)`, the count of
@@ -131,7 +172,8 @@ impl BrandesWorkspace {
 
     /// One Brandes source iteration: BFS computing shortest-path counts,
     /// then reverse-order dependency accumulation into `centrality`.
-    fn accumulate_from(&mut self, g: &DiGraph, s: NodeId, centrality: &mut [f64]) {
+    /// Returns the number of out-edge scans the BFS performed.
+    fn accumulate_from(&mut self, g: &DiGraph, s: NodeId, centrality: &mut [f64]) -> u64 {
         // Reset only what the previous run touched.
         for &v in &self.order {
             self.sigma[v as usize] = 0.0;
@@ -145,9 +187,11 @@ impl BrandesWorkspace {
         self.sigma[s as usize] = 1.0;
         self.dist[s as usize] = 0;
         self.queue.push_back(s);
+        let mut relaxations = 0u64;
         while let Some(u) = self.queue.pop_front() {
             self.order.push(u);
             let du = self.dist[u as usize];
+            relaxations += g.out_degree(u) as u64;
             for &v in g.out_neighbors(u) {
                 if self.dist[v as usize] < 0 {
                     self.dist[v as usize] = du + 1;
@@ -172,6 +216,7 @@ impl BrandesWorkspace {
                 centrality[w as usize] += self.delta[w as usize];
             }
         }
+        relaxations
     }
 }
 

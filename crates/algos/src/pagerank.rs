@@ -36,6 +36,9 @@ pub struct PageRankResult {
     pub iterations: usize,
     /// Whether the L1 tolerance was met within `max_iter`.
     pub converged: bool,
+    /// Edge relaxations performed (in-edge reads summed over iterations)
+    /// — the hot-loop work metric observability manifests record.
+    pub edge_relaxations: u64,
 }
 
 /// Power-iteration PageRank over out-edges.
@@ -55,7 +58,12 @@ pub struct PageRankResult {
 pub fn pagerank(g: &DiGraph, cfg: PageRankConfig) -> PageRankResult {
     let n = g.node_count();
     if n == 0 {
-        return PageRankResult { scores: Vec::new(), iterations: 0, converged: true };
+        return PageRankResult {
+            scores: Vec::new(),
+            iterations: 0,
+            converged: true,
+            edge_relaxations: 0,
+        };
     }
     assert!((0.0..1.0).contains(&cfg.damping), "damping must be in [0, 1)");
     let nf = n as f64;
@@ -65,8 +73,10 @@ pub fn pagerank(g: &DiGraph, cfg: PageRankConfig) -> PageRankResult {
 
     let mut iterations = 0;
     let mut converged = false;
+    let mut edge_relaxations = 0u64;
     while iterations < cfg.max_iter {
         iterations += 1;
+        edge_relaxations += g.edge_count() as u64;
         // Dangling mass: nodes without out-edges leak their rank uniformly.
         let dangling: f64 = (0..n)
             .filter(|&u| out_deg[u] == 0.0)
@@ -89,7 +99,7 @@ pub fn pagerank(g: &DiGraph, cfg: PageRankConfig) -> PageRankResult {
             break;
         }
     }
-    PageRankResult { scores: rank, iterations, converged }
+    PageRankResult { scores: rank, iterations, converged, edge_relaxations }
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Regenerate every table and figure of *"Elites Tweet?"* (ICDE 2019).
 //!
 //! ```text
+//! cargo run --release -p vnet-bench --bin repro
 //! cargo run --release -p vnet-bench --bin repro -- --all
 //! cargo run --release -p vnet-bench --bin repro -- --exp fig2
 //! cargo run --release -p vnet-bench --bin repro -- --list
@@ -8,39 +9,56 @@
 //! cargo run --release -p vnet-bench --bin repro -- --all --save out/ds
 //! cargo run --release -p vnet-bench --bin repro -- --all --load out/ds
 //! cargo run --release -p vnet-bench --bin repro -- --exp basic --markdown report.md
+//! cargo run --release -p vnet-bench --bin repro -- --all --manifest run.json
 //! ```
 //!
-//! `--scale` picks the dataset size (`small` ≈ 3k English users,
-//! `default` ≈ 18k — the 1:10 reproduction, `paper` = the full 231k /
-//! ~79M-edge build; expect minutes and gigabytes). `--save <dir>` writes
-//! the dataset bundle after synthesis; `--load <dir>` analyzes a saved
-//! bundle instead of synthesizing.
+//! With no arguments, runs `--all --scale small`. `--scale` picks the
+//! dataset size (`small` ≈ 3k English users, `default` ≈ 18k — the 1:10
+//! reproduction, `paper` = the full 231k / ~79M-edge build; expect minutes
+//! and gigabytes). `--save <dir>` writes the dataset bundle after
+//! synthesis; `--load <dir>` analyzes a saved bundle instead of
+//! synthesizing.
 //!
 //! Output format: one block per experiment, with the paper's published
 //! values and the values measured on the calibrated synthetic dataset
 //! (default reproduction scale 1:10 — absolute counts scale accordingly;
-//! shapes are the claim).
+//! shapes are the claim). The run ends with the `vnet-obs` stage report
+//! (per-stage timings, crawl counters, fault tallies) and the
+//! deterministic [`RunManifest`](vnet_obs::RunManifest) JSON: same seed,
+//! same dataset, same experiment list ⇒ byte-identical manifest
+//! (wall-clock fields are zeroed in the deterministic view; simulated-
+//! clock timings are included). `--manifest <file>` additionally saves
+//! the full manifest — wall-clock timings and all — to a file.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::sync::Arc;
 use verified_net::experiments::{experiment, EXPERIMENTS};
-use verified_net::{activity, basic, bios, categories, centrality, degrees, deviations, eigen, elite_core, recip, separation};
+use verified_net::{
+    activity, basic, bios, categories, centrality, degrees, deviations, eigen, elite_core, recip,
+    separation,
+};
 use verified_net::{AnalysisOptions, Dataset};
 use verified_net::SynthesisConfig;
+use vnet_obs::{fingerprint_str, Obs, Reporter};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args[0] == "--help" {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help") {
         eprintln!(
-            "usage: repro (--all | --exp <id> ... | --list) [--scale small|default|paper] [--save <dir>] [--load <dir>] [--markdown <file>]"
+            "usage: repro [--all | --exp <id> ... | --list] [--scale small|default|paper] [--save <dir>] [--load <dir>] [--markdown <file>] [--manifest <file>]"
         );
         std::process::exit(2);
     }
-    if args[0] == "--list" {
+    if args.first().map(String::as_str) == Some("--list") {
+        let rep = Reporter::stdout();
         for e in EXPERIMENTS {
-            println!("{:<12} {:<42} {}", e.id, e.artefact, e.description);
+            rep.line(format!("{:<12} {:<42} {}", e.id, e.artefact, e.description));
         }
         return;
+    }
+    if args.is_empty() {
+        // Bare invocation: the full battery at test scale, instrumented.
+        args = vec!["--all".into(), "--scale".into(), "small".into()];
+        eprintln!("no arguments: defaulting to --all --scale small (see --help)");
     }
     let mut ids: Vec<String> = Vec::new();
     let mut run_all = false;
@@ -48,6 +66,7 @@ fn main() {
     let mut save_dir: Option<String> = None;
     let mut load_dir: Option<String> = None;
     let mut markdown_out: Option<String> = None;
+    let mut manifest_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -63,6 +82,7 @@ fn main() {
             "--save" => save_dir = it.next().cloned(),
             "--load" => load_dir = it.next().cloned(),
             "--markdown" => markdown_out = it.next().cloned(),
+            "--manifest" => manifest_out = it.next().cloned(),
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
@@ -78,6 +98,11 @@ fn main() {
         eprintln!("nothing to run; see --list");
         std::process::exit(2);
     }
+
+    // Everything below reports through the instrumentation layer: spans
+    // and counters land in `obs`, human-readable lines in a `Reporter`.
+    let obs = Arc::new(Obs::new());
+    let rep = Reporter::stdout();
 
     let owned: Dataset;
     let ds: &Dataset = if let Some(dir) = load_dir {
@@ -99,7 +124,7 @@ fn main() {
             }
         };
         eprintln!("building {scale}-scale dataset ...");
-        owned = Dataset::synthesize(&config);
+        owned = Dataset::synthesize_observed(&config, &obs);
         &owned
     };
     if let Some(dir) = save_dir {
@@ -115,35 +140,72 @@ fn main() {
     let opts = AnalysisOptions::default();
     if let Some(path) = markdown_out {
         eprintln!("running the full battery for the markdown report ...");
-        let report = verified_net::run_full_analysis(ds, &opts);
+        let report = {
+            let _span = obs.span("analysis");
+            verified_net::run_full_analysis_observed(ds, &opts, &obs)
+        };
         std::fs::write(&path, verified_net::render_markdown(&report))
             .expect("write markdown report");
         eprintln!("markdown report written to {path}");
     }
+
+    // Each experiment renders into a capture buffer: the text is printed
+    // as-is and its fingerprint recorded in the manifest, so two runs can
+    // be compared block-by-block without diffing full logs.
+    let mut block_digests: Vec<(String, u64)> = Vec::new();
     for id in &ids {
         match experiment(id) {
-            Some(e) => run_experiment(ds, &opts, e.id),
+            Some(e) => {
+                let block = Reporter::capture();
+                {
+                    let _span = obs.span(&format!("exp.{}", e.id));
+                    run_experiment(ds, &opts, e.id, &block, &obs);
+                }
+                let text = block.captured();
+                block_digests.push((format!("exp.{}", e.id), fingerprint_str(&text)));
+                print!("{text}");
+            }
             None => eprintln!("unknown experiment '{id}' (see --list)"),
         }
     }
+
+    let mut manifest = obs.manifest(&format!("repro --scale {scale}"), opts.seed);
+    manifest.fingerprint_output("dataset.summary", &s);
+    for (name, digest) in block_digests {
+        manifest.add_fingerprint(&name, digest);
+    }
+
+    rep.section("stage report");
+    rep.line(manifest.render_text().trim_end());
+    if let Some(path) = manifest_out {
+        std::fs::write(&path, manifest.to_json()).expect("write run manifest");
+        eprintln!("full run manifest (wall-clock included) written to {path}");
+    }
+    rep.section("run manifest (deterministic view)");
+    rep.line(manifest.deterministic_json());
 }
 
-fn header(id: &str) {
+fn header(id: &str, rep: &Reporter) {
     let e = experiment(id).expect("registered");
-    println!("======================================================================");
-    println!("[{}] {} — {}", e.id, e.artefact, e.description);
-    println!("paper: {}", e.paper_values);
-    println!("----------------------------------------------------------------------");
+    rep.line("======================================================================");
+    rep.line(format!("[{}] {} — {}", e.id, e.artefact, e.description));
+    rep.line(format!("paper: {}", e.paper_values));
+    rep.line("----------------------------------------------------------------------");
 }
 
-fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str) {
+fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter, obs: &Obs) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    header(id);
+    header(id, rep);
     match id {
         "basic" => {
-            let r = basic::basic_analysis(ds, opts.clustering_samples, &mut rng);
-            println!("users {} | edges {} | density {:.5}", r.users, r.edges, r.density);
-            println!(
+            let r = basic::basic_analysis_observed(ds, opts.clustering_samples, &mut rng, obs);
+            rep.line(format!(
+                "users {} | edges {} | density {:.5}",
+                r.users, r.edges, r.density
+            ));
+            rep.line(format!(
                 "isolated {} ({:.2}%) | giant SCC {} ({:.2}%) | WCCs {} | attracting {}",
                 r.isolated,
                 100.0 * r.isolated as f64 / r.users as f64,
@@ -151,136 +213,153 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str) {
                 100.0 * r.giant_scc_fraction,
                 r.weak_components,
                 r.attracting_components
-            );
-            println!(
+            ));
+            rep.line(format!(
                 "mean out-degree {:.2} | max out-degree {} (@{})",
                 r.mean_out_degree, r.max_out_degree, r.max_out_handle
-            );
-            println!(
+            ));
+            rep.line(format!(
                 "clustering {:.4} | assortativity(out->in) {:.4}",
                 r.clustering, r.assortativity_out_in
-            );
-            println!("celebrity sink cores: {:?}", r.top_sink_handles);
+            ));
+            rep.line(format!("celebrity sink cores: {:?}", r.top_sink_handles));
         }
         "fig1" => {
             let f = degrees::figure1(ds, opts.fig1_bins);
             for m in &f.marginals {
                 let peak = m.series.iter().max_by_key(|&&(_, c)| c).unwrap();
                 let span = m.series.last().unwrap().0 / m.series.first().unwrap().0;
-                println!(
+                rep.line(format!(
                     "{:<10} bins {:>3} | zeros {:>6} | mode near {:>10.0} | dynamic range 10^{:.1}",
                     m.attribute,
                     m.series.len(),
                     m.zeros,
                     peak.0,
                     span.log10()
-                );
-                println!("          {}", sparkline(&m.series));
+                ));
+                rep.line(format!("          {}", sparkline(&m.series)));
             }
         }
         "fig2" => {
-            let r = degrees::degree_analysis(ds, &opts.fit, opts.bootstrap_reps, &mut rng)
-                .expect("degree fit");
-            println!(
+            let r = degrees::degree_analysis_observed(
+                ds,
+                &opts.fit,
+                opts.bootstrap_reps,
+                &mut rng,
+                obs,
+            )
+            .expect("degree fit");
+            rep.line(format!(
                 "alpha {:.3} (paper 3.24) | xmin {} | KS {:.4} | tail n {}",
                 r.alpha, r.xmin, r.ks, r.n_tail
-            );
+            ));
             if r.gof_p.is_nan() {
-                println!("bootstrap GoF p: skipped (enable with bootstrap_reps > 0)");
+                rep.line("bootstrap GoF p: skipped (enable with bootstrap_reps > 0)");
             } else {
-                println!("bootstrap GoF p = {:.3} (paper 0.13; >0.1 ⇒ plausible)", r.gof_p);
+                rep.line(format!(
+                    "bootstrap GoF p = {:.3} (paper 0.13; >0.1 ⇒ plausible)",
+                    r.gof_p
+                ));
             }
             for v in &r.vuong {
-                println!(
+                rep.line(format!(
                     "Vuong vs {:<12} LR {:>9.1} stat {:>7.2} p {:.2e} -> {}",
                     v.alternative,
                     v.lr,
                     v.statistic,
                     v.p_value,
                     if v.lr > 0.0 { "power law preferred" } else { "ALTERNATIVE preferred" }
-                );
+                ));
             }
         }
         "eigen" => {
-            let r = eigen::eigen_analysis(
+            let r = eigen::eigen_analysis_observed(
                 ds,
                 opts.eigen_k,
                 opts.lanczos_steps,
                 &opts.fit,
                 opts.bootstrap_reps,
                 &mut rng,
+                obs,
             )
             .expect("eigen fit");
-            println!(
+            rep.line(format!(
                 "top {} Laplacian eigenvalues | λmax {:.1} | λ_k {:.1}",
                 r.eigenvalues.len(),
                 r.eigenvalues[0],
                 r.eigenvalues.last().unwrap()
-            );
-            println!(
+            ));
+            rep.line(format!(
                 "alpha {:.3} (paper 3.18) | xmin {:.2} | KS {:.4} | tail n {}",
                 r.alpha, r.xmin, r.ks, r.n_tail
-            );
+            ));
             for v in &r.vuong {
-                println!("Vuong vs {:<12} LR {:>9.1} p {:.2e}", v.alternative, v.lr, v.p_value);
+                rep.line(format!(
+                    "Vuong vs {:<12} LR {:>9.1} p {:.2e}",
+                    v.alternative, v.lr, v.p_value
+                ));
             }
         }
         "reciprocity" => {
             let r = recip::reciprocity_analysis(ds);
-            println!(
+            rep.line(format!(
                 "reciprocity {:.1}% (paper 33.7%) | mutual pairs {} | one-way {}",
                 100.0 * r.reciprocity,
                 r.mutual_pairs,
                 r.one_way_edges
-            );
-            println!(
+            ));
+            rep.line(format!(
                 "vs whole Twitter (22.1%): {:.2}x | vs Flickr (68%): {:.2}x",
                 r.vs_whole_twitter, r.vs_flickr
-            );
+            ));
         }
         "fig3" => {
             let r = separation::separation_analysis(ds, opts.distance_sources, &mut rng);
-            println!(
+            rep.line(format!(
                 "mean {:.3} (paper 2.74) | median {} | effective diameter {:.2} | max {}",
                 r.mean, r.median, r.effective_diameter, r.max_observed
-            );
-            println!("sources {} | ordered pairs {}", r.sources, r.pairs);
+            ));
+            rep.line(format!("sources {} | ordered pairs {}", r.sources, r.pairs));
             for &(d, c) in &r.histogram {
-                println!("  d={d}: {c:>12} {}", bar(c, r.pairs));
+                rep.line(format!("  d={d}: {c:>12} {}", bar(c, r.pairs)));
             }
         }
         "fig4" => {
-            let r = bios::bio_analysis(ds, opts.ngram_rows);
-            println!("word cloud (top 20 of {} bios):", r.documents);
+            let r = bios::bio_analysis_observed(ds, opts.ngram_rows, obs);
+            rep.line(format!("word cloud (top 20 of {} bios):", r.documents));
             for w in r.wordcloud.iter().take(20) {
-                println!("  {:<16} count {:>6} weight {:.2}", w.word, w.count, w.weight);
+                rep.line(format!(
+                    "  {:<16} count {:>6} weight {:.2}",
+                    w.word, w.count, w.weight
+                ));
             }
         }
         "table1" => {
-            let r = bios::bio_analysis(ds, opts.ngram_rows);
-            println!("{:<30} {:>10}", "Bigram", "Occurrences");
+            let r = bios::bio_analysis_observed(ds, opts.ngram_rows, obs);
+            rep.line(format!("{:<30} {:>10}", "Bigram", "Occurrences"));
             for row in &r.top_bigrams {
-                println!("{:<30} {:>10}", row.ngram, row.occurrences);
+                rep.line(format!("{:<30} {:>10}", row.ngram, row.occurrences));
             }
         }
         "table2" => {
-            let r = bios::bio_analysis(ds, opts.ngram_rows);
-            println!("{:<30} {:>10}", "Trigram", "Occurrences");
+            let r = bios::bio_analysis_observed(ds, opts.ngram_rows, obs);
+            rep.line(format!("{:<30} {:>10}", "Trigram", "Occurrences"));
             for row in &r.top_trigrams {
-                println!("{:<30} {:>10}", row.ngram, row.occurrences);
+                rep.line(format!("{:<30} {:>10}", row.ngram, row.occurrences));
             }
         }
         "fig5" => {
-            let r = centrality::centrality_analysis(
+            let r = centrality::centrality_analysis_observed(
                 ds,
                 opts.betweenness_pivots,
                 opts.threads,
                 &mut rng,
+                obs,
             );
-            println!(
+            rep.line(format!(
                 "betweenness from {} pivots | PageRank converged in {} iterations",
                 r.betweenness_pivots, r.pagerank_iterations
-            );
+            ));
             for p in &r.panels {
                 let trend = p
                     .spline
@@ -288,98 +367,107 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str) {
                     .zip(p.spline.first())
                     .map(|(l, f)| l.fit - f.fit)
                     .unwrap_or(0.0);
-                println!(
+                rep.line(format!(
                     "panel ({}) {:<10} vs {:<12} pearson(log) {:>6.3} spearman {:>6.3} spline Δ {:>6.2}",
                     p.id, p.y_metric, p.x_metric, p.pearson_log, p.spearman, trend
-                );
+                ));
             }
         }
         "fig6" => {
-            let r = activity::activity_analysis(ds, opts.lag_cap).expect("activity");
-            println!(
+            let r = activity::activity_analysis_observed(ds, opts.lag_cap, obs).expect("activity");
+            rep.line(format!(
                 "Ljung-Box max p = {:.2e} (paper 3.81e-38) | Box-Pierce max p = {:.2e} (paper 7.57e-38) | lag cap {}",
                 r.ljung_box_max_p, r.box_pierce_max_p, r.lag_cap
-            );
+            ));
             let m = r.weekday_means;
-            println!(
+            rep.line(format!(
                 "weekday means (Mon..Sun, % of Monday): {:?}",
                 m.iter().map(|v| (100.0 * v / m[0]).round()).collect::<Vec<_>>()
-            );
+            ));
         }
         "adf" => {
-            let r = activity::activity_analysis(ds, opts.lag_cap).expect("activity");
-            println!(
+            let r = activity::activity_analysis_observed(ds, opts.lag_cap, obs).expect("activity");
+            rep.line(format!(
                 "ADF statistic {:.3} (paper -3.86) vs 5% critical {:.3} (paper -3.42) -> {}",
                 r.adf_statistic,
                 r.adf_crit_5pct,
                 if r.stationary { "STATIONARY" } else { "unit root not rejected" }
-            );
-            println!(
+            ));
+            rep.line(format!(
                 "KPSS (extension): whole-series {:.3} vs crit {:.3}; longest break-free segment {:.3} -> piecewise stationarity {}",
                 r.kpss_statistic,
                 r.kpss_crit_5pct,
                 r.kpss_segment_statistic,
                 if r.stationarity_confirmed { "CONFIRMED" } else { "not confirmed" }
-            );
+            ));
         }
         "elite-core" => {
             let r = elite_core::elite_core_analysis(ds);
-            println!(
+            rep.line(format!(
                 "degeneracy {} | overall reciprocity {:.3}",
                 r.degeneracy, r.overall_reciprocity
-            );
-            println!("{:>12} {:>9} {:>12} {:>16}", "coreness>=", "members", "reciprocity", "mean followers");
+            ));
+            rep.line(format!(
+                "{:>12} {:>9} {:>12} {:>16}",
+                "coreness>=", "members", "reciprocity", "mean followers"
+            ));
             for b in &r.bands {
-                println!(
+                rep.line(format!(
                     "{:>12} {:>9} {:>12.3} {:>16.0}",
                     b.min_coreness, b.members, b.reciprocity, b.mean_followers
-                );
+                ));
             }
-            println!(
+            rep.line(format!(
                 "conjecture: core reciprocity elevated = {} | core reach elevated = {}",
                 r.core_reciprocity_elevated, r.core_reach_elevated
-            );
+            ));
         }
         "deviations" => {
             let r = deviations::deviation_analysis(ds, opts.distance_sources, &mut rng);
-            println!(
+            rep.line(format!(
                 "{:<48} {:>12} {:>12} {:>6}",
                 "statistic", "verified", "twitter-like", "ok?"
-            );
+            ));
             for row in &r.rows {
-                println!(
+                rep.line(format!(
                     "{:<48} {:>12.4} {:>12.4} {:>6}",
                     row.statistic,
                     row.verified,
                     row.whole_twitter_like,
                     if row.direction_reproduced { "yes" } else { "NO" }
-                );
-                println!("    paper: {}", row.paper_claim);
+                ));
+                rep.line(format!("    paper: {}", row.paper_claim));
             }
-            println!("all deviations reproduced: {}", r.all_reproduced);
+            rep.line(format!("all deviations reproduced: {}", r.all_reproduced));
         }
         "categories" => {
             let r = categories::category_analysis(ds);
-            println!("{:<16} {:>7} {:>7} {:>14} {:>10}", "category", "count", "share", "mean followers", "mean in-d");
+            rep.line(format!(
+                "{:<16} {:>7} {:>7} {:>14} {:>10}",
+                "category", "count", "share", "mean followers", "mean in-d"
+            ));
             for p in &r.profiles {
-                println!(
+                rep.line(format!(
                     "{:<16} {:>7} {:>6.1}% {:>14.0} {:>10.1}",
                     p.category, p.count, 100.0 * p.share, p.mean_followers, p.mean_internal_in_degree
-                );
+                ));
             }
-            println!("news-adjacent share: {:.1}%", 100.0 * r.news_share);
+            rep.line(format!("news-adjacent share: {:.1}%", 100.0 * r.news_share));
         }
         "pelt" => {
-            let r = activity::activity_analysis(ds, opts.lag_cap).expect("activity");
-            println!("{} consensus change-point(s):", r.changepoints.len());
+            let r = activity::activity_analysis_observed(ds, opts.lag_cap, obs).expect("activity");
+            rep.line(format!("{} consensus change-point(s):", r.changepoints.len()));
             for cp in &r.changepoints {
-                println!("  {} (index {}, support {:.0}%)", cp.date, cp.index, 100.0 * cp.support);
+                rep.line(format!(
+                    "  {} (index {}, support {:.0}%)",
+                    cp.date, cp.index, 100.0 * cp.support
+                ));
             }
-            println!("(paper: 23-25 Dec 2017 and the first week of April 2018)");
+            rep.line("(paper: 23-25 Dec 2017 and the first week of April 2018)");
         }
         other => eprintln!("unknown experiment '{other}'"),
     }
-    println!();
+    rep.blank();
 }
 
 /// Tiny unicode sparkline of a `(x, count)` series.

@@ -2,6 +2,7 @@
 
 use crate::dataset::Dataset;
 use serde::Serialize;
+use vnet_obs::Obs;
 use vnet_timeseries::adf::{adf_test, AdfRegression, LagSelection};
 use vnet_timeseries::pelt::pelt_consensus;
 use vnet_timeseries::portmanteau::{box_pierce, ljung_box};
@@ -66,6 +67,16 @@ pub struct ActivityReport {
 /// it is clamped to `days − 2`. The PELT pass runs on the weekly-
 /// deseasonalized series (see `vnet_timeseries::seasonal` for why).
 pub fn activity_analysis(dataset: &Dataset, lag_cap: usize) -> vnet_timeseries::Result<ActivityReport> {
+    activity_analysis_observed(dataset, lag_cap, &Obs::noop())
+}
+
+/// [`activity_analysis`] with portmanteau, unit-root, and change-point
+/// sub-spans recorded into `obs`.
+pub fn activity_analysis_observed(
+    dataset: &Dataset,
+    lag_cap: usize,
+    obs: &Obs,
+) -> vnet_timeseries::Result<ActivityReport> {
     let s = &dataset.activity;
     let days = s.len();
     let cap = lag_cap.min(days.saturating_sub(2));
@@ -73,22 +84,32 @@ pub fn activity_analysis(dataset: &Dataset, lag_cap: usize) -> vnet_timeseries::
     // Portmanteau: the paper reports the max p over tested horizons.
     let mut lb_max: f64 = 0.0;
     let mut bp_max: f64 = 0.0;
-    for h in 1..=cap {
-        lb_max = lb_max.max(ljung_box(s, h)?.p_value);
-        bp_max = bp_max.max(box_pierce(s, h)?.p_value);
+    {
+        let _span = obs.span("analysis.activity.portmanteau");
+        for h in 1..=cap {
+            lb_max = lb_max.max(ljung_box(s, h)?.p_value);
+            bp_max = bp_max.max(box_pierce(s, h)?.p_value);
+        }
     }
 
     // ADF with constant and trend, weekly lag order (the paper checks up
     // to 185 lags; a weekly order captures the same dynamics on this
     // series and keeps the regression well-conditioned).
-    let adf = adf_test(s, AdfRegression::ConstantTrend, LagSelection::Fixed(7))?;
-    // KPSS confirmation (null: trend-stationarity).
-    let kpss = vnet_timeseries::kpss_test(s, vnet_timeseries::KpssRegression::ConstantTrend, None)?;
+    let (adf, kpss) = {
+        let _span = obs.span("analysis.activity.unit_root");
+        let adf = adf_test(s, AdfRegression::ConstantTrend, LagSelection::Fixed(7))?;
+        // KPSS confirmation (null: trend-stationarity).
+        let kpss =
+            vnet_timeseries::kpss_test(s, vnet_timeseries::KpssRegression::ConstantTrend, None)?;
+        (adf, kpss)
+    };
 
     // PELT penalty cool-down consensus on the deseasonalized series.
+    let _pelt_span = obs.span("analysis.activity.pelt");
     let deseason = deseasonalize_weekly(s)?;
     let n = days as f64;
     let cons = pelt_consensus(&deseason, 40.0 * n.ln(), 2.5 * n.ln(), 12, 6, 0.5)?;
+    drop(_pelt_span);
     let changepoints: Vec<ChangePoint> = cons
         .into_iter()
         .map(|(idx, support)| ChangePoint {

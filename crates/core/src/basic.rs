@@ -8,6 +8,7 @@ use vnet_algos::clustering::average_local_clustering_sampled;
 use vnet_algos::components::{
     attracting_components, strongly_connected_components, weakly_connected_components,
 };
+use vnet_obs::Obs;
 
 /// Results of the paper's basic analysis (its §III/§IV-A in-text numbers).
 #[derive(Debug, Clone, Serialize)]
@@ -51,10 +52,26 @@ pub fn basic_analysis<R: Rng + ?Sized>(
     clustering_samples: usize,
     rng: &mut R,
 ) -> BasicReport {
+    basic_analysis_observed(dataset, clustering_samples, rng, &Obs::noop())
+}
+
+/// [`basic_analysis`] with component and clustering sub-spans recorded
+/// into `obs`.
+pub fn basic_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    clustering_samples: usize,
+    rng: &mut R,
+    obs: &Obs,
+) -> BasicReport {
     let g = &dataset.graph;
-    let scc = strongly_connected_components(g);
-    let wcc = weakly_connected_components(g);
-    let attracting = attracting_components(g);
+    let (scc, wcc, attracting) = {
+        let _span = obs.span("analysis.basic.components");
+        (
+            strongly_connected_components(g),
+            weakly_connected_components(g),
+            attracting_components(g),
+        )
+    };
 
     // Celebrity sinks: non-singleton-isolated attracting cores, ranked by
     // in-degree.
@@ -68,6 +85,11 @@ pub fn basic_analysis<R: Rng + ?Sized>(
         .collect();
     sinks.sort_by_key(|s| std::cmp::Reverse(s.0));
 
+    let clustering = {
+        let _span = obs.span("analysis.basic.clustering");
+        average_local_clustering_sampled(g, clustering_samples, rng)
+    };
+
     let summary = dataset.summary();
     BasicReport {
         users: summary.users,
@@ -77,7 +99,7 @@ pub fn basic_analysis<R: Rng + ?Sized>(
         max_out_degree: summary.max_out_degree,
         max_out_handle: summary.max_out_handle,
         isolated: summary.isolated,
-        clustering: average_local_clustering_sampled(g, clustering_samples, rng),
+        clustering,
         assortativity_out_in: degree_assortativity(g, DegreeMode::OutIn).unwrap_or(0.0),
         giant_scc: scc.giant_size(),
         giant_scc_fraction: scc.giant_fraction(),

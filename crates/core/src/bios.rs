@@ -2,6 +2,7 @@
 
 use crate::dataset::Dataset;
 use serde::Serialize;
+use vnet_obs::Obs;
 use vnet_textmine::wordcloud::wordcloud_weights;
 use vnet_textmine::NgramCounter;
 
@@ -40,10 +41,20 @@ pub struct BioReport {
 
 /// Mine all bios in the dataset; `k` rows per table (the paper prints 15).
 pub fn bio_analysis(dataset: &Dataset, k: usize) -> BioReport {
+    bio_analysis_observed(dataset, k, &Obs::noop())
+}
+
+/// [`bio_analysis`] with the n-gram counting pass recorded as a sub-span
+/// into `obs`, plus a `text.documents` counter.
+pub fn bio_analysis_observed(dataset: &Dataset, k: usize, obs: &Obs) -> BioReport {
     let mut counter = NgramCounter::new();
-    for p in &dataset.profiles {
-        counter.add_document(&p.bio);
+    {
+        let _span = obs.span("analysis.bios.ngrams");
+        for p in &dataset.profiles {
+            counter.add_document(&p.bio);
+        }
     }
+    obs.set_counter("text.documents", &[], counter.documents() as u64);
     let to_rows = |v: Vec<vnet_textmine::RankedNgram>| {
         v.into_iter().map(|r| NgramRow { ngram: r.display, occurrences: r.count }).collect()
     };

@@ -9,8 +9,9 @@
 use crate::dataset::Dataset;
 use rand::Rng;
 use serde::Serialize;
-use vnet_algos::betweenness::betweenness_sampled_parallel;
+use vnet_algos::betweenness::betweenness_sampled_parallel_counted;
 use vnet_algos::pagerank::{pagerank, PageRankConfig};
+use vnet_obs::Obs;
 use vnet_stats::correlation::{pearson, spearman};
 use vnet_stats::spline::PenalizedSpline;
 
@@ -66,9 +67,32 @@ pub fn centrality_analysis<R: Rng + ?Sized>(
     threads: usize,
     rng: &mut R,
 ) -> CentralityReport {
+    centrality_analysis_observed(dataset, pivots, threads, rng, &Obs::noop())
+}
+
+/// [`centrality_analysis`] with hot-loop work counters
+/// (`algo.pagerank.*`, `algo.betweenness.*`) and per-solver spans
+/// recorded into `obs`.
+pub fn centrality_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    pivots: usize,
+    threads: usize,
+    rng: &mut R,
+    obs: &Obs,
+) -> CentralityReport {
     let g = &dataset.graph;
-    let pr = pagerank(g, PageRankConfig::default());
-    let bc = betweenness_sampled_parallel(g, pivots.min(g.node_count()), threads, rng);
+    let pr = {
+        let _span = obs.span("analysis.centrality.pagerank");
+        pagerank(g, PageRankConfig::default())
+    };
+    obs.set_counter("algo.pagerank.iterations", &[], pr.iterations as u64);
+    obs.set_counter("algo.pagerank.edge_relaxations", &[], pr.edge_relaxations);
+    let (bc, bc_stats) = {
+        let _span = obs.span("analysis.centrality.betweenness");
+        betweenness_sampled_parallel_counted(g, pivots.min(g.node_count()), threads, rng)
+    };
+    obs.set_counter("algo.betweenness.sources", &[], bc_stats.sources);
+    obs.set_counter("algo.betweenness.edge_relaxations", &[], bc_stats.edge_relaxations);
 
     let followers = dataset.followers();
     let listed = dataset.listed();

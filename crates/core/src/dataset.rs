@@ -1,7 +1,9 @@
 //! The analysis dataset (paper Section III) and its synthesis.
 
 use serde::Serialize;
+use std::sync::Arc;
 use vnet_graph::DiGraph;
+use vnet_obs::Obs;
 use vnet_synth::VerifiedNetConfig;
 use vnet_timeseries::Date;
 use vnet_twittersim::{
@@ -115,18 +117,33 @@ impl Dataset {
     /// through the simulated API exactly as Section III describes, and
     /// attach the firehose activity series.
     pub fn synthesize(config: &SynthesisConfig) -> Dataset {
-        let society = Society::generate(&config.society);
+        Self::synthesize_observed(config, &Obs::noop())
+    }
+
+    /// [`Dataset::synthesize`] with the pipeline instrumented: the API and
+    /// crawler report per-endpoint counters and spans into `obs`, and the
+    /// final [`CrawlStats`] are exported as absolute `crawl.*` counters.
+    pub fn synthesize_observed(config: &SynthesisConfig, obs: &Arc<Obs>) -> Dataset {
+        let society = {
+            let _span = obs.span("synthesize.society");
+            Society::generate(&config.society)
+        };
         let api = TwitterApi::new(
             &society,
             SimClock::new(),
             config.rate_limits,
             config.failure_rate,
-        );
+        )
+        .with_obs(obs.clone());
         let crawl = Crawler::new(&api)
+            .with_obs(obs.clone())
             .crawl()
             .expect("simulated crawl cannot fail permanently with retries");
-        let firehose = Firehose::new(&society, config.activity);
-        let activity = firehose.activity_values();
+        let activity = {
+            let _span = obs.span("synthesize.firehose");
+            Firehose::new(&society, config.activity).activity_values()
+        };
+        crawl.stats.export_metrics(obs);
         Dataset {
             graph: crawl.graph,
             profiles: crawl.profiles,
@@ -149,15 +166,31 @@ impl Dataset {
         config: &SynthesisConfig,
         plan: &FaultPlan,
     ) -> Result<Dataset, vnet_twittersim::ApiError> {
-        let society = Society::generate(&config.society);
+        Self::synthesize_with_faults_observed(config, plan, &Obs::noop())
+    }
+
+    /// [`Dataset::synthesize_with_faults`] with the pipeline instrumented
+    /// (see [`Dataset::synthesize_observed`]); additionally exports the
+    /// fault tally as `faults.injected{kind}` counters.
+    pub fn synthesize_with_faults_observed(
+        config: &SynthesisConfig,
+        plan: &FaultPlan,
+        obs: &Arc<Obs>,
+    ) -> Result<Dataset, vnet_twittersim::ApiError> {
+        let society = {
+            let _span = obs.span("synthesize.society");
+            Society::generate(&config.society)
+        };
         let api = TwitterApi::new(
             &society,
             SimClock::new(),
             config.rate_limits,
             config.failure_rate,
         )
+        .with_obs(obs.clone())
         .with_faults(plan.clone());
-        let (crawl, degraded, passes) = match Crawler::new(&api).crawl_resumable(None) {
+        let crawler = Crawler::new(&api).with_obs(obs.clone());
+        let (crawl, degraded, passes) = match crawler.crawl_resumable(None) {
             CrawlOutcome::Complete(ds) => {
                 let passes = ds.stats.passes;
                 (ds, false, passes)
@@ -165,8 +198,11 @@ impl Dataset {
             CrawlOutcome::Degraded { dataset, passes, .. } => (dataset, true, passes),
             CrawlOutcome::Aborted { error, .. } => return Err(error),
         };
-        let firehose = Firehose::new(&society, config.activity);
-        let activity = firehose.activity_values();
+        let activity = {
+            let _span = obs.span("synthesize.firehose");
+            Firehose::new(&society, config.activity).activity_values()
+        };
+        crawl.stats.export_metrics(obs);
         Ok(Dataset {
             graph: crawl.graph,
             profiles: crawl.profiles,

@@ -4,6 +4,7 @@
 use crate::dataset::Dataset;
 use rand::Rng;
 use serde::Serialize;
+use vnet_obs::Obs;
 use vnet_powerlaw::vuong::{vuong_discrete, Alternative};
 use vnet_powerlaw::{bootstrap_pvalue_discrete, fit_discrete, DiscreteFit, FitOptions};
 use vnet_stats::histogram::LogHistogram;
@@ -94,10 +95,26 @@ pub fn degree_analysis<R: Rng + ?Sized>(
     bootstrap_reps: usize,
     rng: &mut R,
 ) -> vnet_powerlaw::Result<DegreeReport> {
+    degree_analysis_observed(dataset, opts, bootstrap_reps, rng, &Obs::noop())
+}
+
+/// [`degree_analysis`] with MLE and bootstrap sub-spans recorded into
+/// `obs`.
+pub fn degree_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    opts: &FitOptions,
+    bootstrap_reps: usize,
+    rng: &mut R,
+    obs: &Obs,
+) -> vnet_powerlaw::Result<DegreeReport> {
     let degrees: Vec<u64> =
         dataset.graph.out_degrees().into_iter().filter(|&d| d > 0).collect();
-    let fit: DiscreteFit = fit_discrete(&degrees, opts)?;
+    let fit: DiscreteFit = {
+        let _span = obs.span("analysis.degrees.mle");
+        fit_discrete(&degrees, opts)?
+    };
     let gof_p = if bootstrap_reps > 0 {
+        let _span = obs.span("analysis.degrees.bootstrap");
         bootstrap_pvalue_discrete(&degrees, &fit, bootstrap_reps, opts, rng)?
     } else {
         f64::NAN

@@ -3,9 +3,10 @@
 use crate::dataset::Dataset;
 use rand::Rng;
 use serde::Serialize;
+use vnet_obs::Obs;
 use vnet_powerlaw::vuong::{vuong_continuous, Alternative};
 use vnet_powerlaw::{bootstrap_pvalue_continuous, fit_continuous, FitOptions};
-use vnet_spectral::{lanczos_topk, SymLaplacian};
+use vnet_spectral::{lanczos_topk_counted, SymLaplacian};
 
 /// Eigenvalue analysis results (paper: α = 3.18, xmin = 9377.26, p = 0.3).
 #[derive(Debug, Clone, Serialize)]
@@ -42,11 +43,36 @@ pub fn eigen_analysis<R: Rng + ?Sized>(
     bootstrap_reps: usize,
     rng: &mut R,
 ) -> vnet_powerlaw::Result<EigenReport> {
+    eigen_analysis_observed(dataset, k, lanczos_steps, opts, bootstrap_reps, rng, &Obs::noop())
+}
+
+/// [`eigen_analysis`] with the Lanczos solve and fit instrumented:
+/// `algo.lanczos.*` work counters plus sub-spans recorded into `obs`.
+#[allow(clippy::too_many_arguments)]
+pub fn eigen_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    k: usize,
+    lanczos_steps: usize,
+    opts: &FitOptions,
+    bootstrap_reps: usize,
+    rng: &mut R,
+    obs: &Obs,
+) -> vnet_powerlaw::Result<EigenReport> {
     let lap = SymLaplacian::from_digraph(&dataset.graph);
-    let eigenvalues = lanczos_topk(&lap, k, lanczos_steps, rng);
+    let (eigenvalues, lanczos_stats) = {
+        let _span = obs.span("analysis.eigen.lanczos");
+        lanczos_topk_counted(&lap, k, lanczos_steps, rng)
+    };
+    obs.set_counter("algo.lanczos.matvecs", &[], lanczos_stats.matvecs);
+    obs.set_counter("algo.lanczos.reorth_projections", &[], lanczos_stats.reorth_projections);
+    obs.set_counter("algo.lanczos.restarts", &[], lanczos_stats.restarts);
     let positive: Vec<f64> = eigenvalues.iter().copied().filter(|&x| x > 1e-9).collect();
-    let fit = fit_continuous(&positive, opts)?;
+    let fit = {
+        let _span = obs.span("analysis.eigen.fit");
+        fit_continuous(&positive, opts)?
+    };
     let gof_p = if bootstrap_reps > 0 {
+        let _span = obs.span("analysis.eigen.bootstrap");
         bootstrap_pvalue_continuous(&positive, &fit, bootstrap_reps, opts, rng)?
     } else {
         f64::NAN

@@ -73,4 +73,4 @@ pub use experiments::{Experiment, EXPERIMENTS};
 pub use fingerprint::{classify_fingerprint, NetworkFingerprint};
 pub use io::{load_dataset, save_dataset};
 pub use markdown::render_markdown;
-pub use report::{run_full_analysis, AnalysisOptions, AnalysisReport};
+pub use report::{run_full_analysis, run_full_analysis_observed, AnalysisOptions, AnalysisReport};

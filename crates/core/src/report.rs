@@ -1,19 +1,20 @@
 //! The full-analysis driver: every paper section in one call.
 
-use crate::activity::{activity_analysis, ActivityReport};
-use crate::basic::{basic_analysis, BasicReport};
-use crate::bios::{bio_analysis, BioReport};
+use crate::activity::{activity_analysis_observed, ActivityReport};
+use crate::basic::{basic_analysis_observed, BasicReport};
+use crate::bios::{bio_analysis_observed, BioReport};
 use crate::categories::{category_analysis, CategoryReport};
-use crate::centrality::{centrality_analysis, CentralityReport};
+use crate::centrality::{centrality_analysis_observed, CentralityReport};
 use crate::dataset::{Dataset, DatasetSummary};
-use crate::degrees::{degree_analysis, figure1, DegreeReport, Figure1};
-use crate::eigen::{eigen_analysis, EigenReport};
+use crate::degrees::{degree_analysis_observed, figure1, DegreeReport, Figure1};
+use crate::eigen::{eigen_analysis_observed, EigenReport};
 use crate::elite_core::{elite_core_analysis, EliteCoreReport};
 use crate::recip::{reciprocity_analysis, ReciprocityReport};
 use crate::separation::{separation_analysis, SeparationReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
+use vnet_obs::Obs;
 use vnet_powerlaw::{FitOptions, XminStrategy};
 
 /// Cost/precision knobs for the full battery.
@@ -119,35 +120,93 @@ pub struct AnalysisReport {
 /// (power-law fits need tails; the battery is meant for graphs of at
 /// least a few thousand nodes).
 pub fn run_full_analysis(dataset: &Dataset, opts: &AnalysisOptions) -> AnalysisReport {
+    run_full_analysis_observed(dataset, opts, &Obs::noop())
+}
+
+/// [`run_full_analysis`] with one span per paper section (plus the
+/// sub-spans and work counters of the observed stage variants) recorded
+/// into `obs`. The RNG stream is identical to the unobserved driver, so
+/// both produce the same report for the same seed.
+pub fn run_full_analysis_observed(
+    dataset: &Dataset,
+    opts: &AnalysisOptions,
+    obs: &Obs,
+) -> AnalysisReport {
     let mut rng = StdRng::seed_from_u64(opts.seed);
-    AnalysisReport {
-        dataset: dataset.summary(),
-        basic: basic_analysis(dataset, opts.clustering_samples, &mut rng),
-        figure1: figure1(dataset, opts.fig1_bins),
-        degrees: degree_analysis(dataset, &opts.fit, opts.bootstrap_reps, &mut rng)
-            .expect("degree power-law fit failed — dataset too small?"),
-        eigen: eigen_analysis(
+    let basic = {
+        let _span = obs.span("analysis.basic");
+        basic_analysis_observed(dataset, opts.clustering_samples, &mut rng, obs)
+    };
+    let fig1 = {
+        let _span = obs.span("analysis.figure1");
+        figure1(dataset, opts.fig1_bins)
+    };
+    let degrees = {
+        let _span = obs.span("analysis.degrees");
+        degree_analysis_observed(dataset, &opts.fit, opts.bootstrap_reps, &mut rng, obs)
+            .expect("degree power-law fit failed — dataset too small?")
+    };
+    let eigen = {
+        let _span = obs.span("analysis.eigen");
+        eigen_analysis_observed(
             dataset,
             opts.eigen_k,
             opts.lanczos_steps,
             &opts.fit,
             opts.bootstrap_reps,
             &mut rng,
+            obs,
         )
-        .expect("eigenvalue power-law fit failed — dataset too small?"),
-        reciprocity: reciprocity_analysis(dataset),
-        separation: separation_analysis(dataset, opts.distance_sources, &mut rng),
-        bios: bio_analysis(dataset, opts.ngram_rows),
-        centrality: centrality_analysis(
+        .expect("eigenvalue power-law fit failed — dataset too small?")
+    };
+    let reciprocity = {
+        let _span = obs.span("analysis.reciprocity");
+        reciprocity_analysis(dataset)
+    };
+    let separation = {
+        let _span = obs.span("analysis.separation");
+        separation_analysis(dataset, opts.distance_sources, &mut rng)
+    };
+    let bios = {
+        let _span = obs.span("analysis.bios");
+        bio_analysis_observed(dataset, opts.ngram_rows, obs)
+    };
+    let centrality = {
+        let _span = obs.span("analysis.centrality");
+        centrality_analysis_observed(
             dataset,
             opts.betweenness_pivots,
             opts.threads,
             &mut rng,
-        ),
-        activity: activity_analysis(dataset, opts.lag_cap)
-            .expect("activity analysis failed — series too short?"),
-        elite_core: elite_core_analysis(dataset),
-        categories: category_analysis(dataset),
+            obs,
+        )
+    };
+    let activity = {
+        let _span = obs.span("analysis.activity");
+        activity_analysis_observed(dataset, opts.lag_cap, obs)
+            .expect("activity analysis failed — series too short?")
+    };
+    let elite_core = {
+        let _span = obs.span("analysis.elite_core");
+        elite_core_analysis(dataset)
+    };
+    let categories = {
+        let _span = obs.span("analysis.categories");
+        category_analysis(dataset)
+    };
+    AnalysisReport {
+        dataset: dataset.summary(),
+        basic,
+        figure1: fig1,
+        degrees,
+        eigen,
+        reciprocity,
+        separation,
+        bios,
+        centrality,
+        activity,
+        elite_core,
+        categories,
     }
 }
 

@@ -1,0 +1,234 @@
+//! # vnet-obs — deterministic observability for the verified-net pipeline
+//!
+//! Metrics, spans, and run manifests for the crawl → analysis pipeline,
+//! with **no external dependencies** beyond the workspace's vendored
+//! serde. The layer exists to answer three questions about a run:
+//!
+//! 1. *What work happened?* — a [`Registry`] of labelled counters, gauges
+//!    and fixed-bucket histograms (per-endpoint API calls, fault counts,
+//!    backoff waits, hot-loop iteration totals).
+//! 2. *Where did the time go?* — a [`Tracer`] of nested spans, each
+//!    recording both simulated seconds and wall-clock nanoseconds.
+//! 3. *Was it the same run?* — a serializable [`RunManifest`] combining
+//!    seed, counters, stage timings and output fingerprints, exportable as
+//!    JSON or a human-readable text report.
+//!
+//! ## Determinism contract
+//!
+//! Under a fixed seed, the **deterministic view** of a run's manifest
+//! ([`RunManifest::deterministic_json`]) is byte-identical across runs and
+//! machines. Concretely:
+//!
+//! * Counter, gauge and histogram values are pure functions of the seeded
+//!   workload: the simulator's fault rolls, pagination, and retry/backoff
+//!   schedule derive from seeded RNGs and hashes, never from real time.
+//! * Span *simulated* timings (`sim_secs`) come from the pluggable
+//!   simulated clock wired via [`Obs::set_sim_clock`] — in practice the
+//!   `vnet-twittersim` `SimClock`, which only advances when the simulated
+//!   rate-limit policy says to wait. Stages that never touch the simulated
+//!   clock (the analysis battery) report 0 simulated seconds.
+//! * Span *wall-clock* timings (`wall_micros`, `wall_total_micros`) are
+//!   real measurements and therefore nondeterministic; the deterministic
+//!   view zeroes them. They exist for profiling, not for comparison.
+//! * All maps are `BTreeMap`s and label sets are sorted into the metric
+//!   key, so serialization order is canonical by construction.
+//!
+//! Golden tests pin this contract: two same-seed fault-injected crawls
+//! must produce byte-identical deterministic manifests.
+//!
+//! ## Enabling and disabling
+//!
+//! Instrumented code takes an `Arc<Obs>`. [`Obs::new`] records;
+//! [`Obs::disabled`] and the shared static [`Obs::noop`] turn every
+//! recording call into a cheap no-op, so library code can be instrumented
+//! unconditionally and callers opt in:
+//!
+//! ```
+//! use vnet_obs::Obs;
+//!
+//! let obs = std::sync::Arc::new(Obs::new());
+//! {
+//!     let _stage = obs.span("analysis.basic");
+//!     obs.inc_by("algo.edge_relaxations", &[], 1234);
+//! }
+//! let manifest = obs.manifest("demo", 0x5EED);
+//! assert!(manifest.deterministic_json().contains("analysis.basic"));
+//! ```
+
+mod manifest;
+mod metrics;
+mod report;
+mod trace;
+
+use std::sync::{Arc, OnceLock};
+
+pub use manifest::{
+    fingerprint_bytes, RunManifest, StageTiming, MANIFEST_SCHEMA_VERSION,
+};
+pub use metrics::{metric_key, HistogramSnapshot, Labels, Registry, DEFAULT_BUCKETS};
+pub use report::Reporter;
+pub use trace::{SimTimeSource, SpanGuard, SpanRecord, Tracer};
+
+/// 64-bit FNV-1a of a string — convenience over [`fingerprint_bytes`].
+pub fn fingerprint_str(s: &str) -> u64 {
+    fingerprint_bytes(s.as_bytes())
+}
+
+/// The observability handle: one registry plus one tracer, shared behind
+/// an `Arc` across the pipeline.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: bool,
+    metrics: Registry,
+    tracer: Tracer,
+}
+
+impl Obs {
+    /// A recording handle.
+    pub fn new() -> Self {
+        Self { enabled: true, metrics: Registry::new(), tracer: Tracer::new() }
+    }
+
+    /// A handle where every recording call is a no-op.
+    pub fn disabled() -> Self {
+        Self { enabled: false, metrics: Registry::new(), tracer: Tracer::disabled() }
+    }
+
+    /// The shared disabled handle. Library entry points that take no
+    /// explicit `Obs` delegate here so instrumented code never needs an
+    /// `Option`.
+    pub fn noop() -> Arc<Obs> {
+        static NOOP: OnceLock<Arc<Obs>> = OnceLock::new();
+        NOOP.get_or_init(|| Arc::new(Obs::disabled())).clone()
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Wire the simulated clock driving deterministic span timings.
+    pub fn set_sim_clock(&self, source: SimTimeSource) {
+        self.tracer.set_sim_time_source(source);
+    }
+
+    /// Add 1 to a counter.
+    pub fn inc(&self, name: &str, labels: Labels) {
+        if self.enabled {
+            self.metrics.inc(name, labels);
+        }
+    }
+
+    /// Add `by` to a counter.
+    pub fn inc_by(&self, name: &str, labels: Labels, by: u64) {
+        if self.enabled {
+            self.metrics.inc_by(name, labels, by);
+        }
+    }
+
+    /// Set a counter to an absolute value.
+    pub fn set_counter(&self, name: &str, labels: Labels, value: u64) {
+        if self.enabled {
+            self.metrics.set_counter(name, labels, value);
+        }
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&self, name: &str, labels: Labels, value: f64) {
+        if self.enabled {
+            self.metrics.set_gauge(name, labels, value);
+        }
+    }
+
+    /// Declare histogram bucket bounds for a metric name.
+    pub fn declare_buckets(&self, name: &str, bounds: &[f64]) {
+        if self.enabled {
+            self.metrics.declare_buckets(name, bounds);
+        }
+    }
+
+    /// Record one histogram observation.
+    pub fn observe(&self, name: &str, labels: Labels, value: f64) {
+        if self.enabled {
+            self.metrics.observe(name, labels, value);
+        }
+    }
+
+    /// Open a span (no-op guard when disabled).
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.tracer.span(name)
+    }
+
+    /// Snapshot everything recorded so far into a [`RunManifest`].
+    pub fn manifest(&self, label: &str, seed: u64) -> RunManifest {
+        RunManifest::from_parts(
+            label,
+            seed,
+            self.metrics.counters(),
+            self.metrics.gauges(),
+            self.metrics.histograms(),
+            &self.tracer.spans(),
+        )
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing() {
+        let obs = Obs::noop();
+        obs.inc("x", &[]);
+        obs.set_gauge("g", &[], 1.0);
+        obs.observe("h", &[], 1.0);
+        {
+            let _s = obs.span("ghost");
+        }
+        let m = obs.manifest("noop", 0);
+        assert!(m.counters.is_empty());
+        assert!(m.gauges.is_empty());
+        assert!(m.histograms.is_empty());
+        assert!(m.stages.is_empty());
+    }
+
+    #[test]
+    fn noop_is_shared() {
+        assert!(Arc::ptr_eq(&Obs::noop(), &Obs::noop()));
+    }
+
+    #[test]
+    fn manifest_snapshots_registry_and_spans() {
+        let obs = Obs::new();
+        obs.inc_by("api.requests", &[("endpoint", "users_show")], 3);
+        {
+            let _s = obs.span("crawl");
+        }
+        let m = obs.manifest("run", 9);
+        assert_eq!(m.counters["api.requests{endpoint=users_show}"], 3);
+        assert_eq!(m.stages.len(), 1);
+        assert_eq!(m.label, "run");
+        assert_eq!(m.seed, 9);
+    }
+
+    #[test]
+    fn fingerprint_str_matches_bytes() {
+        assert_eq!(fingerprint_str("abc"), fingerprint_bytes(b"abc"));
+    }
+}

@@ -1,0 +1,278 @@
+//! The metrics registry: labelled counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! All state lives behind one mutex and all keys are stored in
+//! [`BTreeMap`]s, so a snapshot of the registry is *canonically ordered*:
+//! two runs that perform the same sequence of recordings produce
+//! byte-identical serialized snapshots. Label sets are folded into the
+//! metric key as `name{k1=v1,k2=v2}` with the labels sorted by key, the
+//! same flat encoding Prometheus exposition uses, which keeps the registry
+//! free of any nested-map ordering questions.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// A label set, borrowed at the call site: `&[("endpoint", "friends_ids")]`.
+pub type Labels<'a> = &'a [(&'a str, &'a str)];
+
+/// Histogram bucket upper bounds used when a metric was never given
+/// explicit buckets: decades from 1 to 10⁶ (counts, seconds, sizes all
+/// land usefully in a decade grid).
+pub const DEFAULT_BUCKETS: [f64; 7] =
+    [1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0];
+
+/// Flatten `name` + sorted labels into the canonical metric key.
+pub fn metric_key(name: &str, labels: Labels) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut key = String::with_capacity(name.len() + 16 * sorted.len());
+    key.push_str(name);
+    key.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            key.push(',');
+        }
+        key.push_str(k);
+        key.push('=');
+        key.push_str(v);
+    }
+    key.push('}');
+    key
+}
+
+/// A fixed-bucket histogram: cumulative-style upper bounds (`value <=
+/// bound` lands in that bucket), one overflow bucket past the last bound,
+/// plus a running count and sum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`,
+    /// the final slot being the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (observation-order dependent, but the
+    /// pipeline records single-threaded so the sum replays exactly).
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    fn with_bounds(bounds: Vec<f64>) -> Self {
+        let n = bounds.len() + 1;
+        Self { bounds, counts: vec![0; n], count: 0, sum: 0.0 }
+    }
+
+    /// Index of the bucket `value` falls into (first bound `>= value`,
+    /// else the overflow slot).
+    pub fn bucket_index(bounds: &[f64], value: f64) -> usize {
+        bounds.iter().position(|&b| value <= b).unwrap_or(bounds.len())
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = Self::bucket_index(&self.bounds, value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-metric-*name* bucket bounds, consulted when a histogram key is
+    /// first observed.
+    bucket_specs: BTreeMap<String, Vec<f64>>,
+}
+
+/// The thread-safe metrics registry.
+///
+/// Every mutator is `&self`; the registry is meant to be shared behind an
+/// `Arc` across the crawl and analysis layers.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// `Mutex::lock` treating poisoning as fatal, matching the workspace
+/// convention (a panic mid-update leaves telemetry unreliable anyway).
+fn lock(m: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    m.lock().expect("vnet-obs registry mutex poisoned")
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to a counter.
+    pub fn inc_by(&self, name: &str, labels: Labels, by: u64) {
+        let key = metric_key(name, labels);
+        *lock(&self.inner).counters.entry(key).or_insert(0) += by;
+    }
+
+    /// Add 1 to a counter.
+    pub fn inc(&self, name: &str, labels: Labels) {
+        self.inc_by(name, labels, 1);
+    }
+
+    /// Set a counter to an absolute value (for exporting externally
+    /// accumulated totals like `CrawlStats`).
+    pub fn set_counter(&self, name: &str, labels: Labels, value: u64) {
+        let key = metric_key(name, labels);
+        lock(&self.inner).counters.insert(key, value);
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&self, name: &str, labels: Labels, value: f64) {
+        let key = metric_key(name, labels);
+        lock(&self.inner).gauges.insert(key, value);
+    }
+
+    /// Declare the bucket bounds for every histogram series of `name`
+    /// (bounds must be ascending). Metrics observed without a declaration
+    /// use [`DEFAULT_BUCKETS`].
+    pub fn declare_buckets(&self, name: &str, bounds: &[f64]) {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        lock(&self.inner).bucket_specs.insert(name.to_string(), bounds.to_vec());
+    }
+
+    /// Record one observation into the histogram `name{labels}`.
+    pub fn observe(&self, name: &str, labels: Labels, value: f64) {
+        let key = metric_key(name, labels);
+        let mut inner = lock(&self.inner);
+        if !inner.histograms.contains_key(&key) {
+            let bounds = inner
+                .bucket_specs
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| DEFAULT_BUCKETS.to_vec());
+            inner.histograms.insert(key.clone(), HistogramSnapshot::with_bounds(bounds));
+        }
+        inner.histograms.get_mut(&key).expect("inserted above").observe(value);
+    }
+
+    /// Current counter value (0 when never touched).
+    pub fn counter(&self, name: &str, labels: Labels) -> u64 {
+        let key = metric_key(name, labels);
+        lock(&self.inner).counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, name: &str, labels: Labels) -> Option<f64> {
+        let key = metric_key(name, labels);
+        lock(&self.inner).gauges.get(&key).copied()
+    }
+
+    /// Snapshot of all counters, canonically ordered.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        lock(&self.inner).counters.clone()
+    }
+
+    /// Snapshot of all gauges, canonically ordered.
+    pub fn gauges(&self) -> BTreeMap<String, f64> {
+        lock(&self.inner).gauges.clone()
+    }
+
+    /// Snapshot of all histograms, canonically ordered.
+    pub fn histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
+        lock(&self.inner).histograms.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_canonical() {
+        assert_eq!(metric_key("x", &[]), "x");
+        assert_eq!(
+            metric_key("api.requests", &[("kind", "burst"), ("endpoint", "friends_ids")]),
+            "api.requests{endpoint=friends_ids,kind=burst}"
+        );
+        // Label order at the call site is irrelevant.
+        assert_eq!(
+            metric_key("m", &[("a", "1"), ("b", "2")]),
+            metric_key("m", &[("b", "2"), ("a", "1")])
+        );
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        r.inc("calls", &[("endpoint", "a")]);
+        r.inc_by("calls", &[("endpoint", "a")], 2);
+        r.inc("calls", &[("endpoint", "b")]);
+        assert_eq!(r.counter("calls", &[("endpoint", "a")]), 3);
+        assert_eq!(r.counter("calls", &[("endpoint", "b")]), 1);
+        assert_eq!(r.counter("calls", &[("endpoint", "c")]), 0);
+        r.set_counter("calls", &[("endpoint", "a")], 10);
+        assert_eq!(r.counter("calls", &[("endpoint", "a")]), 10);
+        r.set_gauge("alpha", &[], 3.24);
+        assert_eq!(r.gauge("alpha", &[]), Some(3.24));
+        assert_eq!(r.gauge("missing", &[]), None);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_cumulative_upper_bound() {
+        let bounds = [1.0, 5.0, 15.0];
+        assert_eq!(HistogramSnapshot::bucket_index(&bounds, 0.0), 0);
+        assert_eq!(HistogramSnapshot::bucket_index(&bounds, 1.0), 0); // <= bound
+        assert_eq!(HistogramSnapshot::bucket_index(&bounds, 1.01), 1);
+        assert_eq!(HistogramSnapshot::bucket_index(&bounds, 5.0), 1);
+        assert_eq!(HistogramSnapshot::bucket_index(&bounds, 14.0), 2);
+        assert_eq!(HistogramSnapshot::bucket_index(&bounds, 15.1), 3); // overflow
+    }
+
+    #[test]
+    fn histogram_observe_with_declared_buckets() {
+        let r = Registry::new();
+        r.declare_buckets("wait_secs", &[1.0, 60.0, 900.0]);
+        for v in [0.5, 30.0, 120.0, 901.0, 1_000_000.0] {
+            r.observe("wait_secs", &[("endpoint", "roster")], v);
+        }
+        let h = &r.histograms()["wait_secs{endpoint=roster}"];
+        assert_eq!(h.bounds, vec![1.0, 60.0, 900.0]);
+        assert_eq!(h.counts, vec![1, 1, 1, 2]);
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 1_001_051.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_defaults_to_decade_buckets() {
+        let r = Registry::new();
+        r.observe("sizes", &[], 42.0);
+        let h = &r.histograms()["sizes"];
+        assert_eq!(h.bounds, DEFAULT_BUCKETS.to_vec());
+        assert_eq!(h.counts[2], 1); // 42 <= 100
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bucket_declarations_rejected() {
+        Registry::new().declare_buckets("bad", &[5.0, 1.0]);
+    }
+
+    #[test]
+    fn snapshots_are_sorted() {
+        let r = Registry::new();
+        r.inc("z", &[]);
+        r.inc("a", &[]);
+        r.inc("m", &[("l", "2")]);
+        r.inc("m", &[("l", "1")]);
+        let keys: Vec<String> = r.counters().into_keys().collect();
+        assert_eq!(keys, vec!["a", "m{l=1}", "m{l=2}", "z"]);
+    }
+}

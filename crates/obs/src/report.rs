@@ -1,0 +1,113 @@
+//! Human-facing run reporting.
+//!
+//! [`Reporter`] is the thin output layer the binaries and examples use
+//! instead of raw `println!`: the same call sites can stream to stdout or
+//! capture into a buffer (for tests asserting on report text), and the
+//! section/rule helpers keep the repro binary's layout consistent.
+
+use std::sync::Mutex;
+
+enum Sink {
+    Stdout,
+    Capture(Mutex<String>),
+}
+
+/// A line-oriented report sink.
+pub struct Reporter {
+    sink: Sink,
+}
+
+impl std::fmt::Debug for Reporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.sink {
+            Sink::Stdout => "stdout",
+            Sink::Capture(_) => "capture",
+        };
+        f.debug_struct("Reporter").field("sink", &kind).finish()
+    }
+}
+
+impl Reporter {
+    /// A reporter that prints to stdout.
+    pub fn stdout() -> Self {
+        Self { sink: Sink::Stdout }
+    }
+
+    /// A reporter that buffers everything; read back with
+    /// [`captured`](Self::captured).
+    pub fn capture() -> Self {
+        Self { sink: Sink::Capture(Mutex::new(String::new())) }
+    }
+
+    /// Emit one line.
+    pub fn line(&self, text: impl AsRef<str>) {
+        match &self.sink {
+            Sink::Stdout => println!("{}", text.as_ref()),
+            Sink::Capture(buf) => {
+                let mut buf = buf.lock().expect("vnet-obs reporter mutex poisoned");
+                buf.push_str(text.as_ref());
+                buf.push('\n');
+            }
+        }
+    }
+
+    /// Emit an empty line.
+    pub fn blank(&self) {
+        self.line("");
+    }
+
+    /// Emit a section header: blank line, `== title ==`, underline rule.
+    pub fn section(&self, title: &str) {
+        self.blank();
+        self.line(format!("== {title} =="));
+        self.rule(title.len() + 6);
+    }
+
+    /// Emit a horizontal rule of `width` dashes.
+    pub fn rule(&self, width: usize) {
+        self.line("-".repeat(width));
+    }
+
+    /// Everything written so far (empty for a stdout reporter).
+    pub fn captured(&self) -> String {
+        match &self.sink {
+            Sink::Stdout => String::new(),
+            Sink::Capture(buf) => {
+                buf.lock().expect("vnet-obs reporter mutex poisoned").clone()
+            }
+        }
+    }
+}
+
+impl Default for Reporter {
+    fn default() -> Self {
+        Self::stdout()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_reporter_buffers_lines() {
+        let r = Reporter::capture();
+        r.line("alpha");
+        r.blank();
+        r.line(String::from("beta"));
+        assert_eq!(r.captured(), "alpha\n\nbeta\n");
+    }
+
+    #[test]
+    fn section_renders_header_and_rule() {
+        let r = Reporter::capture();
+        r.section("basic");
+        assert_eq!(r.captured(), "\n== basic ==\n-----------\n");
+    }
+
+    #[test]
+    fn stdout_reporter_captures_nothing() {
+        let r = Reporter::stdout();
+        assert_eq!(r.captured(), "");
+    }
+}

@@ -1,0 +1,223 @@
+//! Lightweight spans over a dual clock.
+//!
+//! Every span records **two** durations:
+//!
+//! * `sim_start..sim_end` — read from a pluggable *simulated* clock (the
+//!   `vnet-twittersim` [`SimClock`] in practice). These fields are a pure
+//!   function of the run's seed and inputs, so they are bit-identical
+//!   across replays and belong in the deterministic half of a
+//!   [`crate::RunManifest`]. When no simulated clock is wired, both read 0.
+//! * `wall_nanos` — a monotonic wall-clock duration ([`std::time::Instant`])
+//!   for profiling. Wall time is inherently nondeterministic and is
+//!   excluded from manifest comparisons.
+//!
+//! Spans nest: a [`SpanGuard`] pushes onto a stack at creation and pops on
+//! drop, recording its parent and depth, so the finished list renders as a
+//! stage tree. The tracer is single-writer by design — the pipeline
+//! records spans from one thread (worker pools inside a stage do not open
+//! spans) — but all state is mutex-guarded so sharing the tracer behind an
+//! `Arc` is safe.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A shared getter for the simulated clock, wired by the crawl layer.
+pub type SimTimeSource = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// One finished (or still-open) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name, dot-namespaced ("crawl.harvest", "analysis.pelt").
+    pub name: String,
+    /// Index of the enclosing span in the tracer's record list.
+    pub parent: Option<usize>,
+    /// Nesting depth (0 = root).
+    pub depth: u32,
+    /// Simulated seconds at entry (0 without a simulated clock).
+    pub sim_start: u64,
+    /// Simulated seconds at exit.
+    pub sim_end: u64,
+    /// Wall-clock nanoseconds between entry and exit.
+    pub wall_nanos: u64,
+    /// Whether the span has been closed.
+    pub closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    records: Vec<SpanRecord>,
+    stack: Vec<usize>,
+}
+
+/// The span recorder.
+pub struct Tracer {
+    enabled: bool,
+    sim: Mutex<Option<SimTimeSource>>,
+    inner: Mutex<TraceInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("enabled", &self.enabled).finish_non_exhaustive()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().expect("vnet-obs tracer mutex poisoned")
+}
+
+impl Tracer {
+    /// A recording tracer.
+    pub fn new() -> Self {
+        Self { enabled: true, sim: Mutex::new(None), inner: Mutex::new(TraceInner::default()) }
+    }
+
+    /// A tracer that records nothing (every span is a no-op).
+    pub fn disabled() -> Self {
+        Self { enabled: false, sim: Mutex::new(None), inner: Mutex::new(TraceInner::default()) }
+    }
+
+    /// Wire the simulated clock. Subsequent spans read it for their
+    /// deterministic timestamps; earlier spans keep their zeros. No-op on
+    /// a disabled tracer.
+    pub fn set_sim_time_source(&self, source: SimTimeSource) {
+        if self.enabled {
+            *lock(&self.sim) = Some(source);
+        }
+    }
+
+    fn sim_now(&self) -> u64 {
+        lock(&self.sim).as_ref().map(|f| f()).unwrap_or(0)
+    }
+
+    /// Open a span; it closes (and is finalized) when the guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        if !self.enabled {
+            return SpanGuard { tracer: None, idx: 0, started: Instant::now() };
+        }
+        let sim_start = self.sim_now();
+        let mut inner = lock(&self.inner);
+        let parent = inner.stack.last().copied();
+        let depth = inner.stack.len() as u32;
+        let idx = inner.records.len();
+        inner.records.push(SpanRecord {
+            name: name.to_string(),
+            parent,
+            depth,
+            sim_start,
+            sim_end: sim_start,
+            wall_nanos: 0,
+            closed: false,
+        });
+        inner.stack.push(idx);
+        SpanGuard { tracer: Some(self), idx, started: Instant::now() }
+    }
+
+    /// All spans recorded so far, in open order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        lock(&self.inner).records.clone()
+    }
+
+    fn close(&self, idx: usize, wall_nanos: u64) {
+        let sim_end = self.sim_now();
+        let mut inner = lock(&self.inner);
+        // Spans close strictly LIFO (guards are scoped), but be defensive:
+        // pop only if this span is actually the top of the stack.
+        if inner.stack.last() == Some(&idx) {
+            inner.stack.pop();
+        }
+        let rec = &mut inner.records[idx];
+        rec.sim_end = sim_end;
+        rec.wall_nanos = wall_nanos;
+        rec.closed = true;
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Closes its span on drop.
+#[must_use = "binding the guard keeps the span open for its scope"]
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+    idx: usize,
+    started: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(t) = self.tracer {
+            t.close(self.idx, self.started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn spans_nest_and_close_in_order() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("outer");
+            {
+                let _b = t.span("inner");
+                let _c = t.span("leaf");
+            }
+            let _d = t.span("sibling");
+        }
+        let spans = t.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "leaf", "sibling"]);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].parent, Some(1));
+        assert_eq!(spans[2].depth, 2);
+        // "sibling" opened after "inner" closed: parent is the root again.
+        assert_eq!(spans[3].parent, Some(0));
+        assert_eq!(spans[3].depth, 1);
+        assert!(spans.iter().all(|s| s.closed));
+    }
+
+    #[test]
+    fn simulated_clock_drives_deterministic_timing() {
+        let t = Tracer::new();
+        let clock = Arc::new(AtomicU64::new(100));
+        let c2 = clock.clone();
+        t.set_sim_time_source(Arc::new(move || c2.load(Ordering::SeqCst)));
+        {
+            let _s = t.span("wait");
+            clock.store(250, Ordering::SeqCst);
+        }
+        let spans = t.spans();
+        assert_eq!(spans[0].sim_start, 100);
+        assert_eq!(spans[0].sim_end, 250);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        {
+            let _s = t.span("ghost");
+        }
+        assert!(t.spans().is_empty());
+    }
+
+    #[test]
+    fn unwired_clock_reads_zero() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("x");
+        }
+        let s = &t.spans()[0];
+        assert_eq!((s.sim_start, s.sim_end), (0, 0));
+        assert!(s.closed);
+    }
+}

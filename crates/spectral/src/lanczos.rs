@@ -22,9 +22,31 @@ pub fn lanczos_topk<R: Rng + ?Sized>(
     steps: usize,
     rng: &mut R,
 ) -> Vec<f64> {
+    lanczos_topk_counted(op, k, steps, rng).0
+}
+
+/// Work counters from a Lanczos run, for observability manifests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LanczosStats {
+    /// Operator applications (`matvec_into` calls).
+    pub matvecs: u64,
+    /// Basis-vector projections removed during reorthogonalization.
+    pub reorth_projections: u64,
+    /// Invariant-subspace restarts with a fresh random direction.
+    pub restarts: u64,
+}
+
+/// [`lanczos_topk`] plus its work counters.
+pub fn lanczos_topk_counted<R: Rng + ?Sized>(
+    op: &SymLaplacian,
+    k: usize,
+    steps: usize,
+    rng: &mut R,
+) -> (Vec<f64>, LanczosStats) {
+    let mut stats = LanczosStats::default();
     let n = op.dim();
     if n == 0 || k == 0 {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
     let m = steps.max(k).min(n);
 
@@ -40,6 +62,7 @@ pub fn lanczos_topk<R: Rng + ?Sized>(
     for j in 0..m {
         basis.push(v.clone());
         op.matvec_into(&v, &mut w);
+        stats.matvecs += 1;
         let a = dot(&w, &v);
         alpha.push(a);
         // w -= a v + beta_{j-1} v_{j-1}
@@ -61,6 +84,7 @@ pub fn lanczos_topk<R: Rng + ?Sized>(
                     for i in 0..n {
                         w[i] -= c * q[i];
                     }
+                    stats.reorth_projections += 1;
                 }
             }
         }
@@ -71,6 +95,7 @@ pub fn lanczos_topk<R: Rng + ?Sized>(
         if b < 1e-12 {
             // Invariant subspace exhausted: restart with a fresh random
             // direction orthogonal to the current basis.
+            stats.restarts += 1;
             let mut fresh: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
             for q in &basis {
                 let c = dot(&fresh, q);
@@ -103,7 +128,7 @@ pub fn lanczos_topk<R: Rng + ?Sized>(
             *x = 0.0;
         }
     }
-    ev
+    (ev, stats)
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {

@@ -89,12 +89,16 @@ pub fn preferential_attachment_directed<R: Rng + ?Sized>(
     let mut targets_pool: Vec<NodeId> = Vec::with_capacity(n as usize * (m + 1));
     targets_pool.push(0);
     for u in 1..n {
-        let mut picked = std::collections::HashSet::with_capacity(m * 2);
+        // Insertion-ordered distinct targets (m is small, so a linear
+        // `contains` beats hashing) — a HashSet here would emit edges in
+        // process-random iteration order and break run-to-run determinism
+        // of the null model under a fixed seed.
+        let mut picked: Vec<NodeId> = Vec::with_capacity(m);
         let tries = m.min(u as usize);
         while picked.len() < tries {
             let v = targets_pool[rng.random_range(0..targets_pool.len())];
-            if v != u {
-                picked.insert(v);
+            if v != u && !picked.contains(&v) {
+                picked.push(v);
             }
         }
         for &v in &picked {

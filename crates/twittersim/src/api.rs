@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use vnet_obs::Obs;
 
 /// `Mutex::lock` that treats poisoning as fatal (parking-lot semantics;
 /// a panic mid-update means the simulation state is unreliable anyway).
@@ -152,6 +153,7 @@ pub struct TwitterApi<'a> {
     calls: Mutex<HashMap<&'static str, u64>>,
     timeline: Option<crate::churn::RosterTimeline>,
     faults: Option<FaultState>,
+    obs: Arc<Obs>,
 }
 
 impl<'a> TwitterApi<'a> {
@@ -174,7 +176,19 @@ impl<'a> TwitterApi<'a> {
             calls: Mutex::new(HashMap::new()),
             timeline: None,
             faults: None,
+            obs: Obs::noop(),
         }
+    }
+
+    /// Bind an observability handle: every request, rate-limit hit, and
+    /// injected fault is counted per endpoint, and the handle's tracer is
+    /// wired to this API's [`SimClock`] so spans opened downstream get
+    /// deterministic simulated timings.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        let clock = self.clock.clone();
+        obs.set_sim_clock(Arc::new(move || clock.now()));
+        self.obs = obs;
+        self
     }
 
     /// Bind a verification-churn timeline: the `@verified` roster then
@@ -223,6 +237,7 @@ impl<'a> TwitterApi<'a> {
     /// ones, so a retry of a faulted call draws a fresh decision.
     fn charge(&self, endpoint: &'static str, quota: u32) -> Result<u64, ApiError> {
         let now = self.clock.now();
+        self.obs.inc("api.requests", &[("endpoint", endpoint)]);
         let attempt = match &self.faults {
             Some(f) => {
                 let mut attempts = lock(&f.attempts);
@@ -250,10 +265,20 @@ impl<'a> TwitterApi<'a> {
                         if c.active_at(now) {
                             retry_after += extra_secs;
                             lock(&f.tally).skewed_waits += 1;
+                            self.obs.inc(
+                                "api.faults",
+                                &[("endpoint", endpoint), ("kind", "rate_limit_skew")],
+                            );
                         }
                     }
                 }
             }
+            self.obs.inc("api.rate_limited", &[("endpoint", endpoint)]);
+            self.obs.observe(
+                "api.rate_limit_wait_secs",
+                &[("endpoint", endpoint)],
+                retry_after as f64,
+            );
             return Err(ApiError::RateLimited { retry_after });
         }
         // Transient failures burn quota, like real 5xx responses did.
@@ -267,6 +292,8 @@ impl<'a> TwitterApi<'a> {
                 match *c {
                     FaultClause::Outage { endpoint: ep, .. } if ep.covers(endpoint) => {
                         lock(&f.tally).outage_failures += 1;
+                        self.obs
+                            .inc("api.faults", &[("endpoint", endpoint), ("kind", "outage")]);
                         return Err(ApiError::ServerError);
                     }
                     FaultClause::ErrorBurst { endpoint: ep, probability, .. }
@@ -275,6 +302,8 @@ impl<'a> TwitterApi<'a> {
                                 < probability =>
                     {
                         lock(&f.tally).burst_failures += 1;
+                        self.obs
+                            .inc("api.faults", &[("endpoint", endpoint), ("kind", "burst")]);
                         return Err(ApiError::ServerError);
                     }
                     _ => {}
@@ -282,6 +311,7 @@ impl<'a> TwitterApi<'a> {
             }
         }
         if self.failure_rate > 0.0 && lock(&self.rng).random::<f64>() < self.failure_rate {
+            self.obs.inc("api.faults", &[("endpoint", endpoint), ("kind", "transient")]);
             return Err(ApiError::ServerError);
         }
         *lock(&self.calls).entry(endpoint).or_insert(0) += 1;
@@ -312,10 +342,18 @@ impl<'a> TwitterApi<'a> {
                 roster.retain(|&id| !f.flicker.hidden(id, now));
                 if roster.len() < before {
                     lock(&f.tally).flickered_roster_reads += 1;
+                    self.obs.inc(
+                        "api.faults",
+                        &[("endpoint", "verified_ids"), ("kind", "roster_flicker")],
+                    );
                 }
             }
             if cursor > 1 && (cursor >> 40) != generation {
                 lock(&f.tally).expired_cursors += 1;
+                self.obs.inc(
+                    "api.faults",
+                    &[("endpoint", "verified_ids"), ("kind", "cursor_expired")],
+                );
                 return Err(ApiError::CursorExpired);
             }
         }
@@ -361,7 +399,7 @@ impl<'a> TwitterApi<'a> {
         let attempt = self.charge("users_show", self.policy.users_lookup)?;
         let mut profile =
             self.society.profile(id).cloned().ok_or(ApiError::NotFound(id))?;
-        self.apply_stale(&mut profile, attempt);
+        self.apply_stale(&mut profile, attempt, "users_show");
         Ok(profile)
     }
 
@@ -375,7 +413,7 @@ impl<'a> TwitterApi<'a> {
         let mut profiles: Vec<UserProfile> =
             ids.iter().filter_map(|&id| self.society.profile(id).cloned()).collect();
         for p in &mut profiles {
-            self.apply_stale(p, attempt);
+            self.apply_stale(p, attempt, "users_lookup");
         }
         Ok(profiles)
     }
@@ -386,7 +424,7 @@ impl<'a> TwitterApi<'a> {
     /// caches go stale on counts long before they go stale on identity.
     /// The crawler's English filter and the follow graph are therefore
     /// unaffected, which is what makes this fault recoverable.
-    fn apply_stale(&self, profile: &mut UserProfile, attempt: u64) {
+    fn apply_stale(&self, profile: &mut UserProfile, attempt: u64, endpoint: &'static str) {
         let Some(f) = &self.faults else { return };
         let now = self.clock.now();
         for (i, c) in f.plan.clauses().iter().enumerate() {
@@ -399,6 +437,8 @@ impl<'a> TwitterApi<'a> {
                     profile.listed_count -= profile.listed_count / 8;
                     profile.statuses_count -= profile.statuses_count / 8;
                     lock(&f.tally).stale_reads += 1;
+                    self.obs
+                        .inc("api.faults", &[("endpoint", endpoint), ("kind", "stale_read")]);
                 }
             }
         }
@@ -446,6 +486,10 @@ impl<'a> TwitterApi<'a> {
                         ids.truncate(keep);
                         end_actual = offset + keep;
                         lock(&f.tally).truncated_pages += 1;
+                        self.obs.inc(
+                            "api.faults",
+                            &[("endpoint", endpoint), ("kind", "truncated_page")],
+                        );
                     }
                     FaultClause::DuplicatedPages { endpoint: ep, probability, .. }
                         if ep.covers(endpoint)
@@ -460,6 +504,11 @@ impl<'a> TwitterApi<'a> {
                         let dup: Vec<UserId> = ids[..k].to_vec();
                         ids.extend(dup);
                         lock(&f.tally).duplicated_ids += k as u64;
+                        self.obs.inc_by(
+                            "api.faults",
+                            &[("endpoint", endpoint), ("kind", "duplicated_ids")],
+                            k as u64,
+                        );
                     }
                     _ => {}
                 }

@@ -22,7 +22,9 @@ use crate::api::{ApiError, TwitterApi, LOOKUP_BATCH};
 use crate::faults::FaultTally;
 use crate::society::{UserId, UserProfile};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use vnet_graph::{DiGraph, GraphBuilder, NodeId};
+use vnet_obs::Obs;
 
 /// Result of the harvest phase: `(roster, english ids, profiles aligned
 /// with english)`.
@@ -59,6 +61,28 @@ pub struct CrawlStats {
     pub passes: usize,
     /// Faults injected by the API while this crawl ran.
     pub faults: FaultTally,
+}
+
+impl CrawlStats {
+    /// Export every counter into a metrics registry as absolute
+    /// `crawl.*` counters (plus `faults.injected{kind}` via
+    /// [`FaultTally::export_metrics`]), so manifests and fault tables can
+    /// be rendered from the registry alone.
+    pub fn export_metrics(&self, obs: &Obs) {
+        obs.set_counter("crawl.roster_size", &[], self.roster_size as u64);
+        obs.set_counter("crawl.profiles_fetched", &[], self.profiles_fetched as u64);
+        obs.set_counter("crawl.english_users", &[], self.english_users as u64);
+        obs.set_counter("crawl.friend_pages", &[], self.friend_pages as u64);
+        obs.set_counter("crawl.raw_friend_links", &[], self.raw_friend_links as u64);
+        obs.set_counter("crawl.internal_links", &[], self.internal_links as u64);
+        obs.set_counter("crawl.rate_limit_waits", &[], self.rate_limit_waits as u64);
+        obs.set_counter("crawl.transient_retries", &[], self.transient_retries as u64);
+        obs.set_counter("crawl.simulated_seconds", &[], self.simulated_seconds);
+        obs.set_counter("crawl.cursor_restarts", &[], self.cursor_restarts as u64);
+        obs.set_counter("crawl.duplicate_ids_dropped", &[], self.duplicate_ids_dropped as u64);
+        obs.set_counter("crawl.passes", &[], self.passes as u64);
+        self.faults.export_metrics(obs);
+    }
 }
 
 /// The crawled dataset: the paper's analysis object.
@@ -141,18 +165,30 @@ const MAX_PASSES: usize = 8;
 pub struct Crawler<'a, 's> {
     api: &'a TwitterApi<'s>,
     max_retries: usize,
+    obs: Arc<Obs>,
 }
 
 impl<'a, 's> Crawler<'a, 's> {
     /// Build a crawler with the default retry budget.
     pub fn new(api: &'a TwitterApi<'s>) -> Self {
-        Self { api, max_retries: 25 }
+        Self { api, max_retries: 25, obs: Obs::noop() }
+    }
+
+    /// Bind an observability handle: crawl phases open spans and retry
+    /// backoffs land in a `crawl.backoff_secs` histogram. Pair with
+    /// [`TwitterApi::with_obs`] on the same handle so span timings read
+    /// the simulated clock.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        obs.declare_buckets("crawl.backoff_secs", &[5.0, 15.0, 60.0, 300.0, 900.0]);
+        self.obs = obs;
+        self
     }
 
     /// Run the full Section III acquisition pipeline (single pass, no
     /// end-of-pass verification — see [`Crawler::crawl_resumable`] for the
     /// churn-hardened variant).
     pub fn crawl(&self) -> Result<CrawlDataset, ApiError> {
+        let _span = self.obs.span("crawl");
         let mut stats = CrawlStats::default();
         let start_time = self.api.clock().now();
         let tally0 = self.api.fault_tally();
@@ -165,16 +201,19 @@ impl<'a, 's> Crawler<'a, 's> {
 
         // Step 4: crawl friend lists and keep only internal links.
         let mut builder = GraphBuilder::new(english.len() as u32);
-        for (u, &id) in english.iter().enumerate() {
-            let friends =
-                self.collect_cursored(&mut stats, |cursor| self.api.friends_ids(id, cursor))?;
-            stats.friend_pages += 1 + friends.len() / crate::api::FRIENDS_PAGE;
-            stats.raw_friend_links += friends.len();
-            for fid in friends {
-                if english_set.contains(&fid) {
-                    let v = node_of[&fid];
-                    builder.add_edge(u as u32, v).expect("node ids dense by construction");
-                    stats.internal_links += 1;
+        {
+            let _span = self.obs.span("crawl.friends");
+            for (u, &id) in english.iter().enumerate() {
+                let friends = self
+                    .collect_cursored(&mut stats, |cursor| self.api.friends_ids(id, cursor))?;
+                stats.friend_pages += 1 + friends.len() / crate::api::FRIENDS_PAGE;
+                stats.raw_friend_links += friends.len();
+                for fid in friends {
+                    if english_set.contains(&fid) {
+                        let v = node_of[&fid];
+                        builder.add_edge(u as u32, v).expect("node ids dense by construction");
+                        stats.internal_links += 1;
+                    }
                 }
             }
         }
@@ -191,6 +230,7 @@ impl<'a, 's> Crawler<'a, 's> {
     /// studies run exactly this cross-validation to detect API pagination
     /// bugs and mid-crawl drift.
     pub fn crawl_reverse(&self) -> Result<CrawlDataset, ApiError> {
+        let _span = self.obs.span("crawl.reverse");
         let mut stats = CrawlStats::default();
         let start_time = self.api.clock().now();
         let tally0 = self.api.fault_tally();
@@ -203,16 +243,19 @@ impl<'a, 's> Crawler<'a, 's> {
         // Reverse direction: each follower edge (f -> id) is recorded at
         // the *target* side.
         let mut builder = GraphBuilder::new(english.len() as u32);
-        for (v, &id) in english.iter().enumerate() {
-            let followers = self
-                .collect_cursored(&mut stats, |cursor| self.api.followers_ids(id, cursor))?;
-            stats.friend_pages += 1 + followers.len() / crate::api::FRIENDS_PAGE;
-            stats.raw_friend_links += followers.len();
-            for fid in followers {
-                if english_set.contains(&fid) {
-                    let u = node_of[&fid];
-                    builder.add_edge(u, v as u32).expect("node ids dense by construction");
-                    stats.internal_links += 1;
+        {
+            let _span = self.obs.span("crawl.followers");
+            for (v, &id) in english.iter().enumerate() {
+                let followers = self
+                    .collect_cursored(&mut stats, |cursor| self.api.followers_ids(id, cursor))?;
+                stats.friend_pages += 1 + followers.len() / crate::api::FRIENDS_PAGE;
+                stats.raw_friend_links += followers.len();
+                for fid in followers {
+                    if english_set.contains(&fid) {
+                        let u = node_of[&fid];
+                        builder.add_edge(u, v as u32).expect("node ids dense by construction");
+                        stats.internal_links += 1;
+                    }
                 }
             }
         }
@@ -236,6 +279,7 @@ impl<'a, 's> Crawler<'a, 's> {
     /// a serializable [`CrawlCheckpoint`]; pass it back in (same or fresh
     /// API binding) to continue where the crawl stopped.
     pub fn crawl_resumable(&self, resume: Option<CrawlCheckpoint>) -> CrawlOutcome {
+        let _span = self.obs.span("crawl.resumable");
         let start_time = self.api.clock().now();
         let tally0 = self.api.fault_tally();
         let mut ckpt = resume.unwrap_or_default();
@@ -248,12 +292,17 @@ impl<'a, 's> Crawler<'a, 's> {
             ckpt.stats.passes = ckpt.pass;
         };
         loop {
-            if let Err(error) = self.run_pass(&mut ckpt) {
+            let pass_result = {
+                let _span = self.obs.span("crawl.pass");
+                self.run_pass(&mut ckpt)
+            };
+            if let Err(error) = pass_result {
                 finish_stats(&mut ckpt, self);
                 return CrawlOutcome::Aborted { error, checkpoint: Box::new(ckpt) };
             }
             // End-of-pass verification: a fresh harvest must reproduce the
             // roster this pass crawled, else the listing moved under us.
+            let _verify_span = self.obs.span("crawl.verify");
             let mut verify_stats = CrawlStats::default();
             let fresh = match self.harvest_and_hydrate(&mut verify_stats) {
                 Ok(triple) => triple,
@@ -363,6 +412,7 @@ impl<'a, 's> Crawler<'a, 's> {
     /// lookup batches, filter to English preserving roster order. Returns
     /// `(roster, english ids, profiles aligned with english)`.
     fn harvest_and_hydrate(&self, stats: &mut CrawlStats) -> Result<Harvest, ApiError> {
+        let _span = self.obs.span("crawl.harvest");
         let roster = self.collect_cursored(stats, |cursor| self.api.verified_ids(cursor))?;
         stats.roster_size = roster.len();
 
@@ -454,7 +504,9 @@ impl<'a, 's> Crawler<'a, 's> {
                     if retries > self.max_retries {
                         return Err(ApiError::ServerError);
                     }
-                    self.api.clock().advance(backoff_secs(retries, self.api.clock().now()));
+                    let wait = backoff_secs(retries, self.api.clock().now());
+                    self.obs.observe("crawl.backoff_secs", &[], wait as f64);
+                    self.api.clock().advance(wait);
                 }
                 Err(fatal) => return Err(fatal),
             }

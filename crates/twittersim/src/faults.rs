@@ -331,6 +331,30 @@ impl FaultTally {
         self.expired_cursors += other.expired_cursors;
     }
 
+    /// Kind-name / count pairs, in declaration order — the single place
+    /// the tally's field list is spelled for table rendering and metric
+    /// export.
+    pub fn kinds(&self) -> [(&'static str, u64); 8] {
+        [
+            ("outage", self.outage_failures),
+            ("burst", self.burst_failures),
+            ("truncated_page", self.truncated_pages),
+            ("duplicated_ids", self.duplicated_ids),
+            ("stale_read", self.stale_reads),
+            ("rate_limit_skew", self.skewed_waits),
+            ("roster_flicker", self.flickered_roster_reads),
+            ("cursor_expired", self.expired_cursors),
+        ]
+    }
+
+    /// Export the tally into a metrics registry as `faults.injected{kind}`
+    /// counters (absolute values — the tally is already a running total).
+    pub fn export_metrics(&self, obs: &vnet_obs::Obs) {
+        for (kind, n) in self.kinds() {
+            obs.set_counter("faults.injected", &[("kind", kind)], n);
+        }
+    }
+
     /// Total individual fault events across all kinds.
     pub fn total(&self) -> u64 {
         self.outage_failures

@@ -14,15 +14,19 @@
 //! cargo run --release -p vnet-examples --bin faulty_crawl
 //! ```
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use vnet_obs::Obs;
 use vnet_twittersim::{
     CrawlDataset, CrawlOutcome, Crawler, Endpoint, FaultClause, FaultPlan, RateLimitPolicy,
     SimClock, Society, SocietyConfig, TwitterApi,
 };
 
-fn run_faulty(society: &Society, plan: &FaultPlan) -> CrawlDataset {
+fn run_faulty(society: &Society, plan: &FaultPlan, obs: &Arc<Obs>) -> CrawlDataset {
     let api = TwitterApi::new(society, SimClock::new(), RateLimitPolicy::default(), 0.0)
+        .with_obs(obs.clone())
         .with_faults(plan.clone());
-    match Crawler::new(&api).crawl_resumable(None) {
+    match Crawler::new(&api).with_obs(obs.clone()).crawl_resumable(None) {
         CrawlOutcome::Complete(ds) => ds,
         CrawlOutcome::Degraded { dataset, roster_drift, passes } => {
             println!("  (degraded after {passes} passes, roster drift {roster_drift})");
@@ -73,7 +77,9 @@ fn main() {
     let clean = Crawler::new(&clean_api).crawl().expect("fault-free crawl");
 
     println!("\ncrawling through the plan ...");
-    let faulty = run_faulty(&society, &plan);
+    let obs = Arc::new(Obs::new());
+    let faulty = run_faulty(&society, &plan, &obs);
+    faulty.stats.export_metrics(&obs);
 
     let t = &faulty.stats.faults;
     println!("\nwhat the crawler survived:");
@@ -94,6 +100,28 @@ fn main() {
         faulty.stats.simulated_seconds as f64 / 86_400.0
     );
 
+    // The same tally, sliced per endpoint — straight from the metrics
+    // registry the API and crawler reported into during the crawl.
+    println!("\nper-endpoint API traffic (vnet-obs registry):");
+    println!(
+        "  {:<16} {:>9} {:>9} {:>8}  fault kinds",
+        "endpoint", "requests", "ratelim", "faults"
+    );
+    let counters = obs.metrics().counters();
+    for (endpoint, row) in endpoint_table(&counters) {
+        let kinds = row
+            .fault_kinds
+            .iter()
+            .map(|(k, n)| format!("{k}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let faults: u64 = row.fault_kinds.iter().map(|&(_, n)| n).sum();
+        println!(
+            "  {:<16} {:>9} {:>9} {:>8}  {}",
+            endpoint, row.requests, row.rate_limited, faults, kinds
+        );
+    }
+
     println!("\nconvergence:");
     let same_graph = faulty.graph == clean.graph;
     let same_ids = faulty.platform_ids == clean.platform_ids;
@@ -104,10 +132,15 @@ fn main() {
     assert!(same_graph && same_ids && same_profiles, "conformance violated");
 
     println!("\nreplay:");
-    let again = run_faulty(&society, &plan);
+    let obs2 = Arc::new(Obs::new());
+    let again = run_faulty(&society, &plan, &obs2);
+    again.stats.export_metrics(&obs2);
     let replayed = again.stats == faulty.stats && again.graph == faulty.graph;
     println!("  same seed => identical CrawlStats + graph   {replayed}");
     assert!(replayed, "replay violated");
+    let same_counters = obs2.metrics().counters() == counters;
+    println!("  same seed => identical metrics registry     {same_counters}");
+    assert!(same_counters, "metric replay violated");
 
     println!(
         "\n{} users / {} edges acquired exactly, despite {} injected faults.",
@@ -115,4 +148,40 @@ fn main() {
         faulty.graph.edge_count(),
         t.total()
     );
+}
+
+#[derive(Default)]
+struct EndpointRow {
+    requests: u64,
+    rate_limited: u64,
+    fault_kinds: Vec<(String, u64)>,
+}
+
+/// Regroup the flat `api.*{endpoint=...}` counter keys into one row per
+/// endpoint. Key format is `name{k1=v1,k2=v2}` with labels sorted, so
+/// `endpoint` always precedes `kind`.
+fn endpoint_table(counters: &BTreeMap<String, u64>) -> BTreeMap<String, EndpointRow> {
+    let mut table: BTreeMap<String, EndpointRow> = BTreeMap::new();
+    for (key, &value) in counters {
+        let Some((name, labels)) = key.split_once('{') else { continue };
+        let labels = labels.trim_end_matches('}');
+        let mut endpoint = None;
+        let mut kind = None;
+        for pair in labels.split(',') {
+            match pair.split_once('=') {
+                Some(("endpoint", v)) => endpoint = Some(v.to_string()),
+                Some(("kind", v)) => kind = Some(v.to_string()),
+                _ => {}
+            }
+        }
+        let Some(endpoint) = endpoint else { continue };
+        let row = table.entry(endpoint).or_default();
+        match name {
+            "api.requests" => row.requests = value,
+            "api.rate_limited" => row.rate_limited = value,
+            "api.faults" => row.fault_kinds.push((kind.unwrap_or_default(), value)),
+            _ => {}
+        }
+    }
+    table
 }

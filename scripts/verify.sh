@@ -3,6 +3,8 @@
 #
 #   scripts/verify.sh fast    twittersim unit tests only (~seconds) —
 #                             the fault-injection + crawler fast lane
+#   scripts/verify.sh obs     observability lane: vnet-obs unit tests +
+#                             the manifest-determinism golden tests
 #   scripts/verify.sh         tier-1: release build + full quiet test suite
 #   scripts/verify.sh full    tier-1 plus clippy with warnings denied
 set -euo pipefail
@@ -14,6 +16,10 @@ case "$lane" in
 fast)
     cargo test -q -p vnet-twittersim
     ;;
+obs)
+    cargo test -q -p vnet-obs
+    cargo test -q -p vnet-integration-tests --test obs_manifest
+    ;;
 tier1)
     cargo build --release
     cargo test -q
@@ -24,7 +30,7 @@ full)
     cargo clippy --workspace -- -D warnings
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|tier1|full]" >&2
     exit 2
     ;;
 esac
