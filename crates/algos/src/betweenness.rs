@@ -8,7 +8,13 @@
 //! uses, with the exact variant as its ground truth in tests and benches.
 
 use rand::Rng;
+use vnet_par::{ParPool, ParStats};
 use vnet_graph::{DiGraph, NodeId};
+
+/// Pivots per fork-join task. Fixed per call site — never derived from the
+/// thread count — so the task decomposition (and with it the floating-point
+/// reduction order) is a function of the pivot count alone.
+const PIVOT_CHUNK: usize = 8;
 
 /// Work counters from a betweenness run, for observability manifests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,10 +79,8 @@ pub fn betweenness_sampled_counted<R: Rng + ?Sized>(
     (centrality, stats)
 }
 
-/// Parallel pivot-sampled betweenness using `threads` OS threads
-/// (std scoped threads). Each thread owns a private accumulator; results are
-/// reduced at the end, so the estimate is identical in distribution to the
-/// serial sampled variant.
+/// Parallel pivot-sampled betweenness over a [`ParPool`] — compatibility
+/// wrapper building a pool from a raw thread count.
 pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
     g: &DiGraph,
     pivots: usize,
@@ -86,56 +90,70 @@ pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
     betweenness_sampled_parallel_counted(g, pivots, threads, rng).0
 }
 
-/// [`betweenness_sampled_parallel`] plus its work counters (summed over
-/// worker threads, so the totals are deterministic).
+/// [`betweenness_sampled_parallel`] plus its work counters.
 pub fn betweenness_sampled_parallel_counted<R: Rng + ?Sized>(
     g: &DiGraph,
     pivots: usize,
     threads: usize,
     rng: &mut R,
 ) -> (Vec<f64>, BetweennessStats) {
+    let (centrality, stats, _) =
+        betweenness_sampled_pool(g, pivots, rng, &ParPool::new(threads));
+    (centrality, stats)
+}
+
+/// Pivot-sampled betweenness as a deterministic fork-join over `pool`.
+///
+/// The pivot set is drawn from `rng` up front (one `sample_distinct` call,
+/// so RNG consumption does not depend on the pool), then split into
+/// fixed-size chunks of `PIVOT_CHUNK` sources. Each chunk accumulates
+/// into a private vector and the partials are folded **in chunk order**, so
+/// the scores are bit-identical at any thread count — including
+/// [`ParPool::serial`]. With `pivots >= n` every node is a source and no
+/// pivots are drawn from `rng` (the estimate degenerates to exact
+/// betweenness, up to the chunked summation order).
+pub fn betweenness_sampled_pool<R: Rng + ?Sized>(
+    g: &DiGraph,
+    pivots: usize,
+    rng: &mut R,
+    pool: &ParPool,
+) -> (Vec<f64>, BetweennessStats, ParStats) {
     let n = g.node_count();
     if n == 0 || pivots == 0 {
-        return (vec![0.0; n], BetweennessStats::default());
-    }
-    let threads = threads.max(1);
-    if threads == 1 || pivots < 2 * threads {
-        return betweenness_sampled_counted(g, pivots, rng);
+        return (vec![0.0; n], BetweennessStats::default(), ParStats::default());
     }
     let pivots = pivots.min(n);
-    let sources = vnet_stats::sampling::sample_distinct(n, pivots, rng);
-    let chunks: Vec<&[usize]> =
-        sources.chunks(sources.len().div_ceil(threads)).collect();
+    let sources: Vec<usize> = if pivots >= n {
+        (0..n).collect()
+    } else {
+        vnet_stats::sampling::sample_distinct(n, pivots, rng)
+    };
 
-    let partials: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut local = vec![0.0f64; n];
-                    let mut ws = BrandesWorkspace::new(n);
-                    let mut relaxations = 0u64;
-                    for &s in chunk {
-                        relaxations += ws.accumulate_from(g, s as u32, &mut local);
-                    }
-                    (local, relaxations)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("betweenness worker panicked")).collect()
-    });
-
-    let mut centrality = vec![0.0f64; n];
-    let mut stats = BetweennessStats { sources: pivots as u64, edge_relaxations: 0 };
-    for (partial, relaxations) in partials {
-        stats.edge_relaxations += relaxations;
-        for (c, p) in centrality.iter_mut().zip(partial) {
-            *c += p;
-        }
-    }
+    let (mut centrality, par_stats) = pool.map_reduce_chunks(
+        sources.len(),
+        PIVOT_CHUNK,
+        |_task, range| {
+            let mut local = vec![0.0f64; n];
+            let mut ws = BrandesWorkspace::new(n);
+            let mut relaxations = 0u64;
+            for &s in &sources[range] {
+                relaxations += ws.accumulate_from(g, s as u32, &mut local);
+            }
+            (local, relaxations)
+        },
+        (vec![0.0f64; n], 0u64),
+        |(mut acc, total), (partial, relaxations)| {
+            for (c, p) in acc.iter_mut().zip(partial) {
+                *c += p;
+            }
+            (acc, total + relaxations)
+        },
+    );
+    let (ref mut scores, edge_relaxations) = centrality;
     let scale = n as f64 / pivots as f64;
-    centrality.iter_mut().for_each(|c| *c *= scale);
-    (centrality, stats)
+    scores.iter_mut().for_each(|c| *c *= scale);
+    let stats = BetweennessStats { sources: pivots as u64, edge_relaxations };
+    (std::mem::take(scores), stats, par_stats)
 }
 
 /// Normalize raw directed betweenness scores by `(n−1)(n−2)`, the count of
@@ -324,6 +342,38 @@ mod tests {
         for (a, b) in exact.iter().zip(&par) {
             assert!((a - b).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn pool_scores_bit_identical_across_thread_counts() {
+        let edges: Vec<(u32, u32)> = (0..40u32)
+            .flat_map(|i| [(i, (i * 7 + 3) % 40), (i, (i * 11 + 5) % 40)])
+            .filter(|(a, b)| a != b)
+            .collect();
+        let g = from_edges(40, &edges).unwrap();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(77);
+            betweenness_sampled_pool(&g, 17, &mut rng, &ParPool::new(threads)).0
+        };
+        let reference = run(1);
+        for threads in [2, 4, 7] {
+            let scores = run(threads);
+            assert!(
+                reference.iter().zip(&scores).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_reports_static_schedule_counters() {
+        let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, stats, par) =
+            betweenness_sampled_pool(&g, 6, &mut rng, &ParPool::new(4));
+        assert_eq!(stats.sources, 6);
+        assert_eq!(par.tasks, 1); // 6 pivots, chunk size 8 -> one task
+        assert_eq!(par.steal_free_chunks, par.tasks);
     }
 
     #[test]

@@ -9,10 +9,15 @@
 //! paper's directed analysis.
 
 use rand::Rng;
+use vnet_par::{ParPool, ParStats};
 use vnet_graph::{DiGraph, NodeId};
 
 /// Sentinel distance for unreachable nodes.
 pub const UNREACHABLE: u32 = u32::MAX;
+
+/// BFS sources per fork-join task. Fixed per call site so the task
+/// decomposition depends on the source count only, never the thread count.
+const SOURCE_CHUNK: usize = 4;
 
 /// BFS distances from `src` along out-edges. Unreachable nodes get
 /// [`UNREACHABLE`]. `dist[src] == 0`.
@@ -80,11 +85,29 @@ pub enum SourceSpec {
 
 /// Distance distribution of `g` along out-edges, excluding isolated nodes
 /// (the paper "omits isolated nodes" for its 2.74 figure).
+///
+/// Runs on the serial pool; [`distance_distribution_pool`] is the same
+/// computation fanned out over worker threads. The accumulation is pure
+/// integer arithmetic, so both produce identical statistics.
 pub fn distance_distribution<R: Rng + ?Sized>(
     g: &DiGraph,
     spec: SourceSpec,
     rng: &mut R,
 ) -> DistanceStats {
+    distance_distribution_pool(g, spec, rng, &ParPool::serial()).0
+}
+
+/// [`distance_distribution`] as a deterministic fork-join over `pool`: the
+/// source set is drawn from `rng` up front, split into `SOURCE_CHUNK`-sized
+/// tasks, and each task's BFS runs build a private histogram that is merged
+/// in task order. All counters are integers, so the result is identical at
+/// any thread count.
+pub fn distance_distribution_pool<R: Rng + ?Sized>(
+    g: &DiGraph,
+    spec: SourceSpec,
+    rng: &mut R,
+    pool: &ParPool,
+) -> (DistanceStats, ParStats) {
     let candidates: Vec<NodeId> = g.nodes().filter(|&u| !g.is_isolated(u)).collect();
     let sources: Vec<NodeId> = match spec {
         SourceSpec::All => candidates,
@@ -100,32 +123,56 @@ pub fn distance_distribution<R: Rng + ?Sized>(
         }
     };
 
-    let mut histogram: Vec<u64> = Vec::new();
-    let mut total: u128 = 0;
-    let mut pairs: u64 = 0;
-    let mut max_observed: u32 = 0;
-    for &s in &sources {
-        let dist = bfs_distances(g, s);
-        for (v, &d) in dist.iter().enumerate() {
-            if d == 0 || d == UNREACHABLE {
-                continue; // skip self and unreachable
-            }
-            let _ = v;
-            if d as usize >= histogram.len() {
-                histogram.resize(d as usize + 1, 0);
-            }
-            histogram[d as usize] += 1;
-            total += d as u128;
-            pairs += 1;
-            max_observed = max_observed.max(d);
-        }
+    struct Partial {
+        histogram: Vec<u64>,
+        total: u128,
+        pairs: u64,
+        max_observed: u32,
     }
+
+    let (acc, par_stats) = pool.map_reduce_chunks(
+        sources.len(),
+        SOURCE_CHUNK,
+        |_task, range| {
+            let mut p = Partial { histogram: Vec::new(), total: 0, pairs: 0, max_observed: 0 };
+            for &s in &sources[range] {
+                let dist = bfs_distances(g, s);
+                for &d in &dist {
+                    if d == 0 || d == UNREACHABLE {
+                        continue; // skip self and unreachable
+                    }
+                    if d as usize >= p.histogram.len() {
+                        p.histogram.resize(d as usize + 1, 0);
+                    }
+                    p.histogram[d as usize] += 1;
+                    p.total += d as u128;
+                    p.pairs += 1;
+                    p.max_observed = p.max_observed.max(d);
+                }
+            }
+            p
+        },
+        Partial { histogram: Vec::new(), total: 0, pairs: 0, max_observed: 0 },
+        |mut acc, p| {
+            if p.histogram.len() > acc.histogram.len() {
+                acc.histogram.resize(p.histogram.len(), 0);
+            }
+            for (a, c) in acc.histogram.iter_mut().zip(&p.histogram) {
+                *a += c;
+            }
+            acc.total += p.total;
+            acc.pairs += p.pairs;
+            acc.max_observed = acc.max_observed.max(p.max_observed);
+            acc
+        },
+    );
+    let Partial { histogram, total, pairs, max_observed } = acc;
 
     let mean = if pairs > 0 { total as f64 / pairs as f64 } else { 0.0 };
     let median = percentile(&histogram, pairs, 0.5).ceil() as u32;
     let effective_diameter = percentile(&histogram, pairs, 0.9);
 
-    DistanceStats {
+    let stats = DistanceStats {
         histogram,
         mean,
         median,
@@ -133,7 +180,8 @@ pub fn distance_distribution<R: Rng + ?Sized>(
         max_observed,
         pairs,
         sources: sources.len(),
-    }
+    };
+    (stats, par_stats)
 }
 
 /// Interpolated percentile of a distance histogram (Leskovec's effective
@@ -245,6 +293,26 @@ mod tests {
         let s = distance_distribution(&g, SourceSpec::All, &mut rng);
         assert!(s.effective_diameter <= s.max_observed as f64);
         assert!(s.effective_diameter >= s.median as f64 - 1.0);
+    }
+
+    #[test]
+    fn pool_stats_identical_across_thread_counts() {
+        let edges: Vec<(u32, u32)> = (0..30u32).map(|i| (i, (i * 13 + 7) % 30)).collect();
+        let g = from_edges(30, &edges).unwrap();
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(9);
+            distance_distribution_pool(
+                &g,
+                SourceSpec::Sampled(11),
+                &mut rng,
+                &ParPool::new(threads),
+            )
+            .0
+        };
+        let reference = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(reference, run(threads), "threads={threads}");
+        }
     }
 
     #[test]

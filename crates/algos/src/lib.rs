@@ -12,17 +12,18 @@
 //!   components, the condensation DAG, and **attracting components** (sink
 //!   SCCs — "components in which if a random walk enters, it never leaves";
 //!   the paper counts 6,091 of them, celebrity-cored).
-//! * [`reciprocity`] — the fraction of directed edges that are reciprocated
+//! * [`mod@reciprocity`] — the fraction of directed edges that are reciprocated
 //!   (33.7% for verified users vs 22.1% for all of Twitter).
 //! * [`assortativity`] — directed degree-degree Pearson correlation (the
 //!   paper's −0.04 slight dissortativity).
 //! * [`clustering`] — average local clustering coefficient (0.1583).
 //! * [`distances`] — BFS distance distributions, mean path length (2.74) and
 //!   effective diameter, exact or source-sampled (Figure 3).
-//! * [`pagerank`] — power-iteration PageRank with dangling-mass handling
+//! * [`mod@pagerank`] — power-iteration PageRank with dangling-mass handling
 //!   (Figure 5c/5d).
-//! * [`betweenness`] — Brandes betweenness, exact or pivot-sampled, with
-//!   optional multi-threading (Figure 5a/5b).
+//! * [`betweenness`] — Brandes betweenness, exact or pivot-sampled, fanned
+//!   out over a `vnet-par` pool with thread-count-invariant results
+//!   (Figure 5a/5b).
 //! * [`degree`] — degree-sequence utilities shared by the power-law pipeline.
 
 pub mod assortativity;
@@ -38,14 +39,14 @@ pub mod pagerank;
 pub mod reciprocity;
 
 pub use assortativity::{degree_assortativity, DegreeMode};
-pub use betweenness::{betweenness_exact, betweenness_sampled};
+pub use betweenness::{betweenness_exact, betweenness_sampled, betweenness_sampled_pool};
 pub use clustering::{average_local_clustering, local_clustering};
 pub use components::{
     attracting_components, strongly_connected_components, weakly_connected_components,
     Condensation,
 };
 pub use closeness::{harmonic_closeness_exact, harmonic_closeness_sampled};
-pub use distances::{bfs_distances, distance_distribution, DistanceStats};
+pub use distances::{bfs_distances, distance_distribution, distance_distribution_pool, DistanceStats};
 pub use hits::{hits, HitsResult};
 pub use kcore::{k_core_decomposition, CoreDecomposition};
 pub use pagerank::{pagerank, PageRankConfig};

@@ -9,6 +9,14 @@
 //! formulation.
 
 use vnet_graph::DiGraph;
+use vnet_par::{ParPool, ParStats};
+
+/// Rows (nodes) per fork-join task in the pull loop and the chunked sums.
+/// Fixed per call site: the partial-sum boundaries — and therefore the
+/// floating-point reduction order — depend on `n` only, never on the
+/// thread count. Small graphs (`n <= ROW_CHUNK`) decompose into a single
+/// task, which the pool runs inline with zero spawn overhead.
+const ROW_CHUNK: usize = 8192;
 
 /// Configuration for [`pagerank`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,14 +64,24 @@ pub struct PageRankResult {
 /// assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 /// ```
 pub fn pagerank(g: &DiGraph, cfg: PageRankConfig) -> PageRankResult {
+    pagerank_pool(g, cfg, &ParPool::serial()).0
+}
+
+/// [`pagerank`] as a deterministic fork-join over `pool`: the pull loop
+/// shards rows into `ROW_CHUNK`-sized tasks (each row's accumulator is
+/// private, so sharding cannot change any value), and the dangling-mass and
+/// convergence-delta sums are chunked reductions folded in task order. The
+/// scores are bit-identical at any thread count.
+pub fn pagerank_pool(g: &DiGraph, cfg: PageRankConfig, pool: &ParPool) -> (PageRankResult, ParStats) {
     let n = g.node_count();
     if n == 0 {
-        return PageRankResult {
+        let result = PageRankResult {
             scores: Vec::new(),
             iterations: 0,
             converged: true,
             edge_relaxations: 0,
         };
+        return (result, ParStats::default());
     }
     assert!((0.0..1.0).contains(&cfg.damping), "damping must be in [0, 1)");
     let nf = n as f64;
@@ -74,32 +92,56 @@ pub fn pagerank(g: &DiGraph, cfg: PageRankConfig) -> PageRankResult {
     let mut iterations = 0;
     let mut converged = false;
     let mut edge_relaxations = 0u64;
+    let mut par_stats = ParStats::default();
     while iterations < cfg.max_iter {
         iterations += 1;
         edge_relaxations += g.edge_count() as u64;
         // Dangling mass: nodes without out-edges leak their rank uniformly.
-        let dangling: f64 = (0..n)
-            .filter(|&u| out_deg[u] == 0.0)
-            .map(|u| rank[u])
-            .sum();
+        let (dangling, s) = pool.map_reduce_chunks(
+            n,
+            ROW_CHUNK,
+            |_task, range| {
+                range.filter(|&u| out_deg[u] == 0.0).map(|u| rank[u]).sum::<f64>()
+            },
+            0.0f64,
+            |acc, partial| acc + partial,
+        );
+        par_stats.merge(s);
         let base = (1.0 - cfg.damping) / nf + cfg.damping * dangling / nf;
-        next.iter_mut().for_each(|x| *x = base);
         // Pull formulation over in-edges: cache-friendly reads of rank.
-        for v in 0..n as u32 {
-            let mut acc = 0.0;
-            for &u in g.in_neighbors(v) {
-                acc += rank[u as usize] / out_deg[u as usize];
+        // Each task owns a disjoint shard of `next`; every row's value is
+        // computed independently, so the shard layout is irrelevant to the
+        // result.
+        let rank_ref = &rank;
+        let s = pool.for_each_chunk_mut(&mut next, ROW_CHUNK, |_task, offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let v = (offset + k) as u32;
+                let mut acc = 0.0;
+                for &u in g.in_neighbors(v) {
+                    acc += rank_ref[u as usize] / out_deg[u as usize];
+                }
+                *slot = base + cfg.damping * acc;
             }
-            next[v as usize] += cfg.damping * acc;
-        }
-        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        });
+        par_stats.merge(s);
+        let (delta, s) = pool.map_reduce_chunks(
+            n,
+            ROW_CHUNK,
+            |_task, range| {
+                range.map(|u| (rank[u] - next[u]).abs()).sum::<f64>()
+            },
+            0.0f64,
+            |acc, partial| acc + partial,
+        );
+        par_stats.merge(s);
         std::mem::swap(&mut rank, &mut next);
         if delta < cfg.tol {
             converged = true;
             break;
         }
     }
-    PageRankResult { scores: rank, iterations, converged, edge_relaxations }
+    let result = PageRankResult { scores: rank, iterations, converged, edge_relaxations };
+    (result, par_stats)
 }
 
 #[cfg(test)]
@@ -177,6 +219,30 @@ mod tests {
         let s = run(&DiGraph::empty(4));
         for &v in &s {
             assert!((v - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pool_scores_bit_identical_across_thread_counts() {
+        // Big enough for several ROW_CHUNK tasks so the threaded schedule
+        // is actually exercised, including irregular in-degrees and
+        // dangling nodes.
+        let n = 3 * super::ROW_CHUNK as u32 / 2;
+        let edges: Vec<(u32, u32)> = (0..n)
+            .filter(|&i| i % 5 != 0) // every 5th node dangles
+            .flat_map(|i| [(i, (i * 31 + 1) % n), (i, (i * 7 + 2) % n)])
+            .filter(|(a, b)| a != b)
+            .collect();
+        let g = from_edges(n, &edges).unwrap();
+        let cfg = PageRankConfig { damping: 0.85, tol: 0.0, max_iter: 4 };
+        let run = |threads: usize| pagerank_pool(&g, cfg, &ParPool::new(threads)).0.scores;
+        let reference = run(1);
+        for threads in [2, 4, 7] {
+            let scores = run(threads);
+            assert!(
+                reference.iter().zip(&scores).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}"
+            );
         }
     }
 

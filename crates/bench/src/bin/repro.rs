@@ -17,7 +17,12 @@
 //! reproduction, `paper` = the full 231k / ~79M-edge build; expect minutes
 //! and gigabytes). `--save <dir>` writes the dataset bundle after
 //! synthesis; `--load <dir>` analyzes a saved bundle instead of
-//! synthesizing.
+//! synthesizing. `--threads N` sizes the `vnet-par` fork-join pool the
+//! randomized estimators run on — by design it changes wall-clock only,
+//! never a single output bit (compare the manifest's output fingerprints
+//! across `--threads 1` and `--threads 4` to check; only the recorded
+//! `par.threads` knob itself differs). `--bootstrap-reps N` turns on the
+//! goodness-of-fit bootstrap (N replicates) in the fig2/eigen experiments.
 //!
 //! Output format: one block per experiment, with the paper's published
 //! values and the values measured on the calibrated synthetic dataset
@@ -39,12 +44,13 @@ use verified_net::{
 use verified_net::{AnalysisOptions, Dataset};
 use verified_net::SynthesisConfig;
 use vnet_obs::{fingerprint_str, Obs, Reporter};
+use vnet_par::ParPool;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help") {
         eprintln!(
-            "usage: repro [--all | --exp <id> ... | --list] [--scale small|default|paper] [--save <dir>] [--load <dir>] [--markdown <file>] [--manifest <file>]"
+            "usage: repro [--all | --exp <id> ... | --list] [--scale small|default|paper] [--threads <n>] [--bootstrap-reps <n>] [--save <dir>] [--load <dir>] [--markdown <file>] [--manifest <file>]"
         );
         std::process::exit(2);
     }
@@ -67,10 +73,26 @@ fn main() {
     let mut load_dir: Option<String> = None;
     let mut markdown_out: Option<String> = None;
     let mut manifest_out: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut bootstrap_reps: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--all" => run_all = true,
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = Some(n),
+                None => {
+                    eprintln!("--threads needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--bootstrap-reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => bootstrap_reps = Some(n),
+                None => {
+                    eprintln!("--bootstrap-reps needs an integer");
+                    std::process::exit(2);
+                }
+            },
             "--exp" => match it.next() {
                 Some(id) => ids.push(id.clone()),
                 None => {
@@ -137,7 +159,19 @@ fn main() {
         s.users, s.edges
     );
 
-    let opts = AnalysisOptions::default();
+    let mut opts = AnalysisOptions::default();
+    if let Some(n) = threads {
+        opts.threads = n;
+    }
+    if let Some(n) = bootstrap_reps {
+        opts.bootstrap_reps = n;
+    }
+    // The thread count is recorded in the manifest for provenance. It is a
+    // counter (and therefore part of the deterministic view) on purpose:
+    // everything *else* in that view must be identical across thread
+    // counts, and keeping the knob visible makes `--threads 1` vs
+    // `--threads 4` comparisons explicit about the one field that differs.
+    obs.set_counter("par.threads", &[], opts.threads as u64);
     if let Some(path) = markdown_out {
         eprintln!("running the full battery for the markdown report ...");
         let report = {
@@ -197,6 +231,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    let pool = ParPool::new(opts.threads);
     header(id, rep);
     match id {
         "basic" => {
@@ -245,6 +280,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 ds,
                 &opts.fit,
                 opts.bootstrap_reps,
+                &pool,
                 &mut rng,
                 obs,
             )
@@ -279,6 +315,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 opts.lanczos_steps,
                 &opts.fit,
                 opts.bootstrap_reps,
+                &pool,
                 &mut rng,
                 obs,
             )
@@ -314,7 +351,13 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
             ));
         }
         "fig3" => {
-            let r = separation::separation_analysis(ds, opts.distance_sources, &mut rng);
+            let r = separation::separation_analysis_observed(
+                ds,
+                opts.distance_sources,
+                &pool,
+                &mut rng,
+                obs,
+            );
             rep.line(format!(
                 "mean {:.3} (paper 2.74) | median {} | effective diameter {:.2} | max {}",
                 r.mean, r.median, r.effective_diameter, r.max_observed
@@ -352,7 +395,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
             let r = centrality::centrality_analysis_observed(
                 ds,
                 opts.betweenness_pivots,
-                opts.threads,
+                &pool,
                 &mut rng,
                 obs,
             );

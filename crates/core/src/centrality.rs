@@ -9,9 +9,10 @@
 use crate::dataset::Dataset;
 use rand::Rng;
 use serde::Serialize;
-use vnet_algos::betweenness::betweenness_sampled_parallel_counted;
-use vnet_algos::pagerank::{pagerank, PageRankConfig};
+use vnet_algos::betweenness::betweenness_sampled_pool;
+use vnet_algos::pagerank::{pagerank_pool, PageRankConfig};
 use vnet_obs::Obs;
+use vnet_par::ParPool;
 use vnet_stats::correlation::{pearson, spearman};
 use vnet_stats::spline::PenalizedSpline;
 
@@ -60,39 +61,46 @@ pub struct CentralityReport {
 }
 
 /// Build Figure 5. `pivots` controls the betweenness sample; `threads`
-/// the Brandes parallelism.
+/// the Brandes/PageRank fork-join parallelism (the report is bit-identical
+/// at any thread count — see `vnet-par`).
 pub fn centrality_analysis<R: Rng + ?Sized>(
     dataset: &Dataset,
     pivots: usize,
     threads: usize,
     rng: &mut R,
 ) -> CentralityReport {
-    centrality_analysis_observed(dataset, pivots, threads, rng, &Obs::noop())
+    centrality_analysis_observed(dataset, pivots, &ParPool::new(threads), rng, &Obs::noop())
 }
 
 /// [`centrality_analysis`] with hot-loop work counters
-/// (`algo.pagerank.*`, `algo.betweenness.*`) and per-solver spans
-/// recorded into `obs`.
+/// (`algo.pagerank.*`, `algo.betweenness.*`, `par.*`) and per-solver spans
+/// recorded into `obs`. Both solvers fan out over `pool`.
 pub fn centrality_analysis_observed<R: Rng + ?Sized>(
     dataset: &Dataset,
     pivots: usize,
-    threads: usize,
+    pool: &ParPool,
     rng: &mut R,
     obs: &Obs,
 ) -> CentralityReport {
     let g = &dataset.graph;
-    let pr = {
+    let started = std::time::Instant::now();
+    let (pr, pr_par) = {
         let _span = obs.span("analysis.centrality.pagerank");
-        pagerank(g, PageRankConfig::default())
+        pagerank_pool(g, PageRankConfig::default(), pool)
     };
     obs.set_counter("algo.pagerank.iterations", &[], pr.iterations as u64);
     obs.set_counter("algo.pagerank.edge_relaxations", &[], pr.edge_relaxations);
-    let (bc, bc_stats) = {
+    obs.record_par_work("centrality.pagerank", pr_par.tasks, pr_par.steal_free_chunks);
+    obs.observe_par_wall("centrality.pagerank", started.elapsed().as_micros() as u64);
+    let started = std::time::Instant::now();
+    let (bc, bc_stats, bc_par) = {
         let _span = obs.span("analysis.centrality.betweenness");
-        betweenness_sampled_parallel_counted(g, pivots.min(g.node_count()), threads, rng)
+        betweenness_sampled_pool(g, pivots.min(g.node_count()), rng, pool)
     };
     obs.set_counter("algo.betweenness.sources", &[], bc_stats.sources);
     obs.set_counter("algo.betweenness.edge_relaxations", &[], bc_stats.edge_relaxations);
+    obs.record_par_work("centrality.betweenness", bc_par.tasks, bc_par.steal_free_chunks);
+    obs.observe_par_wall("centrality.betweenness", started.elapsed().as_micros() as u64);
 
     let followers = dataset.followers();
     let listed = dataset.listed();

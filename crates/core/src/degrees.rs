@@ -5,8 +5,9 @@ use crate::dataset::Dataset;
 use rand::Rng;
 use serde::Serialize;
 use vnet_obs::Obs;
+use vnet_par::ParPool;
 use vnet_powerlaw::vuong::{vuong_discrete, Alternative};
-use vnet_powerlaw::{bootstrap_pvalue_discrete, fit_discrete, DiscreteFit, FitOptions};
+use vnet_powerlaw::{bootstrap_pvalue_discrete_par, fit_discrete, DiscreteFit, FitOptions};
 use vnet_stats::histogram::LogHistogram;
 
 /// One log-binned marginal of Figure 1.
@@ -95,15 +96,20 @@ pub fn degree_analysis<R: Rng + ?Sized>(
     bootstrap_reps: usize,
     rng: &mut R,
 ) -> vnet_powerlaw::Result<DegreeReport> {
-    degree_analysis_observed(dataset, opts, bootstrap_reps, rng, &Obs::noop())
+    degree_analysis_observed(dataset, opts, bootstrap_reps, &ParPool::serial(), rng, &Obs::noop())
 }
 
 /// [`degree_analysis`] with MLE and bootstrap sub-spans recorded into
-/// `obs`.
+/// `obs`, the bootstrap replicates fanned out over `pool`.
+///
+/// The bootstrap draws exactly one `u64` from `rng` (a per-call seed) and
+/// splits an independent stream per replicate, so the p-value — and the
+/// downstream `rng` state — are identical at any thread count.
 pub fn degree_analysis_observed<R: Rng + ?Sized>(
     dataset: &Dataset,
     opts: &FitOptions,
     bootstrap_reps: usize,
+    pool: &ParPool,
     rng: &mut R,
     obs: &Obs,
 ) -> vnet_powerlaw::Result<DegreeReport> {
@@ -115,7 +121,13 @@ pub fn degree_analysis_observed<R: Rng + ?Sized>(
     };
     let gof_p = if bootstrap_reps > 0 {
         let _span = obs.span("analysis.degrees.bootstrap");
-        bootstrap_pvalue_discrete(&degrees, &fit, bootstrap_reps, opts, rng)?
+        let started = std::time::Instant::now();
+        let boot_seed: u64 = rng.random();
+        let (p, par) =
+            bootstrap_pvalue_discrete_par(&degrees, &fit, bootstrap_reps, opts, boot_seed, pool)?;
+        obs.record_par_work("degrees.bootstrap", par.tasks, par.steal_free_chunks);
+        obs.observe_par_wall("degrees.bootstrap", started.elapsed().as_micros() as u64);
+        p
     } else {
         f64::NAN
     };

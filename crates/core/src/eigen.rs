@@ -4,9 +4,10 @@ use crate::dataset::Dataset;
 use rand::Rng;
 use serde::Serialize;
 use vnet_obs::Obs;
+use vnet_par::ParPool;
 use vnet_powerlaw::vuong::{vuong_continuous, Alternative};
-use vnet_powerlaw::{bootstrap_pvalue_continuous, fit_continuous, FitOptions};
-use vnet_spectral::{lanczos_topk_counted, SymLaplacian};
+use vnet_powerlaw::{bootstrap_pvalue_continuous_par, fit_continuous, FitOptions};
+use vnet_spectral::{lanczos_topk_pool, SymLaplacian};
 
 /// Eigenvalue analysis results (paper: α = 3.18, xmin = 9377.26, p = 0.3).
 #[derive(Debug, Clone, Serialize)]
@@ -32,7 +33,7 @@ pub struct EigenReport {
 /// continuous power law.
 ///
 /// The paper computes the top 10,000 eigenvalues at 231k nodes and
-/// "discard[s] most of the smaller eigenvalues" for numerical reasons; at
+/// "discard\[s\] most of the smaller eigenvalues" for numerical reasons; at
 /// reproduction scale `k` defaults to ~400 with the same top-of-spectrum
 /// logic.
 pub fn eigen_analysis<R: Rng + ?Sized>(
@@ -43,11 +44,24 @@ pub fn eigen_analysis<R: Rng + ?Sized>(
     bootstrap_reps: usize,
     rng: &mut R,
 ) -> vnet_powerlaw::Result<EigenReport> {
-    eigen_analysis_observed(dataset, k, lanczos_steps, opts, bootstrap_reps, rng, &Obs::noop())
+    eigen_analysis_observed(
+        dataset,
+        k,
+        lanczos_steps,
+        opts,
+        bootstrap_reps,
+        &ParPool::serial(),
+        rng,
+        &Obs::noop(),
+    )
 }
 
 /// [`eigen_analysis`] with the Lanczos solve and fit instrumented:
-/// `algo.lanczos.*` work counters plus sub-spans recorded into `obs`.
+/// `algo.lanczos.*` and `par.*` work counters plus sub-spans recorded into
+/// `obs`. The Lanczos matvec and the bootstrap replicates fan out over
+/// `pool`; like every `vnet-par` stage, both are bit-identical at any
+/// thread count (the bootstrap draws one seed from `rng` and splits a
+/// stream per replicate).
 #[allow(clippy::too_many_arguments)]
 pub fn eigen_analysis_observed<R: Rng + ?Sized>(
     dataset: &Dataset,
@@ -55,17 +69,21 @@ pub fn eigen_analysis_observed<R: Rng + ?Sized>(
     lanczos_steps: usize,
     opts: &FitOptions,
     bootstrap_reps: usize,
+    pool: &ParPool,
     rng: &mut R,
     obs: &Obs,
 ) -> vnet_powerlaw::Result<EigenReport> {
     let lap = SymLaplacian::from_digraph(&dataset.graph);
-    let (eigenvalues, lanczos_stats) = {
+    let started = std::time::Instant::now();
+    let (eigenvalues, lanczos_stats, lanczos_par) = {
         let _span = obs.span("analysis.eigen.lanczos");
-        lanczos_topk_counted(&lap, k, lanczos_steps, rng)
+        lanczos_topk_pool(&lap, k, lanczos_steps, rng, pool)
     };
     obs.set_counter("algo.lanczos.matvecs", &[], lanczos_stats.matvecs);
     obs.set_counter("algo.lanczos.reorth_projections", &[], lanczos_stats.reorth_projections);
     obs.set_counter("algo.lanczos.restarts", &[], lanczos_stats.restarts);
+    obs.record_par_work("eigen.lanczos", lanczos_par.tasks, lanczos_par.steal_free_chunks);
+    obs.observe_par_wall("eigen.lanczos", started.elapsed().as_micros() as u64);
     let positive: Vec<f64> = eigenvalues.iter().copied().filter(|&x| x > 1e-9).collect();
     let fit = {
         let _span = obs.span("analysis.eigen.fit");
@@ -73,7 +91,13 @@ pub fn eigen_analysis_observed<R: Rng + ?Sized>(
     };
     let gof_p = if bootstrap_reps > 0 {
         let _span = obs.span("analysis.eigen.bootstrap");
-        bootstrap_pvalue_continuous(&positive, &fit, bootstrap_reps, opts, rng)?
+        let started = std::time::Instant::now();
+        let boot_seed: u64 = rng.random();
+        let (p, par) =
+            bootstrap_pvalue_continuous_par(&positive, &fit, bootstrap_reps, opts, boot_seed, pool)?;
+        obs.record_par_work("eigen.bootstrap", par.tasks, par.steal_free_chunks);
+        obs.observe_par_wall("eigen.bootstrap", started.elapsed().as_micros() as u64);
+        p
     } else {
         f64::NAN
     };

@@ -3,7 +3,7 @@
 //!
 //! "The above-mentioned deviations likely constitute a unique fingerprint
 //! for verified users which can be leveraged to discern between a verified
-//! and a non-verified user [network]." This module packages the deviation
+//! and a non-verified user \[network\]." This module packages the deviation
 //! vector (power-law tail presence, reciprocity, dissortativity, mean
 //! distance, attracting-component density) and a reference classifier that
 //! separates verified-model graphs from whole-Twitter-like nulls.

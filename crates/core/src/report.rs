@@ -10,11 +10,12 @@ use crate::degrees::{degree_analysis_observed, figure1, DegreeReport, Figure1};
 use crate::eigen::{eigen_analysis_observed, EigenReport};
 use crate::elite_core::{elite_core_analysis, EliteCoreReport};
 use crate::recip::{reciprocity_analysis, ReciprocityReport};
-use crate::separation::{separation_analysis, SeparationReport};
+use crate::separation::{separation_analysis_observed, SeparationReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use vnet_obs::Obs;
+use vnet_par::ParPool;
 use vnet_powerlaw::{FitOptions, XminStrategy};
 
 /// Cost/precision knobs for the full battery.
@@ -26,7 +27,9 @@ pub struct AnalysisOptions {
     pub distance_sources: usize,
     /// Brandes pivots for betweenness.
     pub betweenness_pivots: usize,
-    /// Worker threads for betweenness.
+    /// Worker threads for the `vnet-par` fork-join stages (betweenness,
+    /// PageRank, BFS sweep, Lanczos matvec, bootstrap). Never affects any
+    /// result bit — only wall-clock.
     pub threads: usize,
     /// Top-k Laplacian eigenvalues.
     pub eigen_k: usize,
@@ -126,13 +129,17 @@ pub fn run_full_analysis(dataset: &Dataset, opts: &AnalysisOptions) -> AnalysisR
 /// [`run_full_analysis`] with one span per paper section (plus the
 /// sub-spans and work counters of the observed stage variants) recorded
 /// into `obs`. The RNG stream is identical to the unobserved driver, so
-/// both produce the same report for the same seed.
+/// both produce the same report for the same seed — and the fork-join
+/// stages run through a `vnet-par` pool of `opts.threads` workers whose
+/// decomposition never depends on the thread count, so the report is also
+/// identical at any `opts.threads`.
 pub fn run_full_analysis_observed(
     dataset: &Dataset,
     opts: &AnalysisOptions,
     obs: &Obs,
 ) -> AnalysisReport {
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    let pool = ParPool::new(opts.threads);
     let basic = {
         let _span = obs.span("analysis.basic");
         basic_analysis_observed(dataset, opts.clustering_samples, &mut rng, obs)
@@ -143,7 +150,7 @@ pub fn run_full_analysis_observed(
     };
     let degrees = {
         let _span = obs.span("analysis.degrees");
-        degree_analysis_observed(dataset, &opts.fit, opts.bootstrap_reps, &mut rng, obs)
+        degree_analysis_observed(dataset, &opts.fit, opts.bootstrap_reps, &pool, &mut rng, obs)
             .expect("degree power-law fit failed — dataset too small?")
     };
     let eigen = {
@@ -154,6 +161,7 @@ pub fn run_full_analysis_observed(
             opts.lanczos_steps,
             &opts.fit,
             opts.bootstrap_reps,
+            &pool,
             &mut rng,
             obs,
         )
@@ -165,7 +173,7 @@ pub fn run_full_analysis_observed(
     };
     let separation = {
         let _span = obs.span("analysis.separation");
-        separation_analysis(dataset, opts.distance_sources, &mut rng)
+        separation_analysis_observed(dataset, opts.distance_sources, &pool, &mut rng, obs)
     };
     let bios = {
         let _span = obs.span("analysis.bios");
@@ -176,7 +184,7 @@ pub fn run_full_analysis_observed(
         centrality_analysis_observed(
             dataset,
             opts.betweenness_pivots,
-            opts.threads,
+            &pool,
             &mut rng,
             obs,
         )

@@ -3,7 +3,9 @@
 use crate::dataset::Dataset;
 use rand::Rng;
 use serde::Serialize;
-use vnet_algos::distances::{distance_distribution, SourceSpec};
+use vnet_algos::distances::{distance_distribution_pool, SourceSpec};
+use vnet_obs::Obs;
+use vnet_par::ParPool;
 
 /// Reference mean path lengths the paper compares against.
 pub const WHOLE_TWITTER_SAMPLED: f64 = 4.12; // Kwak et al., sampling
@@ -37,12 +39,28 @@ pub fn separation_analysis<R: Rng + ?Sized>(
     sources: usize,
     rng: &mut R,
 ) -> SeparationReport {
+    separation_analysis_observed(dataset, sources, &ParPool::serial(), rng, &Obs::noop())
+}
+
+/// [`separation_analysis`] with the BFS sweep fanned out over `pool` and
+/// `par.*` work counters recorded into `obs`. All accumulation is integer,
+/// so the report is identical at any thread count.
+pub fn separation_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    sources: usize,
+    pool: &ParPool,
+    rng: &mut R,
+    obs: &Obs,
+) -> SeparationReport {
     let spec = if sources == usize::MAX {
         SourceSpec::All
     } else {
         SourceSpec::Sampled(sources)
     };
-    let d = distance_distribution(&dataset.graph, spec, rng);
+    let started = std::time::Instant::now();
+    let (d, par) = distance_distribution_pool(&dataset.graph, spec, rng, pool);
+    obs.record_par_work("separation.bfs", par.tasks, par.steal_free_chunks);
+    obs.observe_par_wall("separation.bfs", started.elapsed().as_micros() as u64);
     SeparationReport {
         histogram: d.series(),
         mean: d.mean,

@@ -169,6 +169,31 @@ impl Obs {
         self.tracer.span(name)
     }
 
+    /// Accumulate a parallel stage's fork-join work counters
+    /// (`par.tasks{stage=…}`, `par.steal_free_chunks{stage=…}`). Both are
+    /// pure functions of the task decomposition — `vnet-par`'s schedule is
+    /// static — so they belong in the deterministic manifest view.
+    pub fn record_par_work(&self, stage: &str, tasks: u64, steal_free_chunks: u64) {
+        if self.enabled {
+            self.metrics.inc_by("par.tasks", &[("stage", stage)], tasks);
+            self.metrics
+                .inc_by("par.steal_free_chunks", &[("stage", stage)], steal_free_chunks);
+        }
+    }
+
+    /// Record a parallel stage's measured wall-clock into the
+    /// `par.stage_wall_micros{stage=…}` histogram.
+    ///
+    /// Wall-clock is nondeterministic by nature; histograms whose metric
+    /// name ends in `wall_micros` are scrubbed from
+    /// [`RunManifest::deterministic_view`], exactly like span wall times.
+    pub fn observe_par_wall(&self, stage: &str, micros: u64) {
+        if self.enabled {
+            self.metrics
+                .observe("par.stage_wall_micros", &[("stage", stage)], micros as f64);
+        }
+    }
+
     /// Snapshot everything recorded so far into a [`RunManifest`].
     pub fn manifest(&self, label: &str, seed: u64) -> RunManifest {
         RunManifest::from_parts(

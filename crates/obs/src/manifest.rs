@@ -107,12 +107,22 @@ impl RunManifest {
 
     /// The manifest with every wall-clock field zeroed: the portion that
     /// must be bit-identical across same-seed runs.
+    ///
+    /// Besides the per-stage and total wall times, this drops any
+    /// *histogram* whose metric name (the part before the label braces)
+    /// ends in `wall_micros` — the workspace convention for wall-clock
+    /// observation series such as `par.stage_wall_micros{stage=…}`. Those
+    /// exist for profiling, not for replay comparison.
     pub fn deterministic_view(&self) -> RunManifest {
         let mut m = self.clone();
         m.wall_total_micros = 0;
         for s in &mut m.stages {
             s.wall_micros = 0;
         }
+        m.histograms.retain(|key, _| {
+            let name = key.split('{').next().unwrap_or(key);
+            !name.ends_with("wall_micros")
+        });
         m
     }
 
@@ -238,6 +248,25 @@ mod tests {
         assert_eq!(d.stages.len(), m.stages.len());
         assert_eq!(d.stages[0].name, "crawl");
         assert_eq!(d.stages[1].depth, 1);
+    }
+
+    #[test]
+    fn deterministic_view_scrubs_wall_clock_histograms() {
+        let obs = Obs::new();
+        obs.observe_par_wall("bootstrap", 1234);
+        obs.record_par_work("bootstrap", 40, 40);
+        obs.observe("crawl.backoff_secs", &[], 5.0);
+        let m = obs.manifest("t", 1);
+        assert!(m.histograms.keys().any(|k| k.starts_with("par.stage_wall_micros")));
+        let d = m.deterministic_view();
+        assert!(
+            !d.histograms.keys().any(|k| k.starts_with("par.stage_wall_micros")),
+            "wall-clock histograms must not survive the deterministic view"
+        );
+        // Deterministic series survive.
+        assert!(d.histograms.contains_key("crawl.backoff_secs"));
+        assert_eq!(d.counters["par.tasks{stage=bootstrap}"], 40);
+        assert_eq!(d.counters["par.steal_free_chunks{stage=bootstrap}"], 40);
     }
 
     #[test]

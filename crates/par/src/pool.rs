@@ -1,0 +1,317 @@
+//! The deterministic fork-join pool.
+
+use std::ops::Range;
+
+/// Work counters from one fork-join call, for observability manifests.
+///
+/// Every field is a pure function of the task decomposition (and therefore
+/// deterministic): the pool's schedule is static, so there is nothing
+/// timing-dependent to count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Tasks (chunks) the call was decomposed into.
+    pub tasks: u64,
+    /// Tasks executed on their statically assigned worker. The pool never
+    /// steals, so this always equals [`tasks`](Self::tasks) — the counter
+    /// exists as a pinned invariant: a future dynamic scheduler would make
+    /// the two diverge in every recorded manifest.
+    pub steal_free_chunks: u64,
+    /// Workers that actually ran (`min(threads, tasks)`).
+    pub workers: u64,
+}
+
+impl ParStats {
+    fn for_schedule(tasks: usize, workers: usize) -> Self {
+        Self {
+            tasks: tasks as u64,
+            steal_free_chunks: tasks as u64,
+            workers: workers as u64,
+        }
+    }
+
+    /// Accumulate another call's counters into this one (workers is kept
+    /// at the maximum seen).
+    pub fn merge(&mut self, other: ParStats) {
+        self.tasks += other.tasks;
+        self.steal_free_chunks += other.steal_free_chunks;
+        self.workers = self.workers.max(other.workers);
+    }
+}
+
+/// A deterministic fork-join pool over [`std::thread::scope`].
+///
+/// The pool owns no threads between calls — each `map_reduce` /
+/// `for_each_chunk_mut` call spawns scoped workers and joins them before
+/// returning, so borrowing the caller's data requires no `'static` bounds
+/// and a `ParPool` is nothing but a thread-count policy. Construction is
+/// free; share it by value or reference as convenient.
+///
+/// See the crate docs for the determinism contract all entry points obey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParPool {
+    threads: usize,
+}
+
+impl ParPool {
+    /// A pool that uses up to `threads` OS threads per call (clamped to at
+    /// least 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// The single-threaded pool: every call runs inline on the caller's
+    /// thread, through the *same* task decomposition and fold order as the
+    /// threaded paths.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The configured thread cap.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Map `task_idx ∈ 0..tasks` through `map` on the pool's workers, then
+    /// fold the results **in task order** into `init`.
+    ///
+    /// The fold runs on the caller's thread after all workers join, so it
+    /// needs neither `Send` nor `Sync`; only the task results cross
+    /// threads.
+    pub fn map_reduce<T, A, M, F>(&self, tasks: usize, map: M, init: A, mut fold: F) -> (A, ParStats)
+    where
+        T: Send,
+        M: Fn(usize) -> T + Sync,
+        F: FnMut(A, T) -> A,
+    {
+        let workers = self.threads.min(tasks).max(1);
+        let stats = ParStats::for_schedule(tasks, workers);
+        if workers == 1 {
+            let mut acc = init;
+            for i in 0..tasks {
+                acc = fold(acc, map(i));
+            }
+            return (acc, stats);
+        }
+        let map = &map;
+        let mut slots: Vec<Option<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        // Static round-robin schedule: worker w owns tasks
+                        // w, w+workers, w+2·workers, …
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        let mut i = w;
+                        while i < tasks {
+                            out.push((i, map(i)));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+            for h in handles {
+                for (i, v) in h.join().expect("vnet-par worker panicked") {
+                    slots[i] = Some(v);
+                }
+            }
+            slots
+        });
+        let mut acc = init;
+        for slot in &mut slots {
+            acc = fold(acc, slot.take().expect("every task produces a value"));
+        }
+        (acc, stats)
+    }
+
+    /// [`map_reduce`](Self::map_reduce) over the index range `0..len`
+    /// split into chunks of `chunk_size` (the last chunk may be short).
+    ///
+    /// The chunk decomposition depends only on `len` and `chunk_size` —
+    /// never on the thread count — which is what makes non-associative
+    /// (floating-point) reductions reproducible across pools.
+    pub fn map_reduce_chunks<T, A, M, F>(
+        &self,
+        len: usize,
+        chunk_size: usize,
+        map: M,
+        init: A,
+        fold: F,
+    ) -> (A, ParStats)
+    where
+        T: Send,
+        M: Fn(usize, Range<usize>) -> T + Sync,
+        F: FnMut(A, T) -> A,
+    {
+        let chunk_size = chunk_size.max(1);
+        let tasks = len.div_ceil(chunk_size);
+        self.map_reduce(
+            tasks,
+            |task| {
+                let start = task * chunk_size;
+                let end = (start + chunk_size).min(len);
+                map(task, start..end)
+            },
+            init,
+            fold,
+        )
+    }
+
+    /// Run `f(task_idx, offset, chunk)` over disjoint `chunk_size`-sized
+    /// shards of `out` on the pool's workers.
+    ///
+    /// Each task owns its shard exclusively (via [`slice::chunks_mut`]),
+    /// so there is no reduction step and no ordering concern: the write
+    /// pattern is identical at any thread count by construction. `offset`
+    /// is the index of the shard's first element within `out`.
+    pub fn for_each_chunk_mut<T, F>(&self, out: &mut [T], chunk_size: usize, f: F) -> ParStats
+    where
+        T: Send,
+        F: Fn(usize, usize, &mut [T]) + Sync,
+    {
+        let chunk_size = chunk_size.max(1);
+        let tasks = out.len().div_ceil(chunk_size);
+        let workers = self.threads.min(tasks).max(1);
+        let stats = ParStats::for_schedule(tasks, workers);
+        if workers == 1 {
+            for (i, chunk) in out.chunks_mut(chunk_size).enumerate() {
+                f(i, i * chunk_size, chunk);
+            }
+            return stats;
+        }
+        let mut assignments: Vec<Vec<(usize, &mut [T])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in out.chunks_mut(chunk_size).enumerate() {
+            assignments[i % workers].push((i, chunk));
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for worker in assignments {
+                scope.spawn(move || {
+                    for (i, chunk) in worker {
+                        f(i, i * chunk_size, chunk);
+                    }
+                });
+            }
+        });
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamRng;
+    use rand::Rng;
+
+    /// The thread counts every determinism test sweeps (mirrors the
+    /// integration battery).
+    const SWEEP: [usize; 4] = [1, 2, 4, 7];
+
+    #[test]
+    fn threads_clamped_to_one() {
+        assert_eq!(ParPool::new(0).threads(), 1);
+        assert_eq!(ParPool::serial().threads(), 1);
+        assert_eq!(ParPool::new(8).threads(), 8);
+    }
+
+    #[test]
+    fn map_reduce_visits_every_task_once() {
+        for &t in &SWEEP {
+            let (seen, stats) = ParPool::new(t).map_reduce(
+                37,
+                |i| vec![i],
+                Vec::new(),
+                |mut acc: Vec<usize>, v| {
+                    acc.extend(v);
+                    acc
+                },
+            );
+            assert_eq!(seen, (0..37).collect::<Vec<_>>(), "threads={t}");
+            assert_eq!(stats.tasks, 37);
+            assert_eq!(stats.steal_free_chunks, 37);
+            assert_eq!(stats.workers as usize, t.min(37));
+        }
+    }
+
+    #[test]
+    fn float_reduction_bit_identical_across_thread_counts() {
+        // Non-associative fold: per-task random f64s summed in task order.
+        let run = |threads: usize| {
+            ParPool::new(threads)
+                .map_reduce(
+                    101,
+                    |i| StreamRng::split(99, i as u64).random::<f64>() - 0.5,
+                    0.0f64,
+                    |acc, x| acc + x,
+                )
+                .0
+        };
+        let reference = run(1);
+        for &t in &SWEEP[1..] {
+            assert_eq!(reference.to_bits(), run(t).to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn chunk_decomposition_independent_of_threads() {
+        // Chunk ranges must depend on (len, chunk_size) only.
+        for &t in &SWEEP {
+            let (ranges, stats) = ParPool::new(t).map_reduce_chunks(
+                10,
+                4,
+                |task, range| (task, range),
+                Vec::new(),
+                |mut acc: Vec<_>, r| {
+                    acc.push(r);
+                    acc
+                },
+            );
+            assert_eq!(ranges, vec![(0, 0..4), (1, 4..8), (2, 8..10)], "threads={t}");
+            assert_eq!(stats.tasks, 3);
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_disjoint_shards() {
+        for &t in &SWEEP {
+            let mut out = vec![0usize; 23];
+            let stats = ParPool::new(t).for_each_chunk_mut(&mut out, 5, |task, offset, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = 1000 * task + offset + k;
+                }
+            });
+            let want: Vec<usize> = (0..23).map(|i| 1000 * (i / 5) + i).collect();
+            assert_eq!(out, want, "threads={t}");
+            assert_eq!(stats.tasks, 5);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let (acc, stats) =
+            ParPool::new(4).map_reduce(0, |_| 1u64, 7u64, |a, b| a + b);
+        assert_eq!(acc, 7);
+        assert_eq!(stats.tasks, 0);
+        let stats = ParPool::new(4).for_each_chunk_mut(&mut [] as &mut [u8], 8, |_, _, _| {});
+        assert_eq!(stats.tasks, 0);
+        let (v, _) = ParPool::new(4).map_reduce_chunks(
+            3,
+            0, // clamped to 1
+            |_, r| r.len(),
+            0usize,
+            |a, b| a + b,
+        );
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut total = ParStats::default();
+        total.merge(ParStats::for_schedule(5, 2));
+        total.merge(ParStats::for_schedule(7, 4));
+        assert_eq!(total.tasks, 12);
+        assert_eq!(total.steal_free_chunks, 12);
+        assert_eq!(total.workers, 4);
+    }
+}

@@ -11,11 +11,22 @@
 //! `n_tail / n`) or is resampled uniformly from the empirical body below
 //! `xmin` — refit it with the same scan, and record its KS distance. The
 //! p-value is the fraction of replicates whose KS exceeds the observed one.
+//!
+//! Two entry-point families exist per distribution:
+//!
+//! * `bootstrap_pvalue_*` — the classic serial protocol drawing every
+//!   replicate from one sequential `rng`.
+//! * `bootstrap_pvalue_*_par` — the production path: each replicate is an
+//!   independent `vnet-par` task with its own
+//!   [`StreamRng::split`](vnet_par::StreamRng::split) stream, so the
+//!   p-value is **bit-identical at any thread count** (including the
+//!   serial pool). This is the variant the analysis drivers use.
 
 use crate::continuous::{fit_continuous, ContinuousFit};
 use crate::discrete::{fit_discrete, DiscreteFit};
 use crate::{FitOptions, Result};
 use rand::Rng;
+use vnet_par::{ParPool, ParStats, StreamRng};
 use vnet_stats::sampling::{ContinuousPowerLaw, DiscretePowerLaw};
 
 /// Bootstrap p-value for a discrete fit. `reps` of ~100 give ±0.03
@@ -97,6 +108,98 @@ pub fn bootstrap_pvalue_continuous<R: Rng + ?Sized>(
         return Err(crate::PowerLawError::TooFewObservations { needed: 1, got: 0 });
     }
     Ok(exceed as f64 / valid as f64)
+}
+
+/// Parallel bootstrap p-value for a discrete fit: replicate `r` draws from
+/// the independent stream `StreamRng::split(seed, r)` and the replicates
+/// run as one fork-join over `pool`. Deterministic in `(data, fit, reps,
+/// opts, seed)` alone — the pool's thread count never changes the result.
+///
+/// Returns the p-value plus the fork-join work counters for manifests.
+pub fn bootstrap_pvalue_discrete_par(
+    data: &[u64],
+    fit: &DiscreteFit,
+    reps: usize,
+    opts: &FitOptions,
+    seed: u64,
+    pool: &ParPool,
+) -> Result<(f64, ParStats)> {
+    let positive: Vec<u64> = data.iter().copied().filter(|&x| x > 0).collect();
+    let body: Vec<u64> = positive.iter().copied().filter(|&x| x < fit.xmin).collect();
+    let n = positive.len();
+    let p_tail = fit.n_tail as f64 / n as f64;
+    let sampler = DiscretePowerLaw::new(fit.alpha, fit.xmin);
+
+    let ((exceed, valid), stats) = pool.map_reduce(
+        reps,
+        |rep| {
+            let mut rng = StreamRng::split(seed, rep as u64);
+            let synth: Vec<u64> = (0..n)
+                .map(|_| {
+                    if body.is_empty() || rng.random::<f64>() < p_tail {
+                        sampler.sample(&mut rng)
+                    } else {
+                        body[rng.random_range(0..body.len())]
+                    }
+                })
+                .collect();
+            fit_discrete(&synth, opts).ok().map(|refit| refit.ks >= fit.ks)
+        },
+        (0usize, 0usize),
+        |(exceed, valid), outcome| match outcome {
+            Some(true) => (exceed + 1, valid + 1),
+            Some(false) => (exceed, valid + 1),
+            None => (exceed, valid),
+        },
+    );
+    if valid == 0 {
+        return Err(crate::PowerLawError::TooFewObservations { needed: 1, got: 0 });
+    }
+    Ok((exceed as f64 / valid as f64, stats))
+}
+
+/// Parallel bootstrap p-value for a continuous fit; same stream-splitting
+/// protocol as [`bootstrap_pvalue_discrete_par`].
+pub fn bootstrap_pvalue_continuous_par(
+    data: &[f64],
+    fit: &ContinuousFit,
+    reps: usize,
+    opts: &FitOptions,
+    seed: u64,
+    pool: &ParPool,
+) -> Result<(f64, ParStats)> {
+    let positive: Vec<f64> = data.iter().copied().filter(|&x| x > 0.0).collect();
+    let body: Vec<f64> = positive.iter().copied().filter(|&x| x < fit.xmin).collect();
+    let n = positive.len();
+    let p_tail = fit.n_tail as f64 / n as f64;
+    let sampler = ContinuousPowerLaw::new(fit.alpha, fit.xmin);
+
+    let ((exceed, valid), stats) = pool.map_reduce(
+        reps,
+        |rep| {
+            let mut rng = StreamRng::split(seed, rep as u64);
+            let synth: Vec<f64> = (0..n)
+                .map(|_| {
+                    if body.is_empty() || rng.random::<f64>() < p_tail {
+                        sampler.sample(&mut rng)
+                    } else {
+                        body[rng.random_range(0..body.len())]
+                    }
+                })
+                .collect();
+            fit_continuous(&synth, opts).ok().map(|refit| refit.ks >= fit.ks)
+        },
+        (0usize, 0usize),
+        |(exceed, valid), outcome| match outcome {
+            Some(true) => (exceed + 1, valid + 1),
+            Some(false) => (exceed, valid + 1),
+            None => (exceed, valid),
+        },
+    );
+    if valid == 0 {
+        return Err(crate::PowerLawError::TooFewObservations { needed: 1, got: 0 });
+    }
+    Ok((exceed as f64 / valid as f64, stats))
 }
 
 #[cfg(test)]

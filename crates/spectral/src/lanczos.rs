@@ -3,6 +3,7 @@
 use crate::laplacian::SymLaplacian;
 use crate::tridiag::tridiag_eigenvalues;
 use rand::Rng;
+use vnet_par::{ParPool, ParStats};
 
 /// Approximate the largest `k` eigenvalues of the Laplacian with `steps`
 /// Lanczos iterations (full reorthogonalization), returned in *descending*
@@ -43,10 +44,28 @@ pub fn lanczos_topk_counted<R: Rng + ?Sized>(
     steps: usize,
     rng: &mut R,
 ) -> (Vec<f64>, LanczosStats) {
+    let (ev, stats, _) = lanczos_topk_pool(op, k, steps, rng, &ParPool::serial());
+    (ev, stats)
+}
+
+/// [`lanczos_topk_counted`] with the matvec inner loop sharded over `pool`
+/// (see [`SymLaplacian::matvec_into_pool`]). Only the operator application
+/// is parallel — every row of `L v` is independent — so the Ritz values are
+/// **bitwise identical** to the serial iteration at any thread count; the
+/// recurrence itself (dot products, reorthogonalization) stays on the
+/// caller's thread where its sequential order is untouched.
+pub fn lanczos_topk_pool<R: Rng + ?Sized>(
+    op: &SymLaplacian,
+    k: usize,
+    steps: usize,
+    rng: &mut R,
+    pool: &ParPool,
+) -> (Vec<f64>, LanczosStats, ParStats) {
     let mut stats = LanczosStats::default();
+    let mut par_stats = ParStats::default();
     let n = op.dim();
     if n == 0 || k == 0 {
-        return (Vec::new(), stats);
+        return (Vec::new(), stats, par_stats);
     }
     let m = steps.max(k).min(n);
 
@@ -61,7 +80,7 @@ pub fn lanczos_topk_counted<R: Rng + ?Sized>(
 
     for j in 0..m {
         basis.push(v.clone());
-        op.matvec_into(&v, &mut w);
+        par_stats.merge(op.matvec_into_pool(&v, &mut w, pool));
         stats.matvecs += 1;
         let a = dot(&w, &v);
         alpha.push(a);
@@ -128,7 +147,7 @@ pub fn lanczos_topk_counted<R: Rng + ?Sized>(
             *x = 0.0;
         }
     }
-    (ev, stats)
+    (ev, stats, par_stats)
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -243,6 +262,28 @@ mod tests {
         assert!((ev[1] - 2.0).abs() < 1e-6);
         assert!(ev[2].abs() < 1e-6);
         assert!(ev[3].abs() < 1e-6);
+    }
+
+    #[test]
+    fn pool_ritz_values_bitwise_equal_serial_across_thread_counts() {
+        let edges: Vec<(u32, u32)> = (0..60u32)
+            .flat_map(|i| [(i, (i * 17 + 3) % 60), (i, (i + 1) % 60)])
+            .filter(|(a, b)| a != b)
+            .collect();
+        let g = from_edges(60, &edges).unwrap();
+        let l = SymLaplacian::from_digraph(&g);
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(11);
+            lanczos_topk_pool(&l, 6, 20, &mut rng, &ParPool::new(threads)).0
+        };
+        let reference = run(1);
+        for threads in [2, 4, 7] {
+            let ev = run(threads);
+            assert!(
+                reference.iter().zip(&ev).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! The symmetric graph Laplacian as a matrix-free CSR operator.
 
 use vnet_graph::DiGraph;
+use vnet_par::{ParPool, ParStats};
+
+/// Rows per fork-join task in [`SymLaplacian::matvec_into_pool`]. Fixed per
+/// call site so the shard layout depends on the dimension only; each row is
+/// computed independently, so sharding cannot change any output bit. Small
+/// operators (`n <= ROW_CHUNK`) decompose into a single task, which runs
+/// inline on the caller's thread.
+const ROW_CHUNK: usize = 4096;
 
 /// Symmetric Laplacian `L = D − A` of the undirected projection of a
 /// directed graph (an undirected edge `{u, v}` exists when either `u → v`
@@ -63,13 +71,34 @@ impl SymLaplacian {
         assert_eq!(x.len(), self.n, "matvec: dimension mismatch");
         assert_eq!(y.len(), self.n, "matvec: output dimension mismatch");
         for u in 0..self.n {
-            let mut acc = self.degree[u] * x[u];
-            let (a, b) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
-            for &v in &self.neighbors[a..b] {
-                acc -= x[v as usize];
-            }
-            y[u] = acc;
+            y[u] = self.row_apply(u, x);
         }
+    }
+
+    /// [`matvec_into`](Self::matvec_into) sharded over `pool`: rows are
+    /// split into `ROW_CHUNK`-sized tasks, each owning a disjoint slice
+    /// of `y`. Every row's accumulator is private, so the output is
+    /// **bitwise identical** to the serial product at any thread count.
+    pub fn matvec_into_pool(&self, x: &[f64], y: &mut [f64], pool: &ParPool) -> ParStats {
+        assert_eq!(x.len(), self.n, "matvec: dimension mismatch");
+        assert_eq!(y.len(), self.n, "matvec: output dimension mismatch");
+        pool.for_each_chunk_mut(y, ROW_CHUNK, |_task, offset, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.row_apply(offset + k, x);
+            }
+        })
+    }
+
+    /// One row of `L x`: `deg(u)·x[u] − Σ_{v ~ u} x[v]`, accumulated in
+    /// CSR neighbor order.
+    #[inline]
+    fn row_apply(&self, u: usize, x: &[f64]) -> f64 {
+        let mut acc = self.degree[u] * x[u];
+        let (a, b) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+        for &v in &self.neighbors[a..b] {
+            acc -= x[v as usize];
+        }
+        acc
     }
 }
 

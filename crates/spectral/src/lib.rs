@@ -25,6 +25,6 @@ pub mod lanczos;
 pub mod power;
 pub mod tridiag;
 
-pub use lanczos::{lanczos_topk, lanczos_topk_counted, LanczosStats};
+pub use lanczos::{lanczos_topk, lanczos_topk_counted, lanczos_topk_pool, LanczosStats};
 pub use laplacian::SymLaplacian;
 pub use power::power_iteration_topk;

@@ -1,6 +1,6 @@
 //! English stop-word list for the "non-informative word" filter.
 //!
-//! The paper "filter[s] out n-grams constituted largely of non-informative
+//! The paper "filter\[s\] out n-grams constituted largely of non-informative
 //! words". This is the classic English function-word list used by that
 //! style of filter; note that content-bearing bio words the paper's tables
 //! keep ("official", "own", "us" in "Follow Us") are judged by the n-gram

@@ -13,7 +13,7 @@
 //! * [`adf`] — Augmented Dickey-Fuller with constant + trend and MacKinnon
 //!   response-surface critical values (paper: statistic −3.86 vs the −3.42
 //!   critical threshold at 95%, concluding stationarity).
-//! * [`pelt`] — Pruned Exact Linear Time change-point detection under a
+//! * [`mod@pelt`] — Pruned Exact Linear Time change-point detection under a
 //!   normal mean+variance cost, with the paper's penalty "cool-down"
 //!   consensus protocol (found: a pre-Christmas dip and an early-April
 //!   shift, and nothing else).

@@ -5,8 +5,10 @@
 #                             the fault-injection + crawler fast lane
 #   scripts/verify.sh obs     observability lane: vnet-obs unit tests +
 #                             the manifest-determinism golden tests
+#   scripts/verify.sh par     parallelism lane: vnet-par unit tests + the
+#                             cross-thread-count determinism battery
 #   scripts/verify.sh         tier-1: release build + full quiet test suite
-#   scripts/verify.sh full    tier-1 plus clippy with warnings denied
+#   scripts/verify.sh full    tier-1 plus clippy and rustdoc, warnings denied
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +22,10 @@ obs)
     cargo test -q -p vnet-obs
     cargo test -q -p vnet-integration-tests --test obs_manifest
     ;;
+par)
+    cargo test -q -p vnet-par
+    cargo test -q -p vnet-integration-tests --test par_determinism
+    ;;
 tier1)
     cargo build --release
     cargo test -q
@@ -28,9 +34,10 @@ full)
     cargo build --release
     cargo test -q
     cargo clippy --workspace -- -D warnings
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|obs|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|par|tier1|full]" >&2
     exit 2
     ;;
 esac

@@ -155,7 +155,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`fn@vec`].
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,
