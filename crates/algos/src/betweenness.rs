@@ -8,6 +8,7 @@
 //! uses, with the exact variant as its ground truth in tests and benches.
 
 use rand::Rng;
+use vnet_ctx::AnalysisCtx;
 use vnet_par::{ParPool, ParStats};
 use vnet_graph::{DiGraph, NodeId};
 
@@ -45,15 +46,36 @@ pub fn betweenness_exact_counted(g: &DiGraph) -> (Vec<f64>, BetweennessStats) {
 
 /// Pivot-sampled betweenness: dependencies from `pivots` uniform random
 /// sources, scaled by `n / pivots` so values estimate the exact scores.
+///
+/// The canonical context-taking entrypoint. The pivot set is drawn from
+/// `rng` up front (one `sample_distinct` call, so RNG consumption does not
+/// depend on the pool), then split into fixed-size chunks of `PIVOT_CHUNK`
+/// sources; partials fold **in chunk order**, so the scores are
+/// bit-identical at any thread count. Work counters
+/// (`algo.betweenness.*`) and par accounting (stage `betweenness`) land on
+/// the context's observability handle. With `pivots >= n` every node is a
+/// source and no pivots are drawn from `rng`.
 pub fn betweenness_sampled<R: Rng + ?Sized>(
     g: &DiGraph,
     pivots: usize,
     rng: &mut R,
+    ctx: &AnalysisCtx,
 ) -> Vec<f64> {
-    betweenness_sampled_counted(g, pivots, rng).0
+    let started = std::time::Instant::now();
+    let (scores, stats, par) = betweenness_sampled_impl(g, pivots, rng, ctx.pool());
+    let obs = ctx.obs();
+    obs.set_counter("algo.betweenness.sources", &[], stats.sources);
+    obs.set_counter("algo.betweenness.edge_relaxations", &[], stats.edge_relaxations);
+    ctx.record_par("betweenness", &par);
+    ctx.observe_par_wall("betweenness", started.elapsed().as_micros() as u64);
+    scores
 }
 
-/// [`betweenness_sampled`] plus its work counters.
+/// Serial pivot-sampled betweenness plus its work counters.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `betweenness_sampled(g, pivots, rng, &AnalysisCtx)`; see docs/API.md"
+)]
 pub fn betweenness_sampled_counted<R: Rng + ?Sized>(
     g: &DiGraph,
     pivots: usize,
@@ -79,40 +101,52 @@ pub fn betweenness_sampled_counted<R: Rng + ?Sized>(
     (centrality, stats)
 }
 
-/// Parallel pivot-sampled betweenness over a [`ParPool`] — compatibility
-/// wrapper building a pool from a raw thread count.
+/// Parallel pivot-sampled betweenness — compatibility wrapper building a
+/// pool from a raw thread count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `betweenness_sampled(g, pivots, rng, &AnalysisCtx)`; see docs/API.md"
+)]
 pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
     g: &DiGraph,
     pivots: usize,
     threads: usize,
     rng: &mut R,
 ) -> Vec<f64> {
-    betweenness_sampled_parallel_counted(g, pivots, threads, rng).0
+    betweenness_sampled_impl(g, pivots, rng, &ParPool::new(threads)).0
 }
 
-/// [`betweenness_sampled_parallel`] plus its work counters.
+/// Parallel pivot-sampled betweenness plus its work counters.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `betweenness_sampled(g, pivots, rng, &AnalysisCtx)`; see docs/API.md"
+)]
 pub fn betweenness_sampled_parallel_counted<R: Rng + ?Sized>(
     g: &DiGraph,
     pivots: usize,
     threads: usize,
     rng: &mut R,
 ) -> (Vec<f64>, BetweennessStats) {
-    let (centrality, stats, _) =
-        betweenness_sampled_pool(g, pivots, rng, &ParPool::new(threads));
+    let (centrality, stats, _) = betweenness_sampled_impl(g, pivots, rng, &ParPool::new(threads));
     (centrality, stats)
 }
 
-/// Pivot-sampled betweenness as a deterministic fork-join over `pool`.
-///
-/// The pivot set is drawn from `rng` up front (one `sample_distinct` call,
-/// so RNG consumption does not depend on the pool), then split into
-/// fixed-size chunks of `PIVOT_CHUNK` sources. Each chunk accumulates
-/// into a private vector and the partials are folded **in chunk order**, so
-/// the scores are bit-identical at any thread count — including
-/// [`ParPool::serial`]. With `pivots >= n` every node is a source and no
-/// pivots are drawn from `rng` (the estimate degenerates to exact
-/// betweenness, up to the chunked summation order).
+/// Pivot-sampled betweenness against an explicit pool, returning the
+/// fork-join stats.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `betweenness_sampled(g, pivots, rng, &AnalysisCtx)`; see docs/API.md"
+)]
 pub fn betweenness_sampled_pool<R: Rng + ?Sized>(
+    g: &DiGraph,
+    pivots: usize,
+    rng: &mut R,
+    pool: &ParPool,
+) -> (Vec<f64>, BetweennessStats, ParStats) {
+    betweenness_sampled_impl(g, pivots, rng, pool)
+}
+
+fn betweenness_sampled_impl<R: Rng + ?Sized>(
     g: &DiGraph,
     pivots: usize,
     rng: &mut R,
@@ -299,7 +333,7 @@ mod tests {
         let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let exact = betweenness_exact(&g);
-        let sampled = betweenness_sampled(&g, 6, &mut rng);
+        let sampled = betweenness_sampled(&g, 6, &mut rng, &AnalysisCtx::quiet());
         for (a, b) in exact.iter().zip(&sampled) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -318,7 +352,7 @@ mod tests {
         let runs = 600;
         let mut acc = vec![0.0; 8];
         for _ in 0..runs {
-            let s = betweenness_sampled(&g, 3, &mut rng);
+            let s = betweenness_sampled(&g, 3, &mut rng, &AnalysisCtx::quiet());
             for (a, v) in acc.iter_mut().zip(s) {
                 *a += v;
             }
@@ -338,7 +372,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         // All pivots → deterministic regardless of threading.
         let exact = betweenness_exact(&g);
-        let par = betweenness_sampled_parallel(&g, 10, 4, &mut rng);
+        let par = betweenness_sampled(&g, 10, &mut rng, &AnalysisCtx::with_threads(4));
         for (a, b) in exact.iter().zip(&par) {
             assert!((a - b).abs() < 1e-9);
         }
@@ -353,7 +387,7 @@ mod tests {
         let g = from_edges(40, &edges).unwrap();
         let run = |threads: usize| {
             let mut rng = StdRng::seed_from_u64(77);
-            betweenness_sampled_pool(&g, 17, &mut rng, &ParPool::new(threads)).0
+            betweenness_sampled(&g, 17, &mut rng, &AnalysisCtx::with_threads(threads))
         };
         let reference = run(1);
         for threads in [2, 4, 7] {
@@ -366,14 +400,18 @@ mod tests {
     }
 
     #[test]
-    fn pool_reports_static_schedule_counters() {
+    fn entrypoint_records_static_schedule_counters() {
         let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let (_, stats, par) =
-            betweenness_sampled_pool(&g, 6, &mut rng, &ParPool::new(4));
-        assert_eq!(stats.sources, 6);
-        assert_eq!(par.tasks, 1); // 6 pivots, chunk size 8 -> one task
-        assert_eq!(par.steal_free_chunks, par.tasks);
+        let obs = vnet_obs::Obs::new();
+        let ctx = AnalysisCtx::from_obs(ParPool::new(4), &obs);
+        let _ = betweenness_sampled(&g, 6, &mut rng, &ctx);
+        let m = obs.manifest("btw", 0);
+        assert_eq!(m.counters["algo.betweenness.sources"], 6);
+        // 6 pivots, chunk size 8 -> one task; the static schedule is
+        // steal-free by construction.
+        assert_eq!(m.counters["par.tasks{stage=betweenness}"], 1);
+        assert_eq!(m.counters["par.steal_free_chunks{stage=betweenness}"], 1);
     }
 
     #[test]
@@ -393,6 +431,7 @@ mod tests {
         assert!(betweenness_exact(&DiGraph::empty(0)).is_empty());
         assert_eq!(betweenness_exact(&DiGraph::empty(3)), vec![0.0; 3]);
         let mut rng = StdRng::seed_from_u64(1);
-        assert_eq!(betweenness_sampled(&DiGraph::empty(3), 0, &mut rng), vec![0.0; 3]);
+        let ctx = AnalysisCtx::quiet();
+        assert_eq!(betweenness_sampled(&DiGraph::empty(3), 0, &mut rng, &ctx), vec![0.0; 3]);
     }
 }

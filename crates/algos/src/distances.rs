@@ -9,6 +9,7 @@
 //! paper's directed analysis.
 
 use rand::Rng;
+use vnet_ctx::AnalysisCtx;
 use vnet_par::{ParPool, ParStats};
 use vnet_graph::{DiGraph, NodeId};
 
@@ -86,23 +87,41 @@ pub enum SourceSpec {
 /// Distance distribution of `g` along out-edges, excluding isolated nodes
 /// (the paper "omits isolated nodes" for its 2.74 figure).
 ///
-/// Runs on the serial pool; [`distance_distribution_pool`] is the same
-/// computation fanned out over worker threads. The accumulation is pure
-/// integer arithmetic, so both produce identical statistics.
+/// The canonical context-taking entrypoint: the source set is drawn from
+/// `rng` up front, split into `SOURCE_CHUNK`-sized tasks over the context's
+/// pool, and each task's BFS runs build a private histogram that is merged
+/// in task order. All counters are integers, so the result is identical at
+/// any thread count. Par accounting (stage `distances.bfs`) lands on the
+/// context's observability handle.
 pub fn distance_distribution<R: Rng + ?Sized>(
     g: &DiGraph,
     spec: SourceSpec,
     rng: &mut R,
+    ctx: &AnalysisCtx,
 ) -> DistanceStats {
-    distance_distribution_pool(g, spec, rng, &ParPool::serial()).0
+    let started = std::time::Instant::now();
+    let (stats, par) = distance_distribution_impl(g, spec, rng, ctx.pool());
+    ctx.record_par("distances.bfs", &par);
+    ctx.observe_par_wall("distances.bfs", started.elapsed().as_micros() as u64);
+    stats
 }
 
-/// [`distance_distribution`] as a deterministic fork-join over `pool`: the
-/// source set is drawn from `rng` up front, split into `SOURCE_CHUNK`-sized
-/// tasks, and each task's BFS runs build a private histogram that is merged
-/// in task order. All counters are integers, so the result is identical at
-/// any thread count.
+/// [`distance_distribution`] against an explicit pool, returning the
+/// fork-join stats.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `distance_distribution(g, spec, rng, &AnalysisCtx)`; see docs/API.md"
+)]
 pub fn distance_distribution_pool<R: Rng + ?Sized>(
+    g: &DiGraph,
+    spec: SourceSpec,
+    rng: &mut R,
+    pool: &ParPool,
+) -> (DistanceStats, ParStats) {
+    distance_distribution_impl(g, spec, rng, pool)
+}
+
+fn distance_distribution_impl<R: Rng + ?Sized>(
     g: &DiGraph,
     spec: SourceSpec,
     rng: &mut R,
@@ -239,7 +258,7 @@ mod tests {
     fn exact_distribution_on_path() {
         let g = path_graph();
         let mut rng = StdRng::seed_from_u64(1);
-        let s = distance_distribution(&g, SourceSpec::All, &mut rng);
+        let s = distance_distribution(&g, SourceSpec::All, &mut rng, &AnalysisCtx::quiet());
         // Ordered reachable pairs: d=1 x3, d=2 x2, d=3 x1.
         assert_eq!(s.series(), vec![(1, 3), (2, 2), (3, 1)]);
         assert_eq!(s.pairs, 6);
@@ -251,7 +270,7 @@ mod tests {
     fn cycle_distribution_uniform() {
         let g = from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let s = distance_distribution(&g, SourceSpec::All, &mut rng);
+        let s = distance_distribution(&g, SourceSpec::All, &mut rng, &AnalysisCtx::quiet());
         assert_eq!(s.series(), vec![(1, 4), (2, 4), (3, 4)]);
         assert!((s.mean - 2.0).abs() < 1e-12);
     }
@@ -260,7 +279,7 @@ mod tests {
     fn isolated_nodes_omitted() {
         let g = from_edges(5, &[(0, 1), (1, 0)]).unwrap(); // 2,3,4 isolated
         let mut rng = StdRng::seed_from_u64(1);
-        let s = distance_distribution(&g, SourceSpec::All, &mut rng);
+        let s = distance_distribution(&g, SourceSpec::All, &mut rng, &AnalysisCtx::quiet());
         assert_eq!(s.sources, 2);
         assert_eq!(s.pairs, 2);
         assert!((s.mean - 1.0).abs() < 1e-12);
@@ -270,7 +289,7 @@ mod tests {
     fn sampled_uses_requested_sources() {
         let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let s = distance_distribution(&g, SourceSpec::Sampled(3), &mut rng);
+        let s = distance_distribution(&g, SourceSpec::Sampled(3), &mut rng, &AnalysisCtx::quiet());
         assert_eq!(s.sources, 3);
         // Each source reaches all other 5 nodes on the 6-cycle.
         assert_eq!(s.pairs, 15);
@@ -281,8 +300,8 @@ mod tests {
     fn sampled_more_than_population_degrades_to_all() {
         let g = path_graph();
         let mut rng = StdRng::seed_from_u64(5);
-        let all = distance_distribution(&g, SourceSpec::All, &mut rng);
-        let sampled = distance_distribution(&g, SourceSpec::Sampled(100), &mut rng);
+        let all = distance_distribution(&g, SourceSpec::All, &mut rng, &AnalysisCtx::quiet());
+        let sampled = distance_distribution(&g, SourceSpec::Sampled(100), &mut rng, &AnalysisCtx::quiet());
         assert_eq!(all, sampled);
     }
 
@@ -290,7 +309,7 @@ mod tests {
     fn effective_diameter_between_median_and_max() {
         let g = from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let s = distance_distribution(&g, SourceSpec::All, &mut rng);
+        let s = distance_distribution(&g, SourceSpec::All, &mut rng, &AnalysisCtx::quiet());
         assert!(s.effective_diameter <= s.max_observed as f64);
         assert!(s.effective_diameter >= s.median as f64 - 1.0);
     }
@@ -301,13 +320,12 @@ mod tests {
         let g = from_edges(30, &edges).unwrap();
         let run = |threads: usize| {
             let mut rng = StdRng::seed_from_u64(9);
-            distance_distribution_pool(
+            distance_distribution(
                 &g,
                 SourceSpec::Sampled(11),
                 &mut rng,
-                &ParPool::new(threads),
+                &AnalysisCtx::with_threads(threads),
             )
-            .0
         };
         let reference = run(1);
         for threads in [2, 4, 7] {
@@ -319,7 +337,7 @@ mod tests {
     fn empty_graph_stats() {
         let g = DiGraph::empty(3);
         let mut rng = StdRng::seed_from_u64(5);
-        let s = distance_distribution(&g, SourceSpec::All, &mut rng);
+        let s = distance_distribution(&g, SourceSpec::All, &mut rng, &AnalysisCtx::quiet());
         assert_eq!(s.pairs, 0);
         assert_eq!(s.mean, 0.0);
     }

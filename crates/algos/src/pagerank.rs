@@ -8,6 +8,7 @@
 //! attracting components) is redistributed uniformly, the standard Google
 //! formulation.
 
+use vnet_ctx::AnalysisCtx;
 use vnet_graph::DiGraph;
 use vnet_par::{ParPool, ParStats};
 
@@ -51,28 +52,45 @@ pub struct PageRankResult {
 
 /// Power-iteration PageRank over out-edges.
 ///
+/// The canonical context-taking entrypoint: the pull loop shards rows into
+/// `ROW_CHUNK`-sized tasks over the context's pool (each row's accumulator
+/// is private, so sharding cannot change any value), and the dangling-mass
+/// and convergence-delta sums are chunked reductions folded in task order.
+/// The scores are bit-identical at any thread count. Work counters
+/// (`algo.pagerank.*`) and par accounting (stage `pagerank`) land on the
+/// context's observability handle.
+///
 /// # Examples
 /// ```
+/// use vnet_ctx::AnalysisCtx;
 /// use vnet_graph::builder::from_edges;
 /// use vnet_algos::pagerank::{pagerank, PageRankConfig};
 ///
 /// // Everyone follows node 0.
 /// let g = from_edges(4, &[(1, 0), (2, 0), (3, 0)]).unwrap();
-/// let r = pagerank(&g, PageRankConfig::default());
+/// let r = pagerank(&g, PageRankConfig::default(), &AnalysisCtx::quiet());
 /// assert!(r.converged);
 /// assert!(r.scores[0] > r.scores[1]);
 /// assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 /// ```
-pub fn pagerank(g: &DiGraph, cfg: PageRankConfig) -> PageRankResult {
-    pagerank_pool(g, cfg, &ParPool::serial()).0
+pub fn pagerank(g: &DiGraph, cfg: PageRankConfig, ctx: &AnalysisCtx) -> PageRankResult {
+    let started = std::time::Instant::now();
+    let (result, stats) = pagerank_impl(g, cfg, ctx.pool());
+    let obs = ctx.obs();
+    obs.set_counter("algo.pagerank.iterations", &[], result.iterations as u64);
+    obs.set_counter("algo.pagerank.edge_relaxations", &[], result.edge_relaxations);
+    ctx.record_par("pagerank", &stats);
+    ctx.observe_par_wall("pagerank", started.elapsed().as_micros() as u64);
+    result
 }
 
-/// [`pagerank`] as a deterministic fork-join over `pool`: the pull loop
-/// shards rows into `ROW_CHUNK`-sized tasks (each row's accumulator is
-/// private, so sharding cannot change any value), and the dangling-mass and
-/// convergence-delta sums are chunked reductions folded in task order. The
-/// scores are bit-identical at any thread count.
+/// [`pagerank`] against an explicit pool, returning the fork-join stats.
+#[deprecated(since = "0.2.0", note = "use `pagerank(g, cfg, &AnalysisCtx)`; see docs/API.md")]
 pub fn pagerank_pool(g: &DiGraph, cfg: PageRankConfig, pool: &ParPool) -> (PageRankResult, ParStats) {
+    pagerank_impl(g, cfg, pool)
+}
+
+fn pagerank_impl(g: &DiGraph, cfg: PageRankConfig, pool: &ParPool) -> (PageRankResult, ParStats) {
     let n = g.node_count();
     if n == 0 {
         let result = PageRankResult {
@@ -151,7 +169,7 @@ mod tests {
     use vnet_graph::GraphBuilder;
 
     fn run(g: &DiGraph) -> Vec<f64> {
-        pagerank(g, PageRankConfig::default()).scores
+        pagerank(g, PageRankConfig::default(), &AnalysisCtx::quiet()).scores
     }
 
     #[test]
@@ -188,7 +206,7 @@ mod tests {
     fn dangling_mass_conserved() {
         // Graph with several dangling nodes still sums to 1.
         let g = from_edges(5, &[(0, 1), (0, 2), (3, 2)]).unwrap();
-        let r = pagerank(&g, PageRankConfig::default());
+        let r = pagerank(&g, PageRankConfig::default(), &AnalysisCtx::quiet());
         assert!(r.converged);
         assert!((r.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
@@ -209,7 +227,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let r = pagerank(&DiGraph::empty(0), PageRankConfig::default());
+        let r = pagerank(&DiGraph::empty(0), PageRankConfig::default(), &AnalysisCtx::quiet());
         assert!(r.scores.is_empty());
         assert!(r.converged);
     }
@@ -235,7 +253,7 @@ mod tests {
             .collect();
         let g = from_edges(n, &edges).unwrap();
         let cfg = PageRankConfig { damping: 0.85, tol: 0.0, max_iter: 4 };
-        let run = |threads: usize| pagerank_pool(&g, cfg, &ParPool::new(threads)).0.scores;
+        let run = |threads: usize| pagerank(&g, cfg, &AnalysisCtx::with_threads(threads)).scores;
         let reference = run(1);
         for threads in [2, 4, 7] {
             let scores = run(threads);
@@ -247,9 +265,22 @@ mod tests {
     }
 
     #[test]
+    fn entrypoint_records_work_counters() {
+        let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let obs = vnet_obs::Obs::new();
+        let ctx = AnalysisCtx::from_obs(ParPool::serial(), &obs);
+        let r = pagerank(&g, PageRankConfig::default(), &ctx);
+        let m = obs.manifest("pr", 0);
+        assert_eq!(m.counters["algo.pagerank.iterations"], r.iterations as u64);
+        assert_eq!(m.counters["algo.pagerank.edge_relaxations"], r.edge_relaxations);
+        assert!(m.counters["par.tasks{stage=pagerank}"] > 0);
+    }
+
+    #[test]
     fn iteration_cap_respected() {
         let g = from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
-        let r = pagerank(&g, PageRankConfig { damping: 0.85, tol: 0.0, max_iter: 5 });
+        let cfg = PageRankConfig { damping: 0.85, tol: 0.0, max_iter: 5 };
+        let r = pagerank(&g, cfg, &AnalysisCtx::quiet());
         assert_eq!(r.iterations, 5);
         assert!(!r.converged);
     }

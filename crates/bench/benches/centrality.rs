@@ -5,12 +5,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
-use vnet_algos::betweenness::{betweenness_exact, betweenness_sampled, betweenness_sampled_parallel};
+use vnet_algos::betweenness::{betweenness_exact, betweenness_sampled};
 use vnet_algos::closeness::harmonic_closeness_sampled;
 use vnet_algos::hits::hits;
 use vnet_algos::kcore::k_core_decomposition;
 use vnet_algos::pagerank::{pagerank, PageRankConfig};
 use vnet_bench::bench_dataset;
+use vnet_ctx::AnalysisCtx;
 use vnet_graph::builder::from_edges;
 
 fn bench_pagerank(c: &mut Criterion) {
@@ -18,7 +19,10 @@ fn bench_pagerank(c: &mut Criterion) {
     let mut group = c.benchmark_group("centrality_fig5");
     group.sample_size(10);
     group.bench_function("pagerank", |b| {
-        b.iter(|| black_box(pagerank(black_box(g), PageRankConfig::default())).iterations)
+        b.iter(|| {
+            black_box(pagerank(black_box(g), PageRankConfig::default(), &AnalysisCtx::quiet()))
+                .iterations
+        })
     });
     group.finish();
 }
@@ -31,13 +35,20 @@ fn bench_betweenness_ablation(c: &mut Criterion) {
         group.bench_function(format!("sampled_{pivots}"), |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(5);
-                black_box(betweenness_sampled(black_box(g), pivots, &mut rng)).len()
+                black_box(betweenness_sampled(black_box(g), pivots, &mut rng, &AnalysisCtx::quiet()))
+                    .len()
             })
         });
         group.bench_function(format!("parallel4_{pivots}"), |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(5);
-                black_box(betweenness_sampled_parallel(black_box(g), pivots, 4, &mut rng)).len()
+                black_box(betweenness_sampled(
+                    black_box(g),
+                    pivots,
+                    &mut rng,
+                    &AnalysisCtx::with_threads(4),
+                ))
+                .len()
             })
         });
     }
@@ -55,7 +66,7 @@ fn bench_betweenness_ablation(c: &mut Criterion) {
     let small = from_edges(600, &edges).unwrap();
     let exact = betweenness_exact(&small);
     for pivots in [30usize, 120, 300] {
-        let approx = betweenness_sampled(&small, pivots, &mut rng);
+        let approx = betweenness_sampled(&small, pivots, &mut rng, &AnalysisCtx::quiet());
         let err: f64 = exact
             .iter()
             .zip(&approx)

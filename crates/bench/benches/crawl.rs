@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use verified_net::degrees::figure1;
-use verified_net::{Dataset, SynthesisConfig};
+use verified_net::{AnalysisCtx, Dataset, SynthesisConfig};
 use vnet_bench::bench_dataset;
 use vnet_twittersim::{Crawler, RateLimitPolicy, SimClock, Society, SocietyConfig, TwitterApi};
 
@@ -25,7 +25,11 @@ fn bench_society_and_crawl(c: &mut Criterion) {
         })
     });
     group.bench_function("synthesize_dataset_end_to_end", |b| {
-        b.iter(|| black_box(Dataset::synthesize(&SynthesisConfig::small())).graph.edge_count())
+        b.iter(|| {
+            black_box(Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet()))
+                .graph
+                .edge_count()
+        })
     });
     group.finish();
 }

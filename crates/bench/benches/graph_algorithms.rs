@@ -14,6 +14,7 @@ use vnet_algos::components::{
 use vnet_algos::distances::{distance_distribution, SourceSpec};
 use vnet_algos::reciprocity::reciprocity;
 use vnet_bench::bench_dataset;
+use vnet_ctx::AnalysisCtx;
 
 fn bench_components(c: &mut Criterion) {
     let g = &bench_dataset().graph;
@@ -60,6 +61,7 @@ fn bench_distances(c: &mut Criterion) {
                     black_box(g),
                     SourceSpec::Sampled(sources),
                     &mut rng,
+                    &AnalysisCtx::quiet(),
                 ))
                 .mean
             })

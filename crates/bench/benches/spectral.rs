@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use vnet_bench::bench_dataset;
+use vnet_ctx::AnalysisCtx;
 use vnet_spectral::{lanczos_topk, power_iteration_topk, SymLaplacian};
 
 fn bench_laplacian_build(c: &mut Criterion) {
@@ -28,7 +29,7 @@ fn bench_eigensolvers(c: &mut Criterion) {
         group.bench_function(format!("lanczos_top{k}"), |b| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(3);
-                black_box(lanczos_topk(black_box(&lap), k, 3 * k + 20, &mut rng))
+                black_box(lanczos_topk(black_box(&lap), k, 3 * k + 20, &mut rng, &AnalysisCtx::quiet()))
             })
         });
         group.bench_function(format!("power_iteration_top{k}"), |b| {
@@ -42,7 +43,7 @@ fn bench_eigensolvers(c: &mut Criterion) {
 
     // Agreement check, printed once.
     let mut rng = StdRng::seed_from_u64(3);
-    let l = lanczos_topk(&lap, 8, 60, &mut rng);
+    let l = lanczos_topk(&lap, 8, 60, &mut rng, &AnalysisCtx::quiet());
     let p = power_iteration_topk(&lap, 8, 1e-10, 2_000, &mut rng);
     let max_rel: f64 = l
         .iter()

@@ -18,11 +18,18 @@
 //! and gigabytes). `--save <dir>` writes the dataset bundle after
 //! synthesis; `--load <dir>` analyzes a saved bundle instead of
 //! synthesizing. `--threads N` sizes the `vnet-par` fork-join pool the
-//! randomized estimators run on — by design it changes wall-clock only,
-//! never a single output bit (compare the manifest's output fingerprints
-//! across `--threads 1` and `--threads 4` to check; only the recorded
-//! `par.threads` knob itself differs). `--bootstrap-reps N` turns on the
-//! goodness-of-fit bootstrap (N replicates) in the fig2/eigen experiments.
+//! [`AnalysisCtx`] carries — by design it changes wall-clock only,
+//! never a single output bit (compare the manifest's `section.*` output
+//! fingerprints across `--threads 1` and `--threads 4` to check; only the
+//! recorded `par.threads` knob itself differs). `--bootstrap-reps N` turns
+//! on the goodness-of-fit bootstrap (N replicates) in the fig2/eigen
+//! experiments.
+//!
+//! Every paper-section experiment is computed through
+//! [`verified_net::run_analysis_section`] — the same entrypoint the
+//! `vnet-serve` analysis service and its result cache drive — so the
+//! `section.<id>` fingerprints recorded here are directly comparable to
+//! the fingerprints a service reply embeds.
 //!
 //! Output format: one block per experiment, with the paper's published
 //! values and the values measured on the calibrated synthetic dataset
@@ -37,11 +44,8 @@
 
 use std::sync::Arc;
 use verified_net::experiments::{experiment, EXPERIMENTS};
-use verified_net::{
-    activity, basic, bios, categories, centrality, degrees, deviations, eigen, elite_core, recip,
-    separation,
-};
-use verified_net::{AnalysisOptions, Dataset};
+use verified_net::{deviations, run_analysis_section, Section, SectionReport};
+use verified_net::{AnalysisCtx, AnalysisOptions, Dataset};
 use verified_net::SynthesisConfig;
 use vnet_obs::{fingerprint_str, Obs, Reporter};
 use vnet_par::ParPool;
@@ -121,9 +125,21 @@ fn main() {
         std::process::exit(2);
     }
 
-    // Everything below reports through the instrumentation layer: spans
-    // and counters land in `obs`, human-readable lines in a `Reporter`.
+    let mut builder = AnalysisOptions::default().to_builder();
+    if let Some(n) = threads {
+        builder = builder.threads(n);
+    }
+    if let Some(n) = bootstrap_reps {
+        builder = builder.bootstrap_reps(n);
+    }
+    let opts = builder.build();
+
+    // Everything below reports through the instrumentation layer: one
+    // `AnalysisCtx` carries the shared fork-join pool and the `Obs`
+    // registry through synthesis and every analysis section. Human-
+    // readable lines go through a `Reporter`.
     let obs = Arc::new(Obs::new());
+    let ctx = AnalysisCtx::new(ParPool::new(opts.threads), Arc::clone(&obs));
     let rep = Reporter::stdout();
 
     let owned: Dataset;
@@ -146,7 +162,7 @@ fn main() {
             }
         };
         eprintln!("building {scale}-scale dataset ...");
-        owned = Dataset::synthesize_observed(&config, &obs);
+        owned = Dataset::build(&config, &ctx);
         &owned
     };
     if let Some(dir) = save_dir {
@@ -159,13 +175,6 @@ fn main() {
         s.users, s.edges
     );
 
-    let mut opts = AnalysisOptions::default();
-    if let Some(n) = threads {
-        opts.threads = n;
-    }
-    if let Some(n) = bootstrap_reps {
-        opts.bootstrap_reps = n;
-    }
     // The thread count is recorded in the manifest for provenance. It is a
     // counter (and therefore part of the deterministic view) on purpose:
     // everything *else* in that view must be identical across thread
@@ -175,8 +184,8 @@ fn main() {
     if let Some(path) = markdown_out {
         eprintln!("running the full battery for the markdown report ...");
         let report = {
-            let _span = obs.span("analysis");
-            verified_net::run_full_analysis_observed(ds, &opts, &obs)
+            let _span = ctx.span("analysis");
+            verified_net::run_analysis(ds, &opts, &ctx)
         };
         std::fs::write(&path, verified_net::render_markdown(&report))
             .expect("write markdown report");
@@ -185,18 +194,25 @@ fn main() {
 
     // Each experiment renders into a capture buffer: the text is printed
     // as-is and its fingerprint recorded in the manifest, so two runs can
-    // be compared block-by-block without diffing full logs.
+    // be compared block-by-block without diffing full logs. Section-backed
+    // experiments additionally record a `section.<id>` payload fingerprint
+    // — the exact quantity the `vnet-serve` result cache keys replies on.
     let mut block_digests: Vec<(String, u64)> = Vec::new();
     for id in &ids {
         match experiment(id) {
             Some(e) => {
                 let block = Reporter::capture();
-                {
+                let section_digest = {
                     let _span = obs.span(&format!("exp.{}", e.id));
-                    run_experiment(ds, &opts, e.id, &block, &obs);
-                }
+                    run_experiment(ds, &opts, e.id, &block, &ctx)
+                };
                 let text = block.captured();
                 block_digests.push((format!("exp.{}", e.id), fingerprint_str(&text)));
+                if let Some((name, digest)) = section_digest {
+                    if !block_digests.iter().any(|(n, _)| n == &name) {
+                        block_digests.push((name, digest));
+                    }
+                }
                 print!("{text}");
             }
             None => eprintln!("unknown experiment '{id}' (see --list)"),
@@ -205,6 +221,7 @@ fn main() {
 
     let mut manifest = obs.manifest(&format!("repro --scale {scale}"), opts.seed);
     manifest.fingerprint_output("dataset.summary", &s);
+    manifest.add_fingerprint("dataset.content", ds.fingerprint());
     for (name, digest) in block_digests {
         manifest.add_fingerprint(&name, digest);
     }
@@ -227,15 +244,77 @@ fn header(id: &str, rep: &Reporter) {
     rep.line("----------------------------------------------------------------------");
 }
 
-fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter, obs: &Obs) {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let pool = ParPool::new(opts.threads);
+/// The paper section each experiment id renders. `deviations` is the one
+/// experiment with no section — it is a cross-cutting comparison, not a
+/// cacheable paper artefact.
+fn section_for(id: &str) -> Option<Section> {
+    Some(match id {
+        "basic" => Section::Basic,
+        "fig1" => Section::Figure1,
+        "fig2" => Section::Degrees,
+        "eigen" => Section::Eigen,
+        "reciprocity" => Section::Reciprocity,
+        "fig3" => Section::Separation,
+        "fig4" | "table1" | "table2" => Section::Bios,
+        "fig5" => Section::Centrality,
+        "fig6" | "adf" | "pelt" => Section::Activity,
+        "elite-core" => Section::EliteCore,
+        "categories" => Section::Categories,
+        _ => return None,
+    })
+}
+
+/// Run one experiment through [`run_analysis_section`] (the service/cache
+/// entrypoint) and render its block. Returns the `section.<id>` payload
+/// fingerprint when the experiment is section-backed.
+fn run_experiment(
+    ds: &Dataset,
+    opts: &AnalysisOptions,
+    id: &str,
+    rep: &Reporter,
+    ctx: &AnalysisCtx,
+) -> Option<(String, u64)> {
     header(id, rep);
-    match id {
-        "basic" => {
-            let r = basic::basic_analysis_observed(ds, opts.clustering_samples, &mut rng, obs);
+    let Some(section) = section_for(id) else {
+        // `deviations` drives its own estimator sweep.
+        if id == "deviations" {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let r = deviations::deviation_analysis(ds, opts.distance_sources, &mut rng);
+            rep.line(format!(
+                "{:<48} {:>12} {:>12} {:>6}",
+                "statistic", "verified", "twitter-like", "ok?"
+            ));
+            for row in &r.rows {
+                rep.line(format!(
+                    "{:<48} {:>12.4} {:>12.4} {:>6}",
+                    row.statistic,
+                    row.verified,
+                    row.whole_twitter_like,
+                    if row.direction_reproduced { "yes" } else { "NO" }
+                ));
+                rep.line(format!("    paper: {}", row.paper_claim));
+            }
+            rep.line(format!("all deviations reproduced: {}", r.all_reproduced));
+        } else {
+            eprintln!("unknown experiment '{id}'");
+        }
+        rep.blank();
+        return None;
+    };
+
+    let payload = run_analysis_section(ds, section, opts, ctx)
+        .unwrap_or_else(|e| panic!("section {section} failed: {e}"));
+    let digest = fingerprint_str(&serde_json::to_string(&payload).expect("serialize section"));
+    render_section(id, &payload, rep);
+    rep.blank();
+    Some((format!("section.{section}"), digest))
+}
+
+fn render_section(id: &str, payload: &SectionReport, rep: &Reporter) {
+    match (id, payload) {
+        ("basic", SectionReport::Basic(r)) => {
             rep.line(format!(
                 "users {} | edges {} | density {:.5}",
                 r.users, r.edges, r.density
@@ -259,8 +338,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
             ));
             rep.line(format!("celebrity sink cores: {:?}", r.top_sink_handles));
         }
-        "fig1" => {
-            let f = degrees::figure1(ds, opts.fig1_bins);
+        ("fig1", SectionReport::Figure1(f)) => {
             for m in &f.marginals {
                 let peak = m.series.iter().max_by_key(|&&(_, c)| c).unwrap();
                 let span = m.series.last().unwrap().0 / m.series.first().unwrap().0;
@@ -275,16 +353,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 rep.line(format!("          {}", sparkline(&m.series)));
             }
         }
-        "fig2" => {
-            let r = degrees::degree_analysis_observed(
-                ds,
-                &opts.fit,
-                opts.bootstrap_reps,
-                &pool,
-                &mut rng,
-                obs,
-            )
-            .expect("degree fit");
+        ("fig2", SectionReport::Degrees(r)) => {
             rep.line(format!(
                 "alpha {:.3} (paper 3.24) | xmin {} | KS {:.4} | tail n {}",
                 r.alpha, r.xmin, r.ks, r.n_tail
@@ -308,18 +377,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 ));
             }
         }
-        "eigen" => {
-            let r = eigen::eigen_analysis_observed(
-                ds,
-                opts.eigen_k,
-                opts.lanczos_steps,
-                &opts.fit,
-                opts.bootstrap_reps,
-                &pool,
-                &mut rng,
-                obs,
-            )
-            .expect("eigen fit");
+        ("eigen", SectionReport::Eigen(r)) => {
             rep.line(format!(
                 "top {} Laplacian eigenvalues | λmax {:.1} | λ_k {:.1}",
                 r.eigenvalues.len(),
@@ -337,8 +395,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 ));
             }
         }
-        "reciprocity" => {
-            let r = recip::reciprocity_analysis(ds);
+        ("reciprocity", SectionReport::Reciprocity(r)) => {
             rep.line(format!(
                 "reciprocity {:.1}% (paper 33.7%) | mutual pairs {} | one-way {}",
                 100.0 * r.reciprocity,
@@ -350,14 +407,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 r.vs_whole_twitter, r.vs_flickr
             ));
         }
-        "fig3" => {
-            let r = separation::separation_analysis_observed(
-                ds,
-                opts.distance_sources,
-                &pool,
-                &mut rng,
-                obs,
-            );
+        ("fig3", SectionReport::Separation(r)) => {
             rep.line(format!(
                 "mean {:.3} (paper 2.74) | median {} | effective diameter {:.2} | max {}",
                 r.mean, r.median, r.effective_diameter, r.max_observed
@@ -367,8 +417,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 rep.line(format!("  d={d}: {c:>12} {}", bar(c, r.pairs)));
             }
         }
-        "fig4" => {
-            let r = bios::bio_analysis_observed(ds, opts.ngram_rows, obs);
+        ("fig4", SectionReport::Bios(r)) => {
             rep.line(format!("word cloud (top 20 of {} bios):", r.documents));
             for w in r.wordcloud.iter().take(20) {
                 rep.line(format!(
@@ -377,28 +426,19 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 ));
             }
         }
-        "table1" => {
-            let r = bios::bio_analysis_observed(ds, opts.ngram_rows, obs);
+        ("table1", SectionReport::Bios(r)) => {
             rep.line(format!("{:<30} {:>10}", "Bigram", "Occurrences"));
             for row in &r.top_bigrams {
                 rep.line(format!("{:<30} {:>10}", row.ngram, row.occurrences));
             }
         }
-        "table2" => {
-            let r = bios::bio_analysis_observed(ds, opts.ngram_rows, obs);
+        ("table2", SectionReport::Bios(r)) => {
             rep.line(format!("{:<30} {:>10}", "Trigram", "Occurrences"));
             for row in &r.top_trigrams {
                 rep.line(format!("{:<30} {:>10}", row.ngram, row.occurrences));
             }
         }
-        "fig5" => {
-            let r = centrality::centrality_analysis_observed(
-                ds,
-                opts.betweenness_pivots,
-                &pool,
-                &mut rng,
-                obs,
-            );
+        ("fig5", SectionReport::Centrality(r)) => {
             rep.line(format!(
                 "betweenness from {} pivots | PageRank converged in {} iterations",
                 r.betweenness_pivots, r.pagerank_iterations
@@ -416,8 +456,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 ));
             }
         }
-        "fig6" => {
-            let r = activity::activity_analysis_observed(ds, opts.lag_cap, obs).expect("activity");
+        ("fig6", SectionReport::Activity(r)) => {
             rep.line(format!(
                 "Ljung-Box max p = {:.2e} (paper 3.81e-38) | Box-Pierce max p = {:.2e} (paper 7.57e-38) | lag cap {}",
                 r.ljung_box_max_p, r.box_pierce_max_p, r.lag_cap
@@ -428,8 +467,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 m.iter().map(|v| (100.0 * v / m[0]).round()).collect::<Vec<_>>()
             ));
         }
-        "adf" => {
-            let r = activity::activity_analysis_observed(ds, opts.lag_cap, obs).expect("activity");
+        ("adf", SectionReport::Activity(r)) => {
             rep.line(format!(
                 "ADF statistic {:.3} (paper -3.86) vs 5% critical {:.3} (paper -3.42) -> {}",
                 r.adf_statistic,
@@ -444,8 +482,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 if r.stationarity_confirmed { "CONFIRMED" } else { "not confirmed" }
             ));
         }
-        "elite-core" => {
-            let r = elite_core::elite_core_analysis(ds);
+        ("elite-core", SectionReport::EliteCore(r)) => {
             rep.line(format!(
                 "degeneracy {} | overall reciprocity {:.3}",
                 r.degeneracy, r.overall_reciprocity
@@ -465,26 +502,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
                 r.core_reciprocity_elevated, r.core_reach_elevated
             ));
         }
-        "deviations" => {
-            let r = deviations::deviation_analysis(ds, opts.distance_sources, &mut rng);
-            rep.line(format!(
-                "{:<48} {:>12} {:>12} {:>6}",
-                "statistic", "verified", "twitter-like", "ok?"
-            ));
-            for row in &r.rows {
-                rep.line(format!(
-                    "{:<48} {:>12.4} {:>12.4} {:>6}",
-                    row.statistic,
-                    row.verified,
-                    row.whole_twitter_like,
-                    if row.direction_reproduced { "yes" } else { "NO" }
-                ));
-                rep.line(format!("    paper: {}", row.paper_claim));
-            }
-            rep.line(format!("all deviations reproduced: {}", r.all_reproduced));
-        }
-        "categories" => {
-            let r = categories::category_analysis(ds);
+        ("categories", SectionReport::Categories(r)) => {
             rep.line(format!(
                 "{:<16} {:>7} {:>7} {:>14} {:>10}",
                 "category", "count", "share", "mean followers", "mean in-d"
@@ -497,8 +515,7 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
             }
             rep.line(format!("news-adjacent share: {:.1}%", 100.0 * r.news_share));
         }
-        "pelt" => {
-            let r = activity::activity_analysis_observed(ds, opts.lag_cap, obs).expect("activity");
+        ("pelt", SectionReport::Activity(r)) => {
             rep.line(format!("{} consensus change-point(s):", r.changepoints.len()));
             for cp in &r.changepoints {
                 rep.line(format!(
@@ -508,9 +525,10 @@ fn run_experiment(ds: &Dataset, opts: &AnalysisOptions, id: &str, rep: &Reporter
             }
             rep.line("(paper: 23-25 Dec 2017 and the first week of April 2018)");
         }
-        other => eprintln!("unknown experiment '{other}'"),
+        (other, payload) => {
+            eprintln!("experiment '{other}' got unexpected section {}", payload.section());
+        }
     }
-    rep.blank();
 }
 
 /// Tiny unicode sparkline of a `(x, count)` series.

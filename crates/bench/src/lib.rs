@@ -18,20 +18,20 @@
 //! dataset construction.
 
 use std::sync::OnceLock;
-use verified_net::{Dataset, SynthesisConfig};
+use verified_net::{AnalysisCtx, Dataset, SynthesisConfig};
 
 /// The standard benchmark dataset (small scale: ~3.1k English users),
 /// built once per process.
 pub fn bench_dataset() -> &'static Dataset {
     static DS: OnceLock<Dataset> = OnceLock::new();
-    DS.get_or_init(|| Dataset::synthesize(&SynthesisConfig::small()))
+    DS.get_or_init(|| Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet()))
 }
 
 /// The reproduction-scale dataset (~18k English users), built once per
 /// process. Used by the `repro` binary and the heavier benches.
 pub fn repro_dataset() -> &'static Dataset {
     static DS: OnceLock<Dataset> = OnceLock::new();
-    DS.get_or_init(|| Dataset::synthesize(&SynthesisConfig::default()))
+    DS.get_or_init(|| Dataset::build(&SynthesisConfig::default(), &AnalysisCtx::quiet()))
 }
 
 #[cfg(test)]

@@ -1,8 +1,10 @@
 //! Section V and Figure 6: activity analysis.
 
 use crate::dataset::Dataset;
+#[allow(deprecated)]
+pub use crate::compat::activity_analysis_observed;
 use serde::Serialize;
-use vnet_obs::Obs;
+use vnet_ctx::AnalysisCtx;
 use vnet_timeseries::adf::{adf_test, AdfRegression, LagSelection};
 use vnet_timeseries::pelt::pelt_consensus;
 use vnet_timeseries::portmanteau::{box_pierce, ljung_box};
@@ -66,16 +68,12 @@ pub struct ActivityReport {
 /// `lag_cap` follows the paper's 185-day horizon when the series allows;
 /// it is clamped to `days − 2`. The PELT pass runs on the weekly-
 /// deseasonalized series (see `vnet_timeseries::seasonal` for why).
-pub fn activity_analysis(dataset: &Dataset, lag_cap: usize) -> vnet_timeseries::Result<ActivityReport> {
-    activity_analysis_observed(dataset, lag_cap, &Obs::noop())
-}
-
-/// [`activity_analysis`] with portmanteau, unit-root, and change-point
-/// sub-spans recorded into `obs`.
-pub fn activity_analysis_observed(
+/// Portmanteau, unit-root, and change-point sub-spans are recorded
+/// through `ctx`.
+pub fn activity_analysis(
     dataset: &Dataset,
     lag_cap: usize,
-    obs: &Obs,
+    ctx: &AnalysisCtx,
 ) -> vnet_timeseries::Result<ActivityReport> {
     let s = &dataset.activity;
     let days = s.len();
@@ -85,7 +83,7 @@ pub fn activity_analysis_observed(
     let mut lb_max: f64 = 0.0;
     let mut bp_max: f64 = 0.0;
     {
-        let _span = obs.span("analysis.activity.portmanteau");
+        let _span = ctx.span("analysis.activity.portmanteau");
         for h in 1..=cap {
             lb_max = lb_max.max(ljung_box(s, h)?.p_value);
             bp_max = bp_max.max(box_pierce(s, h)?.p_value);
@@ -96,7 +94,7 @@ pub fn activity_analysis_observed(
     // to 185 lags; a weekly order captures the same dynamics on this
     // series and keeps the regression well-conditioned).
     let (adf, kpss) = {
-        let _span = obs.span("analysis.activity.unit_root");
+        let _span = ctx.span("analysis.activity.unit_root");
         let adf = adf_test(s, AdfRegression::ConstantTrend, LagSelection::Fixed(7))?;
         // KPSS confirmation (null: trend-stationarity).
         let kpss =
@@ -105,7 +103,7 @@ pub fn activity_analysis_observed(
     };
 
     // PELT penalty cool-down consensus on the deseasonalized series.
-    let _pelt_span = obs.span("analysis.activity.pelt");
+    let _pelt_span = ctx.span("analysis.activity.pelt");
     let deseason = deseasonalize_weekly(s)?;
     let n = days as f64;
     let cons = pelt_consensus(&deseason, 40.0 * n.ln(), 2.5 * n.ln(), 12, 6, 0.5)?;
@@ -169,8 +167,9 @@ mod tests {
 
     #[test]
     fn activity_report_matches_paper_shape() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
-        let r = activity_analysis(&ds, 60).unwrap();
+        let ctx = AnalysisCtx::quiet();
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
+        let r = activity_analysis(&ds, 60, &ctx).unwrap();
         assert_eq!(r.days, 366);
         // Portmanteau: decisive rejection at every horizon.
         assert!(r.ljung_box_max_p < 1e-6, "LB max p = {}", r.ljung_box_max_p);

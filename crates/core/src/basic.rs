@@ -1,6 +1,8 @@
 //! Section IV-A: basic network analysis.
 
 use crate::dataset::Dataset;
+#[allow(deprecated)]
+pub use crate::compat::basic_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
 use vnet_algos::assortativity::{degree_assortativity, DegreeMode};
@@ -8,7 +10,7 @@ use vnet_algos::clustering::average_local_clustering_sampled;
 use vnet_algos::components::{
     attracting_components, strongly_connected_components, weakly_connected_components,
 };
-use vnet_obs::Obs;
+use vnet_ctx::AnalysisCtx;
 
 /// Results of the paper's basic analysis (its §III/§IV-A in-text numbers).
 #[derive(Debug, Clone, Serialize)]
@@ -46,26 +48,17 @@ pub struct BasicReport {
 
 /// Run the basic analysis. `clustering_samples` bounds the clustering
 /// estimator cost (the paper's exact value is a full pass; sampling is
-/// accurate to ~1/√samples).
+/// accurate to ~1/√samples). Component and clustering sub-spans are
+/// recorded through `ctx`.
 pub fn basic_analysis<R: Rng + ?Sized>(
     dataset: &Dataset,
     clustering_samples: usize,
     rng: &mut R,
-) -> BasicReport {
-    basic_analysis_observed(dataset, clustering_samples, rng, &Obs::noop())
-}
-
-/// [`basic_analysis`] with component and clustering sub-spans recorded
-/// into `obs`.
-pub fn basic_analysis_observed<R: Rng + ?Sized>(
-    dataset: &Dataset,
-    clustering_samples: usize,
-    rng: &mut R,
-    obs: &Obs,
+    ctx: &AnalysisCtx,
 ) -> BasicReport {
     let g = &dataset.graph;
     let (scc, wcc, attracting) = {
-        let _span = obs.span("analysis.basic.components");
+        let _span = ctx.span("analysis.basic.components");
         (
             strongly_connected_components(g),
             weakly_connected_components(g),
@@ -86,7 +79,7 @@ pub fn basic_analysis_observed<R: Rng + ?Sized>(
     sinks.sort_by_key(|s| std::cmp::Reverse(s.0));
 
     let clustering = {
-        let _span = obs.span("analysis.basic.clustering");
+        let _span = ctx.span("analysis.basic.clustering");
         average_local_clustering_sampled(g, clustering_samples, rng)
     };
 
@@ -118,9 +111,10 @@ mod tests {
 
     #[test]
     fn basic_report_matches_paper_shape() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ctx = AnalysisCtx::quiet();
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
         let mut rng = StdRng::seed_from_u64(1);
-        let r = basic_analysis(&ds, 1500, &mut rng);
+        let r = basic_analysis(&ds, 1500, &mut rng, &ctx);
 
         // Sparse but highly connected.
         assert!(r.density < 0.05, "density={}", r.density);

@@ -1,8 +1,10 @@
 //! Section IV-E, Figure 4 and Tables I & II: bio text mining.
 
 use crate::dataset::Dataset;
+#[allow(deprecated)]
+pub use crate::compat::bio_analysis_observed;
 use serde::Serialize;
-use vnet_obs::Obs;
+use vnet_ctx::AnalysisCtx;
 use vnet_textmine::wordcloud::wordcloud_weights;
 use vnet_textmine::NgramCounter;
 
@@ -40,21 +42,17 @@ pub struct BioReport {
 }
 
 /// Mine all bios in the dataset; `k` rows per table (the paper prints 15).
-pub fn bio_analysis(dataset: &Dataset, k: usize) -> BioReport {
-    bio_analysis_observed(dataset, k, &Obs::noop())
-}
-
-/// [`bio_analysis`] with the n-gram counting pass recorded as a sub-span
-/// into `obs`, plus a `text.documents` counter.
-pub fn bio_analysis_observed(dataset: &Dataset, k: usize, obs: &Obs) -> BioReport {
+/// The n-gram counting pass is recorded as a sub-span through `ctx`, plus
+/// a `text.documents` counter.
+pub fn bio_analysis(dataset: &Dataset, k: usize, ctx: &AnalysisCtx) -> BioReport {
     let mut counter = NgramCounter::new();
     {
-        let _span = obs.span("analysis.bios.ngrams");
+        let _span = ctx.span("analysis.bios.ngrams");
         for p in &dataset.profiles {
             counter.add_document(&p.bio);
         }
     }
-    obs.set_counter("text.documents", &[], counter.documents() as u64);
+    ctx.obs().set_counter("text.documents", &[], counter.documents() as u64);
     let to_rows = |v: Vec<vnet_textmine::RankedNgram>| {
         v.into_iter().map(|r| NgramRow { ngram: r.display, occurrences: r.count }).collect()
     };
@@ -76,8 +74,9 @@ mod tests {
 
     #[test]
     fn bio_mining_reproduces_table_headliners() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
-        let r = bio_analysis(&ds, 15);
+        let ctx = AnalysisCtx::quiet();
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
+        let r = bio_analysis(&ds, 15, &ctx);
         assert_eq!(r.documents, ds.profiles.len());
         assert_eq!(r.top_bigrams.len(), 15);
         // Paper Table I rank 1: "Official Twitter", by a clear margin

@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn journalism_dominates_as_in_the_paper() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &vnet_ctx::AnalysisCtx::quiet());
         let r = category_analysis(&ds);
         let total: usize = r.profiles.iter().map(|p| p.count).sum();
         assert_eq!(total, ds.profiles.len());

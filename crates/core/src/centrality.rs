@@ -7,12 +7,13 @@
 //! regression splines drawn over log-log scatter plots.
 
 use crate::dataset::Dataset;
+#[allow(deprecated)]
+pub use crate::compat::centrality_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
-use vnet_algos::betweenness::betweenness_sampled_pool;
-use vnet_algos::pagerank::{pagerank_pool, PageRankConfig};
-use vnet_obs::Obs;
-use vnet_par::ParPool;
+use vnet_algos::betweenness::betweenness_sampled;
+use vnet_algos::pagerank::{pagerank, PageRankConfig};
+use vnet_ctx::AnalysisCtx;
 use vnet_stats::correlation::{pearson, spearman};
 use vnet_stats::spline::PenalizedSpline;
 
@@ -60,47 +61,26 @@ pub struct CentralityReport {
     pub pagerank_iterations: usize,
 }
 
-/// Build Figure 5. `pivots` controls the betweenness sample; `threads`
-/// the Brandes/PageRank fork-join parallelism (the report is bit-identical
-/// at any thread count — see `vnet-par`).
+/// Build Figure 5. `pivots` controls the betweenness sample; both solvers
+/// fan out over `ctx`'s pool (the report is bit-identical at any thread
+/// count — see `vnet-par`). Hot-loop work counters (`algo.pagerank.*`,
+/// `algo.betweenness.*`, `par.*`) and per-solver spans are recorded
+/// through `ctx`.
 pub fn centrality_analysis<R: Rng + ?Sized>(
     dataset: &Dataset,
     pivots: usize,
-    threads: usize,
     rng: &mut R,
-) -> CentralityReport {
-    centrality_analysis_observed(dataset, pivots, &ParPool::new(threads), rng, &Obs::noop())
-}
-
-/// [`centrality_analysis`] with hot-loop work counters
-/// (`algo.pagerank.*`, `algo.betweenness.*`, `par.*`) and per-solver spans
-/// recorded into `obs`. Both solvers fan out over `pool`.
-pub fn centrality_analysis_observed<R: Rng + ?Sized>(
-    dataset: &Dataset,
-    pivots: usize,
-    pool: &ParPool,
-    rng: &mut R,
-    obs: &Obs,
+    ctx: &AnalysisCtx,
 ) -> CentralityReport {
     let g = &dataset.graph;
-    let started = std::time::Instant::now();
-    let (pr, pr_par) = {
-        let _span = obs.span("analysis.centrality.pagerank");
-        pagerank_pool(g, PageRankConfig::default(), pool)
+    let pr = {
+        let _span = ctx.span("analysis.centrality.pagerank");
+        pagerank(g, PageRankConfig::default(), ctx)
     };
-    obs.set_counter("algo.pagerank.iterations", &[], pr.iterations as u64);
-    obs.set_counter("algo.pagerank.edge_relaxations", &[], pr.edge_relaxations);
-    obs.record_par_work("centrality.pagerank", pr_par.tasks, pr_par.steal_free_chunks);
-    obs.observe_par_wall("centrality.pagerank", started.elapsed().as_micros() as u64);
-    let started = std::time::Instant::now();
-    let (bc, bc_stats, bc_par) = {
-        let _span = obs.span("analysis.centrality.betweenness");
-        betweenness_sampled_pool(g, pivots.min(g.node_count()), rng, pool)
+    let bc = {
+        let _span = ctx.span("analysis.centrality.betweenness");
+        betweenness_sampled(g, pivots.min(g.node_count()), rng, ctx)
     };
-    obs.set_counter("algo.betweenness.sources", &[], bc_stats.sources);
-    obs.set_counter("algo.betweenness.edge_relaxations", &[], bc_stats.edge_relaxations);
-    obs.record_par_work("centrality.betweenness", bc_par.tasks, bc_par.steal_free_chunks);
-    obs.observe_par_wall("centrality.betweenness", started.elapsed().as_micros() as u64);
 
     let followers = dataset.followers();
     let listed = dataset.listed();
@@ -171,9 +151,10 @@ mod tests {
 
     #[test]
     fn figure5_correlations_match_paper_directions() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ctx = AnalysisCtx::with_threads(2);
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
         let mut rng = StdRng::seed_from_u64(11);
-        let r = centrality_analysis(&ds, 120, 2, &mut rng);
+        let r = centrality_analysis(&ds, 120, &mut rng, &ctx);
         assert_eq!(r.panels.len(), 6);
         let by_id = |id: &str| r.panels.iter().find(|p| p.id == id).unwrap();
 
@@ -199,9 +180,10 @@ mod tests {
 
     #[test]
     fn spline_trends_upward_for_strong_panels() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ctx = AnalysisCtx::with_threads(2);
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
         let mut rng = StdRng::seed_from_u64(13);
-        let r = centrality_analysis(&ds, 80, 2, &mut rng);
+        let r = centrality_analysis(&ds, 80, &mut rng, &ctx);
         let f = r.panels.iter().find(|p| p.id == "f").unwrap();
         // Paper: followers trend "almost exclusively upwards" with list
         // memberships — compare spline ends.

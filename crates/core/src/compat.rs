@@ -1,0 +1,236 @@
+//! Pre-0.2.0 entrypoints, kept as thin deprecated shims for one release.
+//!
+//! The 0.2.0 API redesign threads one [`AnalysisCtx`] (thread pool +
+//! observability handle) through the pipeline, collapsing every
+//! `foo`/`foo_observed` and `foo`/`foo_pool` pair into a single
+//! context-taking entrypoint. Every shim here delegates to its
+//! replacement — same results, same counters, same spans — and each
+//! module `pub use`s its old names so existing paths keep compiling.
+//! See `docs/API.md` for the full migration table.
+
+#![allow(deprecated)]
+
+use crate::activity::ActivityReport;
+use crate::basic::BasicReport;
+use crate::bios::BioReport;
+use crate::centrality::CentralityReport;
+use crate::dataset::{Dataset, SynthesisConfig};
+use crate::degrees::DegreeReport;
+use crate::eigen::EigenReport;
+use crate::report::{AnalysisOptions, AnalysisReport};
+use crate::separation::SeparationReport;
+use rand::Rng;
+use std::sync::Arc;
+use vnet_ctx::AnalysisCtx;
+use vnet_obs::Obs;
+use vnet_par::ParPool;
+use vnet_powerlaw::FitOptions;
+use vnet_twittersim::{ApiError, FaultPlan};
+
+/// Run every analysis of the paper on `dataset` (serial, unobserved).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_analysis(dataset, opts, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn run_full_analysis(dataset: &Dataset, opts: &AnalysisOptions) -> AnalysisReport {
+    crate::report::run_analysis(dataset, opts, &AnalysisCtx::with_threads(opts.threads))
+}
+
+/// [`run_full_analysis`] recording spans and counters into `obs`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `run_analysis(dataset, opts, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn run_full_analysis_observed(
+    dataset: &Dataset,
+    opts: &AnalysisOptions,
+    obs: &Obs,
+) -> AnalysisReport {
+    let ctx = AnalysisCtx::from_obs(ParPool::new(opts.threads), obs);
+    crate::report::run_analysis(dataset, opts, &ctx)
+}
+
+/// §IV-A basic analysis with sub-spans recorded into `obs`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `basic_analysis(dataset, samples, rng, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn basic_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    clustering_samples: usize,
+    rng: &mut R,
+    obs: &Obs,
+) -> BasicReport {
+    let ctx = AnalysisCtx::from_obs(ParPool::serial(), obs);
+    crate::basic::basic_analysis(dataset, clustering_samples, rng, &ctx)
+}
+
+/// Out-degree power-law analysis, bootstrap fanned out over `pool`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `degree_analysis(dataset, opts, reps, rng, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn degree_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    opts: &FitOptions,
+    bootstrap_reps: usize,
+    pool: &ParPool,
+    rng: &mut R,
+    obs: &Obs,
+) -> vnet_powerlaw::Result<DegreeReport> {
+    let ctx = AnalysisCtx::from_obs(*pool, obs);
+    crate::degrees::degree_analysis(dataset, opts, bootstrap_reps, rng, &ctx)
+}
+
+/// Laplacian eigenvalue analysis, Lanczos and bootstrap over `pool`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `eigen_analysis(dataset, k, steps, opts, reps, rng, &AnalysisCtx)`; see docs/API.md"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn eigen_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    k: usize,
+    lanczos_steps: usize,
+    opts: &FitOptions,
+    bootstrap_reps: usize,
+    pool: &ParPool,
+    rng: &mut R,
+    obs: &Obs,
+) -> vnet_powerlaw::Result<EigenReport> {
+    let ctx = AnalysisCtx::from_obs(*pool, obs);
+    crate::eigen::eigen_analysis(dataset, k, lanczos_steps, opts, bootstrap_reps, rng, &ctx)
+}
+
+/// Degrees-of-separation analysis, BFS sweep over `pool`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `separation_analysis(dataset, sources, rng, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn separation_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    sources: usize,
+    pool: &ParPool,
+    rng: &mut R,
+    obs: &Obs,
+) -> SeparationReport {
+    let ctx = AnalysisCtx::from_obs(*pool, obs);
+    crate::separation::separation_analysis(dataset, sources, rng, &ctx)
+}
+
+/// Bio mining with the n-gram pass recorded into `obs`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `bio_analysis(dataset, k, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn bio_analysis_observed(dataset: &Dataset, k: usize, obs: &Obs) -> BioReport {
+    let ctx = AnalysisCtx::from_obs(ParPool::serial(), obs);
+    crate::bios::bio_analysis(dataset, k, &ctx)
+}
+
+/// Figure 5 centrality analysis, both solvers over `pool`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `centrality_analysis(dataset, pivots, rng, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn centrality_analysis_observed<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    pivots: usize,
+    pool: &ParPool,
+    rng: &mut R,
+    obs: &Obs,
+) -> CentralityReport {
+    let ctx = AnalysisCtx::from_obs(*pool, obs);
+    crate::centrality::centrality_analysis(dataset, pivots, rng, &ctx)
+}
+
+/// Section V activity battery with sub-spans recorded into `obs`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `activity_analysis(dataset, lag_cap, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn activity_analysis_observed(
+    dataset: &Dataset,
+    lag_cap: usize,
+    obs: &Obs,
+) -> vnet_timeseries::Result<ActivityReport> {
+    let ctx = AnalysisCtx::from_obs(ParPool::serial(), obs);
+    crate::activity::activity_analysis(dataset, lag_cap, &ctx)
+}
+
+impl Dataset {
+    /// Synthesize a dataset end-to-end (unobserved).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dataset::build(config, &AnalysisCtx)`; see docs/API.md"
+    )]
+    pub fn synthesize(config: &SynthesisConfig) -> Dataset {
+        Dataset::build(config, &AnalysisCtx::quiet())
+    }
+
+    /// [`Dataset::synthesize`] with the pipeline instrumented into `obs`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dataset::build(config, &AnalysisCtx)`; see docs/API.md"
+    )]
+    pub fn synthesize_observed(config: &SynthesisConfig, obs: &Arc<Obs>) -> Dataset {
+        Dataset::build(config, &AnalysisCtx::new(ParPool::serial(), Arc::clone(obs)))
+    }
+
+    /// Synthesize through a fault plan (unobserved), surfacing the raw
+    /// [`ApiError`] on abort.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dataset::build_with_faults(config, plan, &AnalysisCtx)`; see docs/API.md"
+    )]
+    pub fn synthesize_with_faults(
+        config: &SynthesisConfig,
+        plan: &FaultPlan,
+    ) -> Result<Dataset, ApiError> {
+        Dataset::build_with_faults_inner(config, plan, &AnalysisCtx::quiet())
+            .map_err(|(error, _passes)| error)
+    }
+
+    /// [`Dataset::synthesize_with_faults`] instrumented into `obs`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Dataset::build_with_faults(config, plan, &AnalysisCtx)`; see docs/API.md"
+    )]
+    pub fn synthesize_with_faults_observed(
+        config: &SynthesisConfig,
+        plan: &FaultPlan,
+        obs: &Arc<Obs>,
+    ) -> Result<Dataset, ApiError> {
+        let ctx = AnalysisCtx::new(ParPool::serial(), Arc::clone(obs));
+        Dataset::build_with_faults_inner(config, plan, &ctx).map_err(|(error, _passes)| error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The deprecation contract: every shim delegates to its replacement
+    /// and produces identical bytes.
+    #[test]
+    fn shimmed_driver_matches_ctx_driver() {
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+        let opts = AnalysisOptions::quick();
+        let old = run_full_analysis(&ds, &opts);
+        let new = crate::report::run_analysis(&ds, &opts, &AnalysisCtx::with_threads(opts.threads));
+        assert_eq!(
+            serde_json::to_string(&old).unwrap(),
+            serde_json::to_string(&new).unwrap(),
+            "deprecated shim diverged from the ctx entrypoint"
+        );
+    }
+
+    #[test]
+    fn shimmed_synthesize_matches_build() {
+        let a = Dataset::synthesize(&SynthesisConfig::small());
+        let b = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.profiles, b.profiles);
+        assert_eq!(a.activity, b.activity);
+    }
+}

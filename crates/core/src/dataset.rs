@@ -1,14 +1,14 @@
 //! The analysis dataset (paper Section III) and its synthesis.
 
+use crate::error::VnetError;
 use serde::Serialize;
-use std::sync::Arc;
+use vnet_ctx::AnalysisCtx;
 use vnet_graph::DiGraph;
-use vnet_obs::Obs;
 use vnet_synth::VerifiedNetConfig;
 use vnet_timeseries::Date;
 use vnet_twittersim::{
-    ActivityConfig, CrawlOutcome, CrawlStats, Crawler, FaultPlan, Firehose, RateLimitPolicy,
-    SimClock, Society, SocietyConfig, TwitterApi, UserProfile,
+    ActivityConfig, ApiError, CrawlOutcome, CrawlStats, Crawler, FaultPlan, Firehose,
+    RateLimitPolicy, SimClock, Society, SocietyConfig, TwitterApi, UserProfile,
 };
 
 /// How to synthesize a dataset: society scale plus crawl/firehose knobs.
@@ -115,15 +115,11 @@ pub struct DatasetSummary {
 impl Dataset {
     /// Synthesize a dataset end-to-end: generate the society, crawl it
     /// through the simulated API exactly as Section III describes, and
-    /// attach the firehose activity series.
-    pub fn synthesize(config: &SynthesisConfig) -> Dataset {
-        Self::synthesize_observed(config, &Obs::noop())
-    }
-
-    /// [`Dataset::synthesize`] with the pipeline instrumented: the API and
-    /// crawler report per-endpoint counters and spans into `obs`, and the
-    /// final [`CrawlStats`] are exported as absolute `crawl.*` counters.
-    pub fn synthesize_observed(config: &SynthesisConfig, obs: &Arc<Obs>) -> Dataset {
+    /// attach the firehose activity series. The API and crawler report
+    /// per-endpoint counters and spans through `ctx`, and the final
+    /// [`CrawlStats`] are exported as absolute `crawl.*` counters.
+    pub fn build(config: &SynthesisConfig, ctx: &AnalysisCtx) -> Dataset {
+        let obs = ctx.obs_handle();
         let society = {
             let _span = obs.span("synthesize.society");
             Society::generate(&config.society)
@@ -143,7 +139,7 @@ impl Dataset {
             let _span = obs.span("synthesize.firehose");
             Firehose::new(&society, config.activity).activity_values()
         };
-        crawl.stats.export_metrics(obs);
+        crawl.stats.export_metrics(&obs);
         Dataset {
             graph: crawl.graph,
             profiles: crawl.profiles,
@@ -155,28 +151,33 @@ impl Dataset {
     }
 
     /// Synthesize a dataset through a fault plan: same pipeline as
-    /// [`Dataset::synthesize`], but the API injects the plan's faults and
-    /// the crawl runs the churn-hardened multi-pass
+    /// [`Dataset::build`], but the API injects the plan's faults and the
+    /// crawl runs the churn-hardened multi-pass
     /// [`Crawler::crawl_resumable`]. Both complete and degraded crawls are
     /// accepted — the distinction (and the plan seed, which replays the
     /// crawl exactly) is recorded in [`Dataset::provenance`]. Aborted
-    /// crawls (non-healing plans can exhaust the retry budget) return the
-    /// error instead.
-    pub fn synthesize_with_faults(
+    /// crawls (non-healing plans can exhaust the retry budget) surface as
+    /// [`VnetError::CrawlAborted`] carrying the pass count from the final
+    /// checkpoint. Additionally exports the fault tally as
+    /// `faults.injected{kind}` counters.
+    pub fn build_with_faults(
         config: &SynthesisConfig,
         plan: &FaultPlan,
-    ) -> Result<Dataset, vnet_twittersim::ApiError> {
-        Self::synthesize_with_faults_observed(config, plan, &Obs::noop())
+        ctx: &AnalysisCtx,
+    ) -> crate::error::Result<Dataset> {
+        Self::build_with_faults_inner(config, plan, ctx)
+            .map_err(|(error, passes)| VnetError::CrawlAborted { passes, error })
     }
 
-    /// [`Dataset::synthesize_with_faults`] with the pipeline instrumented
-    /// (see [`Dataset::synthesize_observed`]); additionally exports the
-    /// fault tally as `faults.injected{kind}` counters.
-    pub fn synthesize_with_faults_observed(
+    /// Shared body of [`Dataset::build_with_faults`] and the deprecated
+    /// `synthesize_with_faults*` shims (which surface the raw [`ApiError`]
+    /// and drop the pass count).
+    pub(crate) fn build_with_faults_inner(
         config: &SynthesisConfig,
         plan: &FaultPlan,
-        obs: &Arc<Obs>,
-    ) -> Result<Dataset, vnet_twittersim::ApiError> {
+        ctx: &AnalysisCtx,
+    ) -> Result<Dataset, (ApiError, usize)> {
+        let obs = ctx.obs_handle();
         let society = {
             let _span = obs.span("synthesize.society");
             Society::generate(&config.society)
@@ -196,13 +197,15 @@ impl Dataset {
                 (ds, false, passes)
             }
             CrawlOutcome::Degraded { dataset, passes, .. } => (dataset, true, passes),
-            CrawlOutcome::Aborted { error, .. } => return Err(error),
+            CrawlOutcome::Aborted { error, checkpoint } => {
+                return Err((error, checkpoint.pass));
+            }
         };
         let activity = {
             let _span = obs.span("synthesize.firehose");
             Firehose::new(&society, config.activity).activity_values()
         };
-        crawl.stats.export_metrics(obs);
+        crawl.stats.export_metrics(&obs);
         Ok(Dataset {
             graph: crawl.graph,
             profiles: crawl.profiles,
@@ -211,6 +214,29 @@ impl Dataset {
             crawl_stats: crawl.stats,
             provenance: DatasetProvenance::FaultInjected { seed: plan.seed(), degraded, passes },
         })
+    }
+
+    /// Content fingerprint of the analysis-relevant payload: graph bytes,
+    /// profiles, activity series, and start date. Crawl telemetry and
+    /// provenance are deliberately excluded, so a dataset saved and
+    /// reloaded from disk fingerprints identically to the crawl that
+    /// produced it. This is the dataset half of the `vnet-serve` result
+    /// cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut graph_bytes = Vec::new();
+        vnet_graph::io::write_binary(&self.graph, &mut graph_bytes)
+            .expect("in-memory graph serialization cannot fail");
+        let g = vnet_obs::fingerprint_bytes(&graph_bytes);
+        let p = vnet_obs::fingerprint_str(
+            &serde_json::to_string(&self.profiles).expect("profiles serialize"),
+        );
+        let a = vnet_obs::fingerprint_str(
+            &serde_json::to_string(&self.activity).expect("activity serializes"),
+        );
+        vnet_obs::fingerprint_str(&format!(
+            "vnet-dataset-v1:{g:016x}:{p:016x}:{a:016x}:{}",
+            self.activity_start
+        ))
     }
 
     /// Assemble a dataset from parts (e.g. loaded from disk).
@@ -278,7 +304,7 @@ mod tests {
 
     #[test]
     fn synthesize_small_dataset() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
         let s = ds.summary();
         assert!(s.users > 2_500 && s.users < 4_000, "users={}", s.users);
         assert!(s.edges > 10_000);
@@ -290,7 +316,7 @@ mod tests {
 
     #[test]
     fn summary_names_the_champion() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
         let s = ds.summary();
         // The global max-out-degree handle is 6BillionPeople; it is English
         // in the default seed, so it survives the filter and stays champion
@@ -309,7 +335,7 @@ mod tests {
             ..SynthesisConfig::small()
         };
         let plan = FaultPlan::generate(7);
-        let faulty = Dataset::synthesize_with_faults(&config, &plan).unwrap();
+        let faulty = Dataset::build_with_faults(&config, &plan, &AnalysisCtx::quiet()).unwrap();
         match faulty.provenance {
             DatasetProvenance::FaultInjected { seed, degraded, passes } => {
                 assert_eq!(seed, 7);
@@ -318,10 +344,22 @@ mod tests {
             }
             other => panic!("wrong provenance: {other:?}"),
         }
-        let clean = Dataset::synthesize(&SynthesisConfig::small());
+        let clean = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
         assert_eq!(clean.provenance, DatasetProvenance::Synthesized);
         assert_eq!(faulty.graph, clean.graph);
         assert_eq!(faulty.profiles, clean.profiles);
+        // The fingerprint hashes payload, not provenance: the converged
+        // faulty crawl is indistinguishable from the clean one.
+        assert_eq!(faulty.fingerprint(), clean.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+        assert_eq!(ds.fingerprint(), ds.fingerprint());
+        let mut tweaked = ds.clone();
+        tweaked.activity[0] += 1.0;
+        assert_ne!(ds.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

@@ -2,12 +2,13 @@
 //! distributions and the out-degree power law.
 
 use crate::dataset::Dataset;
+#[allow(deprecated)]
+pub use crate::compat::degree_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
-use vnet_obs::Obs;
-use vnet_par::ParPool;
+use vnet_ctx::AnalysisCtx;
 use vnet_powerlaw::vuong::{vuong_discrete, Alternative};
-use vnet_powerlaw::{bootstrap_pvalue_discrete_par, fit_discrete, DiscreteFit, FitOptions};
+use vnet_powerlaw::{bootstrap_pvalue_discrete, fit_discrete, DiscreteFit, FitOptions};
 use vnet_stats::histogram::LogHistogram;
 
 /// One log-binned marginal of Figure 1.
@@ -89,45 +90,29 @@ pub struct DegreeReport {
     pub vuong: Vec<VuongRow>,
 }
 
-/// Run the out-degree power-law analysis.
+/// Run the out-degree power-law analysis, the bootstrap replicates fanned
+/// out over `ctx`'s pool.
+///
+/// The bootstrap draws exactly one `u64` from `rng` (a per-call seed) and
+/// splits an independent stream per replicate, so the p-value — and the
+/// downstream `rng` state — are identical at any thread count.
 pub fn degree_analysis<R: Rng + ?Sized>(
     dataset: &Dataset,
     opts: &FitOptions,
     bootstrap_reps: usize,
     rng: &mut R,
-) -> vnet_powerlaw::Result<DegreeReport> {
-    degree_analysis_observed(dataset, opts, bootstrap_reps, &ParPool::serial(), rng, &Obs::noop())
-}
-
-/// [`degree_analysis`] with MLE and bootstrap sub-spans recorded into
-/// `obs`, the bootstrap replicates fanned out over `pool`.
-///
-/// The bootstrap draws exactly one `u64` from `rng` (a per-call seed) and
-/// splits an independent stream per replicate, so the p-value — and the
-/// downstream `rng` state — are identical at any thread count.
-pub fn degree_analysis_observed<R: Rng + ?Sized>(
-    dataset: &Dataset,
-    opts: &FitOptions,
-    bootstrap_reps: usize,
-    pool: &ParPool,
-    rng: &mut R,
-    obs: &Obs,
+    ctx: &AnalysisCtx,
 ) -> vnet_powerlaw::Result<DegreeReport> {
     let degrees: Vec<u64> =
         dataset.graph.out_degrees().into_iter().filter(|&d| d > 0).collect();
     let fit: DiscreteFit = {
-        let _span = obs.span("analysis.degrees.mle");
+        let _span = ctx.span("analysis.degrees.mle");
         fit_discrete(&degrees, opts)?
     };
     let gof_p = if bootstrap_reps > 0 {
-        let _span = obs.span("analysis.degrees.bootstrap");
-        let started = std::time::Instant::now();
+        let _span = ctx.span("analysis.degrees.bootstrap");
         let boot_seed: u64 = rng.random();
-        let (p, par) =
-            bootstrap_pvalue_discrete_par(&degrees, &fit, bootstrap_reps, opts, boot_seed, pool)?;
-        obs.record_par_work("degrees.bootstrap", par.tasks, par.steal_free_chunks);
-        obs.observe_par_wall("degrees.bootstrap", started.elapsed().as_micros() as u64);
-        p
+        bootstrap_pvalue_discrete(&degrees, &fit, bootstrap_reps, opts, boot_seed, ctx)?
     } else {
         f64::NAN
     };
@@ -166,7 +151,7 @@ mod tests {
 
     #[test]
     fn figure1_marginals_cover_all_users() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
         let fig = figure1(&ds, 30);
         assert_eq!(fig.marginals.len(), 4);
         for m in &fig.marginals {
@@ -181,9 +166,10 @@ mod tests {
 
     #[test]
     fn degree_analysis_finds_power_law_that_beats_alternatives() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ctx = AnalysisCtx::quiet();
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
         let mut rng = StdRng::seed_from_u64(5);
-        let r = degree_analysis(&ds, &quick_opts(), 0, &mut rng).unwrap();
+        let r = degree_analysis(&ds, &quick_opts(), 0, &mut rng, &ctx).unwrap();
         // Exponent in the paper's neighbourhood (generator truth 3.24).
         assert!(r.alpha > 2.2 && r.alpha < 4.5, "alpha={}", r.alpha);
         assert!(r.n_tail >= 30);

@@ -105,7 +105,7 @@ mod tests {
 
     #[test]
     fn every_paper_deviation_reproduces() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &vnet_ctx::AnalysisCtx::quiet());
         let mut rng = StdRng::seed_from_u64(31);
         let r = deviation_analysis(&ds, 60, &mut rng);
         assert_eq!(r.rows.len(), 5);

@@ -1,13 +1,14 @@
 //! Section IV-B (continuous half): the Laplacian eigenvalue power law.
 
 use crate::dataset::Dataset;
+#[allow(deprecated)]
+pub use crate::compat::eigen_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
-use vnet_obs::Obs;
-use vnet_par::ParPool;
+use vnet_ctx::AnalysisCtx;
 use vnet_powerlaw::vuong::{vuong_continuous, Alternative};
-use vnet_powerlaw::{bootstrap_pvalue_continuous_par, fit_continuous, FitOptions};
-use vnet_spectral::{lanczos_topk_pool, SymLaplacian};
+use vnet_powerlaw::{bootstrap_pvalue_continuous, fit_continuous, FitOptions};
+use vnet_spectral::{lanczos_topk, SymLaplacian};
 
 /// Eigenvalue analysis results (paper: α = 3.18, xmin = 9377.26, p = 0.3).
 #[derive(Debug, Clone, Serialize)]
@@ -35,7 +36,11 @@ pub struct EigenReport {
 /// The paper computes the top 10,000 eigenvalues at 231k nodes and
 /// "discard\[s\] most of the smaller eigenvalues" for numerical reasons; at
 /// reproduction scale `k` defaults to ~400 with the same top-of-spectrum
-/// logic.
+/// logic. The Lanczos matvec and the bootstrap replicates fan out over
+/// `ctx`'s pool; like every `vnet-par` stage, both are bit-identical at
+/// any thread count (the bootstrap draws one seed from `rng` and splits a
+/// stream per replicate). Solver counters (`algo.lanczos.*`) and sub-spans
+/// are recorded through `ctx`.
 pub fn eigen_analysis<R: Rng + ?Sized>(
     dataset: &Dataset,
     k: usize,
@@ -43,61 +48,22 @@ pub fn eigen_analysis<R: Rng + ?Sized>(
     opts: &FitOptions,
     bootstrap_reps: usize,
     rng: &mut R,
-) -> vnet_powerlaw::Result<EigenReport> {
-    eigen_analysis_observed(
-        dataset,
-        k,
-        lanczos_steps,
-        opts,
-        bootstrap_reps,
-        &ParPool::serial(),
-        rng,
-        &Obs::noop(),
-    )
-}
-
-/// [`eigen_analysis`] with the Lanczos solve and fit instrumented:
-/// `algo.lanczos.*` and `par.*` work counters plus sub-spans recorded into
-/// `obs`. The Lanczos matvec and the bootstrap replicates fan out over
-/// `pool`; like every `vnet-par` stage, both are bit-identical at any
-/// thread count (the bootstrap draws one seed from `rng` and splits a
-/// stream per replicate).
-#[allow(clippy::too_many_arguments)]
-pub fn eigen_analysis_observed<R: Rng + ?Sized>(
-    dataset: &Dataset,
-    k: usize,
-    lanczos_steps: usize,
-    opts: &FitOptions,
-    bootstrap_reps: usize,
-    pool: &ParPool,
-    rng: &mut R,
-    obs: &Obs,
+    ctx: &AnalysisCtx,
 ) -> vnet_powerlaw::Result<EigenReport> {
     let lap = SymLaplacian::from_digraph(&dataset.graph);
-    let started = std::time::Instant::now();
-    let (eigenvalues, lanczos_stats, lanczos_par) = {
-        let _span = obs.span("analysis.eigen.lanczos");
-        lanczos_topk_pool(&lap, k, lanczos_steps, rng, pool)
+    let eigenvalues = {
+        let _span = ctx.span("analysis.eigen.lanczos");
+        lanczos_topk(&lap, k, lanczos_steps, rng, ctx)
     };
-    obs.set_counter("algo.lanczos.matvecs", &[], lanczos_stats.matvecs);
-    obs.set_counter("algo.lanczos.reorth_projections", &[], lanczos_stats.reorth_projections);
-    obs.set_counter("algo.lanczos.restarts", &[], lanczos_stats.restarts);
-    obs.record_par_work("eigen.lanczos", lanczos_par.tasks, lanczos_par.steal_free_chunks);
-    obs.observe_par_wall("eigen.lanczos", started.elapsed().as_micros() as u64);
     let positive: Vec<f64> = eigenvalues.iter().copied().filter(|&x| x > 1e-9).collect();
     let fit = {
-        let _span = obs.span("analysis.eigen.fit");
+        let _span = ctx.span("analysis.eigen.fit");
         fit_continuous(&positive, opts)?
     };
     let gof_p = if bootstrap_reps > 0 {
-        let _span = obs.span("analysis.eigen.bootstrap");
-        let started = std::time::Instant::now();
+        let _span = ctx.span("analysis.eigen.bootstrap");
         let boot_seed: u64 = rng.random();
-        let (p, par) =
-            bootstrap_pvalue_continuous_par(&positive, &fit, bootstrap_reps, opts, boot_seed, pool)?;
-        obs.record_par_work("eigen.bootstrap", par.tasks, par.steal_free_chunks);
-        obs.observe_par_wall("eigen.bootstrap", started.elapsed().as_micros() as u64);
-        p
+        bootstrap_pvalue_continuous(&positive, &fit, bootstrap_reps, opts, boot_seed, ctx)?
     } else {
         f64::NAN
     };
@@ -132,10 +98,11 @@ mod tests {
 
     #[test]
     fn eigen_spectrum_tail_is_power_law_like() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ctx = AnalysisCtx::quiet();
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
         let mut rng = StdRng::seed_from_u64(9);
         let opts = FitOptions { xmin: XminStrategy::Quantiles(30), min_tail: 25 };
-        let r = eigen_analysis(&ds, 150, 220, &opts, 0, &mut rng).unwrap();
+        let r = eigen_analysis(&ds, 150, 220, &opts, 0, &mut rng, &ctx).unwrap();
         assert_eq!(r.eigenvalues.len(), 150);
         // Descending, nonnegative.
         for w in r.eigenvalues.windows(2) {

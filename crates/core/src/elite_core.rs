@@ -115,7 +115,7 @@ mod tests {
         // conjecture is a tail phenomenon and needs a core of hundreds of
         // members to rise above sampling noise (at 4k nodes the innermost
         // core holds only ~100 users).
-        let ds = Dataset::synthesize(&SynthesisConfig::default());
+        let ds = Dataset::build(&SynthesisConfig::default(), &vnet_ctx::AnalysisCtx::quiet());
         let r = elite_core_analysis(&ds);
         assert!(r.degeneracy >= 3, "degeneracy {}", r.degeneracy);
         assert!(r.bands.len() >= 3);
@@ -141,7 +141,7 @@ mod tests {
 
     #[test]
     fn bands_cover_whole_graph_at_zero_threshold() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &vnet_ctx::AnalysisCtx::quiet());
         let r = elite_core_analysis(&ds);
         assert_eq!(r.bands[0].members, ds.graph.node_count());
         assert!((r.bands[0].reciprocity - r.overall_reciprocity).abs() < 1e-12);

@@ -1,0 +1,191 @@
+//! The workspace-wide error type.
+//!
+//! Before 0.2.0 every layer surfaced failures its own way: `graph::io`
+//! returned stringly parse errors, `core::io` had a private `IoError`,
+//! the fault-injected crawl leaked raw [`vnet_twittersim::ApiError`]s,
+//! and the analysis drivers panicked. [`VnetError`] unifies all of them
+//! behind one `std::error::Error` enum that the analysis service
+//! (`vnet-serve`) can also ship over the wire as a structured
+//! `{code, message}` reply — see [`VnetError::code`].
+
+use crate::section::Section;
+
+/// Every way the verified-net pipeline can fail.
+#[derive(Debug)]
+pub enum VnetError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Graph construction or (de)serialization failure.
+    Graph(vnet_graph::GraphError),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// The simulated Twitter API refused a request.
+    Api(vnet_twittersim::ApiError),
+    /// A fault-injected crawl exhausted its retry budget and aborted.
+    CrawlAborted {
+        /// Crawl passes completed before the abort.
+        passes: usize,
+        /// The terminal API error.
+        error: vnet_twittersim::ApiError,
+    },
+    /// A dataset bundle's components disagree (e.g. profile count ≠ node
+    /// count).
+    Inconsistent(String),
+    /// An analysis section failed (estimator preconditions, fit failures).
+    Analysis {
+        /// The section that failed.
+        section: Section,
+        /// What went wrong.
+        message: String,
+    },
+    /// A malformed service request.
+    BadRequest(String),
+    /// The service has no snapshot registered under this name.
+    UnknownSnapshot(String),
+    /// No analysis section has this id.
+    UnknownSection(String),
+    /// The service's bounded in-flight queue is full.
+    QueueFull {
+        /// Requests currently in flight.
+        in_flight: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A service request exceeded its deadline.
+    Timeout {
+        /// The deadline that elapsed.
+        millis: u64,
+    },
+    /// The service is draining and refuses new work.
+    ShuttingDown,
+}
+
+impl VnetError {
+    /// Stable machine-readable code, used as the `error.code` field of the
+    /// `vnet-serve` wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            VnetError::Io(_) => "io",
+            VnetError::Graph(_) => "graph",
+            VnetError::Json(_) => "json",
+            VnetError::Api(_) => "api",
+            VnetError::CrawlAborted { .. } => "crawl_aborted",
+            VnetError::Inconsistent(_) => "inconsistent",
+            VnetError::Analysis { .. } => "analysis",
+            VnetError::BadRequest(_) => "bad_request",
+            VnetError::UnknownSnapshot(_) => "unknown_snapshot",
+            VnetError::UnknownSection(_) => "unknown_section",
+            VnetError::QueueFull { .. } => "queue_full",
+            VnetError::Timeout { .. } => "timeout",
+            VnetError::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+impl std::fmt::Display for VnetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VnetError::Io(e) => write!(f, "io: {e}"),
+            VnetError::Graph(e) => write!(f, "graph: {e}"),
+            VnetError::Json(e) => write!(f, "json: {e}"),
+            VnetError::Api(e) => write!(f, "api: {e}"),
+            VnetError::CrawlAborted { passes, error } => {
+                write!(f, "crawl aborted after {passes} pass(es): {error}")
+            }
+            VnetError::Inconsistent(m) => write!(f, "inconsistent bundle: {m}"),
+            VnetError::Analysis { section, message } => {
+                write!(f, "analysis section '{}' failed: {message}", section.id())
+            }
+            VnetError::BadRequest(m) => write!(f, "bad request: {m}"),
+            VnetError::UnknownSnapshot(name) => write!(f, "unknown snapshot '{name}'"),
+            VnetError::UnknownSection(id) => write!(f, "unknown section '{id}'"),
+            VnetError::QueueFull { in_flight, limit } => {
+                write!(f, "queue full: {in_flight} in flight (limit {limit})")
+            }
+            VnetError::Timeout { millis } => write!(f, "timed out after {millis} ms"),
+            VnetError::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for VnetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VnetError::Io(e) => Some(e),
+            VnetError::Graph(e) => Some(e),
+            VnetError::Json(e) => Some(e),
+            VnetError::Api(e) => Some(e),
+            VnetError::CrawlAborted { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for VnetError {
+    fn from(e: std::io::Error) -> Self {
+        VnetError::Io(e)
+    }
+}
+impl From<vnet_graph::GraphError> for VnetError {
+    fn from(e: vnet_graph::GraphError) -> Self {
+        VnetError::Graph(e)
+    }
+}
+impl From<serde_json::Error> for VnetError {
+    fn from(e: serde_json::Error) -> Self {
+        VnetError::Json(e)
+    }
+}
+impl From<vnet_twittersim::ApiError> for VnetError {
+    fn from(e: vnet_twittersim::ApiError) -> Self {
+        VnetError::Api(e)
+    }
+}
+
+/// Pre-0.2.0 name of the dataset-persistence error type, now folded into
+/// [`VnetError`]. Variant paths (`IoError::Io(..)`) keep compiling through
+/// the alias.
+#[deprecated(since = "0.2.0", note = "use `VnetError`; see docs/API.md")]
+pub type IoError = VnetError;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, VnetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            VnetError::Io(std::io::Error::other("x")),
+            VnetError::Inconsistent("x".into()),
+            VnetError::BadRequest("x".into()),
+            VnetError::UnknownSnapshot("x".into()),
+            VnetError::UnknownSection("x".into()),
+            VnetError::QueueFull { in_flight: 4, limit: 4 },
+            VnetError::Timeout { millis: 10 },
+            VnetError::ShuttingDown,
+        ];
+        let mut codes: Vec<&str> = errors.iter().map(|e| e.code()).collect();
+        let n = codes.len();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate error codes");
+    }
+
+    #[test]
+    fn source_chains_through_wrappers() {
+        use std::error::Error as _;
+        let e = VnetError::from(std::io::Error::other("disk on fire"));
+        assert!(e.source().is_some());
+        assert_eq!(e.code(), "io");
+        assert!(e.to_string().contains("disk on fire"));
+        let aborted = VnetError::CrawlAborted {
+            passes: 3,
+            error: vnet_twittersim::ApiError::ServerError,
+        };
+        assert!(aborted.source().is_some());
+        assert!(aborted.to_string().contains("3 pass"));
+    }
+}

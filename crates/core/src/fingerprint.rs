@@ -43,7 +43,12 @@ impl NetworkFingerprint {
             Ok(fit) => (fit.alpha, fit.ks),
             Err(_) => (f64::NAN, 1.0),
         };
-        let d = distance_distribution(g, SourceSpec::Sampled(sources), rng);
+        let d = distance_distribution(
+            g,
+            SourceSpec::Sampled(sources),
+            rng,
+            &vnet_ctx::AnalysisCtx::quiet(),
+        );
         let attracting = vnet_algos::components::attracting_components(g).len();
         Self {
             out_alpha,

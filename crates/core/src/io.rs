@@ -14,52 +14,11 @@
 //! ```
 
 use crate::dataset::Dataset;
+use crate::error::VnetError;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use vnet_timeseries::Date;
 use vnet_twittersim::UserProfile;
-
-/// Errors from dataset persistence.
-#[derive(Debug)]
-pub enum IoError {
-    /// Filesystem failure.
-    Io(std::io::Error),
-    /// Graph (de)serialization failure.
-    Graph(vnet_graph::GraphError),
-    /// JSON (de)serialization failure.
-    Json(serde_json::Error),
-    /// The bundle's components disagree (e.g. profile count ≠ node count).
-    Inconsistent(String),
-}
-
-impl std::fmt::Display for IoError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            IoError::Io(e) => write!(f, "io: {e}"),
-            IoError::Graph(e) => write!(f, "graph: {e}"),
-            IoError::Json(e) => write!(f, "json: {e}"),
-            IoError::Inconsistent(m) => write!(f, "inconsistent bundle: {m}"),
-        }
-    }
-}
-
-impl std::error::Error for IoError {}
-
-impl From<std::io::Error> for IoError {
-    fn from(e: std::io::Error) -> Self {
-        IoError::Io(e)
-    }
-}
-impl From<vnet_graph::GraphError> for IoError {
-    fn from(e: vnet_graph::GraphError) -> Self {
-        IoError::Graph(e)
-    }
-}
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
-        IoError::Json(e)
-    }
-}
 
 #[derive(Serialize, Deserialize)]
 struct ActivityBundle {
@@ -68,7 +27,7 @@ struct ActivityBundle {
 }
 
 /// Save `dataset` into `dir` (created if missing).
-pub fn save_dataset<P: AsRef<Path>>(dataset: &Dataset, dir: P) -> Result<(), IoError> {
+pub fn save_dataset<P: AsRef<Path>>(dataset: &Dataset, dir: P) -> crate::error::Result<()> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     vnet_graph::io::save(&dataset.graph, dir.join("graph.vng"))?;
@@ -83,13 +42,13 @@ pub fn save_dataset<P: AsRef<Path>>(dataset: &Dataset, dir: P) -> Result<(), IoE
 }
 
 /// Load a dataset bundle from `dir`.
-pub fn load_dataset<P: AsRef<Path>>(dir: P) -> Result<Dataset, IoError> {
+pub fn load_dataset<P: AsRef<Path>>(dir: P) -> crate::error::Result<Dataset> {
     let dir = dir.as_ref();
     let graph = vnet_graph::io::load(dir.join("graph.vng"))?;
     let profiles: Vec<UserProfile> =
         serde_json::from_slice(&std::fs::read(dir.join("profiles.json"))?)?;
     if profiles.len() != graph.node_count() {
-        return Err(IoError::Inconsistent(format!(
+        return Err(VnetError::Inconsistent(format!(
             "{} profiles vs {} nodes",
             profiles.len(),
             graph.node_count()
@@ -104,6 +63,7 @@ pub fn load_dataset<P: AsRef<Path>>(dir: P) -> Result<Dataset, IoError> {
 mod tests {
     use super::*;
     use crate::dataset::SynthesisConfig;
+    use vnet_ctx::AnalysisCtx;
 
     fn tmp_dir(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("verified_net_io").join(name);
@@ -113,7 +73,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_everything() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
         let dir = tmp_dir("roundtrip");
         save_dataset(&ds, &dir).unwrap();
         let loaded = load_dataset(&dir).unwrap();
@@ -121,12 +81,15 @@ mod tests {
         assert_eq!(loaded.profiles, ds.profiles);
         assert_eq!(loaded.activity, ds.activity);
         assert_eq!(loaded.activity_start, ds.activity_start);
+        // The serve cache keys on this: a reloaded bundle must fingerprint
+        // identically to the dataset that produced it.
+        assert_eq!(loaded.fingerprint(), ds.fingerprint());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn inconsistent_bundle_rejected() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
         let dir = tmp_dir("inconsistent");
         save_dataset(&ds, &dir).unwrap();
         // Corrupt: drop one profile.
@@ -135,7 +98,7 @@ mod tests {
         profiles.pop();
         std::fs::write(dir.join("profiles.json"), serde_json::to_vec(&profiles).unwrap())
             .unwrap();
-        assert!(matches!(load_dataset(&dir), Err(IoError::Inconsistent(_))));
+        assert!(matches!(load_dataset(&dir), Err(VnetError::Inconsistent(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -143,7 +106,7 @@ mod tests {
     fn missing_directory_is_io_error() {
         assert!(matches!(
             load_dataset("/nonexistent/vnet/bundle"),
-            Err(IoError::Io(_)) | Err(IoError::Graph(_))
+            Err(VnetError::Io(_)) | Err(VnetError::Graph(_))
         ));
     }
 }

@@ -25,14 +25,22 @@
 //! ## Quick start
 //!
 //! ```no_run
-//! use verified_net::{Dataset, AnalysisOptions};
+//! use verified_net::{AnalysisCtx, AnalysisOptions, Dataset};
 //!
+//! // One context carries the thread pool and observability handle.
+//! let ctx = AnalysisCtx::with_threads(4);
 //! // Synthesize, crawl and package a 1:10-scale dataset.
-//! let dataset = Dataset::synthesize(&verified_net::SynthesisConfig::default());
+//! let dataset = Dataset::build(&verified_net::SynthesisConfig::default(), &ctx);
 //! // Run the full Section IV + V battery.
-//! let report = verified_net::run_full_analysis(&dataset, &AnalysisOptions::default());
+//! let opts = AnalysisOptions::builder().threads(4).build();
+//! let report = verified_net::run_analysis(&dataset, &opts, &ctx);
 //! println!("{}", serde_json::to_string_pretty(&report).unwrap());
 //! ```
+//!
+//! Single sections (what the `vnet-serve` analysis service computes and
+//! caches) run through [`run_analysis_section`]; the pre-0.2.0
+//! `run_full_analysis`/`*_observed` entrypoints live on as deprecated
+//! shims in [`compat`] — see `docs/API.md` for the migration table.
 //!
 //! Module map (paper section → module):
 //!
@@ -55,22 +63,30 @@ pub mod basic;
 pub mod bios;
 pub mod categories;
 pub mod centrality;
+pub mod compat;
 pub mod dataset;
 pub mod degrees;
 pub mod deviations;
 pub mod eigen;
 pub mod elite_core;
+pub mod error;
 pub mod experiments;
 pub mod fingerprint;
 pub mod io;
 pub mod markdown;
 pub mod recip;
 pub mod report;
+pub mod section;
 pub mod separation;
 
+#[allow(deprecated)]
+pub use compat::{run_full_analysis, run_full_analysis_observed};
 pub use dataset::{Dataset, DatasetProvenance, SynthesisConfig};
+pub use error::{Result, VnetError};
 pub use experiments::{Experiment, EXPERIMENTS};
 pub use fingerprint::{classify_fingerprint, NetworkFingerprint};
 pub use io::{load_dataset, save_dataset};
 pub use markdown::render_markdown;
-pub use report::{run_full_analysis, run_full_analysis_observed, AnalysisOptions, AnalysisReport};
+pub use report::{run_analysis, AnalysisOptions, AnalysisOptionsBuilder, AnalysisReport};
+pub use section::{run_analysis_section, Section, SectionReport};
+pub use vnet_ctx::AnalysisCtx;

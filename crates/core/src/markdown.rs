@@ -160,13 +160,15 @@ pub fn render_markdown(report: &AnalysisReport) -> String {
 mod tests {
     use super::*;
     use crate::dataset::SynthesisConfig;
-    use crate::report::{run_full_analysis, AnalysisOptions};
+    use crate::report::{run_analysis, AnalysisOptions};
     use crate::Dataset;
+    use vnet_ctx::AnalysisCtx;
 
     #[test]
     fn renders_complete_document() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
-        let report = run_full_analysis(&ds, &AnalysisOptions::quick());
+        let ctx = AnalysisCtx::quiet();
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
+        let report = run_analysis(&ds, &AnalysisOptions::quick(), &ctx);
         let md = render_markdown(&report);
         for heading in [
             "# verified-net analysis report",

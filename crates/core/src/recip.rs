@@ -44,7 +44,7 @@ mod tests {
 
     #[test]
     fn reciprocity_sits_between_twitter_and_flickr() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ds = Dataset::build(&SynthesisConfig::small(), &vnet_ctx::AnalysisCtx::quiet());
         let r = reciprocity_analysis(&ds);
         // Paper shape: above the whole-Twitter 22.1%, far below Flickr 68%.
         assert!(r.reciprocity > WHOLE_TWITTER_RECIPROCITY, "r={}", r.reciprocity);

@@ -1,24 +1,38 @@
 //! The full-analysis driver: every paper section in one call.
+//!
+//! [`run_analysis`] takes the dataset, an [`AnalysisOptions`], and an
+//! `AnalysisCtx` (thread pool + observability handle) and composes the
+//! eleven [`crate::section::Section`]s into one [`AnalysisReport`]. Each
+//! section seeds a fresh RNG from `opts.seed`, so any section computed
+//! standalone via [`crate::section::run_analysis_section`] — as the
+//! `vnet-serve` service and its cache do — is bit-identical to the same
+//! field of the full report.
 
-use crate::activity::{activity_analysis_observed, ActivityReport};
-use crate::basic::{basic_analysis_observed, BasicReport};
-use crate::bios::{bio_analysis_observed, BioReport};
-use crate::categories::{category_analysis, CategoryReport};
-use crate::centrality::{centrality_analysis_observed, CentralityReport};
+use crate::activity::ActivityReport;
+use crate::basic::BasicReport;
+use crate::bios::BioReport;
+use crate::categories::CategoryReport;
+use crate::centrality::CentralityReport;
 use crate::dataset::{Dataset, DatasetSummary};
-use crate::degrees::{degree_analysis_observed, figure1, DegreeReport, Figure1};
-use crate::eigen::{eigen_analysis_observed, EigenReport};
-use crate::elite_core::{elite_core_analysis, EliteCoreReport};
-use crate::recip::{reciprocity_analysis, ReciprocityReport};
-use crate::separation::{separation_analysis_observed, SeparationReport};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::degrees::{DegreeReport, Figure1};
+use crate::eigen::EigenReport;
+use crate::elite_core::EliteCoreReport;
+use crate::recip::ReciprocityReport;
+use crate::section;
+use crate::separation::SeparationReport;
 use serde::Serialize;
-use vnet_obs::Obs;
-use vnet_par::ParPool;
+use vnet_ctx::AnalysisCtx;
+use vnet_obs::fingerprint_str;
 use vnet_powerlaw::{FitOptions, XminStrategy};
 
 /// Cost/precision knobs for the full battery.
+///
+/// Plain struct with public fields (struct-update syntax keeps working);
+/// [`AnalysisOptions::builder`] offers a fluent alternative. The
+/// [`fingerprint`](AnalysisOptions::fingerprint) covers every
+/// result-affecting field — and deliberately **excludes** `threads`,
+/// which never changes a result bit, so the service cache can serve a
+/// `--threads 4` request from a `--threads 1` computation.
 #[derive(Debug, Clone, Copy)]
 pub struct AnalysisOptions {
     /// Node samples for the clustering estimate.
@@ -85,6 +99,125 @@ impl AnalysisOptions {
             ..Self::default()
         }
     }
+
+    /// A fluent builder starting from [`AnalysisOptions::default`].
+    pub fn builder() -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder { opts: Self::default() }
+    }
+
+    /// A builder starting from this value (e.g. `quick().to_builder()`).
+    pub fn to_builder(self) -> AnalysisOptionsBuilder {
+        AnalysisOptionsBuilder { opts: self }
+    }
+
+    /// FNV-1a fingerprint of every result-affecting field.
+    ///
+    /// `threads` is excluded on purpose: the fork-join layer guarantees
+    /// bit-identical results at any thread count, and the `vnet-serve`
+    /// result cache keys on this fingerprint — a repeat query at a
+    /// different thread count must hit.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint_str(&format!(
+            "vnet-analysis-options-v1:{}:{}:{}:{}:{}:{:?}:{}:{}:{}:{}:{}",
+            self.clustering_samples,
+            self.distance_sources,
+            self.betweenness_pivots,
+            self.eigen_k,
+            self.lanczos_steps,
+            self.fit,
+            self.bootstrap_reps,
+            self.lag_cap,
+            self.ngram_rows,
+            self.fig1_bins,
+            self.seed,
+        ))
+    }
+}
+
+/// Fluent builder for [`AnalysisOptions`]; see
+/// [`AnalysisOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct AnalysisOptionsBuilder {
+    opts: AnalysisOptions,
+}
+
+impl AnalysisOptionsBuilder {
+    /// Node samples for the clustering estimate.
+    pub fn clustering_samples(mut self, n: usize) -> Self {
+        self.opts.clustering_samples = n;
+        self
+    }
+
+    /// BFS sources for the distance distribution.
+    pub fn distance_sources(mut self, n: usize) -> Self {
+        self.opts.distance_sources = n;
+        self
+    }
+
+    /// Brandes pivots for betweenness.
+    pub fn betweenness_pivots(mut self, n: usize) -> Self {
+        self.opts.betweenness_pivots = n;
+        self
+    }
+
+    /// Worker threads for the fork-join stages.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.opts.threads = n;
+        self
+    }
+
+    /// Top-k Laplacian eigenvalues.
+    pub fn eigen_k(mut self, k: usize) -> Self {
+        self.opts.eigen_k = k;
+        self
+    }
+
+    /// Lanczos iterations.
+    pub fn lanczos_steps(mut self, n: usize) -> Self {
+        self.opts.lanczos_steps = n;
+        self
+    }
+
+    /// Power-law xmin scan strategy.
+    pub fn fit(mut self, fit: FitOptions) -> Self {
+        self.opts.fit = fit;
+        self
+    }
+
+    /// Bootstrap replicates for goodness-of-fit p.
+    pub fn bootstrap_reps(mut self, n: usize) -> Self {
+        self.opts.bootstrap_reps = n;
+        self
+    }
+
+    /// Portmanteau lag cap.
+    pub fn lag_cap(mut self, n: usize) -> Self {
+        self.opts.lag_cap = n;
+        self
+    }
+
+    /// Rows per n-gram table.
+    pub fn ngram_rows(mut self, n: usize) -> Self {
+        self.opts.ngram_rows = n;
+        self
+    }
+
+    /// Log bins for Figure 1.
+    pub fn fig1_bins(mut self, n: usize) -> Self {
+        self.opts.fig1_bins = n;
+        self
+    }
+
+    /// Master seed for all randomized estimators.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> AnalysisOptions {
+        self.opts
+    }
 }
 
 /// Everything the paper measures, in one serializable bundle.
@@ -118,90 +251,33 @@ pub struct AnalysisReport {
 
 /// Run every analysis of the paper on `dataset`.
 ///
+/// The fork-join stages run through `ctx.pool()` and counters/spans land
+/// in `ctx.obs()` (pass [`AnalysisCtx::quiet`] for plain serial results).
+/// Every section seeds its own RNG from `opts.seed`, so the report is a
+/// pure function of `(dataset, opts)` — the context can only change
+/// wall-clock time and telemetry, never a result bit.
+///
 /// # Panics
 /// Panics if the dataset is too small for the configured estimators
 /// (power-law fits need tails; the battery is meant for graphs of at
-/// least a few thousand nodes).
-pub fn run_full_analysis(dataset: &Dataset, opts: &AnalysisOptions) -> AnalysisReport {
-    run_full_analysis_observed(dataset, opts, &Obs::noop())
-}
-
-/// [`run_full_analysis`] with one span per paper section (plus the
-/// sub-spans and work counters of the observed stage variants) recorded
-/// into `obs`. The RNG stream is identical to the unobserved driver, so
-/// both produce the same report for the same seed — and the fork-join
-/// stages run through a `vnet-par` pool of `opts.threads` workers whose
-/// decomposition never depends on the thread count, so the report is also
-/// identical at any `opts.threads`.
-pub fn run_full_analysis_observed(
-    dataset: &Dataset,
-    opts: &AnalysisOptions,
-    obs: &Obs,
-) -> AnalysisReport {
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let pool = ParPool::new(opts.threads);
-    let basic = {
-        let _span = obs.span("analysis.basic");
-        basic_analysis_observed(dataset, opts.clustering_samples, &mut rng, obs)
-    };
-    let fig1 = {
-        let _span = obs.span("analysis.figure1");
-        figure1(dataset, opts.fig1_bins)
-    };
-    let degrees = {
-        let _span = obs.span("analysis.degrees");
-        degree_analysis_observed(dataset, &opts.fit, opts.bootstrap_reps, &pool, &mut rng, obs)
-            .expect("degree power-law fit failed — dataset too small?")
-    };
-    let eigen = {
-        let _span = obs.span("analysis.eigen");
-        eigen_analysis_observed(
-            dataset,
-            opts.eigen_k,
-            opts.lanczos_steps,
-            &opts.fit,
-            opts.bootstrap_reps,
-            &pool,
-            &mut rng,
-            obs,
-        )
-        .expect("eigenvalue power-law fit failed — dataset too small?")
-    };
-    let reciprocity = {
-        let _span = obs.span("analysis.reciprocity");
-        reciprocity_analysis(dataset)
-    };
-    let separation = {
-        let _span = obs.span("analysis.separation");
-        separation_analysis_observed(dataset, opts.distance_sources, &pool, &mut rng, obs)
-    };
-    let bios = {
-        let _span = obs.span("analysis.bios");
-        bio_analysis_observed(dataset, opts.ngram_rows, obs)
-    };
-    let centrality = {
-        let _span = obs.span("analysis.centrality");
-        centrality_analysis_observed(
-            dataset,
-            opts.betweenness_pivots,
-            &pool,
-            &mut rng,
-            obs,
-        )
-    };
-    let activity = {
-        let _span = obs.span("analysis.activity");
-        activity_analysis_observed(dataset, opts.lag_cap, obs)
-            .expect("activity analysis failed — series too short?")
-    };
-    let elite_core = {
-        let _span = obs.span("analysis.elite_core");
-        elite_core_analysis(dataset)
-    };
-    let categories = {
-        let _span = obs.span("analysis.categories");
-        category_analysis(dataset)
-    };
+/// least a few thousand nodes). Use
+/// [`crate::section::run_analysis_section`] for a non-panicking,
+/// per-section API.
+pub fn run_analysis(dataset: &Dataset, opts: &AnalysisOptions, ctx: &AnalysisCtx) -> AnalysisReport {
+    let basic = section::sec_basic(dataset, opts, ctx);
+    let fig1 = section::sec_figure1(dataset, opts, ctx);
+    let degrees = section::sec_degrees(dataset, opts, ctx)
+        .expect("degree power-law fit failed — dataset too small?");
+    let eigen = section::sec_eigen(dataset, opts, ctx)
+        .expect("eigenvalue power-law fit failed — dataset too small?");
+    let reciprocity = section::sec_reciprocity(dataset, opts, ctx);
+    let separation = section::sec_separation(dataset, opts, ctx);
+    let bios = section::sec_bios(dataset, opts, ctx);
+    let centrality = section::sec_centrality(dataset, opts, ctx);
+    let activity = section::sec_activity(dataset, opts, ctx)
+        .expect("activity analysis failed — series too short?");
+    let elite_core = section::sec_elite_core(dataset, opts, ctx);
+    let categories = section::sec_categories(dataset, opts, ctx);
     AnalysisReport {
         dataset: dataset.summary(),
         basic,
@@ -225,8 +301,8 @@ mod tests {
 
     #[test]
     fn full_battery_runs_and_serializes() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
-        let report = run_full_analysis(&ds, &AnalysisOptions::quick());
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+        let report = run_analysis(&ds, &AnalysisOptions::quick(), &AnalysisCtx::quiet());
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.len() > 1_000);
         // Spot checks across sections.
@@ -241,5 +317,32 @@ mod tests {
         assert!(report.elite_core.bands.len() >= 3);
         assert!(report.elite_core.degeneracy > 0);
         assert!(report.categories.news_share > 0.1);
+    }
+
+    #[test]
+    fn builder_roundtrips_and_quick_is_preserved() {
+        let built = AnalysisOptions::builder().threads(4).bootstrap_reps(200).build();
+        assert_eq!(built.threads, 4);
+        assert_eq!(built.bootstrap_reps, 200);
+        // Untouched knobs keep their defaults.
+        let d = AnalysisOptions::default();
+        assert_eq!(built.seed, d.seed);
+        assert_eq!(built.eigen_k, d.eigen_k);
+        // quick() is still reachable both directly and via to_builder.
+        let q = AnalysisOptions::quick().to_builder().seed(99).build();
+        assert_eq!(q.clustering_samples, AnalysisOptions::quick().clustering_samples);
+        assert_eq!(q.seed, 99);
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_not_results_knobs() {
+        let base = AnalysisOptions::quick();
+        let t1 = base.to_builder().threads(1).build();
+        let t4 = base.to_builder().threads(4).build();
+        assert_eq!(t1.fingerprint(), t4.fingerprint(), "threads must not affect the key");
+        let reseeded = base.to_builder().seed(base.seed + 1).build();
+        assert_ne!(base.fingerprint(), reseeded.fingerprint());
+        let more_reps = base.to_builder().bootstrap_reps(7).build();
+        assert_ne!(base.fingerprint(), more_reps.fingerprint());
     }
 }

@@ -1,0 +1,364 @@
+//! Named analysis sections: the unit of work shared by the batch driver
+//! ([`crate::report::run_analysis`]), the analysis service (`vnet-serve`),
+//! and its result cache.
+//!
+//! Each [`Section`] is one paper artefact group with a stable string id.
+//! [`run_analysis_section`] computes exactly one of them; the full-report
+//! driver composes all eleven. Both paths share the per-section helpers
+//! below, and every section seeds a **fresh** RNG from
+//! `AnalysisOptions::seed` — so a section computed alone is bit-identical
+//! to the same section inside a full run, which is what lets the service
+//! cache single sections and still hand back batch-identical payloads.
+
+use crate::activity::{activity_analysis, ActivityReport};
+use crate::basic::{basic_analysis, BasicReport};
+use crate::bios::{bio_analysis, BioReport};
+use crate::categories::{category_analysis, CategoryReport};
+use crate::centrality::{centrality_analysis, CentralityReport};
+use crate::dataset::Dataset;
+use crate::degrees::{degree_analysis, figure1, DegreeReport, Figure1};
+use crate::eigen::{eigen_analysis, EigenReport};
+use crate::elite_core::{elite_core_analysis, EliteCoreReport};
+use crate::error::{Result, VnetError};
+use crate::recip::{reciprocity_analysis, ReciprocityReport};
+use crate::report::AnalysisOptions;
+use crate::separation::{separation_analysis, SeparationReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Content, Serialize};
+use vnet_ctx::AnalysisCtx;
+
+/// One independently computable section of the analysis battery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// §IV-A basic network analysis.
+    Basic,
+    /// Figure 1: profile-attribute marginals.
+    Figure1,
+    /// §IV-B discrete half + Figure 2.
+    Degrees,
+    /// §IV-B continuous half (Laplacian eigenvalues).
+    Eigen,
+    /// §IV-C reciprocity.
+    Reciprocity,
+    /// §IV-D + Figure 3: degrees of separation.
+    Separation,
+    /// §IV-E + Figure 4 + Tables I & II: bio mining.
+    Bios,
+    /// §IV-F + Figure 5: centrality vs reach.
+    Centrality,
+    /// §V + Figure 6: activity analysis.
+    Activity,
+    /// §IV-C conjecture validation (elite core).
+    EliteCore,
+    /// Bio-based user categorization.
+    Categories,
+}
+
+impl Section {
+    /// Every section, in full-report order.
+    pub const ALL: [Section; 11] = [
+        Section::Basic,
+        Section::Figure1,
+        Section::Degrees,
+        Section::Eigen,
+        Section::Reciprocity,
+        Section::Separation,
+        Section::Bios,
+        Section::Centrality,
+        Section::Activity,
+        Section::EliteCore,
+        Section::Categories,
+    ];
+
+    /// Stable string id, used in wire requests, cache keys, and span names.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Section::Basic => "basic",
+            Section::Figure1 => "figure1",
+            Section::Degrees => "degrees",
+            Section::Eigen => "eigen",
+            Section::Reciprocity => "reciprocity",
+            Section::Separation => "separation",
+            Section::Bios => "bios",
+            Section::Centrality => "centrality",
+            Section::Activity => "activity",
+            Section::EliteCore => "elite_core",
+            Section::Categories => "categories",
+        }
+    }
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl std::str::FromStr for Section {
+    type Err = VnetError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        Section::ALL
+            .into_iter()
+            .find(|sec| sec.id() == s)
+            .ok_or_else(|| VnetError::UnknownSection(s.to_string()))
+    }
+}
+
+impl Serialize for Section {
+    fn to_content(&self) -> Content {
+        Content::Str(self.id().to_string())
+    }
+}
+
+/// The result of one section, ready to serialize. Serialization is
+/// untagged — the payload is exactly what the corresponding
+/// `AnalysisReport` field serializes to, so a section served alone is
+/// byte-identical to the same section cut out of a full report.
+#[derive(Debug, Clone)]
+pub enum SectionReport {
+    /// §IV-A.
+    Basic(BasicReport),
+    /// Figure 1.
+    Figure1(Figure1),
+    /// §IV-B discrete + Figure 2.
+    Degrees(DegreeReport),
+    /// §IV-B continuous.
+    Eigen(EigenReport),
+    /// §IV-C.
+    Reciprocity(ReciprocityReport),
+    /// §IV-D + Figure 3.
+    Separation(SeparationReport),
+    /// §IV-E + Figure 4 + Tables I & II.
+    Bios(BioReport),
+    /// §IV-F + Figure 5.
+    Centrality(CentralityReport),
+    /// §V + Figure 6.
+    Activity(ActivityReport),
+    /// §IV-C conjecture validation.
+    EliteCore(EliteCoreReport),
+    /// User categorization.
+    Categories(CategoryReport),
+}
+
+impl SectionReport {
+    /// Which section this payload belongs to.
+    pub fn section(&self) -> Section {
+        match self {
+            SectionReport::Basic(_) => Section::Basic,
+            SectionReport::Figure1(_) => Section::Figure1,
+            SectionReport::Degrees(_) => Section::Degrees,
+            SectionReport::Eigen(_) => Section::Eigen,
+            SectionReport::Reciprocity(_) => Section::Reciprocity,
+            SectionReport::Separation(_) => Section::Separation,
+            SectionReport::Bios(_) => Section::Bios,
+            SectionReport::Centrality(_) => Section::Centrality,
+            SectionReport::Activity(_) => Section::Activity,
+            SectionReport::EliteCore(_) => Section::EliteCore,
+            SectionReport::Categories(_) => Section::Categories,
+        }
+    }
+}
+
+impl Serialize for SectionReport {
+    fn to_content(&self) -> Content {
+        match self {
+            SectionReport::Basic(r) => r.to_content(),
+            SectionReport::Figure1(r) => r.to_content(),
+            SectionReport::Degrees(r) => r.to_content(),
+            SectionReport::Eigen(r) => r.to_content(),
+            SectionReport::Reciprocity(r) => r.to_content(),
+            SectionReport::Separation(r) => r.to_content(),
+            SectionReport::Bios(r) => r.to_content(),
+            SectionReport::Centrality(r) => r.to_content(),
+            SectionReport::Activity(r) => r.to_content(),
+            SectionReport::EliteCore(r) => r.to_content(),
+            SectionReport::Categories(r) => r.to_content(),
+        }
+    }
+}
+
+fn analysis_err(section: Section, e: impl std::fmt::Display) -> VnetError {
+    VnetError::Analysis { section, message: e.to_string() }
+}
+
+/// Fresh per-section RNG: one seed, one stream per section, so a section
+/// computed alone matches the same section inside a full run.
+fn section_rng(opts: &AnalysisOptions) -> StdRng {
+    StdRng::seed_from_u64(opts.seed)
+}
+
+pub(crate) fn sec_basic(ds: &Dataset, opts: &AnalysisOptions, ctx: &AnalysisCtx) -> BasicReport {
+    let _span = ctx.span("analysis.basic");
+    basic_analysis(ds, opts.clustering_samples, &mut section_rng(opts), ctx)
+}
+
+pub(crate) fn sec_figure1(ds: &Dataset, opts: &AnalysisOptions, ctx: &AnalysisCtx) -> Figure1 {
+    let _span = ctx.span("analysis.figure1");
+    figure1(ds, opts.fig1_bins)
+}
+
+pub(crate) fn sec_degrees(
+    ds: &Dataset,
+    opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> Result<DegreeReport> {
+    let _span = ctx.span("analysis.degrees");
+    degree_analysis(ds, &opts.fit, opts.bootstrap_reps, &mut section_rng(opts), ctx)
+        .map_err(|e| analysis_err(Section::Degrees, e))
+}
+
+pub(crate) fn sec_eigen(
+    ds: &Dataset,
+    opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> Result<EigenReport> {
+    let _span = ctx.span("analysis.eigen");
+    eigen_analysis(
+        ds,
+        opts.eigen_k,
+        opts.lanczos_steps,
+        &opts.fit,
+        opts.bootstrap_reps,
+        &mut section_rng(opts),
+        ctx,
+    )
+    .map_err(|e| analysis_err(Section::Eigen, e))
+}
+
+pub(crate) fn sec_reciprocity(
+    ds: &Dataset,
+    _opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> ReciprocityReport {
+    let _span = ctx.span("analysis.reciprocity");
+    reciprocity_analysis(ds)
+}
+
+pub(crate) fn sec_separation(
+    ds: &Dataset,
+    opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> SeparationReport {
+    let _span = ctx.span("analysis.separation");
+    separation_analysis(ds, opts.distance_sources, &mut section_rng(opts), ctx)
+}
+
+pub(crate) fn sec_bios(ds: &Dataset, opts: &AnalysisOptions, ctx: &AnalysisCtx) -> BioReport {
+    let _span = ctx.span("analysis.bios");
+    bio_analysis(ds, opts.ngram_rows, ctx)
+}
+
+pub(crate) fn sec_centrality(
+    ds: &Dataset,
+    opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> CentralityReport {
+    let _span = ctx.span("analysis.centrality");
+    centrality_analysis(ds, opts.betweenness_pivots, &mut section_rng(opts), ctx)
+}
+
+pub(crate) fn sec_activity(
+    ds: &Dataset,
+    opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> Result<ActivityReport> {
+    let _span = ctx.span("analysis.activity");
+    activity_analysis(ds, opts.lag_cap, ctx).map_err(|e| analysis_err(Section::Activity, e))
+}
+
+pub(crate) fn sec_elite_core(
+    ds: &Dataset,
+    _opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> EliteCoreReport {
+    let _span = ctx.span("analysis.elite_core");
+    elite_core_analysis(ds)
+}
+
+pub(crate) fn sec_categories(
+    ds: &Dataset,
+    _opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> CategoryReport {
+    let _span = ctx.span("analysis.categories");
+    category_analysis(ds)
+}
+
+/// Compute exactly one section of the analysis battery.
+///
+/// This is the entrypoint the `vnet-serve` service, its result cache, and
+/// `repro --exp` all drive. The section's payload is bit-identical to the
+/// same field of [`crate::report::run_analysis`]'s full report for the
+/// same dataset and options, at any thread count.
+pub fn run_analysis_section(
+    dataset: &Dataset,
+    section: Section,
+    opts: &AnalysisOptions,
+    ctx: &AnalysisCtx,
+) -> Result<SectionReport> {
+    Ok(match section {
+        Section::Basic => SectionReport::Basic(sec_basic(dataset, opts, ctx)),
+        Section::Figure1 => SectionReport::Figure1(sec_figure1(dataset, opts, ctx)),
+        Section::Degrees => SectionReport::Degrees(sec_degrees(dataset, opts, ctx)?),
+        Section::Eigen => SectionReport::Eigen(sec_eigen(dataset, opts, ctx)?),
+        Section::Reciprocity => SectionReport::Reciprocity(sec_reciprocity(dataset, opts, ctx)),
+        Section::Separation => SectionReport::Separation(sec_separation(dataset, opts, ctx)),
+        Section::Bios => SectionReport::Bios(sec_bios(dataset, opts, ctx)),
+        Section::Centrality => SectionReport::Centrality(sec_centrality(dataset, opts, ctx)),
+        Section::Activity => SectionReport::Activity(sec_activity(dataset, opts, ctx)?),
+        Section::EliteCore => SectionReport::EliteCore(sec_elite_core(dataset, opts, ctx)),
+        Section::Categories => SectionReport::Categories(sec_categories(dataset, opts, ctx)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SynthesisConfig;
+
+    #[test]
+    fn ids_roundtrip_through_fromstr() {
+        for sec in Section::ALL {
+            let parsed: Section = sec.id().parse().unwrap();
+            assert_eq!(parsed, sec);
+        }
+        match "nope".parse::<Section>() {
+            Err(VnetError::UnknownSection(s)) => assert_eq!(s, "nope"),
+            other => panic!("expected UnknownSection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn section_alone_matches_full_report_field() {
+        let ctx = AnalysisCtx::quiet();
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
+        let opts = AnalysisOptions::quick();
+        let full = crate::report::run_analysis(&ds, &opts, &ctx);
+        let alone = run_analysis_section(&ds, Section::Separation, &opts, &ctx).unwrap();
+        let from_full = serde_json::to_string(&full.separation).unwrap();
+        let standalone = serde_json::to_string(&alone).unwrap();
+        assert_eq!(from_full, standalone, "standalone section diverged from full run");
+        assert_eq!(alone.section(), Section::Separation);
+    }
+
+    #[test]
+    fn section_is_thread_count_invariant() {
+        let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+        let opts = AnalysisOptions::quick();
+        let serial =
+            run_analysis_section(&ds, Section::Centrality, &opts, &AnalysisCtx::quiet()).unwrap();
+        let par = run_analysis_section(
+            &ds,
+            Section::Centrality,
+            &opts,
+            &AnalysisCtx::with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&par).unwrap()
+        );
+    }
+}

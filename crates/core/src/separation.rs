@@ -1,11 +1,12 @@
 //! Section IV-D and Figure 3: degrees of separation.
 
 use crate::dataset::Dataset;
+#[allow(deprecated)]
+pub use crate::compat::separation_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
-use vnet_algos::distances::{distance_distribution_pool, SourceSpec};
-use vnet_obs::Obs;
-use vnet_par::ParPool;
+use vnet_algos::distances::{distance_distribution, SourceSpec};
+use vnet_ctx::AnalysisCtx;
 
 /// Reference mean path lengths the paper compares against.
 pub const WHOLE_TWITTER_SAMPLED: f64 = 4.12; // Kwak et al., sampling
@@ -33,34 +34,21 @@ pub struct SeparationReport {
 }
 
 /// Run the distance analysis from `sources` sampled BFS roots (use
-/// `usize::MAX` for the exact all-pairs computation).
+/// `usize::MAX` for the exact all-pairs computation). The BFS sweep fans
+/// out over `ctx`'s pool; all accumulation is integer, so the report is
+/// identical at any thread count.
 pub fn separation_analysis<R: Rng + ?Sized>(
     dataset: &Dataset,
     sources: usize,
     rng: &mut R,
-) -> SeparationReport {
-    separation_analysis_observed(dataset, sources, &ParPool::serial(), rng, &Obs::noop())
-}
-
-/// [`separation_analysis`] with the BFS sweep fanned out over `pool` and
-/// `par.*` work counters recorded into `obs`. All accumulation is integer,
-/// so the report is identical at any thread count.
-pub fn separation_analysis_observed<R: Rng + ?Sized>(
-    dataset: &Dataset,
-    sources: usize,
-    pool: &ParPool,
-    rng: &mut R,
-    obs: &Obs,
+    ctx: &AnalysisCtx,
 ) -> SeparationReport {
     let spec = if sources == usize::MAX {
         SourceSpec::All
     } else {
         SourceSpec::Sampled(sources)
     };
-    let started = std::time::Instant::now();
-    let (d, par) = distance_distribution_pool(&dataset.graph, spec, rng, pool);
-    obs.record_par_work("separation.bfs", par.tasks, par.steal_free_chunks);
-    obs.observe_par_wall("separation.bfs", started.elapsed().as_micros() as u64);
+    let d = distance_distribution(&dataset.graph, spec, rng, ctx);
     SeparationReport {
         histogram: d.series(),
         mean: d.mean,
@@ -81,9 +69,10 @@ mod tests {
 
     #[test]
     fn separation_is_short_like_the_paper() {
-        let ds = Dataset::synthesize(&SynthesisConfig::small());
+        let ctx = AnalysisCtx::quiet();
+        let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
         let mut rng = StdRng::seed_from_u64(3);
-        let r = separation_analysis(&ds, 200, &mut rng);
+        let r = separation_analysis(&ds, 200, &mut rng, &ctx);
         // Paper: 2.74 mean, below both whole-Twitter estimates.
         assert!(r.mean > 1.5 && r.mean < 3.5, "mean={}", r.mean);
         assert!(r.mean < WHOLE_TWITTER_SEARCH);

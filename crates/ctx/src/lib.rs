@@ -1,0 +1,148 @@
+//! # vnet-ctx — the shared analysis context
+//!
+//! One small struct, [`AnalysisCtx`], that bundles the two cross-cutting
+//! concerns every pipeline stage needs:
+//!
+//! * a [`ParPool`] — the deterministic fork-join policy (how many threads
+//!   to fan out over; results are bit-identical at any count), and
+//! * an [`Obs`] handle — where counters, spans and par-work accounting go.
+//!
+//! Before this crate existed, each of those concerns spawned an API
+//! variant: `pagerank`/`pagerank_pool`, `run_full_analysis`/
+//! `run_full_analysis_observed`, `Dataset::synthesize`/`…_observed`/
+//! `…_with_faults`/`…_with_faults_observed`. Threading a single
+//! `&AnalysisCtx` parameter through instead collapses every such pair
+//! into one entrypoint; the old names survive as deprecated shims in
+//! `verified-net`'s `compat` module for one release (see `docs/API.md`
+//! for the migration table).
+//!
+//! ## Examples
+//!
+//! ```
+//! use vnet_ctx::AnalysisCtx;
+//!
+//! // Quiet context: serial pool, no-op observability. The right default
+//! // for unit tests and doc examples.
+//! let ctx = AnalysisCtx::quiet();
+//! assert_eq!(ctx.threads(), 1);
+//!
+//! // Observed context: 4 threads, recording registry.
+//! let obs = std::sync::Arc::new(vnet_obs::Obs::new());
+//! let ctx = AnalysisCtx::new(vnet_par::ParPool::new(4), obs);
+//! ctx.record_par("demo", &vnet_par::ParStats::default());
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use vnet_obs::{Obs, SpanGuard};
+use vnet_par::{ParPool, ParStats};
+
+/// The context threaded through every analysis entrypoint: a thread-count
+/// policy plus an observability handle.
+///
+/// Cloning is cheap (the pool is `Copy`, the handle is `Arc`-backed) and
+/// both clones record into the same registry.
+#[derive(Debug, Clone)]
+pub struct AnalysisCtx {
+    pool: ParPool,
+    obs: Arc<Obs>,
+}
+
+impl AnalysisCtx {
+    /// A context from an explicit pool and observability handle.
+    pub fn new(pool: ParPool, obs: Arc<Obs>) -> Self {
+        Self { pool, obs }
+    }
+
+    /// Serial pool, no-op observability — the default for tests, doc
+    /// examples, and any caller that wants plain single-threaded results.
+    pub fn quiet() -> Self {
+        Self { pool: ParPool::serial(), obs: Obs::noop() }
+    }
+
+    /// `threads`-wide pool, no-op observability.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { pool: ParPool::new(threads), obs: Obs::noop() }
+    }
+
+    /// A context borrowing an existing [`Obs`] by handle. `Obs` is a cheap
+    /// clonable handle to shared state, so the returned context records
+    /// into the same registry and tracer as `obs`.
+    pub fn from_obs(pool: ParPool, obs: &Obs) -> Self {
+        Self { pool, obs: Arc::new(obs.clone()) }
+    }
+
+    /// The fork-join pool.
+    pub fn pool(&self) -> &ParPool {
+        &self.pool
+    }
+
+    /// The observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The observability handle as an owned `Arc`, for code that stores it.
+    pub fn obs_handle(&self) -> Arc<Obs> {
+        Arc::clone(&self.obs)
+    }
+
+    /// The pool's thread count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Open a span on the context's tracer (no-op guard when disabled).
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        self.obs.span(name)
+    }
+
+    /// Record a parallel stage's fork-join work counters under `stage`.
+    pub fn record_par(&self, stage: &str, stats: &ParStats) {
+        self.obs.record_par_work(stage, stats.tasks, stats.steal_free_chunks);
+    }
+
+    /// Record a parallel stage's measured wall-clock (scrubbed from the
+    /// deterministic manifest view, like all `*wall_micros` metrics).
+    pub fn observe_par_wall(&self, stage: &str, micros: u64) {
+        self.obs.observe_par_wall(stage, micros);
+    }
+}
+
+impl Default for AnalysisCtx {
+    fn default() -> Self {
+        Self::quiet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_is_serial_and_noop() {
+        let ctx = AnalysisCtx::quiet();
+        assert_eq!(ctx.threads(), 1);
+        assert!(!ctx.obs().is_enabled());
+    }
+
+    #[test]
+    fn from_obs_shares_the_registry() {
+        let obs = Obs::new();
+        let ctx = AnalysisCtx::from_obs(ParPool::new(2), &obs);
+        ctx.obs().inc_by("hits", &[], 5);
+        ctx.record_par("stage", &ParStats { tasks: 3, steal_free_chunks: 3, workers: 2 });
+        let m = obs.manifest("ctx", 0);
+        assert_eq!(m.counters["hits"], 5);
+        assert_eq!(m.counters["par.tasks{stage=stage}"], 3);
+    }
+
+    #[test]
+    fn with_threads_sets_pool_width() {
+        assert_eq!(AnalysisCtx::with_threads(4).threads(), 4);
+        // ParPool clamps zero to one.
+        assert_eq!(AnalysisCtx::with_threads(0).threads(), 1);
+    }
+}

@@ -42,14 +42,20 @@ pub fn read_edge_list<R: Read>(r: R, min_nodes: u32) -> Result<DiGraph> {
         }
         let mut parts = t.split_whitespace();
         let parse = |s: Option<&str>| -> Result<u32> {
-            s.ok_or_else(|| GraphError::Parse(format!("line {}: missing field", lineno + 1)))?
-                .parse::<u32>()
-                .map_err(|e| GraphError::Parse(format!("line {}: {e}", lineno + 1)))
+            s.ok_or_else(|| GraphError::ParseLine {
+                line: lineno + 1,
+                message: "missing field".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| GraphError::ParseLine { line: lineno + 1, message: e.to_string() })
         };
         let u = parse(parts.next())?;
         let v = parse(parts.next())?;
         if parts.next().is_some() {
-            return Err(GraphError::Parse(format!("line {}: too many fields", lineno + 1)));
+            return Err(GraphError::ParseLine {
+                line: lineno + 1,
+                message: "too many fields".into(),
+            });
         }
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
@@ -84,7 +90,7 @@ pub fn read_binary<R: Read>(r: R) -> Result<DiGraph> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
-        return Err(GraphError::Parse("bad magic; not a VNG1 graph".into()));
+        return Err(GraphError::BadMagic);
     }
     let mut b4 = [0u8; 4];
     let mut b8 = [0u8; 8];
@@ -99,7 +105,7 @@ pub fn read_binary<R: Read>(r: R) -> Result<DiGraph> {
     }
     let total: u64 = degrees.iter().map(|&d| d as u64).sum();
     if total != m as u64 {
-        return Err(GraphError::Parse(format!("degree sum {total} != edge count {m}")));
+        return Err(GraphError::DegreeSumMismatch { declared: m as u64, sum: total });
     }
     let mut builder = GraphBuilder::with_capacity(n, m);
     for (u, &d) in degrees.iter().enumerate() {
@@ -158,6 +164,40 @@ mod tests {
     }
 
     #[test]
+    fn edge_list_errors_carry_line_numbers() {
+        // The bad line is the third physical line (after a comment and a
+        // good edge); the structured error must say so.
+        match read_edge_list(&b"# ok\n0 1\n0 1 2\n"[..], 0) {
+            Err(GraphError::ParseLine { line, message }) => {
+                assert_eq!(line, 3);
+                assert_eq!(message, "too many fields");
+            }
+            other => panic!("expected ParseLine, got {other:?}"),
+        }
+        match read_edge_list(&b"0\n"[..], 0) {
+            Err(GraphError::ParseLine { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected ParseLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_degree_sum_mismatch() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Corrupt the declared edge count (u64 LE at offset 8, after magic
+        // and node count).
+        buf[8] = buf[8].wrapping_add(1);
+        match read_binary(&buf[..]) {
+            Err(GraphError::DegreeSumMismatch { declared, sum }) => {
+                assert_eq!(sum, g.edge_count() as u64);
+                assert_eq!(declared, g.edge_count() as u64 + 1);
+            }
+            other => panic!("expected DegreeSumMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn edge_list_skips_comments_and_blanks() {
         let text = b"# hello\n\n0 1\n  \n# trailing\n1 0\n";
         let g = read_edge_list(&text[..], 0).unwrap();
@@ -176,7 +216,7 @@ mod tests {
     #[test]
     fn binary_rejects_bad_magic() {
         let buf = b"NOPE\x00\x00\x00\x00";
-        assert!(matches!(read_binary(&buf[..]), Err(GraphError::Parse(_))));
+        assert!(matches!(read_binary(&buf[..]), Err(GraphError::BadMagic)));
     }
 
     #[test]

@@ -45,8 +45,23 @@ pub enum GraphError {
         /// The graph's node count.
         count: u32,
     },
-    /// Malformed input while parsing an edge list or binary blob.
-    Parse(String),
+    /// A malformed line in a text edge list.
+    ParseLine {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A binary blob did not start with the `VNG1` magic bytes.
+    BadMagic,
+    /// A binary blob's per-node degrees did not sum to its declared edge
+    /// count.
+    DegreeSumMismatch {
+        /// Edge count the header declared.
+        declared: u64,
+        /// Sum of the per-node out-degrees actually read.
+        sum: u64,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -57,7 +72,13 @@ impl std::fmt::Display for GraphError {
             GraphError::NodeOutOfRange { node, count } => {
                 write!(f, "node {node} out of range (count {count})")
             }
-            GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::ParseLine { line, message } => {
+                write!(f, "parse error: line {line}: {message}")
+            }
+            GraphError::BadMagic => write!(f, "bad magic; not a VNG1 graph"),
+            GraphError::DegreeSumMismatch { declared, sum } => {
+                write!(f, "degree sum {sum} != edge count {declared}")
+            }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
     }

@@ -74,11 +74,22 @@ pub fn fingerprint_str(s: &str) -> u64 {
     fingerprint_bytes(s.as_bytes())
 }
 
-/// The observability handle: one registry plus one tracer, shared behind
-/// an `Arc` across the pipeline.
-#[derive(Debug)]
+/// The observability handle: one registry plus one tracer.
+///
+/// `Obs` is a cheap *handle*: the registry and tracer live behind an
+/// internal `Arc`, so [`Clone`] produces a second handle to the **same**
+/// state — records made through either clone land in the same manifest.
+/// Pipeline code shares a handle either as `Arc<Obs>` (the historical
+/// shape, still what [`Obs::noop`] returns) or by cloning the handle
+/// directly; the two are interchangeable.
+#[derive(Debug, Clone)]
 pub struct Obs {
     enabled: bool,
+    shared: Arc<ObsShared>,
+}
+
+#[derive(Debug)]
+struct ObsShared {
     metrics: Registry,
     tracer: Tracer,
 }
@@ -86,12 +97,21 @@ pub struct Obs {
 impl Obs {
     /// A recording handle.
     pub fn new() -> Self {
-        Self { enabled: true, metrics: Registry::new(), tracer: Tracer::new() }
+        Self {
+            enabled: true,
+            shared: Arc::new(ObsShared { metrics: Registry::new(), tracer: Tracer::new() }),
+        }
     }
 
     /// A handle where every recording call is a no-op.
     pub fn disabled() -> Self {
-        Self { enabled: false, metrics: Registry::new(), tracer: Tracer::disabled() }
+        Self {
+            enabled: false,
+            shared: Arc::new(ObsShared {
+                metrics: Registry::new(),
+                tracer: Tracer::disabled(),
+            }),
+        }
     }
 
     /// The shared disabled handle. Library entry points that take no
@@ -109,64 +129,64 @@ impl Obs {
 
     /// The metrics registry.
     pub fn metrics(&self) -> &Registry {
-        &self.metrics
+        &self.shared.metrics
     }
 
     /// The span tracer.
     pub fn tracer(&self) -> &Tracer {
-        &self.tracer
+        &self.shared.tracer
     }
 
     /// Wire the simulated clock driving deterministic span timings.
     pub fn set_sim_clock(&self, source: SimTimeSource) {
-        self.tracer.set_sim_time_source(source);
+        self.shared.tracer.set_sim_time_source(source);
     }
 
     /// Add 1 to a counter.
     pub fn inc(&self, name: &str, labels: Labels) {
         if self.enabled {
-            self.metrics.inc(name, labels);
+            self.shared.metrics.inc(name, labels);
         }
     }
 
     /// Add `by` to a counter.
     pub fn inc_by(&self, name: &str, labels: Labels, by: u64) {
         if self.enabled {
-            self.metrics.inc_by(name, labels, by);
+            self.shared.metrics.inc_by(name, labels, by);
         }
     }
 
     /// Set a counter to an absolute value.
     pub fn set_counter(&self, name: &str, labels: Labels, value: u64) {
         if self.enabled {
-            self.metrics.set_counter(name, labels, value);
+            self.shared.metrics.set_counter(name, labels, value);
         }
     }
 
     /// Set a gauge.
     pub fn set_gauge(&self, name: &str, labels: Labels, value: f64) {
         if self.enabled {
-            self.metrics.set_gauge(name, labels, value);
+            self.shared.metrics.set_gauge(name, labels, value);
         }
     }
 
     /// Declare histogram bucket bounds for a metric name.
     pub fn declare_buckets(&self, name: &str, bounds: &[f64]) {
         if self.enabled {
-            self.metrics.declare_buckets(name, bounds);
+            self.shared.metrics.declare_buckets(name, bounds);
         }
     }
 
     /// Record one histogram observation.
     pub fn observe(&self, name: &str, labels: Labels, value: f64) {
         if self.enabled {
-            self.metrics.observe(name, labels, value);
+            self.shared.metrics.observe(name, labels, value);
         }
     }
 
     /// Open a span (no-op guard when disabled).
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
-        self.tracer.span(name)
+        self.shared.tracer.span(name)
     }
 
     /// Accumulate a parallel stage's fork-join work counters
@@ -175,8 +195,8 @@ impl Obs {
     /// static — so they belong in the deterministic manifest view.
     pub fn record_par_work(&self, stage: &str, tasks: u64, steal_free_chunks: u64) {
         if self.enabled {
-            self.metrics.inc_by("par.tasks", &[("stage", stage)], tasks);
-            self.metrics
+            self.shared.metrics.inc_by("par.tasks", &[("stage", stage)], tasks);
+            self.shared.metrics
                 .inc_by("par.steal_free_chunks", &[("stage", stage)], steal_free_chunks);
         }
     }
@@ -189,7 +209,7 @@ impl Obs {
     /// [`RunManifest::deterministic_view`], exactly like span wall times.
     pub fn observe_par_wall(&self, stage: &str, micros: u64) {
         if self.enabled {
-            self.metrics
+            self.shared.metrics
                 .observe("par.stage_wall_micros", &[("stage", stage)], micros as f64);
         }
     }
@@ -199,10 +219,10 @@ impl Obs {
         RunManifest::from_parts(
             label,
             seed,
-            self.metrics.counters(),
-            self.metrics.gauges(),
-            self.metrics.histograms(),
-            &self.tracer.spans(),
+            self.shared.metrics.counters(),
+            self.shared.metrics.gauges(),
+            self.shared.metrics.histograms(),
+            &self.shared.tracer.spans(),
         )
     }
 }
@@ -250,6 +270,20 @@ mod tests {
         assert_eq!(m.stages.len(), 1);
         assert_eq!(m.label, "run");
         assert_eq!(m.seed, 9);
+    }
+
+    #[test]
+    fn clones_share_one_registry_and_tracer() {
+        let obs = Obs::new();
+        let clone = obs.clone();
+        clone.inc_by("work", &[], 2);
+        obs.inc_by("work", &[], 1);
+        {
+            let _s = clone.span("stage");
+        }
+        let m = obs.manifest("shared", 0);
+        assert_eq!(m.counters["work"], 3);
+        assert_eq!(m.stages.len(), 1);
     }
 
     #[test]

@@ -12,111 +12,100 @@
 //! `xmin` — refit it with the same scan, and record its KS distance. The
 //! p-value is the fraction of replicates whose KS exceeds the observed one.
 //!
-//! Two entry-point families exist per distribution:
-//!
-//! * `bootstrap_pvalue_*` — the classic serial protocol drawing every
-//!   replicate from one sequential `rng`.
-//! * `bootstrap_pvalue_*_par` — the production path: each replicate is an
-//!   independent `vnet-par` task with its own
-//!   [`StreamRng::split`](vnet_par::StreamRng::split) stream, so the
-//!   p-value is **bit-identical at any thread count** (including the
-//!   serial pool). This is the variant the analysis drivers use.
+//! One canonical entrypoint exists per distribution —
+//! [`bootstrap_pvalue_discrete`] and [`bootstrap_pvalue_continuous`] —
+//! taking a replicate seed plus an `&AnalysisCtx`: each replicate is an
+//! independent `vnet-par` task drawing from its own
+//! [`StreamRng::split`](vnet_par::StreamRng::split) stream, so the p-value
+//! is **bit-identical at any thread count** (including the serial pool).
+//! The explicit-pool `bootstrap_pvalue_*_par` variants survive as
+//! deprecated shims.
 
 use crate::continuous::{fit_continuous, ContinuousFit};
 use crate::discrete::{fit_discrete, DiscreteFit};
 use crate::{FitOptions, Result};
 use rand::Rng;
+use vnet_ctx::AnalysisCtx;
 use vnet_par::{ParPool, ParStats, StreamRng};
 use vnet_stats::sampling::{ContinuousPowerLaw, DiscretePowerLaw};
 
 /// Bootstrap p-value for a discrete fit. `reps` of ~100 give ±0.03
 /// resolution (CSN recommend 2500 for publication-grade precision; the
 /// paper's p = 0.13 sits comfortably above its 0.1 threshold either way).
-pub fn bootstrap_pvalue_discrete<R: Rng + ?Sized>(
+///
+/// The canonical context-taking entrypoint: replicate `r` draws from the
+/// independent stream `StreamRng::split(seed, r)` and the replicates run
+/// as one fork-join over the context's pool, so the p-value is
+/// deterministic in `(data, fit, reps, opts, seed)` alone — the thread
+/// count never changes the result. Par accounting (stage
+/// `gof.bootstrap.discrete`) lands on the context's observability handle.
+pub fn bootstrap_pvalue_discrete(
     data: &[u64],
     fit: &DiscreteFit,
     reps: usize,
     opts: &FitOptions,
-    rng: &mut R,
+    seed: u64,
+    ctx: &AnalysisCtx,
 ) -> Result<f64> {
-    let positive: Vec<u64> = data.iter().copied().filter(|&x| x > 0).collect();
-    let body: Vec<u64> = positive.iter().copied().filter(|&x| x < fit.xmin).collect();
-    let n = positive.len();
-    let p_tail = fit.n_tail as f64 / n as f64;
-    let sampler = DiscretePowerLaw::new(fit.alpha, fit.xmin);
-
-    let mut exceed = 0usize;
-    let mut valid = 0usize;
-    for _ in 0..reps {
-        let synth: Vec<u64> = (0..n)
-            .map(|_| {
-                if body.is_empty() || rng.random::<f64>() < p_tail {
-                    sampler.sample(rng)
-                } else {
-                    body[rng.random_range(0..body.len())]
-                }
-            })
-            .collect();
-        if let Ok(refit) = fit_discrete(&synth, opts) {
-            valid += 1;
-            if refit.ks >= fit.ks {
-                exceed += 1;
-            }
-        }
-    }
-    if valid == 0 {
-        return Err(crate::PowerLawError::TooFewObservations { needed: 1, got: 0 });
-    }
-    Ok(exceed as f64 / valid as f64)
+    let started = std::time::Instant::now();
+    let (p, par) = bootstrap_discrete_impl(data, fit, reps, opts, seed, ctx.pool())?;
+    ctx.record_par("gof.bootstrap.discrete", &par);
+    ctx.observe_par_wall("gof.bootstrap.discrete", started.elapsed().as_micros() as u64);
+    Ok(p)
 }
 
-/// Bootstrap p-value for a continuous fit; same protocol as
-/// [`bootstrap_pvalue_discrete`].
-pub fn bootstrap_pvalue_continuous<R: Rng + ?Sized>(
+/// Bootstrap p-value for a continuous fit; same stream-splitting protocol
+/// as [`bootstrap_pvalue_discrete`]. Par accounting lands under stage
+/// `gof.bootstrap.continuous`.
+pub fn bootstrap_pvalue_continuous(
     data: &[f64],
     fit: &ContinuousFit,
     reps: usize,
     opts: &FitOptions,
-    rng: &mut R,
+    seed: u64,
+    ctx: &AnalysisCtx,
 ) -> Result<f64> {
-    let positive: Vec<f64> = data.iter().copied().filter(|&x| x > 0.0).collect();
-    let body: Vec<f64> = positive.iter().copied().filter(|&x| x < fit.xmin).collect();
-    let n = positive.len();
-    let p_tail = fit.n_tail as f64 / n as f64;
-    let sampler = ContinuousPowerLaw::new(fit.alpha, fit.xmin);
-
-    let mut exceed = 0usize;
-    let mut valid = 0usize;
-    for _ in 0..reps {
-        let synth: Vec<f64> = (0..n)
-            .map(|_| {
-                if body.is_empty() || rng.random::<f64>() < p_tail {
-                    sampler.sample(rng)
-                } else {
-                    body[rng.random_range(0..body.len())]
-                }
-            })
-            .collect();
-        if let Ok(refit) = fit_continuous(&synth, opts) {
-            valid += 1;
-            if refit.ks >= fit.ks {
-                exceed += 1;
-            }
-        }
-    }
-    if valid == 0 {
-        return Err(crate::PowerLawError::TooFewObservations { needed: 1, got: 0 });
-    }
-    Ok(exceed as f64 / valid as f64)
+    let started = std::time::Instant::now();
+    let (p, par) = bootstrap_continuous_impl(data, fit, reps, opts, seed, ctx.pool())?;
+    ctx.record_par("gof.bootstrap.continuous", &par);
+    ctx.observe_par_wall("gof.bootstrap.continuous", started.elapsed().as_micros() as u64);
+    Ok(p)
 }
 
-/// Parallel bootstrap p-value for a discrete fit: replicate `r` draws from
-/// the independent stream `StreamRng::split(seed, r)` and the replicates
-/// run as one fork-join over `pool`. Deterministic in `(data, fit, reps,
-/// opts, seed)` alone — the pool's thread count never changes the result.
-///
-/// Returns the p-value plus the fork-join work counters for manifests.
+/// Parallel bootstrap p-value for a discrete fit against an explicit pool.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `bootstrap_pvalue_discrete(data, fit, reps, opts, seed, &AnalysisCtx)`; see docs/API.md"
+)]
 pub fn bootstrap_pvalue_discrete_par(
+    data: &[u64],
+    fit: &DiscreteFit,
+    reps: usize,
+    opts: &FitOptions,
+    seed: u64,
+    pool: &ParPool,
+) -> Result<(f64, ParStats)> {
+    bootstrap_discrete_impl(data, fit, reps, opts, seed, pool)
+}
+
+/// Parallel bootstrap p-value for a continuous fit against an explicit
+/// pool.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `bootstrap_pvalue_continuous(data, fit, reps, opts, seed, &AnalysisCtx)`; see docs/API.md"
+)]
+pub fn bootstrap_pvalue_continuous_par(
+    data: &[f64],
+    fit: &ContinuousFit,
+    reps: usize,
+    opts: &FitOptions,
+    seed: u64,
+    pool: &ParPool,
+) -> Result<(f64, ParStats)> {
+    bootstrap_continuous_impl(data, fit, reps, opts, seed, pool)
+}
+
+fn bootstrap_discrete_impl(
     data: &[u64],
     fit: &DiscreteFit,
     reps: usize,
@@ -158,9 +147,7 @@ pub fn bootstrap_pvalue_discrete_par(
     Ok((exceed as f64 / valid as f64, stats))
 }
 
-/// Parallel bootstrap p-value for a continuous fit; same stream-splitting
-/// protocol as [`bootstrap_pvalue_discrete_par`].
-pub fn bootstrap_pvalue_continuous_par(
+fn bootstrap_continuous_impl(
     data: &[f64],
     fit: &ContinuousFit,
     reps: usize,
@@ -218,7 +205,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         let data = DiscretePowerLaw::new(2.6, 2).sample_n(&mut rng, 3_000);
         let fit = fit_discrete(&data, &quick_opts()).unwrap();
-        let p = bootstrap_pvalue_discrete(&data, &fit, 40, &quick_opts(), &mut rng).unwrap();
+        let ctx = AnalysisCtx::quiet();
+        let p = bootstrap_pvalue_discrete(&data, &fit, 40, &quick_opts(), 31, &ctx).unwrap();
         assert!(p > 0.1, "power-law data should pass GoF, p={p}");
     }
 
@@ -240,7 +228,8 @@ mod tests {
             })
             .collect();
         let fit = fit_discrete(&data, &opts).unwrap();
-        let p = bootstrap_pvalue_discrete(&data, &fit, 40, &opts, &mut rng).unwrap();
+        let ctx = AnalysisCtx::quiet();
+        let p = bootstrap_pvalue_discrete(&data, &fit, 40, &opts, 37, &ctx).unwrap();
         assert!(p < 0.1, "geometric data should fail GoF, p={p}");
     }
 
@@ -249,7 +238,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let data = ContinuousPowerLaw::new(3.18, 5.0).sample_n(&mut rng, 2_000);
         let fit = fit_continuous(&data, &quick_opts()).unwrap();
-        let p = bootstrap_pvalue_continuous(&data, &fit, 60, &quick_opts(), &mut rng).unwrap();
+        let ctx = AnalysisCtx::quiet();
+        let p = bootstrap_pvalue_continuous(&data, &fit, 60, &quick_opts(), 41, &ctx).unwrap();
         // Under the null the bootstrap p is ~Uniform(0,1); with a fixed
         // seed we only require it to clear the rejection region.
         assert!(p > 0.05, "p={p}");
@@ -260,8 +250,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let data = DiscretePowerLaw::new(2.2, 1).sample_n(&mut rng, 800);
         let fit = fit_discrete(&data, &quick_opts()).unwrap();
-        let p = bootstrap_pvalue_discrete(&data, &fit, 10, &quick_opts(), &mut rng).unwrap();
+        let ctx = AnalysisCtx::quiet();
+        let p = bootstrap_pvalue_discrete(&data, &fit, 10, &quick_opts(), 43, &ctx).unwrap();
         assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn pvalue_identical_across_thread_counts_and_records_par_work() {
+        let mut rng = StdRng::seed_from_u64(47);
+        let data = DiscretePowerLaw::new(2.4, 2).sample_n(&mut rng, 1_000);
+        let fit = fit_discrete(&data, &quick_opts()).unwrap();
+        let run = |threads: usize| {
+            bootstrap_pvalue_discrete(
+                &data,
+                &fit,
+                12,
+                &quick_opts(),
+                7,
+                &AnalysisCtx::with_threads(threads),
+            )
+            .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 4] {
+            assert_eq!(reference.to_bits(), run(threads).to_bits(), "threads={threads}");
+        }
+        let obs = vnet_obs::Obs::new();
+        let ctx = AnalysisCtx::from_obs(vnet_par::ParPool::serial(), &obs);
+        let _ = bootstrap_pvalue_discrete(&data, &fit, 12, &quick_opts(), 7, &ctx).unwrap();
+        let m = obs.manifest("gof", 0);
+        assert_eq!(m.counters["par.tasks{stage=gof.bootstrap.discrete}"], 12);
     }
 }
 

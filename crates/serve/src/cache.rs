@@ -1,0 +1,147 @@
+//! Content-addressed result cache for the analysis service.
+//!
+//! Keys are `(dataset fingerprint, options fingerprint, section)` — the
+//! complete provenance of a section payload, since every section is a
+//! pure function of those three (the thread count never affects a result
+//! bit and is excluded from the options fingerprint on purpose). Values
+//! are the serialized payload plus its FNV fingerprint, so a cache hit
+//! replays the exact bytes a cold computation produced.
+//!
+//! Eviction is least-recently-used over a logical access clock, bounded
+//! by a fixed entry capacity. The cache itself does no locking — the
+//! server wraps it in a `Mutex` and keeps compute *outside* the critical
+//! section.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use verified_net::Section;
+
+/// Full provenance of one cached section payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`verified_net::Dataset::fingerprint`] of the snapshot.
+    pub dataset: u64,
+    /// [`verified_net::AnalysisOptions::fingerprint`] of the request
+    /// options (thread count excluded).
+    pub options: u64,
+    /// The section computed.
+    pub section: Section,
+}
+
+/// One cached section payload: the exact serialized bytes plus their
+/// fingerprint (the same digest batch runs record as `section.<id>`).
+#[derive(Debug)]
+pub struct CachedSection {
+    /// Serialized `SectionReport` JSON, byte-identical to a fresh run.
+    pub payload_json: String,
+    /// FNV-1a fingerprint of `payload_json`.
+    pub fingerprint: u64,
+}
+
+struct Entry {
+    value: Arc<CachedSection>,
+    last_used: u64,
+}
+
+/// Bounded LRU cache of section results.
+pub struct ResultCache {
+    capacity: usize,
+    clock: u64,
+    entries: HashMap<CacheKey, Entry>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` section payloads. Capacity 0
+    /// disables caching (every insert is dropped immediately).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, clock: 0, entries: HashMap::new() }
+    }
+
+    /// Look up a payload, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<CachedSection>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.value)
+        })
+    }
+
+    /// Insert a payload, evicting least-recently-used entries to stay
+    /// within capacity. Returns how many entries were evicted.
+    pub fn insert(&mut self, key: CacheKey, value: Arc<CachedSection>) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.clock += 1;
+        self.entries.insert(key, Entry { value, last_used: self.clock });
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            // The access clock is strictly increasing, so the minimum is
+            // unique and eviction order is deterministic.
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty over capacity");
+            self.entries.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Number of cached payloads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(ds: u64, sec: Section) -> CacheKey {
+        CacheKey { dataset: ds, options: 1, section: sec }
+    }
+
+    fn val(s: &str) -> Arc<CachedSection> {
+        Arc::new(CachedSection { payload_json: s.to_string(), fingerprint: 0 })
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        assert_eq!(c.insert(key(1, Section::Basic), val("a")), 0);
+        assert_eq!(c.insert(key(2, Section::Basic), val("b")), 0);
+        // Touch the first entry so the second becomes LRU.
+        assert!(c.get(&key(1, Section::Basic)).is_some());
+        assert_eq!(c.insert(key(3, Section::Basic), val("c")), 1);
+        assert!(c.get(&key(2, Section::Basic)).is_none(), "LRU entry survived");
+        assert!(c.get(&key(1, Section::Basic)).is_some());
+        assert!(c.get(&key(3, Section::Basic)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn distinct_sections_are_distinct_keys() {
+        let mut c = ResultCache::new(8);
+        c.insert(key(1, Section::Basic), val("basic"));
+        c.insert(key(1, Section::Degrees), val("degrees"));
+        assert_eq!(c.get(&key(1, Section::Basic)).unwrap().payload_json, "basic");
+        assert_eq!(c.get(&key(1, Section::Degrees)).unwrap().payload_json, "degrees");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ResultCache::new(0);
+        assert_eq!(c.insert(key(1, Section::Basic), val("a")), 0);
+        assert!(c.is_empty());
+        assert!(c.get(&key(1, Section::Basic)).is_none());
+    }
+}

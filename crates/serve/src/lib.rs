@@ -1,0 +1,54 @@
+//! # vnet-serve — the analysis service
+//!
+//! A long-running, zero-external-dependency analysis service over
+//! [`std::net::TcpListener`]. Clients register [`verified_net::Dataset`] snapshots and
+//! request paper sections over a line-delimited JSON protocol; the server
+//! schedules analysis on the shared [`vnet_par::ParPool`] via one
+//! [`vnet_ctx::AnalysisCtx`], bounds concurrent work with an in-flight
+//! limit and per-request timeouts, and answers repeat queries from a
+//! content-addressed result cache keyed by
+//! `(dataset fingerprint, options fingerprint, section)`.
+//!
+//! Because every section is computed through
+//! [`verified_net::run_analysis_section`] — the same entrypoint the batch
+//! driver composes — a cached reply is **byte-identical** to a fresh
+//! computation at any thread count, and the per-section fingerprints a
+//! reply embeds are directly comparable to the `section.<id>` fingerprints
+//! in a batch run's manifest.
+//!
+//! ## Wire protocol
+//!
+//! One JSON object per line in each direction (see `docs/API.md` for the
+//! full schema). Requests carry a `"cmd"` key:
+//!
+//! | cmd        | fields                                                   |
+//! |------------|----------------------------------------------------------|
+//! | `register` | `name`, plus `dir` (saved bundle) or `scale` (synthesize)|
+//! | `analyze`  | `snapshot`, `sections` (ids), optional `options`         |
+//! | `status`   | —                                                        |
+//! | `metrics`  | —                                                        |
+//! | `shutdown` | — (drains in-flight work, then stops accepting)          |
+//!
+//! Replies are `{"ok":true,...}` or
+//! `{"ok":false,"error":{"code":"...","message":"..."}}` with codes from
+//! [`verified_net::VnetError::code`].
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use vnet_serve::{Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig::default()).unwrap();
+//! println!("serving on {}", handle.local_addr());
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod protocol;
+mod server;
+
+pub use cache::{CacheKey, CachedSection, ResultCache};
+pub use protocol::{parse_request, RegisterSource, Request};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,229 @@
+//! Wire protocol: line-delimited JSON requests and replies.
+//!
+//! Each request is one JSON object on one line with a `"cmd"` key; each
+//! reply is one JSON object on one line with an `"ok"` key. Parsing is
+//! strict about what it needs and silent about extra keys, so the
+//! protocol can grow compatibly.
+
+use serde_json::Value;
+use verified_net::{AnalysisOptions, Section, VnetError};
+
+/// Where a `register` request gets its dataset from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterSource {
+    /// Load a saved bundle (`verified_net::save_dataset` layout).
+    Dir(String),
+    /// Synthesize at a named scale (`"small"` or `"default"`).
+    Scale(String),
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Register a dataset snapshot under a name.
+    Register {
+        /// Snapshot name for later `analyze` calls.
+        name: String,
+        /// Bundle directory or synthesis scale.
+        source: RegisterSource,
+    },
+    /// Compute (or serve from cache) one or more sections of a snapshot.
+    Analyze {
+        /// A previously registered snapshot name.
+        snapshot: String,
+        /// Sections to compute, in reply order.
+        sections: Vec<Section>,
+        /// Result-affecting knobs; defaults to [`AnalysisOptions::quick`].
+        options: AnalysisOptions,
+    },
+    /// Report snapshots, in-flight work, and lifecycle state.
+    Status,
+    /// Dump the server's metric counters.
+    Metrics,
+    /// Drain in-flight work, then stop accepting connections.
+    Shutdown,
+}
+
+fn required_str(v: &Value, key: &str, cmd: &str) -> Result<String, VnetError> {
+    v[key]
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| VnetError::BadRequest(format!("'{cmd}' needs a string '{key}' field")))
+}
+
+/// Parse the optional `options` object of an `analyze` request.
+///
+/// Starts from the `preset` (`"quick"`, the default, or `"default"` for
+/// the full-cost battery) and overrides any numeric knob given by name.
+fn parse_options(v: &Value) -> Result<AnalysisOptions, VnetError> {
+    let base = match v["preset"].as_str() {
+        None | Some("quick") => AnalysisOptions::quick(),
+        Some("default") => AnalysisOptions::default(),
+        Some(other) => {
+            return Err(VnetError::BadRequest(format!(
+                "unknown options preset '{other}' (quick|default)"
+            )))
+        }
+    };
+    let mut b = base.to_builder();
+    if let Some(n) = v["seed"].as_u64() {
+        b = b.seed(n);
+    }
+    if let Some(n) = v["threads"].as_u64() {
+        b = b.threads(n as usize);
+    }
+    if let Some(n) = v["bootstrap_reps"].as_u64() {
+        b = b.bootstrap_reps(n as usize);
+    }
+    if let Some(n) = v["clustering_samples"].as_u64() {
+        b = b.clustering_samples(n as usize);
+    }
+    if let Some(n) = v["distance_sources"].as_u64() {
+        b = b.distance_sources(n as usize);
+    }
+    if let Some(n) = v["betweenness_pivots"].as_u64() {
+        b = b.betweenness_pivots(n as usize);
+    }
+    if let Some(n) = v["eigen_k"].as_u64() {
+        b = b.eigen_k(n as usize);
+    }
+    if let Some(n) = v["lanczos_steps"].as_u64() {
+        b = b.lanczos_steps(n as usize);
+    }
+    if let Some(n) = v["lag_cap"].as_u64() {
+        b = b.lag_cap(n as usize);
+    }
+    if let Some(n) = v["ngram_rows"].as_u64() {
+        b = b.ngram_rows(n as usize);
+    }
+    if let Some(n) = v["fig1_bins"].as_u64() {
+        b = b.fig1_bins(n as usize);
+    }
+    Ok(b.build())
+}
+
+/// Parse one request line into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, VnetError> {
+    let v: Value = serde_json::from_str(line.trim())
+        .map_err(|e| VnetError::BadRequest(format!("request is not valid JSON: {e}")))?;
+    let cmd = v["cmd"]
+        .as_str()
+        .ok_or_else(|| VnetError::BadRequest("request needs a string 'cmd' field".into()))?;
+    match cmd {
+        "register" => {
+            let name = required_str(&v, "name", "register")?;
+            let source = if let Some(dir) = v["dir"].as_str() {
+                RegisterSource::Dir(dir.to_string())
+            } else if let Some(scale) = v["scale"].as_str() {
+                match scale {
+                    "small" | "default" => RegisterSource::Scale(scale.to_string()),
+                    other => {
+                        return Err(VnetError::BadRequest(format!(
+                            "unknown scale '{other}' (small|default)"
+                        )))
+                    }
+                }
+            } else {
+                return Err(VnetError::BadRequest(
+                    "'register' needs a 'dir' or 'scale' field".into(),
+                ));
+            };
+            Ok(Request::Register { name, source })
+        }
+        "analyze" => {
+            let snapshot = required_str(&v, "snapshot", "analyze")?;
+            let mut sections = Vec::new();
+            let list = &v["sections"];
+            let mut i = 0;
+            while !list[i].is_null() {
+                let id = list[i].as_str().ok_or_else(|| {
+                    VnetError::BadRequest("'sections' must be an array of section ids".into())
+                })?;
+                sections.push(id.parse::<Section>()?);
+                i += 1;
+            }
+            if sections.is_empty() {
+                return Err(VnetError::BadRequest(
+                    "'analyze' needs a non-empty 'sections' array".into(),
+                ));
+            }
+            let options = parse_options(&v["options"])?;
+            Ok(Request::Analyze { snapshot, sections, options })
+        }
+        "status" => Ok(Request::Status),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(VnetError::BadRequest(format!("unknown cmd '{other}'"))),
+    }
+}
+
+/// Serialize an error as a structured protocol reply.
+pub(crate) fn error_reply(e: &VnetError) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}}}}",
+        json_str(e.code()),
+        json_str(&e.to_string()),
+    )
+}
+
+/// JSON-escape a string through the serializer (one escaping policy
+/// everywhere, so replies stay byte-stable).
+pub(crate) fn json_str(s: &str) -> String {
+    serde_json::to_string(&s.to_string()).expect("strings serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_register_and_analyze() {
+        let r = parse_request(r#"{"cmd":"register","name":"a","dir":"/tmp/x"}"#).unwrap();
+        match r {
+            Request::Register { name, source } => {
+                assert_eq!(name, "a");
+                assert_eq!(source, RegisterSource::Dir("/tmp/x".into()));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let r = parse_request(
+            r#"{"cmd":"analyze","snapshot":"a","sections":["basic","degrees"],"options":{"seed":7}}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Analyze { snapshot, sections, options } => {
+                assert_eq!(snapshot, "a");
+                assert_eq!(sections, vec![Section::Basic, Section::Degrees]);
+                assert_eq!(options.seed, 7);
+                assert_eq!(options.lag_cap, AnalysisOptions::quick().lag_cap);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for line in [
+            "not json",
+            r#"{"cmd":"fly"}"#,
+            r#"{"cmd":"register","name":"a"}"#,
+            r#"{"cmd":"analyze","snapshot":"a","sections":[]}"#,
+            r#"{"cmd":"analyze","snapshot":"a","sections":[3]}"#,
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.code(), "bad_request", "line {line} gave {e}");
+        }
+        let e = parse_request(r#"{"cmd":"analyze","snapshot":"a","sections":["nope"]}"#)
+            .unwrap_err();
+        assert_eq!(e.code(), "unknown_section");
+    }
+
+    #[test]
+    fn error_reply_is_structured() {
+        let reply = error_reply(&VnetError::UnknownSnapshot("x\"y".into()));
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v["ok"].as_bool(), Some(false));
+        assert_eq!(v["error"]["code"].as_str(), Some("unknown_snapshot"));
+        assert!(v["error"]["message"].as_str().unwrap().contains("x\"y"));
+    }
+}

@@ -1,0 +1,405 @@
+//! The TCP server: accept loop, per-connection protocol handling,
+//! bounded scheduling on the shared analysis context, and graceful
+//! shutdown.
+//!
+//! Concurrency model: one OS thread per connection reads request lines;
+//! each `analyze` acquires one of `max_in_flight` slots and runs on a
+//! detached worker thread so the connection thread can enforce the
+//! per-request timeout with `recv_timeout` (a timed-out computation
+//! finishes in the background — and still populates the cache — while
+//! the client gets a structured `timeout` error). Shutdown flips a flag
+//! that fails new work fast, then spin-waits until the in-flight count
+//! drains to zero before the accept loop exits.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use verified_net::{
+    run_analysis_section, AnalysisCtx, AnalysisOptions, Dataset, Section, SynthesisConfig,
+    VnetError,
+};
+use vnet_obs::{fingerprint_str, Obs};
+use vnet_par::ParPool;
+
+use crate::cache::{CacheKey, CachedSection, ResultCache};
+use crate::protocol::{error_reply, json_str, parse_request, RegisterSource, Request};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Width of the shared fork-join pool analysis runs on.
+    pub threads: usize,
+    /// Maximum concurrently running `analyze` requests; further requests
+    /// get a `queue_full` reply instead of queueing unboundedly.
+    pub max_in_flight: usize,
+    /// Result-cache capacity in section payloads.
+    pub cache_capacity: usize,
+    /// Per-request compute budget before a `timeout` reply.
+    pub request_timeout_millis: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            max_in_flight: 4,
+            cache_capacity: 64,
+            request_timeout_millis: 120_000,
+        }
+    }
+}
+
+/// One registered dataset snapshot.
+struct Snapshot {
+    dataset: Dataset,
+    fingerprint: u64,
+}
+
+struct Shared {
+    config: ServerConfig,
+    ctx: AnalysisCtx,
+    obs: Arc<Obs>,
+    snapshots: Mutex<BTreeMap<String, Arc<Snapshot>>>,
+    cache: Mutex<ResultCache>,
+    in_flight: AtomicUsize,
+    shutting_down: AtomicBool,
+    stopped: AtomicBool,
+}
+
+/// The service entrypoint; see [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr` and start serving in a background thread.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let obs = Arc::new(Obs::new());
+        let shared = Arc::new(Shared {
+            ctx: AnalysisCtx::new(ParPool::new(config.threads), Arc::clone(&obs)),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            config,
+            obs,
+            snapshots: Mutex::new(BTreeMap::new()),
+            in_flight: AtomicUsize::new(0),
+            shutting_down: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(ServerHandle { local_addr, shared, accept: Some(accept) })
+    }
+}
+
+/// Handle to a running server: address, registration, and lifecycle.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `addr` used port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's observability registry (cache and request counters
+    /// accumulate here; snapshot it with [`Obs::manifest`]).
+    pub fn obs_handle(&self) -> Arc<Obs> {
+        Arc::clone(&self.shared.obs)
+    }
+
+    /// Register a dataset directly (no wire round-trip); returns its
+    /// content fingerprint. Useful for embedding the server in a process
+    /// that already built the dataset.
+    pub fn register_dataset(&self, name: &str, dataset: Dataset) -> u64 {
+        register_snapshot(&self.shared, name, dataset)
+    }
+
+    /// Ask the server to shut down as if a `shutdown` request arrived:
+    /// refuse new work, drain in-flight requests, stop accepting.
+    pub fn shutdown(&self) {
+        drain_and_stop(&self.shared);
+    }
+
+    /// Block until the accept loop exits (after a `shutdown` request or
+    /// [`ServerHandle::shutdown`]).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+const POLL: Duration = Duration::from_millis(10);
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stopped.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(&shared);
+                std::thread::spawn(move || handle_connection(stream, conn_shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (reply, stop_after) = handle_line(&shared, &line);
+                if writer.write_all(reply.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    return;
+                }
+                if stop_after {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.stopped.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatch one request line; returns the reply and whether the
+/// connection (and, for shutdown, the server) should stop afterwards.
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.obs.inc_by("serve.bad_requests", &[], 1);
+            return (error_reply(&e), false);
+        }
+    };
+    match request {
+        Request::Register { name, source } => (handle_register(shared, &name, source), false),
+        Request::Analyze { snapshot, sections, options } => {
+            (handle_analyze(shared, &snapshot, &sections, &options), false)
+        }
+        Request::Status => (handle_status(shared), false),
+        Request::Metrics => (handle_metrics(shared), false),
+        Request::Shutdown => {
+            drain_and_stop(shared);
+            ("{\"ok\":true,\"drained\":true}".to_string(), true)
+        }
+    }
+}
+
+fn drain_and_stop(shared: &Shared) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    while shared.in_flight.load(Ordering::SeqCst) > 0 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    shared.stopped.store(true, Ordering::SeqCst);
+}
+
+fn register_snapshot(shared: &Shared, name: &str, dataset: Dataset) -> u64 {
+    let fingerprint = dataset.fingerprint();
+    let mut snaps = shared.snapshots.lock().expect("snapshots lock");
+    snaps.insert(name.to_string(), Arc::new(Snapshot { dataset, fingerprint }));
+    shared.obs.set_counter("serve.snapshots", &[], snaps.len() as u64);
+    fingerprint
+}
+
+fn handle_register(shared: &Arc<Shared>, name: &str, source: RegisterSource) -> String {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error_reply(&VnetError::ShuttingDown);
+    }
+    let dataset = match source {
+        RegisterSource::Dir(dir) => match verified_net::load_dataset(&dir) {
+            Ok(ds) => ds,
+            Err(e) => return error_reply(&e),
+        },
+        RegisterSource::Scale(scale) => {
+            let config = if scale == "small" {
+                SynthesisConfig::small()
+            } else {
+                SynthesisConfig::default()
+            };
+            Dataset::build(&config, &shared.ctx)
+        }
+    };
+    let summary = dataset.summary();
+    let fingerprint = register_snapshot(shared, name, dataset);
+    format!(
+        "{{\"ok\":true,\"snapshot\":{},\"fingerprint\":{},\"users\":{},\"edges\":{}}}",
+        json_str(name),
+        fingerprint,
+        summary.users,
+        summary.edges,
+    )
+}
+
+fn handle_analyze(
+    shared: &Arc<Shared>,
+    snapshot: &str,
+    sections: &[Section],
+    options: &AnalysisOptions,
+) -> String {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error_reply(&VnetError::ShuttingDown);
+    }
+    let snap = {
+        let snaps = shared.snapshots.lock().expect("snapshots lock");
+        match snaps.get(snapshot) {
+            Some(s) => Arc::clone(s),
+            None => return error_reply(&VnetError::UnknownSnapshot(snapshot.to_string())),
+        }
+    };
+    // Bounded admission: take a slot or refuse outright — a refused
+    // client can back off; an unbounded queue can only fall over.
+    let limit = shared.config.max_in_flight;
+    if shared
+        .in_flight
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < limit).then_some(n + 1))
+        .is_err()
+    {
+        shared.obs.inc_by("serve.rejected{reason=queue_full}", &[], 1);
+        return error_reply(&VnetError::QueueFull { in_flight: limit, limit });
+    }
+    shared.obs.inc_by("serve.requests", &[], 1);
+
+    let worker_shared = Arc::clone(shared);
+    let worker_snapshot = snapshot.to_string();
+    let worker_sections = sections.to_vec();
+    let worker_options = *options;
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let reply = compute_reply(
+            &worker_shared,
+            &worker_snapshot,
+            &snap,
+            &worker_sections,
+            &worker_options,
+        );
+        worker_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let _ = tx.send(reply);
+    });
+    match rx.recv_timeout(Duration::from_millis(shared.config.request_timeout_millis)) {
+        Ok(reply) => reply,
+        Err(_) => {
+            // The worker keeps running (and will still warm the cache);
+            // only this client's wait is over.
+            shared.obs.inc_by("serve.rejected{reason=timeout}", &[], 1);
+            error_reply(&VnetError::Timeout { millis: shared.config.request_timeout_millis })
+        }
+    }
+}
+
+/// Compute (or fetch) every requested section and assemble the reply.
+///
+/// Cache lookups and inserts take the lock briefly; the analysis itself
+/// runs outside it so slow sections never serialize unrelated requests.
+fn compute_reply(
+    shared: &Shared,
+    snapshot: &str,
+    snap: &Snapshot,
+    sections: &[Section],
+    options: &AnalysisOptions,
+) -> String {
+    let opts_fp = options.fingerprint();
+    let mut parts = Vec::with_capacity(sections.len());
+    for &section in sections {
+        let key = CacheKey { dataset: snap.fingerprint, options: opts_fp, section };
+        let cached = shared.cache.lock().expect("cache lock").get(&key);
+        let entry = match cached {
+            Some(hit) => {
+                shared.obs.inc_by("cache.hits", &[], 1);
+                hit
+            }
+            None => {
+                shared.obs.inc_by("cache.misses", &[], 1);
+                let payload =
+                    match run_analysis_section(&snap.dataset, section, options, &shared.ctx) {
+                        Ok(p) => p,
+                        Err(e) => return error_reply(&e),
+                    };
+                let payload_json =
+                    serde_json::to_string(&payload).expect("section payloads serialize");
+                let fingerprint = fingerprint_str(&payload_json);
+                let value = Arc::new(CachedSection { payload_json, fingerprint });
+                let mut cache = shared.cache.lock().expect("cache lock");
+                let evicted = cache.insert(key, Arc::clone(&value));
+                if evicted > 0 {
+                    shared.obs.inc_by("cache.evictions", &[], evicted as u64);
+                }
+                shared.obs.set_counter("cache.entries", &[], cache.len() as u64);
+                value
+            }
+        };
+        parts.push(format!(
+            "{{\"section\":{},\"fingerprint\":{},\"payload\":{}}}",
+            json_str(section.id()),
+            entry.fingerprint,
+            entry.payload_json,
+        ));
+    }
+    format!(
+        "{{\"ok\":true,\"snapshot\":{},\"dataset_fingerprint\":{},\"options_fingerprint\":{},\"sections\":[{}]}}",
+        json_str(snapshot),
+        snap.fingerprint,
+        opts_fp,
+        parts.join(","),
+    )
+}
+
+fn handle_status(shared: &Shared) -> String {
+    let snaps = shared.snapshots.lock().expect("snapshots lock");
+    let names: Vec<String> = snaps.keys().map(|k| json_str(k)).collect();
+    format!(
+        "{{\"ok\":true,\"snapshots\":[{}],\"in_flight\":{},\"cache_entries\":{},\"shutting_down\":{}}}",
+        names.join(","),
+        shared.in_flight.load(Ordering::SeqCst),
+        shared.cache.lock().expect("cache lock").len(),
+        shared.shutting_down.load(Ordering::SeqCst),
+    )
+}
+
+fn handle_metrics(shared: &Shared) -> String {
+    // The manifest's counter map is a BTreeMap: sorted keys, so the reply
+    // is deterministic given the same counter state.
+    let manifest = shared.obs.manifest("serve", 0);
+    let counters: Vec<String> = manifest
+        .counters
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_str(k), v))
+        .collect();
+    format!("{{\"ok\":true,\"counters\":{{{}}}}}", counters.join(","))
+}

@@ -3,6 +3,7 @@
 use crate::laplacian::SymLaplacian;
 use crate::tridiag::tridiag_eigenvalues;
 use rand::Rng;
+use vnet_ctx::AnalysisCtx;
 use vnet_par::{ParPool, ParStats};
 
 /// Approximate the largest `k` eigenvalues of the Laplacian with `steps`
@@ -17,13 +18,31 @@ use vnet_par::{ParPool, ParStats};
 /// eigenvalue problem, which matters here: the power-law fit of Section
 /// IV-B is on the eigenvalue *distribution*, and spurious duplicates would
 /// bias the tail weight.
+///
+/// The canonical context-taking entrypoint: only the operator application
+/// fans out over the context's pool (see [`SymLaplacian::matvec_into_pool`])
+/// — every row of `L v` is independent — so the Ritz values are **bitwise
+/// identical** to the serial iteration at any thread count; the recurrence
+/// itself (dot products, reorthogonalization) stays on the caller's thread
+/// where its sequential order is untouched. Work counters
+/// (`algo.lanczos.*`) and par accounting (stage `lanczos`) land on the
+/// context's observability handle.
 pub fn lanczos_topk<R: Rng + ?Sized>(
     op: &SymLaplacian,
     k: usize,
     steps: usize,
     rng: &mut R,
+    ctx: &AnalysisCtx,
 ) -> Vec<f64> {
-    lanczos_topk_counted(op, k, steps, rng).0
+    let started = std::time::Instant::now();
+    let (ev, stats, par) = lanczos_topk_impl(op, k, steps, rng, ctx.pool());
+    let obs = ctx.obs();
+    obs.set_counter("algo.lanczos.matvecs", &[], stats.matvecs);
+    obs.set_counter("algo.lanczos.reorth_projections", &[], stats.reorth_projections);
+    obs.set_counter("algo.lanczos.restarts", &[], stats.restarts);
+    ctx.record_par("lanczos", &par);
+    ctx.observe_par_wall("lanczos", started.elapsed().as_micros() as u64);
+    ev
 }
 
 /// Work counters from a Lanczos run, for observability manifests.
@@ -37,24 +56,38 @@ pub struct LanczosStats {
     pub restarts: u64,
 }
 
-/// [`lanczos_topk`] plus its work counters.
+/// Serial Lanczos plus its work counters.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `lanczos_topk(op, k, steps, rng, &AnalysisCtx)`; see docs/API.md"
+)]
 pub fn lanczos_topk_counted<R: Rng + ?Sized>(
     op: &SymLaplacian,
     k: usize,
     steps: usize,
     rng: &mut R,
 ) -> (Vec<f64>, LanczosStats) {
-    let (ev, stats, _) = lanczos_topk_pool(op, k, steps, rng, &ParPool::serial());
+    let (ev, stats, _) = lanczos_topk_impl(op, k, steps, rng, &ParPool::serial());
     (ev, stats)
 }
 
-/// [`lanczos_topk_counted`] with the matvec inner loop sharded over `pool`
-/// (see [`SymLaplacian::matvec_into_pool`]). Only the operator application
-/// is parallel — every row of `L v` is independent — so the Ritz values are
-/// **bitwise identical** to the serial iteration at any thread count; the
-/// recurrence itself (dot products, reorthogonalization) stays on the
-/// caller's thread where its sequential order is untouched.
+/// Lanczos against an explicit pool, returning work counters and fork-join
+/// stats.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `lanczos_topk(op, k, steps, rng, &AnalysisCtx)`; see docs/API.md"
+)]
 pub fn lanczos_topk_pool<R: Rng + ?Sized>(
+    op: &SymLaplacian,
+    k: usize,
+    steps: usize,
+    rng: &mut R,
+    pool: &ParPool,
+) -> (Vec<f64>, LanczosStats, ParStats) {
+    lanczos_topk_impl(op, k, steps, rng, pool)
+}
+
+fn lanczos_topk_impl<R: Rng + ?Sized>(
     op: &SymLaplacian,
     k: usize,
     steps: usize,
@@ -182,7 +215,7 @@ mod tests {
         let g = from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
         let l = SymLaplacian::from_digraph(&g);
         let mut rng = StdRng::seed_from_u64(2);
-        let ev = lanczos_topk(&l, 4, 4, &mut rng);
+        let ev = lanczos_topk(&l, 4, 4, &mut rng, &AnalysisCtx::quiet());
         let expect = [3.414_213_562, 2.0, 0.585_786_437, 0.0];
         for (got, want) in ev.iter().zip(expect) {
             assert!((got - want).abs() < 1e-6, "got {got} want {want}");
@@ -203,7 +236,7 @@ mod tests {
         }
         let l = SymLaplacian::from_digraph(&b.build());
         let mut rng = StdRng::seed_from_u64(3);
-        let ev = lanczos_topk(&l, 5, 5, &mut rng);
+        let ev = lanczos_topk(&l, 5, 5, &mut rng, &AnalysisCtx::quiet());
         for &x in &ev[..4] {
             assert!((x - 5.0).abs() < 1e-6, "got {x}");
         }
@@ -220,7 +253,7 @@ mod tests {
         }
         let l = SymLaplacian::from_digraph(&b.build());
         let mut rng = StdRng::seed_from_u64(4);
-        let ev = lanczos_topk(&l, 3, 25, &mut rng);
+        let ev = lanczos_topk(&l, 3, 25, &mut rng, &AnalysisCtx::quiet());
         assert!((ev[0] - n as f64).abs() < 1e-6, "λmax={} want {n}", ev[0]);
         // The middle of the spectrum is all 1's for a star.
         assert!((ev[1] - 1.0).abs() < 1e-6);
@@ -232,7 +265,7 @@ mod tests {
             .unwrap();
         let l = SymLaplacian::from_digraph(&g);
         let mut rng = StdRng::seed_from_u64(5);
-        let ev = lanczos_topk(&l, 3, 8, &mut rng);
+        let ev = lanczos_topk(&l, 3, 8, &mut rng, &AnalysisCtx::quiet());
         assert_eq!(ev.len(), 3);
         for w in ev.windows(2) {
             assert!(w[0] >= w[1] - 1e-9);
@@ -244,7 +277,7 @@ mod tests {
         let g = from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (5, 6), (1, 2)]).unwrap();
         let l = SymLaplacian::from_digraph(&g);
         let mut rng = StdRng::seed_from_u64(6);
-        let ev = lanczos_topk(&l, 7, 7, &mut rng);
+        let ev = lanczos_topk(&l, 7, 7, &mut rng, &AnalysisCtx::quiet());
         for &x in &ev {
             assert!(x >= -1e-9 && x <= 2.0 * l.max_degree() + 1e-9);
         }
@@ -256,7 +289,7 @@ mod tests {
         let g = from_edges(4, &[(0, 1), (2, 3)]).unwrap();
         let l = SymLaplacian::from_digraph(&g);
         let mut rng = StdRng::seed_from_u64(7);
-        let ev = lanczos_topk(&l, 4, 4, &mut rng);
+        let ev = lanczos_topk(&l, 4, 4, &mut rng, &AnalysisCtx::quiet());
         // Spectrum: {2, 2, 0, 0}
         assert!((ev[0] - 2.0).abs() < 1e-6);
         assert!((ev[1] - 2.0).abs() < 1e-6);
@@ -274,7 +307,7 @@ mod tests {
         let l = SymLaplacian::from_digraph(&g);
         let run = |threads: usize| {
             let mut rng = StdRng::seed_from_u64(11);
-            lanczos_topk_pool(&l, 6, 20, &mut rng, &ParPool::new(threads)).0
+            lanczos_topk(&l, 6, 20, &mut rng, &AnalysisCtx::with_threads(threads))
         };
         let reference = run(1);
         for threads in [2, 4, 7] {
@@ -290,8 +323,8 @@ mod tests {
     fn empty_inputs() {
         let l = SymLaplacian::from_digraph(&vnet_graph::DiGraph::empty(0));
         let mut rng = StdRng::seed_from_u64(8);
-        assert!(lanczos_topk(&l, 5, 10, &mut rng).is_empty());
+        assert!(lanczos_topk(&l, 5, 10, &mut rng, &AnalysisCtx::quiet()).is_empty());
         let l2 = SymLaplacian::from_digraph(&vnet_graph::DiGraph::empty(3));
-        assert!(lanczos_topk(&l2, 0, 10, &mut rng).is_empty());
+        assert!(lanczos_topk(&l2, 0, 10, &mut rng, &AnalysisCtx::quiet()).is_empty());
     }
 }

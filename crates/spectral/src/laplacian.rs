@@ -70,8 +70,8 @@ impl SymLaplacian {
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n, "matvec: dimension mismatch");
         assert_eq!(y.len(), self.n, "matvec: output dimension mismatch");
-        for u in 0..self.n {
-            y[u] = self.row_apply(u, x);
+        for (u, slot) in y.iter_mut().enumerate() {
+            *slot = self.row_apply(u, x);
         }
     }
 

@@ -25,6 +25,8 @@ pub mod lanczos;
 pub mod power;
 pub mod tridiag;
 
-pub use lanczos::{lanczos_topk, lanczos_topk_counted, lanczos_topk_pool, LanczosStats};
+pub use lanczos::{lanczos_topk, LanczosStats};
+#[allow(deprecated)]
+pub use lanczos::{lanczos_topk_counted, lanczos_topk_pool};
 pub use laplacian::SymLaplacian;
 pub use power::power_iteration_topk;

@@ -139,7 +139,7 @@ mod tests {
         }
         let l = SymLaplacian::from_digraph(&b.build());
         let power = power_iteration_topk(&l, 4, 1e-13, 20_000, &mut rng);
-        let lanc = lanczos_topk(&l, 4, 40, &mut rng);
+        let lanc = lanczos_topk(&l, 4, 40, &mut rng, &vnet_ctx::AnalysisCtx::quiet());
         for (p, q) in power.iter().zip(&lanc) {
             assert!((p - q).abs() < 1e-4, "power {p} vs lanczos {q}");
         }

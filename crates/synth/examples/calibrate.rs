@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vnet_algos::distances::SourceSpec;
 use vnet_algos::*;
+use vnet_ctx::AnalysisCtx;
 use vnet_obs::{Obs, Reporter};
 use vnet_synth::{VerifiedNetConfig, VerifiedNetwork};
 
@@ -53,7 +54,7 @@ fn main() {
     rep.line(format!("clustering(sampled)={:.4} (paper 0.1583)", clus));
     let d = {
         let _span = obs.span("calibrate.distances");
-        distance_distribution(g, SourceSpec::Sampled(150), &mut rng)
+        distance_distribution(g, SourceSpec::Sampled(150), &mut rng, &AnalysisCtx::quiet())
     };
     rep.line(format!(
         "mean dist={:.3} (paper 2.74), eff diam={:.2}, max={}",

@@ -10,7 +10,7 @@
 //! cargo run --release -p vnet-examples --bin activity_forensics
 //! ```
 
-use verified_net::{Dataset, SynthesisConfig};
+use verified_net::{AnalysisCtx, Dataset, SynthesisConfig};
 use vnet_timeseries::adf::{adf_test, AdfRegression, LagSelection};
 use vnet_timeseries::pelt::pelt_consensus;
 use vnet_timeseries::portmanteau::{box_pierce, ljung_box};
@@ -18,7 +18,7 @@ use vnet_timeseries::seasonal::deseasonalize_weekly;
 use vnet_timeseries::CalendarHeatmap;
 
 fn main() {
-    let dataset = Dataset::synthesize(&SynthesisConfig::small());
+    let dataset = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
     let series = &dataset.activity;
     let start = dataset.activity_start;
     println!(

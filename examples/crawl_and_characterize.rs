@@ -12,7 +12,7 @@
 //! cargo run --release -p vnet-examples --bin crawl_and_characterize [nodes]
 //! ```
 
-use verified_net::{run_full_analysis, AnalysisOptions, Dataset, SynthesisConfig};
+use verified_net::{run_analysis, AnalysisCtx, AnalysisOptions, Dataset, SynthesisConfig};
 use vnet_twittersim::RateLimitPolicy;
 
 fn main() {
@@ -36,8 +36,9 @@ fn main() {
     config.failure_rate = 0.02;
 
     println!("== Section III: data acquisition ==");
+    let ctx = AnalysisCtx::with_threads(4);
     let t = std::time::Instant::now();
-    let dataset = Dataset::synthesize(&config);
+    let dataset = Dataset::build(&config, &ctx);
     let st = &dataset.crawl_stats;
     println!("roster harvested:        {:>10} verified ids", st.roster_size);
     println!("profiles hydrated:       {:>10}", st.profiles_fetched);
@@ -62,7 +63,7 @@ fn main() {
         s.max_out_degree, s.max_out_handle, s.isolated);
 
     println!("\n== Sections IV & V: characterization ==");
-    let report = run_full_analysis(&dataset, &AnalysisOptions::default());
+    let report = run_analysis(&dataset, &AnalysisOptions::default(), &ctx);
 
     println!("\n-- §IV-A basic --");
     println!("giant SCC {:.2}% | {} WCCs | {} attracting components",

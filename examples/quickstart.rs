@@ -5,17 +5,21 @@
 //! cargo run --release -p vnet-examples --bin quickstart
 //! ```
 
-use verified_net::{run_full_analysis, AnalysisOptions, Dataset, SynthesisConfig};
+use verified_net::{run_analysis, AnalysisCtx, AnalysisOptions, Dataset, SynthesisConfig};
 
 fn main() {
     println!("verified-net quickstart — 'Elites Tweet?' (ICDE 2019) reproduction\n");
+
+    // One context carries the fork-join pool and observability registry
+    // through synthesis and analysis alike.
+    let ctx = AnalysisCtx::with_threads(4);
 
     // 1. Synthesize the dataset: generate a society, crawl it through the
     //    simulated REST API exactly as the paper's Section III describes,
     //    and attach a year of Firehose activity.
     let config = SynthesisConfig::default(); // 1:10 paper scale (~23k users)
     println!("synthesizing & crawling a {}-user society ...", config.society.net.nodes);
-    let dataset = Dataset::synthesize(&config);
+    let dataset = Dataset::build(&config, &ctx);
     let s = dataset.summary();
     println!(
         "  crawled {} English verified users, {} internal follow edges\n",
@@ -24,7 +28,7 @@ fn main() {
 
     // 2. Run every analysis of Sections IV and V.
     println!("running the Section IV + V battery ...\n");
-    let report = run_full_analysis(&dataset, &AnalysisOptions::quick());
+    let report = run_analysis(&dataset, &AnalysisOptions::quick(), &ctx);
 
     // 3. Headlines, paper vs measured.
     println!("{:<38} {:>16} {:>16}", "statistic", "paper", "measured");

@@ -1,0 +1,69 @@
+//! The analysis service end-to-end in one process: start a `vnet-serve`
+//! server on a loopback port, register a synthesized snapshot, and walk
+//! the wire protocol — status, a cold `analyze`, the byte-identical
+//! cached repeat, and a graceful shutdown — printing each exchange.
+//!
+//! ```text
+//! cargo run --release -p vnet-examples --bin serve_queries
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use verified_net::{AnalysisCtx, Dataset, SynthesisConfig};
+use vnet_serve::{Server, ServerConfig};
+
+fn main() {
+    println!("== vnet-serve demo ==\n");
+
+    // 1. Start the service (port 0 = pick a free port) and register a
+    //    snapshot directly — a remote client would use the `register`
+    //    command with a saved bundle directory instead.
+    let handle = Server::start(ServerConfig::default()).expect("bind loopback server");
+    println!("server listening on {}", handle.local_addr());
+    println!("synthesizing the small dataset ...");
+    let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+    let fp = handle.register_dataset("demo", ds);
+    println!("registered snapshot 'demo' (fingerprint {fp:016x})\n");
+
+    // 2. Talk the line-delimited JSON protocol over TCP.
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut req = |line: &str| -> String {
+        println!(">> {line}");
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let reply = reply.trim_end().to_string();
+        let shown = if reply.len() > 160 { format!("{}…", &reply[..160]) } else { reply.clone() };
+        println!("<< {shown}\n");
+        reply
+    };
+
+    req(r#"{"cmd":"status"}"#);
+
+    let analyze =
+        r#"{"cmd":"analyze","snapshot":"demo","sections":["basic","reciprocity"],"options":{"seed":42}}"#;
+    let cold = req(analyze);
+    let warm = req(analyze);
+    println!(
+        "cache check: cold and repeat replies byte-identical = {}\n",
+        cold == warm
+    );
+
+    let metrics = req(r#"{"cmd":"metrics"}"#);
+    let v: serde_json::Value = serde_json::from_str(&metrics).unwrap();
+    println!(
+        "cache counters: hits {} / misses {} / entries {}\n",
+        v["counters"]["cache.hits"].as_u64().unwrap_or(0),
+        v["counters"]["cache.misses"].as_u64().unwrap_or(0),
+        v["counters"]["cache.entries"].as_u64().unwrap_or(0),
+    );
+
+    // 3. Graceful shutdown: drains in-flight work, then stops accepting.
+    req(r#"{"cmd":"shutdown"}"#);
+    handle.join();
+    println!("server drained and stopped.");
+}

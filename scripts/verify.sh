@@ -7,8 +7,12 @@
 #                             the manifest-determinism golden tests
 #   scripts/verify.sh par     parallelism lane: vnet-par unit tests + the
 #                             cross-thread-count determinism battery
+#   scripts/verify.sh serve   service lane: vnet-serve unit tests + the
+#                             loopback wire-protocol battery
 #   scripts/verify.sh         tier-1: release build + full quiet test suite
-#   scripts/verify.sh full    tier-1 plus clippy and rustdoc, warnings denied
+#   scripts/verify.sh full    tier-1 plus clippy and rustdoc, warnings
+#                             denied, plus the compat grep lint (deprecated
+#                             *_observed shims live only in compat.rs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,6 +30,10 @@ par)
     cargo test -q -p vnet-par
     cargo test -q -p vnet-integration-tests --test par_determinism
     ;;
+serve)
+    cargo test -q -p vnet-serve
+    cargo test -q -p vnet-integration-tests --test serve_protocol
+    ;;
 tier1)
     cargo build --release
     cargo test -q
@@ -35,9 +43,18 @@ full)
     cargo test -q
     cargo clippy --workspace -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+    # The 0.2 API contract: observed/plain function splits are dead.
+    # Deprecated *_observed shims live only in crates/core/src/compat.rs;
+    # any new one elsewhere in crates/ fails verification (docs/API.md).
+    if grep -rn --include='*.rs' -E 'pub fn [a-z_0-9]*_observed' crates/ |
+        grep -v 'crates/core/src/compat.rs'; then
+        echo "error: new *_observed public function outside compat.rs" >&2
+        echo "       (use an AnalysisCtx parameter instead; see docs/API.md)" >&2
+        exit 1
+    fi
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|obs|par|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|par|serve|tier1|full]" >&2
     exit 2
     ;;
 esac

@@ -177,7 +177,11 @@ proptest! {
     #[test]
     fn pagerank_matches_dense_reference(raw in proptest::collection::vec((0u32..12, 0u32..12), 0..60)) {
         let g = graph_from(12, &raw);
-        let fast = pagerank(&g, PageRankConfig { damping: 0.85, tol: 1e-14, max_iter: 500 });
+        let fast = pagerank(
+            &g,
+            PageRankConfig { damping: 0.85, tol: 1e-14, max_iter: 500 },
+            &vnet_ctx::AnalysisCtx::quiet(),
+        );
         let dense = dense_pagerank(&g, 0.85, 500);
         for v in 0..12usize {
             prop_assert!((fast.scores[v] - dense[v]).abs() < 1e-10,
@@ -207,7 +211,7 @@ proptest! {
         let lap = SymLaplacian::from_digraph(&g);
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let eig = lanczos_topk(&lap, 9, 9, &mut rng);
+        let eig = lanczos_topk(&lap, 9, 9, &mut rng, &vnet_ctx::AnalysisCtx::quiet());
         let deg: Vec<f64> = (0..9).map(|v| lap.degree(v)).collect();
         let trace: f64 = deg.iter().sum();
         let trace2: f64 = deg.iter().map(|&d| d * d + d).sum();

@@ -5,11 +5,12 @@
 //! This is the executable form of EXPERIMENTS.md's "shape expectations"
 //! column.
 
-use verified_net::{run_full_analysis, AnalysisOptions, Dataset, SynthesisConfig};
+use verified_net::{run_analysis, AnalysisCtx, AnalysisOptions, Dataset, SynthesisConfig};
 
 fn report() -> (Dataset, verified_net::AnalysisReport) {
-    let ds = Dataset::synthesize(&SynthesisConfig::small());
-    let report = run_full_analysis(&ds, &AnalysisOptions::quick());
+    let ctx = AnalysisCtx::quiet();
+    let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
+    let report = run_analysis(&ds, &AnalysisOptions::quick(), &ctx);
     (ds, report)
 }
 
@@ -87,9 +88,10 @@ fn report_round_trips_through_json() {
 
 #[test]
 fn analysis_is_deterministic_given_seed() {
-    let ds = Dataset::synthesize(&SynthesisConfig::small());
-    let a = run_full_analysis(&ds, &AnalysisOptions::quick());
-    let b = run_full_analysis(&ds, &AnalysisOptions::quick());
+    let ctx = AnalysisCtx::quiet();
+    let ds = Dataset::build(&SynthesisConfig::small(), &ctx);
+    let a = run_analysis(&ds, &AnalysisOptions::quick(), &ctx);
+    let b = run_analysis(&ds, &AnalysisOptions::quick(), &ctx);
     assert_eq!(a.degrees.alpha, b.degrees.alpha);
     assert_eq!(a.separation.mean, b.separation.mean);
     assert_eq!(a.basic.clustering, b.basic.clustering);

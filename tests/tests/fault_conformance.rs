@@ -281,7 +281,8 @@ fn degraded_datasets_are_accepted_with_provenance() {
             until: (k + 1) * 3_000,
         })
     });
-    let ds = Dataset::synthesize_with_faults(&config, &plan).expect("degraded is not an error");
+    let ds = Dataset::build_with_faults(&config, &plan, &verified_net::AnalysisCtx::quiet())
+        .expect("degraded is not an error");
     match ds.provenance {
         DatasetProvenance::FaultInjected { seed, degraded, passes } => {
             assert_eq!(seed, 99);

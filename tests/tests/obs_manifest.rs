@@ -5,11 +5,14 @@
 //! histograms, simulated-clock stage timings, fingerprints — is a pure
 //! function of the seeded workload. These tests pin that contract across
 //! the full crawl pipeline: two same-seed fault-injected syntheses must
-//! produce byte-identical manifest JSON.
+//! produce byte-identical manifest JSON. They also pin the API-migration
+//! contract: the deprecated `*_observed` shims must leave byte-identical
+//! traces to the `AnalysisCtx` entrypoints that replaced them.
 
 use std::sync::Arc;
-use verified_net::{Dataset, SynthesisConfig};
+use verified_net::{AnalysisCtx, AnalysisOptions, Dataset, SynthesisConfig};
 use vnet_obs::{Obs, RunManifest};
+use vnet_par::ParPool;
 use vnet_twittersim::{FaultPlan, RateLimitPolicy};
 
 /// Run a fault-injected synthesis under a fresh `Obs` and return the
@@ -21,7 +24,8 @@ fn observed_faulty_run(plan_seed: u64) -> (RunManifest, String) {
     };
     let plan = FaultPlan::generate(plan_seed);
     let obs = Arc::new(Obs::new());
-    let ds = Dataset::synthesize_with_faults_observed(&config, &plan, &obs)
+    let ctx = AnalysisCtx::new(ParPool::serial(), Arc::clone(&obs));
+    let ds = Dataset::build_with_faults(&config, &plan, &ctx)
         .expect("healing plan converges");
     let mut manifest = obs.manifest("golden", plan_seed);
     manifest.fingerprint_output("dataset.summary", &ds.summary());
@@ -94,10 +98,11 @@ fn manifest_carries_per_endpoint_and_fault_counters() {
 
 #[test]
 fn analysis_driver_records_one_span_per_stage() {
-    let ds = Dataset::synthesize(&SynthesisConfig::small());
-    let obs = Obs::new();
-    let opts = verified_net::AnalysisOptions::quick();
-    let _report = verified_net::run_full_analysis_observed(&ds, &opts, &obs);
+    let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+    let obs = Arc::new(Obs::new());
+    let opts = AnalysisOptions::quick();
+    let ctx = AnalysisCtx::new(ParPool::serial(), Arc::clone(&obs));
+    let _report = verified_net::run_analysis(&ds, &opts, &ctx);
     let manifest = obs.manifest("analysis", opts.seed);
     for stage in [
         "analysis.basic",
@@ -147,14 +152,75 @@ fn analysis_driver_records_one_span_per_stage() {
 
 #[test]
 fn observed_and_plain_drivers_agree() {
-    // Instrumentation must not perturb results: the observed driver
-    // threads the same RNG stream as the plain one.
-    let ds = Dataset::synthesize(&SynthesisConfig::small());
-    let opts = verified_net::AnalysisOptions::quick();
-    let plain = verified_net::run_full_analysis(&ds, &opts);
-    let obs = Obs::new();
-    let observed = verified_net::run_full_analysis_observed(&ds, &opts, &obs);
+    // Instrumentation must not perturb results: the observed ctx threads
+    // the same RNG streams as the quiet one.
+    let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+    let opts = AnalysisOptions::quick();
+    let plain = verified_net::run_analysis(&ds, &opts, &AnalysisCtx::quiet());
+    let obs = Arc::new(Obs::new());
+    let ctx = AnalysisCtx::new(ParPool::serial(), obs);
+    let observed = verified_net::run_analysis(&ds, &opts, &ctx);
     let a = serde_json::to_string(&plain).expect("serialize");
     let b = serde_json::to_string(&observed).expect("serialize");
     assert_eq!(a, b, "observed driver changed analysis results");
+}
+
+/// API-migration golden: the deprecated `run_full_analysis_observed` shim
+/// must produce the same report *and* the same deterministic manifest as
+/// calling `run_analysis` with an explicitly constructed `AnalysisCtx` —
+/// callers can migrate without any golden churn.
+#[test]
+#[allow(deprecated)]
+fn deprecated_analysis_shims_leave_identical_traces() {
+    let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+    let opts = AnalysisOptions::quick().to_builder().threads(2).bootstrap_reps(4).build();
+
+    let shim_obs = Obs::new();
+    let shim_report = verified_net::run_full_analysis_observed(&ds, &opts, &shim_obs);
+    let mut shim_manifest = shim_obs.manifest("migration", opts.seed);
+    shim_manifest.fingerprint_output("analysis.report", &shim_report);
+
+    let ctx_obs = Arc::new(Obs::new());
+    let ctx = AnalysisCtx::new(ParPool::new(opts.threads), Arc::clone(&ctx_obs));
+    let ctx_report = verified_net::run_analysis(&ds, &opts, &ctx);
+    let mut ctx_manifest = ctx_obs.manifest("migration", opts.seed);
+    ctx_manifest.fingerprint_output("analysis.report", &ctx_report);
+
+    assert_eq!(
+        serde_json::to_string(&shim_report).unwrap(),
+        serde_json::to_string(&ctx_report).unwrap(),
+        "shimmed report must be byte-identical to the ctx entrypoint"
+    );
+    assert_eq!(
+        shim_manifest.deterministic_json(),
+        ctx_manifest.deterministic_json(),
+        "shimmed manifest must be byte-identical to the ctx entrypoint"
+    );
+}
+
+/// Same golden for the synthesis family: `Dataset::synthesize_observed`
+/// and `Dataset::build` with an equivalent ctx leave identical traces and
+/// produce fingerprint-identical datasets.
+#[test]
+#[allow(deprecated)]
+fn deprecated_synthesize_shims_leave_identical_traces() {
+    let config = SynthesisConfig::small();
+
+    let shim_obs = Arc::new(Obs::new());
+    let shim_ds = Dataset::synthesize_observed(&config, &shim_obs);
+    let mut shim_manifest = shim_obs.manifest("migration", 0);
+    shim_manifest.fingerprint_output("dataset.summary", &shim_ds.summary());
+
+    let ctx_obs = Arc::new(Obs::new());
+    let ctx = AnalysisCtx::new(ParPool::serial(), Arc::clone(&ctx_obs));
+    let ctx_ds = Dataset::build(&config, &ctx);
+    let mut ctx_manifest = ctx_obs.manifest("migration", 0);
+    ctx_manifest.fingerprint_output("dataset.summary", &ctx_ds.summary());
+
+    assert_eq!(shim_ds.fingerprint(), ctx_ds.fingerprint());
+    assert_eq!(
+        shim_manifest.deterministic_json(),
+        ctx_manifest.deterministic_json(),
+        "shimmed synthesis manifest must match the ctx entrypoint"
+    );
 }

@@ -12,18 +12,14 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use verified_net::{
-    run_full_analysis_observed, AnalysisOptions, Dataset, SynthesisConfig,
-};
-use vnet_algos::betweenness::betweenness_sampled_pool;
-use vnet_algos::distances::{distance_distribution_pool, SourceSpec};
-use vnet_algos::pagerank::{pagerank_pool, PageRankConfig};
+use verified_net::{run_analysis, AnalysisCtx, AnalysisOptions, Dataset, SynthesisConfig};
+use vnet_algos::betweenness::betweenness_sampled;
+use vnet_algos::distances::{distance_distribution, SourceSpec};
+use vnet_algos::pagerank::{pagerank, PageRankConfig};
 use vnet_obs::Obs;
 use vnet_par::ParPool;
-use vnet_powerlaw::{
-    bootstrap_pvalue_discrete_par, fit_discrete, FitOptions, XminStrategy,
-};
-use vnet_spectral::{lanczos_topk_pool, SymLaplacian};
+use vnet_powerlaw::{bootstrap_pvalue_discrete, fit_discrete, FitOptions, XminStrategy};
+use vnet_spectral::{lanczos_topk, SymLaplacian};
 use vnet_stats::sampling::DiscretePowerLaw;
 use vnet_synth::{VerifiedNetConfig, VerifiedNetwork};
 
@@ -54,13 +50,13 @@ proptest! {
         let data = DiscretePowerLaw::new(2.6, 2).sample_n(&mut rng, 1_200);
         let opts = FitOptions { xmin: XminStrategy::Quantiles(12), min_tail: 10 };
         let fit = fit_discrete(&data, &opts).unwrap();
-        let reference = bootstrap_pvalue_discrete_par(
-            &data, &fit, 20, &opts, seed, &ParPool::serial(),
-        ).unwrap().0;
+        let reference = bootstrap_pvalue_discrete(
+            &data, &fit, 20, &opts, seed, &AnalysisCtx::quiet(),
+        ).unwrap();
         for &threads in &SWEEP[1..] {
-            let p = bootstrap_pvalue_discrete_par(
-                &data, &fit, 20, &opts, seed, &ParPool::new(threads),
-            ).unwrap().0;
+            let p = bootstrap_pvalue_discrete(
+                &data, &fit, 20, &opts, seed, &AnalysisCtx::with_threads(threads),
+            ).unwrap();
             prop_assert_eq!(reference.to_bits(), p.to_bits(), "threads={}", threads);
         }
     }
@@ -73,7 +69,7 @@ proptest! {
         let g = tiny_net(seed);
         let run = |threads: usize| {
             let mut rng = StdRng::seed_from_u64(seed);
-            betweenness_sampled_pool(&g, pivots, &mut rng, &ParPool::new(threads)).0
+            betweenness_sampled(&g, pivots, &mut rng, &AnalysisCtx::with_threads(threads))
         };
         let reference = run(1);
         for &threads in &SWEEP[1..] {
@@ -93,9 +89,10 @@ proptest! {
         let g = tiny_net(seed);
         let run = |threads: usize| {
             let mut rng = StdRng::seed_from_u64(seed);
-            distance_distribution_pool(
-                &g, SourceSpec::Sampled(sources), &mut rng, &ParPool::new(threads),
-            ).0
+            distance_distribution(
+                &g, SourceSpec::Sampled(sources), &mut rng,
+                &AnalysisCtx::with_threads(threads),
+            )
         };
         let reference = run(1);
         for &threads in &SWEEP[1..] {
@@ -110,10 +107,10 @@ fn lanczos_and_pagerank_thread_invariant() {
     let lap = SymLaplacian::from_digraph(&g);
     let eig = |threads: usize| {
         let mut rng = StdRng::seed_from_u64(17);
-        lanczos_topk_pool(&lap, 12, 40, &mut rng, &ParPool::new(threads)).0
+        lanczos_topk(&lap, 12, 40, &mut rng, &AnalysisCtx::with_threads(threads))
     };
     let pr = |threads: usize| {
-        pagerank_pool(&g, PageRankConfig::default(), &ParPool::new(threads)).0.scores
+        pagerank(&g, PageRankConfig::default(), &AnalysisCtx::with_threads(threads)).scores
     };
     let (eig_ref, pr_ref) = (eig(1), pr(1));
     for &threads in &SWEEP[1..] {
@@ -132,10 +129,15 @@ fn lanczos_and_pagerank_thread_invariant() {
 /// GoF path is exercised too). Returns the report JSON and the manifest's
 /// deterministic view JSON.
 fn full_run(threads: usize) -> (String, String) {
-    let ds = Dataset::synthesize(&SynthesisConfig::small());
-    let opts = AnalysisOptions { threads, bootstrap_reps: 6, ..AnalysisOptions::quick() };
+    let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
+    let opts = AnalysisOptions::quick()
+        .to_builder()
+        .threads(threads)
+        .bootstrap_reps(6)
+        .build();
     let obs = Arc::new(Obs::new());
-    let report = run_full_analysis_observed(&ds, &opts, &obs);
+    let ctx = AnalysisCtx::new(ParPool::new(threads), Arc::clone(&obs));
+    let report = run_analysis(&ds, &opts, &ctx);
     let mut manifest = obs.manifest("par-golden", opts.seed);
     manifest.fingerprint_output("analysis.report", &report);
     (serde_json::to_string(&report).unwrap(), manifest.deterministic_json())
@@ -171,12 +173,12 @@ fn manifest_records_steal_free_par_counters() {
     let (_, manifest_json) = full_run(2);
     let manifest: vnet_obs::RunManifest = serde_json::from_str(&manifest_json).unwrap();
     let stages = [
-        "centrality.pagerank",
-        "centrality.betweenness",
-        "separation.bfs",
-        "eigen.lanczos",
-        "eigen.bootstrap",
-        "degrees.bootstrap",
+        "pagerank",
+        "betweenness",
+        "distances.bfs",
+        "lanczos",
+        "gof.bootstrap.continuous",
+        "gof.bootstrap.discrete",
     ];
     for stage in stages {
         let tasks = manifest.counters.get(&format!("par.tasks{{stage={stage}}}"));

@@ -42,7 +42,7 @@ fn spectral_tail_tracks_degree_tail() {
     // per eigenvalue interlacing bounds; with a heavy degree tail the top
     // of the spectrum inherits its shape.
     let lap = SymLaplacian::from_digraph(&net.graph);
-    let eig = lanczos_topk(&lap, 120, 200, &mut rng);
+    let eig = lanczos_topk(&lap, 120, 200, &mut rng, &vnet_ctx::AnalysisCtx::quiet());
     let dmax = (0..net.graph.node_count() as u32)
         .map(|v| vnet_algos::clustering::undirected_neighbors(&net.graph, v).len())
         .max()

@@ -12,7 +12,7 @@ use vnet_timeseries::seasonal::deseasonalize_weekly;
 use vnet_timeseries::Date;
 
 fn dataset() -> Dataset {
-    Dataset::synthesize(&SynthesisConfig::small())
+    Dataset::build(&SynthesisConfig::small(), &verified_net::AnalysisCtx::quiet())
 }
 
 #[test]
