@@ -1,0 +1,464 @@
+//! Deterministic load generator for the `vnet-serve` analysis service.
+//!
+//! ```text
+//! cargo run --release -p vnet-bench --bin serve_load
+//! cargo run --release -p vnet-bench --bin serve_load -- --clients 8 --requests 6 --seed 7
+//! cargo run --release -p vnet-bench --bin serve_load -- --out BENCH_serve.json
+//! ```
+//!
+//! Drives an in-process server over real loopback TCP with the client mix
+//! the connection layer was rebuilt for:
+//!
+//! * **normal clients** — seeded per-client `StdRng` picks a section and
+//!   options seed per request;
+//! * **slow writers** — requests written in chunks with gaps longer than
+//!   the server's 100 ms read tick (the framing regression of the old
+//!   `read_line` loop);
+//! * **duplicate bursts** — barrier-synchronized identical requests on a
+//!   cold key, which must coalesce into one computation;
+//! * **mid-request disconnects** — clients that drop the connection with
+//!   a partial line in the server's framer.
+//!
+//! Every reply's per-section fingerprint is diffed against a batch
+//! [`run_analysis_section`] oracle computed in-process before the server
+//! starts — the same byte-identity contract `repro --manifest` records as
+//! `section.<id>`. The binary exits nonzero on any dropped, corrupted, or
+//! divergent reply, and when no request coalesced (`serve.coalesced == 0`).
+//! The JSON summary (stdout, or `--out <file>`) follows the shape of
+//! `BENCH_par.json`.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verified_net::{
+    run_analysis_section, AnalysisCtx, AnalysisOptions, Dataset, Section, SynthesisConfig,
+};
+use vnet_obs::fingerprint_str;
+use vnet_serve::{Server, ServerConfig, ServerHandle};
+
+/// Sections the mixed phase draws from (cheap enough to request dozens of
+/// times) — the burst phase uses [`Section::Centrality`], slow enough that
+/// concurrent duplicates reliably overlap.
+const MIX_SECTIONS: [Section; 4] =
+    [Section::Basic, Section::Reciprocity, Section::Separation, Section::Degrees];
+/// Options seeds the mixed phase draws from. Three seeds × four sections
+/// keeps the oracle cheap while still exercising cache misses and hits.
+const MIX_SEEDS: [u64; 3] = [11, 12, 13];
+/// Options seeds reserved for burst attempts (never used by the mix, so
+/// every attempt starts on a cold key).
+const BURST_SEED_BASE: u64 = 1000;
+const BURST_ATTEMPTS: u64 = 5;
+
+struct LoadConfig {
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> LoadConfig {
+    let mut config =
+        LoadConfig { clients: 6, requests_per_client: 5, seed: 7, out: None };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--clients" => config.clients = flag_value(&mut it, "--clients"),
+            "--requests" => config.requests_per_client = flag_value(&mut it, "--requests"),
+            "--seed" => config.seed = flag_value(&mut it, "--seed"),
+            "--out" => config.out = Some(it.next().cloned().unwrap_or_else(|| {
+                eprintln!("--out needs a file path");
+                std::process::exit(2);
+            })),
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'\nusage: serve_load [--clients <n>] [--requests <n>] [--seed <n>] [--out <file>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if config.clients < 2 {
+        eprintln!("--clients must be at least 2 (the burst phase needs concurrency)");
+        std::process::exit(2);
+    }
+    config
+}
+
+fn flag_value<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+    match it.next().and_then(|v| v.parse().ok()) {
+        Some(v) => v,
+        None => {
+            eprintln!("{flag} needs a number");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One line-protocol client over loopback TCP.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn req(&mut self, line: &str) -> Result<String, String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        self.read_reply()
+    }
+
+    /// Send a request in `chunks` pieces with `gap` pauses between them —
+    /// a client on a congested or deliberately slow link. The gap exceeds
+    /// the server's read tick, so the framer must carry partial bytes
+    /// across timeout ticks for this to get a reply at all.
+    fn req_slowly(&mut self, line: &str, chunks: usize, gap: Duration) -> Result<String, String> {
+        let bytes = format!("{line}\n");
+        let bytes = bytes.as_bytes();
+        let chunk_len = bytes.len().div_ceil(chunks.max(1));
+        for chunk in bytes.chunks(chunk_len.max(1)) {
+            self.writer
+                .write_all(chunk)
+                .and_then(|()| self.writer.flush())
+                .map_err(|e| format!("slow send failed: {e}"))?;
+            std::thread::sleep(gap);
+        }
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> Result<String, String> {
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err("connection closed before reply".to_string()),
+            Ok(_) => Ok(reply.trim_end().to_string()),
+            Err(e) => Err(format!("read failed: {e}")),
+        }
+    }
+}
+
+fn analyze_request(section: Section, seed: u64) -> String {
+    format!(
+        "{{\"cmd\":\"analyze\",\"snapshot\":\"load\",\"sections\":[\"{}\"],\"options\":{{\"seed\":{}}}}}",
+        section.id(),
+        seed,
+    )
+}
+
+/// Check one reply against the oracle; returns the failure description if
+/// the reply is an error, malformed, or fingerprint-divergent.
+fn check_reply(
+    reply: &str,
+    section: Section,
+    seed: u64,
+    oracle: &BTreeMap<(&'static str, u64), u64>,
+) -> Result<(), String> {
+    let v: serde_json::Value =
+        serde_json::from_str(reply).map_err(|e| format!("unparseable reply ({e}): {reply}"))?;
+    if v["ok"].as_bool() != Some(true) {
+        return Err(format!("error reply for {}/{seed}: {reply}", section.id()));
+    }
+    let got = v["sections"][0]["fingerprint"].as_u64();
+    let expected = oracle.get(&(section.id(), seed)).copied();
+    if got != expected {
+        return Err(format!(
+            "fingerprint mismatch for {}/{seed}: served {got:?}, batch oracle {expected:?}",
+            section.id(),
+        ));
+    }
+    Ok(())
+}
+
+fn counter(handle: &ServerHandle, name: &str) -> u64 {
+    handle.obs_handle().metrics().counter(name, &[])
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let load = parse_args();
+
+    // ------------------------------------------------------------------
+    // Oracle: batch fingerprints for every (section, seed) the run can
+    // request, computed before the server exists. A served fingerprint
+    // that differs from this map is a determinism bug, full stop.
+    // ------------------------------------------------------------------
+    eprintln!("building small-scale dataset and batch oracle ...");
+    let ctx = AnalysisCtx::quiet();
+    let dataset = Dataset::build(&SynthesisConfig::small(), &ctx);
+    let mut oracle: BTreeMap<(&'static str, u64), u64> = BTreeMap::new();
+    let mut oracle_pairs: Vec<(Section, u64)> = MIX_SECTIONS
+        .iter()
+        .flat_map(|&s| MIX_SEEDS.iter().map(move |&seed| (s, seed)))
+        .collect();
+    for attempt in 0..BURST_ATTEMPTS {
+        oracle_pairs.push((Section::Centrality, BURST_SEED_BASE + attempt));
+    }
+    for (section, seed) in oracle_pairs {
+        let opts = AnalysisOptions::quick().to_builder().seed(seed).build();
+        let payload = run_analysis_section(&dataset, section, &opts, &ctx)
+            .unwrap_or_else(|e| panic!("oracle {} failed: {e}", section.id()));
+        let json = serde_json::to_string(&payload).expect("serialize oracle payload");
+        oracle.insert((section.id(), seed), fingerprint_str(&json));
+    }
+    let oracle = Arc::new(oracle);
+
+    let handle = Server::start(ServerConfig {
+        max_in_flight: 4,
+        queue_depth: 2 * load.clients,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    handle.register_dataset("load", dataset.clone());
+    let addr = handle.local_addr();
+
+    let started = Instant::now();
+    let mut failures: Vec<String> = Vec::new();
+
+    // ------------------------------------------------------------------
+    // Phase 1 — duplicate burst: every client fires the identical cold
+    // request at a barrier. The flight map must collapse the overlap into
+    // one computation; replies must be identical to each other and to the
+    // oracle. Coalescing needs true overlap, so on the (rare) attempt
+    // where the leader finishes before any duplicate arrives, retry on a
+    // fresh cold seed.
+    // ------------------------------------------------------------------
+    let mut burst_attempts_used = 0;
+    for attempt in 0..BURST_ATTEMPTS {
+        burst_attempts_used = attempt + 1;
+        let seed = BURST_SEED_BASE + attempt;
+        let request = Arc::new(analyze_request(Section::Centrality, seed));
+        let barrier = Arc::new(Barrier::new(load.clients));
+        let threads: Vec<_> = (0..load.clients)
+            .map(|_| {
+                let request = Arc::clone(&request);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr);
+                    barrier.wait();
+                    c.req(&request)
+                })
+            })
+            .collect();
+        let replies: Vec<Result<String, String>> =
+            threads.into_iter().map(|t| t.join().expect("burst client")).collect();
+        for reply in &replies {
+            match reply {
+                Ok(r) => {
+                    if let Err(f) = check_reply(r, Section::Centrality, seed, &oracle) {
+                        failures.push(format!("burst: {f}"));
+                    }
+                }
+                Err(e) => failures.push(format!("burst: {e}")),
+            }
+        }
+        let distinct: std::collections::BTreeSet<&String> =
+            replies.iter().filter_map(|r| r.as_ref().ok()).collect();
+        if distinct.len() > 1 {
+            failures.push(format!("burst: {} distinct replies to one request", distinct.len()));
+        }
+        if counter(&handle, "serve.coalesced") > 0 {
+            break;
+        }
+        eprintln!("burst attempt {} saw no overlap; retrying on a cold key", attempt + 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2 — seeded mixed load: every client walks its own StdRng
+    // through (section, seed, write-mode) choices. ~1 in 8 requests is
+    // written as a slow trickle across read-timeout ticks.
+    // ------------------------------------------------------------------
+    let mix_threads: Vec<_> = (0..load.clients)
+        .map(|client_id| {
+            let oracle = Arc::clone(&oracle);
+            let requests = load.requests_per_client;
+            let rng_seed = load.seed.wrapping_mul(1009).wrapping_add(client_id as u64);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                let mut c = Client::connect(addr);
+                let mut latencies: Vec<u64> = Vec::new();
+                let mut slow_requests = 0u64;
+                let mut failures: Vec<String> = Vec::new();
+                for _ in 0..requests {
+                    let section = MIX_SECTIONS[rng.random_range(0..MIX_SECTIONS.len())];
+                    let seed = MIX_SEEDS[rng.random_range(0..MIX_SEEDS.len())];
+                    let request = analyze_request(section, seed);
+                    let slow = rng.random_range(0..8u32) == 0;
+                    let begin = Instant::now();
+                    let reply = if slow {
+                        slow_requests += 1;
+                        c.req_slowly(&request, 3, Duration::from_millis(120))
+                    } else {
+                        c.req(&request)
+                    };
+                    let micros = begin.elapsed().as_micros() as u64;
+                    match reply {
+                        Ok(r) => {
+                            if let Err(f) = check_reply(&r, section, seed, &oracle) {
+                                failures.push(format!("client {client_id}: {f}"));
+                            }
+                            // Slow-write latency is dominated by the
+                            // client's own pacing; keep percentiles about
+                            // the server.
+                            if !slow {
+                                latencies.push(micros);
+                            }
+                        }
+                        Err(e) => failures.push(format!("client {client_id}: {e}")),
+                    }
+                }
+                (latencies, slow_requests, failures)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut slow_requests = 0u64;
+    for t in mix_threads {
+        let (lat, slow, fails) = t.join().expect("mix client");
+        latencies.extend(lat);
+        slow_requests += slow;
+        failures.extend(fails);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3 — mid-request disconnects: write half a request, hang up.
+    // The server must discard the fragment and keep serving everyone
+    // else (`serve.bad_requests` stays 0 — a dropped fragment is not a
+    // malformed request).
+    // ------------------------------------------------------------------
+    let disconnects = 2usize;
+    for _ in 0..disconnects {
+        let mut c = Client::connect(addr);
+        c.writer
+            .write_all(b"{\"cmd\":\"analyze\",\"snapshot\":")
+            .and_then(|()| c.writer.flush())
+            .expect("send partial request");
+        drop(c); // hangs up with a partial line in the server's framer
+    }
+    let mut control = Client::connect(addr);
+    match control.req("{\"cmd\":\"status\"}") {
+        Ok(r) if r.contains("\"ok\":true") => {}
+        Ok(r) => failures.push(format!("status after disconnects: {r}")),
+        Err(e) => failures.push(format!("status after disconnects: {e}")),
+    }
+
+    let wall = started.elapsed();
+
+    // ------------------------------------------------------------------
+    // Verdict + summary.
+    // ------------------------------------------------------------------
+    let coalesced = counter(&handle, "serve.coalesced");
+    let requests_admitted = counter(&handle, "serve.requests");
+    let cache_hits = counter(&handle, "cache.hits");
+    let cache_misses = counter(&handle, "cache.misses");
+    let bad_requests = counter(&handle, "serve.bad_requests");
+    let drain_started = Instant::now();
+    handle.shutdown();
+    let drain_micros = drain_started.elapsed().as_micros() as u64;
+    handle.join();
+
+    if bad_requests > 0 {
+        failures.push(format!(
+            "serve.bad_requests = {bad_requests}: a partial or paced request was misparsed"
+        ));
+    }
+    if coalesced == 0 {
+        failures.push(format!(
+            "serve.coalesced = 0 after {burst_attempts_used} burst attempt(s): duplicate requests never shared a computation"
+        ));
+    }
+
+    latencies.sort_unstable();
+    let total_wire_requests =
+        burst_attempts_used as usize * load.clients + load.clients * load.requests_per_client;
+    let note = "Deterministic loopback load: barrier-synchronized duplicate bursts \
+                (single-flight), seeded per-client request mixes with slow-writer trickles \
+                (>100 ms inter-chunk gaps), and mid-request disconnects. Reply fingerprints \
+                are diffed against an in-process batch run_analysis_section oracle; any \
+                divergence fails the run. Latency percentiles exclude slow-writer requests \
+                (client-paced by design) and are wall-clock — nondeterministic, recorded \
+                for tracking only.";
+    let rendered = format!(
+        r#"{{
+  "benchmark": "vnet-serve load mix — serve_load --clients {clients} --requests {reqs} --seed {seed}",
+  "cores": {cores},
+  "note": "{note}",
+  "config": {{
+    "clients": {clients},
+    "requests_per_client": {reqs},
+    "seed": {seed},
+    "burst_attempts": {burst_attempts_used}
+  }},
+  "totals": {{
+    "wire_requests": {total_wire_requests},
+    "admitted": {requests_admitted},
+    "slow_writer_requests": {slow_requests},
+    "disconnects": {disconnects},
+    "failures": {failure_count},
+    "coalesced": {coalesced},
+    "cache_hits": {cache_hits},
+    "cache_misses": {cache_misses}
+  }},
+  "latency_micros": {{
+    "p50": {p50},
+    "p90": {p90},
+    "p99": {p99},
+    "max": {lat_max},
+    "samples": {samples}
+  }},
+  "throughput_rps": {rps:.1},
+  "drain_micros": {drain_micros}
+}}"#,
+        clients = load.clients,
+        reqs = load.requests_per_client,
+        seed = load.seed,
+        cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        failure_count = failures.len(),
+        p50 = percentile(&latencies, 0.50),
+        p90 = percentile(&latencies, 0.90),
+        p99 = percentile(&latencies, 0.99),
+        lat_max = latencies.last().copied().unwrap_or(0),
+        samples = latencies.len(),
+        rps = total_wire_requests as f64 / wall.as_secs_f64(),
+    );
+    match &load.out {
+        Some(path) => {
+            std::fs::write(path, format!("{rendered}\n")).expect("write summary file");
+            eprintln!("summary written to {path}");
+        }
+        None => println!("{rendered}"),
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "serve_load: OK — {total_wire_requests} requests, {coalesced} coalesced, every reply matched the batch oracle"
+        );
+    } else {
+        eprintln!("serve_load: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -31,6 +31,11 @@ pub enum VnetError {
     /// A dataset bundle's components disagree (e.g. profile count ≠ node
     /// count).
     Inconsistent(String),
+    /// Input data fed to an estimator was invalid (non-finite samples
+    /// smuggled through dataset I/O, for example). Distinct from
+    /// [`VnetError::Analysis`] so service clients can tell "your data is
+    /// bad" from "the computation failed".
+    InvalidInput(String),
     /// An analysis section failed (estimator preconditions, fit failures).
     Analysis {
         /// The section that failed.
@@ -71,6 +76,7 @@ impl VnetError {
             VnetError::Api(_) => "api",
             VnetError::CrawlAborted { .. } => "crawl_aborted",
             VnetError::Inconsistent(_) => "inconsistent",
+            VnetError::InvalidInput(_) => "invalid_input",
             VnetError::Analysis { .. } => "analysis",
             VnetError::BadRequest(_) => "bad_request",
             VnetError::UnknownSnapshot(_) => "unknown_snapshot",
@@ -93,6 +99,7 @@ impl std::fmt::Display for VnetError {
                 write!(f, "crawl aborted after {passes} pass(es): {error}")
             }
             VnetError::Inconsistent(m) => write!(f, "inconsistent bundle: {m}"),
+            VnetError::InvalidInput(m) => write!(f, "invalid input: {m}"),
             VnetError::Analysis { section, message } => {
                 write!(f, "analysis section '{}' failed: {message}", section.id())
             }
@@ -160,6 +167,7 @@ mod tests {
         let errors = [
             VnetError::Io(std::io::Error::other("x")),
             VnetError::Inconsistent("x".into()),
+            VnetError::InvalidInput("x".into()),
             VnetError::BadRequest("x".into()),
             VnetError::UnknownSnapshot("x".into()),
             VnetError::UnknownSection("x".into()),

@@ -183,6 +183,19 @@ fn analysis_err(section: Section, e: impl std::fmt::Display) -> VnetError {
     VnetError::Analysis { section, message: e.to_string() }
 }
 
+/// Map a power-law fit failure: invalid *samples* (non-finite values
+/// smuggled through dataset I/O) become [`VnetError::InvalidInput`] so the
+/// service reports them as a client-data problem, not a computation
+/// failure; everything else stays an analysis error.
+pub(crate) fn fit_err(section: Section, e: vnet_powerlaw::PowerLawError) -> VnetError {
+    match e {
+        vnet_powerlaw::PowerLawError::InvalidData(m) => {
+            VnetError::InvalidInput(format!("section '{}': {m}", section.id()))
+        }
+        other => analysis_err(section, other),
+    }
+}
+
 /// Fresh per-section RNG: one seed, one stream per section, so a section
 /// computed alone matches the same section inside a full run.
 fn section_rng(opts: &AnalysisOptions) -> StdRng {
@@ -206,7 +219,7 @@ pub(crate) fn sec_degrees(
 ) -> Result<DegreeReport> {
     let _span = ctx.span("analysis.degrees");
     degree_analysis(ds, &opts.fit, opts.bootstrap_reps, &mut section_rng(opts), ctx)
-        .map_err(|e| analysis_err(Section::Degrees, e))
+        .map_err(|e| fit_err(Section::Degrees, e))
 }
 
 pub(crate) fn sec_eigen(
@@ -224,7 +237,7 @@ pub(crate) fn sec_eigen(
         &mut section_rng(opts),
         ctx,
     )
-    .map_err(|e| analysis_err(Section::Eigen, e))
+    .map_err(|e| fit_err(Section::Eigen, e))
 }
 
 pub(crate) fn sec_reciprocity(
@@ -328,6 +341,22 @@ mod tests {
             Err(VnetError::UnknownSection(s)) => assert_eq!(s, "nope"),
             other => panic!("expected UnknownSection, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn invalid_fit_samples_surface_as_invalid_input() {
+        let e = fit_err(
+            Section::Eigen,
+            vnet_powerlaw::PowerLawError::InvalidData("non-finite value"),
+        );
+        assert_eq!(e.code(), "invalid_input");
+        assert!(e.to_string().contains("eigen"), "message lost the section: {e}");
+        // Other fit failures remain analysis errors.
+        let e = fit_err(
+            Section::Degrees,
+            vnet_powerlaw::PowerLawError::TooFewObservations { needed: 50, got: 3 },
+        );
+        assert_eq!(e.code(), "analysis");
     }
 
     #[test]

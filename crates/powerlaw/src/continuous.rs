@@ -61,7 +61,10 @@ fn ks_distance(tail: &[f64], alpha: f64, xmin: f64) -> f64 {
         return 1.0;
     }
     let mut sorted = tail.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in tail"));
+    // total_cmp, not partial_cmp().expect(): a NaN smuggled through
+    // dataset I/O must degrade the fit, not panic the thread computing it
+    // (the analysis service runs fits on shared worker threads).
+    sorted.sort_by(f64::total_cmp);
     let n = sorted.len() as f64;
     let mut max_d: f64 = 0.0;
     for (i, &x) in sorted.iter().enumerate() {
@@ -86,7 +89,7 @@ pub fn fit_continuous(data: &[f64], opts: &FitOptions) -> Result<ContinuousFit> 
             got: positive.len(),
         });
     }
-    positive.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    positive.sort_by(f64::total_cmp);
     let mut distinct = positive.clone();
     distinct.dedup();
 
@@ -178,6 +181,23 @@ mod tests {
         assert!(fit_continuous(&[1.0, f64::NAN], &FitOptions::default()).is_err());
         assert!(fit_continuous(&[1.0, 2.0], &FitOptions::default()).is_err());
         assert!(fit_continuous(&[-5.0; 50], &FitOptions::default()).is_err());
+    }
+
+    #[test]
+    fn nan_never_panics_the_fit_path() {
+        // `fit_continuous` rejects non-finite input up front…
+        let mut data = synthetic(2.5, 1.0, 200, 11);
+        data[17] = f64::NAN;
+        match fit_continuous(&data, &FitOptions::default()) {
+            Err(PowerLawError::InvalidData(_)) => {}
+            other => panic!("NaN input must be InvalidData, got {other:?}"),
+        }
+        // …and even the closed-form estimator, whose precondition a buggy
+        // caller might violate, no longer panics in the KS sort: the NaN
+        // is absorbed by the `.max(1.0)` log guard (alpha stays finite)
+        // and `total_cmp` orders it last, so the fit degrades gracefully.
+        let fit = fit_alpha_continuous(&[2.0, f64::NAN, 3.0], 2.0);
+        assert!(fit.ks.is_finite() && fit.ks <= 1.0, "ks={}", fit.ks);
     }
 
     #[test]

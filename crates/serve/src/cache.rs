@@ -30,7 +30,7 @@ pub struct CacheKey {
 
 /// One cached section payload: the exact serialized bytes plus their
 /// fingerprint (the same digest batch runs record as `section.<id>`).
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct CachedSection {
     /// Serialized `SectionReport` JSON, byte-identical to a fresh run.
     pub payload_json: String,

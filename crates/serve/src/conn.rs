@@ -1,0 +1,152 @@
+//! Connection tracking and the per-connection protocol loop.
+//!
+//! Every accepted socket is handled on a thread registered in a
+//! [`ConnRegistry`]; shutdown joins them all, so no connection thread
+//! outlives the server (the first service cut leaked detached threads).
+//! The protocol loop frames request lines with [`crate::framing::LineReader`],
+//! which is what makes slow writers safe: a read-timeout tick checks the
+//! stop flag and otherwise *keeps* any partial request bytes buffered.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::framing::{Frame, LineReader};
+use crate::server::{handle_line, Shared};
+
+/// How often an idle connection wakes to check the stop flag. This is the
+/// socket read timeout, not a poll of shared state: the thread sleeps in
+/// `recv` and the kernel wakes it on data; the tick only bounds how long
+/// shutdown waits for idle connections.
+pub(crate) const READ_TICK: Duration = Duration::from_millis(100);
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    /// Threads still running (or not yet observed finished).
+    live: HashMap<u64, JoinHandle<()>>,
+    /// Threads that announced completion; joined in bulk at shutdown.
+    finished: Vec<JoinHandle<()>>,
+    /// Completions that raced ahead of their own registration.
+    early_retired: Vec<u64>,
+    next_id: u64,
+}
+
+/// Registry of connection-handler threads: tracks the live count for
+/// `serve.conn_active` and keeps every `JoinHandle` so shutdown can join
+/// them all.
+#[derive(Debug, Default)]
+pub(crate) struct ConnRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl ConnRegistry {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawn a connection thread and track it. `shared` is used for the
+    /// `serve.conn_active` gauge and `serve.conn_opened`/`closed` counters.
+    pub(crate) fn spawn_connection(self: &Arc<Self>, stream: TcpStream, shared: Arc<Shared>) {
+        let registry = Arc::clone(self);
+        let mut inner = self.inner.lock().expect("conn registry lock");
+        let id = inner.next_id;
+        inner.next_id += 1;
+        shared.obs.inc_by("serve.conn_opened", &[], 1);
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("vnet-serve-conn-{id}"))
+            .spawn(move || {
+                run_connection(stream, &conn_shared);
+                conn_shared.obs.inc_by("serve.conn_closed", &[], 1);
+                registry.retire(id, &conn_shared);
+            })
+            .expect("spawn connection thread");
+        // If the connection already finished (tiny requests race the
+        // registration), its id is parked in `early_retired`.
+        if let Some(pos) = inner.early_retired.iter().position(|&e| e == id) {
+            inner.early_retired.swap_remove(pos);
+            inner.finished.push(handle);
+        } else {
+            inner.live.insert(id, handle);
+        }
+        let live = inner.live.len();
+        drop(inner);
+        shared.obs.set_gauge("serve.conn_active", &[], live as f64);
+    }
+
+    fn retire(&self, id: u64, shared: &Shared) {
+        let mut inner = self.inner.lock().expect("conn registry lock");
+        match inner.live.remove(&id) {
+            Some(handle) => inner.finished.push(handle),
+            None => inner.early_retired.push(id),
+        }
+        let live = inner.live.len();
+        drop(inner);
+        shared.obs.set_gauge("serve.conn_active", &[], live as f64);
+    }
+
+    /// Join every connection thread, live ones included — callers must
+    /// have set the stop flag first so live threads exit at their next
+    /// read tick. Never called from a connection thread (the accept loop
+    /// runs it), so there is no self-join.
+    pub(crate) fn join_all(&self) {
+        loop {
+            let handle = {
+                let mut inner = self.inner.lock().expect("conn registry lock");
+                inner.finished.pop().or_else(|| {
+                    let id = inner.live.keys().next().copied();
+                    id.and_then(|id| inner.live.remove(&id))
+                })
+            };
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// The per-connection protocol loop: frame lines, dispatch, reply.
+fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = LineReader::new(stream);
+    loop {
+        match reader.next_frame() {
+            Ok(Frame::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let (reply, stop_after) = handle_line(shared, &line);
+                if writer.write_all(reply.as_bytes()).is_err()
+                    || writer.write_all(b"\n").is_err()
+                    || writer.flush().is_err()
+                {
+                    return;
+                }
+                if stop_after {
+                    return;
+                }
+            }
+            // A timeout tick: partial request bytes stay buffered in the
+            // reader; only a full stop ends the connection.
+            Ok(Frame::Idle) => {
+                if shared.stopped.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(Frame::Closed) | Err(_) => return,
+        }
+    }
+}

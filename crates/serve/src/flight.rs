@@ -1,0 +1,196 @@
+//! Single-flight coalescing for section computations.
+//!
+//! N concurrent `analyze` requests for the same uncached
+//! `(dataset, options, section)` key should cost one computation, not N:
+//! the first worker to miss the cache becomes the **leader** and computes;
+//! every other worker that arrives while the flight is open becomes a
+//! **follower** and blocks on the flight's condition variable until the
+//! leader publishes the bytes. Followers then fan the identical payload
+//! out to their own clients — byte-identical by construction, since they
+//! share the leader's `Arc<CachedSection>`.
+//!
+//! Flights are removed from the table before completion is signalled, so
+//! an errored computation is retried by the next request instead of being
+//! negatively cached. A leader that panics completes its flight through
+//! [`FlightGuard`]'s `Drop`, so followers can never hang on a dead leader.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::cache::{CacheKey, CachedSection};
+
+/// What a follower receives: the published payload, or the leader's
+/// serialized error reply (sent verbatim to the follower's client too).
+pub(crate) type SectionOutcome = Result<Arc<CachedSection>, String>;
+
+#[derive(Debug)]
+pub(crate) struct Flight {
+    outcome: Mutex<Option<SectionOutcome>>,
+    published: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Self { outcome: Mutex::new(None), published: Condvar::new() }
+    }
+
+    /// Block until the leader publishes. Leaders always publish in bounded
+    /// time (a section computation, or a panic caught by [`FlightGuard`]),
+    /// so this wait needs no timeout of its own — the *request* deadline
+    /// is enforced by the connection thread holding the job handle.
+    pub(crate) fn wait(&self) -> SectionOutcome {
+        let mut outcome = self.outcome.lock().expect("flight outcome lock");
+        while outcome.is_none() {
+            outcome = self.published.wait(outcome).expect("flight outcome lock");
+        }
+        outcome.clone().expect("checked above")
+    }
+
+    fn publish(&self, result: SectionOutcome) {
+        *self.outcome.lock().expect("flight outcome lock") = Some(result);
+        self.published.notify_all();
+    }
+}
+
+/// Role handed to a worker that missed the cache.
+pub(crate) enum Role {
+    /// Compute the section and publish through the returned guard.
+    Leader(FlightGuard),
+    /// Wait on the flight for the leader's outcome.
+    Follower(Arc<Flight>),
+}
+
+/// The open-flights table, keyed like the result cache.
+#[derive(Debug, Default)]
+pub(crate) struct FlightMap {
+    open: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+}
+
+impl FlightMap {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Join the open flight for `key`, or open one and lead it.
+    pub(crate) fn begin(self: &Arc<Self>, key: CacheKey) -> Role {
+        let mut open = self.open.lock().expect("flight map lock");
+        if let Some(flight) = open.get(&key) {
+            return Role::Follower(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        open.insert(key, Arc::clone(&flight));
+        Role::Leader(FlightGuard { map: Arc::clone(self), key, flight, published: false })
+    }
+
+    fn close(&self, key: &CacheKey) {
+        self.open.lock().expect("flight map lock").remove(key);
+    }
+
+    /// Open flights right now (diagnostics).
+    pub(crate) fn open_count(&self) -> usize {
+        self.open.lock().expect("flight map lock").len()
+    }
+}
+
+/// Leadership of one flight. Publishing closes the flight; dropping
+/// without publishing (a panicking leader) publishes an internal-error
+/// outcome so followers never hang.
+pub(crate) struct FlightGuard {
+    map: Arc<FlightMap>,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    published: bool,
+}
+
+impl FlightGuard {
+    /// Publish the leader's outcome to every follower and close the
+    /// flight. Closing happens first, so a request arriving after an
+    /// error starts a fresh flight instead of reading a stale failure.
+    pub(crate) fn publish(mut self, result: SectionOutcome) {
+        self.map.close(&self.key);
+        self.flight.publish(result);
+        self.published = true;
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        if !self.published {
+            self.map.close(&self.key);
+            self.flight.publish(Err(
+                "{\"ok\":false,\"error\":{\"code\":\"analysis\",\"message\":\"section computation aborted\"}}"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verified_net::Section;
+
+    fn key(section: Section) -> CacheKey {
+        CacheKey { dataset: 1, options: 2, section }
+    }
+
+    fn payload(s: &str) -> Arc<CachedSection> {
+        Arc::new(CachedSection { payload_json: s.to_string(), fingerprint: 7 })
+    }
+
+    #[test]
+    fn followers_share_the_leaders_bytes() {
+        let map = Arc::new(FlightMap::new());
+        let leader = match map.begin(key(Section::Basic)) {
+            Role::Leader(g) => g,
+            Role::Follower(_) => panic!("first arrival must lead"),
+        };
+        let followers: Vec<_> = (0..3)
+            .map(|_| match map.begin(key(Section::Basic)) {
+                Role::Follower(f) => {
+                    std::thread::spawn(move || f.wait().expect("payload").payload_json.clone())
+                }
+                Role::Leader(_) => panic!("flight already open"),
+            })
+            .collect();
+        leader.publish(Ok(payload("bytes")));
+        for f in followers {
+            assert_eq!(f.join().expect("follower thread"), "bytes");
+        }
+        assert_eq!(map.open_count(), 0, "flight not closed");
+    }
+
+    #[test]
+    fn errors_are_published_but_not_sticky() {
+        let map = Arc::new(FlightMap::new());
+        let leader = match map.begin(key(Section::Degrees)) {
+            Role::Leader(g) => g,
+            Role::Follower(_) => panic!("first arrival must lead"),
+        };
+        let follower = match map.begin(key(Section::Degrees)) {
+            Role::Follower(f) => f,
+            Role::Leader(_) => panic!("flight already open"),
+        };
+        leader.publish(Err("{\"ok\":false}".to_string()));
+        assert_eq!(follower.wait(), Err("{\"ok\":false}".to_string()));
+        // The error closed the flight: the next arrival leads a fresh one.
+        assert!(matches!(map.begin(key(Section::Degrees)), Role::Leader(_)));
+    }
+
+    #[test]
+    fn dropped_leader_frees_followers() {
+        let map = Arc::new(FlightMap::new());
+        let leader = match map.begin(key(Section::Eigen)) {
+            Role::Leader(g) => g,
+            Role::Follower(_) => panic!("first arrival must lead"),
+        };
+        let follower = match map.begin(key(Section::Eigen)) {
+            Role::Follower(f) => f,
+            Role::Leader(_) => panic!("flight already open"),
+        };
+        drop(leader); // simulated leader panic
+        let outcome = follower.wait();
+        assert!(outcome.expect_err("drop publishes an error").contains("aborted"));
+        assert_eq!(map.open_count(), 0);
+    }
+}

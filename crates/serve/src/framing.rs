@@ -1,0 +1,187 @@
+//! Incremental line framing for the wire protocol.
+//!
+//! The service reads requests from sockets carrying a short read timeout
+//! (the timeout tick is how a connection thread notices shutdown without
+//! blocking forever). The old implementation handed the socket to
+//! [`std::io::BufRead::read_line`], which appends into its output `String`
+//! as bytes arrive — so when the timeout fired mid-request, the caller's
+//! retry loop cleared the string and silently discarded every byte a slow
+//! client had already written. [`LineReader`] fixes that class of bug by
+//! owning the partial-line buffer itself: a timeout surfaces as
+//! [`Frame::Idle`] and the buffered prefix stays intact until the
+//! newline arrives, however many ticks that takes.
+
+use std::io::{ErrorKind, Read};
+
+/// Upper bound on one request line. A peer that streams this much without
+/// a newline is not speaking the protocol; the reader reports an error
+/// and the connection closes rather than buffering unboundedly.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One framing step: what [`LineReader::next_frame`] found.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete request line, newline stripped.
+    Line(String),
+    /// The read timed out before a newline arrived. Any partial line read
+    /// so far is retained; call again to keep waiting.
+    Idle,
+    /// The peer closed the stream (any unterminated trailing fragment is
+    /// discarded — a line is only a request once its newline arrives).
+    Closed,
+}
+
+/// A line framer that survives read timeouts without losing buffered
+/// partial requests.
+#[derive(Debug)]
+pub struct LineReader<R> {
+    source: R,
+    /// Bytes received but not yet returned: zero or more complete lines
+    /// followed by at most one partial line.
+    buf: Vec<u8>,
+    /// Prefix of `buf` already scanned for a newline, so each new chunk is
+    /// scanned once.
+    scanned: usize,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Frame lines out of `source`. The source's read timeout (if any)
+    /// controls how often [`Frame::Idle`] is reported.
+    pub fn new(source: R) -> Self {
+        Self { source, buf: Vec::new(), scanned: 0 }
+    }
+
+    /// Bytes currently buffered waiting for a newline (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read until one of: a complete line, a timeout tick, end of stream,
+    /// or a hard I/O error.
+    pub fn next_frame(&mut self) -> std::io::Result<Frame> {
+        loop {
+            if let Some(pos) = self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+                let end = self.scanned + pos;
+                let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scanned = 0;
+                return Ok(Frame::Line(String::from_utf8_lossy(&line).into_owned()));
+            }
+            self.scanned = self.buf.len();
+            if self.buf.len() > MAX_LINE_BYTES {
+                return Err(std::io::Error::new(
+                    ErrorKind::InvalidData,
+                    "request line exceeds MAX_LINE_BYTES",
+                ));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.source.read(&mut chunk) {
+                Ok(0) => return Ok(Frame::Closed),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    // The partial line (if any) stays in `buf` — this is
+                    // the whole point of the reader.
+                    return Ok(Frame::Idle);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted source: each entry is either bytes to deliver or a
+    /// timeout to raise, exactly the shape a slow client produces.
+    struct Script {
+        steps: std::vec::IntoIter<Result<Vec<u8>, ErrorKind>>,
+    }
+
+    impl Script {
+        fn new(steps: Vec<Result<&str, ErrorKind>>) -> Self {
+            Self {
+                steps: steps
+                    .into_iter()
+                    .map(|s| s.map(|t| t.as_bytes().to_vec()))
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            }
+        }
+    }
+
+    impl Read for Script {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            match self.steps.next() {
+                None => Ok(0),
+                Some(Ok(bytes)) => {
+                    out[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(kind)) => Err(std::io::Error::new(kind, "scripted")),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_line_survives_timeout_ticks() {
+        // The slow-client scenario: a request split across three read
+        // timeouts must still parse as one line.
+        let mut r = LineReader::new(Script::new(vec![
+            Ok("{\"cmd\":"),
+            Err(ErrorKind::WouldBlock),
+            Ok("\"sta"),
+            Err(ErrorKind::TimedOut),
+            Ok("tus\"}\n"),
+        ]));
+        assert_eq!(r.next_frame().expect("frame"), Frame::Idle);
+        assert_eq!(r.buffered(), 7, "partial bytes were dropped");
+        assert_eq!(r.next_frame().expect("frame"), Frame::Idle);
+        assert_eq!(r.buffered(), 11, "partial bytes were dropped");
+        assert_eq!(
+            r.next_frame().expect("frame"),
+            Frame::Line("{\"cmd\":\"status\"}".to_string())
+        );
+        assert_eq!(r.next_frame().expect("frame"), Frame::Closed);
+    }
+
+    #[test]
+    fn pipelined_lines_come_out_one_at_a_time() {
+        let mut r = LineReader::new(Script::new(vec![Ok("a\nbb\r\nccc"), Ok("\n")]));
+        assert_eq!(r.next_frame().expect("frame"), Frame::Line("a".to_string()));
+        assert_eq!(r.next_frame().expect("frame"), Frame::Line("bb".to_string()));
+        assert_eq!(r.next_frame().expect("frame"), Frame::Line("ccc".to_string()));
+        assert_eq!(r.next_frame().expect("frame"), Frame::Closed);
+    }
+
+    #[test]
+    fn eof_discards_unterminated_fragment() {
+        let mut r = LineReader::new(Script::new(vec![Ok("no newline")]));
+        assert_eq!(r.next_frame().expect("frame"), Frame::Closed);
+    }
+
+    #[test]
+    fn oversized_line_is_an_error_not_unbounded_memory() {
+        struct Firehose;
+        impl Read for Firehose {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                out.fill(b'x');
+                Ok(out.len())
+            }
+        }
+        let mut r = LineReader::new(Firehose);
+        let err = loop {
+            match r.next_frame() {
+                Ok(Frame::Idle) => continue,
+                Ok(other) => panic!("firehose produced {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+}

@@ -16,6 +16,19 @@
 //! reply embeds are directly comparable to the `section.<id>` fingerprints
 //! in a batch run's manifest.
 //!
+//! ## Execution model
+//!
+//! Requests are framed by an incremental [`LineReader`] that survives
+//! socket read timeouts without discarding buffered partial requests, so
+//! arbitrarily slow writers are safe. `analyze` work runs on a fixed
+//! worker-pool [`Executor`] (bounded queue, `Condvar` scheduling —
+//! refusals get a structured `queue_full` reply), and concurrent
+//! identical section computations are **single-flighted**: one leader
+//! computes, every coalesced waiter fans out the same bytes
+//! (`serve.coalesced` counts them). Shutdown drains the executor on its
+//! quiescence condvar and joins every worker and connection thread — the
+//! server leaks no threads.
+//!
 //! ## Wire protocol
 //!
 //! One JSON object per line in each direction (see `docs/API.md` for the
@@ -46,9 +59,15 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod conn;
+mod executor;
+mod flight;
+mod framing;
 mod protocol;
 mod server;
 
 pub use cache::{CacheKey, CachedSection, ResultCache};
+pub use executor::{CancelToken, Executor, JobHandle, SubmitRefusal};
+pub use framing::{Frame, LineReader, MAX_LINE_BYTES};
 pub use protocol::{parse_request, RegisterSource, Request};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,24 +1,24 @@
-//! The TCP server: accept loop, per-connection protocol handling,
-//! bounded scheduling on the shared analysis context, and graceful
-//! shutdown.
+//! The TCP server: accept loop, shared state, request dispatch, and
+//! graceful shutdown.
 //!
-//! Concurrency model: one OS thread per connection reads request lines;
-//! each `analyze` acquires one of `max_in_flight` slots and runs on a
-//! detached worker thread so the connection thread can enforce the
-//! per-request timeout with `recv_timeout` (a timed-out computation
-//! finishes in the background — and still populates the cache — while
-//! the client gets a structured `timeout` error). Shutdown flips a flag
-//! that fails new work fast, then spin-waits until the in-flight count
-//! drains to zero before the accept loop exits.
+//! Concurrency model (see `docs/ARCHITECTURE.md` for the full picture):
+//! one registered thread per connection frames request lines through
+//! [`crate::framing::LineReader`] (slow writers keep their partial bytes
+//! across read-timeout ticks); `analyze` work is admitted into a fixed
+//! worker-pool [`Executor`] with a bounded queue (refusals get
+//! `queue_full`); concurrent identical section computations coalesce
+//! through [`FlightMap`] so N waiters cost one computation; and shutdown
+//! is event-driven — the executor's quiescence condvar replaces the old
+//! 5 ms drain poll, a loopback wake replaces the old 10 ms accept poll,
+//! and every worker and connection thread is joined before the listener
+//! dies.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use verified_net::{
     run_analysis_section, AnalysisCtx, AnalysisOptions, Dataset, Section, SynthesisConfig,
@@ -28,6 +28,9 @@ use vnet_obs::{fingerprint_str, Obs};
 use vnet_par::ParPool;
 
 use crate::cache::{CacheKey, CachedSection, ResultCache};
+use crate::conn::ConnRegistry;
+use crate::executor::{CancelToken, Executor, SubmitRefusal};
+use crate::flight::{FlightMap, Role};
 use crate::protocol::{error_reply, json_str, parse_request, RegisterSource, Request};
 
 /// Server construction knobs.
@@ -38,12 +41,17 @@ pub struct ServerConfig {
     pub addr: String,
     /// Width of the shared fork-join pool analysis runs on.
     pub threads: usize,
-    /// Maximum concurrently running `analyze` requests; further requests
-    /// get a `queue_full` reply instead of queueing unboundedly.
+    /// Worker threads in the request executor — the maximum concurrently
+    /// *running* `analyze` requests.
     pub max_in_flight: usize,
+    /// Bounded executor queue: requests admitted beyond the running limit
+    /// wait here; past it they get a `queue_full` reply instead of
+    /// queueing unboundedly.
+    pub queue_depth: usize,
     /// Result-cache capacity in section payloads.
     pub cache_capacity: usize,
-    /// Per-request compute budget before a `timeout` reply.
+    /// Per-request compute budget before a `timeout` reply (the timed-out
+    /// job is cancelled at its next section boundary).
     pub request_timeout_millis: u64,
 }
 
@@ -53,6 +61,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             threads: 2,
             max_in_flight: 4,
+            queue_depth: 4,
             cache_capacity: 64,
             request_timeout_millis: 120_000,
         }
@@ -65,15 +74,18 @@ struct Snapshot {
     fingerprint: u64,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     config: ServerConfig,
     ctx: AnalysisCtx,
-    obs: Arc<Obs>,
+    pub(crate) obs: Arc<Obs>,
+    local_addr: SocketAddr,
     snapshots: Mutex<BTreeMap<String, Arc<Snapshot>>>,
     cache: Mutex<ResultCache>,
-    in_flight: AtomicUsize,
+    executor: Executor,
+    flights: Arc<FlightMap>,
+    conns: Arc<ConnRegistry>,
     shutting_down: AtomicBool,
-    stopped: AtomicBool,
+    pub(crate) stopped: AtomicBool,
 }
 
 /// The service entrypoint; see [`Server::start`].
@@ -83,21 +95,26 @@ impl Server {
     /// Bind `config.addr` and start serving in a background thread.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let obs = Arc::new(Obs::new());
         let shared = Arc::new(Shared {
             ctx: AnalysisCtx::new(ParPool::new(config.threads), Arc::clone(&obs)),
             cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            executor: Executor::new(config.max_in_flight, config.queue_depth, Arc::clone(&obs)),
             config,
             obs,
+            local_addr,
             snapshots: Mutex::new(BTreeMap::new()),
-            in_flight: AtomicUsize::new(0),
+            flights: Arc::new(FlightMap::new()),
+            conns: Arc::new(ConnRegistry::new()),
             shutting_down: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
-        let accept = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        let accept = std::thread::Builder::new()
+            .name("vnet-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
         Ok(ServerHandle { local_addr, shared, accept: Some(accept) })
     }
 }
@@ -115,8 +132,9 @@ impl ServerHandle {
         self.local_addr
     }
 
-    /// The server's observability registry (cache and request counters
-    /// accumulate here; snapshot it with [`Obs::manifest`]).
+    /// The server's observability registry (request, cache, executor and
+    /// connection counters accumulate here; snapshot it with
+    /// [`Obs::manifest`]).
     pub fn obs_handle(&self) -> Arc<Obs> {
         Arc::clone(&self.shared.obs)
     }
@@ -135,7 +153,8 @@ impl ServerHandle {
     }
 
     /// Block until the accept loop exits (after a `shutdown` request or
-    /// [`ServerHandle::shutdown`]).
+    /// [`ServerHandle::shutdown`]). The accept loop in turn joins every
+    /// connection thread, so returning means no server thread survives.
     pub fn join(mut self) {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
@@ -143,64 +162,34 @@ impl ServerHandle {
     }
 }
 
-const POLL: Duration = Duration::from_millis(10);
-
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    // Blocking accept: the thread sleeps in the kernel until a client (or
+    // the shutdown self-connect from `drain_and_stop`) arrives — no
+    // `WouldBlock` polling.
     while !shared.stopped.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let conn_shared = Arc::clone(&shared);
-                std::thread::spawn(move || handle_connection(stream, conn_shared));
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(_) => std::thread::sleep(POLL),
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let (reply, stop_after) = handle_line(&shared, &line);
-                if writer.write_all(reply.as_bytes()).is_err()
-                    || writer.write_all(b"\n").is_err()
-                    || writer.flush().is_err()
-                {
-                    return;
-                }
-                if stop_after {
-                    return;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
                 if shared.stopped.load(Ordering::SeqCst) {
-                    return;
+                    break; // the shutdown wake-up connection
+                }
+                shared.conns.spawn_connection(stream, Arc::clone(&shared));
+            }
+            Err(_) => {
+                if shared.stopped.load(Ordering::SeqCst) {
+                    break;
                 }
             }
-            Err(_) => return,
         }
     }
+    // Listener closes when it drops; connection threads exit at their
+    // next read tick and are all joined here.
+    drop(listener);
+    shared.conns.join_all();
 }
 
 /// Dispatch one request line; returns the reply and whether the
 /// connection (and, for shutdown, the server) should stop afterwards.
-fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => {
@@ -211,7 +200,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
     match request {
         Request::Register { name, source } => (handle_register(shared, &name, source), false),
         Request::Analyze { snapshot, sections, options } => {
-            (handle_analyze(shared, &snapshot, &sections, &options), false)
+            (handle_analyze(shared, &snapshot, sections, options), false)
         }
         Request::Status => (handle_status(shared), false),
         Request::Metrics => (handle_metrics(shared), false),
@@ -222,12 +211,23 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
     }
 }
 
+/// Refuse new work, drain the executor, stop the accept loop. Fully
+/// event-driven: the drain blocks on the executor's quiescence condvar
+/// (wakeup count exported as `serve.drain_wakeups`, duration as the
+/// `serve.drain_wall_micros` histogram), and the accept thread is woken
+/// by a loopback connection instead of a poll.
 fn drain_and_stop(shared: &Shared) {
     shared.shutting_down.store(true, Ordering::SeqCst);
-    while shared.in_flight.load(Ordering::SeqCst) > 0 {
-        std::thread::sleep(Duration::from_millis(5));
-    }
+    let started = Instant::now();
+    let wakeups = shared.executor.drain();
+    shared.obs.inc_by("serve.drain_wakeups", &[], wakeups);
+    shared
+        .obs
+        .observe("serve.drain_wall_micros", &[], started.elapsed().as_micros() as f64);
+    shared.executor.shutdown_and_join(|| error_reply(&VnetError::ShuttingDown));
     shared.stopped.store(true, Ordering::SeqCst);
+    // Wake the accept thread so it observes `stopped` and exits.
+    let _ = TcpStream::connect(shared.local_addr);
 }
 
 fn register_snapshot(shared: &Shared, name: &str, dataset: Dataset) -> u64 {
@@ -270,8 +270,8 @@ fn handle_register(shared: &Arc<Shared>, name: &str, source: RegisterSource) -> 
 fn handle_analyze(
     shared: &Arc<Shared>,
     snapshot: &str,
-    sections: &[Section],
-    options: &AnalysisOptions,
+    sections: Vec<Section>,
+    options: AnalysisOptions,
 ) -> String {
     if shared.shutting_down.load(Ordering::SeqCst) {
         return error_reply(&VnetError::ShuttingDown);
@@ -283,86 +283,119 @@ fn handle_analyze(
             None => return error_reply(&VnetError::UnknownSnapshot(snapshot.to_string())),
         }
     };
-    // Bounded admission: take a slot or refuse outright — a refused
-    // client can back off; an unbounded queue can only fall over.
-    let limit = shared.config.max_in_flight;
-    if shared
-        .in_flight
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < limit).then_some(n + 1))
-        .is_err()
-    {
-        shared.obs.inc_by("serve.rejected{reason=queue_full}", &[], 1);
-        return error_reply(&VnetError::QueueFull { in_flight: limit, limit });
-    }
-    shared.obs.inc_by("serve.requests", &[], 1);
-
+    // Bounded admission: the executor takes the job or refuses outright —
+    // a refused client can back off; an unbounded queue can only fall
+    // over.
     let worker_shared = Arc::clone(shared);
     let worker_snapshot = snapshot.to_string();
-    let worker_sections = sections.to_vec();
-    let worker_options = *options;
-    let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        let reply = compute_reply(
-            &worker_shared,
-            &worker_snapshot,
-            &snap,
-            &worker_sections,
-            &worker_options,
-        );
-        worker_shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        let _ = tx.send(reply);
+    let submitted = shared.executor.submit(move |cancel| {
+        compute_reply(&worker_shared, &worker_snapshot, &snap, &sections, &options, cancel)
     });
-    match rx.recv_timeout(Duration::from_millis(shared.config.request_timeout_millis)) {
-        Ok(reply) => reply,
-        Err(_) => {
-            // The worker keeps running (and will still warm the cache);
-            // only this client's wait is over.
+    let handle = match submitted {
+        Ok(h) => h,
+        Err(SubmitRefusal::Saturated { in_flight, limit }) => {
+            shared.obs.inc_by("serve.rejected{reason=queue_full}", &[], 1);
+            return error_reply(&VnetError::QueueFull { in_flight, limit });
+        }
+        Err(SubmitRefusal::ShuttingDown) => {
+            return error_reply(&VnetError::ShuttingDown);
+        }
+    };
+    shared.obs.inc_by("serve.requests", &[], 1);
+    let budget = Duration::from_millis(shared.config.request_timeout_millis);
+    match handle.wait_timeout(budget) {
+        Some(reply) => reply,
+        None => {
+            // Flag cancellation: the job stops at its next section
+            // boundary (completed sections have already warmed the cache)
+            // instead of burning CPU invisibly.
+            handle.cancel();
             shared.obs.inc_by("serve.rejected{reason=timeout}", &[], 1);
             error_reply(&VnetError::Timeout { millis: shared.config.request_timeout_millis })
         }
     }
 }
 
-/// Compute (or fetch) every requested section and assemble the reply.
-///
-/// Cache lookups and inserts take the lock briefly; the analysis itself
-/// runs outside it so slow sections never serialize unrelated requests.
-fn compute_reply(
+/// Fetch one section from the cache, or compute it under single-flight
+/// coalescing: the first worker to miss becomes the leader and computes;
+/// concurrent workers for the same key follow the open flight and share
+/// the leader's bytes (`serve.coalesced` counts the followers).
+fn section_bytes(
     shared: &Shared,
-    snapshot: &str,
     snap: &Snapshot,
-    sections: &[Section],
+    key: CacheKey,
     options: &AnalysisOptions,
-) -> String {
-    let opts_fp = options.fingerprint();
-    let mut parts = Vec::with_capacity(sections.len());
-    for &section in sections {
-        let key = CacheKey { dataset: snap.fingerprint, options: opts_fp, section };
-        let cached = shared.cache.lock().expect("cache lock").get(&key);
-        let entry = match cached {
-            Some(hit) => {
+) -> Result<Arc<CachedSection>, String> {
+    if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
+        shared.obs.inc_by("cache.hits", &[], 1);
+        return Ok(hit);
+    }
+    match shared.flights.begin(key) {
+        Role::Follower(flight) => {
+            shared.obs.inc_by("serve.coalesced", &[], 1);
+            flight.wait()
+        }
+        Role::Leader(guard) => {
+            // Re-check under leadership: a previous leader may have
+            // populated the cache between our miss and our begin().
+            if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
                 shared.obs.inc_by("cache.hits", &[], 1);
-                hit
+                guard.publish(Ok(Arc::clone(&hit)));
+                return Ok(hit);
             }
-            None => {
-                shared.obs.inc_by("cache.misses", &[], 1);
-                let payload =
-                    match run_analysis_section(&snap.dataset, section, options, &shared.ctx) {
-                        Ok(p) => p,
-                        Err(e) => return error_reply(&e),
-                    };
-                let payload_json =
-                    serde_json::to_string(&payload).expect("section payloads serialize");
-                let fingerprint = fingerprint_str(&payload_json);
-                let value = Arc::new(CachedSection { payload_json, fingerprint });
+            shared.obs.inc_by("cache.misses", &[], 1);
+            let payload = match run_analysis_section(&snap.dataset, key.section, options, &shared.ctx)
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    let reply = error_reply(&e);
+                    guard.publish(Err(reply.clone()));
+                    return Err(reply);
+                }
+            };
+            let payload_json =
+                serde_json::to_string(&payload).expect("section payloads serialize");
+            let fingerprint = fingerprint_str(&payload_json);
+            let value = Arc::new(CachedSection { payload_json, fingerprint });
+            {
                 let mut cache = shared.cache.lock().expect("cache lock");
                 let evicted = cache.insert(key, Arc::clone(&value));
                 if evicted > 0 {
                     shared.obs.inc_by("cache.evictions", &[], evicted as u64);
                 }
                 shared.obs.set_counter("cache.entries", &[], cache.len() as u64);
-                value
             }
+            guard.publish(Ok(Arc::clone(&value)));
+            Ok(value)
+        }
+    }
+}
+
+/// Compute (or fetch) every requested section and assemble the reply.
+/// Runs on an executor worker; `cancel` is checked at section boundaries.
+fn compute_reply(
+    shared: &Shared,
+    snapshot: &str,
+    snap: &Snapshot,
+    sections: &[Section],
+    options: &AnalysisOptions,
+    cancel: &CancelToken,
+) -> String {
+    let opts_fp = options.fingerprint();
+    let mut parts = Vec::with_capacity(sections.len());
+    for &section in sections {
+        if cancel.is_cancelled() {
+            // The waiter is gone (request timeout); stop doing work. Any
+            // sections already computed have warmed the cache.
+            shared.obs.inc_by("serve.cancelled_jobs", &[], 1);
+            return error_reply(&VnetError::Timeout {
+                millis: shared.config.request_timeout_millis,
+            });
+        }
+        let key = CacheKey { dataset: snap.fingerprint, options: opts_fp, section };
+        let entry = match section_bytes(shared, snap, key, options) {
+            Ok(entry) => entry,
+            Err(error_reply) => return error_reply,
         };
         parts.push(format!(
             "{{\"section\":{},\"fingerprint\":{},\"payload\":{}}}",
@@ -383,23 +416,35 @@ fn compute_reply(
 fn handle_status(shared: &Shared) -> String {
     let snaps = shared.snapshots.lock().expect("snapshots lock");
     let names: Vec<String> = snaps.keys().map(|k| json_str(k)).collect();
+    let (queued, running) = shared.executor.in_flight();
     format!(
-        "{{\"ok\":true,\"snapshots\":[{}],\"in_flight\":{},\"cache_entries\":{},\"shutting_down\":{}}}",
+        "{{\"ok\":true,\"snapshots\":[{}],\"in_flight\":{},\"queued\":{},\"open_flights\":{},\"cache_entries\":{},\"shutting_down\":{}}}",
         names.join(","),
-        shared.in_flight.load(Ordering::SeqCst),
+        running,
+        queued,
+        shared.flights.open_count(),
         shared.cache.lock().expect("cache lock").len(),
         shared.shutting_down.load(Ordering::SeqCst),
     )
 }
 
 fn handle_metrics(shared: &Shared) -> String {
-    // The manifest's counter map is a BTreeMap: sorted keys, so the reply
-    // is deterministic given the same counter state.
+    // The manifest's metric maps are BTreeMaps: sorted keys, so the reply
+    // is deterministic given the same recording state.
     let manifest = shared.obs.manifest("serve", 0);
     let counters: Vec<String> = manifest
         .counters
         .iter()
         .map(|(k, v)| format!("{}:{}", json_str(k), v))
         .collect();
-    format!("{{\"ok\":true,\"counters\":{{{}}}}}", counters.join(","))
+    let gauges: Vec<String> = manifest
+        .gauges
+        .iter()
+        .map(|(k, v)| format!("{}:{:?}", json_str(k), v))
+        .collect();
+    format!(
+        "{{\"ok\":true,\"counters\":{{{}}},\"gauges\":{{{}}}}}",
+        counters.join(","),
+        gauges.join(","),
+    )
 }

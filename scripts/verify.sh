@@ -8,7 +8,14 @@
 #   scripts/verify.sh par     parallelism lane: vnet-par unit tests + the
 #                             cross-thread-count determinism battery
 #   scripts/verify.sh serve   service lane: vnet-serve unit tests + the
-#                             loopback wire-protocol battery
+#                             loopback wire-protocol + concurrency
+#                             batteries, with the serve-scoped clippy wall
+#   scripts/verify.sh serve-load
+#                             end-to-end load lane: the seeded serve_load
+#                             client mix against a live server (slow
+#                             writers, duplicate bursts, disconnects);
+#                             fails on any reply that diverges from the
+#                             batch oracle or if nothing coalesced
 #   scripts/verify.sh         tier-1: release build + full quiet test suite
 #   scripts/verify.sh full    tier-1 plus clippy and rustdoc, warnings
 #                             denied, plus the compat grep lint (deprecated
@@ -33,6 +40,14 @@ par)
 serve)
     cargo test -q -p vnet-serve
     cargo test -q -p vnet-integration-tests --test serve_protocol
+    cargo test -q -p vnet-integration-tests --test serve_concurrency
+    # The service runs analyses on shared worker threads: a panic or a
+    # lock held across a wait point takes down more than one request, so
+    # the serve crate holds a stricter wall than the workspace default.
+    cargo clippy -p vnet-serve --no-deps -- -D warnings -D clippy::await_holding_lock -D clippy::unwrap_used
+    ;;
+serve-load)
+    cargo run --release -q -p vnet-bench --bin serve_load -- --clients 4 --requests 4 --seed 7
     ;;
 tier1)
     cargo build --release
@@ -54,7 +69,7 @@ full)
     fi
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|obs|par|serve|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|par|serve|serve-load|tier1|full]" >&2
     exit 2
     ;;
 esac
