@@ -1,36 +1,37 @@
-//! Deterministic load generator for the `vnet-serve` analysis service.
+//! Open-loop soak harness for the `vnet-serve` analysis service.
 //!
 //! ```text
 //! cargo run --release -p vnet-bench --bin serve_load
-//! cargo run --release -p vnet-bench --bin serve_load -- --clients 8 --requests 6 --seed 7
+//! cargo run --release -p vnet-bench --bin serve_load -- --rate 800 --requests 20000
 //! cargo run --release -p vnet-bench --bin serve_load -- --out BENCH_serve.json
 //! ```
 //!
-//! Drives an in-process server over real loopback TCP with the client mix
-//! the connection layer was rebuilt for:
+//! Unlike a closed-loop driver (each client waits for its reply before
+//! sending again, so a slow server quietly throttles its own load), this
+//! harness is **arrival-rate driven**: a seeded Poisson process fixes
+//! every request's send time before the run starts, and the dispatcher
+//! holds to that schedule whether or not replies have come back. Requests
+//! fan out over a pool of pipelined connections (replies on one
+//! connection come back in request order — the per-connection handler
+//! loop is serial), across **two registered snapshots** with distinct
+//! datasets and a pool of client identities charged against the server's
+//! token-bucket admission gate.
 //!
-//! * **normal clients** — seeded per-client `StdRng` picks a section and
-//!   options seed per request;
-//! * **slow writers** — requests written in chunks with gaps longer than
-//!   the server's 100 ms read tick (the framing regression of the old
-//!   `read_line` loop);
-//! * **duplicate bursts** — barrier-synchronized identical requests on a
-//!   cold key, which must coalesce into one computation;
-//! * **mid-request disconnects** — clients that drop the connection with
-//!   a partial line in the server's framer.
-//!
-//! Every reply's per-section fingerprint is diffed against a batch
-//! [`run_analysis_section`] oracle computed in-process before the server
-//! starts — the same byte-identity contract `repro --manifest` records as
-//! `section.<id>`. The binary exits nonzero on any dropped, corrupted, or
-//! divergent reply, and when no request coalesced (`serve.coalesced == 0`).
-//! The JSON summary (stdout, or `--out <file>`) follows the shape of
-//! `BENCH_par.json`.
+//! Every admitted reply's per-section fingerprint is diffed against a
+//! batch [`run_analysis_section`] oracle computed in-process before the
+//! server starts; every rejected reply must be a well-formed
+//! `rate_limited` (with a `retry_after_ms >= 1` hint) or `queue_full`
+//! frame. The binary exits nonzero on any divergence, malformed frame,
+//! accounting mismatch against the server's own counters, leaked
+//! connection, or a shard queue that fails to drain to zero. The JSON
+//! summary (stdout, or `--out <file>`) separates **admitted** from
+//! **rejected** latency populations — both are wall-clock measurements,
+//! recorded for tracking only, never asserted on.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Barrier};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -39,52 +40,75 @@ use verified_net::{
     run_analysis_section, AnalysisCtx, AnalysisOptions, Dataset, Section, SynthesisConfig,
 };
 use vnet_obs::fingerprint_str;
-use vnet_serve::{Server, ServerConfig, ServerHandle};
+use vnet_serve::{AdmissionPolicy, Server, ServerConfig, ServerHandle};
 
-/// Sections the mixed phase draws from (cheap enough to request dozens of
-/// times) — the burst phase uses [`Section::Centrality`], slow enough that
-/// concurrent duplicates reliably overlap.
+/// Sections the soak draws from — cheap enough to request thousands of
+/// times (after the first miss per key everything is a cache hit).
 const MIX_SECTIONS: [Section; 4] =
     [Section::Basic, Section::Reciprocity, Section::Separation, Section::Degrees];
-/// Options seeds the mixed phase draws from. Three seeds × four sections
-/// keeps the oracle cheap while still exercising cache misses and hits.
+/// Options seeds the soak draws from; sections × seeds × snapshots is the
+/// oracle size (24 batch computations).
 const MIX_SEEDS: [u64; 3] = [11, 12, 13];
-/// Options seeds reserved for burst attempts (never used by the mix, so
-/// every attempt starts on a cold key).
-const BURST_SEED_BASE: u64 = 1000;
-const BURST_ATTEMPTS: u64 = 5;
+/// The two registered snapshots. Their datasets are built from different
+/// society seeds, so routing bugs show up as fingerprint divergences.
+const SNAPSHOTS: [&str; 2] = ["alpha", "beta"];
 
 struct LoadConfig {
+    /// Offered arrival rate, requests per second across all clients.
+    rate: f64,
+    /// Total requests in the schedule.
+    requests: usize,
+    /// Pipelined connections the schedule round-robins over.
+    conns: usize,
+    /// Distinct client identities (admission buckets).
     clients: usize,
-    requests_per_client: usize,
     seed: u64,
+    /// Admission quota per client per window.
+    quota: u32,
+    window_ms: u64,
     out: Option<String>,
 }
 
 fn parse_args() -> LoadConfig {
-    let mut config =
-        LoadConfig { clients: 6, requests_per_client: 5, seed: 7, out: None };
+    let mut config = LoadConfig {
+        rate: 400.0,
+        requests: 1_000,
+        conns: 8,
+        clients: 4,
+        seed: 7,
+        quota: 20,
+        window_ms: 250,
+        out: None,
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--rate" => config.rate = flag_value(&mut it, "--rate"),
+            "--requests" => config.requests = flag_value(&mut it, "--requests"),
+            "--conns" => config.conns = flag_value(&mut it, "--conns"),
             "--clients" => config.clients = flag_value(&mut it, "--clients"),
-            "--requests" => config.requests_per_client = flag_value(&mut it, "--requests"),
             "--seed" => config.seed = flag_value(&mut it, "--seed"),
-            "--out" => config.out = Some(it.next().cloned().unwrap_or_else(|| {
-                eprintln!("--out needs a file path");
-                std::process::exit(2);
-            })),
+            "--quota" => config.quota = flag_value(&mut it, "--quota"),
+            "--window-ms" => config.window_ms = flag_value(&mut it, "--window-ms"),
+            "--out" => {
+                config.out = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }))
+            }
             other => {
                 eprintln!(
-                    "unknown argument '{other}'\nusage: serve_load [--clients <n>] [--requests <n>] [--seed <n>] [--out <file>]"
+                    "unknown argument '{other}'\nusage: serve_load [--rate <rps>] [--requests <n>] \
+                     [--conns <n>] [--clients <n>] [--seed <n>] [--quota <n>] [--window-ms <n>] \
+                     [--out <file>]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if config.clients < 2 {
-        eprintln!("--clients must be at least 2 (the burst phase needs concurrency)");
+    if config.rate <= 0.0 || config.requests == 0 || config.conns == 0 || config.clients == 0 {
+        eprintln!("--rate, --requests, --conns and --clients must all be positive");
         std::process::exit(2);
     }
     config
@@ -100,92 +124,115 @@ fn flag_value<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag:
     }
 }
 
-/// One line-protocol client over loopback TCP.
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: SocketAddr) -> Client {
-        let stream = TcpStream::connect(addr).expect("connect to loopback server");
-        Client {
-            reader: BufReader::new(stream.try_clone().expect("clone stream")),
-            writer: stream,
-        }
-    }
-
-    fn req(&mut self, line: &str) -> Result<String, String> {
-        self.writer
-            .write_all(line.as_bytes())
-            .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| format!("send failed: {e}"))?;
-        self.read_reply()
-    }
-
-    /// Send a request in `chunks` pieces with `gap` pauses between them —
-    /// a client on a congested or deliberately slow link. The gap exceeds
-    /// the server's read tick, so the framer must carry partial bytes
-    /// across timeout ticks for this to get a reply at all.
-    fn req_slowly(&mut self, line: &str, chunks: usize, gap: Duration) -> Result<String, String> {
-        let bytes = format!("{line}\n");
-        let bytes = bytes.as_bytes();
-        let chunk_len = bytes.len().div_ceil(chunks.max(1));
-        for chunk in bytes.chunks(chunk_len.max(1)) {
-            self.writer
-                .write_all(chunk)
-                .and_then(|()| self.writer.flush())
-                .map_err(|e| format!("slow send failed: {e}"))?;
-            std::thread::sleep(gap);
-        }
-        self.read_reply()
-    }
-
-    fn read_reply(&mut self) -> Result<String, String> {
-        let mut reply = String::new();
-        match self.reader.read_line(&mut reply) {
-            Ok(0) => Err("connection closed before reply".to_string()),
-            Ok(_) => Ok(reply.trim_end().to_string()),
-            Err(e) => Err(format!("read failed: {e}")),
-        }
-    }
-}
-
-fn analyze_request(section: Section, seed: u64) -> String {
-    format!(
-        "{{\"cmd\":\"analyze\",\"snapshot\":\"load\",\"sections\":[\"{}\"],\"options\":{{\"seed\":{}}}}}",
-        section.id(),
-        seed,
-    )
-}
-
-/// Check one reply against the oracle; returns the failure description if
-/// the reply is an error, malformed, or fingerprint-divergent.
-fn check_reply(
-    reply: &str,
+/// One scheduled request: fixed before the run starts, so the offered
+/// load is a pure function of `(--rate, --requests, --seed)`.
+struct Arrival {
+    at: Duration,
+    snapshot: usize,
     section: Section,
-    seed: u64,
-    oracle: &BTreeMap<(&'static str, u64), u64>,
-) -> Result<(), String> {
-    let v: serde_json::Value =
-        serde_json::from_str(reply).map_err(|e| format!("unparseable reply ({e}): {reply}"))?;
-    if v["ok"].as_bool() != Some(true) {
-        return Err(format!("error reply for {}/{seed}: {reply}", section.id()));
-    }
-    let got = v["sections"][0]["fingerprint"].as_u64();
-    let expected = oracle.get(&(section.id(), seed)).copied();
-    if got != expected {
-        return Err(format!(
-            "fingerprint mismatch for {}/{seed}: served {got:?}, batch oracle {expected:?}",
-            section.id(),
-        ));
-    }
-    Ok(())
+    options_seed: u64,
+    client: usize,
 }
 
-fn counter(handle: &ServerHandle, name: &str) -> u64 {
-    handle.obs_handle().metrics().counter(name, &[])
+/// What the reader thread expects for the next in-order reply on its
+/// connection.
+struct Expect {
+    snapshot: usize,
+    section: Section,
+    options_seed: u64,
+    sent: Instant,
+}
+
+/// One reader thread's tallies.
+#[derive(Default)]
+struct ConnStats {
+    admitted_micros: Vec<u64>,
+    rejected_micros: Vec<u64>,
+    ok_per_shard: [u64; 2],
+    rejected_per_shard: [u64; 2],
+    rate_limited: u64,
+    queue_full: u64,
+    failures: Vec<String>,
+}
+
+type Oracle = BTreeMap<(usize, &'static str, u64), u64>;
+
+fn classify_reply(line: &str, exp: &Expect, oracle: &Oracle, stats: &mut ConnStats) {
+    let micros = exp.sent.elapsed().as_micros() as u64;
+    let v: serde_json::Value = match serde_json::from_str(line) {
+        Ok(v) => v,
+        Err(e) => {
+            stats.failures.push(format!("unparseable reply ({e}): {line}"));
+            return;
+        }
+    };
+    if v["ok"].as_bool() == Some(true) {
+        let want = oracle.get(&(exp.snapshot, exp.section.id(), exp.options_seed)).copied();
+        let got = v["sections"][0]["fingerprint"].as_u64();
+        if got != want {
+            stats.failures.push(format!(
+                "fingerprint mismatch for {}/{}/{}: served {got:?}, batch oracle {want:?}",
+                SNAPSHOTS[exp.snapshot],
+                exp.section.id(),
+                exp.options_seed,
+            ));
+            return;
+        }
+        if v["snapshot"].as_str() != Some(SNAPSHOTS[exp.snapshot]) {
+            stats.failures.push(format!(
+                "reply routed to the wrong shard: wanted {}, got {line}",
+                SNAPSHOTS[exp.snapshot]
+            ));
+            return;
+        }
+        stats.ok_per_shard[exp.snapshot] += 1;
+        stats.admitted_micros.push(micros);
+        return;
+    }
+    match v["error"]["code"].as_str() {
+        Some("rate_limited") => {
+            if v["error"]["retry_after_ms"].as_u64().unwrap_or(0) == 0 {
+                stats.failures.push(format!("rate_limited without a usable retry hint: {line}"));
+                return;
+            }
+            stats.rate_limited += 1;
+        }
+        Some("queue_full") => stats.queue_full += 1,
+        _ => {
+            stats.failures.push(format!("unexpected error reply: {line}"));
+            return;
+        }
+    }
+    stats.rejected_per_shard[exp.snapshot] += 1;
+    stats.rejected_micros.push(micros);
+}
+
+fn reader_loop(
+    stream: TcpStream,
+    rx: mpsc::Receiver<Expect>,
+    oracle: Arc<Oracle>,
+) -> ConnStats {
+    let mut stats = ConnStats::default();
+    let mut reader = BufReader::new(stream);
+    while let Ok(exp) = rx.recv() {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                stats.failures.push("connection closed before its replies drained".to_string());
+                return stats;
+            }
+            Ok(_) => classify_reply(line.trim_end(), &exp, &oracle, &mut stats),
+            Err(e) => {
+                stats.failures.push(format!("read failed: {e}"));
+                return stats;
+            }
+        }
+    }
+    stats
+}
+
+fn counter(handle: &ServerHandle, name: &str, labels: &[(&str, &str)]) -> u64 {
+    handle.obs_handle().metrics().counter(name, labels)
 }
 
 fn percentile(sorted: &[u64], p: f64) -> u64 {
@@ -196,251 +243,303 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+fn latency_json(sorted: &[u64]) -> String {
+    format!(
+        "{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{},\"samples\":{}}}",
+        percentile(sorted, 0.50),
+        percentile(sorted, 0.90),
+        percentile(sorted, 0.99),
+        sorted.last().copied().unwrap_or(0),
+        sorted.len(),
+    )
+}
+
 fn main() {
     let load = parse_args();
 
     // ------------------------------------------------------------------
-    // Oracle: batch fingerprints for every (section, seed) the run can
-    // request, computed before the server exists. A served fingerprint
-    // that differs from this map is a determinism bug, full stop.
+    // Two distinct datasets (different society seeds), and a batch oracle
+    // for every (snapshot, section, seed) the schedule can request. A
+    // served fingerprint that differs from this map is a determinism or
+    // routing bug, full stop.
     // ------------------------------------------------------------------
-    eprintln!("building small-scale dataset and batch oracle ...");
+    eprintln!("building {} small-scale datasets and the batch oracle ...", SNAPSHOTS.len());
     let ctx = AnalysisCtx::quiet();
-    let dataset = Dataset::build(&SynthesisConfig::small(), &ctx);
-    let mut oracle: BTreeMap<(&'static str, u64), u64> = BTreeMap::new();
-    let mut oracle_pairs: Vec<(Section, u64)> = MIX_SECTIONS
-        .iter()
-        .flat_map(|&s| MIX_SEEDS.iter().map(move |&seed| (s, seed)))
+    let datasets: Vec<Dataset> = (0..SNAPSHOTS.len())
+        .map(|i| {
+            let mut config = SynthesisConfig::small();
+            config.society.seed = config.society.seed.wrapping_add(1000 * i as u64);
+            Dataset::build(&config, &ctx)
+        })
         .collect();
-    for attempt in 0..BURST_ATTEMPTS {
-        oracle_pairs.push((Section::Centrality, BURST_SEED_BASE + attempt));
-    }
-    for (section, seed) in oracle_pairs {
-        let opts = AnalysisOptions::quick().to_builder().seed(seed).build();
-        let payload = run_analysis_section(&dataset, section, &opts, &ctx)
-            .unwrap_or_else(|e| panic!("oracle {} failed: {e}", section.id()));
-        let json = serde_json::to_string(&payload).expect("serialize oracle payload");
-        oracle.insert((section.id(), seed), fingerprint_str(&json));
+    assert_ne!(
+        datasets[0].fingerprint(),
+        datasets[1].fingerprint(),
+        "shard datasets must differ for routing bugs to be observable"
+    );
+    let mut oracle: Oracle = BTreeMap::new();
+    for (i, dataset) in datasets.iter().enumerate() {
+        for &section in &MIX_SECTIONS {
+            for &seed in &MIX_SEEDS {
+                let opts = AnalysisOptions::quick().to_builder().seed(seed).build();
+                let payload = run_analysis_section(dataset, section, &opts, &ctx)
+                    .unwrap_or_else(|e| panic!("oracle {} failed: {e}", section.id()));
+                let json = serde_json::to_string(&payload).expect("serialize oracle payload");
+                oracle.insert((i, section.id(), seed), fingerprint_str(&json));
+            }
+        }
     }
     let oracle = Arc::new(oracle);
 
+    // ------------------------------------------------------------------
+    // The offered-load schedule: seeded exponential inter-arrivals at
+    // --rate, each arrival bound to a snapshot, section, options seed and
+    // client identity. Nothing downstream changes these.
+    // ------------------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(load.seed);
+    let mut at = 0.0f64;
+    let arrivals: Vec<Arrival> = (0..load.requests)
+        .map(|_| {
+            at += -(1.0 - rng.random::<f64>()).ln() / load.rate;
+            Arrival {
+                at: Duration::from_secs_f64(at),
+                snapshot: rng.random_range(0..SNAPSHOTS.len()),
+                section: MIX_SECTIONS[rng.random_range(0..MIX_SECTIONS.len())],
+                options_seed: MIX_SEEDS[rng.random_range(0..MIX_SEEDS.len())],
+                client: rng.random_range(0..load.clients),
+            }
+        })
+        .collect();
+    let schedule_span = arrivals.last().map(|a| a.at).unwrap_or_default();
+
     let handle = Server::start(ServerConfig {
         max_in_flight: 4,
-        queue_depth: 2 * load.clients,
+        queue_depth: 4 * load.conns,
+        admission: Some(AdmissionPolicy {
+            requests: load.quota,
+            window_millis: load.window_ms,
+        }),
         ..ServerConfig::default()
     })
     .expect("bind loopback server");
-    handle.register_dataset("load", dataset.clone());
-    let addr = handle.local_addr();
+    for (name, dataset) in SNAPSHOTS.iter().zip(&datasets) {
+        handle.register_dataset(name, dataset.clone());
+    }
+    let addr: SocketAddr = handle.local_addr();
 
+    // One reader thread per pipelined connection: the dispatcher pushes
+    // the expectation *before* writing each request, and per-connection
+    // reply order matches request order, so matching is positional.
+    let mut writers: Vec<TcpStream> = Vec::with_capacity(load.conns);
+    let mut senders: Vec<mpsc::Sender<Expect>> = Vec::with_capacity(load.conns);
+    let mut readers = Vec::with_capacity(load.conns);
+    for _ in 0..load.conns {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        let (tx, rx) = mpsc::channel::<Expect>();
+        let read_half = stream.try_clone().expect("clone stream");
+        let oracle = Arc::clone(&oracle);
+        readers.push(std::thread::spawn(move || reader_loop(read_half, rx, oracle)));
+        writers.push(stream);
+        senders.push(tx);
+    }
+
+    // ------------------------------------------------------------------
+    // The open loop: hold to the precomputed schedule. `lag_max` records
+    // how far the dispatcher fell behind it — the honesty metric of an
+    // open-loop harness (a closed loop would report 0 by construction).
+    // ------------------------------------------------------------------
+    eprintln!(
+        "offering {} requests at {:.0} rps over {} connections ...",
+        load.requests, load.rate, load.conns
+    );
     let started = Instant::now();
-    let mut failures: Vec<String> = Vec::new();
-
-    // ------------------------------------------------------------------
-    // Phase 1 — duplicate burst: every client fires the identical cold
-    // request at a barrier. The flight map must collapse the overlap into
-    // one computation; replies must be identical to each other and to the
-    // oracle. Coalescing needs true overlap, so on the (rare) attempt
-    // where the leader finishes before any duplicate arrives, retry on a
-    // fresh cold seed.
-    // ------------------------------------------------------------------
-    let mut burst_attempts_used = 0;
-    for attempt in 0..BURST_ATTEMPTS {
-        burst_attempts_used = attempt + 1;
-        let seed = BURST_SEED_BASE + attempt;
-        let request = Arc::new(analyze_request(Section::Centrality, seed));
-        let barrier = Arc::new(Barrier::new(load.clients));
-        let threads: Vec<_> = (0..load.clients)
-            .map(|_| {
-                let request = Arc::clone(&request);
-                let barrier = Arc::clone(&barrier);
-                std::thread::spawn(move || {
-                    let mut c = Client::connect(addr);
-                    barrier.wait();
-                    c.req(&request)
-                })
-            })
-            .collect();
-        let replies: Vec<Result<String, String>> =
-            threads.into_iter().map(|t| t.join().expect("burst client")).collect();
-        for reply in &replies {
-            match reply {
-                Ok(r) => {
-                    if let Err(f) = check_reply(r, Section::Centrality, seed, &oracle) {
-                        failures.push(format!("burst: {f}"));
-                    }
-                }
-                Err(e) => failures.push(format!("burst: {e}")),
-            }
+    let mut lag_max = Duration::ZERO;
+    let mut send_failures = 0usize;
+    for (i, a) in arrivals.iter().enumerate() {
+        let now = started.elapsed();
+        if a.at > now {
+            std::thread::sleep(a.at - now);
+        } else {
+            lag_max = lag_max.max(now - a.at);
         }
-        let distinct: std::collections::BTreeSet<&String> =
-            replies.iter().filter_map(|r| r.as_ref().ok()).collect();
-        if distinct.len() > 1 {
-            failures.push(format!("burst: {} distinct replies to one request", distinct.len()));
+        let conn = i % load.conns;
+        let request = format!(
+            "{{\"cmd\":\"analyze\",\"snapshot\":\"{}\",\"sections\":[\"{}\"],\"options\":{{\"seed\":{}}},\"client\":\"tenant-{}\"}}\n",
+            SNAPSHOTS[a.snapshot],
+            a.section.id(),
+            a.options_seed,
+            a.client,
+        );
+        let expect = Expect {
+            snapshot: a.snapshot,
+            section: a.section,
+            options_seed: a.options_seed,
+            sent: Instant::now(),
+        };
+        if senders[conn].send(expect).is_err()
+            || writers[conn].write_all(request.as_bytes()).is_err()
+        {
+            send_failures += 1;
         }
-        if counter(&handle, "serve.coalesced") > 0 {
-            break;
+    }
+    drop(senders); // readers drain their remaining expectations and exit
+    let mut stats = ConnStats::default();
+    for t in readers {
+        let s = t.join().expect("reader thread");
+        stats.admitted_micros.extend(s.admitted_micros);
+        stats.rejected_micros.extend(s.rejected_micros);
+        for i in 0..SNAPSHOTS.len() {
+            stats.ok_per_shard[i] += s.ok_per_shard[i];
+            stats.rejected_per_shard[i] += s.rejected_per_shard[i];
         }
-        eprintln!("burst attempt {} saw no overlap; retrying on a cold key", attempt + 1);
+        stats.rate_limited += s.rate_limited;
+        stats.queue_full += s.queue_full;
+        stats.failures.extend(s.failures);
     }
-
-    // ------------------------------------------------------------------
-    // Phase 2 — seeded mixed load: every client walks its own StdRng
-    // through (section, seed, write-mode) choices. ~1 in 8 requests is
-    // written as a slow trickle across read-timeout ticks.
-    // ------------------------------------------------------------------
-    let mix_threads: Vec<_> = (0..load.clients)
-        .map(|client_id| {
-            let oracle = Arc::clone(&oracle);
-            let requests = load.requests_per_client;
-            let rng_seed = load.seed.wrapping_mul(1009).wrapping_add(client_id as u64);
-            std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(rng_seed);
-                let mut c = Client::connect(addr);
-                let mut latencies: Vec<u64> = Vec::new();
-                let mut slow_requests = 0u64;
-                let mut failures: Vec<String> = Vec::new();
-                for _ in 0..requests {
-                    let section = MIX_SECTIONS[rng.random_range(0..MIX_SECTIONS.len())];
-                    let seed = MIX_SEEDS[rng.random_range(0..MIX_SEEDS.len())];
-                    let request = analyze_request(section, seed);
-                    let slow = rng.random_range(0..8u32) == 0;
-                    let begin = Instant::now();
-                    let reply = if slow {
-                        slow_requests += 1;
-                        c.req_slowly(&request, 3, Duration::from_millis(120))
-                    } else {
-                        c.req(&request)
-                    };
-                    let micros = begin.elapsed().as_micros() as u64;
-                    match reply {
-                        Ok(r) => {
-                            if let Err(f) = check_reply(&r, section, seed, &oracle) {
-                                failures.push(format!("client {client_id}: {f}"));
-                            }
-                            // Slow-write latency is dominated by the
-                            // client's own pacing; keep percentiles about
-                            // the server.
-                            if !slow {
-                                latencies.push(micros);
-                            }
-                        }
-                        Err(e) => failures.push(format!("client {client_id}: {e}")),
-                    }
-                }
-                (latencies, slow_requests, failures)
-            })
-        })
-        .collect();
-    let mut latencies: Vec<u64> = Vec::new();
-    let mut slow_requests = 0u64;
-    for t in mix_threads {
-        let (lat, slow, fails) = t.join().expect("mix client");
-        latencies.extend(lat);
-        slow_requests += slow;
-        failures.extend(fails);
-    }
-
-    // ------------------------------------------------------------------
-    // Phase 3 — mid-request disconnects: write half a request, hang up.
-    // The server must discard the fragment and keep serving everyone
-    // else (`serve.bad_requests` stays 0 — a dropped fragment is not a
-    // malformed request).
-    // ------------------------------------------------------------------
-    let disconnects = 2usize;
-    for _ in 0..disconnects {
-        let mut c = Client::connect(addr);
-        c.writer
-            .write_all(b"{\"cmd\":\"analyze\",\"snapshot\":")
-            .and_then(|()| c.writer.flush())
-            .expect("send partial request");
-        drop(c); // hangs up with a partial line in the server's framer
-    }
-    let mut control = Client::connect(addr);
-    match control.req("{\"cmd\":\"status\"}") {
-        Ok(r) if r.contains("\"ok\":true") => {}
-        Ok(r) => failures.push(format!("status after disconnects: {r}")),
-        Err(e) => failures.push(format!("status after disconnects: {e}")),
-    }
-
     let wall = started.elapsed();
+    drop(writers);
+    let mut failures = stats.failures;
+    if send_failures > 0 {
+        failures.push(format!("{send_failures} request(s) could not be written"));
+    }
 
     // ------------------------------------------------------------------
-    // Verdict + summary.
+    // Cross-check the harness's view against the server's own counters,
+    // then drain. After drain + join, shard queues must be empty and no
+    // connection may leak.
     // ------------------------------------------------------------------
-    let coalesced = counter(&handle, "serve.coalesced");
-    let requests_admitted = counter(&handle, "serve.requests");
-    let cache_hits = counter(&handle, "cache.hits");
-    let cache_misses = counter(&handle, "cache.misses");
-    let bad_requests = counter(&handle, "serve.bad_requests");
+    let admitted = counter(&handle, "serve.admitted", &[]);
+    let rejected_rl = counter(&handle, "serve.rejected{reason=rate_limited}", &[]);
+    let rejected_qf = counter(&handle, "serve.rejected{reason=queue_full}", &[]);
+    let cache_hits = counter(&handle, "cache.hits", &[]);
+    let cache_misses = counter(&handle, "cache.misses", &[]);
+    let coalesced = counter(&handle, "serve.coalesced", &[]);
+    let per_shard_requests: Vec<u64> = SNAPSHOTS
+        .iter()
+        .map(|name| counter(&handle, "serve.requests", &[("shard", name)]))
+        .collect();
+
+    let ok_total: u64 = stats.ok_per_shard.iter().sum();
+    if admitted != ok_total {
+        failures.push(format!(
+            "accounting: server admitted {admitted} but {ok_total} ok replies were read"
+        ));
+    }
+    if rejected_rl != stats.rate_limited {
+        failures.push(format!(
+            "accounting: server counted {rejected_rl} rate_limited but {} frames were read",
+            stats.rate_limited
+        ));
+    }
+    if rejected_qf != stats.queue_full {
+        failures.push(format!(
+            "accounting: server counted {rejected_qf} queue_full but {} frames were read",
+            stats.queue_full
+        ));
+    }
+    let answered = ok_total + stats.rate_limited + stats.queue_full;
+    if answered + failures.len() as u64 != load.requests as u64 && failures.is_empty() {
+        failures.push(format!(
+            "accounting: offered {} requests but only {answered} replies were classified",
+            load.requests
+        ));
+    }
+
     let drain_started = Instant::now();
     handle.shutdown();
     let drain_micros = drain_started.elapsed().as_micros() as u64;
+    let obs = handle.obs_handle();
     handle.join();
-
-    if bad_requests > 0 {
-        failures.push(format!(
-            "serve.bad_requests = {bad_requests}: a partial or paced request was misparsed"
-        ));
+    for name in SNAPSHOTS {
+        for gauge in ["serve.queue_depth", "serve.jobs_running"] {
+            let v = obs.metrics().gauge(gauge, &[("shard", name)]).unwrap_or(0.0);
+            if v != 0.0 {
+                failures.push(format!("{gauge}{{shard={name}}} = {v} after drain"));
+            }
+        }
     }
-    if coalesced == 0 {
-        failures.push(format!(
-            "serve.coalesced = 0 after {burst_attempts_used} burst attempt(s): duplicate requests never shared a computation"
-        ));
+    let opened = obs.metrics().counter("serve.conn_opened", &[]);
+    let closed = obs.metrics().counter("serve.conn_closed", &[]);
+    if opened != closed {
+        failures.push(format!("leaked connections: {opened} opened, {closed} closed"));
     }
 
-    latencies.sort_unstable();
-    let total_wire_requests =
-        burst_attempts_used as usize * load.clients + load.clients * load.requests_per_client;
-    let note = "Deterministic loopback load: barrier-synchronized duplicate bursts \
-                (single-flight), seeded per-client request mixes with slow-writer trickles \
-                (>100 ms inter-chunk gaps), and mid-request disconnects. Reply fingerprints \
-                are diffed against an in-process batch run_analysis_section oracle; any \
-                divergence fails the run. Latency percentiles exclude slow-writer requests \
-                (client-paced by design) and are wall-clock — nondeterministic, recorded \
-                for tracking only.";
+    // ------------------------------------------------------------------
+    // Summary.
+    // ------------------------------------------------------------------
+    stats.admitted_micros.sort_unstable();
+    stats.rejected_micros.sort_unstable();
+    let per_shard: Vec<String> = SNAPSHOTS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            format!(
+                "\"{name}\":{{\"admitted\":{},\"rejected\":{},\"throughput_rps\":{:.1}}}",
+                per_shard_requests[i],
+                stats.rejected_per_shard[i],
+                stats.ok_per_shard[i] as f64 / wall.as_secs_f64(),
+            )
+        })
+        .collect();
+    let note = "Open-loop soak: a seeded Poisson schedule fixes every arrival before the run; \
+                the dispatcher holds to it over pipelined connections across two snapshot \
+                shards and a pool of admission-controlled client identities. Admitted reply \
+                fingerprints are diffed against an in-process batch run_analysis_section \
+                oracle; rejected replies must be well-formed rate_limited/queue_full frames. \
+                Latency populations are separated (admitted vs rejected) and are wall-clock \
+                only — recorded for tracking, never asserted on.";
     let rendered = format!(
         r#"{{
-  "benchmark": "vnet-serve load mix — serve_load --clients {clients} --requests {reqs} --seed {seed}",
+  "benchmark": "vnet-serve open-loop soak — serve_load --rate {rate:.0} --requests {requests} --seed {seed}",
   "cores": {cores},
   "note": "{note}",
   "config": {{
+    "rate_rps": {rate:.1},
+    "requests": {requests},
+    "conns": {conns},
     "clients": {clients},
-    "requests_per_client": {reqs},
     "seed": {seed},
-    "burst_attempts": {burst_attempts_used}
+    "snapshots": {snapshots},
+    "admission": {{"quota": {quota}, "window_ms": {window_ms}}}
   }},
   "totals": {{
-    "wire_requests": {total_wire_requests},
-    "admitted": {requests_admitted},
-    "slow_writer_requests": {slow_requests},
-    "disconnects": {disconnects},
+    "offered": {requests},
+    "admitted": {admitted},
+    "rejected_rate_limited": {rejected_rl},
+    "rejected_queue_full": {rejected_qf},
     "failures": {failure_count},
     "coalesced": {coalesced},
     "cache_hits": {cache_hits},
     "cache_misses": {cache_misses}
   }},
+  "per_shard": {{{per_shard}}},
   "latency_micros": {{
-    "p50": {p50},
-    "p90": {p90},
-    "p99": {p99},
-    "max": {lat_max},
-    "samples": {samples}
+    "admitted": {admitted_lat},
+    "rejected": {rejected_lat}
   }},
-  "throughput_rps": {rps:.1},
+  "offered_rate_rps": {offered_rate:.1},
+  "achieved_rate_rps": {achieved_rate:.1},
+  "schedule_span_s": {span:.3},
+  "dispatch_lag_max_micros": {lag_max},
   "drain_micros": {drain_micros}
 }}"#,
+        rate = load.rate,
+        requests = load.requests,
+        conns = load.conns,
         clients = load.clients,
-        reqs = load.requests_per_client,
         seed = load.seed,
+        snapshots = SNAPSHOTS.len(),
+        quota = load.quota,
+        window_ms = load.window_ms,
         cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         failure_count = failures.len(),
-        p50 = percentile(&latencies, 0.50),
-        p90 = percentile(&latencies, 0.90),
-        p99 = percentile(&latencies, 0.99),
-        lat_max = latencies.last().copied().unwrap_or(0),
-        samples = latencies.len(),
-        rps = total_wire_requests as f64 / wall.as_secs_f64(),
+        per_shard = per_shard.join(","),
+        admitted_lat = latency_json(&stats.admitted_micros),
+        rejected_lat = latency_json(&stats.rejected_micros),
+        offered_rate = load.requests as f64 / schedule_span.as_secs_f64().max(1e-9),
+        achieved_rate = answered as f64 / wall.as_secs_f64(),
+        span = schedule_span.as_secs_f64(),
+        lag_max = lag_max.as_micros() as u64,
     );
     match &load.out {
         Some(path) => {
@@ -452,12 +551,16 @@ fn main() {
 
     if failures.is_empty() {
         eprintln!(
-            "serve_load: OK — {total_wire_requests} requests, {coalesced} coalesced, every reply matched the batch oracle"
+            "serve_load: OK — {answered}/{} replies ({admitted} admitted, {} rate_limited, {} queue_full), every admitted reply matched the batch oracle",
+            load.requests, stats.rate_limited, stats.queue_full,
         );
     } else {
         eprintln!("serve_load: {} failure(s):", failures.len());
-        for f in &failures {
+        for f in failures.iter().take(20) {
             eprintln!("  - {f}");
+        }
+        if failures.len() > 20 {
+            eprintln!("  ... and {} more", failures.len() - 20);
         }
         std::process::exit(1);
     }

@@ -49,6 +49,14 @@ pub enum VnetError {
     UnknownSnapshot(String),
     /// No analysis section has this id.
     UnknownSection(String),
+    /// A client exceeded its admission-control window quota. Mirrors
+    /// [`vnet_twittersim::ApiError::RateLimited`] on the serving side:
+    /// the hint is deterministic given the admission clock — the
+    /// milliseconds until the client's window resets.
+    RateLimited {
+        /// Milliseconds until the rejected client's window resets.
+        retry_after_ms: u64,
+    },
     /// The service's bounded in-flight queue is full.
     QueueFull {
         /// Requests currently in flight.
@@ -81,6 +89,7 @@ impl VnetError {
             VnetError::BadRequest(_) => "bad_request",
             VnetError::UnknownSnapshot(_) => "unknown_snapshot",
             VnetError::UnknownSection(_) => "unknown_section",
+            VnetError::RateLimited { .. } => "rate_limited",
             VnetError::QueueFull { .. } => "queue_full",
             VnetError::Timeout { .. } => "timeout",
             VnetError::ShuttingDown => "shutting_down",
@@ -106,6 +115,9 @@ impl std::fmt::Display for VnetError {
             VnetError::BadRequest(m) => write!(f, "bad request: {m}"),
             VnetError::UnknownSnapshot(name) => write!(f, "unknown snapshot '{name}'"),
             VnetError::UnknownSection(id) => write!(f, "unknown section '{id}'"),
+            VnetError::RateLimited { retry_after_ms } => {
+                write!(f, "rate limited; retry after {retry_after_ms} ms")
+            }
             VnetError::QueueFull { in_flight, limit } => {
                 write!(f, "queue full: {in_flight} in flight (limit {limit})")
             }
@@ -171,6 +183,7 @@ mod tests {
             VnetError::BadRequest("x".into()),
             VnetError::UnknownSnapshot("x".into()),
             VnetError::UnknownSection("x".into()),
+            VnetError::RateLimited { retry_after_ms: 900_000 },
             VnetError::QueueFull { in_flight: 4, limit: 4 },
             VnetError::Timeout { millis: 10 },
             VnetError::ShuttingDown,

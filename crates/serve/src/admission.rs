@@ -1,0 +1,228 @@
+//! Per-client admission control: the serving-side mirror of
+//! `twittersim`'s rate-limit window.
+//!
+//! The simulated Twitter API admits calls against a per-endpoint quota in
+//! a fixed window that *starts at the first charged call* and resets once
+//! `now >= window_start + window_len`; a rejected call does **not**
+//! consume quota, and its `retry_after` hint is exactly
+//! `window_start + window_len - now`. [`RateWindow::charge`] reproduces
+//! that accounting bit for bit (the conformance proptest in
+//! `tests/tests/serve_admission.rs` drives both implementations over the
+//! same seeded schedule), with the serving side keyed **per client** and
+//! counted in milliseconds instead of per endpoint in seconds.
+//!
+//! Rejections surface on the wire as the `rate_limited` error code with a
+//! deterministic `retry_after_ms` hint — deterministic because the window
+//! arithmetic is pure in the clock reading, and the clock itself is
+//! pluggable ([`AdmissionClock::manual`] freezes time for golden tests;
+//! [`AdmissionClock::wall`] counts real milliseconds since construction
+//! in production).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One client's (or endpoint's) fixed-window quota state — the exact
+/// accounting of `twittersim::api`'s internal bucket, extracted so the
+/// serving side and the conformance tests can share it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateWindow {
+    used: u32,
+    window_start: u64,
+}
+
+impl RateWindow {
+    /// A fresh window opening at `now` — `twittersim` creates the bucket
+    /// on the first charged call, with `window_start` at that call's
+    /// clock reading.
+    pub fn begin(now: u64) -> Self {
+        Self { used: 0, window_start: now }
+    }
+
+    /// Admit one request against `quota` per `window_len` time units, or
+    /// reject with the time until this window resets. Mirrors
+    /// `twittersim::api::TwitterApi::charge`: an elapsed window resets
+    /// lazily (`used = 0`, `window_start = now`), a rejection consumes no
+    /// quota, and the retry hint is `window_start + window_len - now`.
+    pub fn charge(&mut self, now: u64, quota: u32, window_len: u64) -> Result<(), u64> {
+        if now >= self.window_start + window_len {
+            self.used = 0;
+            self.window_start = now;
+        }
+        if self.used >= quota {
+            return Err(self.window_start + window_len - now);
+        }
+        self.used += 1;
+        Ok(())
+    }
+
+    /// Requests admitted in the current window.
+    pub fn used(&self) -> u32 {
+        self.used
+    }
+}
+
+/// Per-client admission quota: `requests` per `window_millis`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// `analyze` requests each client may have admitted per window.
+    pub requests: u32,
+    /// Window length in milliseconds (the simulated API uses 900 s; a
+    /// serving tier typically wants seconds).
+    pub window_millis: u64,
+}
+
+enum ClockSource {
+    /// Milliseconds since the clock was constructed.
+    Wall(Instant),
+    /// A hand-advanced counter for deterministic tests.
+    Manual(AtomicU64),
+}
+
+/// The clock admission control reads. Cloning shares the underlying
+/// source, so a test can hold one handle and advance the server's other.
+#[derive(Clone)]
+pub struct AdmissionClock(Arc<ClockSource>);
+
+impl AdmissionClock {
+    /// Real time: milliseconds elapsed since this call.
+    pub fn wall() -> Self {
+        Self(Arc::new(ClockSource::Wall(Instant::now())))
+    }
+
+    /// A frozen clock starting at 0 ms; advance it with
+    /// [`AdmissionClock::advance`]. Retry hints become pure functions of
+    /// the request sequence — the basis of the golden-frame tests.
+    pub fn manual() -> Self {
+        Self(Arc::new(ClockSource::Manual(AtomicU64::new(0))))
+    }
+
+    /// Current reading in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        match &*self.0 {
+            ClockSource::Wall(epoch) => epoch.elapsed().as_millis() as u64,
+            ClockSource::Manual(ms) => ms.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Advance a manual clock by `ms` (no-op on a wall clock, which
+    /// advances itself).
+    pub fn advance(&self, ms: u64) {
+        if let ClockSource::Manual(t) = &*self.0 {
+            t.fetch_add(ms, Ordering::SeqCst);
+        }
+    }
+}
+
+impl std::fmt::Debug for AdmissionClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &*self.0 {
+            ClockSource::Wall(_) => write!(f, "AdmissionClock::wall"),
+            ClockSource::Manual(ms) => {
+                write!(f, "AdmissionClock::manual({} ms)", ms.load(Ordering::SeqCst))
+            }
+        }
+    }
+}
+
+/// The admission gate: one [`RateWindow`] per client id, charged under a
+/// shared policy and clock. Clients that send no id share the anonymous
+/// bucket (`""`), so an unidentified flood still cannot starve the
+/// executor queues of identified tenants.
+pub struct Admission {
+    policy: AdmissionPolicy,
+    clock: AdmissionClock,
+    windows: Mutex<HashMap<String, RateWindow>>,
+}
+
+impl Admission {
+    /// A gate enforcing `policy` against `clock`.
+    pub fn new(policy: AdmissionPolicy, clock: AdmissionClock) -> Self {
+        Self { policy, clock, windows: Mutex::new(HashMap::new()) }
+    }
+
+    /// Admit one request from `client`, or reject with the deterministic
+    /// `retry_after_ms` hint.
+    pub fn try_admit(&self, client: &str) -> Result<(), u64> {
+        let now = self.clock.now_ms();
+        let mut windows = self.windows.lock().expect("admission windows lock");
+        let window = windows
+            .entry(client.to_string())
+            .or_insert_with(|| RateWindow::begin(now));
+        window.charge(now, self.policy.requests, self.policy.window_millis)
+    }
+
+    /// Distinct clients seen so far (diagnostics for `status`).
+    pub fn clients(&self) -> usize {
+        self.windows.lock().expect("admission windows lock").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_admits_quota_then_rejects_with_reset_hint() {
+        let mut w = RateWindow::begin(100);
+        assert_eq!(w.charge(100, 2, 900), Ok(()));
+        assert_eq!(w.charge(150, 2, 900), Ok(()));
+        // Third call inside the window: rejected, no quota consumed, hint
+        // counts down to the reset at 100 + 900.
+        assert_eq!(w.charge(200, 2, 900), Err(800));
+        assert_eq!(w.charge(999, 2, 900), Err(1));
+        assert_eq!(w.used(), 2);
+        // At the reset boundary the window reopens at `now`.
+        assert_eq!(w.charge(1000, 2, 900), Ok(()));
+        assert_eq!(w.used(), 1);
+    }
+
+    #[test]
+    fn zero_quota_rejects_everything_with_full_window_hint() {
+        let mut w = RateWindow::begin(0);
+        assert_eq!(w.charge(0, 0, 500), Err(500));
+        assert_eq!(w.charge(400, 0, 500), Err(100));
+        // Past the reset, the window re-anchors but the hint is the full
+        // window again — exactly twittersim's behaviour with a 0 quota.
+        assert_eq!(w.charge(500, 0, 500), Err(500));
+    }
+
+    #[test]
+    fn clients_are_independent_buckets() {
+        let clock = AdmissionClock::manual();
+        let gate = Admission::new(
+            AdmissionPolicy { requests: 1, window_millis: 1_000 },
+            clock.clone(),
+        );
+        assert_eq!(gate.try_admit("a"), Ok(()));
+        assert_eq!(gate.try_admit("a"), Err(1_000));
+        // Client b has its own window; the anonymous bucket is distinct
+        // from both.
+        assert_eq!(gate.try_admit("b"), Ok(()));
+        assert_eq!(gate.try_admit(""), Ok(()));
+        assert_eq!(gate.clients(), 3);
+        clock.advance(250);
+        assert_eq!(gate.try_admit("a"), Err(750));
+        clock.advance(750);
+        assert_eq!(gate.try_admit("a"), Ok(()));
+    }
+
+    #[test]
+    fn manual_clock_is_shared_across_clones() {
+        let clock = AdmissionClock::manual();
+        let clone = clock.clone();
+        clock.advance(42);
+        assert_eq!(clone.now_ms(), 42);
+        assert!(format!("{clone:?}").contains("42"));
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_from_zero() {
+        let clock = AdmissionClock::wall();
+        let first = clock.now_ms();
+        clock.advance(1_000_000); // no-op on wall clocks
+        assert!(clock.now_ms() < 1_000_000);
+        assert!(clock.now_ms() >= first);
+    }
+}

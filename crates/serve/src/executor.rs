@@ -114,12 +114,16 @@ struct ExecInner {
     /// quiescent (nothing queued, nothing running).
     quiescent: Condvar,
     obs: Arc<Obs>,
+    /// The owning shard's name; every executor gauge carries it as a
+    /// `{shard=…}` label so per-shard queue state is observable.
+    shard: String,
 }
 
 impl ExecInner {
     fn set_depth_gauge(&self, state: &ExecState) {
-        self.obs.set_gauge("serve.queue_depth", &[], state.queue.len() as f64);
-        self.obs.set_gauge("serve.jobs_running", &[], state.running as f64);
+        let labels = [("shard", self.shard.as_str())];
+        self.obs.set_gauge("serve.queue_depth", &labels, state.queue.len() as f64);
+        self.obs.set_gauge("serve.jobs_running", &labels, state.running as f64);
     }
 }
 
@@ -133,9 +137,11 @@ pub struct Executor {
 
 impl Executor {
     /// Spawn `workers` threads servicing a queue of at most
-    /// `queue_capacity` waiting jobs. Zero workers means every submission
-    /// is refused — useful for load-shedding configurations and tests.
-    pub fn new(workers: usize, queue_capacity: usize, obs: Arc<Obs>) -> Self {
+    /// `queue_capacity` waiting jobs, owned by the shard named `shard`
+    /// (the label on every executor gauge and worker thread name). Zero
+    /// workers means every submission is refused — useful for
+    /// load-shedding configurations and tests.
+    pub fn new(workers: usize, queue_capacity: usize, obs: Arc<Obs>, shard: &str) -> Self {
         let inner = Arc::new(ExecInner {
             state: Mutex::new(ExecState {
                 queue: VecDeque::new(),
@@ -145,12 +151,13 @@ impl Executor {
             work_ready: Condvar::new(),
             quiescent: Condvar::new(),
             obs,
+            shard: shard.to_string(),
         });
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
-                    .name(format!("vnet-serve-worker-{i}"))
+                    .name(format!("vnet-serve-worker-{shard}-{i}"))
                     .spawn(move || worker_loop(&inner))
                     .expect("spawn executor worker")
             })
@@ -286,7 +293,7 @@ mod tests {
     use super::*;
 
     fn exec(workers: usize, cap: usize) -> Executor {
-        Executor::new(workers, cap, Arc::new(Obs::new()))
+        Executor::new(workers, cap, Arc::new(Obs::new()), "test")
     }
 
     #[test]

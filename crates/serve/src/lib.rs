@@ -3,11 +3,10 @@
 //! A long-running, zero-external-dependency analysis service over
 //! [`std::net::TcpListener`]. Clients register [`verified_net::Dataset`] snapshots and
 //! request paper sections over a line-delimited JSON protocol; the server
-//! schedules analysis on the shared [`vnet_par::ParPool`] via one
-//! [`vnet_ctx::AnalysisCtx`], bounds concurrent work with an in-flight
-//! limit and per-request timeouts, and answers repeat queries from a
-//! content-addressed result cache keyed by
-//! `(dataset fingerprint, options fingerprint, section)`.
+//! runs analysis on a shared [`vnet_par::ParPool`] via one
+//! [`vnet_ctx::AnalysisCtx`], and serves production traffic through three
+//! gates: per-client token-bucket **admission control**, a **shard
+//! router**, and each shard's bounded-queue **executor**.
 //!
 //! Because every section is computed through
 //! [`verified_net::run_analysis_section`] — the same entrypoint the batch
@@ -20,31 +19,37 @@
 //!
 //! Requests are framed by an incremental [`LineReader`] that survives
 //! socket read timeouts without discarding buffered partial requests, so
-//! arbitrarily slow writers are safe. `analyze` work runs on a fixed
-//! worker-pool [`Executor`] (bounded queue, `Condvar` scheduling —
-//! refusals get a structured `queue_full` reply), and concurrent
-//! identical section computations are **single-flighted**: one leader
-//! computes, every coalesced waiter fans out the same bytes
-//! (`serve.coalesced` counts them). Shutdown drains the executor on its
-//! quiescence condvar and joins every worker and connection thread — the
-//! server leaks no threads.
+//! arbitrarily slow writers are safe. Each registered snapshot is a
+//! **shard** with its own fixed worker-pool [`Executor`] (bounded queue,
+//! `Condvar` scheduling — refusals get a structured `queue_full` reply),
+//! its own LRU result cache, and its own single-flight map: one leader
+//! computes each section, every coalesced waiter fans out the same bytes
+//! (`serve.coalesced` counts them), and a hot snapshot saturates only its
+//! own queue. In front of the router sits an optional [`Admission`] gate
+//! that mirrors `twittersim`'s rate-limit windows per client id: over
+//! quota means a `rate_limited` reply with a deterministic
+//! `retry_after_ms` hint, and rejected requests consume no quota.
+//! Shutdown drains every shard's executor on its quiescence condvar and
+//! joins every worker and connection thread — the server leaks no
+//! threads.
 //!
 //! ## Wire protocol
 //!
 //! One JSON object per line in each direction (see `docs/API.md` for the
 //! full schema). Requests carry a `"cmd"` key:
 //!
-//! | cmd        | fields                                                   |
-//! |------------|----------------------------------------------------------|
-//! | `register` | `name`, plus `dir` (saved bundle) or `scale` (synthesize)|
-//! | `analyze`  | `snapshot`, `sections` (ids), optional `options`         |
-//! | `status`   | —                                                        |
-//! | `metrics`  | —                                                        |
-//! | `shutdown` | — (drains in-flight work, then stops accepting)          |
+//! | cmd        | fields                                                    |
+//! |------------|-----------------------------------------------------------|
+//! | `register` | `name`, plus `dir` (saved bundle) or `scale` (synthesize) |
+//! | `analyze`  | `snapshot`, `sections` (ids), optional `options`, `client`|
+//! | `status`   | optional `snapshot` (one shard's detail)                  |
+//! | `metrics`  | optional `snapshot` (that shard's labelled series)        |
+//! | `shutdown` | — (drains in-flight work, then stops accepting)           |
 //!
 //! Replies are `{"ok":true,...}` or
 //! `{"ok":false,"error":{"code":"...","message":"..."}}` with codes from
-//! [`verified_net::VnetError::code`].
+//! [`verified_net::VnetError::code`]; `rate_limited` errors additionally
+//! carry a `retry_after_ms` field.
 //!
 //! ## Example
 //!
@@ -58,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod cache;
 mod conn;
 mod executor;
@@ -65,7 +71,9 @@ mod flight;
 mod framing;
 mod protocol;
 mod server;
+mod shards;
 
+pub use admission::{Admission, AdmissionClock, AdmissionPolicy, RateWindow};
 pub use cache::{CacheKey, CachedSection, ResultCache};
 pub use executor::{CancelToken, Executor, JobHandle, SubmitRefusal};
 pub use framing::{Frame, LineReader, MAX_LINE_BYTES};

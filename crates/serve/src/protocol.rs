@@ -35,11 +35,22 @@ pub enum Request {
         sections: Vec<Section>,
         /// Result-affecting knobs; defaults to [`AnalysisOptions::quick`].
         options: AnalysisOptions,
+        /// Admission-control identity (the optional `client` field).
+        /// Requests without one share the anonymous bucket (`""`).
+        client: String,
     },
-    /// Report snapshots, in-flight work, and lifecycle state.
-    Status,
-    /// Dump the server's metric counters.
-    Metrics,
+    /// Report snapshots, in-flight work, and lifecycle state; with a
+    /// `snapshot` field, just that shard's detail.
+    Status {
+        /// Restrict the reply to one shard.
+        snapshot: Option<String>,
+    },
+    /// Dump the server's metric counters; with a `snapshot` field, only
+    /// the series labelled `{shard=<name>}`.
+    Metrics {
+        /// Restrict the reply to one shard's labelled series.
+        snapshot: Option<String>,
+    },
     /// Drain in-flight work, then stop accepting connections.
     Shutdown,
 }
@@ -148,17 +159,31 @@ pub fn parse_request(line: &str) -> Result<Request, VnetError> {
                 ));
             }
             let options = parse_options(&v["options"])?;
-            Ok(Request::Analyze { snapshot, sections, options })
+            let client = v["client"].as_str().unwrap_or("").to_string();
+            Ok(Request::Analyze { snapshot, sections, options, client })
         }
-        "status" => Ok(Request::Status),
-        "metrics" => Ok(Request::Metrics),
+        "status" => Ok(Request::Status { snapshot: v["snapshot"].as_str().map(str::to_string) }),
+        "metrics" => {
+            Ok(Request::Metrics { snapshot: v["snapshot"].as_str().map(str::to_string) })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(VnetError::BadRequest(format!("unknown cmd '{other}'"))),
     }
 }
 
-/// Serialize an error as a structured protocol reply.
+/// Serialize an error as a structured protocol reply. `rate_limited`
+/// carries its retry hint as a machine-readable `retry_after_ms` field
+/// next to the message — the serving-side analogue of a `Retry-After`
+/// header, deterministic under the admission clock (golden-tested in
+/// `tests/tests/serve_admission.rs`).
 pub(crate) fn error_reply(e: &VnetError) -> String {
+    if let VnetError::RateLimited { retry_after_ms } = e {
+        return format!(
+            "{{\"ok\":false,\"error\":{{\"code\":\"rate_limited\",\"message\":{},\"retry_after_ms\":{}}}}}",
+            json_str(&e.to_string()),
+            retry_after_ms,
+        );
+    }
     format!(
         "{{\"ok\":false,\"error\":{{\"code\":{},\"message\":{}}}}}",
         json_str(e.code()),
@@ -191,14 +216,50 @@ mod tests {
         )
         .unwrap();
         match r {
-            Request::Analyze { snapshot, sections, options } => {
+            Request::Analyze { snapshot, sections, options, client } => {
                 assert_eq!(snapshot, "a");
                 assert_eq!(sections, vec![Section::Basic, Section::Degrees]);
                 assert_eq!(options.seed, 7);
                 assert_eq!(options.lag_cap, AnalysisOptions::quick().lag_cap);
+                assert_eq!(client, "", "missing client id maps to the anonymous bucket");
             }
             other => panic!("wrong parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_client_ids_and_shard_targets() {
+        let r = parse_request(
+            r#"{"cmd":"analyze","snapshot":"a","sections":["basic"],"client":"tenant-7"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Analyze { client, .. } => assert_eq!(client, "tenant-7"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse_request(r#"{"cmd":"status"}"#).unwrap() {
+            Request::Status { snapshot: None } => {}
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse_request(r#"{"cmd":"status","snapshot":"hot"}"#).unwrap() {
+            Request::Status { snapshot: Some(s) } => assert_eq!(s, "hot"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse_request(r#"{"cmd":"metrics","snapshot":"hot"}"#).unwrap() {
+            Request::Metrics { snapshot: Some(s) } => assert_eq!(s, "hot"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_limited_reply_carries_the_retry_hint_field() {
+        let reply = error_reply(&VnetError::RateLimited { retry_after_ms: 750 });
+        assert_eq!(
+            reply,
+            "{\"ok\":false,\"error\":{\"code\":\"rate_limited\",\"message\":\"rate limited; retry after 750 ms\",\"retry_after_ms\":750}}"
+        );
+        let v: Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(v["error"]["retry_after_ms"].as_u64(), Some(750));
     }
 
     #[test]

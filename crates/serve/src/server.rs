@@ -1,22 +1,24 @@
 //! The TCP server: accept loop, shared state, request dispatch, and
 //! graceful shutdown.
 //!
-//! Concurrency model (see `docs/ARCHITECTURE.md` for the full picture):
-//! one registered thread per connection frames request lines through
-//! [`crate::framing::LineReader`] (slow writers keep their partial bytes
-//! across read-timeout ticks); `analyze` work is admitted into a fixed
-//! worker-pool [`Executor`] with a bounded queue (refusals get
-//! `queue_full`); concurrent identical section computations coalesce
-//! through [`FlightMap`] so N waiters cost one computation; and shutdown
-//! is event-driven — the executor's quiescence condvar replaces the old
-//! 5 ms drain poll, a loopback wake replaces the old 10 ms accept poll,
-//! and every worker and connection thread is joined before the listener
-//! dies.
+//! Request path (see `docs/ARCHITECTURE.md` for the full picture):
+//! **admission → shard router → executor**. One registered thread per
+//! connection frames request lines through [`crate::framing::LineReader`]
+//! (slow writers keep their partial bytes across read-timeout ticks);
+//! `analyze` requests first pass the per-client token-bucket
+//! [`Admission`] gate (`rate_limited` + deterministic `retry_after_ms`
+//! on rejection, mirroring `twittersim`'s window semantics), then route
+//! to their snapshot's [`Shard`] — each shard owns a bounded-queue
+//! worker-pool [`Executor`] (refusals get `queue_full`), an LRU section
+//! cache, and a single-flight map, so a hot snapshot cannot starve the
+//! others. Shutdown is event-driven — every shard drains on its
+//! executor's quiescence condvar, a loopback wake replaces accept
+//! polling, and every worker and connection thread is joined before the
+//! listener dies.
 
-use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -27,11 +29,13 @@ use verified_net::{
 use vnet_obs::{fingerprint_str, Obs};
 use vnet_par::ParPool;
 
-use crate::cache::{CacheKey, CachedSection, ResultCache};
+use crate::admission::{Admission, AdmissionClock, AdmissionPolicy};
+use crate::cache::{CacheKey, CachedSection};
 use crate::conn::ConnRegistry;
-use crate::executor::{CancelToken, Executor, SubmitRefusal};
-use crate::flight::{FlightMap, Role};
+use crate::executor::{CancelToken, SubmitRefusal};
+use crate::flight::Role;
 use crate::protocol::{error_reply, json_str, parse_request, RegisterSource, Request};
+use crate::shards::{Shard, ShardRegistry, SnapshotData};
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -41,18 +45,26 @@ pub struct ServerConfig {
     pub addr: String,
     /// Width of the shared fork-join pool analysis runs on.
     pub threads: usize,
-    /// Worker threads in the request executor — the maximum concurrently
-    /// *running* `analyze` requests.
+    /// Worker threads in **each shard's** request executor — the maximum
+    /// concurrently *running* `analyze` requests per snapshot.
     pub max_in_flight: usize,
-    /// Bounded executor queue: requests admitted beyond the running limit
-    /// wait here; past it they get a `queue_full` reply instead of
-    /// queueing unboundedly.
+    /// Bounded per-shard executor queue: requests admitted beyond the
+    /// running limit wait here; past it they get a `queue_full` reply
+    /// instead of queueing unboundedly.
     pub queue_depth: usize,
-    /// Result-cache capacity in section payloads.
+    /// Each shard's result-cache capacity in section payloads.
     pub cache_capacity: usize,
     /// Per-request compute budget before a `timeout` reply (the timed-out
     /// job is cancelled at its next section boundary).
     pub request_timeout_millis: u64,
+    /// Per-client token-bucket admission control; `None` (the default)
+    /// admits everything. The window accounting mirrors `twittersim`'s
+    /// rate-limit windows — see [`Admission`].
+    pub admission: Option<AdmissionPolicy>,
+    /// The clock admission windows are charged against. The default wall
+    /// clock counts real milliseconds; tests freeze time with
+    /// [`AdmissionClock::manual`] to pin `retry_after_ms` bytes.
+    pub admission_clock: AdmissionClock,
 }
 
 impl Default for ServerConfig {
@@ -64,14 +76,10 @@ impl Default for ServerConfig {
             queue_depth: 4,
             cache_capacity: 64,
             request_timeout_millis: 120_000,
+            admission: None,
+            admission_clock: AdmissionClock::wall(),
         }
     }
-}
-
-/// One registered dataset snapshot.
-struct Snapshot {
-    dataset: Dataset,
-    fingerprint: u64,
 }
 
 pub(crate) struct Shared {
@@ -79,10 +87,8 @@ pub(crate) struct Shared {
     ctx: AnalysisCtx,
     pub(crate) obs: Arc<Obs>,
     local_addr: SocketAddr,
-    snapshots: Mutex<BTreeMap<String, Arc<Snapshot>>>,
-    cache: Mutex<ResultCache>,
-    executor: Executor,
-    flights: Arc<FlightMap>,
+    shards: ShardRegistry,
+    admission: Option<Admission>,
     conns: Arc<ConnRegistry>,
     shutting_down: AtomicBool,
     pub(crate) stopped: AtomicBool,
@@ -97,15 +103,16 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let obs = Arc::new(Obs::new());
+        let admission = config
+            .admission
+            .map(|policy| Admission::new(policy, config.admission_clock.clone()));
         let shared = Arc::new(Shared {
             ctx: AnalysisCtx::new(ParPool::new(config.threads), Arc::clone(&obs)),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
-            executor: Executor::new(config.max_in_flight, config.queue_depth, Arc::clone(&obs)),
             config,
             obs,
             local_addr,
-            snapshots: Mutex::new(BTreeMap::new()),
-            flights: Arc::new(FlightMap::new()),
+            shards: ShardRegistry::new(),
+            admission,
             conns: Arc::new(ConnRegistry::new()),
             shutting_down: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
@@ -199,11 +206,11 @@ pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
     };
     match request {
         Request::Register { name, source } => (handle_register(shared, &name, source), false),
-        Request::Analyze { snapshot, sections, options } => {
-            (handle_analyze(shared, &snapshot, sections, options), false)
+        Request::Analyze { snapshot, sections, options, client } => {
+            (handle_analyze(shared, &snapshot, sections, options, &client), false)
         }
-        Request::Status => (handle_status(shared), false),
-        Request::Metrics => (handle_metrics(shared), false),
+        Request::Status { snapshot } => (handle_status(shared, snapshot.as_deref()), false),
+        Request::Metrics { snapshot } => (handle_metrics(shared, snapshot.as_deref()), false),
         Request::Shutdown => {
             drain_and_stop(shared);
             ("{\"ok\":true,\"drained\":true}".to_string(), true)
@@ -211,31 +218,39 @@ pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
     }
 }
 
-/// Refuse new work, drain the executor, stop the accept loop. Fully
-/// event-driven: the drain blocks on the executor's quiescence condvar
-/// (wakeup count exported as `serve.drain_wakeups`, duration as the
-/// `serve.drain_wall_micros` histogram), and the accept thread is woken
-/// by a loopback connection instead of a poll.
+/// Refuse new work, drain every shard's executor, stop the accept loop.
+/// Fully event-driven: each drain blocks on its executor's quiescence
+/// condvar (wakeup count exported as `serve.drain_wakeups`, duration as
+/// the `serve.drain_wall_micros` histogram), and the accept thread is
+/// woken by a loopback connection instead of a poll.
 fn drain_and_stop(shared: &Shared) {
     shared.shutting_down.store(true, Ordering::SeqCst);
     let started = Instant::now();
-    let wakeups = shared.executor.drain();
+    let mut wakeups = 0;
+    for shard in shared.shards.all() {
+        wakeups += shard.executor.drain();
+    }
     shared.obs.inc_by("serve.drain_wakeups", &[], wakeups);
     shared
         .obs
         .observe("serve.drain_wall_micros", &[], started.elapsed().as_micros() as f64);
-    shared.executor.shutdown_and_join(|| error_reply(&VnetError::ShuttingDown));
+    for shard in shared.shards.all() {
+        shard.executor.shutdown_and_join(|| error_reply(&VnetError::ShuttingDown));
+    }
     shared.stopped.store(true, Ordering::SeqCst);
     // Wake the accept thread so it observes `stopped` and exits.
     let _ = TcpStream::connect(shared.local_addr);
 }
 
 fn register_snapshot(shared: &Shared, name: &str, dataset: Dataset) -> u64 {
-    let fingerprint = dataset.fingerprint();
-    let mut snaps = shared.snapshots.lock().expect("snapshots lock");
-    snaps.insert(name.to_string(), Arc::new(Snapshot { dataset, fingerprint }));
-    shared.obs.set_counter("serve.snapshots", &[], snaps.len() as u64);
-    fingerprint
+    shared.shards.register(
+        name,
+        dataset,
+        shared.config.max_in_flight,
+        shared.config.queue_depth,
+        shared.config.cache_capacity,
+        &shared.obs,
+    )
 }
 
 fn handle_register(shared: &Arc<Shared>, name: &str, source: RegisterSource) -> String {
@@ -272,29 +287,42 @@ fn handle_analyze(
     snapshot: &str,
     sections: Vec<Section>,
     options: AnalysisOptions,
+    client: &str,
 ) -> String {
     if shared.shutting_down.load(Ordering::SeqCst) {
         return error_reply(&VnetError::ShuttingDown);
     }
-    let snap = {
-        let snaps = shared.snapshots.lock().expect("snapshots lock");
-        match snaps.get(snapshot) {
-            Some(s) => Arc::clone(s),
-            None => return error_reply(&VnetError::UnknownSnapshot(snapshot.to_string())),
+    // Gate 1 — admission control, before any routing or queueing:
+    // over-quota clients are turned away at the front door with a
+    // deterministic retry hint, exactly like the simulated API's
+    // rate-limit windows (rejections consume no quota).
+    if let Some(admission) = &shared.admission {
+        if let Err(retry_after_ms) = admission.try_admit(client) {
+            shared.obs.inc_by("serve.rejected{reason=rate_limited}", &[], 1);
+            shared.obs.observe("serve.retry_after_ms", &[], retry_after_ms as f64);
+            return error_reply(&VnetError::RateLimited { retry_after_ms });
         }
+    }
+    // Gate 2 — the shard router.
+    let shard = match shared.shards.get(snapshot) {
+        Some(s) => s,
+        None => return error_reply(&VnetError::UnknownSnapshot(snapshot.to_string())),
     };
-    // Bounded admission: the executor takes the job or refuses outright —
-    // a refused client can back off; an unbounded queue can only fall
-    // over.
+    let data = shard.data();
+    // Gate 3 — bounded admission into the shard's own executor: the
+    // queue takes the job or refuses outright — a refused client can
+    // back off; an unbounded queue can only fall over. Saturation here
+    // is scoped to this shard; other snapshots keep their own slots.
     let worker_shared = Arc::clone(shared);
-    let worker_snapshot = snapshot.to_string();
-    let submitted = shared.executor.submit(move |cancel| {
-        compute_reply(&worker_shared, &worker_snapshot, &snap, &sections, &options, cancel)
+    let worker_shard = Arc::clone(&shard);
+    let submitted = shard.executor.submit(move |cancel| {
+        compute_reply(&worker_shared, &worker_shard, &data, &sections, &options, cancel)
     });
     let handle = match submitted {
         Ok(h) => h,
         Err(SubmitRefusal::Saturated { in_flight, limit }) => {
             shared.obs.inc_by("serve.rejected{reason=queue_full}", &[], 1);
+            shared.obs.inc("serve.rejected", &[("reason", "queue_full"), ("shard", &shard.name)]);
             return error_reply(&VnetError::QueueFull { in_flight, limit });
         }
         Err(SubmitRefusal::ShuttingDown) => {
@@ -302,6 +330,8 @@ fn handle_analyze(
         }
     };
     shared.obs.inc_by("serve.requests", &[], 1);
+    shared.obs.inc_by("serve.admitted", &[], 1);
+    shared.obs.inc("serve.requests", &[("shard", &shard.name)]);
     let budget = Duration::from_millis(shared.config.request_timeout_millis);
     match handle.wait_timeout(budget) {
         Some(reply) => reply,
@@ -316,55 +346,73 @@ fn handle_analyze(
     }
 }
 
-/// Fetch one section from the cache, or compute it under single-flight
-/// coalescing: the first worker to miss becomes the leader and computes;
-/// concurrent workers for the same key follow the open flight and share
-/// the leader's bytes (`serve.coalesced` counts the followers).
+/// Fetch one section from the shard's cache, or compute it under
+/// single-flight coalescing: the first worker to miss becomes the leader
+/// and computes; concurrent workers for the same key follow the open
+/// flight and share the leader's bytes (`serve.coalesced` counts the
+/// followers). Cache and flight state are per-shard; counters are
+/// recorded both globally and under the shard's label.
 fn section_bytes(
     shared: &Shared,
-    snap: &Snapshot,
+    shard: &Shard,
+    data: &SnapshotData,
     key: CacheKey,
     options: &AnalysisOptions,
 ) -> Result<Arc<CachedSection>, String> {
-    if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
+    let shard_label: &[(&str, &str)] = &[("shard", &shard.name)];
+    if let Some(hit) = shard.cache.lock().expect("cache lock").get(&key) {
         shared.obs.inc_by("cache.hits", &[], 1);
+        shared.obs.inc("cache.hits", shard_label);
         return Ok(hit);
     }
-    match shared.flights.begin(key) {
+    match shard.flights.begin(key) {
         Role::Follower(flight) => {
             shared.obs.inc_by("serve.coalesced", &[], 1);
+            shared.obs.inc("serve.coalesced", shard_label);
             flight.wait()
         }
         Role::Leader(guard) => {
             // Re-check under leadership: a previous leader may have
             // populated the cache between our miss and our begin().
-            if let Some(hit) = shared.cache.lock().expect("cache lock").get(&key) {
+            if let Some(hit) = shard.cache.lock().expect("cache lock").get(&key) {
                 shared.obs.inc_by("cache.hits", &[], 1);
+                shared.obs.inc("cache.hits", shard_label);
                 guard.publish(Ok(Arc::clone(&hit)));
                 return Ok(hit);
             }
             shared.obs.inc_by("cache.misses", &[], 1);
-            let payload = match run_analysis_section(&snap.dataset, key.section, options, &shared.ctx)
-            {
-                Ok(p) => p,
-                Err(e) => {
-                    let reply = error_reply(&e);
-                    guard.publish(Err(reply.clone()));
-                    return Err(reply);
-                }
-            };
+            shared.obs.inc("cache.misses", shard_label);
+            let payload =
+                match run_analysis_section(&data.dataset, key.section, options, &shared.ctx) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        let reply = error_reply(&e);
+                        guard.publish(Err(reply.clone()));
+                        return Err(reply);
+                    }
+                };
             let payload_json =
                 serde_json::to_string(&payload).expect("section payloads serialize");
             let fingerprint = fingerprint_str(&payload_json);
             let value = Arc::new(CachedSection { payload_json, fingerprint });
             {
-                let mut cache = shared.cache.lock().expect("cache lock");
+                let mut cache = shard.cache.lock().expect("cache lock");
                 let evicted = cache.insert(key, Arc::clone(&value));
                 if evicted > 0 {
                     shared.obs.inc_by("cache.evictions", &[], evicted as u64);
+                    shared.obs.inc_by("cache.evictions", shard_label, evicted as u64);
                 }
-                shared.obs.set_counter("cache.entries", &[], cache.len() as u64);
+                shared.obs.set_counter("cache.entries", shard_label, cache.len() as u64);
             }
+            // The unlabelled total sums every shard's cache (locks taken
+            // one at a time, after this shard's guard is released).
+            let total: usize = shared
+                .shards
+                .all()
+                .iter()
+                .map(|s| s.cache.lock().expect("cache lock").len())
+                .sum();
+            shared.obs.set_counter("cache.entries", &[], total as u64);
             guard.publish(Ok(Arc::clone(&value)));
             Ok(value)
         }
@@ -372,11 +420,12 @@ fn section_bytes(
 }
 
 /// Compute (or fetch) every requested section and assemble the reply.
-/// Runs on an executor worker; `cancel` is checked at section boundaries.
+/// Runs on a shard executor worker; `cancel` is checked at section
+/// boundaries.
 fn compute_reply(
     shared: &Shared,
-    snapshot: &str,
-    snap: &Snapshot,
+    shard: &Shard,
+    data: &SnapshotData,
     sections: &[Section],
     options: &AnalysisOptions,
     cancel: &CancelToken,
@@ -392,8 +441,8 @@ fn compute_reply(
                 millis: shared.config.request_timeout_millis,
             });
         }
-        let key = CacheKey { dataset: snap.fingerprint, options: opts_fp, section };
-        let entry = match section_bytes(shared, snap, key, options) {
+        let key = CacheKey { dataset: data.fingerprint, options: opts_fp, section };
+        let entry = match section_bytes(shared, shard, data, key, options) {
             Ok(entry) => entry,
             Err(error_reply) => return error_reply,
         };
@@ -406,40 +455,100 @@ fn compute_reply(
     }
     format!(
         "{{\"ok\":true,\"snapshot\":{},\"dataset_fingerprint\":{},\"options_fingerprint\":{},\"sections\":[{}]}}",
-        json_str(snapshot),
-        snap.fingerprint,
+        json_str(&shard.name),
+        data.fingerprint,
         opts_fp,
         parts.join(","),
     )
 }
 
-fn handle_status(shared: &Shared) -> String {
-    let snaps = shared.snapshots.lock().expect("snapshots lock");
-    let names: Vec<String> = snaps.keys().map(|k| json_str(k)).collect();
-    let (queued, running) = shared.executor.in_flight();
+/// One shard's status object — deterministic bytes for a quiescent shard
+/// (golden-tested in `tests/tests/serve_shards.rs`).
+fn shard_status_json(shard: &Shard) -> String {
+    let (queued, running) = shard.executor.in_flight();
     format!(
-        "{{\"ok\":true,\"snapshots\":[{}],\"in_flight\":{},\"queued\":{},\"open_flights\":{},\"cache_entries\":{},\"shutting_down\":{}}}",
-        names.join(","),
-        running,
+        "{{\"snapshot\":{},\"fingerprint\":{},\"workers\":{},\"queued\":{},\"running\":{},\"open_flights\":{},\"cache_entries\":{}}}",
+        json_str(&shard.name),
+        shard.data().fingerprint,
+        shard.executor.workers(),
         queued,
-        shared.flights.open_count(),
-        shared.cache.lock().expect("cache lock").len(),
-        shared.shutting_down.load(Ordering::SeqCst),
+        running,
+        shard.flights.open_count(),
+        shard.cache.lock().expect("cache lock").len(),
     )
 }
 
-fn handle_metrics(shared: &Shared) -> String {
+fn handle_status(shared: &Shared, snapshot: Option<&str>) -> String {
+    let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+    if let Some(name) = snapshot {
+        // Shard-targeted status: just that shard's detail.
+        return match shared.shards.get(name) {
+            Some(shard) => format!(
+                "{{\"ok\":true,\"shard\":{},\"shutting_down\":{}}}",
+                shard_status_json(&shard),
+                shutting_down,
+            ),
+            None => error_reply(&VnetError::UnknownSnapshot(name.to_string())),
+        };
+    }
+    let names: Vec<String> = shared.shards.names().iter().map(|k| json_str(k)).collect();
+    let shards = shared.shards.all();
+    let (mut queued, mut running, mut flights, mut cache_entries) = (0, 0, 0, 0);
+    let mut shard_parts = Vec::with_capacity(shards.len());
+    for shard in &shards {
+        let (q, r) = shard.executor.in_flight();
+        queued += q;
+        running += r;
+        flights += shard.flights.open_count();
+        cache_entries += shard.cache.lock().expect("cache lock").len();
+        shard_parts.push(shard_status_json(shard));
+    }
+    format!(
+        "{{\"ok\":true,\"snapshots\":[{}],\"in_flight\":{},\"queued\":{},\"open_flights\":{},\"cache_entries\":{},\"admission_clients\":{},\"shutting_down\":{},\"shards\":[{}]}}",
+        names.join(","),
+        running,
+        queued,
+        flights,
+        cache_entries,
+        shared.admission.as_ref().map(|a| a.clients()).unwrap_or(0),
+        shutting_down,
+        shard_parts.join(","),
+    )
+}
+
+/// Does this canonical metric key (`name{k=v,…}`) carry a
+/// `shard=<name>` label?
+fn has_shard_label(key: &str, shard: &str) -> bool {
+    let Some(open) = key.find('{') else { return false };
+    let labels = &key[open + 1..key.len() - 1];
+    labels.split(',').any(|kv| {
+        kv.strip_prefix("shard=").is_some_and(|v| v == shard)
+    })
+}
+
+fn handle_metrics(shared: &Shared, snapshot: Option<&str>) -> String {
+    if let Some(name) = snapshot {
+        if shared.shards.get(name).is_none() {
+            return error_reply(&VnetError::UnknownSnapshot(name.to_string()));
+        }
+    }
     // The manifest's metric maps are BTreeMaps: sorted keys, so the reply
     // is deterministic given the same recording state.
     let manifest = shared.obs.manifest("serve", 0);
+    let keep = |k: &str| match snapshot {
+        Some(name) => has_shard_label(k, name),
+        None => true,
+    };
     let counters: Vec<String> = manifest
         .counters
         .iter()
+        .filter(|(k, _)| keep(k))
         .map(|(k, v)| format!("{}:{}", json_str(k), v))
         .collect();
     let gauges: Vec<String> = manifest
         .gauges
         .iter()
+        .filter(|(k, _)| keep(k))
         .map(|(k, v)| format!("{}:{:?}", json_str(k), v))
         .collect();
     format!(
@@ -447,4 +556,19 @@ fn handle_metrics(shared: &Shared) -> String {
         counters.join(","),
         gauges.join(","),
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_label_matching_is_exact() {
+        assert!(has_shard_label("serve.queue_depth{shard=a}", "a"));
+        assert!(has_shard_label("serve.rejected{reason=queue_full,shard=a}", "a"));
+        assert!(!has_shard_label("serve.queue_depth{shard=ab}", "a"));
+        assert!(!has_shard_label("serve.queue_depth{shard=a}", "ab"));
+        assert!(!has_shard_label("serve.queue_depth", "a"));
+        assert!(!has_shard_label("serve.rejected{reason=shard}", "shard"));
+    }
 }

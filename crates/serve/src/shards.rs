@@ -1,0 +1,197 @@
+//! The sharded snapshot registry.
+//!
+//! Every registered snapshot name is a **shard**: its own bounded-queue
+//! worker-pool [`Executor`], its own LRU [`ResultCache`], and its own
+//! single-flight [`FlightMap`]. Work for one snapshot therefore queues,
+//! caches, and coalesces entirely inside its shard — a hot snapshot can
+//! saturate its own queue (`queue_full` for *its* clients) without
+//! starving requests to any other snapshot, which is the isolation
+//! property `tests/tests/serve_shards.rs` pins.
+//!
+//! Re-registering a name swaps the dataset inside the existing shard and
+//! keeps its pools warm; stale cache entries age out by LRU because cache
+//! keys carry the dataset fingerprint. Compute parallelism (the
+//! `ParPool` inside the shared `AnalysisCtx`) stays server-wide: the
+//! fork-join pool is scoped per call, so concurrent shards never block
+//! each other there — the scarce resources a shard isolates are queue
+//! slots and worker threads.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use verified_net::Dataset;
+use vnet_obs::Obs;
+
+use crate::cache::ResultCache;
+use crate::executor::Executor;
+use crate::flight::FlightMap;
+
+/// The swappable dataset inside a shard.
+pub(crate) struct SnapshotData {
+    pub(crate) dataset: Dataset,
+    pub(crate) fingerprint: u64,
+}
+
+/// One snapshot's serving resources.
+pub(crate) struct Shard {
+    pub(crate) name: String,
+    data: Mutex<Arc<SnapshotData>>,
+    pub(crate) executor: Executor,
+    pub(crate) cache: Mutex<ResultCache>,
+    pub(crate) flights: Arc<FlightMap>,
+}
+
+impl Shard {
+    fn new(
+        name: &str,
+        dataset: Dataset,
+        workers: usize,
+        queue_depth: usize,
+        cache_capacity: usize,
+        obs: Arc<Obs>,
+    ) -> Self {
+        let fingerprint = dataset.fingerprint();
+        Self {
+            name: name.to_string(),
+            data: Mutex::new(Arc::new(SnapshotData { dataset, fingerprint })),
+            executor: Executor::new(workers, queue_depth, obs, name),
+            cache: Mutex::new(ResultCache::new(cache_capacity)),
+            flights: Arc::new(FlightMap::new()),
+        }
+    }
+
+    /// The shard's current dataset (an `Arc` snapshot: a concurrent
+    /// re-register cannot swap a dataset out from under a running job).
+    pub(crate) fn data(&self) -> Arc<SnapshotData> {
+        Arc::clone(&self.data.lock().expect("shard data lock"))
+    }
+
+    fn swap_data(&self, dataset: Dataset) -> u64 {
+        let fingerprint = dataset.fingerprint();
+        *self.data.lock().expect("shard data lock") =
+            Arc::new(SnapshotData { dataset, fingerprint });
+        fingerprint
+    }
+}
+
+/// Name → shard map. Shards are created at registration and live until
+/// server shutdown (their executors are drained and joined there).
+#[derive(Default)]
+pub(crate) struct ShardRegistry {
+    shards: Mutex<BTreeMap<String, Arc<Shard>>>,
+}
+
+impl ShardRegistry {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or refresh) `name`, returning the dataset fingerprint.
+    /// First registration builds the shard's executor/cache/flights;
+    /// re-registration swaps the dataset and keeps the pools warm.
+    pub(crate) fn register(
+        &self,
+        name: &str,
+        dataset: Dataset,
+        workers: usize,
+        queue_depth: usize,
+        cache_capacity: usize,
+        obs: &Arc<Obs>,
+    ) -> u64 {
+        let mut shards = self.shards.lock().expect("shard registry lock");
+        if let Some(shard) = shards.get(name) {
+            return shard.swap_data(dataset);
+        }
+        let shard = Arc::new(Shard::new(
+            name,
+            dataset,
+            workers,
+            queue_depth,
+            cache_capacity,
+            Arc::clone(obs),
+        ));
+        let fingerprint = shard.data().fingerprint;
+        shards.insert(name.to_string(), Arc::clone(&shard));
+        obs.set_counter("serve.snapshots", &[], shards.len() as u64);
+        fingerprint
+    }
+
+    /// Look up one shard.
+    pub(crate) fn get(&self, name: &str) -> Option<Arc<Shard>> {
+        self.shards.lock().expect("shard registry lock").get(name).cloned()
+    }
+
+    /// Every shard, in name order (BTreeMap: deterministic iteration for
+    /// status replies and shutdown).
+    pub(crate) fn all(&self) -> Vec<Arc<Shard>> {
+        self.shards.lock().expect("shard registry lock").values().cloned().collect()
+    }
+
+    /// Registered snapshot names, sorted.
+    pub(crate) fn names(&self) -> Vec<String> {
+        self.shards.lock().expect("shard registry lock").keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verified_net::{AnalysisCtx, SynthesisConfig};
+
+    fn dataset() -> Dataset {
+        Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet())
+    }
+
+    #[test]
+    fn register_creates_then_refreshes_one_shard() {
+        let registry = ShardRegistry::new();
+        let obs = Arc::new(Obs::new());
+        let ds = dataset();
+        let fp = registry.register("a", ds.clone(), 1, 1, 4, &obs);
+        assert_eq!(fp, ds.fingerprint());
+        assert_eq!(registry.names(), vec!["a".to_string()]);
+        let shard = registry.get("a").expect("shard exists");
+
+        // Warm the cache, then re-register: the shard object (and its
+        // cache) survives, only the dataset handle is swapped.
+        shard.cache.lock().expect("cache").insert(
+            crate::cache::CacheKey {
+                dataset: fp,
+                options: 1,
+                section: verified_net::Section::Basic,
+            },
+            Arc::new(crate::cache::CachedSection {
+                payload_json: "{}".to_string(),
+                fingerprint: 0,
+            }),
+        );
+        let fp2 = registry.register("a", ds.clone(), 1, 1, 4, &obs);
+        assert_eq!(fp2, fp);
+        let again = registry.get("a").expect("shard exists");
+        assert!(Arc::ptr_eq(&shard, &again), "re-register rebuilt the shard");
+        assert_eq!(again.cache.lock().expect("cache").len(), 1, "cache was dropped");
+        assert_eq!(obs.metrics().counter("serve.snapshots", &[]), 1);
+
+        // Shutdown the executor so its worker threads are joined.
+        shard.executor.shutdown_and_join(String::new);
+    }
+
+    #[test]
+    fn shards_are_isolated_objects() {
+        let registry = ShardRegistry::new();
+        let obs = Arc::new(Obs::new());
+        let ds = dataset();
+        registry.register("a", ds.clone(), 1, 1, 4, &obs);
+        registry.register("b", ds, 1, 1, 4, &obs);
+        assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+        let a = registry.get("a").expect("a");
+        let b = registry.get("b").expect("b");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.data().fingerprint, b.data().fingerprint, "same dataset");
+        assert_eq!(obs.metrics().counter("serve.snapshots", &[]), 2);
+        assert!(registry.get("c").is_none());
+        for shard in registry.all() {
+            shard.executor.shutdown_and_join(String::new);
+        }
+    }
+}

@@ -8,18 +8,21 @@
 #   scripts/verify.sh par     parallelism lane: vnet-par unit tests + the
 #                             cross-thread-count determinism battery
 #   scripts/verify.sh serve   service lane: vnet-serve unit tests + the
-#                             loopback wire-protocol + concurrency
+#                             loopback wire-protocol, concurrency,
+#                             admission-conformance and shard-isolation
 #                             batteries, with the serve-scoped clippy wall
-#   scripts/verify.sh serve-load
-#                             end-to-end load lane: the seeded serve_load
-#                             client mix against a live server (slow
-#                             writers, duplicate bursts, disconnects);
-#                             fails on any reply that diverges from the
-#                             batch oracle or if nothing coalesced
+#   scripts/verify.sh serve-soak
+#                             soak lane: the deterministic in-process
+#                             open-loop soak test plus a small-rate
+#                             serve_load run (seeded arrivals, two
+#                             shards, admission on); fails on oracle
+#                             divergence, accounting drift, undrained
+#                             queues, or leaked connections
 #   scripts/verify.sh         tier-1: release build + full quiet test suite
-#   scripts/verify.sh full    tier-1 plus clippy and rustdoc, warnings
-#                             denied, plus the compat grep lint (deprecated
-#                             *_observed shims live only in compat.rs)
+#   scripts/verify.sh full    tier-1 plus the soak lane, clippy and
+#                             rustdoc, warnings denied, plus the compat
+#                             grep lint (deprecated *_observed shims live
+#                             only in compat.rs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,13 +44,16 @@ serve)
     cargo test -q -p vnet-serve
     cargo test -q -p vnet-integration-tests --test serve_protocol
     cargo test -q -p vnet-integration-tests --test serve_concurrency
+    cargo test -q -p vnet-integration-tests --test serve_admission
+    cargo test -q -p vnet-integration-tests --test serve_shards
     # The service runs analyses on shared worker threads: a panic or a
     # lock held across a wait point takes down more than one request, so
     # the serve crate holds a stricter wall than the workspace default.
     cargo clippy -p vnet-serve --no-deps -- -D warnings -D clippy::await_holding_lock -D clippy::unwrap_used
     ;;
-serve-load)
-    cargo run --release -q -p vnet-bench --bin serve_load -- --clients 4 --requests 4 --seed 7
+serve-soak)
+    cargo test -q -p vnet-integration-tests --test serve_soak
+    cargo run --release -q -p vnet-bench --bin serve_load -- --rate 400 --requests 1000 --seed 7
     ;;
 tier1)
     cargo build --release
@@ -56,6 +62,7 @@ tier1)
 full)
     cargo build --release
     cargo test -q
+    "$0" serve-soak
     cargo clippy --workspace -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
     # The 0.2 API contract: observed/plain function splits are dead.
@@ -69,7 +76,7 @@ full)
     fi
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|obs|par|serve|serve-load|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|par|serve|serve-soak|tier1|full]" >&2
     exit 2
     ;;
 esac

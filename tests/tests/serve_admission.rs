@@ -1,0 +1,249 @@
+//! Admission-control conformance and golden-frame battery.
+//!
+//! The serving-side token bucket ([`vnet_serve::RateWindow`]) claims to
+//! mirror `twittersim`'s rate-limit window accounting exactly: a fixed
+//! window anchored at the first charged call, lazy reset at
+//! `now >= window_start + window_len`, rejections that consume no quota,
+//! and a retry hint of `window_start + window_len - now`. The property
+//! tests here drive **both implementations over the same seeded
+//! schedule** — the simulated API through real `verified_ids` calls on an
+//! advancing [`SimClock`], the serve window through pure charges — and
+//! require identical accept/reject decisions and identical retry hints at
+//! every step. The golden tests then pin the wire artifact: the exact
+//! `rate_limited` reply bytes, with `retry_after_ms` made deterministic by
+//! the server's manual admission clock.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use verified_net::{AnalysisCtx, Dataset, SynthesisConfig};
+use vnet_serve::{AdmissionClock, AdmissionPolicy, RateWindow, Server, ServerConfig};
+use vnet_twittersim::{ApiError, RateLimitPolicy, SimClock, Society, SocietyConfig, TwitterApi};
+
+/// A tiny society shared by every conformance case (admission accounting
+/// is independent of the society; only the clock and quota matter).
+fn society() -> &'static Society {
+    static SOC: OnceLock<Society> = OnceLock::new();
+    SOC.get_or_init(|| {
+        let mut cfg = SocietyConfig::small();
+        cfg.net.nodes = 120;
+        cfg.net.mean_out_degree = 6.0;
+        cfg.seed = 0xAD;
+        Society::generate(&cfg)
+    })
+}
+
+/// One small dataset shared by the golden wire tests.
+fn dataset() -> &'static Dataset {
+    static DS: OnceLock<Dataset> = OnceLock::new();
+    DS.get_or_init(|| Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet()))
+}
+
+/// What one charge attempt did, in either implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Admitted,
+    Rejected { retry_after: u64 },
+}
+
+/// Drive the simulated API's roster endpoint over `advances`, recording
+/// each call's outcome. The clock advances *before* each call, so the
+/// first charge lands at `advances[0]` — matching how the serve window is
+/// driven below.
+fn twittersim_steps(quota: u32, window: u64, advances: &[u64]) -> Vec<Step> {
+    let clock = SimClock::new();
+    let policy = RateLimitPolicy {
+        roster: quota,
+        window_secs: window,
+        ..RateLimitPolicy::unlimited()
+    };
+    let api = TwitterApi::new(society(), clock.clone(), policy, 0.0);
+    advances
+        .iter()
+        .map(|&dt| {
+            clock.advance(dt);
+            match api.verified_ids(1) {
+                Ok(_) => Step::Admitted,
+                Err(ApiError::RateLimited { retry_after }) => Step::Rejected { retry_after },
+                Err(other) => panic!("unexpected API error: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// Drive the serve-side window over the same schedule. Like twittersim,
+/// the bucket is created at the first charge's clock reading.
+fn serve_steps(quota: u32, window: u64, advances: &[u64]) -> Vec<Step> {
+    let mut now = 0u64;
+    let mut bucket: Option<RateWindow> = None;
+    advances
+        .iter()
+        .map(|&dt| {
+            now += dt;
+            let w = bucket.get_or_insert_with(|| RateWindow::begin(now));
+            match w.charge(now, quota, window) {
+                Ok(()) => Step::Admitted,
+                Err(retry_after) => Step::Rejected { retry_after },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// THE conformance property: for any quota, window length, and seeded
+    /// advance schedule, the serve-side token bucket and the simulated
+    /// API agree call by call — same admissions, same rejections, same
+    /// retry hints.
+    #[test]
+    fn serve_window_matches_twittersim_call_for_call(
+        quota in 0u32..6,
+        window in 1u64..1_200,
+        advances in proptest::collection::vec(0u64..700, 1..60),
+    ) {
+        let api = twittersim_steps(quota, window, &advances);
+        let serve = serve_steps(quota, window, &advances);
+        prop_assert_eq!(api, serve, "quota={} window={}", quota, window);
+    }
+
+    /// Rejections never consume quota: however many over-quota calls land
+    /// inside one window, the next window admits exactly `quota` again.
+    #[test]
+    fn rejections_consume_no_quota(
+        quota in 1u32..5,
+        burst in 1usize..40,
+    ) {
+        let window = 100u64;
+        let mut w = RateWindow::begin(0);
+        for _ in 0..quota {
+            prop_assert_eq!(w.charge(0, quota, window), Ok(()));
+        }
+        for _ in 0..burst {
+            prop_assert_eq!(w.charge(0, quota, window), Err(window));
+        }
+        // The whole burst was turned away without touching the bucket.
+        prop_assert_eq!(w.used(), quota);
+        for _ in 0..quota {
+            prop_assert_eq!(w.charge(window, quota, window), Ok(()));
+        }
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to loopback server");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn req(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).expect("send request");
+        self.writer.write_all(b"\n").expect("send newline");
+        self.writer.flush().expect("flush");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read reply");
+        reply.trim_end().to_string()
+    }
+}
+
+/// Run the golden request sequence against a freshly started server with
+/// a manual admission clock: admit one, reject at t=0, reject at t=300,
+/// admit at the window boundary. Returns the two rejection frames.
+fn golden_sequence() -> (String, String) {
+    let clock = AdmissionClock::manual();
+    let handle = Server::start(ServerConfig {
+        admission: Some(AdmissionPolicy { requests: 1, window_millis: 1_000 }),
+        admission_clock: clock.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    handle.register_dataset("snap", dataset().clone());
+    let mut c = Client::connect(handle.local_addr());
+    let analyze = r#"{"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"tenant-1"}"#;
+
+    let first = c.req(analyze);
+    assert!(first.starts_with("{\"ok\":true"), "first request must be admitted: {first}");
+
+    let rejected_full = c.req(analyze);
+    clock.advance(300);
+    let rejected_mid = c.req(analyze);
+
+    // Another identity has its own bucket: still admitted mid-window.
+    let other = c.req(
+        r#"{"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"tenant-2"}"#,
+    );
+    assert!(other.starts_with("{\"ok\":true"), "other client must be admitted: {other}");
+
+    // At exactly window_start + window the bucket reopens.
+    clock.advance(700);
+    let reopened = c.req(analyze);
+    assert!(reopened.starts_with("{\"ok\":true"), "window must reopen: {reopened}");
+
+    handle.shutdown();
+    handle.join();
+    (rejected_full, rejected_mid)
+}
+
+#[test]
+fn rate_limited_wire_frames_are_golden() {
+    let (rejected_full, rejected_mid) = golden_sequence();
+    // Byte-exact frames: the manual clock makes retry_after_ms a pure
+    // function of the request sequence.
+    assert_eq!(
+        rejected_full,
+        "{\"ok\":false,\"error\":{\"code\":\"rate_limited\",\"message\":\"rate limited; retry after 1000 ms\",\"retry_after_ms\":1000}}"
+    );
+    assert_eq!(
+        rejected_mid,
+        "{\"ok\":false,\"error\":{\"code\":\"rate_limited\",\"message\":\"rate limited; retry after 700 ms\",\"retry_after_ms\":700}}"
+    );
+}
+
+#[test]
+fn golden_sequence_is_deterministic_across_servers() {
+    // Two independent servers, same manual-clock schedule: identical
+    // rejection bytes — the contract that lets clients test their backoff
+    // logic against recorded frames.
+    assert_eq!(golden_sequence(), golden_sequence());
+}
+
+#[test]
+fn admission_metrics_account_for_every_analyze() {
+    let clock = AdmissionClock::manual();
+    let handle = Server::start(ServerConfig {
+        admission: Some(AdmissionPolicy { requests: 2, window_millis: 500 }),
+        admission_clock: clock,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback server");
+    handle.register_dataset("snap", dataset().clone());
+    let mut c = Client::connect(handle.local_addr());
+    let analyze = r#"{"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"t"}"#;
+    for _ in 0..5 {
+        c.req(analyze);
+    }
+    let metrics = c.req(r#"{"cmd":"metrics"}"#);
+    let v: serde_json::Value = serde_json::from_str(&metrics).expect("metrics parse");
+    assert_eq!(v["counters"]["serve.admitted"].as_u64(), Some(2), "metrics: {metrics}");
+    assert_eq!(
+        v["counters"]["serve.rejected{reason=rate_limited}"].as_u64(),
+        Some(3),
+        "metrics: {metrics}"
+    );
+    // The status report exposes how many admission buckets exist.
+    let status = c.req(r#"{"cmd":"status"}"#);
+    let v: serde_json::Value = serde_json::from_str(&status).expect("status parse");
+    assert_eq!(v["admission_clients"].as_u64(), Some(1), "status: {status}");
+    handle.shutdown();
+    handle.join();
+}
