@@ -8,7 +8,9 @@
 //!
 //! Unlike a closed-loop driver (each client waits for its reply before
 //! sending again, so a slow server quietly throttles its own load), this
-//! harness is **arrival-rate driven**: a seeded Poisson process fixes
+//! harness is **arrival-rate driven** (`--warmup N` drops the first N
+//! arrivals' replies from the latency populations only — they are still
+//! oracle-diffed and counted): a seeded Poisson process fixes
 //! every request's send time before the run starts, and the dispatcher
 //! holds to that schedule whether or not replies have come back. Requests
 //! fan out over a pool of pipelined connections (replies on one
@@ -39,8 +41,9 @@ use rand::{Rng, SeedableRng};
 use verified_net::{
     run_analysis_section, AnalysisCtx, AnalysisOptions, Dataset, Section, SynthesisConfig,
 };
-use vnet_obs::fingerprint_str;
-use vnet_serve::{AdmissionPolicy, Server, ServerConfig, ServerHandle};
+use vnet_bench::overhead;
+use vnet_obs::{fingerprint_str, HistogramSnapshot};
+use vnet_serve::{AdmissionPolicy, Server, ServerConfig, ServerHandle, STAGES};
 
 /// Sections the soak draws from — cheap enough to request thousands of
 /// times (after the first miss per key everything is a cache hit).
@@ -66,6 +69,11 @@ struct LoadConfig {
     /// Admission quota per client per window.
     quota: u32,
     window_ms: u64,
+    /// Replies for the first `warmup` scheduled arrivals are excluded
+    /// from both latency populations (cold caches and lazy page-ins
+    /// otherwise dominate the tail) but are still oracle-diffed and
+    /// counted — correctness has no warm-up phase.
+    warmup: usize,
     out: Option<String>,
 }
 
@@ -78,6 +86,7 @@ fn parse_args() -> LoadConfig {
         seed: 7,
         quota: 20,
         window_ms: 250,
+        warmup: 0,
         out: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +100,7 @@ fn parse_args() -> LoadConfig {
             "--seed" => config.seed = flag_value(&mut it, "--seed"),
             "--quota" => config.quota = flag_value(&mut it, "--quota"),
             "--window-ms" => config.window_ms = flag_value(&mut it, "--window-ms"),
+            "--warmup" => config.warmup = flag_value(&mut it, "--warmup"),
             "--out" => {
                 config.out = Some(it.next().cloned().unwrap_or_else(|| {
                     eprintln!("--out needs a file path");
@@ -101,7 +111,7 @@ fn parse_args() -> LoadConfig {
                 eprintln!(
                     "unknown argument '{other}'\nusage: serve_load [--rate <rps>] [--requests <n>] \
                      [--conns <n>] [--clients <n>] [--seed <n>] [--quota <n>] [--window-ms <n>] \
-                     [--out <file>]"
+                     [--warmup <n>] [--out <file>]"
                 );
                 std::process::exit(2);
             }
@@ -141,6 +151,8 @@ struct Expect {
     section: Section,
     options_seed: u64,
     sent: Instant,
+    /// Past the `--warmup` prefix: this reply's latency counts.
+    warm: bool,
 }
 
 /// One reader thread's tallies.
@@ -186,7 +198,9 @@ fn classify_reply(line: &str, exp: &Expect, oracle: &Oracle, stats: &mut ConnSta
             return;
         }
         stats.ok_per_shard[exp.snapshot] += 1;
-        stats.admitted_micros.push(micros);
+        if exp.warm {
+            stats.admitted_micros.push(micros);
+        }
         return;
     }
     match v["error"]["code"].as_str() {
@@ -204,7 +218,9 @@ fn classify_reply(line: &str, exp: &Expect, oracle: &Oracle, stats: &mut ConnSta
         }
     }
     stats.rejected_per_shard[exp.snapshot] += 1;
-    stats.rejected_micros.push(micros);
+    if exp.warm {
+        stats.rejected_micros.push(micros);
+    }
 }
 
 fn reader_loop(
@@ -252,6 +268,51 @@ fn latency_json(sorted: &[u64]) -> String {
         sorted.last().copied().unwrap_or(0),
         sorted.len(),
     )
+}
+
+/// Approximate percentile of a log-bucketed histogram: the upper edge of
+/// the first bucket whose cumulative count reaches the rank (each bucket
+/// is at most 2x its lower edge, so the edge is within 2x of the true
+/// value). Overflow samples report the top edge.
+fn hist_percentile(h: &HistogramSnapshot, p: f64) -> u64 {
+    if h.count == 0 {
+        return 0;
+    }
+    let rank = ((p * h.count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            let edge = h.bounds.get(i).or_else(|| h.bounds.last());
+            return edge.copied().unwrap_or(0.0) as u64;
+        }
+    }
+    h.bounds.last().copied().unwrap_or(0.0) as u64
+}
+
+/// The per-stage latency breakdown the server's staged histograms
+/// recorded: `framing → admission → queue → execute → write`, each as
+/// approximate percentiles over every request the run admitted.
+fn stage_breakdown_json(registry: &vnet_obs::Registry) -> String {
+    let histograms = registry.histograms();
+    let parts: Vec<String> = STAGES
+        .iter()
+        .map(|stage| {
+            let key = format!("serve.stage_wall_micros{{stage={stage}}}");
+            match histograms.get(&key) {
+                Some(h) => format!(
+                    "\"{stage}\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"mean\":{:.1},\"samples\":{}}}",
+                    hist_percentile(h, 0.50),
+                    hist_percentile(h, 0.90),
+                    hist_percentile(h, 0.99),
+                    if h.count == 0 { 0.0 } else { h.sum / h.count as f64 },
+                    h.count,
+                ),
+                None => format!("\"{stage}\":{{\"samples\":0}}"),
+            }
+        })
+        .collect();
+    format!("{{{}}}", parts.join(","))
 }
 
 fn main() {
@@ -375,6 +436,7 @@ fn main() {
             section: a.section,
             options_seed: a.options_seed,
             sent: Instant::now(),
+            warm: i >= load.warmup,
         };
         if senders[conn].send(expect).is_err()
             || writers[conn].write_all(request.as_bytes()).is_err()
@@ -463,6 +525,14 @@ fn main() {
     if opened != closed {
         failures.push(format!("leaked connections: {opened} opened, {closed} closed"));
     }
+    let stage_breakdown = stage_breakdown_json(obs.metrics());
+
+    // The recording-overhead microbench rides along so BENCH_serve.json
+    // carries the obs-on/obs-off cost next to the load numbers it
+    // explains (see the standalone obs_overhead binary for the gated
+    // version).
+    eprintln!("measuring metric-recording overhead at 1/2/4 threads ...");
+    let overhead_report = overhead::measure(200_000, &[1, 2, 4]);
 
     // ------------------------------------------------------------------
     // Summary.
@@ -500,7 +570,8 @@ fn main() {
     "clients": {clients},
     "seed": {seed},
     "snapshots": {snapshots},
-    "admission": {{"quota": {quota}, "window_ms": {window_ms}}}
+    "admission": {{"quota": {quota}, "window_ms": {window_ms}}},
+    "warmup": {warmup}
   }},
   "totals": {{
     "offered": {requests},
@@ -517,6 +588,8 @@ fn main() {
     "admitted": {admitted_lat},
     "rejected": {rejected_lat}
   }},
+  "stage_latency_micros": {stage_breakdown},
+  "obs_overhead": {obs_overhead},
   "offered_rate_rps": {offered_rate:.1},
   "achieved_rate_rps": {achieved_rate:.1},
   "schedule_span_s": {span:.3},
@@ -524,6 +597,9 @@ fn main() {
   "drain_micros": {drain_micros}
 }}"#,
         rate = load.rate,
+        warmup = load.warmup,
+        stage_breakdown = stage_breakdown,
+        obs_overhead = overhead::render_json(&overhead_report),
         requests = load.requests,
         conns = load.conns,
         clients = load.clients,

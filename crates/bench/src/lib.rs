@@ -20,6 +20,8 @@
 use std::sync::OnceLock;
 use verified_net::{AnalysisCtx, Dataset, SynthesisConfig};
 
+pub mod overhead;
+
 /// The standard benchmark dataset (small scale: ~3.1k English users),
 /// built once per process.
 pub fn bench_dataset() -> &'static Dataset {

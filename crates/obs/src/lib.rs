@@ -57,7 +57,9 @@
 
 mod manifest;
 mod metrics;
+mod prom;
 mod report;
+pub mod telemetry;
 mod trace;
 
 use std::sync::{Arc, OnceLock};
@@ -66,7 +68,9 @@ pub use manifest::{
     fingerprint_bytes, RunManifest, StageTiming, MANIFEST_SCHEMA_VERSION,
 };
 pub use metrics::{metric_key, HistogramSnapshot, Labels, Registry, DEFAULT_BUCKETS};
+pub use prom::{render_parts as render_prometheus_parts, render_prometheus};
 pub use report::Reporter;
+pub use telemetry::{pow2_buckets, CounterId, GaugeId, HistogramId, Telemetry};
 pub use trace::{SimTimeSource, SpanGuard, SpanRecord, Tracer};
 
 /// 64-bit FNV-1a of a string — convenience over [`fingerprint_bytes`].
@@ -92,6 +96,10 @@ pub struct Obs {
 struct ObsShared {
     metrics: Registry,
     tracer: Tracer,
+    /// Hot-path recorder, attached once by layers (vnet-serve) that
+    /// record off the registry's lock; merged into `metrics` whenever a
+    /// snapshot is taken, so readers see one unified registry.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl Obs {
@@ -99,7 +107,11 @@ impl Obs {
     pub fn new() -> Self {
         Self {
             enabled: true,
-            shared: Arc::new(ObsShared { metrics: Registry::new(), tracer: Tracer::new() }),
+            shared: Arc::new(ObsShared {
+                metrics: Registry::new(),
+                tracer: Tracer::new(),
+                telemetry: OnceLock::new(),
+            }),
         }
     }
 
@@ -110,6 +122,7 @@ impl Obs {
             shared: Arc::new(ObsShared {
                 metrics: Registry::new(),
                 tracer: Tracer::disabled(),
+                telemetry: OnceLock::new(),
             }),
         }
     }
@@ -127,8 +140,38 @@ impl Obs {
         self.enabled
     }
 
-    /// The metrics registry.
+    /// Attach the hot-path [`Telemetry`] recorder. From here on, every
+    /// snapshot taken through this handle ([`Obs::metrics`],
+    /// [`Obs::manifest`]) first folds the recorder's touched metrics into
+    /// the registry, so readers never see the split. At most one recorder
+    /// per handle; re-attaching is a startup-wiring bug and panics.
+    pub fn attach_telemetry(&self, telemetry: Arc<Telemetry>) {
+        self.shared
+            .telemetry
+            .set(telemetry)
+            .expect("telemetry already attached to this Obs");
+    }
+
+    /// The attached hot-path recorder, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.shared.telemetry.get()
+    }
+
+    /// Fold the attached recorder (if any) into the registry. Called by
+    /// every snapshot path; harmless to call redundantly — the merge is
+    /// idempotent for a quiescent recorder.
+    pub fn sync_telemetry(&self) {
+        if let Some(t) = self.shared.telemetry.get() {
+            t.merge_into(&self.shared.metrics);
+        }
+    }
+
+    /// The metrics registry, with the attached telemetry (if any) merged
+    /// in. This is a snapshot-path accessor: the merge walks every
+    /// registered metric, so hot-path recording goes through
+    /// [`Telemetry`] handles or [`Obs::inc`], never through this.
     pub fn metrics(&self) -> &Registry {
+        self.sync_telemetry();
         &self.shared.metrics
     }
 
@@ -216,6 +259,7 @@ impl Obs {
 
     /// Snapshot everything recorded so far into a [`RunManifest`].
     pub fn manifest(&self, label: &str, seed: u64) -> RunManifest {
+        self.sync_telemetry();
         RunManifest::from_parts(
             label,
             seed,
@@ -289,5 +333,28 @@ mod tests {
     #[test]
     fn fingerprint_str_matches_bytes() {
         assert_eq!(fingerprint_str("abc"), fingerprint_bytes(b"abc"));
+    }
+
+    #[test]
+    fn attached_telemetry_is_merged_into_every_snapshot() {
+        let obs = Obs::new();
+        let telemetry = Arc::new(Telemetry::new(2));
+        let hits = telemetry.counter("cache.hits", &[("shard", "s")]);
+        obs.attach_telemetry(Arc::clone(&telemetry));
+        telemetry.add(hits, 5);
+        // Registry reads through the handle see the merged value …
+        assert_eq!(obs.metrics().counter("cache.hits", &[("shard", "s")]), 5);
+        telemetry.add(hits, 2);
+        // … and manifests do too, including later increments.
+        let m = obs.manifest("merged", 0);
+        assert_eq!(m.counters["cache.hits{shard=s}"], 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attach_panics() {
+        let obs = Obs::new();
+        obs.attach_telemetry(Arc::new(Telemetry::new(1)));
+        obs.attach_telemetry(Arc::new(Telemetry::new(1)));
     }
 }

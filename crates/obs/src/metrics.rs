@@ -149,7 +149,19 @@ impl Registry {
     }
 
     /// Record one observation into the histogram `name{labels}`.
+    ///
+    /// Non-finite values (NaN, ±∞) are **rejected deterministically**: the
+    /// observation is dropped — it lands in no bucket and contributes
+    /// nothing to `count`/`sum` — and the rejection is counted under
+    /// `obs.rejected_observations{metric=<name>}`. Before this rule a NaN
+    /// fell through `bucket_index` into the overflow bucket and poisoned
+    /// `sum` forever (NaN is absorbing under `+`), silently corrupting
+    /// every later snapshot of the series.
     pub fn observe(&self, name: &str, labels: Labels, value: f64) {
+        if !value.is_finite() {
+            self.inc("obs.rejected_observations", &[("metric", name)]);
+            return;
+        }
         let key = metric_key(name, labels);
         let mut inner = lock(&self.inner);
         if !inner.histograms.contains_key(&key) {
@@ -188,6 +200,27 @@ impl Registry {
     /// Snapshot of all histograms, canonically ordered.
     pub fn histograms(&self) -> BTreeMap<String, HistogramSnapshot> {
         lock(&self.inner).histograms.clone()
+    }
+
+    // ---- raw key-level setters -------------------------------------
+    //
+    // The telemetry merge (`crate::telemetry`) already holds canonical
+    // keys — re-splitting them into (name, labels) just to re-join them
+    // would be wasted motion, so it writes through these.
+
+    /// Set a counter by its canonical key.
+    pub(crate) fn set_counter_key(&self, key: &str, value: u64) {
+        lock(&self.inner).counters.insert(key.to_string(), value);
+    }
+
+    /// Set a gauge by its canonical key.
+    pub(crate) fn set_gauge_key(&self, key: &str, value: f64) {
+        lock(&self.inner).gauges.insert(key.to_string(), value);
+    }
+
+    /// Replace a histogram snapshot by its canonical key.
+    pub(crate) fn set_histogram_key(&self, key: &str, snapshot: HistogramSnapshot) {
+        lock(&self.inner).histograms.insert(key.to_string(), snapshot);
     }
 }
 
@@ -263,6 +296,29 @@ mod tests {
     #[should_panic(expected = "ascending")]
     fn unsorted_bucket_declarations_rejected() {
         Registry::new().declare_buckets("bad", &[5.0, 1.0]);
+    }
+
+    #[test]
+    fn non_finite_observations_are_rejected_and_counted() {
+        let r = Registry::new();
+        r.observe("lat", &[("op", "x")], 5.0);
+        r.observe("lat", &[("op", "x")], f64::NAN);
+        r.observe("lat", &[("op", "x")], f64::INFINITY);
+        r.observe("lat", &[("op", "x")], f64::NEG_INFINITY);
+        let h = &r.histograms()["lat{op=x}"];
+        // Only the finite observation exists; sum is not NaN-poisoned.
+        assert_eq!(h.count, 1);
+        assert_eq!(h.counts.iter().sum::<u64>(), 1);
+        assert_eq!(h.sum, 5.0);
+        assert_eq!(r.counter("obs.rejected_observations", &[("metric", "lat")]), 3);
+    }
+
+    #[test]
+    fn rejected_first_observation_does_not_materialize_the_series() {
+        let r = Registry::new();
+        r.observe("never", &[], f64::NAN);
+        assert!(r.histograms().is_empty(), "rejected observe created a histogram");
+        assert_eq!(r.counter("obs.rejected_observations", &[("metric", "never")]), 1);
     }
 
     #[test]

@@ -1,0 +1,602 @@
+//! Sharded, lock-free hot-path telemetry.
+//!
+//! The [`crate::Registry`] is the *snapshot* layer: one mutex, string
+//! keys, canonical `BTreeMap` ordering. That is exactly right for
+//! manifests and wire replies, and exactly wrong for a request hot path —
+//! at thousands of recordings per second every `inc()` formats a label
+//! string and serializes on one global lock, so the telemetry layer both
+//! contends with the work it measures and distorts the latencies it
+//! records.
+//!
+//! [`Telemetry`] is the *recording* layer that fixes this:
+//!
+//! * **Interned handles** — metrics are registered once up front;
+//!   [`Telemetry::counter`]/[`gauge`](Telemetry::gauge)/
+//!   [`histogram`](Telemetry::histogram) flatten `name{labels}` into the
+//!   canonical key a single time and hand back a small id. Hot-path calls
+//!   ([`Telemetry::add`], [`Telemetry::observe`]) never touch a string.
+//! * **Per-shard atomics** — counter and histogram state is striped
+//!   across internal shards; each thread is pinned to a shard by a
+//!   process-wide round-robin thread index, so concurrent recorders on
+//!   different threads touch disjoint cache lines and never take a lock.
+//!   Gauges are last-write-wins and live in one global slot per metric
+//!   (striping a "current value" has no meaning).
+//! * **Fixed log-bucketed histograms** — HDR-style: the bucket bounds are
+//!   frozen at registration ([`pow2_buckets`] gives the power-of-two grid
+//!   the serve stage latencies use), observations are `u64`s, and every
+//!   cell (bucket counts, total count, sum) is an integer `fetch_add`.
+//! * **Deterministic ordered merge** — [`Telemetry::merge_into`] folds
+//!   every *touched* metric into a [`crate::Registry`] under the same
+//!   canonical keys. Because all accumulation is integer addition, the
+//!   merged snapshot is a pure function of the multiset of recordings:
+//!   byte-identical across thread counts, shard counts and interleavings
+//!   (the property `tests/tests/obs_telemetry.rs` pins). Untouched
+//!   metrics are skipped entirely, so pre-registering a catalog of
+//!   handles does not change the snapshot of a workload that never used
+//!   them — the PR-2 metrics wire contract survives the rebuild.
+//!
+//! Histogram *sums* are the subtle part: the registry accumulates `f64`
+//! sums in observation order, which is only reproducible single-threaded.
+//! Telemetry histograms therefore take `u64` values and keep integer
+//! sums — addition is associative, so any merge order produces the same
+//! `HistogramSnapshot::sum` (converted to `f64` at merge; exact below
+//! 2⁵³). Non-finite values cannot exist by construction, the same edge
+//! [`crate::Registry::observe`] now rejects explicitly.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{metric_key, HistogramSnapshot, Labels, Registry};
+
+/// Default capacity (distinct counter keys) of [`Telemetry::new`].
+pub const DEFAULT_COUNTERS: usize = 256;
+/// Default capacity (distinct gauge keys) of [`Telemetry::new`].
+pub const DEFAULT_GAUGES: usize = 128;
+/// Default histogram *slot* capacity of [`Telemetry::new`]: each
+/// registered histogram consumes `bounds + 3` slots (buckets, overflow,
+/// count, sum).
+pub const DEFAULT_HISTOGRAM_SLOTS: usize = 4096;
+
+/// Interned handle to a pre-registered counter. Copy-cheap; the id is an
+/// index into every shard's counter slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(u32);
+
+/// Interned handle to a pre-registered gauge (one global slot,
+/// last-write-wins — gauges are state, not accumulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(u32);
+
+/// Interned handle to a pre-registered fixed-bucket histogram. Carries
+/// its integer bucket thresholds so [`Telemetry::observe`] never consults
+/// shared metadata; clone-cheap (`Arc` slice).
+#[derive(Debug, Clone)]
+pub struct HistogramId {
+    /// First slot of this histogram's range in every shard's slab.
+    offset: u32,
+    /// Integer thresholds: value `v` lands in the first bucket with
+    /// `v <= threshold`, else the overflow bucket.
+    thresholds: Arc<[u64]>,
+}
+
+/// Power-of-two histogram bounds `[2^0, 2^1, …, 2^max_exp]` — the
+/// log-bucket grid for microsecond latencies (`max_exp = 26` spans 1 µs
+/// to ~67 s with ≤ 2× relative error).
+pub fn pow2_buckets(max_exp: u32) -> Vec<f64> {
+    (0..=max_exp).map(|e| (1u64 << e) as f64).collect()
+}
+
+struct CounterDef {
+    key: String,
+}
+
+struct GaugeDef {
+    key: String,
+}
+
+struct HistDef {
+    key: String,
+    bounds: Vec<f64>,
+    offset: u32,
+}
+
+#[derive(Default)]
+struct Registrar {
+    counters: Vec<CounterDef>,
+    counter_index: BTreeMap<String, u32>,
+    gauges: Vec<GaugeDef>,
+    gauge_index: BTreeMap<String, u32>,
+    hists: Vec<HistDef>,
+    hist_index: BTreeMap<String, u32>,
+    hist_cursor: usize,
+}
+
+/// One stripe of counter/histogram state. All cells are plain atomics;
+/// threads mapped to different shards never write the same cache line.
+struct TelemetryShard {
+    counters: Box<[AtomicU64]>,
+    /// Set when a counter was touched with `by == 0` (a nonzero value is
+    /// its own evidence); merge includes a counter iff value > 0 or
+    /// touched.
+    counter_touched: Box<[AtomicBool]>,
+    /// Flat histogram slab; each histogram owns the contiguous range
+    /// `[offset, offset + buckets + 3)`: per-bucket counts (bounds + 1,
+    /// the last being overflow), then total count, then integer sum.
+    hist_slots: Box<[AtomicU64]>,
+}
+
+impl TelemetryShard {
+    fn with_capacity(counters: usize, hist_slots: usize) -> Self {
+        Self {
+            counters: (0..counters).map(|_| AtomicU64::new(0)).collect(),
+            counter_touched: (0..counters).map(|_| AtomicBool::new(false)).collect(),
+            hist_slots: (0..hist_slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+/// Process-wide monotone thread index: assigned once per thread, shared
+/// by every `Telemetry` instance (each applies its own shard mask), so a
+/// thread keeps hitting the same stripe everywhere.
+fn thread_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static INDEX: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    INDEX.with(|cell| {
+        let mut idx = cell.get();
+        if idx == usize::MAX {
+            idx = NEXT.fetch_add(1, Ordering::Relaxed);
+            cell.set(idx);
+        }
+        idx
+    })
+}
+
+/// The sharded hot-path recorder. See the module docs for the contract;
+/// in short: register handles once, record through them lock-free, merge
+/// deterministically into a [`Registry`] when a snapshot is needed.
+pub struct Telemetry {
+    shards: Box<[TelemetryShard]>,
+    shard_mask: usize,
+    gauges: Box<[AtomicU64]>,
+    gauge_touched: Box<[AtomicBool]>,
+    counter_capacity: usize,
+    hist_slot_capacity: usize,
+    registrar: Mutex<Registrar>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("shards", &self.shards.len())
+            .field("counter_capacity", &self.counter_capacity)
+            .finish()
+    }
+}
+
+fn lock<'a>(m: &'a Mutex<Registrar>) -> std::sync::MutexGuard<'a, Registrar> {
+    m.lock().expect("vnet-obs telemetry registrar poisoned")
+}
+
+impl Telemetry {
+    /// A recorder striped over (at least) `shards` stripes, rounded up to
+    /// a power of two, with the default capacities.
+    pub fn new(shards: usize) -> Self {
+        Self::with_capacity(shards, DEFAULT_COUNTERS, DEFAULT_GAUGES, DEFAULT_HISTOGRAM_SLOTS)
+    }
+
+    /// A recorder with explicit capacities. Capacities are fixed at
+    /// construction so the hot path can index preallocated slabs without
+    /// any growth synchronization; registration past a capacity panics
+    /// (it is a startup-time configuration error, not a runtime event).
+    pub fn with_capacity(
+        shards: usize,
+        counters: usize,
+        gauges: usize,
+        hist_slots: usize,
+    ) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..shards)
+                .map(|_| TelemetryShard::with_capacity(counters, hist_slots))
+                .collect(),
+            shard_mask: shards - 1,
+            gauges: (0..gauges).map(|_| AtomicU64::new(0)).collect(),
+            gauge_touched: (0..gauges).map(|_| AtomicBool::new(false)).collect(),
+            counter_capacity: counters,
+            hist_slot_capacity: hist_slots,
+            registrar: Mutex::new(Registrar::default()),
+        }
+    }
+
+    /// Number of stripes (a power of two).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self) -> &TelemetryShard {
+        &self.shards[thread_index() & self.shard_mask]
+    }
+
+    /// Register (or look up) the counter `name{labels}`. Idempotent: the
+    /// same key always returns the same id, so per-shard serve metrics can
+    /// re-register on snapshot refresh.
+    pub fn counter(&self, name: &str, labels: Labels) -> CounterId {
+        let key = metric_key(name, labels);
+        let mut reg = lock(&self.registrar);
+        if let Some(&id) = reg.counter_index.get(&key) {
+            return CounterId(id);
+        }
+        let id = reg.counters.len();
+        assert!(
+            id < self.counter_capacity,
+            "telemetry counter capacity ({}) exhausted registering {key}",
+            self.counter_capacity
+        );
+        reg.counter_index.insert(key.clone(), id as u32);
+        reg.counters.push(CounterDef { key });
+        CounterId(id as u32)
+    }
+
+    /// Register (or look up) the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: Labels) -> GaugeId {
+        let key = metric_key(name, labels);
+        let mut reg = lock(&self.registrar);
+        if let Some(&id) = reg.gauge_index.get(&key) {
+            return GaugeId(id);
+        }
+        let id = reg.gauges.len();
+        assert!(
+            id < self.gauges.len(),
+            "telemetry gauge capacity ({}) exhausted registering {key}",
+            self.gauges.len()
+        );
+        reg.gauge_index.insert(key.clone(), id as u32);
+        reg.gauges.push(GaugeDef { key });
+        GaugeId(id as u32)
+    }
+
+    /// Register (or look up) the histogram `name{labels}` with the given
+    /// ascending, non-negative, finite bucket bounds. Re-registration
+    /// with different bounds panics — bounds are part of the metric's
+    /// identity.
+    pub fn histogram(&self, name: &str, labels: Labels, bounds: &[f64]) -> HistogramId {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        assert!(
+            bounds.iter().all(|b| b.is_finite() && *b >= 0.0),
+            "histogram bounds must be finite and non-negative"
+        );
+        let key = metric_key(name, labels);
+        let mut reg = lock(&self.registrar);
+        if let Some(&id) = reg.hist_index.get(&key) {
+            let def = &reg.hists[id as usize];
+            assert_eq!(
+                def.bounds, bounds,
+                "histogram {key} re-registered with different bounds"
+            );
+            return HistogramId {
+                offset: def.offset,
+                thresholds: integer_thresholds(bounds),
+            };
+        }
+        let len = bounds.len() + 3;
+        assert!(
+            reg.hist_cursor + len <= self.hist_slot_capacity,
+            "telemetry histogram slot capacity ({}) exhausted registering {key}",
+            self.hist_slot_capacity
+        );
+        let offset = reg.hist_cursor as u32;
+        reg.hist_cursor += len;
+        let id = reg.hists.len() as u32;
+        reg.hist_index.insert(key.clone(), id);
+        reg.hists.push(HistDef { key, bounds: bounds.to_vec(), offset });
+        HistogramId { offset, thresholds: integer_thresholds(bounds) }
+    }
+
+    /// Add `by` to a counter — one relaxed `fetch_add` on this thread's
+    /// stripe, no lock, no allocation, no formatting.
+    #[inline]
+    pub fn add(&self, id: CounterId, by: u64) {
+        let shard = self.shard();
+        let slot = id.0 as usize;
+        if by == 0 {
+            // A zero add still means "this series exists" (the registry
+            // contract: `inc_by(…, 0)` materializes the key).
+            shard.counter_touched[slot].store(true, Ordering::Relaxed);
+        } else {
+            shard.counters[slot].fetch_add(by, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1 to a counter.
+    #[inline]
+    pub fn inc(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Set a gauge — one relaxed store of the value's bits.
+    #[inline]
+    pub fn set_gauge(&self, id: GaugeId, value: f64) {
+        let slot = id.0 as usize;
+        self.gauges[slot].store(value.to_bits(), Ordering::Relaxed);
+        self.gauge_touched[slot].store(true, Ordering::Relaxed);
+    }
+
+    /// Record one `u64` observation — a bucket scan over the handle's own
+    /// thresholds plus three relaxed `fetch_add`s on this thread's stripe.
+    #[inline]
+    pub fn observe(&self, id: &HistogramId, value: u64) {
+        let shard = self.shard();
+        let base = id.offset as usize;
+        let n = id.thresholds.len();
+        // Thresholds are sorted, so the bucket is a binary search — for
+        // the 27-bound power-of-two layout that is 5 compares instead of
+        // a 27-element scan, which halves the recording cost.
+        let bucket = id.thresholds.partition_point(|&t| t < value);
+        shard.hist_slots[base + bucket].fetch_add(1, Ordering::Relaxed);
+        shard.hist_slots[base + n + 1].fetch_add(1, Ordering::Relaxed);
+        shard.hist_slots[base + n + 2].fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Current merged value of a counter (sums all stripes).
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.shards.iter().map(|s| s.counters[id.0 as usize].load(Ordering::Relaxed)).sum()
+    }
+
+    /// Fold every touched metric into `registry` under its canonical key.
+    ///
+    /// Counters and histogram cells are summed across stripes in stripe
+    /// order; because every accumulation is integer addition the result
+    /// is independent of stripe count and write interleaving — merged
+    /// snapshots are byte-identical across thread counts. Gauges copy
+    /// their single slot. Untouched metrics are skipped, so registered-
+    /// but-unused handles leave the registry (and every downstream wire
+    /// reply and manifest) untouched.
+    ///
+    /// Concurrent recording during a merge is safe; a merge observes a
+    /// monotone prefix of each stripe, so repeated merges of a live
+    /// system only ever move counters forward.
+    pub fn merge_into(&self, registry: &Registry) {
+        let reg = lock(&self.registrar);
+        for (id, def) in reg.counters.iter().enumerate() {
+            let mut total = 0u64;
+            let mut touched = false;
+            for shard in self.shards.iter() {
+                total += shard.counters[id].load(Ordering::Relaxed);
+                touched |= shard.counter_touched[id].load(Ordering::Relaxed);
+            }
+            if total > 0 || touched {
+                registry.set_counter_key(&def.key, total);
+            }
+        }
+        for (id, def) in reg.gauges.iter().enumerate() {
+            if self.gauge_touched[id].load(Ordering::Relaxed) {
+                let bits = self.gauges[id].load(Ordering::Relaxed);
+                registry.set_gauge_key(&def.key, f64::from_bits(bits));
+            }
+        }
+        for def in reg.hists.iter() {
+            let base = def.offset as usize;
+            let buckets = def.bounds.len() + 1;
+            let mut counts = vec![0u64; buckets];
+            let mut count = 0u64;
+            let mut sum = 0u64;
+            for shard in self.shards.iter() {
+                for (i, slot) in counts.iter_mut().enumerate() {
+                    *slot += shard.hist_slots[base + i].load(Ordering::Relaxed);
+                }
+                count += shard.hist_slots[base + buckets].load(Ordering::Relaxed);
+                sum += shard.hist_slots[base + buckets + 1].load(Ordering::Relaxed);
+            }
+            if count > 0 {
+                registry.set_histogram_key(
+                    &def.key,
+                    HistogramSnapshot {
+                        bounds: def.bounds.clone(),
+                        counts,
+                        count,
+                        sum: sum as f64,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Merged snapshot of just this recorder's state, as registry-shaped
+    /// maps (a convenience over [`Telemetry::merge_into`] for tests and
+    /// reports).
+    pub fn snapshot(
+        &self,
+    ) -> (BTreeMap<String, u64>, BTreeMap<String, f64>, BTreeMap<String, HistogramSnapshot>)
+    {
+        let registry = Registry::new();
+        self.merge_into(&registry);
+        (registry.counters(), registry.gauges(), registry.histograms())
+    }
+}
+
+/// Integer thresholds equivalent to the `f64` bounds for `u64` values:
+/// `v <= bound` ⟺ `v <= floor(bound)` (bounds are non-negative).
+fn integer_thresholds(bounds: &[f64]) -> Arc<[u64]> {
+    bounds
+        .iter()
+        .map(|&b| {
+            if b >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                b.floor() as u64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_interned_and_idempotent() {
+        let t = Telemetry::new(4);
+        let a = t.counter("serve.requests", &[("shard", "alpha")]);
+        let b = t.counter("serve.requests", &[("shard", "alpha")]);
+        assert_eq!(a, b);
+        let c = t.counter("serve.requests", &[("shard", "beta")]);
+        assert_ne!(a, c);
+        // Label order at the call site is irrelevant, as in the registry.
+        let d = t.counter("m", &[("a", "1"), ("b", "2")]);
+        let e = t.counter("m", &[("b", "2"), ("a", "1")]);
+        assert_eq!(d, e);
+    }
+
+    #[test]
+    fn counters_merge_across_stripes() {
+        let t = Arc::new(Telemetry::new(4));
+        let id = t.counter("work", &[]);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = Arc::clone(&t);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        t.inc(id);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.counter_value(id), 8000);
+        let registry = Registry::new();
+        t.merge_into(&registry);
+        assert_eq!(registry.counter("work", &[]), 8000);
+    }
+
+    #[test]
+    fn untouched_metrics_stay_out_of_the_merge() {
+        let t = Telemetry::new(2);
+        let used = t.counter("used", &[]);
+        t.counter("ghost", &[]);
+        t.gauge("ghost_gauge", &[]);
+        t.histogram("ghost_hist", &[], &[1.0, 10.0]);
+        t.inc(used);
+        let registry = Registry::new();
+        t.merge_into(&registry);
+        assert_eq!(registry.counters().into_keys().collect::<Vec<_>>(), vec!["used"]);
+        assert!(registry.gauges().is_empty());
+        assert!(registry.histograms().is_empty());
+    }
+
+    #[test]
+    fn zero_add_materializes_the_key() {
+        let t = Telemetry::new(2);
+        let id = t.counter("maybe", &[]);
+        t.add(id, 0);
+        let registry = Registry::new();
+        t.merge_into(&registry);
+        assert_eq!(registry.counters()["maybe"], 0);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins_and_exact() {
+        let t = Telemetry::new(2);
+        let g = t.gauge("depth", &[("shard", "a")]);
+        t.set_gauge(g, 3.0);
+        t.set_gauge(g, 0.1 + 0.2); // bit-exact round-trip, not re-rounded
+        let registry = Registry::new();
+        t.merge_into(&registry);
+        assert_eq!(registry.gauge("depth", &[("shard", "a")]), Some(0.1 + 0.2));
+    }
+
+    #[test]
+    fn histogram_matches_registry_bucketing() {
+        // The same observations through the registry and through
+        // telemetry must produce identical snapshots (the contract that
+        // lets serve swap recorders without changing a byte of output).
+        let bounds = crate::metrics::DEFAULT_BUCKETS;
+        let registry_direct = Registry::new();
+        let t = Telemetry::new(4);
+        let h = t.histogram("serve.retry_after_ms", &[], &bounds);
+        for v in [0u64, 1, 7, 10, 11, 250, 999_999, 2_000_000] {
+            registry_direct.observe("serve.retry_after_ms", &[], v as f64);
+            t.observe(&h, v);
+        }
+        let merged = Registry::new();
+        t.merge_into(&merged);
+        assert_eq!(
+            registry_direct.histograms()["serve.retry_after_ms"],
+            merged.histograms()["serve.retry_after_ms"],
+        );
+    }
+
+    #[test]
+    fn pow2_buckets_span_the_latency_grid() {
+        let b = pow2_buckets(26);
+        assert_eq!(b.len(), 27);
+        assert_eq!(b[0], 1.0);
+        assert_eq!(b[26], (1u64 << 26) as f64);
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fractional_bounds_floor_correctly() {
+        let t = Telemetry::new(1);
+        let h = t.histogram("frac", &[], &[1.5, 10.0]);
+        t.observe(&h, 1); // 1 <= 1.5
+        t.observe(&h, 2); // 2 > 1.5, <= 10
+        let (_, _, hists) = t.snapshot();
+        assert_eq!(hists["frac"].counts, vec![1, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_bounds_are_identity() {
+        let t = Telemetry::new(1);
+        t.histogram("h", &[], &[1.0, 2.0]);
+        t.histogram("h", &[], &[1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn counter_capacity_is_enforced() {
+        let t = Telemetry::with_capacity(1, 2, 2, 16);
+        t.counter("a", &[]);
+        t.counter("b", &[]);
+        t.counter("c", &[]);
+    }
+
+    #[test]
+    fn merge_is_shard_count_invariant() {
+        let mut snapshots = Vec::new();
+        for shards in [1usize, 2, 4, 7] {
+            let t = Telemetry::new(shards);
+            let c = t.counter("c", &[]);
+            let h = t.histogram("h", &[], &[2.0, 8.0]);
+            std::thread::scope(|scope| {
+                for worker in 0..shards {
+                    let t = &t;
+                    let h = h.clone();
+                    scope.spawn(move || {
+                        for i in 0..100u64 {
+                            if i % shards as u64 == worker as u64 {
+                                t.add(c, i);
+                                t.observe(&h, i % 12);
+                            }
+                        }
+                    });
+                }
+            });
+            let (counters, gauges, hists) = t.snapshot();
+            snapshots.push(
+                serde_json::to_string(&(counters, gauges, hists)).expect("snapshot serializes"),
+            );
+        }
+        for s in &snapshots[1..] {
+            assert_eq!(s, &snapshots[0], "merge depends on shard count");
+        }
+    }
+}

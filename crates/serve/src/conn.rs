@@ -13,10 +13,11 @@ use std::net::TcpStream;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::framing::{Frame, LineReader};
-use crate::server::{handle_line, Shared};
+use crate::protocol::json_str;
+use crate::server::{handle_line, metric_maps, Dispatch, Shared, WatchParams};
 
 /// How often an idle connection wakes to check the stop flag. This is the
 /// socket read timeout, not a poll of shared state: the thread sleeps in
@@ -113,6 +114,11 @@ impl ConnRegistry {
 }
 
 /// The per-connection protocol loop: frame lines, dispatch, reply.
+///
+/// The `framing` and `write` stage histograms are recorded here, *after*
+/// the reply is flushed — so a `metrics` reply never contains samples
+/// from its own request, which is what keeps the prom-exposition golden
+/// test deterministic on a fresh connection.
 fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
@@ -125,18 +131,31 @@ fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
     loop {
         match reader.next_frame() {
             Ok(Frame::Line(line)) => {
+                let framing_micros = reader.take_last_line_micros();
                 if line.trim().is_empty() {
                     continue;
                 }
-                let (reply, stop_after) = handle_line(shared, &line);
-                if writer.write_all(reply.as_bytes()).is_err()
-                    || writer.write_all(b"\n").is_err()
-                    || writer.flush().is_err()
-                {
+                let reply = match handle_line(shared, &line) {
+                    Dispatch::Reply(reply) => reply,
+                    Dispatch::ReplyThenStop(reply) => {
+                        let _ = write_reply(&mut writer, &reply);
+                        return;
+                    }
+                    Dispatch::Watch(params) => {
+                        if !run_watch(&mut writer, shared, &params) {
+                            return;
+                        }
+                        continue;
+                    }
+                };
+                let write_started = Instant::now();
+                if write_reply(&mut writer, &reply).is_err() {
                     return;
                 }
-                if stop_after {
-                    return;
+                let stats = &shared.stats;
+                stats.observe_stage(&stats.stage_write, write_started);
+                if let Some(micros) = framing_micros {
+                    stats.telemetry.observe(&stats.stage_framing, micros);
                 }
             }
             // A timeout tick: partial request bytes stay buffered in the
@@ -149,4 +168,80 @@ fn run_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(Frame::Closed) | Err(_) => return,
         }
     }
+}
+
+fn write_reply(writer: &mut TcpStream, reply: &str) -> std::io::Result<()> {
+    writer.write_all(reply.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// A watch session: stream `frames` metric-delta frames, one per
+/// interval, then a `watch_complete` terminator. Returns `false` when
+/// the connection should close (write failure).
+///
+/// Frames carry only series that *changed* since the previous frame —
+/// counters as deltas, gauges as their new value — so an idle server
+/// streams small heartbeats, not the whole registry. Server shutdown
+/// ends the session early with the terminator carrying the frames
+/// actually sent.
+fn run_watch(writer: &mut TcpStream, shared: &Arc<Shared>, params: &WatchParams) -> bool {
+    let snapshot = params.snapshot.as_deref();
+    let (mut prev_counters, mut prev_gauges) = metric_maps(shared, snapshot);
+    let ack = format!(
+        "{{\"ok\":true,\"watching\":{{\"interval_ms\":{},\"frames\":{}}}}}",
+        params.interval.as_millis(),
+        params.frames,
+    );
+    if write_reply(writer, &ack).is_err() {
+        return false;
+    }
+    let started = Instant::now();
+    let mut sent = 0u64;
+    while sent < params.frames {
+        // Sleep one interval in read-tick slices so shutdown cuts the
+        // stream short instead of waiting the interval out.
+        let mut slept = Duration::ZERO;
+        let mut stopping = false;
+        while slept < params.interval {
+            if shared.stopped.load(Ordering::SeqCst) {
+                stopping = true;
+                break;
+            }
+            let slice = READ_TICK.min(params.interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if stopping {
+            break;
+        }
+        let (counters, gauges) = metric_maps(shared, snapshot);
+        let counter_deltas: Vec<String> = counters
+            .iter()
+            .filter_map(|(k, v)| {
+                let delta = v - prev_counters.get(k).copied().unwrap_or(0);
+                (delta > 0).then(|| format!("{}:{}", json_str(k), delta))
+            })
+            .collect();
+        let gauge_changes: Vec<String> = gauges
+            .iter()
+            .filter(|(k, v)| prev_gauges.get(*k) != Some(v))
+            .map(|(k, v)| format!("{}:{:?}", json_str(k), v))
+            .collect();
+        prev_counters = counters;
+        prev_gauges = gauges;
+        sent += 1;
+        let frame = format!(
+            "{{\"ok\":true,\"watch\":{},\"elapsed_ms\":{},\"counters\":{{{}}},\"gauges\":{{{}}}}}",
+            sent,
+            started.elapsed().as_millis(),
+            counter_deltas.join(","),
+            gauge_changes.join(","),
+        );
+        if write_reply(writer, &frame).is_err() {
+            return false;
+        }
+    }
+    let done = format!("{{\"ok\":true,\"watch_complete\":{sent}}}");
+    write_reply(writer, &done).is_ok()
 }

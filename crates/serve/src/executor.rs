@@ -22,7 +22,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use vnet_obs::Obs;
+use vnet_obs::{pow2_buckets, GaugeId, HistogramId, Obs, Telemetry};
 
 /// Why a job was not admitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,41 @@ type Job = Box<dyn FnOnce(&CancelToken) -> String + Send + 'static>;
 struct QueuedJob {
     run: Job,
     handle: Arc<JobShared>,
+    /// Admission time; the worker that dequeues this job records the
+    /// difference as the `queue` stage.
+    submitted: Instant,
+}
+
+/// The executor's hot-path recording handles: queue-state gauges labelled
+/// with the owning shard, plus the (shard-agnostic) `queue` and `execute`
+/// stage histograms. Registered once per shard at construction —
+/// `set_depth_gauge` runs on every submit and completion, which is
+/// exactly the per-request storm the old `Obs::set_gauge` path spent
+/// formatting label strings under the registry mutex.
+pub struct ExecutorTelemetry {
+    telemetry: Arc<Telemetry>,
+    queue_depth: GaugeId,
+    jobs_running: GaugeId,
+    stage_queue: HistogramId,
+    stage_execute: HistogramId,
+}
+
+impl ExecutorTelemetry {
+    /// Register this shard's executor handles on `telemetry`
+    /// (idempotent: re-registering a shard reuses the same slots).
+    pub fn new(telemetry: Arc<Telemetry>, shard: &str) -> Self {
+        let labels: &[(&str, &str)] = &[("shard", shard)];
+        let stage = |name: &str| {
+            telemetry.histogram("serve.stage_wall_micros", &[("stage", name)], &pow2_buckets(26))
+        };
+        Self {
+            queue_depth: telemetry.gauge("serve.queue_depth", labels),
+            jobs_running: telemetry.gauge("serve.jobs_running", labels),
+            stage_queue: stage("queue"),
+            stage_execute: stage("execute"),
+            telemetry,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -113,17 +148,17 @@ struct ExecInner {
     /// Drainers sleep here; workers signal when the executor goes
     /// quiescent (nothing queued, nothing running).
     quiescent: Condvar,
+    /// Cold-path recording (worker panics); the per-submit gauge storm
+    /// goes through `telemetry` instead.
     obs: Arc<Obs>,
-    /// The owning shard's name; every executor gauge carries it as a
-    /// `{shard=…}` label so per-shard queue state is observable.
-    shard: String,
+    telemetry: ExecutorTelemetry,
 }
 
 impl ExecInner {
     fn set_depth_gauge(&self, state: &ExecState) {
-        let labels = [("shard", self.shard.as_str())];
-        self.obs.set_gauge("serve.queue_depth", &labels, state.queue.len() as f64);
-        self.obs.set_gauge("serve.jobs_running", &labels, state.running as f64);
+        let t = &self.telemetry;
+        t.telemetry.set_gauge(t.queue_depth, state.queue.len() as f64);
+        t.telemetry.set_gauge(t.jobs_running, state.running as f64);
     }
 }
 
@@ -136,12 +171,18 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// Spawn `workers` threads servicing a queue of at most
-    /// `queue_capacity` waiting jobs, owned by the shard named `shard`
+    /// Spawn `workers` threads admitting at most `workers +
+    /// queue_capacity` in-flight jobs, owned by the shard named `shard`
     /// (the label on every executor gauge and worker thread name). Zero
     /// workers means every submission is refused — useful for
     /// load-shedding configurations and tests.
-    pub fn new(workers: usize, queue_capacity: usize, obs: Arc<Obs>, shard: &str) -> Self {
+    pub fn new(
+        workers: usize,
+        queue_capacity: usize,
+        obs: Arc<Obs>,
+        shard: &str,
+        telemetry: ExecutorTelemetry,
+    ) -> Self {
         let inner = Arc::new(ExecInner {
             state: Mutex::new(ExecState {
                 queue: VecDeque::new(),
@@ -151,7 +192,7 @@ impl Executor {
             work_ready: Condvar::new(),
             quiescent: Condvar::new(),
             obs,
-            shard: shard.to_string(),
+            telemetry,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -192,15 +233,26 @@ impl Executor {
             if state.shutdown {
                 return Err(SubmitRefusal::ShuttingDown);
             }
-            if self.worker_count == 0 || state.queue.len() >= self.queue_capacity {
+            // Admission is on *total* in-flight work, not raw queue
+            // length: a job pushed a microsecond ago still sits in the
+            // queue until an idle worker's condvar wakeup lands, and on
+            // a loaded single-core host that window is long enough that
+            // a queue-length bound refuses work the executor has spare
+            // capacity for. `workers + queue_capacity` is the limit the
+            // refusal has always reported; now it is also the one
+            // enforced.
+            let in_flight = state.queue.len() + state.running;
+            if self.worker_count == 0 || in_flight >= self.worker_count + self.queue_capacity {
                 return Err(SubmitRefusal::Saturated {
-                    in_flight: state.queue.len() + state.running,
+                    in_flight,
                     limit: self.worker_count + self.queue_capacity,
                 });
             }
-            state
-                .queue
-                .push_back(QueuedJob { run: Box::new(job), handle: Arc::clone(&shared) });
+            state.queue.push_back(QueuedJob {
+                run: Box::new(job),
+                handle: Arc::clone(&shared),
+                submitted: Instant::now(),
+            });
             self.inner.set_depth_gauge(&state);
         }
         self.inner.work_ready.notify_one();
@@ -268,6 +320,9 @@ fn worker_loop(inner: &ExecInner) {
                 state = inner.work_ready.wait(state).expect("executor state lock");
             }
         };
+        let t = &inner.telemetry;
+        t.telemetry.observe(&t.stage_queue, job.submitted.elapsed().as_micros() as u64);
+        let started = Instant::now();
         let token = CancelToken { shared: Arc::clone(&job.handle) };
         let run = std::panic::AssertUnwindSafe(move || (job.run)(&token));
         let reply = match std::panic::catch_unwind(run) {
@@ -279,6 +334,7 @@ fn worker_loop(inner: &ExecInner) {
             }
         };
         complete(&job.handle, reply);
+        t.telemetry.observe(&t.stage_execute, started.elapsed().as_micros() as u64);
         let mut state = inner.state.lock().expect("executor state lock");
         state.running -= 1;
         inner.set_depth_gauge(&state);
@@ -293,7 +349,9 @@ mod tests {
     use super::*;
 
     fn exec(workers: usize, cap: usize) -> Executor {
-        Executor::new(workers, cap, Arc::new(Obs::new()), "test")
+        let telemetry = Arc::new(Telemetry::new(2));
+        let exec_telemetry = ExecutorTelemetry::new(Arc::clone(&telemetry), "test");
+        Executor::new(workers, cap, Arc::new(Obs::new()), "test", exec_telemetry)
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! newline arrives, however many ticks that takes.
 
 use std::io::{ErrorKind, Read};
+use std::time::Instant;
 
 /// Upper bound on one request line. A peer that streams this much without
 /// a newline is not speaking the protocol; the reader reports an error
@@ -42,18 +43,37 @@ pub struct LineReader<R> {
     /// Prefix of `buf` already scanned for a newline, so each new chunk is
     /// scanned once.
     scanned: usize,
+    /// When the line currently being assembled started: set on the
+    /// empty→non-empty buffer transition, restarted when a drained line
+    /// leaves pipelined residue behind. Feeds the `framing` stage
+    /// histogram — the time a request spent dribbling in before it could
+    /// be dispatched.
+    line_started: Option<Instant>,
+    /// Assembly duration of the most recently returned [`Frame::Line`].
+    last_line_micros: Option<u64>,
 }
 
 impl<R: Read> LineReader<R> {
     /// Frame lines out of `source`. The source's read timeout (if any)
     /// controls how often [`Frame::Idle`] is reported.
     pub fn new(source: R) -> Self {
-        Self { source, buf: Vec::new(), scanned: 0 }
+        Self { source, buf: Vec::new(), scanned: 0, line_started: None, last_line_micros: None }
     }
 
     /// Bytes currently buffered waiting for a newline (diagnostics).
     pub fn buffered(&self) -> usize {
         self.buf.len()
+    }
+
+    /// How long the most recent [`Frame::Line`] took to assemble, from
+    /// its first buffered byte to its newline. Consumed on read (the next
+    /// call returns `None` until another line completes), so a caller
+    /// can't double-record a frame. For a pipelined request whose bytes
+    /// were already buffered when the previous line drained, the clock
+    /// starts at that drain — near-zero, which is accurate: the socket
+    /// spent no extra time assembling it.
+    pub fn take_last_line_micros(&mut self) -> Option<u64> {
+        self.last_line_micros.take()
     }
 
     /// Read until one of: a complete line, a timeout tick, end of stream,
@@ -68,6 +88,11 @@ impl<R: Read> LineReader<R> {
                     line.pop();
                 }
                 self.scanned = 0;
+                self.last_line_micros =
+                    Some(self.line_started.map_or(0, |t| t.elapsed().as_micros() as u64));
+                // Pipelined residue already belongs to the next line.
+                self.line_started =
+                    if self.buf.is_empty() { None } else { Some(Instant::now()) };
                 return Ok(Frame::Line(String::from_utf8_lossy(&line).into_owned()));
             }
             self.scanned = self.buf.len();
@@ -80,7 +105,12 @@ impl<R: Read> LineReader<R> {
             let mut chunk = [0u8; 4096];
             match self.source.read(&mut chunk) {
                 Ok(0) => return Ok(Frame::Closed),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => {
+                    if self.buf.is_empty() {
+                        self.line_started = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     // The partial line (if any) stays in `buf` — this is
                     // the whole point of the reader.
@@ -157,6 +187,16 @@ mod tests {
         assert_eq!(r.next_frame().expect("frame"), Frame::Line("bb".to_string()));
         assert_eq!(r.next_frame().expect("frame"), Frame::Line("ccc".to_string()));
         assert_eq!(r.next_frame().expect("frame"), Frame::Closed);
+    }
+
+    #[test]
+    fn line_assembly_time_is_tracked_and_consumed() {
+        let mut r = LineReader::new(Script::new(vec![Ok("a\nb"), Ok("b\n")]));
+        assert!(matches!(r.next_frame().expect("frame"), Frame::Line(_)));
+        assert!(r.take_last_line_micros().is_some(), "first line untimed");
+        assert_eq!(r.take_last_line_micros(), None, "sample not consumed on read");
+        assert!(matches!(r.next_frame().expect("frame"), Frame::Line(_)));
+        assert!(r.take_last_line_micros().is_some(), "pipelined line untimed");
     }
 
     #[test]

@@ -43,13 +43,31 @@
 //! | `register` | `name`, plus `dir` (saved bundle) or `scale` (synthesize) |
 //! | `analyze`  | `snapshot`, `sections` (ids), optional `options`, `client`|
 //! | `status`   | optional `snapshot` (one shard's detail)                  |
-//! | `metrics`  | optional `snapshot` (that shard's labelled series)        |
+//! | `metrics`  | optional `snapshot`, optional `format` (`json`\|`prom`)   |
+//! | `watch`    | optional `snapshot`, `interval_ms`, `frames`              |
 //! | `shutdown` | — (drains in-flight work, then stops accepting)           |
 //!
 //! Replies are `{"ok":true,...}` or
 //! `{"ok":false,"error":{"code":"...","message":"..."}}` with codes from
 //! [`verified_net::VnetError::code`]; `rate_limited` errors additionally
-//! carry a `retry_after_ms` field.
+//! carry a `retry_after_ms` field. `metrics` with `"format":"prom"`
+//! wraps a Prometheus text exposition in the reply's `body` field;
+//! `watch` holds the connection and streams periodic metric-delta
+//! frames (see `docs/OBSERVABILITY.md`).
+//!
+//! ## Observability
+//!
+//! The request hot path records into a sharded lock-free
+//! [`vnet_obs::Telemetry`] slab — per-stripe atomics, no locks, no
+//! string formatting — which merges deterministically into the
+//! `Registry` that `metrics`/`manifest` read. Five wall-clock stage
+//! histograms (`framing` → `admission` → `queue` → `execute` → `write`)
+//! break request latency down; their `*wall_micros` names are scrubbed
+//! from deterministic manifests. An opt-in [`SelfMonitorConfig`]
+//! samples queue depth, running jobs, cache hit rate, and connection
+//! count into a ring and runs `vnet-timeseries` PELT change-point
+//! detection over them on every `status` request — the server dogfoods
+//! the paper's regime-shift analysis on itself.
 //!
 //! ## Example
 //!
@@ -69,13 +87,20 @@ mod conn;
 mod executor;
 mod flight;
 mod framing;
+mod monitor;
 mod protocol;
 mod server;
 mod shards;
+mod stats;
 
 pub use admission::{Admission, AdmissionClock, AdmissionPolicy, RateWindow};
 pub use cache::{CacheKey, CachedSection, ResultCache};
-pub use executor::{CancelToken, Executor, JobHandle, SubmitRefusal};
+pub use executor::{CancelToken, Executor, ExecutorTelemetry, JobHandle, SubmitRefusal};
 pub use framing::{Frame, LineReader, MAX_LINE_BYTES};
-pub use protocol::{parse_request, RegisterSource, Request};
+pub use monitor::{MonitorAlert, MonitorSample, SelfMonitorConfig};
+pub use protocol::{
+    parse_request, MetricsFormat, RegisterSource, Request, WATCH_MAX_FRAMES,
+    WATCH_MAX_INTERVAL_MS, WATCH_MIN_INTERVAL_MS,
+};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use stats::STAGES;

@@ -1,0 +1,259 @@
+//! Self-monitoring: the server watches its own telemetry for regime
+//! shifts.
+//!
+//! A background sampler ring-buffers periodic [`MonitorSample`]s of the
+//! load-bearing operational series — total queue depth, running jobs,
+//! cache hit rate, active connections — and, on every `status` request,
+//! runs `vnet-timeseries` PELT change-point detection over each series.
+//! The same Gaussian mean+variance cost that finds the paper's December
+//! 2017 / April 2018 shifts in follower trajectories here flags a queue
+//! backing up or a cache-hit-rate collapse as a [`MonitorAlert`] with
+//! the sample index and before/after segment means — dogfooding the
+//! analysis stack on the system that serves it.
+//!
+//! The monitor is **opt-in** (`ServerConfig::self_monitor`); when off,
+//! nothing is sampled and the `status` reply carries no `self_monitor`
+//! field, so its bytes are unchanged from the pre-monitor protocol.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use vnet_timeseries::pelt::pelt_with_min_seg;
+
+use crate::protocol::json_str;
+
+/// Self-monitor configuration (see [`SelfMonitorConfig::default`]).
+#[derive(Debug, Clone)]
+pub struct SelfMonitorConfig {
+    /// Sampling period of the background thread.
+    pub interval_millis: u64,
+    /// Ring-buffer capacity in samples; at the default interval the
+    /// default capacity covers the last two minutes.
+    pub capacity: usize,
+    /// PELT minimum segment length: a regime must persist this many
+    /// samples to be flagged (debounces single-sample spikes).
+    pub min_segment: usize,
+    /// Change-point penalty as a multiple of `ln n`; larger → fewer
+    /// alerts.
+    pub penalty_scale: f64,
+}
+
+impl Default for SelfMonitorConfig {
+    fn default() -> Self {
+        Self { interval_millis: 500, capacity: 240, min_segment: 5, penalty_scale: 3.0 }
+    }
+}
+
+/// One periodic observation of the server's own state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorSample {
+    /// Jobs queued across all shard executors.
+    pub queue_depth: f64,
+    /// Jobs running across all shard executors.
+    pub running: f64,
+    /// `cache.hits / (cache.hits + cache.misses)`, or 0 before any
+    /// lookup.
+    pub cache_hit_rate: f64,
+    /// Open connection count.
+    pub conn_active: f64,
+}
+
+/// Pulls one monitored series' value out of a sample.
+type SeriesExtractor = fn(&MonitorSample) -> f64;
+
+/// The operational series PELT watches, with extractors.
+const SERIES: [(&str, SeriesExtractor); 4] = [
+    ("queue_depth", |s| s.queue_depth),
+    ("running", |s| s.running),
+    ("cache_hit_rate", |s| s.cache_hit_rate),
+    ("conn_active", |s| s.conn_active),
+];
+
+/// A detected regime shift in one monitored series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorAlert {
+    /// Which series shifted (`queue_depth`, `running`, `cache_hit_rate`,
+    /// `conn_active`).
+    pub series: &'static str,
+    /// Ring-buffer index of the first sample of the new regime.
+    pub index: usize,
+    /// Mean of the segment ending at the change point.
+    pub before_mean: f64,
+    /// Mean of the segment starting at the change point.
+    pub after_mean: f64,
+}
+
+/// The sample ring plus the detection pass over it.
+pub(crate) struct SelfMonitor {
+    config: SelfMonitorConfig,
+    ring: Mutex<VecDeque<MonitorSample>>,
+}
+
+impl SelfMonitor {
+    pub(crate) fn new(config: SelfMonitorConfig) -> Self {
+        Self { config, ring: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Sampling period for the background thread.
+    pub(crate) fn interval_millis(&self) -> u64 {
+        self.config.interval_millis
+    }
+
+    /// Append one sample, evicting the oldest past capacity.
+    pub(crate) fn push(&self, sample: MonitorSample) {
+        let mut ring = self.ring.lock().expect("monitor ring lock");
+        if ring.len() == self.config.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(sample);
+    }
+
+    /// Run PELT over every monitored series and collect regime shifts.
+    /// Series shorter than two minimum segments cannot contain a
+    /// detectable change and report nothing.
+    pub(crate) fn alerts(&self) -> (usize, Vec<MonitorAlert>) {
+        let ring = self.ring.lock().expect("monitor ring lock");
+        let samples: Vec<MonitorSample> = ring.iter().copied().collect();
+        drop(ring);
+        let n = samples.len();
+        let mut alerts = Vec::new();
+        if n < 2 * self.config.min_segment {
+            return (n, alerts);
+        }
+        let penalty = self.config.penalty_scale * (n as f64).ln();
+        for (name, extract) in SERIES {
+            let series: Vec<f64> = samples.iter().map(extract).collect();
+            let Ok(result) = pelt_with_min_seg(&series, penalty, self.config.min_segment) else {
+                continue;
+            };
+            // Segment boundaries: [0, cp1, cp2, …, n]; each change point
+            // is the first index of its new regime.
+            let mut bounds = vec![0usize];
+            bounds.extend(result.changepoints.iter().copied());
+            bounds.push(n);
+            for w in 1..bounds.len() - 1 {
+                let (prev, cp, next) = (bounds[w - 1], bounds[w], bounds[w + 1]);
+                alerts.push(MonitorAlert {
+                    series: name,
+                    index: cp,
+                    before_mean: mean(&series[prev..cp]),
+                    after_mean: mean(&series[cp..next]),
+                });
+            }
+        }
+        (n, alerts)
+    }
+
+    /// The `self_monitor` object appended to the global `status` reply.
+    pub(crate) fn status_json(&self) -> String {
+        let (samples, alerts) = self.alerts();
+        let parts: Vec<String> = alerts
+            .iter()
+            .map(|a| {
+                format!(
+                    "{{\"series\":{},\"index\":{},\"before_mean\":{:?},\"after_mean\":{:?}}}",
+                    json_str(a.series),
+                    a.index,
+                    a.before_mean,
+                    a.after_mean,
+                )
+            })
+            .collect();
+        format!("{{\"samples\":{},\"alerts\":[{}]}}", samples, parts.join(","))
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(queue_depth: f64) -> MonitorSample {
+        MonitorSample { queue_depth, running: 0.0, cache_hit_rate: 1.0, conn_active: 1.0 }
+    }
+
+    #[test]
+    fn quiet_ring_raises_no_alerts() {
+        let m = SelfMonitor::new(SelfMonitorConfig::default());
+        for _ in 0..40 {
+            m.push(sample(0.0));
+        }
+        let (n, alerts) = m.alerts();
+        assert_eq!(n, 40);
+        assert!(alerts.is_empty(), "constant series alerted: {alerts:?}");
+        assert_eq!(m.status_json(), "{\"samples\":40,\"alerts\":[]}");
+    }
+
+    #[test]
+    fn queue_depth_regime_shift_is_flagged_with_segment_means() {
+        let m = SelfMonitor::new(SelfMonitorConfig::default());
+        for _ in 0..30 {
+            m.push(sample(0.0));
+        }
+        for _ in 0..30 {
+            m.push(sample(8.0));
+        }
+        let (n, alerts) = m.alerts();
+        assert_eq!(n, 60);
+        let qd: Vec<&MonitorAlert> =
+            alerts.iter().filter(|a| a.series == "queue_depth").collect();
+        assert_eq!(qd.len(), 1, "expected exactly one queue_depth shift: {alerts:?}");
+        assert_eq!(qd[0].index, 30);
+        assert_eq!(qd[0].before_mean, 0.0);
+        assert_eq!(qd[0].after_mean, 8.0);
+        // The constant companion series stay silent.
+        assert!(alerts.iter().all(|a| a.series == "queue_depth"), "{alerts:?}");
+    }
+
+    #[test]
+    fn cache_hit_rate_collapse_is_flagged() {
+        let m = SelfMonitor::new(SelfMonitorConfig::default());
+        for i in 0..48 {
+            let rate = if i < 24 { 0.95 } else { 0.1 };
+            m.push(MonitorSample {
+                queue_depth: 0.0,
+                running: 0.0,
+                cache_hit_rate: rate,
+                conn_active: 2.0,
+            });
+        }
+        let (_, alerts) = m.alerts();
+        let hit: Vec<&MonitorAlert> =
+            alerts.iter().filter(|a| a.series == "cache_hit_rate").collect();
+        assert_eq!(hit.len(), 1, "{alerts:?}");
+        assert_eq!(hit[0].index, 24);
+        assert!(hit[0].before_mean > 0.9 && hit[0].after_mean < 0.2);
+    }
+
+    #[test]
+    fn ring_capacity_evicts_oldest() {
+        let m = SelfMonitor::new(SelfMonitorConfig {
+            capacity: 10,
+            ..SelfMonitorConfig::default()
+        });
+        for i in 0..25 {
+            m.push(sample(i as f64));
+        }
+        let (n, _) = m.alerts();
+        assert_eq!(n, 10);
+        let ring = m.ring.lock().expect("ring");
+        assert_eq!(ring.front().map(|s| s.queue_depth), Some(15.0));
+        assert_eq!(ring.back().map(|s| s.queue_depth), Some(24.0));
+    }
+
+    #[test]
+    fn short_rings_are_silent_not_erroring() {
+        let m = SelfMonitor::new(SelfMonitorConfig::default());
+        for _ in 0..6 {
+            m.push(sample(5.0));
+        }
+        let (n, alerts) = m.alerts();
+        assert_eq!((n, alerts.len()), (6, 0));
+    }
+}

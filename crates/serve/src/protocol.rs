@@ -50,10 +50,44 @@ pub enum Request {
     Metrics {
         /// Restrict the reply to one shard's labelled series.
         snapshot: Option<String>,
+        /// Reply encoding (the optional `format` field).
+        format: MetricsFormat,
+    },
+    /// Stream periodic metric-delta frames over this connection (the
+    /// first streaming surface of the protocol).
+    Watch {
+        /// Restrict the frames to one shard's labelled series.
+        snapshot: Option<String>,
+        /// Milliseconds between delta frames.
+        interval_ms: u64,
+        /// Number of delta frames before `watch_complete`.
+        frames: u64,
     },
     /// Drain in-flight work, then stop accepting connections.
     Shutdown,
 }
+
+/// How a `metrics` reply is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// The PR-2 contract: one JSON object with `counters` and `gauges`
+    /// maps (the default).
+    #[default]
+    Json,
+    /// Prometheus text exposition, JSON-escaped into a `body` field so
+    /// the reply stays one line.
+    Prom,
+}
+
+/// Bounds on `watch` parameters: a floor under the interval so a client
+/// cannot turn the server into a busy-loop broadcaster, and a cap on
+/// frames so a session always terminates.
+pub const WATCH_MIN_INTERVAL_MS: u64 = 10;
+/// Upper bound on `interval_ms` (a frame an hour apart is a leak, not a
+/// subscription).
+pub const WATCH_MAX_INTERVAL_MS: u64 = 60_000;
+/// Upper bound on requested frames per watch session.
+pub const WATCH_MAX_FRAMES: u64 = 100_000;
 
 fn required_str(v: &Value, key: &str, cmd: &str) -> Result<String, VnetError> {
     v[key]
@@ -164,7 +198,35 @@ pub fn parse_request(line: &str) -> Result<Request, VnetError> {
         }
         "status" => Ok(Request::Status { snapshot: v["snapshot"].as_str().map(str::to_string) }),
         "metrics" => {
-            Ok(Request::Metrics { snapshot: v["snapshot"].as_str().map(str::to_string) })
+            let format = match v["format"].as_str() {
+                None | Some("json") => MetricsFormat::Json,
+                Some("prom") => MetricsFormat::Prom,
+                Some(other) => {
+                    return Err(VnetError::BadRequest(format!(
+                        "unknown metrics format '{other}' (json|prom)"
+                    )))
+                }
+            };
+            Ok(Request::Metrics { snapshot: v["snapshot"].as_str().map(str::to_string), format })
+        }
+        "watch" => {
+            let interval_ms = v["interval_ms"].as_u64().unwrap_or(1_000);
+            if !(WATCH_MIN_INTERVAL_MS..=WATCH_MAX_INTERVAL_MS).contains(&interval_ms) {
+                return Err(VnetError::BadRequest(format!(
+                    "'watch' interval_ms must be in [{WATCH_MIN_INTERVAL_MS}, {WATCH_MAX_INTERVAL_MS}]"
+                )));
+            }
+            let frames = v["frames"].as_u64().unwrap_or(5);
+            if !(1..=WATCH_MAX_FRAMES).contains(&frames) {
+                return Err(VnetError::BadRequest(format!(
+                    "'watch' frames must be in [1, {WATCH_MAX_FRAMES}]"
+                )));
+            }
+            Ok(Request::Watch {
+                snapshot: v["snapshot"].as_str().map(str::to_string),
+                interval_ms,
+                frames,
+            })
         }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(VnetError::BadRequest(format!("unknown cmd '{other}'"))),
@@ -246,8 +308,49 @@ mod tests {
             other => panic!("wrong parse: {other:?}"),
         }
         match parse_request(r#"{"cmd":"metrics","snapshot":"hot"}"#).unwrap() {
-            Request::Metrics { snapshot: Some(s) } => assert_eq!(s, "hot"),
+            Request::Metrics { snapshot: Some(s), format: MetricsFormat::Json } => {
+                assert_eq!(s, "hot")
+            }
             other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_metrics_formats() {
+        match parse_request(r#"{"cmd":"metrics","format":"prom"}"#).unwrap() {
+            Request::Metrics { snapshot: None, format: MetricsFormat::Prom } => {}
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse_request(r#"{"cmd":"metrics","format":"json"}"#).unwrap() {
+            Request::Metrics { format: MetricsFormat::Json, .. } => {}
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let e = parse_request(r#"{"cmd":"metrics","format":"xml"}"#).unwrap_err();
+        assert_eq!(e.code(), "bad_request");
+    }
+
+    #[test]
+    fn parses_watch_with_defaults_and_bounds() {
+        match parse_request(r#"{"cmd":"watch"}"#).unwrap() {
+            Request::Watch { snapshot: None, interval_ms: 1_000, frames: 5 } => {}
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse_request(r#"{"cmd":"watch","snapshot":"a","interval_ms":50,"frames":3}"#)
+            .unwrap()
+        {
+            Request::Watch { snapshot: Some(s), interval_ms: 50, frames: 3 } => {
+                assert_eq!(s, "a")
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        for bad in [
+            r#"{"cmd":"watch","interval_ms":1}"#,
+            r#"{"cmd":"watch","interval_ms":100000}"#,
+            r#"{"cmd":"watch","frames":0}"#,
+            r#"{"cmd":"watch","frames":1000000}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.code(), "bad_request", "line {bad} gave {e}");
         }
     }
 

@@ -26,16 +26,20 @@ use verified_net::{
     run_analysis_section, AnalysisCtx, AnalysisOptions, Dataset, Section, SynthesisConfig,
     VnetError,
 };
-use vnet_obs::{fingerprint_str, Obs};
+use vnet_obs::{fingerprint_str, render_prometheus_parts, Obs, Telemetry};
 use vnet_par::ParPool;
 
 use crate::admission::{Admission, AdmissionClock, AdmissionPolicy};
 use crate::cache::{CacheKey, CachedSection};
-use crate::conn::ConnRegistry;
+use crate::conn::{ConnRegistry, READ_TICK};
 use crate::executor::{CancelToken, SubmitRefusal};
 use crate::flight::Role;
-use crate::protocol::{error_reply, json_str, parse_request, RegisterSource, Request};
+use crate::monitor::{MonitorSample, SelfMonitor, SelfMonitorConfig};
+use crate::protocol::{
+    error_reply, json_str, parse_request, MetricsFormat, RegisterSource, Request,
+};
 use crate::shards::{Shard, ShardRegistry, SnapshotData};
+use crate::stats::ServeStats;
 
 /// Server construction knobs.
 #[derive(Debug, Clone)]
@@ -65,6 +69,11 @@ pub struct ServerConfig {
     /// clock counts real milliseconds; tests freeze time with
     /// [`AdmissionClock::manual`] to pin `retry_after_ms` bytes.
     pub admission_clock: AdmissionClock,
+    /// Optional PELT self-monitoring: a background sampler rings up
+    /// periodic operational snapshots and `status` reports detected
+    /// regime shifts. `None` (the default) samples nothing and leaves
+    /// the `status` reply bytes exactly as before.
+    pub self_monitor: Option<SelfMonitorConfig>,
 }
 
 impl Default for ServerConfig {
@@ -78,18 +87,29 @@ impl Default for ServerConfig {
             request_timeout_millis: 120_000,
             admission: None,
             admission_clock: AdmissionClock::wall(),
+            self_monitor: None,
         }
     }
 }
+
+/// Telemetry stripes for the hot-path recorder: enough that the
+/// connection threads and shard workers of a default config rarely share
+/// a stripe, bounded so slab memory stays trivial.
+const TELEMETRY_STRIPES: usize = 16;
 
 pub(crate) struct Shared {
     config: ServerConfig,
     ctx: AnalysisCtx,
     pub(crate) obs: Arc<Obs>,
+    /// Interned hot-path metric handles (global ones; per-shard handles
+    /// live on each [`Shard`]).
+    pub(crate) stats: ServeStats,
     local_addr: SocketAddr,
     shards: ShardRegistry,
     admission: Option<Admission>,
     conns: Arc<ConnRegistry>,
+    /// Self-monitor ring, when configured.
+    monitor: Option<Arc<SelfMonitor>>,
     shutting_down: AtomicBool,
     pub(crate) stopped: AtomicBool,
 }
@@ -103,17 +123,30 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let obs = Arc::new(Obs::new());
+        // The hot-path recorder: attached to the server's Obs so every
+        // snapshot (metrics/status/manifest/prom) sees one merged
+        // registry; recording goes through interned handles in
+        // `ServeStats` and never takes the registry lock.
+        let telemetry = Arc::new(Telemetry::new(TELEMETRY_STRIPES));
+        obs.attach_telemetry(Arc::clone(&telemetry));
+        let stats = ServeStats::new(telemetry);
         let admission = config
             .admission
             .map(|policy| Admission::new(policy, config.admission_clock.clone()));
+        let monitor = config
+            .self_monitor
+            .clone()
+            .map(|monitor_config| Arc::new(SelfMonitor::new(monitor_config)));
         let shared = Arc::new(Shared {
             ctx: AnalysisCtx::new(ParPool::new(config.threads), Arc::clone(&obs)),
             config,
             obs,
+            stats,
             local_addr,
             shards: ShardRegistry::new(),
             admission,
             conns: Arc::new(ConnRegistry::new()),
+            monitor,
             shutting_down: AtomicBool::new(false),
             stopped: AtomicBool::new(false),
         });
@@ -122,7 +155,14 @@ impl Server {
             .name("vnet-serve-accept".to_string())
             .spawn(move || accept_loop(listener, accept_shared))
             .expect("spawn accept thread");
-        Ok(ServerHandle { local_addr, shared, accept: Some(accept) })
+        let sampler = shared.monitor.is_some().then(|| {
+            let sampler_shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vnet-serve-monitor".to_string())
+                .spawn(move || monitor_loop(&sampler_shared))
+                .expect("spawn monitor thread")
+        });
+        Ok(ServerHandle { local_addr, shared, accept: Some(accept), sampler })
     }
 }
 
@@ -131,6 +171,7 @@ pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    sampler: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -159,6 +200,21 @@ impl ServerHandle {
         drain_and_stop(&self.shared);
     }
 
+    /// Inject one self-monitor sample, exactly as the background sampler
+    /// would record it. Returns `false` when the server runs without a
+    /// monitor. This is the deterministic test hook for the PELT
+    /// detection path: a test can replay a synthetic regime shift
+    /// without waiting out real sampling intervals.
+    pub fn inject_monitor_sample(&self, sample: MonitorSample) -> bool {
+        match &self.shared.monitor {
+            Some(monitor) => {
+                monitor.push(sample);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Block until the accept loop exits (after a `shutdown` request or
     /// [`ServerHandle::shutdown`]). The accept loop in turn joins every
     /// connection thread, so returning means no server thread survives.
@@ -166,6 +222,45 @@ impl ServerHandle {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        if let Some(h) = self.sampler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The self-monitor sampler: every interval, snapshot queue/running
+/// totals, the cache hit rate, and the connection gauge into the ring.
+/// Sleeps in read-tick slices so shutdown is never blocked behind a long
+/// interval.
+fn monitor_loop(shared: &Arc<Shared>) {
+    let monitor = shared.monitor.as_ref().expect("monitor_loop without monitor");
+    let interval = Duration::from_millis(monitor.interval_millis());
+    while !shared.stopped.load(Ordering::SeqCst) {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shared.stopped.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = READ_TICK.min(interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        let (mut queued, mut running) = (0usize, 0usize);
+        for shard in shared.shards.all() {
+            let (q, r) = shard.executor.in_flight();
+            queued += q;
+            running += r;
+        }
+        let metrics = shared.obs.metrics();
+        let hits = metrics.counter("cache.hits", &[]) as f64;
+        let misses = metrics.counter("cache.misses", &[]) as f64;
+        let lookups = hits + misses;
+        monitor.push(MonitorSample {
+            queue_depth: queued as f64,
+            running: running as f64,
+            cache_hit_rate: if lookups > 0.0 { hits / lookups } else { 0.0 },
+            conn_active: metrics.gauge("serve.conn_active", &[]).unwrap_or(0.0),
+        });
     }
 }
 
@@ -194,26 +289,64 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     shared.conns.join_all();
 }
 
-/// Dispatch one request line; returns the reply and whether the
-/// connection (and, for shutdown, the server) should stop afterwards.
-pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+/// What the connection loop should do with a dispatched request.
+pub(crate) enum Dispatch {
+    /// Write this reply and keep serving the connection.
+    Reply(String),
+    /// Write this reply, then close the connection (shutdown).
+    ReplyThenStop(String),
+    /// Enter a watch session: stream periodic metric-delta frames.
+    Watch(WatchParams),
+}
+
+/// A validated watch subscription.
+pub(crate) struct WatchParams {
+    /// Restrict frames to one shard's labelled series.
+    pub(crate) snapshot: Option<String>,
+    pub(crate) interval: Duration,
+    pub(crate) frames: u64,
+}
+
+/// Dispatch one request line.
+pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> Dispatch {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => {
             shared.obs.inc_by("serve.bad_requests", &[], 1);
-            return (error_reply(&e), false);
+            return Dispatch::Reply(error_reply(&e));
         }
     };
     match request {
-        Request::Register { name, source } => (handle_register(shared, &name, source), false),
-        Request::Analyze { snapshot, sections, options, client } => {
-            (handle_analyze(shared, &snapshot, sections, options, &client), false)
+        Request::Register { name, source } => {
+            Dispatch::Reply(handle_register(shared, &name, source))
         }
-        Request::Status { snapshot } => (handle_status(shared, snapshot.as_deref()), false),
-        Request::Metrics { snapshot } => (handle_metrics(shared, snapshot.as_deref()), false),
+        Request::Analyze { snapshot, sections, options, client } => {
+            Dispatch::Reply(handle_analyze(shared, &snapshot, sections, options, &client))
+        }
+        Request::Status { snapshot } => {
+            Dispatch::Reply(handle_status(shared, snapshot.as_deref()))
+        }
+        Request::Metrics { snapshot, format } => {
+            Dispatch::Reply(handle_metrics(shared, snapshot.as_deref(), format))
+        }
+        Request::Watch { snapshot, interval_ms, frames } => {
+            if let Some(name) = &snapshot {
+                if shared.shards.get(name).is_none() {
+                    return Dispatch::Reply(error_reply(&VnetError::UnknownSnapshot(
+                        name.clone(),
+                    )));
+                }
+            }
+            shared.obs.inc_by("serve.watch_sessions", &[], 1);
+            Dispatch::Watch(WatchParams {
+                snapshot,
+                interval: Duration::from_millis(interval_ms),
+                frames,
+            })
+        }
         Request::Shutdown => {
             drain_and_stop(shared);
-            ("{\"ok\":true,\"drained\":true}".to_string(), true)
+            Dispatch::ReplyThenStop("{\"ok\":true,\"drained\":true}".to_string())
         }
     }
 }
@@ -246,10 +379,13 @@ fn register_snapshot(shared: &Shared, name: &str, dataset: Dataset) -> u64 {
     shared.shards.register(
         name,
         dataset,
-        shared.config.max_in_flight,
-        shared.config.queue_depth,
-        shared.config.cache_capacity,
+        crate::shards::ShardLimits {
+            workers: shared.config.max_in_flight,
+            queue_depth: shared.config.queue_depth,
+            cache_capacity: shared.config.cache_capacity,
+        },
         &shared.obs,
+        &shared.stats,
     )
 }
 
@@ -295,11 +431,17 @@ fn handle_analyze(
     // Gate 1 — admission control, before any routing or queueing:
     // over-quota clients are turned away at the front door with a
     // deterministic retry hint, exactly like the simulated API's
-    // rate-limit windows (rejections consume no quota).
+    // rate-limit windows (rejections consume no quota). Recording goes
+    // through interned telemetry handles: this path runs for every
+    // analyze request, so it must not serialize on the registry mutex.
     if let Some(admission) = &shared.admission {
-        if let Err(retry_after_ms) = admission.try_admit(client) {
-            shared.obs.inc_by("serve.rejected{reason=rate_limited}", &[], 1);
-            shared.obs.observe("serve.retry_after_ms", &[], retry_after_ms as f64);
+        let stats = &shared.stats;
+        let admission_started = Instant::now();
+        let verdict = admission.try_admit(client);
+        stats.observe_stage(&stats.stage_admission, admission_started);
+        if let Err(retry_after_ms) = verdict {
+            stats.telemetry.inc(stats.rejected_rate_limited);
+            stats.telemetry.observe(&stats.retry_after_ms, retry_after_ms);
             return error_reply(&VnetError::RateLimited { retry_after_ms });
         }
     }
@@ -318,20 +460,21 @@ fn handle_analyze(
     let submitted = shard.executor.submit(move |cancel| {
         compute_reply(&worker_shared, &worker_shard, &data, &sections, &options, cancel)
     });
+    let stats = &shared.stats;
     let handle = match submitted {
         Ok(h) => h,
         Err(SubmitRefusal::Saturated { in_flight, limit }) => {
-            shared.obs.inc_by("serve.rejected{reason=queue_full}", &[], 1);
-            shared.obs.inc("serve.rejected", &[("reason", "queue_full"), ("shard", &shard.name)]);
+            stats.telemetry.inc(stats.rejected_queue_full);
+            stats.telemetry.inc(shard.stats.rejected_queue_full);
             return error_reply(&VnetError::QueueFull { in_flight, limit });
         }
         Err(SubmitRefusal::ShuttingDown) => {
             return error_reply(&VnetError::ShuttingDown);
         }
     };
-    shared.obs.inc_by("serve.requests", &[], 1);
-    shared.obs.inc_by("serve.admitted", &[], 1);
-    shared.obs.inc("serve.requests", &[("shard", &shard.name)]);
+    stats.telemetry.inc(stats.requests);
+    stats.telemetry.inc(stats.admitted);
+    stats.telemetry.inc(shard.stats.requests);
     let budget = Duration::from_millis(shared.config.request_timeout_millis);
     match handle.wait_timeout(budget) {
         Some(reply) => reply,
@@ -359,24 +502,25 @@ fn section_bytes(
     key: CacheKey,
     options: &AnalysisOptions,
 ) -> Result<Arc<CachedSection>, String> {
+    let stats = &shared.stats;
     let shard_label: &[(&str, &str)] = &[("shard", &shard.name)];
     if let Some(hit) = shard.cache.lock().expect("cache lock").get(&key) {
-        shared.obs.inc_by("cache.hits", &[], 1);
-        shared.obs.inc("cache.hits", shard_label);
+        stats.telemetry.inc(stats.cache_hits);
+        stats.telemetry.inc(shard.stats.hits);
         return Ok(hit);
     }
     match shard.flights.begin(key) {
         Role::Follower(flight) => {
-            shared.obs.inc_by("serve.coalesced", &[], 1);
-            shared.obs.inc("serve.coalesced", shard_label);
+            stats.telemetry.inc(stats.coalesced);
+            stats.telemetry.inc(shard.stats.coalesced);
             flight.wait()
         }
         Role::Leader(guard) => {
             // Re-check under leadership: a previous leader may have
             // populated the cache between our miss and our begin().
             if let Some(hit) = shard.cache.lock().expect("cache lock").get(&key) {
-                shared.obs.inc_by("cache.hits", &[], 1);
-                shared.obs.inc("cache.hits", shard_label);
+                stats.telemetry.inc(stats.cache_hits);
+                stats.telemetry.inc(shard.stats.hits);
                 guard.publish(Ok(Arc::clone(&hit)));
                 return Ok(hit);
             }
@@ -503,8 +647,16 @@ fn handle_status(shared: &Shared, snapshot: Option<&str>) -> String {
         cache_entries += shard.cache.lock().expect("cache lock").len();
         shard_parts.push(shard_status_json(shard));
     }
+    // With self-monitoring on, the global status carries the ring size
+    // and any PELT-flagged regime shifts; without it the reply is
+    // byte-identical to the pre-monitor protocol.
+    let self_monitor = shared
+        .monitor
+        .as_ref()
+        .map(|m| format!(",\"self_monitor\":{}", m.status_json()))
+        .unwrap_or_default();
     format!(
-        "{{\"ok\":true,\"snapshots\":[{}],\"in_flight\":{},\"queued\":{},\"open_flights\":{},\"cache_entries\":{},\"admission_clients\":{},\"shutting_down\":{},\"shards\":[{}]}}",
+        "{{\"ok\":true,\"snapshots\":[{}],\"in_flight\":{},\"queued\":{},\"open_flights\":{},\"cache_entries\":{},\"admission_clients\":{},\"shutting_down\":{}{},\"shards\":[{}]}}",
         names.join(","),
         running,
         queued,
@@ -512,6 +664,7 @@ fn handle_status(shared: &Shared, snapshot: Option<&str>) -> String {
         cache_entries,
         shared.admission.as_ref().map(|a| a.clients()).unwrap_or(0),
         shutting_down,
+        self_monitor,
         shard_parts.join(","),
     )
 }
@@ -526,31 +679,55 @@ fn has_shard_label(key: &str, shard: &str) -> bool {
     })
 }
 
-fn handle_metrics(shared: &Shared, snapshot: Option<&str>) -> String {
+/// Snapshot the merged registry into counter/gauge maps, optionally
+/// filtered to one shard's labelled series. Shared by the `metrics`
+/// reply and the `watch` delta stream.
+pub(crate) fn metric_maps(
+    shared: &Shared,
+    snapshot: Option<&str>,
+) -> (
+    std::collections::BTreeMap<String, u64>,
+    std::collections::BTreeMap<String, f64>,
+) {
+    let metrics = shared.obs.metrics();
+    let keep = |k: &str| match snapshot {
+        Some(name) => has_shard_label(k, name),
+        None => true,
+    };
+    let counters = metrics.counters().into_iter().filter(|(k, _)| keep(k)).collect();
+    let gauges = metrics.gauges().into_iter().filter(|(k, _)| keep(k)).collect();
+    (counters, gauges)
+}
+
+fn handle_metrics(shared: &Shared, snapshot: Option<&str>, format: MetricsFormat) -> String {
     if let Some(name) = snapshot {
         if shared.shards.get(name).is_none() {
             return error_reply(&VnetError::UnknownSnapshot(name.to_string()));
         }
     }
-    // The manifest's metric maps are BTreeMaps: sorted keys, so the reply
-    // is deterministic given the same recording state.
-    let manifest = shared.obs.manifest("serve", 0);
-    let keep = |k: &str| match snapshot {
-        Some(name) => has_shard_label(k, name),
-        None => true,
-    };
-    let counters: Vec<String> = manifest
-        .counters
-        .iter()
-        .filter(|(k, _)| keep(k))
-        .map(|(k, v)| format!("{}:{}", json_str(k), v))
-        .collect();
-    let gauges: Vec<String> = manifest
-        .gauges
-        .iter()
-        .filter(|(k, _)| keep(k))
-        .map(|(k, v)| format!("{}:{:?}", json_str(k), v))
-        .collect();
+    if let MetricsFormat::Prom = format {
+        // Prometheus text exposition, JSON-escaped into a body field so
+        // the reply stays one line on the wire. Histograms are included
+        // here (the JSON format predates them and keeps its exact
+        // shape).
+        let metrics = shared.obs.metrics();
+        let keep = |k: &str| match snapshot {
+            Some(name) => has_shard_label(k, name),
+            None => true,
+        };
+        let counters = metrics.counters().into_iter().filter(|(k, _)| keep(k)).collect();
+        let gauges = metrics.gauges().into_iter().filter(|(k, _)| keep(k)).collect();
+        let histograms = metrics.histograms().into_iter().filter(|(k, _)| keep(k)).collect();
+        let body = render_prometheus_parts(&counters, &gauges, &histograms);
+        return format!("{{\"ok\":true,\"format\":\"prom\",\"body\":{}}}", json_str(&body));
+    }
+    // The metric maps are BTreeMaps: sorted keys, so the reply is
+    // deterministic given the same recording state.
+    let (counters, gauges) = metric_maps(shared, snapshot);
+    let counters: Vec<String> =
+        counters.iter().map(|(k, v)| format!("{}:{}", json_str(k), v)).collect();
+    let gauges: Vec<String> =
+        gauges.iter().map(|(k, v)| format!("{}:{:?}", json_str(k), v)).collect();
     format!(
         "{{\"ok\":true,\"counters\":{{{}}},\"gauges\":{{{}}}}}",
         counters.join(","),

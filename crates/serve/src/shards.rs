@@ -23,8 +23,20 @@ use verified_net::Dataset;
 use vnet_obs::Obs;
 
 use crate::cache::ResultCache;
-use crate::executor::Executor;
+use crate::executor::{Executor, ExecutorTelemetry};
 use crate::flight::FlightMap;
+use crate::stats::{ServeStats, ShardStats};
+
+/// Per-shard resource bounds, fixed at registration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ShardLimits {
+    /// Worker threads in the shard's executor.
+    pub(crate) workers: usize,
+    /// Waiting slots in the executor's bounded queue.
+    pub(crate) queue_depth: usize,
+    /// LRU result-cache entries.
+    pub(crate) cache_capacity: usize,
+}
 
 /// The swappable dataset inside a shard.
 pub(crate) struct SnapshotData {
@@ -39,24 +51,28 @@ pub(crate) struct Shard {
     pub(crate) executor: Executor,
     pub(crate) cache: Mutex<ResultCache>,
     pub(crate) flights: Arc<FlightMap>,
+    /// This shard's labelled hot-path counters (interned once here; the
+    /// request path records through them lock-free).
+    pub(crate) stats: ShardStats,
 }
 
 impl Shard {
     fn new(
         name: &str,
         dataset: Dataset,
-        workers: usize,
-        queue_depth: usize,
-        cache_capacity: usize,
+        limits: ShardLimits,
         obs: Arc<Obs>,
+        stats: &ServeStats,
     ) -> Self {
         let fingerprint = dataset.fingerprint();
+        let exec_telemetry = ExecutorTelemetry::new(Arc::clone(&stats.telemetry), name);
         Self {
             name: name.to_string(),
             data: Mutex::new(Arc::new(SnapshotData { dataset, fingerprint })),
-            executor: Executor::new(workers, queue_depth, obs, name),
-            cache: Mutex::new(ResultCache::new(cache_capacity)),
+            executor: Executor::new(limits.workers, limits.queue_depth, obs, name, exec_telemetry),
+            cache: Mutex::new(ResultCache::new(limits.cache_capacity)),
             flights: Arc::new(FlightMap::new()),
+            stats: stats.shard_stats(name),
         }
     }
 
@@ -93,23 +109,15 @@ impl ShardRegistry {
         &self,
         name: &str,
         dataset: Dataset,
-        workers: usize,
-        queue_depth: usize,
-        cache_capacity: usize,
+        limits: ShardLimits,
         obs: &Arc<Obs>,
+        stats: &ServeStats,
     ) -> u64 {
         let mut shards = self.shards.lock().expect("shard registry lock");
         if let Some(shard) = shards.get(name) {
             return shard.swap_data(dataset);
         }
-        let shard = Arc::new(Shard::new(
-            name,
-            dataset,
-            workers,
-            queue_depth,
-            cache_capacity,
-            Arc::clone(obs),
-        ));
+        let shard = Arc::new(Shard::new(name, dataset, limits, Arc::clone(obs), stats));
         let fingerprint = shard.data().fingerprint;
         shards.insert(name.to_string(), Arc::clone(&shard));
         obs.set_counter("serve.snapshots", &[], shards.len() as u64);
@@ -142,12 +150,20 @@ mod tests {
         Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet())
     }
 
+    const LIMITS: ShardLimits =
+        ShardLimits { workers: 1, queue_depth: 1, cache_capacity: 4 };
+
+    fn stats() -> ServeStats {
+        ServeStats::new(Arc::new(vnet_obs::Telemetry::new(2)))
+    }
+
     #[test]
     fn register_creates_then_refreshes_one_shard() {
         let registry = ShardRegistry::new();
         let obs = Arc::new(Obs::new());
+        let stats = stats();
         let ds = dataset();
-        let fp = registry.register("a", ds.clone(), 1, 1, 4, &obs);
+        let fp = registry.register("a", ds.clone(), LIMITS, &obs, &stats);
         assert_eq!(fp, ds.fingerprint());
         assert_eq!(registry.names(), vec!["a".to_string()]);
         let shard = registry.get("a").expect("shard exists");
@@ -165,7 +181,7 @@ mod tests {
                 fingerprint: 0,
             }),
         );
-        let fp2 = registry.register("a", ds.clone(), 1, 1, 4, &obs);
+        let fp2 = registry.register("a", ds.clone(), LIMITS, &obs, &stats);
         assert_eq!(fp2, fp);
         let again = registry.get("a").expect("shard exists");
         assert!(Arc::ptr_eq(&shard, &again), "re-register rebuilt the shard");
@@ -180,9 +196,10 @@ mod tests {
     fn shards_are_isolated_objects() {
         let registry = ShardRegistry::new();
         let obs = Arc::new(Obs::new());
+        let stats = stats();
         let ds = dataset();
-        registry.register("a", ds.clone(), 1, 1, 4, &obs);
-        registry.register("b", ds, 1, 1, 4, &obs);
+        registry.register("a", ds.clone(), LIMITS, &obs, &stats);
+        registry.register("b", ds, LIMITS, &obs, &stats);
         assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
         let a = registry.get("a").expect("a");
         let b = registry.get("b").expect("b");

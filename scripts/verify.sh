@@ -5,6 +5,13 @@
 #                             the fault-injection + crawler fast lane
 #   scripts/verify.sh obs     observability lane: vnet-obs unit tests +
 #                             the manifest-determinism golden tests
+#   scripts/verify.sh obs-bench
+#                             telemetry lane: the merge-determinism /
+#                             Prometheus / watch / self-monitor battery,
+#                             the obs-scoped clippy wall, and the
+#                             obs_overhead regression gate (sharded
+#                             telemetry must beat the global-mutex
+#                             registry at >= 2 recording threads)
 #   scripts/verify.sh par     parallelism lane: vnet-par unit tests + the
 #                             cross-thread-count determinism battery
 #   scripts/verify.sh serve   service lane: vnet-serve unit tests + the
@@ -19,8 +26,8 @@
 #                             divergence, accounting drift, undrained
 #                             queues, or leaked connections
 #   scripts/verify.sh         tier-1: release build + full quiet test suite
-#   scripts/verify.sh full    tier-1 plus the soak lane, clippy and
-#                             rustdoc, warnings denied, plus the compat
+#   scripts/verify.sh full    tier-1 plus the soak and obs-bench lanes,
+#                             clippy and rustdoc, warnings denied, and the compat
 #                             grep lint (deprecated *_observed shims live
 #                             only in compat.rs)
 set -euo pipefail
@@ -35,6 +42,14 @@ fast)
 obs)
     cargo test -q -p vnet-obs
     cargo test -q -p vnet-integration-tests --test obs_manifest
+    ;;
+obs-bench)
+    cargo test -q -p vnet-integration-tests --test obs_telemetry
+    # Metric recording sits on the request hot path; the same "no
+    # unwrap, no lock across a wait" wall the serve crate holds applies
+    # to the recording layer it calls into.
+    cargo clippy -p vnet-obs --no-deps -- -D warnings -D clippy::await_holding_lock -D clippy::unwrap_used
+    cargo run --release -q -p vnet-bench --bin obs_overhead -- --ops 200000 --check >/dev/null
     ;;
 par)
     cargo test -q -p vnet-par
@@ -63,6 +78,7 @@ full)
     cargo build --release
     cargo test -q
     "$0" serve-soak
+    "$0" obs-bench
     cargo clippy --workspace -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
     # The 0.2 API contract: observed/plain function splits are dead.
@@ -76,7 +92,7 @@ full)
     fi
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|obs|par|serve|serve-soak|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|obs-bench|par|serve|serve-soak|tier1|full]" >&2
     exit 2
     ;;
 esac

@@ -93,6 +93,38 @@ impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
     }
 }
 
+/// A strategy choosing uniformly among boxed alternatives — the backing
+/// type of the [`prop_oneof!`] macro.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// A union over `options`. Panics when `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type (upstream's `prop_oneof!` without the weighted `N => s` form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
@@ -196,8 +228,8 @@ pub fn case_rng(name: &str, case: u32) -> StdRng {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
     };
 }
 
