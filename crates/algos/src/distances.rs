@@ -40,6 +40,72 @@ pub fn bfs_distances(g: &DiGraph, src: NodeId) -> Vec<u32> {
     dist
 }
 
+/// Reusable working set for repeated level-synchronous BFS runs: one
+/// visited bitset (1 bit per node, 32× leaner than the `Vec<u32>` distance
+/// array) plus two frontier buffers, allocated once per fork-join task and
+/// cleared between sources.
+struct BfsScratch {
+    visited: Vec<u64>,
+    current: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl BfsScratch {
+    fn new(n: usize) -> Self {
+        Self { visited: vec![0u64; n.div_ceil(64)], current: Vec::new(), next: Vec::new() }
+    }
+
+    fn reset(&mut self) {
+        self.visited.fill(0);
+        self.current.clear();
+        self.next.clear();
+    }
+
+    #[inline]
+    fn test_and_set(&mut self, v: NodeId) -> bool {
+        let (word, bit) = ((v / 64) as usize, v % 64);
+        let mask = 1u64 << bit;
+        let fresh = self.visited[word] & mask == 0;
+        self.visited[word] |= mask;
+        fresh
+    }
+}
+
+/// Level-synchronous BFS from `src` along out-edges, reporting only the
+/// node count of each depth level (`depth >= 1`) to `on_level`.
+///
+/// The distance *distribution* never needs per-node distances — only how
+/// many nodes sit at each depth — so this walks the graph with the bitset
+/// scratch instead of materializing a `Vec<u32>` per source.
+fn bfs_level_counts(
+    g: &DiGraph,
+    src: NodeId,
+    scratch: &mut BfsScratch,
+    mut on_level: impl FnMut(u32, u64),
+) {
+    scratch.reset();
+    scratch.test_and_set(src);
+    scratch.current.push(src);
+    let mut depth = 0u32;
+    while !scratch.current.is_empty() {
+        depth += 1;
+        // Split-borrow: walk `current`, fill `next`, marking bits as we go.
+        let mut current = std::mem::take(&mut scratch.current);
+        for &u in &current {
+            for &v in g.out_neighbors(u) {
+                if scratch.test_and_set(v) {
+                    scratch.next.push(v);
+                }
+            }
+        }
+        if !scratch.next.is_empty() {
+            on_level(depth, scratch.next.len() as u64);
+        }
+        current.clear();
+        scratch.current = std::mem::replace(&mut scratch.next, current);
+    }
+}
+
 /// Aggregate pairwise-distance statistics (paper Figure 3 plus the in-text
 /// mean and diameter numbers).
 #[derive(Debug, Clone, PartialEq)]
@@ -154,20 +220,20 @@ fn distance_distribution_impl<R: Rng + ?Sized>(
         SOURCE_CHUNK,
         |_task, range| {
             let mut p = Partial { histogram: Vec::new(), total: 0, pairs: 0, max_observed: 0 };
+            // One bitset working set per task, reused across its sources:
+            // peak memory per task is n/8 bytes + frontiers, not the 4n-byte
+            // distance array a per-source `bfs_distances` would allocate.
+            let mut scratch = BfsScratch::new(g.node_count());
             for &s in &sources[range] {
-                let dist = bfs_distances(g, s);
-                for &d in &dist {
-                    if d == 0 || d == UNREACHABLE {
-                        continue; // skip self and unreachable
-                    }
+                bfs_level_counts(g, s, &mut scratch, |d, count| {
                     if d as usize >= p.histogram.len() {
                         p.histogram.resize(d as usize + 1, 0);
                     }
-                    p.histogram[d as usize] += 1;
-                    p.total += d as u128;
-                    p.pairs += 1;
+                    p.histogram[d as usize] += count;
+                    p.total += d as u128 * count as u128;
+                    p.pairs += count;
                     p.max_observed = p.max_observed.max(d);
-                }
+                });
             }
             p
         },
@@ -330,6 +396,36 @@ mod tests {
         let reference = run(1);
         for threads in [2, 4, 7] {
             assert_eq!(reference, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn level_counts_agree_with_bfs_distances() {
+        // The bitset level walker must report exactly the per-depth counts
+        // the reference distance array implies, reusing one scratch.
+        let edges: Vec<(u32, u32)> =
+            (0..50u32).flat_map(|i| [(i, (i * 7 + 3) % 50), (i, (i * 11 + 1) % 50)]).collect();
+        let g = from_edges(50, &edges).unwrap();
+        let mut scratch = BfsScratch::new(g.node_count());
+        for src in [0u32, 13, 49] {
+            let dist = bfs_distances(&g, src);
+            let mut want: Vec<u64> = Vec::new();
+            for &d in &dist {
+                if d != 0 && d != UNREACHABLE {
+                    if d as usize >= want.len() {
+                        want.resize(d as usize + 1, 0);
+                    }
+                    want[d as usize] += 1;
+                }
+            }
+            let mut got: Vec<u64> = Vec::new();
+            bfs_level_counts(&g, src, &mut scratch, |d, c| {
+                if d as usize >= got.len() {
+                    got.resize(d as usize + 1, 0);
+                }
+                got[d as usize] += c;
+            });
+            assert_eq!(got, want, "src={src}");
         }
     }
 

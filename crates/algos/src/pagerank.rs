@@ -75,7 +75,7 @@ pub struct PageRankResult {
 /// ```
 pub fn pagerank(g: &DiGraph, cfg: PageRankConfig, ctx: &AnalysisCtx) -> PageRankResult {
     let started = std::time::Instant::now();
-    let (result, stats) = pagerank_impl(g, cfg, ctx.pool());
+    let (result, stats) = pagerank_impl(g, cfg, ctx.pool(), ctx.scratch());
     let obs = ctx.obs();
     obs.set_counter("algo.pagerank.iterations", &[], result.iterations as u64);
     obs.set_counter("algo.pagerank.edge_relaxations", &[], result.edge_relaxations);
@@ -87,10 +87,15 @@ pub fn pagerank(g: &DiGraph, cfg: PageRankConfig, ctx: &AnalysisCtx) -> PageRank
 /// [`pagerank`] against an explicit pool, returning the fork-join stats.
 #[deprecated(since = "0.2.0", note = "use `pagerank(g, cfg, &AnalysisCtx)`; see docs/API.md")]
 pub fn pagerank_pool(g: &DiGraph, cfg: PageRankConfig, pool: &ParPool) -> (PageRankResult, ParStats) {
-    pagerank_impl(g, cfg, pool)
+    pagerank_impl(g, cfg, pool, &vnet_ctx::ScratchArena::new())
 }
 
-fn pagerank_impl(g: &DiGraph, cfg: PageRankConfig, pool: &ParPool) -> (PageRankResult, ParStats) {
+fn pagerank_impl(
+    g: &DiGraph,
+    cfg: PageRankConfig,
+    pool: &ParPool,
+    scratch: &vnet_ctx::ScratchArena,
+) -> (PageRankResult, ParStats) {
     let n = g.node_count();
     if n == 0 {
         let result = PageRankResult {
@@ -103,9 +108,16 @@ fn pagerank_impl(g: &DiGraph, cfg: PageRankConfig, pool: &ParPool) -> (PageRankR
     }
     assert!((0.0..1.0).contains(&cfg.damping), "damping must be in [0, 1)");
     let nf = n as f64;
-    let mut rank = vec![1.0 / nf; n];
-    let mut next = vec![0.0f64; n];
-    let out_deg: Vec<f64> = (0..n as u32).map(|u| g.out_degree(u) as f64).collect();
+    // Working vectors come from the context's scratch arena: a serve worker
+    // or bootstrap loop calling PageRank repeatedly reuses the same three
+    // allocations instead of churning 3 × 8n bytes per call.
+    let mut rank = scratch.take_f64(n);
+    rank.fill(1.0 / nf);
+    let mut next = scratch.take_f64(n);
+    let mut out_deg = scratch.take_f64(n);
+    for (u, slot) in out_deg.iter_mut().enumerate() {
+        *slot = g.out_degree(u as u32) as f64;
+    }
 
     let mut iterations = 0;
     let mut converged = false;
@@ -158,6 +170,9 @@ fn pagerank_impl(g: &DiGraph, cfg: PageRankConfig, pool: &ParPool) -> (PageRankR
             break;
         }
     }
+    // `rank` leaves as the result; the other two go back to the arena.
+    scratch.put_f64(next);
+    scratch.put_f64(out_deg);
     let result = PageRankResult { scores: rank, iterations, converged, edge_relaxations };
     (result, par_stats)
 }

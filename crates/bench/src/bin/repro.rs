@@ -13,9 +13,10 @@
 //! ```
 //!
 //! With no arguments, runs `--all --scale small`. `--scale` picks the
-//! dataset size (`small` ≈ 3k English users, `default` ≈ 18k — the 1:10
-//! reproduction, `paper` = the full 231k / ~79M-edge build; expect minutes
-//! and gigabytes). `--save <dir>` writes the dataset bundle after
+//! dataset size (`small` ≈ 3k English users, `medium` ≈ 47k / ~5M edges —
+//! the memory-benchmark tier of `docs/SCALING.md`, `default` ≈ 18k — the
+//! 1:10 reproduction, `paper` = the full 231k / ~79M-edge build; expect
+//! minutes and gigabytes). `--save <dir>` writes the dataset bundle after
 //! synthesis; `--load <dir>` analyzes a saved bundle instead of
 //! synthesizing. `--threads N` sizes the `vnet-par` fork-join pool the
 //! [`AnalysisCtx`] carries — by design it changes wall-clock only,
@@ -54,7 +55,7 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help") {
         eprintln!(
-            "usage: repro [--all | --exp <id> ... | --list] [--scale small|default|paper] [--threads <n>] [--bootstrap-reps <n>] [--save <dir>] [--load <dir>] [--markdown <file>] [--manifest <file>]"
+            "usage: repro [--all | --exp <id> ... | --list] [--scale small|medium|default|paper] [--threads <n>] [--bootstrap-reps <n>] [--save <dir>] [--load <dir>] [--markdown <file>] [--manifest <file>]"
         );
         std::process::exit(2);
     }
@@ -150,6 +151,10 @@ fn main() {
     } else {
         let config = match scale.as_str() {
             "small" => SynthesisConfig::small(),
+            "medium" => {
+                eprintln!("medium scale: ~60k nodes / ~5M edges — the memory-benchmark tier");
+                SynthesisConfig::medium()
+            }
             "default" => SynthesisConfig::default(),
             "paper" => {
                 eprintln!("paper scale: 231,246 nodes / ~79M edges — minutes of CPU, GBs of RAM");
@@ -157,7 +162,7 @@ fn main() {
                     .with_net(vnet_synth::VerifiedNetConfig::paper_scale())
             }
             other => {
-                eprintln!("unknown scale '{other}' (small|default|paper)");
+                eprintln!("unknown scale '{other}' (small|medium|default|paper)");
                 std::process::exit(2);
             }
         };
@@ -219,6 +224,12 @@ fn main() {
         }
     }
 
+    // Final OS high-water mark, after synthesis and every experiment: the
+    // honest end-to-end memory figure. `_bytes` gauges are scrubbed from
+    // the deterministic view, so this cannot perturb fingerprints.
+    if let Some(rss) = vnet_obs::peak_rss_bytes() {
+        obs.set_gauge("mem.peak_rss_bytes", &[], rss as f64);
+    }
     let mut manifest = obs.manifest(&format!("repro --scale {scale}"), opts.seed);
     manifest.fingerprint_output("dataset.summary", &s);
     manifest.add_fingerprint("dataset.content", ds.fingerprint());

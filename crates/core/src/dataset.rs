@@ -44,10 +44,31 @@ impl SynthesisConfig {
         Self { society: SocietyConfig::small(), ..Self::default() }
     }
 
+    /// A medium configuration (~60k users, ~5M edges): large enough for
+    /// memory-vs-scale benchmarks, small enough for a laptop. See
+    /// `docs/SCALING.md` for the full tier table.
+    pub fn medium() -> Self {
+        Self { society: SocietyConfig::medium(), ..Self::default() }
+    }
+
     /// Adjust the underlying verified-network generator.
     pub fn with_net(mut self, net: VerifiedNetConfig) -> Self {
         self.society.net = net;
         self
+    }
+}
+
+/// Export the society's streaming-build memory accounting as `_bytes`
+/// gauges (scrubbed from the deterministic manifest view, like all memory
+/// telemetry): what the generator's arena peaked at, and what the frozen
+/// CSR costs. The `graph-scale` verify lane asserts
+/// `peak ≤ 1.5 × csr` from exactly these gauges.
+fn export_memory_gauges(obs: &vnet_obs::Obs, society: &Society) {
+    let stream = &society.network.stream;
+    obs.set_gauge("graph.synth_peak_arena_bytes", &[], stream.peak_arena_bytes as f64);
+    obs.set_gauge("graph.synth_csr_bytes", &[], stream.csr_bytes as f64);
+    if let Some(rss) = vnet_obs::peak_rss_bytes() {
+        obs.set_gauge("mem.peak_rss_bytes", &[], rss as f64);
     }
 }
 
@@ -124,6 +145,7 @@ impl Dataset {
             let _span = obs.span("synthesize.society");
             Society::generate(&config.society)
         };
+        export_memory_gauges(&obs, &society);
         let api = TwitterApi::new(
             &society,
             SimClock::new(),
@@ -135,6 +157,7 @@ impl Dataset {
             .with_obs(obs.clone())
             .crawl()
             .expect("simulated crawl cannot fail permanently with retries");
+        obs.set_gauge("graph.csr_bytes", &[], crawl.graph.csr_bytes() as f64);
         let activity = {
             let _span = obs.span("synthesize.firehose");
             Firehose::new(&society, config.activity).activity_values()
@@ -182,6 +205,7 @@ impl Dataset {
             let _span = obs.span("synthesize.society");
             Society::generate(&config.society)
         };
+        export_memory_gauges(&obs, &society);
         let api = TwitterApi::new(
             &society,
             SimClock::new(),
@@ -201,6 +225,7 @@ impl Dataset {
                 return Err((error, checkpoint.pass));
             }
         };
+        obs.set_gauge("graph.csr_bytes", &[], crawl.graph.csr_bytes() as f64);
         let activity = {
             let _span = obs.span("synthesize.firehose");
             Firehose::new(&society, config.activity).activity_values()

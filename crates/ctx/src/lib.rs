@@ -34,49 +34,137 @@
 
 #![warn(missing_docs)]
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use vnet_obs::{Obs, SpanGuard};
 use vnet_par::{ParPool, ParStats};
 
-/// The context threaded through every analysis entrypoint: a thread-count
-/// policy plus an observability handle.
+/// A pool of reusable `Vec<f64>` scratch buffers shared across iterative
+/// kernels.
 ///
-/// Cloning is cheap (the pool is `Copy`, the handle is `Arc`-backed) and
-/// both clones record into the same registry.
+/// The dense-vector kernels (PageRank, Lanczos mat-vecs, Laplacian row
+/// merges) all need `O(V)` working vectors per iteration. Allocating them
+/// fresh each call is correct but doubles the transient footprint at paper
+/// scale. A `ScratchArena` lets a kernel *take* a zeroed buffer and *put*
+/// it back when the iteration ends, so steady-state allocation is zero.
+///
+/// Buffers carry **no data across uses** — `take_f64` always returns an
+/// all-zero vector of exactly the requested length — so reuse can never
+/// change results, only allocation traffic. The arena deliberately keeps
+/// no hit/miss counters: it is shared by concurrent serve workers, and
+/// racy counters would leak scheduling noise into the deterministic
+/// manifest view.
+///
+/// # Examples
+/// ```
+/// use vnet_ctx::ScratchArena;
+///
+/// let arena = ScratchArena::new();
+/// let mut v = arena.take_f64(4);
+/// assert_eq!(v, vec![0.0; 4]);
+/// v[0] = 42.0;
+/// arena.put_f64(v);
+/// // The recycled buffer comes back zeroed, whatever was in it.
+/// assert_eq!(arena.take_f64(4), vec![0.0; 4]);
+/// ```
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    f64_pool: Mutex<Vec<Vec<f64>>>,
+}
+
+/// Cap on pooled buffers so a burst of concurrent kernels cannot pin
+/// unbounded memory after it subsides.
+const SCRATCH_POOL_CAP: usize = 16;
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a zeroed `f64` buffer of length `len`, recycling a pooled
+    /// allocation when one is large enough.
+    pub fn take_f64(&self, len: usize) -> Vec<f64> {
+        let recycled = {
+            let mut pool = self.f64_pool.lock().expect("scratch pool poisoned");
+            let idx = pool.iter().position(|b| b.capacity() >= len);
+            idx.map(|i| pool.swap_remove(i))
+        };
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Return a buffer to the pool for later reuse. Contents are discarded;
+    /// the pool is bounded, so surplus buffers are simply dropped.
+    pub fn put_f64(&self, mut buf: Vec<f64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut pool = self.f64_pool.lock().expect("scratch pool poisoned");
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (diagnostic; racy under
+    /// concurrency, intended for tests).
+    pub fn pooled(&self) -> usize {
+        self.f64_pool.lock().expect("scratch pool poisoned").len()
+    }
+}
+
+/// The context threaded through every analysis entrypoint: a thread-count
+/// policy plus an observability handle and a scratch-buffer arena.
+///
+/// Cloning is cheap (the pool is `Copy`, the handle and arena are
+/// `Arc`-backed) and both clones record into the same registry and recycle
+/// through the same arena.
 #[derive(Debug, Clone)]
 pub struct AnalysisCtx {
     pool: ParPool,
     obs: Arc<Obs>,
+    scratch: Arc<ScratchArena>,
 }
 
 impl AnalysisCtx {
     /// A context from an explicit pool and observability handle.
     pub fn new(pool: ParPool, obs: Arc<Obs>) -> Self {
-        Self { pool, obs }
+        Self { pool, obs, scratch: Arc::new(ScratchArena::new()) }
     }
 
     /// Serial pool, no-op observability — the default for tests, doc
     /// examples, and any caller that wants plain single-threaded results.
     pub fn quiet() -> Self {
-        Self { pool: ParPool::serial(), obs: Obs::noop() }
+        Self::new(ParPool::serial(), Obs::noop())
     }
 
     /// `threads`-wide pool, no-op observability.
     pub fn with_threads(threads: usize) -> Self {
-        Self { pool: ParPool::new(threads), obs: Obs::noop() }
+        Self::new(ParPool::new(threads), Obs::noop())
     }
 
     /// A context borrowing an existing [`Obs`] by handle. `Obs` is a cheap
     /// clonable handle to shared state, so the returned context records
     /// into the same registry and tracer as `obs`.
     pub fn from_obs(pool: ParPool, obs: &Obs) -> Self {
-        Self { pool, obs: Arc::new(obs.clone()) }
+        Self::new(pool, Arc::new(obs.clone()))
     }
 
     /// The fork-join pool.
     pub fn pool(&self) -> &ParPool {
         &self.pool
+    }
+
+    /// The shared scratch-buffer arena for iterative dense-vector kernels.
+    pub fn scratch(&self) -> &ScratchArena {
+        &self.scratch
     }
 
     /// The observability handle.
@@ -144,5 +232,40 @@ mod tests {
         assert_eq!(AnalysisCtx::with_threads(4).threads(), 4);
         // ParPool clamps zero to one.
         assert_eq!(AnalysisCtx::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn scratch_recycles_and_zeroes() {
+        let arena = ScratchArena::new();
+        let mut a = arena.take_f64(8);
+        a.iter_mut().for_each(|x| *x = 7.0);
+        let ptr = a.as_ptr();
+        arena.put_f64(a);
+        assert_eq!(arena.pooled(), 1);
+        // A smaller request reuses the same allocation, zeroed.
+        let b = arena.take_f64(4);
+        assert_eq!(b.as_ptr(), ptr);
+        assert_eq!(b, vec![0.0; 4]);
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn scratch_pool_is_bounded() {
+        let arena = ScratchArena::new();
+        for _ in 0..64 {
+            arena.put_f64(vec![0.0; 4]);
+        }
+        assert!(arena.pooled() <= 16);
+        // Zero-capacity buffers are not worth pooling.
+        arena.put_f64(Vec::new());
+        assert!(arena.pooled() <= 16);
+    }
+
+    #[test]
+    fn ctx_clones_share_the_arena() {
+        let ctx = AnalysisCtx::quiet();
+        let clone = ctx.clone();
+        clone.scratch().put_f64(vec![0.0; 3]);
+        assert_eq!(ctx.scratch().pooled(), 1);
     }
 }

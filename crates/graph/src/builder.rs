@@ -10,6 +10,14 @@ use crate::{GraphError, Result};
 /// and duplicate edges are deduplicated at [`GraphBuilder::build`] time, so
 /// crawl retries cannot inflate edge counts.
 ///
+/// This is the *staged* builder: every edge is buffered as a `(u32, u32)`
+/// tuple until `build()`, which costs ~3× the final CSR size at peak.
+/// That is the right trade for incremental producers like the simulated
+/// crawler (one pass over the data, arbitrary arrival order). Producers
+/// that can replay their edge stream — generators, file loaders — should
+/// use [`StreamingBuilder`](crate::StreamingBuilder) instead, which peaks
+/// near 1× by counting degrees first; both freeze to identical graphs.
+///
 /// # Examples
 /// ```
 /// use vnet_graph::GraphBuilder;
@@ -18,9 +26,14 @@ use crate::{GraphError, Result};
 /// b.add_edge(0, 1).unwrap();
 /// b.add_edge(0, 1).unwrap(); // duplicate: deduplicated
 /// b.add_edge(1, 1).unwrap(); // self-loop: dropped
+/// b.add_edge(2, 0).unwrap();
 /// let g = b.build();
-/// assert_eq!(g.edge_count(), 1);
+/// assert_eq!(g.edge_count(), 2);
 /// assert!(g.has_edge(0, 1));
+///
+/// // The frozen graph answers both directions of the follow relation.
+/// assert_eq!(g.out_neighbors(2), &[0]);
+/// assert_eq!(g.in_neighbors(0), &[2]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {

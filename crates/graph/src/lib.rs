@@ -14,9 +14,13 @@
 //!   PageRank and reciprocity checks are all cache-friendly array scans.
 //!   Memory is `O(V + E)` with 4-byte node ids: the full paper-scale graph
 //!   fits in well under a gigabyte.
-//! * [`GraphBuilder`] — the only mutable entry point; deduplicates edges,
+//! * [`GraphBuilder`] — the staged mutable entry point; deduplicates edges,
 //!   drops self-loops (Twitter has none: you cannot follow yourself) and
 //!   freezes into a [`DiGraph`].
+//! * [`StreamingBuilder`] — the two-pass streaming entry point for large
+//!   builds: counts degrees in pass one, counting-sorts edges straight
+//!   into the final CSR arenas in pass two — no intermediate tuple `Vec`,
+//!   peak memory ≈ the final CSR (see `docs/SCALING.md`).
 //! * [`subgraph`] — induced sub-graphs with id remapping (the paper's
 //!   dataset *is* an induced sub-graph: the verified users inside the full
 //!   Twitter graph).
@@ -27,11 +31,13 @@ pub mod builder;
 pub mod csr;
 pub mod export;
 pub mod io;
+pub mod streaming;
 pub mod subgraph;
 pub mod table;
 
 pub use builder::GraphBuilder;
 pub use csr::{DiGraph, NodeId};
+pub use streaming::{StreamStats, StreamingBuilder};
 pub use subgraph::induced_subgraph;
 pub use table::NodeTable;
 
@@ -62,6 +68,12 @@ pub enum GraphError {
         /// Sum of the per-node out-degrees actually read.
         sum: u64,
     },
+    /// Misuse of the two-pass [`StreamingBuilder`] protocol: placement
+    /// before sealing, or a pass-2 edge stream that differs from pass 1.
+    StreamPass {
+        /// What the protocol violation was.
+        message: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -78,6 +90,9 @@ impl std::fmt::Display for GraphError {
             GraphError::BadMagic => write!(f, "bad magic; not a VNG1 graph"),
             GraphError::DegreeSumMismatch { declared, sum } => {
                 write!(f, "degree sum {sum} != edge count {declared}")
+            }
+            GraphError::StreamPass { message } => {
+                write!(f, "streaming build pass error: {message}")
             }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }

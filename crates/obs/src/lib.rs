@@ -78,6 +78,34 @@ pub fn fingerprint_str(s: &str) -> u64 {
     fingerprint_bytes(s.as_bytes())
 }
 
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux or when the file is
+/// unreadable.
+///
+/// This is the OS-truth companion to the workspace's analytical byte
+/// accounting (`graph.csr_bytes`, `graph.synth_peak_arena_bytes`): the
+/// arena gauges say what the data structures *should* cost, `VmHWM` says
+/// what the process *actually* touched. Record it as a gauge named with
+/// the `_bytes` suffix so it is scrubbed from the deterministic manifest
+/// view like every other memory metric.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 /// The observability handle: one registry plus one tracer.
 ///
 /// `Obs` is a cheap *handle*: the registry and tracer live behind an
@@ -356,5 +384,16 @@ mod tests {
         let obs = Obs::new();
         obs.attach_telemetry(Arc::new(Telemetry::new(1)));
         obs.attach_telemetry(Arc::new(Telemetry::new(1)));
+    }
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // Any running test binary has touched at least a megabyte.
+            assert!(rss.unwrap() > 1 << 20);
+        } else {
+            assert!(rss.is_none());
+        }
     }
 }

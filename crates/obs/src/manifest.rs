@@ -113,6 +113,14 @@ impl RunManifest {
     /// ends in `wall_micros` — the workspace convention for wall-clock
     /// observation series such as `par.stage_wall_micros{stage=…}`. Those
     /// exist for profiling, not for replay comparison.
+    ///
+    /// It likewise drops any *gauge* whose name ends in `_bytes` — the
+    /// workspace convention for memory telemetry (`graph.csr_bytes`,
+    /// `graph.synth_peak_arena_bytes`, `mem.peak_rss_bytes`). Memory is a
+    /// first-class benchmark dimension, but allocator capacity growth and
+    /// OS high-water marks are environment-dependent, so those gauges are
+    /// scrubbed exactly like wall clocks: recorded for humans and
+    /// `BENCH_*.json`, invisible to fingerprint comparison.
     pub fn deterministic_view(&self) -> RunManifest {
         let mut m = self.clone();
         m.wall_total_micros = 0;
@@ -122,6 +130,10 @@ impl RunManifest {
         m.histograms.retain(|key, _| {
             let name = key.split('{').next().unwrap_or(key);
             !name.ends_with("wall_micros")
+        });
+        m.gauges.retain(|key, _| {
+            let name = key.split('{').next().unwrap_or(key);
+            !name.ends_with("_bytes")
         });
         m
     }
@@ -267,6 +279,21 @@ mod tests {
         assert!(d.histograms.contains_key("crawl.backoff_secs"));
         assert_eq!(d.counters["par.tasks{stage=bootstrap}"], 40);
         assert_eq!(d.counters["par.steal_free_chunks{stage=bootstrap}"], 40);
+    }
+
+    #[test]
+    fn deterministic_view_scrubs_memory_gauges() {
+        let obs = Obs::new();
+        obs.set_gauge("graph.csr_bytes", &[], 1.6e6);
+        obs.set_gauge("mem.peak_rss_bytes", &[("phase", "build")], 9.9e8);
+        obs.set_gauge("analysis.alpha", &[], 3.24);
+        let m = obs.manifest("t", 1);
+        let d = m.deterministic_view();
+        assert!(!d.gauges.contains_key("graph.csr_bytes"));
+        assert!(!d.gauges.keys().any(|k| k.starts_with("mem.peak_rss_bytes")));
+        // Analytical gauges survive; the full manifest keeps everything.
+        assert!(d.gauges.contains_key("analysis.alpha"));
+        assert!(m.gauges.contains_key("graph.csr_bytes"));
     }
 
     #[test]

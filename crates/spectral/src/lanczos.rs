@@ -35,7 +35,7 @@ pub fn lanczos_topk<R: Rng + ?Sized>(
     ctx: &AnalysisCtx,
 ) -> Vec<f64> {
     let started = std::time::Instant::now();
-    let (ev, stats, par) = lanczos_topk_impl(op, k, steps, rng, ctx.pool());
+    let (ev, stats, par) = lanczos_topk_impl(op, k, steps, rng, ctx.pool(), ctx.scratch());
     let obs = ctx.obs();
     obs.set_counter("algo.lanczos.matvecs", &[], stats.matvecs);
     obs.set_counter("algo.lanczos.reorth_projections", &[], stats.reorth_projections);
@@ -67,7 +67,8 @@ pub fn lanczos_topk_counted<R: Rng + ?Sized>(
     steps: usize,
     rng: &mut R,
 ) -> (Vec<f64>, LanczosStats) {
-    let (ev, stats, _) = lanczos_topk_impl(op, k, steps, rng, &ParPool::serial());
+    let (ev, stats, _) =
+        lanczos_topk_impl(op, k, steps, rng, &ParPool::serial(), &vnet_ctx::ScratchArena::new());
     (ev, stats)
 }
 
@@ -84,7 +85,7 @@ pub fn lanczos_topk_pool<R: Rng + ?Sized>(
     rng: &mut R,
     pool: &ParPool,
 ) -> (Vec<f64>, LanczosStats, ParStats) {
-    lanczos_topk_impl(op, k, steps, rng, pool)
+    lanczos_topk_impl(op, k, steps, rng, pool, &vnet_ctx::ScratchArena::new())
 }
 
 fn lanczos_topk_impl<R: Rng + ?Sized>(
@@ -93,6 +94,7 @@ fn lanczos_topk_impl<R: Rng + ?Sized>(
     steps: usize,
     rng: &mut R,
     pool: &ParPool,
+    scratch: &vnet_ctx::ScratchArena,
 ) -> (Vec<f64>, LanczosStats, ParStats) {
     let mut stats = LanczosStats::default();
     let mut par_stats = ParStats::default();
@@ -102,17 +104,24 @@ fn lanczos_topk_impl<R: Rng + ?Sized>(
     }
     let m = steps.max(k).min(n);
 
-    // Random unit start vector.
-    let mut v: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+    // Random unit start vector. All dense working vectors (the iterate,
+    // the mat-vec target, and each basis vector) come from the scratch
+    // arena and are filled before use, so reuse is invisible to numerics.
+    let mut v = scratch.take_f64(n);
+    for x in v.iter_mut() {
+        *x = rng.random::<f64>() - 0.5;
+    }
     normalize(&mut v);
 
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut alpha: Vec<f64> = Vec::with_capacity(m);
     let mut beta: Vec<f64> = Vec::with_capacity(m.saturating_sub(1));
-    let mut w = vec![0.0f64; n];
+    let mut w = scratch.take_f64(n);
 
     for j in 0..m {
-        basis.push(v.clone());
+        let mut snapshot = scratch.take_f64(n);
+        snapshot.copy_from_slice(&v);
+        basis.push(snapshot);
         par_stats.merge(op.matvec_into_pool(&v, &mut w, pool));
         stats.matvecs += 1;
         let a = dot(&w, &v);
@@ -146,28 +155,40 @@ fn lanczos_topk_impl<R: Rng + ?Sized>(
         }
         if b < 1e-12 {
             // Invariant subspace exhausted: restart with a fresh random
-            // direction orthogonal to the current basis.
+            // direction orthogonal to the current basis. The previous
+            // iterate is already snapshotted into `basis`, so `v` can be
+            // overwritten in place.
             stats.restarts += 1;
-            let mut fresh: Vec<f64> = (0..n).map(|_| rng.random::<f64>() - 0.5).collect();
+            for x in v.iter_mut() {
+                *x = rng.random::<f64>() - 0.5;
+            }
             for q in &basis {
-                let c = dot(&fresh, q);
+                let c = dot(&v, q);
                 for i in 0..n {
-                    fresh[i] -= c * q[i];
+                    v[i] -= c * q[i];
                 }
             }
-            let fb = norm(&fresh);
+            let fb = norm(&v);
             if fb < 1e-12 {
                 break; // space exhausted (n small)
             }
-            for x in &mut fresh {
+            for x in &mut v {
                 *x /= fb;
             }
             beta.push(0.0);
-            v = fresh;
         } else {
             beta.push(b);
-            v = w.iter().map(|&x| x / b).collect();
+            for (x, &wx) in v.iter_mut().zip(w.iter()) {
+                *x = wx / b;
+            }
         }
+    }
+
+    // Recycle the working set; the bounded arena keeps what fits.
+    scratch.put_f64(v);
+    scratch.put_f64(w);
+    for q in basis {
+        scratch.put_f64(q);
     }
 
     let mut ev = tridiag_eigenvalues(&alpha, &beta, 1e-10);

@@ -28,12 +28,15 @@ impl SymLaplacian {
     /// Build from a directed graph by symmetrizing its edge set.
     pub fn from_digraph(g: &DiGraph) -> Self {
         let n = g.node_count();
-        // Merge out- and in-lists (both sorted) per node.
+        // Merge out- and in-lists (both sorted) per node through one
+        // reusable buffer — a per-node Vec here would mean V transient
+        // allocations on a build that is otherwise two arena writes.
         let mut offsets = Vec::with_capacity(n + 1);
         let mut neighbors: Vec<u32> = Vec::with_capacity(2 * g.edge_count());
+        let mut merged: Vec<u32> = Vec::new();
         offsets.push(0u64);
         for u in 0..n as u32 {
-            let merged = merge_sorted_unique(g.out_neighbors(u), g.in_neighbors(u), u);
+            merge_sorted_unique_into(g.out_neighbors(u), g.in_neighbors(u), u, &mut merged);
             neighbors.extend_from_slice(&merged);
             offsets.push(neighbors.len() as u64);
         }
@@ -102,10 +105,11 @@ impl SymLaplacian {
     }
 }
 
-/// Merge two sorted id slices into a sorted unique vector, excluding
-/// `skip` (self-loops never enter the Laplacian off-diagonal).
-fn merge_sorted_unique(a: &[u32], b: &[u32], skip: u32) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
+/// Merge two sorted id slices into `out` (cleared first), sorted unique,
+/// excluding `skip` (self-loops never enter the Laplacian off-diagonal).
+fn merge_sorted_unique_into(a: &[u32], b: &[u32], skip: u32, out: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() || j < b.len() {
         let nxt = match (a.get(i), b.get(j)) {
@@ -136,7 +140,6 @@ fn merge_sorted_unique(a: &[u32], b: &[u32], skip: u32) -> Vec<u32> {
             out.push(nxt);
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The calibrated verified-network generator.
 
 use rand::Rng;
-use vnet_graph::{DiGraph, GraphBuilder, NodeId};
+use vnet_graph::{DiGraph, NodeId, StreamStats, StreamingBuilder};
 use vnet_stats::dist::sample_standard_normal;
 use vnet_stats::sampling::{AliasTable, ContinuousPowerLaw, DiscretePowerLaw};
 
@@ -82,6 +82,19 @@ impl VerifiedNetConfig {
         Self { nodes: 4_000, mean_out_degree: 25.0, celebrity_sinks: 3, ..Self::default() }
     }
 
+    /// The memory-benchmark tier: ~60k nodes / ~5M edges — an order of
+    /// magnitude past the default reproduction scale, still minutes-cheap
+    /// on one core. `BENCH_par.json` and `docs/SCALING.md` are recorded at
+    /// this scale.
+    pub fn medium() -> Self {
+        Self {
+            nodes: 60_000,
+            mean_out_degree: 85.0,
+            celebrity_sinks: 16,
+            ..Self::default()
+        }
+    }
+
     /// The full paper-scale configuration (231,246 nodes, mean out-degree
     /// 342.55 → ~79M edges). Heavy: build time is minutes and memory ~2 GB.
     pub fn paper_scale() -> Self {
@@ -126,6 +139,9 @@ pub struct VerifiedNetwork {
     pub fame: Vec<f64>,
     /// The configuration that produced this network.
     pub config: VerifiedNetConfig,
+    /// Arena byte accounting from the streaming CSR build (feeds the
+    /// `graph.synth_*_bytes` gauges `verified-net` publishes).
+    pub stream: StreamStats,
 }
 
 impl VerifiedNetwork {
@@ -141,6 +157,78 @@ impl VerifiedNetwork {
     /// assert_eq!(net.graph.node_count(), 4_000);
     /// ```
     pub fn generate<R: Rng + ?Sized>(config: &VerifiedNetConfig, rng: &mut R) -> Self {
+        let (adj, roles, fame) = wire(config, rng);
+        let n = config.nodes;
+        // Freeze through the streaming two-pass builder: pass 1 reads the
+        // per-node degrees straight off the staged adjacency, pass 2
+        // counting-sorts every edge into its final CSR slot. The staged
+        // lists are dropped before the reverse CSR is derived, so the peak
+        // working set from here on is the final CSR plus one cursor array
+        // (the old tuple-staged path peaked near 3× the CSR).
+        let mut b = StreamingBuilder::new(n);
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                b.count(u as NodeId, v).expect("generated ids are in range");
+            }
+        }
+        b.seal_degrees().expect("first seal");
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                b.place(u as NodeId, v).expect("pass 2 replays pass 1");
+            }
+        }
+        drop(adj);
+        let (graph, stream) = b.finish().expect("pass 2 replayed pass 1 exactly");
+        VerifiedNetwork { graph, roles, fame, config: *config, stream }
+    }
+
+    /// [`VerifiedNetwork::generate`] through the Vec-staged
+    /// [`vnet_graph::GraphBuilder`] instead of the streaming builder — the
+    /// differential reference for the `graph-scale` equivalence battery.
+    /// Same RNG stream, same graph, ~3× the peak memory; `stream` carries
+    /// the staged path's (larger) byte accounting.
+    pub fn generate_staged<R: Rng + ?Sized>(config: &VerifiedNetConfig, rng: &mut R) -> Self {
+        let (adj, roles, fame) = wire(config, rng);
+        let n = config.nodes;
+        let staged_edges: usize = adj.iter().map(Vec::len).sum();
+        let mut builder = vnet_graph::GraphBuilder::with_capacity(n, staged_edges);
+        for (u, list) in adj.iter().enumerate() {
+            for &v in list {
+                builder.add_edge(u as NodeId, v).expect("generated ids are in range");
+            }
+        }
+        let graph = builder.build();
+        // Peak of the staged path: the tuple Vec (8 bytes/edge) is alive
+        // alongside the finished CSR when `build` returns.
+        let stream = StreamStats {
+            nodes: n,
+            staged_edges: staged_edges as u64,
+            edges: graph.edge_count() as u64,
+            peak_arena_bytes: 8 * staged_edges as u64 + graph.csr_bytes(),
+            csr_bytes: graph.csr_bytes(),
+        };
+        VerifiedNetwork { graph, roles, fame, config: *config, stream }
+    }
+
+    /// Node ids by role.
+    pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == role)
+            .map(|(i, _)| i as NodeId)
+            .collect()
+    }
+}
+
+/// The generative core shared by both freeze paths: roles, fame, degree
+/// targets, and the wired (still mutable) adjacency lists.
+#[allow(clippy::type_complexity)]
+fn wire<R: Rng + ?Sized>(
+    config: &VerifiedNetConfig,
+    rng: &mut R,
+) -> (Vec<Vec<NodeId>>, Vec<NodeRole>, Vec<f64>) {
+    {
         let n = config.nodes as usize;
         assert!(n >= 10, "need at least 10 nodes");
         assert!(
@@ -236,7 +324,6 @@ impl VerifiedNetwork {
         let mutual_alias = AliasTable::new(&mutual_weights);
 
         // --- Wiring -------------------------------------------------------
-        let mut builder = GraphBuilder::with_capacity(n as u32, slots_needed as usize + n);
         // Adjacency staging for triadic closure lookups: we keep each
         // node's current out-list as it grows.
         let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
@@ -315,24 +402,7 @@ impl VerifiedNetwork {
                 }
             }
         }
-        for (u, list) in adj.iter().enumerate() {
-            for &v in list {
-                builder.add_edge(u as u32, v).expect("generated ids are in range");
-            }
-        }
-
-        let graph = builder.build();
-        VerifiedNetwork { graph, roles, fame, config: *config }
-    }
-
-    /// Node ids by role.
-    pub fn nodes_with_role(&self, role: NodeRole) -> Vec<NodeId> {
-        self.roles
-            .iter()
-            .enumerate()
-            .filter(|&(_, &r)| r == role)
-            .map(|(i, _)| i as NodeId)
-            .collect()
+        (adj, roles, fame)
     }
 }
 
@@ -466,6 +536,31 @@ mod tests {
         let b = small_net(42);
         assert_eq!(a.graph, b.graph);
         assert_eq!(a.fame, b.fame);
+    }
+
+    #[test]
+    fn streaming_and_staged_freeze_identically() {
+        // Both freeze paths consume the identical RNG stream through
+        // `wire`, so everything but the byte accounting must agree.
+        let mut rng_s = StdRng::seed_from_u64(42);
+        let streaming = VerifiedNetwork::generate(&VerifiedNetConfig::small(), &mut rng_s);
+        let mut rng_t = StdRng::seed_from_u64(42);
+        let staged = VerifiedNetwork::generate_staged(&VerifiedNetConfig::small(), &mut rng_t);
+        assert_eq!(streaming.graph, staged.graph);
+        assert_eq!(streaming.roles, staged.roles);
+        assert_eq!(streaming.fame, staged.fame);
+        assert_eq!(streaming.stream.edges, staged.stream.edges);
+        assert_eq!(streaming.stream.csr_bytes, staged.stream.csr_bytes);
+        // The whole point of streaming: a strictly smaller peak.
+        assert!(streaming.stream.peak_arena_bytes < staged.stream.peak_arena_bytes);
+        // And the issue's budget, with margin: peak ≤ 1.5 × final CSR.
+        assert!(
+            streaming.stream.peak_arena_bytes as f64
+                <= 1.5 * streaming.stream.csr_bytes as f64,
+            "peak {} vs csr {}",
+            streaming.stream.peak_arena_bytes,
+            streaming.stream.csr_bytes
+        );
     }
 
     #[test]

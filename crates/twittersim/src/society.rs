@@ -61,6 +61,12 @@ impl SocietyConfig {
     pub fn small() -> Self {
         Self { net: VerifiedNetConfig::small(), ..Self::default() }
     }
+
+    /// A medium society (~60k verified users, ~5M follow edges): the
+    /// memory-vs-scale benchmark tier; see `docs/SCALING.md`.
+    pub fn medium() -> Self {
+        Self { net: VerifiedNetConfig::medium(), ..Self::default() }
+    }
 }
 
 /// The simulated world: graph, roles, profiles and id mappings.

@@ -18,6 +18,12 @@
 #                             loopback wire-protocol, concurrency,
 #                             admission-conformance and shard-isolation
 #                             batteries, with the serve-scoped clippy wall
+#   scripts/verify.sh graph-scale
+#                             scaling lane: the StreamingBuilder unit +
+#                             proptest battery, the streaming-vs-staged
+#                             manifest-equivalence battery (including the
+#                             release-profile medium-tier golden header),
+#                             and the graph-scoped clippy wall
 #   scripts/verify.sh serve-soak
 #                             soak lane: the deterministic in-process
 #                             open-loop soak test plus a small-rate
@@ -66,6 +72,15 @@ serve)
     # the serve crate holds a stricter wall than the workspace default.
     cargo clippy -p vnet-serve --no-deps -- -D warnings -D clippy::await_holding_lock -D clippy::unwrap_used
     ;;
+graph-scale)
+    cargo test -q -p vnet-graph
+    # Release profile: the --include-ignored run covers the ~5M-edge
+    # medium-tier golden header, which is too slow for the debug tier.
+    cargo test -q -p vnet-integration-tests --release --test graph_scale -- --include-ignored
+    # The CSR arenas back every downstream kernel; construction code gets
+    # the same no-unwrap wall as the serving hot path.
+    cargo clippy -p vnet-graph --no-deps -- -D warnings -D clippy::unwrap_used
+    ;;
 serve-soak)
     cargo test -q -p vnet-integration-tests --test serve_soak
     cargo run --release -q -p vnet-bench --bin serve_load -- --rate 400 --requests 1000 --seed 7
@@ -79,6 +94,7 @@ full)
     cargo test -q
     "$0" serve-soak
     "$0" obs-bench
+    "$0" graph-scale
     cargo clippy --workspace -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
     # The 0.2 API contract: observed/plain function splits are dead.
@@ -92,7 +108,7 @@ full)
     fi
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|obs|obs-bench|par|serve|serve-soak|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|obs-bench|par|serve|graph-scale|serve-soak|tier1|full]" >&2
     exit 2
     ;;
 esac
