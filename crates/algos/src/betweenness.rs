@@ -71,81 +71,6 @@ pub fn betweenness_sampled<R: Rng + ?Sized>(
     scores
 }
 
-/// Serial pivot-sampled betweenness plus its work counters.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `betweenness_sampled(g, pivots, rng, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn betweenness_sampled_counted<R: Rng + ?Sized>(
-    g: &DiGraph,
-    pivots: usize,
-    rng: &mut R,
-) -> (Vec<f64>, BetweennessStats) {
-    let n = g.node_count();
-    if n == 0 || pivots == 0 {
-        return (vec![0.0; n], BetweennessStats::default());
-    }
-    if pivots >= n {
-        return betweenness_exact_counted(g);
-    }
-    let sources = vnet_stats::sampling::sample_distinct(n, pivots, rng);
-    let mut centrality = vec![0.0f64; n];
-    let mut workspace = BrandesWorkspace::new(n);
-    let mut stats = BetweennessStats::default();
-    for &s in &sources {
-        stats.edge_relaxations += workspace.accumulate_from(g, s as u32, &mut centrality);
-        stats.sources += 1;
-    }
-    let scale = n as f64 / pivots as f64;
-    centrality.iter_mut().for_each(|c| *c *= scale);
-    (centrality, stats)
-}
-
-/// Parallel pivot-sampled betweenness — compatibility wrapper building a
-/// pool from a raw thread count.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `betweenness_sampled(g, pivots, rng, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn betweenness_sampled_parallel<R: Rng + ?Sized>(
-    g: &DiGraph,
-    pivots: usize,
-    threads: usize,
-    rng: &mut R,
-) -> Vec<f64> {
-    betweenness_sampled_impl(g, pivots, rng, &ParPool::new(threads)).0
-}
-
-/// Parallel pivot-sampled betweenness plus its work counters.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `betweenness_sampled(g, pivots, rng, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn betweenness_sampled_parallel_counted<R: Rng + ?Sized>(
-    g: &DiGraph,
-    pivots: usize,
-    threads: usize,
-    rng: &mut R,
-) -> (Vec<f64>, BetweennessStats) {
-    let (centrality, stats, _) = betweenness_sampled_impl(g, pivots, rng, &ParPool::new(threads));
-    (centrality, stats)
-}
-
-/// Pivot-sampled betweenness against an explicit pool, returning the
-/// fork-join stats.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `betweenness_sampled(g, pivots, rng, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn betweenness_sampled_pool<R: Rng + ?Sized>(
-    g: &DiGraph,
-    pivots: usize,
-    rng: &mut R,
-    pool: &ParPool,
-) -> (Vec<f64>, BetweennessStats, ParStats) {
-    betweenness_sampled_impl(g, pivots, rng, pool)
-}
-
 fn betweenness_sampled_impl<R: Rng + ?Sized>(
     g: &DiGraph,
     pivots: usize,

@@ -172,21 +172,6 @@ pub fn distance_distribution<R: Rng + ?Sized>(
     stats
 }
 
-/// [`distance_distribution`] against an explicit pool, returning the
-/// fork-join stats.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `distance_distribution(g, spec, rng, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn distance_distribution_pool<R: Rng + ?Sized>(
-    g: &DiGraph,
-    spec: SourceSpec,
-    rng: &mut R,
-    pool: &ParPool,
-) -> (DistanceStats, ParStats) {
-    distance_distribution_impl(g, spec, rng, pool)
-}
-
 fn distance_distribution_impl<R: Rng + ?Sized>(
     g: &DiGraph,
     spec: SourceSpec,

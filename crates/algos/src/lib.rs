@@ -40,8 +40,6 @@ pub mod reciprocity;
 
 pub use assortativity::{degree_assortativity, DegreeMode};
 pub use betweenness::{betweenness_exact, betweenness_sampled};
-#[allow(deprecated)]
-pub use betweenness::betweenness_sampled_pool;
 pub use clustering::{average_local_clustering, local_clustering};
 pub use components::{
     attracting_components, strongly_connected_components, weakly_connected_components,
@@ -49,8 +47,6 @@ pub use components::{
 };
 pub use closeness::{harmonic_closeness_exact, harmonic_closeness_sampled};
 pub use distances::{bfs_distances, distance_distribution, DistanceStats};
-#[allow(deprecated)]
-pub use distances::distance_distribution_pool;
 pub use hits::{hits, HitsResult};
 pub use kcore::{k_core_decomposition, CoreDecomposition};
 pub use pagerank::{pagerank, PageRankConfig};

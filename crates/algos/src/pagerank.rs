@@ -84,12 +84,6 @@ pub fn pagerank(g: &DiGraph, cfg: PageRankConfig, ctx: &AnalysisCtx) -> PageRank
     result
 }
 
-/// [`pagerank`] against an explicit pool, returning the fork-join stats.
-#[deprecated(since = "0.2.0", note = "use `pagerank(g, cfg, &AnalysisCtx)`; see docs/API.md")]
-pub fn pagerank_pool(g: &DiGraph, cfg: PageRankConfig, pool: &ParPool) -> (PageRankResult, ParStats) {
-    pagerank_impl(g, cfg, pool, &vnet_ctx::ScratchArena::new())
-}
-
 fn pagerank_impl(
     g: &DiGraph,
     cfg: PageRankConfig,

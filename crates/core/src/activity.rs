@@ -1,8 +1,6 @@
 //! Section V and Figure 6: activity analysis.
 
 use crate::dataset::Dataset;
-#[allow(deprecated)]
-pub use crate::compat::activity_analysis_observed;
 use serde::Serialize;
 use vnet_ctx::AnalysisCtx;
 use vnet_timeseries::adf::{adf_test, AdfRegression, LagSelection};

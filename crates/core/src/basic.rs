@@ -1,8 +1,6 @@
 //! Section IV-A: basic network analysis.
 
 use crate::dataset::Dataset;
-#[allow(deprecated)]
-pub use crate::compat::basic_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
 use vnet_algos::assortativity::{degree_assortativity, DegreeMode};

@@ -1,8 +1,6 @@
 //! Section IV-E, Figure 4 and Tables I & II: bio text mining.
 
 use crate::dataset::Dataset;
-#[allow(deprecated)]
-pub use crate::compat::bio_analysis_observed;
 use serde::Serialize;
 use vnet_ctx::AnalysisCtx;
 use vnet_textmine::wordcloud::wordcloud_weights;

@@ -7,8 +7,6 @@
 //! regression splines drawn over log-log scatter plots.
 
 use crate::dataset::Dataset;
-#[allow(deprecated)]
-pub use crate::compat::centrality_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
 use vnet_algos::betweenness::betweenness_sampled;

@@ -2,8 +2,6 @@
 //! distributions and the out-degree power law.
 
 use crate::dataset::Dataset;
-#[allow(deprecated)]
-pub use crate::compat::degree_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
 use vnet_ctx::AnalysisCtx;

@@ -1,8 +1,6 @@
 //! Section IV-B (continuous half): the Laplacian eigenvalue power law.
 
 use crate::dataset::Dataset;
-#[allow(deprecated)]
-pub use crate::compat::eigen_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
 use vnet_ctx::AnalysisCtx;

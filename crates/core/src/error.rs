@@ -161,12 +161,6 @@ impl From<vnet_twittersim::ApiError> for VnetError {
     }
 }
 
-/// Pre-0.2.0 name of the dataset-persistence error type, now folded into
-/// [`VnetError`]. Variant paths (`IoError::Io(..)`) keep compiling through
-/// the alias.
-#[deprecated(since = "0.2.0", note = "use `VnetError`; see docs/API.md")]
-pub type IoError = VnetError;
-
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, VnetError>;
 

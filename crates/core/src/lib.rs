@@ -63,7 +63,6 @@ pub mod basic;
 pub mod bios;
 pub mod categories;
 pub mod centrality;
-pub mod compat;
 pub mod dataset;
 pub mod degrees;
 pub mod deviations;
@@ -79,8 +78,6 @@ pub mod report;
 pub mod section;
 pub mod separation;
 
-#[allow(deprecated)]
-pub use compat::{run_full_analysis, run_full_analysis_observed};
 pub use dataset::{Dataset, DatasetProvenance, SynthesisConfig};
 pub use error::{Result, VnetError};
 pub use experiments::{Experiment, EXPERIMENTS};

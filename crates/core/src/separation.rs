@@ -1,8 +1,6 @@
 //! Section IV-D and Figure 3: degrees of separation.
 
 use crate::dataset::Dataset;
-#[allow(deprecated)]
-pub use crate::compat::separation_analysis_observed;
 use rand::Rng;
 use serde::Serialize;
 use vnet_algos::distances::{distance_distribution, SourceSpec};

@@ -8,13 +8,11 @@
 //! * an [`Obs`] handle — where counters, spans and par-work accounting go.
 //!
 //! Before this crate existed, each of those concerns spawned an API
-//! variant: `pagerank`/`pagerank_pool`, `run_full_analysis`/
-//! `run_full_analysis_observed`, `Dataset::synthesize`/`…_observed`/
-//! `…_with_faults`/`…_with_faults_observed`. Threading a single
-//! `&AnalysisCtx` parameter through instead collapses every such pair
-//! into one entrypoint; the old names survive as deprecated shims in
-//! `verified-net`'s `compat` module for one release (see `docs/API.md`
-//! for the migration table).
+//! variant (`*_pool`, `*_observed`, `*_par`, …). Threading a single
+//! `&AnalysisCtx` parameter through instead collapses every such family
+//! into one entrypoint. The deprecated shim names were removed after one
+//! release of coexistence; `docs/API.md` keeps the migration table
+//! mapping each old name to its ctx-taking replacement.
 //!
 //! ## Examples
 //!

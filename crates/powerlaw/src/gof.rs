@@ -72,39 +72,6 @@ pub fn bootstrap_pvalue_continuous(
     Ok(p)
 }
 
-/// Parallel bootstrap p-value for a discrete fit against an explicit pool.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `bootstrap_pvalue_discrete(data, fit, reps, opts, seed, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn bootstrap_pvalue_discrete_par(
-    data: &[u64],
-    fit: &DiscreteFit,
-    reps: usize,
-    opts: &FitOptions,
-    seed: u64,
-    pool: &ParPool,
-) -> Result<(f64, ParStats)> {
-    bootstrap_discrete_impl(data, fit, reps, opts, seed, pool)
-}
-
-/// Parallel bootstrap p-value for a continuous fit against an explicit
-/// pool.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `bootstrap_pvalue_continuous(data, fit, reps, opts, seed, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn bootstrap_pvalue_continuous_par(
-    data: &[f64],
-    fit: &ContinuousFit,
-    reps: usize,
-    opts: &FitOptions,
-    seed: u64,
-    pool: &ParPool,
-) -> Result<(f64, ParStats)> {
-    bootstrap_continuous_impl(data, fit, reps, opts, seed, pool)
-}
-
 fn bootstrap_discrete_impl(
     data: &[u64],
     fit: &DiscreteFit,

@@ -36,8 +36,6 @@ pub use compare::{alpha_stderr, compare_discrete, ModelComparison};
 pub use continuous::{fit_continuous, ContinuousFit};
 pub use discrete::{fit_discrete, DiscreteFit};
 pub use gof::{bootstrap_pvalue_continuous, bootstrap_pvalue_discrete};
-#[allow(deprecated)]
-pub use gof::{bootstrap_pvalue_continuous_par, bootstrap_pvalue_discrete_par};
 pub use vuong::{vuong_continuous, vuong_discrete, Alternative, VuongResult};
 
 /// How the `xmin` scan chooses candidate thresholds.

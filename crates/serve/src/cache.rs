@@ -1,11 +1,16 @@
 //! Content-addressed result cache for the analysis service.
 //!
-//! Keys are `(dataset fingerprint, options fingerprint, section)` — the
-//! complete provenance of a section payload, since every section is a
-//! pure function of those three (the thread count never affects a result
-//! bit and is excluded from the options fingerprint on purpose). Values
-//! are the serialized payload plus its FNV fingerprint, so a cache hit
-//! replays the exact bytes a cold computation produced.
+//! Keys are `(dataset fingerprint, options fingerprint, section, day)` —
+//! the complete provenance of a section payload, since every section is a
+//! pure function of those four (the thread count never affects a result
+//! bit and is excluded from the options fingerprint on purpose; `day` is
+//! the churn timeline day for `as_of` requests, `None` for the base
+//! snapshot). Values are the serialized payload plus its FNV fingerprint,
+//! so a cache hit replays the exact bytes a cold computation produced.
+//!
+//! The key is built from the *parsed, canonicalized* request — key order,
+//! whitespace, and envelope generation of the incoming JSON line cannot
+//! cause a spurious miss (regression-tested in `serve_asof.rs`).
 //!
 //! Eviction is least-recently-used over a logical access clock, bounded
 //! by a fixed entry capacity. The cache itself does no locking — the
@@ -26,6 +31,9 @@ pub struct CacheKey {
     pub options: u64,
     /// The section computed.
     pub section: Section,
+    /// Churn timeline day for `as_of` requests; `None` = base snapshot.
+    /// Part of the key so each materialized day caches independently.
+    pub day: Option<u32>,
 }
 
 /// One cached section payload: the exact serialized bytes plus their
@@ -107,7 +115,7 @@ mod tests {
     use super::*;
 
     fn key(ds: u64, sec: Section) -> CacheKey {
-        CacheKey { dataset: ds, options: 1, section: sec }
+        CacheKey { dataset: ds, options: 1, section: sec, day: None }
     }
 
     fn val(s: &str) -> Arc<CachedSection> {
@@ -135,6 +143,17 @@ mod tests {
         c.insert(key(1, Section::Degrees), val("degrees"));
         assert_eq!(c.get(&key(1, Section::Basic)).unwrap().payload_json, "basic");
         assert_eq!(c.get(&key(1, Section::Degrees)).unwrap().payload_json, "degrees");
+    }
+
+    #[test]
+    fn distinct_days_are_distinct_keys() {
+        let mut c = ResultCache::new(8);
+        c.insert(key(1, Section::Basic), val("base"));
+        c.insert(CacheKey { day: Some(3), ..key(1, Section::Basic) }, val("day3"));
+        assert_eq!(c.get(&key(1, Section::Basic)).unwrap().payload_json, "base");
+        let d3 = CacheKey { day: Some(3), ..key(1, Section::Basic) };
+        assert_eq!(c.get(&d3).unwrap().payload_json, "day3");
+        assert!(c.get(&CacheKey { day: Some(4), ..key(1, Section::Basic) }).is_none());
     }
 
     #[test]

@@ -131,7 +131,7 @@ mod tests {
     use verified_net::Section;
 
     fn key(section: Section) -> CacheKey {
-        CacheKey { dataset: 1, options: 2, section }
+        CacheKey { dataset: 1, options: 2, section, day: None }
     }
 
     fn payload(s: &str) -> Arc<CachedSection> {

@@ -36,12 +36,18 @@
 //! ## Wire protocol
 //!
 //! One JSON object per line in each direction (see `docs/API.md` for the
-//! full schema). Requests carry a `"cmd"` key:
+//! full schema). The current envelope is versioned — `{"v":1,"cmd":...}`
+//! — and v1 rejects unknown keys with a structured `invalid_input`
+//! error; unversioned lines still work but their replies carry a
+//! `deprecation` note. Requests carry a `"cmd"` key:
 //!
 //! | cmd        | fields                                                    |
 //! |------------|-----------------------------------------------------------|
-//! | `register` | `name`, plus `dir` (saved bundle) or `scale` (synthesize) |
-//! | `analyze`  | `snapshot`, `sections` (ids), optional `options`, `client`|
+//! | `register` | `name`, plus `dir` (saved bundle) or `scale` (synthesize);|
+//! |            | optional `churn_days`/`churn_seed`/`churn_shock_day` build|
+//! |            | a deterministic churn timeline for time travel            |
+//! | `analyze`  | `snapshot`, `sections` (ids), optional `options`,         |
+//! |            | `client`, and `as_of` (churn day to time-travel to)       |
 //! | `status`   | optional `snapshot` (one shard's detail)                  |
 //! | `metrics`  | optional `snapshot`, optional `format` (`json`\|`prom`)   |
 //! | `watch`    | optional `snapshot`, `interval_ms`, `frames`              |
@@ -99,7 +105,8 @@ pub use executor::{CancelToken, Executor, ExecutorTelemetry, JobHandle, SubmitRe
 pub use framing::{Frame, LineReader, MAX_LINE_BYTES};
 pub use monitor::{MonitorAlert, MonitorSample, SelfMonitorConfig};
 pub use protocol::{
-    parse_request, MetricsFormat, RegisterSource, Request, WATCH_MAX_FRAMES,
+    parse_request, ChurnSpec, MetricsFormat, ParsedRequest, RegisterSource, Request,
+    DEPRECATION_NOTE, MAX_CHURN_DAYS, PROTOCOL_VERSION, WATCH_MAX_FRAMES,
     WATCH_MAX_INTERVAL_MS, WATCH_MIN_INTERVAL_MS,
 };
 pub use server::{Server, ServerConfig, ServerHandle};

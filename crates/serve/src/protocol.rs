@@ -1,12 +1,36 @@
 //! Wire protocol: line-delimited JSON requests and replies.
 //!
 //! Each request is one JSON object on one line with a `"cmd"` key; each
-//! reply is one JSON object on one line with an `"ok"` key. Parsing is
-//! strict about what it needs and silent about extra keys, so the
-//! protocol can grow compatibly.
+//! reply is one JSON object on one line with an `"ok"` key.
+//!
+//! Two envelope generations coexist (full grammar in `docs/API.md`):
+//!
+//! * **v1 (versioned)** — `{"v":1,"cmd":...}`. Strict: unknown top-level
+//!   keys and unknown `options` keys are a structured `invalid_input`
+//!   error, so typos (`"boostrap_reps"`) fail loudly instead of silently
+//!   computing the wrong thing. `as_of` and `client` are first-class
+//!   fields of `analyze`.
+//! * **legacy (unversioned)** — no `"v"` key. Parses exactly as before
+//!   (silent about extra keys) but every direct reply carries a
+//!   `"deprecation"` note pointing at the v1 envelope.
+//!
+//! A `"v"` of anything but integer `1` is rejected: the field is a
+//! contract, not a comment.
 
 use serde_json::Value;
 use verified_net::{AnalysisOptions, Section, VnetError};
+
+/// The current wire-envelope version.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Deprecation note injected into every direct reply to an unversioned
+/// request.
+pub const DEPRECATION_NOTE: &str =
+    "unversioned request envelope is deprecated; send {\"v\":1,...} (see docs/API.md)";
+
+/// Upper bound on the churn horizon a `register` may request: a year of
+/// simulated days is an index; ten years is a memory bomb.
+pub const MAX_CHURN_DAYS: u32 = 366;
 
 /// Where a `register` request gets its dataset from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +39,20 @@ pub enum RegisterSource {
     Dir(String),
     /// Synthesize at a named scale (`"small"` or `"default"`).
     Scale(String),
+}
+
+/// Churn-evolution parameters of a `register` request: evolve the
+/// registered graph for `days` simulated days so `analyze` can time-travel
+/// with `as_of`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSpec {
+    /// Days of deterministic churn to index (1..=[`MAX_CHURN_DAYS`]).
+    pub days: u32,
+    /// Churn master seed (`churn_seed`, default taken by the server).
+    pub seed: Option<u64>,
+    /// Optional regime-shock day (`churn_shock_day`) for structural-PELT
+    /// experiments.
+    pub shock_day: Option<u32>,
 }
 
 /// A parsed client request.
@@ -26,6 +64,9 @@ pub enum Request {
         name: String,
         /// Bundle directory or synthesis scale.
         source: RegisterSource,
+        /// When present, build a churn timeline so the snapshot answers
+        /// `as_of` queries.
+        churn: Option<ChurnSpec>,
     },
     /// Compute (or serve from cache) one or more sections of a snapshot.
     Analyze {
@@ -38,6 +79,9 @@ pub enum Request {
         /// Admission-control identity (the optional `client` field).
         /// Requests without one share the anonymous bucket (`""`).
         client: String,
+        /// Time-travel day: analyze the snapshot as it stood at end of
+        /// churn day `as_of` instead of the base graph.
+        as_of: Option<u32>,
     },
     /// Report snapshots, in-flight work, and lifecycle state; with a
     /// `snapshot` field, just that shard's detail.
@@ -65,6 +109,16 @@ pub enum Request {
     },
     /// Drain in-flight work, then stop accepting connections.
     Shutdown,
+}
+
+/// A request plus the envelope generation it arrived in. The connection
+/// loop uses `versioned` to decide whether to stamp the deprecation note.
+#[derive(Debug, Clone)]
+pub struct ParsedRequest {
+    /// The decoded request.
+    pub request: Request,
+    /// `true` when the line carried `"v":1`.
+    pub versioned: bool,
 }
 
 /// How a `metrics` reply is encoded.
@@ -96,11 +150,64 @@ fn required_str(v: &Value, key: &str, cmd: &str) -> Result<String, VnetError> {
         .ok_or_else(|| VnetError::BadRequest(format!("'{cmd}' needs a string '{key}' field")))
 }
 
+/// Top-level keys each command accepts under the v1 envelope.
+fn allowed_keys(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "register" => &["v", "cmd", "name", "dir", "scale", "churn_days", "churn_seed", "churn_shock_day"],
+        "analyze" => &["v", "cmd", "snapshot", "sections", "options", "client", "as_of"],
+        "status" => &["v", "cmd", "snapshot"],
+        "metrics" => &["v", "cmd", "snapshot", "format"],
+        "watch" => &["v", "cmd", "snapshot", "interval_ms", "frames"],
+        "shutdown" => &["v", "cmd"],
+        _ => &["v", "cmd"],
+    }
+}
+
+/// `options` keys the v1 envelope accepts.
+const OPTION_KEYS: &[&str] = &[
+    "preset",
+    "seed",
+    "threads",
+    "bootstrap_reps",
+    "clustering_samples",
+    "distance_sources",
+    "betweenness_pivots",
+    "eigen_k",
+    "lanczos_steps",
+    "lag_cap",
+    "ngram_rows",
+    "fig1_bins",
+];
+
+fn reject_unknown_keys(
+    v: &Value,
+    allowed: &[&str],
+    what: &str,
+) -> Result<(), VnetError> {
+    let Some(keys) = v.keys() else {
+        return Ok(());
+    };
+    for key in keys {
+        if !allowed.contains(&key) {
+            return Err(VnetError::InvalidInput(format!(
+                "unknown {what} key '{key}' (v1 accepts: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Parse the optional `options` object of an `analyze` request.
 ///
 /// Starts from the `preset` (`"quick"`, the default, or `"default"` for
 /// the full-cost battery) and overrides any numeric knob given by name.
-fn parse_options(v: &Value) -> Result<AnalysisOptions, VnetError> {
+/// Under the v1 envelope (`strict`), unknown option keys are rejected —
+/// a misspelled knob must not silently fall back to its default.
+fn parse_options(v: &Value, strict: bool) -> Result<AnalysisOptions, VnetError> {
+    if strict {
+        reject_unknown_keys(v, OPTION_KEYS, "options")?;
+    }
     let base = match v["preset"].as_str() {
         None | Some("quick") => AnalysisOptions::quick(),
         Some("default") => AnalysisOptions::default(),
@@ -147,14 +254,61 @@ fn parse_options(v: &Value) -> Result<AnalysisOptions, VnetError> {
     Ok(b.build())
 }
 
-/// Parse one request line into a [`Request`].
-pub fn parse_request(line: &str) -> Result<Request, VnetError> {
+/// Parse the churn knobs of a `register` request (either envelope).
+fn parse_churn(v: &Value) -> Result<Option<ChurnSpec>, VnetError> {
+    if v["churn_days"].is_null() {
+        if !v["churn_seed"].is_null() || !v["churn_shock_day"].is_null() {
+            return Err(VnetError::BadRequest(
+                "churn_seed/churn_shock_day need a 'churn_days' field".into(),
+            ));
+        }
+        return Ok(None);
+    }
+    let days = v["churn_days"]
+        .as_u64()
+        .ok_or_else(|| VnetError::BadRequest("'churn_days' must be a non-negative integer".into()))?;
+    if !(1..=MAX_CHURN_DAYS as u64).contains(&days) {
+        return Err(VnetError::BadRequest(format!(
+            "'churn_days' must be in [1, {MAX_CHURN_DAYS}]"
+        )));
+    }
+    let seed = match &v["churn_seed"] {
+        s if s.is_null() => None,
+        s => Some(s.as_u64().ok_or_else(|| {
+            VnetError::BadRequest("'churn_seed' must be a non-negative integer".into())
+        })?),
+    };
+    let shock_day = match &v["churn_shock_day"] {
+        s if s.is_null() => None,
+        s => Some(s.as_u64().ok_or_else(|| {
+            VnetError::BadRequest("'churn_shock_day' must be a non-negative integer".into())
+        })? as u32),
+    };
+    Ok(Some(ChurnSpec { days: days as u32, seed, shock_day }))
+}
+
+/// Parse one request line into a [`ParsedRequest`].
+pub fn parse_request(line: &str) -> Result<ParsedRequest, VnetError> {
     let v: Value = serde_json::from_str(line.trim())
         .map_err(|e| VnetError::BadRequest(format!("request is not valid JSON: {e}")))?;
+    let versioned = match &v["v"] {
+        ver if ver.is_null() => false,
+        ver => match ver.as_u64() {
+            Some(PROTOCOL_VERSION) => true,
+            _ => {
+                return Err(VnetError::InvalidInput(format!(
+                    "unsupported protocol version (this server speaks v{PROTOCOL_VERSION})"
+                )))
+            }
+        },
+    };
     let cmd = v["cmd"]
         .as_str()
         .ok_or_else(|| VnetError::BadRequest("request needs a string 'cmd' field".into()))?;
-    match cmd {
+    if versioned {
+        reject_unknown_keys(&v, allowed_keys(cmd), "request")?;
+    }
+    let request = match cmd {
         "register" => {
             let name = required_str(&v, "name", "register")?;
             let source = if let Some(dir) = v["dir"].as_str() {
@@ -173,7 +327,8 @@ pub fn parse_request(line: &str) -> Result<Request, VnetError> {
                     "'register' needs a 'dir' or 'scale' field".into(),
                 ));
             };
-            Ok(Request::Register { name, source })
+            let churn = parse_churn(&v)?;
+            Request::Register { name, source, churn }
         }
         "analyze" => {
             let snapshot = required_str(&v, "snapshot", "analyze")?;
@@ -192,11 +347,17 @@ pub fn parse_request(line: &str) -> Result<Request, VnetError> {
                     "'analyze' needs a non-empty 'sections' array".into(),
                 ));
             }
-            let options = parse_options(&v["options"])?;
+            let options = parse_options(&v["options"], versioned)?;
             let client = v["client"].as_str().unwrap_or("").to_string();
-            Ok(Request::Analyze { snapshot, sections, options, client })
+            let as_of = match &v["as_of"] {
+                d if d.is_null() => None,
+                d => Some(d.as_u64().ok_or_else(|| {
+                    VnetError::BadRequest("'as_of' must be a non-negative integer day".into())
+                })? as u32),
+            };
+            Request::Analyze { snapshot, sections, options, client, as_of }
         }
-        "status" => Ok(Request::Status { snapshot: v["snapshot"].as_str().map(str::to_string) }),
+        "status" => Request::Status { snapshot: v["snapshot"].as_str().map(str::to_string) },
         "metrics" => {
             let format = match v["format"].as_str() {
                 None | Some("json") => MetricsFormat::Json,
@@ -207,7 +368,7 @@ pub fn parse_request(line: &str) -> Result<Request, VnetError> {
                     )))
                 }
             };
-            Ok(Request::Metrics { snapshot: v["snapshot"].as_str().map(str::to_string), format })
+            Request::Metrics { snapshot: v["snapshot"].as_str().map(str::to_string), format }
         }
         "watch" => {
             let interval_ms = v["interval_ms"].as_u64().unwrap_or(1_000);
@@ -222,15 +383,28 @@ pub fn parse_request(line: &str) -> Result<Request, VnetError> {
                     "'watch' frames must be in [1, {WATCH_MAX_FRAMES}]"
                 )));
             }
-            Ok(Request::Watch {
+            Request::Watch {
                 snapshot: v["snapshot"].as_str().map(str::to_string),
                 interval_ms,
                 frames,
-            })
+            }
         }
-        "shutdown" => Ok(Request::Shutdown),
-        other => Err(VnetError::BadRequest(format!("unknown cmd '{other}'"))),
+        "shutdown" => Request::Shutdown,
+        other => return Err(VnetError::BadRequest(format!("unknown cmd '{other}'"))),
+    };
+    Ok(ParsedRequest { request, versioned })
+}
+
+/// Stamp the legacy-envelope deprecation note into a direct reply. The
+/// note lands right after the `"ok"` field so replies stay one line and
+/// v1 replies stay byte-identical to the pre-envelope goldens.
+pub(crate) fn add_deprecation_note(reply: &str) -> String {
+    for prefix in ["{\"ok\":true", "{\"ok\":false"] {
+        if let Some(rest) = reply.strip_prefix(prefix) {
+            return format!("{prefix},\"deprecation\":{}{rest}", json_str(DEPRECATION_NOTE));
+        }
     }
+    reply.to_string()
 }
 
 /// Serialize an error as a structured protocol reply. `rate_limited`
@@ -263,51 +437,139 @@ pub(crate) fn json_str(s: &str) -> String {
 mod tests {
     use super::*;
 
+    fn parse(line: &str) -> Request {
+        parse_request(line).unwrap().request
+    }
+
     #[test]
     fn parses_register_and_analyze() {
-        let r = parse_request(r#"{"cmd":"register","name":"a","dir":"/tmp/x"}"#).unwrap();
+        let r = parse(r#"{"cmd":"register","name":"a","dir":"/tmp/x"}"#);
         match r {
-            Request::Register { name, source } => {
+            Request::Register { name, source, churn } => {
                 assert_eq!(name, "a");
                 assert_eq!(source, RegisterSource::Dir("/tmp/x".into()));
+                assert_eq!(churn, None);
             }
             other => panic!("wrong parse: {other:?}"),
         }
-        let r = parse_request(
+        let r = parse(
             r#"{"cmd":"analyze","snapshot":"a","sections":["basic","degrees"],"options":{"seed":7}}"#,
-        )
-        .unwrap();
+        );
         match r {
-            Request::Analyze { snapshot, sections, options, client } => {
+            Request::Analyze { snapshot, sections, options, client, as_of } => {
                 assert_eq!(snapshot, "a");
                 assert_eq!(sections, vec![Section::Basic, Section::Degrees]);
                 assert_eq!(options.seed, 7);
                 assert_eq!(options.lag_cap, AnalysisOptions::quick().lag_cap);
                 assert_eq!(client, "", "missing client id maps to the anonymous bucket");
+                assert_eq!(as_of, None);
             }
             other => panic!("wrong parse: {other:?}"),
         }
     }
 
     #[test]
-    fn parses_client_ids_and_shard_targets() {
-        let r = parse_request(
-            r#"{"cmd":"analyze","snapshot":"a","sections":["basic"],"client":"tenant-7"}"#,
+    fn v1_envelope_round_trips_and_flags_versioned() {
+        let p = parse_request(
+            r#"{"v":1,"cmd":"analyze","snapshot":"a","sections":["basic"],"client":"t1","as_of":3}"#,
         )
         .unwrap();
+        assert!(p.versioned);
+        match p.request {
+            Request::Analyze { client, as_of, .. } => {
+                assert_eq!(client, "t1");
+                assert_eq!(as_of, Some(3));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let p = parse_request(r#"{"cmd":"status"}"#).unwrap();
+        assert!(!p.versioned, "no 'v' key means the legacy envelope");
+    }
+
+    #[test]
+    fn v1_rejects_unknown_keys_as_invalid_input() {
+        let e = parse_request(
+            r#"{"v":1,"cmd":"analyze","snapshot":"a","sections":["basic"],"sectons":["x"]}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code(), "invalid_input");
+        let e = parse_request(
+            r#"{"v":1,"cmd":"analyze","snapshot":"a","sections":["basic"],"options":{"boostrap_reps":5}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(e.code(), "invalid_input", "misspelled option key must not be silent");
+        // The same lines parse fine under the legacy envelope (the old
+        // lenient contract), which is exactly why it is deprecated.
+        assert!(parse_request(
+            r#"{"cmd":"analyze","snapshot":"a","sections":["basic"],"sectons":["x"]}"#
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn unsupported_versions_are_rejected() {
+        for line in [
+            r#"{"v":2,"cmd":"status"}"#,
+            r#"{"v":0,"cmd":"status"}"#,
+            r#"{"v":"1","cmd":"status"}"#,
+        ] {
+            let e = parse_request(line).unwrap_err();
+            assert_eq!(e.code(), "invalid_input", "line {line} gave {e}");
+        }
+    }
+
+    #[test]
+    fn parses_churn_knobs_and_bounds() {
+        let r = parse(
+            r#"{"v":1,"cmd":"register","name":"a","scale":"small","churn_days":30,"churn_seed":7,"churn_shock_day":10}"#,
+        );
+        match r {
+            Request::Register { churn: Some(spec), .. } => {
+                assert_eq!(spec.days, 30);
+                assert_eq!(spec.seed, Some(7));
+                assert_eq!(spec.shock_day, Some(10));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        for bad in [
+            r#"{"cmd":"register","name":"a","scale":"small","churn_days":0}"#,
+            r#"{"cmd":"register","name":"a","scale":"small","churn_days":100000}"#,
+            r#"{"cmd":"register","name":"a","scale":"small","churn_seed":7}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.code(), "bad_request", "line {bad} gave {e}");
+        }
+    }
+
+    #[test]
+    fn deprecation_note_lands_after_the_ok_field() {
+        let ok = add_deprecation_note("{\"ok\":true,\"snapshot\":\"a\"}");
+        assert!(ok.starts_with("{\"ok\":true,\"deprecation\":\""));
+        assert!(ok.ends_with(",\"snapshot\":\"a\"}"));
+        let err = add_deprecation_note("{\"ok\":false,\"error\":{}}");
+        assert!(err.starts_with("{\"ok\":false,\"deprecation\":\""));
+        let v: Value = serde_json::from_str(&ok).unwrap();
+        assert_eq!(v["deprecation"].as_str(), Some(DEPRECATION_NOTE));
+    }
+
+    #[test]
+    fn parses_client_ids_and_shard_targets() {
+        let r = parse(
+            r#"{"cmd":"analyze","snapshot":"a","sections":["basic"],"client":"tenant-7"}"#,
+        );
         match r {
             Request::Analyze { client, .. } => assert_eq!(client, "tenant-7"),
             other => panic!("wrong parse: {other:?}"),
         }
-        match parse_request(r#"{"cmd":"status"}"#).unwrap() {
+        match parse(r#"{"cmd":"status"}"#) {
             Request::Status { snapshot: None } => {}
             other => panic!("wrong parse: {other:?}"),
         }
-        match parse_request(r#"{"cmd":"status","snapshot":"hot"}"#).unwrap() {
+        match parse(r#"{"cmd":"status","snapshot":"hot"}"#) {
             Request::Status { snapshot: Some(s) } => assert_eq!(s, "hot"),
             other => panic!("wrong parse: {other:?}"),
         }
-        match parse_request(r#"{"cmd":"metrics","snapshot":"hot"}"#).unwrap() {
+        match parse(r#"{"cmd":"metrics","snapshot":"hot"}"#) {
             Request::Metrics { snapshot: Some(s), format: MetricsFormat::Json } => {
                 assert_eq!(s, "hot")
             }
@@ -317,11 +579,11 @@ mod tests {
 
     #[test]
     fn parses_metrics_formats() {
-        match parse_request(r#"{"cmd":"metrics","format":"prom"}"#).unwrap() {
+        match parse(r#"{"cmd":"metrics","format":"prom"}"#) {
             Request::Metrics { snapshot: None, format: MetricsFormat::Prom } => {}
             other => panic!("wrong parse: {other:?}"),
         }
-        match parse_request(r#"{"cmd":"metrics","format":"json"}"#).unwrap() {
+        match parse(r#"{"cmd":"metrics","format":"json"}"#) {
             Request::Metrics { format: MetricsFormat::Json, .. } => {}
             other => panic!("wrong parse: {other:?}"),
         }
@@ -331,13 +593,11 @@ mod tests {
 
     #[test]
     fn parses_watch_with_defaults_and_bounds() {
-        match parse_request(r#"{"cmd":"watch"}"#).unwrap() {
+        match parse(r#"{"cmd":"watch"}"#) {
             Request::Watch { snapshot: None, interval_ms: 1_000, frames: 5 } => {}
             other => panic!("wrong parse: {other:?}"),
         }
-        match parse_request(r#"{"cmd":"watch","snapshot":"a","interval_ms":50,"frames":3}"#)
-            .unwrap()
-        {
+        match parse(r#"{"cmd":"watch","snapshot":"a","interval_ms":50,"frames":3}"#) {
             Request::Watch { snapshot: Some(s), interval_ms: 50, frames: 3 } => {
                 assert_eq!(s, "a")
             }
@@ -373,6 +633,7 @@ mod tests {
             r#"{"cmd":"register","name":"a"}"#,
             r#"{"cmd":"analyze","snapshot":"a","sections":[]}"#,
             r#"{"cmd":"analyze","snapshot":"a","sections":[3]}"#,
+            r#"{"cmd":"analyze","snapshot":"a","sections":["basic"],"as_of":"soon"}"#,
         ] {
             let e = parse_request(line).unwrap_err();
             assert_eq!(e.code(), "bad_request", "line {line} gave {e}");

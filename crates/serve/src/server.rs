@@ -28,6 +28,8 @@ use verified_net::{
 };
 use vnet_obs::{fingerprint_str, render_prometheus_parts, Obs, Telemetry};
 use vnet_par::ParPool;
+use vnet_synth::{ChurnConfig, ChurnStream};
+use vnet_temporal::{EngineConfig, Timeline};
 
 use crate::admission::{Admission, AdmissionClock, AdmissionPolicy};
 use crate::cache::{CacheKey, CachedSection};
@@ -36,9 +38,10 @@ use crate::executor::{CancelToken, SubmitRefusal};
 use crate::flight::Role;
 use crate::monitor::{MonitorSample, SelfMonitor, SelfMonitorConfig};
 use crate::protocol::{
-    error_reply, json_str, parse_request, MetricsFormat, RegisterSource, Request,
+    add_deprecation_note, error_reply, json_str, parse_request, ChurnSpec, MetricsFormat,
+    RegisterSource, Request,
 };
-use crate::shards::{Shard, ShardRegistry, SnapshotData};
+use crate::shards::{Shard, ShardRegistry, SnapshotData, TemporalState};
 use crate::stats::ServeStats;
 
 /// Server construction knobs.
@@ -191,7 +194,7 @@ impl ServerHandle {
     /// content fingerprint. Useful for embedding the server in a process
     /// that already built the dataset.
     pub fn register_dataset(&self, name: &str, dataset: Dataset) -> u64 {
-        register_snapshot(&self.shared, name, dataset)
+        register_snapshot(&self.shared, name, dataset, None)
     }
 
     /// Ask the server to shut down as if a `shutdown` request arrived:
@@ -309,32 +312,49 @@ pub(crate) struct WatchParams {
 
 /// Dispatch one request line.
 pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> Dispatch {
-    let request = match parse_request(line) {
-        Ok(r) => r,
+    let parsed = match parse_request(line) {
+        Ok(p) => p,
         Err(e) => {
             shared.obs.inc_by("serve.bad_requests", &[], 1);
             return Dispatch::Reply(error_reply(&e));
         }
     };
-    match request {
-        Request::Register { name, source } => {
-            Dispatch::Reply(handle_register(shared, &name, source))
+    let versioned = parsed.versioned;
+    if !versioned {
+        shared.obs.inc_by("serve.legacy_requests", &[], 1);
+    }
+    // Legacy (unversioned) envelopes keep working but their direct
+    // replies carry a `deprecation` field pointing at the v1 grammar.
+    // Watch acks are streamed frames and stay unannotated (docs/API.md).
+    let noted = |dispatch: Dispatch| -> Dispatch {
+        if versioned {
+            return dispatch;
         }
-        Request::Analyze { snapshot, sections, options, client } => {
-            Dispatch::Reply(handle_analyze(shared, &snapshot, sections, options, &client))
+        match dispatch {
+            Dispatch::Reply(r) => Dispatch::Reply(add_deprecation_note(&r)),
+            Dispatch::ReplyThenStop(r) => Dispatch::ReplyThenStop(add_deprecation_note(&r)),
+            other => other,
         }
+    };
+    match parsed.request {
+        Request::Register { name, source, churn } => {
+            noted(Dispatch::Reply(handle_register(shared, &name, source, churn)))
+        }
+        Request::Analyze { snapshot, sections, options, client, as_of } => noted(
+            Dispatch::Reply(handle_analyze(shared, &snapshot, sections, options, &client, as_of)),
+        ),
         Request::Status { snapshot } => {
-            Dispatch::Reply(handle_status(shared, snapshot.as_deref()))
+            noted(Dispatch::Reply(handle_status(shared, snapshot.as_deref())))
         }
         Request::Metrics { snapshot, format } => {
-            Dispatch::Reply(handle_metrics(shared, snapshot.as_deref(), format))
+            noted(Dispatch::Reply(handle_metrics(shared, snapshot.as_deref(), format)))
         }
         Request::Watch { snapshot, interval_ms, frames } => {
             if let Some(name) = &snapshot {
                 if shared.shards.get(name).is_none() {
-                    return Dispatch::Reply(error_reply(&VnetError::UnknownSnapshot(
+                    return noted(Dispatch::Reply(error_reply(&VnetError::UnknownSnapshot(
                         name.clone(),
-                    )));
+                    ))));
                 }
             }
             shared.obs.inc_by("serve.watch_sessions", &[], 1);
@@ -346,7 +366,7 @@ pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> Dispatch {
         }
         Request::Shutdown => {
             drain_and_stop(shared);
-            Dispatch::ReplyThenStop("{\"ok\":true,\"drained\":true}".to_string())
+            noted(Dispatch::ReplyThenStop("{\"ok\":true,\"drained\":true}".to_string()))
         }
     }
 }
@@ -375,10 +395,16 @@ fn drain_and_stop(shared: &Shared) {
     let _ = TcpStream::connect(shared.local_addr);
 }
 
-fn register_snapshot(shared: &Shared, name: &str, dataset: Dataset) -> u64 {
+fn register_snapshot(
+    shared: &Shared,
+    name: &str,
+    dataset: Dataset,
+    temporal: Option<TemporalState>,
+) -> u64 {
     shared.shards.register(
         name,
         dataset,
+        temporal,
         crate::shards::ShardLimits {
             workers: shared.config.max_in_flight,
             queue_depth: shared.config.queue_depth,
@@ -389,7 +415,47 @@ fn register_snapshot(shared: &Shared, name: &str, dataset: Dataset) -> u64 {
     )
 }
 
-fn handle_register(shared: &Arc<Shared>, name: &str, source: RegisterSource) -> String {
+/// How often the churn [`Timeline`] checkpoints the stream: `as_of` day
+/// resolution replays at most this many days from the nearest checkpoint.
+const TIMELINE_CHECKPOINT_STRIDE: u32 = 7;
+
+/// Build the churn timeline for a snapshot registered with `churn_days`.
+/// The stream derives roles/fame from the crawled graph's degrees; the
+/// engine skips PageRank (serve sections compute their own ranks) and
+/// refits the tail exponent weekly to keep registration cheap.
+fn build_temporal(
+    shared: &Shared,
+    dataset: &Dataset,
+    spec: &ChurnSpec,
+) -> Result<TemporalState, VnetError> {
+    let seed = spec.seed.unwrap_or(ChurnConfig::default().seed);
+    let mut churn_config = ChurnConfig { seed, ..ChurnConfig::default() };
+    if let Some(day) = spec.shock_day {
+        churn_config =
+            churn_config.with_shock(day, ChurnConfig::default().shock_churn_multiplier);
+    }
+    let stream = ChurnStream::from_graph(&dataset.graph, churn_config);
+    let engine_config = EngineConfig {
+        compact_every: TIMELINE_CHECKPOINT_STRIDE,
+        refit_every: TIMELINE_CHECKPOINT_STRIDE,
+        pagerank: None,
+    };
+    let timeline = Timeline::build(
+        stream,
+        engine_config,
+        spec.days,
+        TIMELINE_CHECKPOINT_STRIDE,
+        &shared.ctx,
+    );
+    Ok(TemporalState::new(timeline, seed))
+}
+
+fn handle_register(
+    shared: &Arc<Shared>,
+    name: &str,
+    source: RegisterSource,
+    churn: Option<ChurnSpec>,
+) -> String {
     if shared.shutting_down.load(Ordering::SeqCst) {
         return error_reply(&VnetError::ShuttingDown);
     }
@@ -407,14 +473,40 @@ fn handle_register(shared: &Arc<Shared>, name: &str, source: RegisterSource) -> 
             Dataset::build(&config, &shared.ctx)
         }
     };
+    let temporal = match &churn {
+        Some(spec) => match build_temporal(shared, &dataset, spec) {
+            Ok(state) => {
+                let series = state.timeline.series();
+                shared.obs.set_counter(
+                    "serve.churn_days",
+                    &[("shard", name)],
+                    state.timeline.days() as u64,
+                );
+                shared.obs.set_counter(
+                    "serve.structural_shifts",
+                    &[("shard", name)],
+                    state.timeline.shifts().len() as u64,
+                );
+                debug_assert_eq!(series.reciprocity.len(), state.timeline.days() as usize + 1);
+                Some(state)
+            }
+            Err(e) => return error_reply(&e),
+        },
+        None => None,
+    };
+    let churn_suffix = churn
+        .as_ref()
+        .map(|spec| format!(",\"churn_days\":{}", spec.days))
+        .unwrap_or_default();
     let summary = dataset.summary();
-    let fingerprint = register_snapshot(shared, name, dataset);
+    let fingerprint = register_snapshot(shared, name, dataset, temporal);
     format!(
-        "{{\"ok\":true,\"snapshot\":{},\"fingerprint\":{},\"users\":{},\"edges\":{}}}",
+        "{{\"ok\":true,\"snapshot\":{},\"fingerprint\":{},\"users\":{},\"edges\":{}{}}}",
         json_str(name),
         fingerprint,
         summary.users,
         summary.edges,
+        churn_suffix,
     )
 }
 
@@ -424,6 +516,7 @@ fn handle_analyze(
     sections: Vec<Section>,
     options: AnalysisOptions,
     client: &str,
+    as_of: Option<u32>,
 ) -> String {
     if shared.shutting_down.load(Ordering::SeqCst) {
         return error_reply(&VnetError::ShuttingDown);
@@ -458,7 +551,7 @@ fn handle_analyze(
     let worker_shared = Arc::clone(shared);
     let worker_shard = Arc::clone(&shard);
     let submitted = shard.executor.submit(move |cancel| {
-        compute_reply(&worker_shared, &worker_shard, &data, &sections, &options, cancel)
+        compute_reply(&worker_shared, &worker_shard, &data, as_of, &sections, &options, cancel)
     });
     let stats = &shared.stats;
     let handle = match submitted {
@@ -507,6 +600,9 @@ fn section_bytes(
     if let Some(hit) = shard.cache.lock().expect("cache lock").get(&key) {
         stats.telemetry.inc(stats.cache_hits);
         stats.telemetry.inc(shard.stats.hits);
+        if key.day.is_some() {
+            stats.telemetry.inc(stats.asof_cache_hits);
+        }
         return Ok(hit);
     }
     match shard.flights.begin(key) {
@@ -521,6 +617,9 @@ fn section_bytes(
             if let Some(hit) = shard.cache.lock().expect("cache lock").get(&key) {
                 stats.telemetry.inc(stats.cache_hits);
                 stats.telemetry.inc(shard.stats.hits);
+                if key.day.is_some() {
+                    stats.telemetry.inc(stats.asof_cache_hits);
+                }
                 guard.publish(Ok(Arc::clone(&hit)));
                 return Ok(hit);
             }
@@ -569,11 +668,37 @@ fn section_bytes(
 fn compute_reply(
     shared: &Shared,
     shard: &Shard,
-    data: &SnapshotData,
+    base: &SnapshotData,
+    as_of: Option<u32>,
     sections: &[Section],
     options: &AnalysisOptions,
     cancel: &CancelToken,
 ) -> String {
+    // Time-travel: swap in the day-`as_of` dataset. Resolution happens
+    // here, on the executor worker, so a cold replay is covered by the
+    // request timeout and cancellable like any other heavy work.
+    let day_data: Arc<SnapshotData>;
+    let data: &SnapshotData = match as_of {
+        None => base,
+        Some(day) => {
+            let Some(temporal) = shard.temporal() else {
+                return error_reply(&VnetError::InvalidInput(format!(
+                    "snapshot '{}' has no churn timeline; register it with churn_days to use as_of",
+                    shard.name,
+                )));
+            };
+            match temporal.day_data(day, base) {
+                Ok((resolved, materialized)) => {
+                    if materialized {
+                        shared.stats.telemetry.inc(shared.stats.asof_materializations);
+                    }
+                    day_data = resolved;
+                    &day_data
+                }
+                Err(e) => return error_reply(&e),
+            }
+        }
+    };
     let opts_fp = options.fingerprint();
     let mut parts = Vec::with_capacity(sections.len());
     for &section in sections {
@@ -585,7 +710,8 @@ fn compute_reply(
                 millis: shared.config.request_timeout_millis,
             });
         }
-        let key = CacheKey { dataset: data.fingerprint, options: opts_fp, section };
+        let key =
+            CacheKey { dataset: data.fingerprint, options: opts_fp, section, day: as_of };
         let entry = match section_bytes(shared, shard, data, key, options) {
             Ok(entry) => entry,
             Err(error_reply) => return error_reply,
@@ -597,9 +723,12 @@ fn compute_reply(
             entry.payload_json,
         ));
     }
+    let as_of_field =
+        as_of.map(|day| format!(",\"as_of\":{day}")).unwrap_or_default();
     format!(
-        "{{\"ok\":true,\"snapshot\":{},\"dataset_fingerprint\":{},\"options_fingerprint\":{},\"sections\":[{}]}}",
+        "{{\"ok\":true,\"snapshot\":{}{},\"dataset_fingerprint\":{},\"options_fingerprint\":{},\"sections\":[{}]}}",
         json_str(&shard.name),
+        as_of_field,
         data.fingerprint,
         opts_fp,
         parts.join(","),
@@ -610,8 +739,37 @@ fn compute_reply(
 /// (golden-tested in `tests/tests/serve_shards.rs`).
 fn shard_status_json(shard: &Shard) -> String {
     let (queued, running) = shard.executor.in_flight();
+    // Snapshots registered without churn keep the exact pre-temporal
+    // bytes; with churn the shard object grows a `temporal` block with
+    // the structural-PELT shifts the timeline detected.
+    let temporal = shard
+        .temporal()
+        .map(|state| {
+            let shifts: Vec<String> = state
+                .timeline
+                .shifts()
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{{\"metric\":{},\"day\":{},\"before_mean\":{:?},\"after_mean\":{:?}}}",
+                        json_str(s.metric),
+                        s.day,
+                        s.before_mean,
+                        s.after_mean,
+                    )
+                })
+                .collect();
+            format!(
+                ",\"temporal\":{{\"days\":{},\"seed\":{},\"checkpoints\":{},\"shifts\":[{}]}}",
+                state.timeline.days(),
+                state.seed,
+                state.timeline.checkpoint_count(),
+                shifts.join(","),
+            )
+        })
+        .unwrap_or_default();
     format!(
-        "{{\"snapshot\":{},\"fingerprint\":{},\"workers\":{},\"queued\":{},\"running\":{},\"open_flights\":{},\"cache_entries\":{}}}",
+        "{{\"snapshot\":{},\"fingerprint\":{},\"workers\":{},\"queued\":{},\"running\":{},\"open_flights\":{},\"cache_entries\":{}{}}}",
         json_str(&shard.name),
         shard.data().fingerprint,
         shard.executor.workers(),
@@ -619,6 +777,7 @@ fn shard_status_json(shard: &Shard) -> String {
         running,
         shard.flights.open_count(),
         shard.cache.lock().expect("cache lock").len(),
+        temporal,
     )
 }
 

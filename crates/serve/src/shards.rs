@@ -19,13 +19,19 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
-use verified_net::Dataset;
+use verified_net::{Dataset, VnetError};
 use vnet_obs::Obs;
+use vnet_temporal::Timeline;
 
 use crate::cache::ResultCache;
 use crate::executor::{Executor, ExecutorTelemetry};
 use crate::flight::FlightMap;
 use crate::stats::{ServeStats, ShardStats};
+
+/// Materialized day-graphs kept hot per temporal shard. Small on purpose:
+/// each entry is a full CSR + profiles clone; the section cache above it
+/// is what absorbs repeat traffic.
+const DAY_CACHE_CAPACITY: usize = 4;
 
 /// Per-shard resource bounds, fixed at registration.
 #[derive(Debug, Clone, Copy)]
@@ -44,10 +50,78 @@ pub(crate) struct SnapshotData {
     pub(crate) fingerprint: u64,
 }
 
+/// The temporal side of a shard: the churn [`Timeline`] built at
+/// registration plus a tiny LRU of materialized day-datasets. Present only
+/// when the snapshot was registered with `churn_days`.
+pub(crate) struct TemporalState {
+    pub(crate) timeline: Timeline,
+    /// Churn master seed (reported in `status`).
+    pub(crate) seed: u64,
+    day_cache: Mutex<Vec<(u32, Arc<SnapshotData>, u64)>>,
+    day_clock: Mutex<u64>,
+}
+
+impl TemporalState {
+    pub(crate) fn new(timeline: Timeline, seed: u64) -> Self {
+        Self { timeline, seed, day_cache: Mutex::new(Vec::new()), day_clock: Mutex::new(0) }
+    }
+
+    /// The dataset as of end of churn `day`: the base snapshot with its
+    /// graph replaced by the timeline's materialization. Returns the data
+    /// plus whether a fresh materialization was required (`true` = the
+    /// day-cache missed and a replay ran).
+    pub(crate) fn day_data(
+        &self,
+        day: u32,
+        base: &SnapshotData,
+    ) -> Result<(Arc<SnapshotData>, bool), VnetError> {
+        let tick = {
+            let mut clock = self.day_clock.lock().expect("day clock lock");
+            *clock += 1;
+            *clock
+        };
+        {
+            let mut cache = self.day_cache.lock().expect("day cache lock");
+            if let Some(entry) = cache.iter_mut().find(|(d, _, _)| *d == day) {
+                entry.2 = tick;
+                return Ok((Arc::clone(&entry.1), false));
+            }
+        }
+        // Materialize outside the cache lock: replays take milliseconds
+        // and concurrent requests for *different* days shouldn't serialize.
+        let graph = self
+            .timeline
+            .graph_as_of(day)
+            .map_err(VnetError::InvalidInput)?;
+        let dataset = Dataset { graph, ..base.dataset.clone() };
+        let fingerprint = dataset.fingerprint();
+        let data = Arc::new(SnapshotData { dataset, fingerprint });
+        let mut cache = self.day_cache.lock().expect("day cache lock");
+        if let Some(entry) = cache.iter_mut().find(|(d, _, _)| *d == day) {
+            // A concurrent materialization of the same day won the race;
+            // serve its copy so all readers share one allocation.
+            entry.2 = tick;
+            return Ok((Arc::clone(&entry.1), true));
+        }
+        cache.push((day, Arc::clone(&data), tick));
+        if cache.len() > DAY_CACHE_CAPACITY {
+            let oldest = cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(i, _)| i)
+                .expect("non-empty over capacity");
+            cache.swap_remove(oldest);
+        }
+        Ok((data, true))
+    }
+}
+
 /// One snapshot's serving resources.
 pub(crate) struct Shard {
     pub(crate) name: String,
     data: Mutex<Arc<SnapshotData>>,
+    temporal: Mutex<Option<Arc<TemporalState>>>,
     pub(crate) executor: Executor,
     pub(crate) cache: Mutex<ResultCache>,
     pub(crate) flights: Arc<FlightMap>,
@@ -69,6 +143,7 @@ impl Shard {
         Self {
             name: name.to_string(),
             data: Mutex::new(Arc::new(SnapshotData { dataset, fingerprint })),
+            temporal: Mutex::new(None),
             executor: Executor::new(limits.workers, limits.queue_depth, obs, name, exec_telemetry),
             cache: Mutex::new(ResultCache::new(limits.cache_capacity)),
             flights: Arc::new(FlightMap::new()),
@@ -87,6 +162,15 @@ impl Shard {
         *self.data.lock().expect("shard data lock") =
             Arc::new(SnapshotData { dataset, fingerprint });
         fingerprint
+    }
+
+    /// The shard's temporal state, when it was registered with churn.
+    pub(crate) fn temporal(&self) -> Option<Arc<TemporalState>> {
+        self.temporal.lock().expect("shard temporal lock").clone()
+    }
+
+    fn set_temporal(&self, state: Option<TemporalState>) {
+        *self.temporal.lock().expect("shard temporal lock") = state.map(Arc::new);
     }
 }
 
@@ -109,15 +193,19 @@ impl ShardRegistry {
         &self,
         name: &str,
         dataset: Dataset,
+        temporal: Option<TemporalState>,
         limits: ShardLimits,
         obs: &Arc<Obs>,
         stats: &ServeStats,
     ) -> u64 {
         let mut shards = self.shards.lock().expect("shard registry lock");
         if let Some(shard) = shards.get(name) {
-            return shard.swap_data(dataset);
+            let fingerprint = shard.swap_data(dataset);
+            shard.set_temporal(temporal);
+            return fingerprint;
         }
         let shard = Arc::new(Shard::new(name, dataset, limits, Arc::clone(obs), stats));
+        shard.set_temporal(temporal);
         let fingerprint = shard.data().fingerprint;
         shards.insert(name.to_string(), Arc::clone(&shard));
         obs.set_counter("serve.snapshots", &[], shards.len() as u64);
@@ -163,7 +251,7 @@ mod tests {
         let obs = Arc::new(Obs::new());
         let stats = stats();
         let ds = dataset();
-        let fp = registry.register("a", ds.clone(), LIMITS, &obs, &stats);
+        let fp = registry.register("a", ds.clone(), None, LIMITS, &obs, &stats);
         assert_eq!(fp, ds.fingerprint());
         assert_eq!(registry.names(), vec!["a".to_string()]);
         let shard = registry.get("a").expect("shard exists");
@@ -175,13 +263,14 @@ mod tests {
                 dataset: fp,
                 options: 1,
                 section: verified_net::Section::Basic,
+                day: None,
             },
             Arc::new(crate::cache::CachedSection {
                 payload_json: "{}".to_string(),
                 fingerprint: 0,
             }),
         );
-        let fp2 = registry.register("a", ds.clone(), LIMITS, &obs, &stats);
+        let fp2 = registry.register("a", ds.clone(), None, LIMITS, &obs, &stats);
         assert_eq!(fp2, fp);
         let again = registry.get("a").expect("shard exists");
         assert!(Arc::ptr_eq(&shard, &again), "re-register rebuilt the shard");
@@ -198,8 +287,8 @@ mod tests {
         let obs = Arc::new(Obs::new());
         let stats = stats();
         let ds = dataset();
-        registry.register("a", ds.clone(), LIMITS, &obs, &stats);
-        registry.register("b", ds, LIMITS, &obs, &stats);
+        registry.register("a", ds.clone(), None, LIMITS, &obs, &stats);
+        registry.register("b", ds, None, LIMITS, &obs, &stats);
         assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
         let a = registry.get("a").expect("a");
         let b = registry.get("b").expect("b");

@@ -62,6 +62,12 @@ pub(crate) struct ServeStats {
     pub(crate) rejected_queue_full: CounterId,
     /// `cache.hits` (global).
     pub(crate) cache_hits: CounterId,
+    /// `serve.asof_cache_hits` — section-cache hits served for an
+    /// `as_of` (time-travel) request; the delta-aware cache's win metric.
+    pub(crate) asof_cache_hits: CounterId,
+    /// `serve.asof_materializations` — day graphs actually replayed and
+    /// materialized (the cost the day cache and section cache amortize).
+    pub(crate) asof_materializations: CounterId,
     /// `serve.coalesced` (global).
     pub(crate) coalesced: CounterId,
     /// `serve.retry_after_ms` — decade buckets, matching the registry's
@@ -91,6 +97,8 @@ impl ServeStats {
                 .counter("serve.rejected", &[("reason", "rate_limited")]),
             rejected_queue_full: telemetry.counter("serve.rejected", &[("reason", "queue_full")]),
             cache_hits: telemetry.counter("cache.hits", &[]),
+            asof_cache_hits: telemetry.counter("serve.asof_cache_hits", &[]),
+            asof_materializations: telemetry.counter("serve.asof_materializations", &[]),
             coalesced: telemetry.counter("serve.coalesced", &[]),
             retry_after_ms: telemetry.histogram("serve.retry_after_ms", &[], &DEFAULT_BUCKETS),
             stage_framing: stage("framing"),

@@ -56,38 +56,6 @@ pub struct LanczosStats {
     pub restarts: u64,
 }
 
-/// Serial Lanczos plus its work counters.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `lanczos_topk(op, k, steps, rng, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn lanczos_topk_counted<R: Rng + ?Sized>(
-    op: &SymLaplacian,
-    k: usize,
-    steps: usize,
-    rng: &mut R,
-) -> (Vec<f64>, LanczosStats) {
-    let (ev, stats, _) =
-        lanczos_topk_impl(op, k, steps, rng, &ParPool::serial(), &vnet_ctx::ScratchArena::new());
-    (ev, stats)
-}
-
-/// Lanczos against an explicit pool, returning work counters and fork-join
-/// stats.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `lanczos_topk(op, k, steps, rng, &AnalysisCtx)`; see docs/API.md"
-)]
-pub fn lanczos_topk_pool<R: Rng + ?Sized>(
-    op: &SymLaplacian,
-    k: usize,
-    steps: usize,
-    rng: &mut R,
-    pool: &ParPool,
-) -> (Vec<f64>, LanczosStats, ParStats) {
-    lanczos_topk_impl(op, k, steps, rng, pool, &vnet_ctx::ScratchArena::new())
-}
-
 fn lanczos_topk_impl<R: Rng + ?Sized>(
     op: &SymLaplacian,
     k: usize,

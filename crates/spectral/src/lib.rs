@@ -26,7 +26,5 @@ pub mod power;
 pub mod tridiag;
 
 pub use lanczos::{lanczos_topk, LanczosStats};
-#[allow(deprecated)]
-pub use lanczos::{lanczos_topk_counted, lanczos_topk_pool};
 pub use laplacian::SymLaplacian;
 pub use power::power_iteration_topk;

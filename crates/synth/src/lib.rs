@@ -22,8 +22,15 @@
 //! directed Erdős–Rényi, the directed configuration model, and directed
 //! preferential attachment (a whole-Twitter-like null model).
 
+//! The temporal scenario starts here too: [`churn`] layers a seeded,
+//! checkpointable stream of daily follows/unfollows/new-verifications on
+//! any starting graph — `vnet-temporal` consumes it to evolve the CSR
+//! snapshot incrementally.
+
 pub mod baselines;
+pub mod churn;
 pub mod verified_model;
 
 pub use baselines::{directed_configuration_model, erdos_renyi_directed, preferential_attachment_directed};
+pub use churn::{ChurnBatch, ChurnConfig, ChurnEvent, ChurnRole, ChurnStream};
 pub use verified_model::{NodeRole, VerifiedNetConfig, VerifiedNetwork};

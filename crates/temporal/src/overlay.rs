@@ -1,0 +1,384 @@
+//! Delta overlay over an immutable CSR base graph.
+//!
+//! The CSR layout ([`DiGraph`]) is the right structure for the read-heavy
+//! analysis kernels, but it is frozen at build time. Daily churn (a few
+//! thousand edge flips against hundreds of thousands of edges) does not
+//! justify rebuilding the whole CSR; it justifies an *overlay*: per-node
+//! sorted add/delete lists layered over an `Arc`'d base, with merged
+//! iteration that visits the live neighbor set in exactly the ascending
+//! order a materialized CSR would. That ordering guarantee is what makes
+//! incremental floating-point kernels bit-identical to from-scratch runs —
+//! summation order is the CSR order either way.
+//!
+//! When the overlay grows past taste, [`DeltaOverlay::compact`] folds it
+//! into a fresh CSR through [`StreamingBuilder`] (same two-pass protocol
+//! the bulk loaders use) and resets the deltas.
+
+use std::sync::Arc;
+
+use vnet_graph::streaming::{StreamStats, StreamingBuilder};
+use vnet_graph::{DiGraph, NodeId};
+
+/// A mutable edge-set view: an immutable CSR base plus sorted per-node
+/// add/delete lists, in both edge directions.
+///
+/// Invariants, maintained by [`insert`](DeltaOverlay::insert) /
+/// [`remove`](DeltaOverlay::remove):
+///
+/// * add lists are disjoint from the live base (an edge present in the base
+///   and not deleted is never also in an add list);
+/// * delete lists are subsets of the base edge set;
+/// * forward (`out`) and reverse (`in`) lists always describe the same edge
+///   set; every list is sorted ascending.
+#[derive(Debug, Clone)]
+pub struct DeltaOverlay {
+    base: Arc<DiGraph>,
+    add_out: Vec<Vec<NodeId>>,
+    del_out: Vec<Vec<NodeId>>,
+    add_in: Vec<Vec<NodeId>>,
+    del_in: Vec<Vec<NodeId>>,
+    edges: u64,
+    /// Live delta entries (forward lists only): adds + pending deletes.
+    delta_edges: u64,
+}
+
+impl DeltaOverlay {
+    /// An overlay with no pending deltas over `base`.
+    pub fn new(base: Arc<DiGraph>) -> Self {
+        let n = base.node_count();
+        let edges = base.edge_count() as u64;
+        Self {
+            base,
+            add_out: vec![Vec::new(); n],
+            del_out: vec![Vec::new(); n],
+            add_in: vec![Vec::new(); n],
+            del_in: vec![Vec::new(); n],
+            edges,
+            delta_edges: 0,
+        }
+    }
+
+    /// Number of nodes (fixed by the base; verifications re-use pre-sized
+    /// dormant nodes, so churn never grows the node set mid-epoch).
+    pub fn node_count(&self) -> usize {
+        self.base.node_count()
+    }
+
+    /// Live directed edge count (base − deletes + adds).
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Number of live delta entries; the compaction policy's input.
+    pub fn delta_edges(&self) -> u64 {
+        self.delta_edges
+    }
+
+    /// The immutable base snapshot.
+    pub fn base(&self) -> &Arc<DiGraph> {
+        &self.base
+    }
+
+    /// Live out-degree of `u`.
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.base.out_degree(u as NodeId) - self.del_out[u].len() + self.add_out[u].len()
+    }
+
+    /// Live in-degree of `u`.
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.base.in_degree(u as NodeId) - self.del_in[u].len() + self.add_in[u].len()
+    }
+
+    /// Whether the live edge `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let ui = u as usize;
+        if self.add_out[ui].binary_search(&v).is_ok() {
+            return true;
+        }
+        if self.del_out[ui].binary_search(&v).is_ok() {
+            return false;
+        }
+        self.base.has_edge(u, v)
+    }
+
+    /// Live out-neighbors of `u`, ascending — exactly the sequence a
+    /// materialized CSR would store.
+    pub fn out_neighbors(&self, u: NodeId) -> MergedNeighbors<'_> {
+        let ui = u as usize;
+        MergedNeighbors::new(self.base.out_neighbors(u), &self.del_out[ui], &self.add_out[ui])
+    }
+
+    /// Live in-neighbors of `u`, ascending.
+    pub fn in_neighbors(&self, u: NodeId) -> MergedNeighbors<'_> {
+        let ui = u as usize;
+        MergedNeighbors::new(self.base.in_neighbors(u), &self.del_in[ui], &self.add_in[ui])
+    }
+
+    /// Insert edge `u → v`. Returns `false` (no-op) if the edge already
+    /// exists or `u == v`.
+    pub fn insert(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        let (ui, vi) = (u as usize, v as usize);
+        if let Ok(pos) = self.del_out[ui].binary_search(&v) {
+            // Re-adding a base edge that was deleted: cancel the tombstone.
+            self.del_out[ui].remove(pos);
+            let rpos = self.del_in[vi]
+                .binary_search(&u)
+                .expect("overlay invariant: del_in mirrors del_out");
+            self.del_in[vi].remove(rpos);
+            self.delta_edges -= 1;
+        } else {
+            let pos = self.add_out[ui]
+                .binary_search(&v)
+                .expect_err("has_edge ruled the edge out of add_out");
+            self.add_out[ui].insert(pos, v);
+            let rpos = self.add_in[vi]
+                .binary_search(&u)
+                .expect_err("overlay invariant: add_in mirrors add_out");
+            self.add_in[vi].insert(rpos, u);
+            self.delta_edges += 1;
+        }
+        self.edges += 1;
+        true
+    }
+
+    /// Remove edge `u → v`. Returns `false` (no-op) if the edge is absent.
+    pub fn remove(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.has_edge(u, v) {
+            return false;
+        }
+        let (ui, vi) = (u as usize, v as usize);
+        if let Ok(pos) = self.add_out[ui].binary_search(&v) {
+            // Removing an overlay-added edge: drop it from the add lists.
+            self.add_out[ui].remove(pos);
+            let rpos = self.add_in[vi]
+                .binary_search(&u)
+                .expect("overlay invariant: add_in mirrors add_out");
+            self.add_in[vi].remove(rpos);
+            self.delta_edges -= 1;
+        } else {
+            // Removing a base edge: tombstone it.
+            let pos = self.del_out[ui]
+                .binary_search(&v)
+                .expect_err("a live base edge cannot already be tombstoned");
+            self.del_out[ui].insert(pos, v);
+            let rpos = self.del_in[vi]
+                .binary_search(&u)
+                .expect_err("overlay invariant: del_in mirrors del_out");
+            self.del_in[vi].insert(rpos, u);
+            self.delta_edges += 1;
+        }
+        self.edges -= 1;
+        true
+    }
+
+    /// Materialize the live edge set as a fresh CSR graph via the streaming
+    /// two-pass protocol. The overlay is unchanged.
+    pub fn materialize(&self) -> (DiGraph, StreamStats) {
+        let n = self.node_count() as u32;
+        let mut b = StreamingBuilder::new(n);
+        for u in 0..n {
+            for v in self.out_neighbors(u) {
+                b.count(u, v).expect("overlay edge within bounds");
+            }
+        }
+        b.seal_degrees().expect("seal after counting");
+        for u in 0..n {
+            for v in self.out_neighbors(u) {
+                b.place(u, v).expect("placement matches count");
+            }
+        }
+        b.finish().expect("placement complete")
+    }
+
+    /// Fold the deltas into a new base CSR and clear them. Returns the
+    /// builder stats of the materialization pass.
+    pub fn compact(&mut self) -> StreamStats {
+        let (graph, stats) = self.materialize();
+        self.base = Arc::new(graph);
+        for list in self
+            .add_out
+            .iter_mut()
+            .chain(self.del_out.iter_mut())
+            .chain(self.add_in.iter_mut())
+            .chain(self.del_in.iter_mut())
+        {
+            list.clear();
+        }
+        self.delta_edges = 0;
+        stats
+    }
+}
+
+/// Iterator over a node's live neighbors: the base slice minus tombstones,
+/// merged with the add list, ascending.
+#[derive(Debug, Clone)]
+pub struct MergedNeighbors<'a> {
+    base: &'a [NodeId],
+    dels: &'a [NodeId],
+    adds: &'a [NodeId],
+    bi: usize,
+    di: usize,
+    ai: usize,
+}
+
+impl<'a> MergedNeighbors<'a> {
+    fn new(base: &'a [NodeId], dels: &'a [NodeId], adds: &'a [NodeId]) -> Self {
+        Self { base, dels, adds, bi: 0, di: 0, ai: 0 }
+    }
+
+    /// Skip base entries cancelled by the delete list. Both sequences are
+    /// sorted and `dels ⊆ base`, so a single forward sweep suffices.
+    fn skip_deleted(&mut self) {
+        while self.bi < self.base.len() && self.di < self.dels.len() {
+            match self.dels[self.di].cmp(&self.base[self.bi]) {
+                std::cmp::Ordering::Less => self.di += 1,
+                std::cmp::Ordering::Equal => {
+                    self.di += 1;
+                    self.bi += 1;
+                }
+                std::cmp::Ordering::Greater => break,
+            }
+        }
+    }
+}
+
+impl Iterator for MergedNeighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.skip_deleted();
+        let b = self.base.get(self.bi).copied();
+        let a = self.adds.get(self.ai).copied();
+        match (b, a) {
+            (None, None) => None,
+            (Some(x), None) => {
+                self.bi += 1;
+                Some(x)
+            }
+            (None, Some(y)) => {
+                self.ai += 1;
+                Some(y)
+            }
+            // Adds are disjoint from the live base, so x == y cannot occur;
+            // strict comparison keeps the merge total anyway.
+            (Some(x), Some(y)) => {
+                if x <= y {
+                    self.bi += 1;
+                    if x == y {
+                        self.ai += 1;
+                    }
+                    Some(x)
+                } else {
+                    self.ai += 1;
+                    Some(y)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+    use vnet_graph::builder::from_edges;
+
+    fn sample_base() -> Arc<DiGraph> {
+        Arc::new(
+            from_edges(6, &[(0, 1), (0, 3), (1, 0), (2, 4), (3, 1), (4, 2), (5, 0)]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_against_mirror() {
+        let base = sample_base();
+        let mut mirror: BTreeSet<(NodeId, NodeId)> = base
+            .edges()
+            .collect();
+        let mut ov = DeltaOverlay::new(Arc::clone(&base));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let u = rng.random_range(0..6u32);
+            let v = rng.random_range(0..6u32);
+            if rng.random_bool(0.5) {
+                let did = ov.insert(u, v);
+                assert_eq!(did, u != v && mirror.insert((u, v)), "insert ({u},{v})");
+                if u == v {
+                    mirror.remove(&(u, v));
+                }
+            } else {
+                let did = ov.remove(u, v);
+                assert_eq!(did, mirror.remove(&(u, v)), "remove ({u},{v})");
+            }
+            assert_eq!(ov.edge_count(), mirror.len() as u64);
+        }
+        // Full structural agreement at the end.
+        for u in 0..6u32 {
+            let got: Vec<NodeId> = ov.out_neighbors(u).collect();
+            let want: Vec<NodeId> =
+                mirror.iter().filter(|(a, _)| *a == u).map(|&(_, b)| b).collect();
+            assert_eq!(got, want, "out({u})");
+            let got_in: Vec<NodeId> = ov.in_neighbors(u).collect();
+            let want_in: Vec<NodeId> =
+                mirror.iter().filter(|(_, b)| *b == u).map(|&(a, _)| a).collect();
+            assert_eq!(got_in, want_in, "in({u})");
+            assert_eq!(ov.out_degree(u), got.len());
+            assert_eq!(ov.in_degree(u), got_in.len());
+        }
+    }
+
+    #[test]
+    fn materialize_matches_overlay_iteration() {
+        let base = sample_base();
+        let mut ov = DeltaOverlay::new(base);
+        ov.insert(0, 5);
+        ov.remove(0, 1);
+        ov.insert(2, 3);
+        ov.remove(4, 2);
+        ov.insert(4, 2); // delete then re-add cancels the tombstone
+        let (g, stats) = ov.materialize();
+        assert_eq!(stats.edges, ov.edge_count());
+        assert_eq!(g.edge_count() as u64, ov.edge_count());
+        for u in 0..g.node_count() as u32 {
+            let merged: Vec<NodeId> = ov.out_neighbors(u).collect();
+            assert_eq!(g.out_neighbors(u), merged.as_slice(), "node {u}");
+            let merged_in: Vec<NodeId> = ov.in_neighbors(u).collect();
+            assert_eq!(g.in_neighbors(u), merged_in.as_slice(), "in {u}");
+        }
+    }
+
+    #[test]
+    fn compact_preserves_the_edge_set_and_clears_deltas() {
+        let base = sample_base();
+        let mut ov = DeltaOverlay::new(base);
+        ov.insert(3, 5);
+        ov.remove(5, 0);
+        let before: Vec<Vec<NodeId>> =
+            (0..6u32).map(|u| ov.out_neighbors(u).collect()).collect();
+        assert!(ov.delta_edges() > 0);
+        ov.compact();
+        assert_eq!(ov.delta_edges(), 0);
+        let after: Vec<Vec<NodeId>> =
+            (0..6u32).map(|u| ov.out_neighbors(u).collect()).collect();
+        assert_eq!(before, after);
+        assert_eq!(ov.base().edge_count() as u64, ov.edge_count());
+    }
+
+    #[test]
+    fn readd_of_deleted_base_edge_cancels_the_tombstone() {
+        let base = sample_base();
+        let mut ov = DeltaOverlay::new(base);
+        assert!(ov.remove(0, 1));
+        assert_eq!(ov.delta_edges(), 1);
+        assert!(ov.insert(0, 1));
+        assert_eq!(ov.delta_edges(), 0, "tombstone cancelled, not stacked");
+        assert!(ov.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,176 @@
+//! Time-travel index: checkpoints + daily reports + regime shifts.
+//!
+//! `vnet-serve` registers a snapshot with a churn horizon ("evolve this
+//! graph for N days") and needs to answer `analyze?as_of=day` for any day
+//! in `0..=N`. A [`Timeline`] is built once at registration: it drives a
+//! [`TemporalEngine`] across the horizon, keeping
+//!
+//! * a churn-stream checkpoint every `checkpoint_stride` days (day 0
+//!   included) — the binary blobs `ChurnStream::checkpoint` emits;
+//! * the per-day [`TemporalDayReport`]s and structural series;
+//! * the PELT [`StructuralShift`]s over those series.
+//!
+//! `graph_as_of(d)` then resumes the nearest checkpoint ≤ `d`, replays the
+//! deterministic churn to `d`, and materializes a CSR snapshot — identical
+//! bytes to replaying from day 0, which the replay goldens pin.
+
+use vnet_ctx::AnalysisCtx;
+use vnet_graph::DiGraph;
+use vnet_synth::churn::ChurnStream;
+
+use crate::engine::{
+    structural_shifts, EngineConfig, StructuralSeries, StructuralShift, TemporalDayReport,
+    TemporalEngine,
+};
+
+/// Default PELT penalty for the structural series (daily cadence, gentle
+/// drift; chosen so single-day noise never splits a segment).
+pub const STRUCTURAL_PELT_PENALTY: f64 = 1.0;
+
+/// A fully-built temporal index over a churn horizon. Immutable once built;
+/// cheap to share behind an `Arc`.
+#[derive(Debug)]
+pub struct Timeline {
+    days: u32,
+    checkpoint_stride: u32,
+    reports: Vec<TemporalDayReport>,
+    series: StructuralSeries,
+    shifts: Vec<StructuralShift>,
+    /// `(day, churn checkpoint blob)`, ascending by day; always holds day 0.
+    checkpoints: Vec<(u32, Vec<u8>)>,
+}
+
+impl Timeline {
+    /// Drive `stream` (at day 0) for `days` days under `config`, storing a
+    /// checkpoint every `checkpoint_stride` days (minimum 1).
+    pub fn build(
+        stream: ChurnStream,
+        config: EngineConfig,
+        days: u32,
+        checkpoint_stride: u32,
+        ctx: &AnalysisCtx,
+    ) -> Self {
+        let stride = checkpoint_stride.max(1);
+        let mut engine = TemporalEngine::new(stream, config, ctx);
+        let mut checkpoints = vec![(0u32, engine.checkpoint())];
+        for d in 1..=days {
+            engine.advance_day(ctx);
+            if d % stride == 0 {
+                checkpoints.push((d, engine.checkpoint()));
+            }
+        }
+        let shifts = structural_shifts(engine.series(), STRUCTURAL_PELT_PENALTY);
+        let series = engine.series().clone();
+        let reports = engine.reports().to_vec();
+        Self { days, checkpoint_stride: stride, reports, series, shifts, checkpoints }
+    }
+
+    /// The churn horizon (largest valid `as_of` day).
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// Checkpoint cadence in days.
+    pub fn checkpoint_stride(&self) -> u32 {
+        self.checkpoint_stride
+    }
+
+    /// Number of stored checkpoints.
+    pub fn checkpoint_count(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Day report for `day` (panics when out of range — callers validate).
+    pub fn report(&self, day: u32) -> &TemporalDayReport {
+        &self.reports[day as usize]
+    }
+
+    /// All day reports, index = day.
+    pub fn reports(&self) -> &[TemporalDayReport] {
+        &self.reports
+    }
+
+    /// Structural metric series, index = day.
+    pub fn series(&self) -> &StructuralSeries {
+        &self.series
+    }
+
+    /// PELT regime shifts across the structural series.
+    pub fn shifts(&self) -> &[StructuralShift] {
+        &self.shifts
+    }
+
+    /// Days that must be replayed (from the nearest checkpoint) to reach
+    /// `day` — the materialization cost signal exported as a gauge.
+    pub fn replay_distance(&self, day: u32) -> u32 {
+        match self.nearest_checkpoint(day) {
+            Some((ck_day, _)) => day - ck_day,
+            None => day,
+        }
+    }
+
+    fn nearest_checkpoint(&self, day: u32) -> Option<&(u32, Vec<u8>)> {
+        self.checkpoints.iter().rev().find(|(d, _)| *d <= day)
+    }
+
+    /// Materialize the graph exactly as it stood at end of `day`: resume
+    /// the nearest checkpoint ≤ `day`, replay the deterministic churn
+    /// forward, snapshot. Errors when `day` exceeds the horizon.
+    pub fn graph_as_of(&self, day: u32) -> Result<DiGraph, String> {
+        if day > self.days {
+            return Err(format!("as_of day {day} beyond horizon {}", self.days));
+        }
+        let (_, blob) = self.nearest_checkpoint(day).expect("day-0 checkpoint always stored");
+        let mut stream = ChurnStream::resume(blob)?;
+        while stream.day() < day {
+            stream.next_day();
+        }
+        Ok(stream.snapshot_graph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use vnet_synth::churn::ChurnConfig;
+    use vnet_synth::{VerifiedNetConfig, VerifiedNetwork};
+
+    fn stream() -> ChurnStream {
+        let mut cfg = VerifiedNetConfig::small();
+        cfg.nodes = 400;
+        let mut rng = StdRng::seed_from_u64(0xAB);
+        let net = VerifiedNetwork::generate(&cfg, &mut rng);
+        ChurnStream::from_network(&net, ChurnConfig { seed: 21, ..ChurnConfig::default() })
+    }
+
+    fn quiet_config() -> EngineConfig {
+        EngineConfig { compact_every: 4, refit_every: 0, pagerank: None }
+    }
+
+    #[test]
+    fn as_of_equals_straight_replay_from_day_zero() {
+        let s = stream();
+        let timeline = Timeline::build(s.clone(), quiet_config(), 10, 3, &AnalysisCtx::quiet());
+        for day in [0u32, 1, 3, 5, 9, 10] {
+            let via_checkpoint = timeline.graph_as_of(day).expect("within horizon");
+            let mut replay = s.clone();
+            while replay.day() < day {
+                replay.next_day();
+            }
+            assert_eq!(via_checkpoint, replay.snapshot_graph(), "day {day}");
+        }
+    }
+
+    #[test]
+    fn beyond_horizon_is_an_error_and_distance_tracks_stride() {
+        let timeline = Timeline::build(stream(), quiet_config(), 9, 3, &AnalysisCtx::quiet());
+        assert!(timeline.graph_as_of(10).is_err());
+        assert_eq!(timeline.replay_distance(0), 0);
+        assert_eq!(timeline.replay_distance(3), 0, "exact checkpoint");
+        assert_eq!(timeline.replay_distance(5), 2);
+        assert_eq!(timeline.checkpoint_count(), 4); // days 0, 3, 6, 9
+        assert_eq!(timeline.reports().len(), 10);
+    }
+}

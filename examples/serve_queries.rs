@@ -1,7 +1,9 @@
 //! The analysis service end-to-end in one process: start a `vnet-serve`
 //! server on a loopback port, register a synthesized snapshot, and walk
 //! the wire protocol — status, a cold `analyze`, the byte-identical
-//! cached repeat, and a graceful shutdown — printing each exchange.
+//! cached repeat, a churn-registered snapshot with `as_of` time travel
+//! and a structural regime shock, and a graceful shutdown — printing
+//! each exchange.
 //!
 //! ```text
 //! cargo run --release -p vnet-examples --bin serve_queries
@@ -42,10 +44,10 @@ fn main() {
         reply
     };
 
-    req(r#"{"cmd":"status"}"#);
+    req(r#"{"v":1,"cmd":"status"}"#);
 
     let analyze =
-        r#"{"cmd":"analyze","snapshot":"demo","sections":["basic","reciprocity"],"options":{"seed":42}}"#;
+        r#"{"v":1,"cmd":"analyze","snapshot":"demo","sections":["basic","reciprocity"],"options":{"seed":42}}"#;
     let cold = req(analyze);
     let warm = req(analyze);
     println!(
@@ -53,17 +55,42 @@ fn main() {
         cold == warm
     );
 
-    let metrics = req(r#"{"cmd":"metrics"}"#);
+    // 3. Time travel: register a second snapshot with a churn timeline —
+    //    21 deterministic churn days with a 4x churn shock on day 10 —
+    //    then analyze the graph as it stood on specific days and read the
+    //    structural shifts the PELT detector found around the shock.
+    println!("registering 'evolving' with a 21-day churn timeline (shock on day 10) ...");
+    req(r#"{"v":1,"cmd":"register","name":"evolving","scale":"small","churn_days":21,"churn_seed":11,"churn_shock_day":10}"#);
+    for day in [1u32, 10, 21] {
+        let reply = req(&format!(
+            r#"{{"v":1,"cmd":"analyze","snapshot":"evolving","sections":["basic"],"as_of":{day}}}"#
+        ));
+        let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
+        println!(
+            "day {day}: dataset fingerprint {:016x}\n",
+            v["dataset_fingerprint"].as_u64().unwrap_or(0)
+        );
+    }
+    let status = req(r#"{"v":1,"cmd":"status","snapshot":"evolving"}"#);
+    let v: serde_json::Value = serde_json::from_str(&status).unwrap();
+    println!(
+        "structural shifts: {}\n",
+        serde_json::to_string(&v["shard"]["temporal"]["shifts"]).unwrap_or_default()
+    );
+
+    let metrics = req(r#"{"v":1,"cmd":"metrics"}"#);
     let v: serde_json::Value = serde_json::from_str(&metrics).unwrap();
     println!(
-        "cache counters: hits {} / misses {} / entries {}\n",
+        "cache counters: hits {} / misses {} / entries {} | as_of: hits {} / materializations {}\n",
         v["counters"]["cache.hits"].as_u64().unwrap_or(0),
         v["counters"]["cache.misses"].as_u64().unwrap_or(0),
         v["counters"]["cache.entries"].as_u64().unwrap_or(0),
+        v["counters"]["serve.asof_cache_hits"].as_u64().unwrap_or(0),
+        v["counters"]["serve.asof_materializations"].as_u64().unwrap_or(0),
     );
 
     // 3. Graceful shutdown: drains in-flight work, then stops accepting.
-    req(r#"{"cmd":"shutdown"}"#);
+    req(r#"{"v":1,"cmd":"shutdown"}"#);
     handle.join();
     println!("server drained and stopped.");
 }

@@ -7,10 +7,24 @@
 # recording time, and a single-core container can only show ~1.0x
 # speedups by construction.
 #
-#   scripts/bench_scale.sh            # records BENCH_par.json if missing
+# BENCH_temporal.json is recorded by the same run-if-missing rule: the
+# incremental-vs-scratch speedup of the temporal engine per churn day
+# (the bin exits nonzero on any incremental/scratch divergence, so a
+# recorded baseline is also a conformance witness).
+#
+#   scripts/bench_scale.sh            # records BENCH_par.json / BENCH_temporal.json if missing
 #   FORCE=1 scripts/bench_scale.sh    # re-record unconditionally
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+temporal_out="BENCH_temporal.json"
+if [[ -f "$temporal_out" && "${FORCE:-0}" != "1" ]]; then
+    echo "$temporal_out already recorded (FORCE=1 to re-record); skipping."
+else
+    echo "recording temporal incremental-vs-scratch sweep ..."
+    cargo run --release -q -p vnet-bench --bin temporal_bench -- \
+        --nodes 8000 --days 30 --seed 7 --threads 2 --out "$temporal_out"
+fi
 
 out="BENCH_par.json"
 if [[ -f "$out" && "${FORCE:-0}" != "1" ]]; then

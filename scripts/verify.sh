@@ -24,6 +24,13 @@
 #                             manifest-equivalence battery (including the
 #                             release-profile medium-tier golden header),
 #                             and the graph-scoped clippy wall
+#   scripts/verify.sh temporal
+#                             temporal lane: the vnet-temporal unit battery
+#                             (overlay/counter/dynamic-PageRank bit-identity),
+#                             the churn-replay + incremental-vs-scratch
+#                             integration battery, the as_of wire battery
+#                             (v1 envelope, deprecation note, churn oracle),
+#                             and the temporal-scoped clippy wall
 #   scripts/verify.sh serve-soak
 #                             soak lane: the deterministic in-process
 #                             open-loop soak test plus a small-rate
@@ -81,6 +88,14 @@ graph-scale)
     # the same no-unwrap wall as the serving hot path.
     cargo clippy -p vnet-graph --no-deps -- -D warnings -D clippy::unwrap_used
     ;;
+temporal)
+    cargo test -q -p vnet-temporal
+    cargo test -q -p vnet-integration-tests --test temporal_replay
+    cargo test -q -p vnet-integration-tests --test serve_asof
+    # The overlay/counter kernels back the serve as_of path; they hold
+    # the same no-unwrap wall as the rest of the request hot path.
+    cargo clippy -p vnet-temporal --no-deps -- -D warnings -D clippy::unwrap_used
+    ;;
 serve-soak)
     cargo test -q -p vnet-integration-tests --test serve_soak
     cargo run --release -q -p vnet-bench --bin serve_load -- --rate 400 --requests 1000 --seed 7
@@ -92,23 +107,29 @@ tier1)
 full)
     cargo build --release
     cargo test -q
+    "$0" temporal
     "$0" serve-soak
     "$0" obs-bench
     "$0" graph-scale
     cargo clippy --workspace -- -D warnings
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
-    # The 0.2 API contract: observed/plain function splits are dead.
-    # Deprecated *_observed shims live only in crates/core/src/compat.rs;
-    # any new one elsewhere in crates/ fails verification (docs/API.md).
-    if grep -rn --include='*.rs' -E 'pub fn [a-z_0-9]*_observed' crates/ |
-        grep -v 'crates/core/src/compat.rs'; then
-        echo "error: new *_observed public function outside compat.rs" >&2
+    # The 0.2 API contract: observed/plain function splits are dead and
+    # the one-release compat shims were deleted with the v1 envelope —
+    # no `#[deprecated]` item and no *_observed entrypoint may reappear
+    # anywhere in crates/ (docs/API.md keeps the migration table).
+    if grep -rn --include='*.rs' -E 'pub fn [a-z_0-9]*_observed' crates/; then
+        echo "error: new *_observed public function in crates/" >&2
         echo "       (use an AnalysisCtx parameter instead; see docs/API.md)" >&2
+        exit 1
+    fi
+    if grep -rn --include='*.rs' '#\[deprecated' crates/; then
+        echo "error: deprecated shim reintroduced in crates/" >&2
+        echo "       (delete the old name; see the migration table in docs/API.md)" >&2
         exit 1
     fi
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|obs|obs-bench|par|serve|graph-scale|serve-soak|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|obs-bench|par|serve|graph-scale|temporal|serve-soak|tier1|full]" >&2
     exit 2
     ;;
 esac

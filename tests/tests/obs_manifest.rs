@@ -165,62 +165,18 @@ fn observed_and_plain_drivers_agree() {
     assert_eq!(a, b, "observed driver changed analysis results");
 }
 
-/// API-migration golden: the deprecated `run_full_analysis_observed` shim
-/// must produce the same report *and* the same deterministic manifest as
-/// calling `run_analysis` with an explicitly constructed `AnalysisCtx` —
-/// callers can migrate without any golden churn.
+/// API-migration sentinel: the pre-0.2.0 `run_full_analysis_observed` /
+/// `Dataset::synthesize_observed` shims were removed with the v1 wire
+/// envelope (see the migration table in `docs/API.md`). The ctx
+/// entrypoints they forwarded to are golden-tested above; this guard
+/// keeps the old names from quietly reappearing in the public API.
 #[test]
-#[allow(deprecated)]
-fn deprecated_analysis_shims_leave_identical_traces() {
-    let ds = Dataset::build(&SynthesisConfig::small(), &AnalysisCtx::quiet());
-    let opts = AnalysisOptions::quick().to_builder().threads(2).bootstrap_reps(4).build();
-
-    let shim_obs = Obs::new();
-    let shim_report = verified_net::run_full_analysis_observed(&ds, &opts, &shim_obs);
-    let mut shim_manifest = shim_obs.manifest("migration", opts.seed);
-    shim_manifest.fingerprint_output("analysis.report", &shim_report);
-
-    let ctx_obs = Arc::new(Obs::new());
-    let ctx = AnalysisCtx::new(ParPool::new(opts.threads), Arc::clone(&ctx_obs));
-    let ctx_report = verified_net::run_analysis(&ds, &opts, &ctx);
-    let mut ctx_manifest = ctx_obs.manifest("migration", opts.seed);
-    ctx_manifest.fingerprint_output("analysis.report", &ctx_report);
-
-    assert_eq!(
-        serde_json::to_string(&shim_report).unwrap(),
-        serde_json::to_string(&ctx_report).unwrap(),
-        "shimmed report must be byte-identical to the ctx entrypoint"
-    );
-    assert_eq!(
-        shim_manifest.deterministic_json(),
-        ctx_manifest.deterministic_json(),
-        "shimmed manifest must be byte-identical to the ctx entrypoint"
-    );
-}
-
-/// Same golden for the synthesis family: `Dataset::synthesize_observed`
-/// and `Dataset::build` with an equivalent ctx leave identical traces and
-/// produce fingerprint-identical datasets.
-#[test]
-#[allow(deprecated)]
-fn deprecated_synthesize_shims_leave_identical_traces() {
-    let config = SynthesisConfig::small();
-
-    let shim_obs = Arc::new(Obs::new());
-    let shim_ds = Dataset::synthesize_observed(&config, &shim_obs);
-    let mut shim_manifest = shim_obs.manifest("migration", 0);
-    shim_manifest.fingerprint_output("dataset.summary", &shim_ds.summary());
-
-    let ctx_obs = Arc::new(Obs::new());
-    let ctx = AnalysisCtx::new(ParPool::serial(), Arc::clone(&ctx_obs));
-    let ctx_ds = Dataset::build(&config, &ctx);
-    let mut ctx_manifest = ctx_obs.manifest("migration", 0);
-    ctx_manifest.fingerprint_output("dataset.summary", &ctx_ds.summary());
-
-    assert_eq!(shim_ds.fingerprint(), ctx_ds.fingerprint());
-    assert_eq!(
-        shim_manifest.deterministic_json(),
-        ctx_manifest.deterministic_json(),
-        "shimmed synthesis manifest must match the ctx entrypoint"
-    );
+fn removed_compat_shims_stay_removed() {
+    let surface = include_str!("../../crates/core/src/lib.rs");
+    for gone in ["run_full_analysis", "synthesize_observed", "compat::"] {
+        assert!(
+            !surface.contains(&format!("pub use {gone}")) && !surface.contains("pub mod compat"),
+            "removed shim surface '{gone}' resurfaced in verified-net"
+        );
+    }
 }

@@ -186,7 +186,7 @@ fn prometheus_exposition_is_golden_for_a_quiescent_server() {
     // `write` stage samples for a reply are recorded only after that
     // reply is flushed, so this exposition cannot contain samples from
     // its own request — which is what makes its bytes pinnable.
-    let reply = c.req(r#"{"cmd":"metrics","format":"prom"}"#);
+    let reply = c.req(r#"{"v":1,"cmd":"metrics","format":"prom"}"#);
     let v: serde_json::Value = serde_json::from_str(&reply).expect("prom reply parses");
     assert_eq!(v["ok"].as_bool(), Some(true), "reply: {reply}");
     assert_eq!(v["format"].as_str(), Some("prom"));
@@ -203,15 +203,15 @@ serve_conn_active 1\n";
     // The shard-filtered exposition of an idle shard is empty: every
     // shard-labelled series is registered but untouched, and untouched
     // telemetry never materializes keys.
-    let reply = c.req(r#"{"cmd":"metrics","snapshot":"snap","format":"prom"}"#);
+    let reply = c.req(r#"{"v":1,"cmd":"metrics","snapshot":"snap","format":"prom"}"#);
     let v: serde_json::Value = serde_json::from_str(&reply).expect("shard prom parses");
     assert_eq!(v["body"].as_str(), Some(""), "idle shard exposition not empty: {reply}");
 
     // After one analyze, the global exposition carries the staged
     // latency histograms with consistent cumulative counts.
-    let analyze = c.req(r#"{"cmd":"analyze","snapshot":"snap","sections":["basic"]}"#);
+    let analyze = c.req(r#"{"v":1,"cmd":"analyze","snapshot":"snap","sections":["basic"]}"#);
     assert!(analyze.starts_with("{\"ok\":true"), "analyze failed: {analyze}");
-    let reply = c.req(r#"{"cmd":"metrics","format":"prom"}"#);
+    let reply = c.req(r#"{"v":1,"cmd":"metrics","format":"prom"}"#);
     let v: serde_json::Value = serde_json::from_str(&reply).expect("prom reply parses");
     let body = v["body"].as_str().expect("body is a string");
     for stage in ["admission", "queue", "execute"] {
@@ -245,7 +245,7 @@ fn watch_streams_at_least_three_delta_frames() {
     let addr = handle.local_addr();
 
     let mut watcher = Client::connect(addr);
-    watcher.send(r#"{"cmd":"watch","interval_ms":60,"frames":3}"#);
+    watcher.send(r#"{"v":1,"cmd":"watch","interval_ms":60,"frames":3}"#);
     let ack = watcher.recv();
     let v: serde_json::Value = serde_json::from_str(&ack).expect("watch ack parses");
     assert_eq!(v["watching"]["interval_ms"].as_u64(), Some(60), "ack: {ack}");
@@ -256,7 +256,7 @@ fn watch_streams_at_least_three_delta_frames() {
     let driver = std::thread::spawn(move || {
         let mut c = Client::connect(addr);
         for _ in 0..4 {
-            let reply = c.req(r#"{"cmd":"analyze","snapshot":"snap","sections":["basic"]}"#);
+            let reply = c.req(r#"{"v":1,"cmd":"analyze","snapshot":"snap","sections":["basic"]}"#);
             assert!(reply.starts_with("{\"ok\":true"), "driver analyze failed: {reply}");
             std::thread::sleep(Duration::from_millis(40));
         }
@@ -278,7 +278,7 @@ fn watch_streams_at_least_three_delta_frames() {
     assert!(saw_requests_delta, "no frame carried a serve.requests delta");
 
     // The session ends cleanly: the same connection keeps serving.
-    let status = watcher.req(r#"{"cmd":"status"}"#);
+    let status = watcher.req(r#"{"v":1,"cmd":"status"}"#);
     assert!(status.starts_with("{\"ok\":true"), "post-watch status failed: {status}");
     driver.join().expect("driver");
     handle.shutdown();
@@ -289,10 +289,10 @@ fn watch_streams_at_least_three_delta_frames() {
 fn watch_rejects_unknown_snapshots_and_bad_bounds() {
     let handle = Server::start(ServerConfig::default()).expect("bind loopback server");
     let mut c = Client::connect(handle.local_addr());
-    let reply = c.req(r#"{"cmd":"watch","snapshot":"ghost","frames":1}"#);
+    let reply = c.req(r#"{"v":1,"cmd":"watch","snapshot":"ghost","frames":1}"#);
     let v: serde_json::Value = serde_json::from_str(&reply).expect("reply parses");
     assert_eq!(v["error"]["code"].as_str(), Some("unknown_snapshot"), "{reply}");
-    let reply = c.req(r#"{"cmd":"watch","interval_ms":3}"#);
+    let reply = c.req(r#"{"v":1,"cmd":"watch","interval_ms":3}"#);
     let v: serde_json::Value = serde_json::from_str(&reply).expect("reply parses");
     assert_eq!(v["error"]["code"].as_str(), Some("bad_request"), "{reply}");
     handle.shutdown();
@@ -327,7 +327,7 @@ fn self_monitor_flags_an_injected_queue_regime_shift() {
     }
 
     let mut c = Client::connect(handle.local_addr());
-    let status = c.req(r#"{"cmd":"status"}"#);
+    let status = c.req(r#"{"v":1,"cmd":"status"}"#);
     let v: serde_json::Value = serde_json::from_str(&status).expect("status parses");
     assert_eq!(v["self_monitor"]["samples"].as_u64(), Some(60), "status: {status}");
     let alert = &v["self_monitor"]["alerts"][0];
@@ -347,7 +347,7 @@ fn self_monitor_flags_an_injected_queue_regime_shift() {
 fn status_without_monitor_carries_no_self_monitor_field() {
     let handle = Server::start(ServerConfig::default()).expect("bind loopback server");
     let mut c = Client::connect(handle.local_addr());
-    let status = c.req(r#"{"cmd":"status"}"#);
+    let status = c.req(r#"{"v":1,"cmd":"status"}"#);
     assert!(!status.contains("self_monitor"), "monitor-off status leaked the field: {status}");
     assert!(!handle.inject_monitor_sample(MonitorSample {
         queue_depth: 0.0,

@@ -169,7 +169,7 @@ fn golden_sequence() -> (String, String) {
     .expect("bind loopback server");
     handle.register_dataset("snap", dataset().clone());
     let mut c = Client::connect(handle.local_addr());
-    let analyze = r#"{"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"tenant-1"}"#;
+    let analyze = r#"{"v":1,"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"tenant-1"}"#;
 
     let first = c.req(analyze);
     assert!(first.starts_with("{\"ok\":true"), "first request must be admitted: {first}");
@@ -180,7 +180,7 @@ fn golden_sequence() -> (String, String) {
 
     // Another identity has its own bucket: still admitted mid-window.
     let other = c.req(
-        r#"{"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"tenant-2"}"#,
+        r#"{"v":1,"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"tenant-2"}"#,
     );
     assert!(other.starts_with("{\"ok\":true"), "other client must be admitted: {other}");
 
@@ -228,11 +228,11 @@ fn admission_metrics_account_for_every_analyze() {
     .expect("bind loopback server");
     handle.register_dataset("snap", dataset().clone());
     let mut c = Client::connect(handle.local_addr());
-    let analyze = r#"{"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"t"}"#;
+    let analyze = r#"{"v":1,"cmd":"analyze","snapshot":"snap","sections":["basic"],"client":"t"}"#;
     for _ in 0..5 {
         c.req(analyze);
     }
-    let metrics = c.req(r#"{"cmd":"metrics"}"#);
+    let metrics = c.req(r#"{"v":1,"cmd":"metrics"}"#);
     let v: serde_json::Value = serde_json::from_str(&metrics).expect("metrics parse");
     assert_eq!(v["counters"]["serve.admitted"].as_u64(), Some(2), "metrics: {metrics}");
     assert_eq!(
@@ -241,7 +241,7 @@ fn admission_metrics_account_for_every_analyze() {
         "metrics: {metrics}"
     );
     // The status report exposes how many admission buckets exist.
-    let status = c.req(r#"{"cmd":"status"}"#);
+    let status = c.req(r#"{"v":1,"cmd":"status"}"#);
     let v: serde_json::Value = serde_json::from_str(&status).expect("status parse");
     assert_eq!(v["admission_clients"].as_u64(), Some(1), "status: {status}");
     handle.shutdown();

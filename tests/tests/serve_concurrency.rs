@@ -106,7 +106,7 @@ fn concurrent_identical_requests_coalesce_to_one_computation() {
     let addr = handle.local_addr();
 
     let analyze =
-        r#"{"cmd":"analyze","snapshot":"s","sections":["centrality"],"options":{"seed":42}}"#;
+        r#"{"v":1,"cmd":"analyze","snapshot":"s","sections":["centrality"],"options":{"seed":42}}"#;
     let barrier = std::sync::Arc::new(Barrier::new(2));
     let clients: Vec<_> = (0..2)
         .map(|_| {
@@ -173,7 +173,7 @@ fn drain_under_load_is_lossless_and_event_driven() {
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr);
                 c.req(&format!(
-                    r#"{{"cmd":"analyze","snapshot":"s","sections":["centrality"],"options":{{"seed":{seed}}}}}"#
+                    r#"{{"v":1,"cmd":"analyze","snapshot":"s","sections":["centrality"],"options":{{"seed":{seed}}}}}"#
                 ))
             })
         })
@@ -182,7 +182,7 @@ fn drain_under_load_is_lossless_and_event_driven() {
     // `serve.requests` counts admissions cumulatively, so this terminates
     // even if some jobs already completed.
     while counter(&handle, "serve.requests") < 4 {
-        let status = observer.req(r#"{"cmd":"status"}"#);
+        let status = observer.req(r#"{"v":1,"cmd":"status"}"#);
         let v: serde_json::Value = serde_json::from_str(&status).expect("status parses");
         assert_eq!(v["ok"].as_bool(), Some(true), "status failed mid-admission: {status}");
     }
@@ -191,20 +191,20 @@ fn drain_under_load_is_lossless_and_event_driven() {
     // quiescence.
     let shutdown = std::thread::spawn(move || {
         let mut c = Client::connect(addr);
-        c.req(r#"{"cmd":"shutdown"}"#)
+        c.req(r#"{"v":1,"cmd":"shutdown"}"#)
     });
 
     // The observer watches the shutting_down flag flip, then gets refused:
     // the flag is set before the drain starts and never clears, so this
     // sequence is race-free regardless of how fast the drain finishes.
     loop {
-        let status = observer.req(r#"{"cmd":"status"}"#);
+        let status = observer.req(r#"{"v":1,"cmd":"status"}"#);
         let v: serde_json::Value = serde_json::from_str(&status).expect("status parses");
         if v["shutting_down"].as_bool() == Some(true) {
             break;
         }
     }
-    let refused = observer.req(r#"{"cmd":"analyze","snapshot":"s","sections":["basic"]}"#);
+    let refused = observer.req(r#"{"v":1,"cmd":"analyze","snapshot":"s","sections":["basic"]}"#);
     let v: serde_json::Value = serde_json::from_str(&refused).expect("refusal parses");
     assert_eq!(v["ok"].as_bool(), Some(false), "late request was admitted mid-drain");
     assert_eq!(v["error"]["code"].as_str(), Some("shutting_down"), "refusal: {refused}");

@@ -57,13 +57,13 @@ fn register_analyze_and_cache_hit_round_trip() {
     let mut c = Client::connect(handle.local_addr());
 
     // Status sees the snapshot.
-    let status = c.req(r#"{"cmd":"status"}"#);
+    let status = c.req(r#"{"v":1,"cmd":"status"}"#);
     let v: serde_json::Value = serde_json::from_str(&status).unwrap();
     assert_eq!(v["ok"].as_bool(), Some(true));
     assert_eq!(v["snapshots"][0].as_str(), Some("snap"));
 
     let analyze =
-        r#"{"cmd":"analyze","snapshot":"snap","sections":["reciprocity","separation"],"options":{"seed":99}}"#;
+        r#"{"v":1,"cmd":"analyze","snapshot":"snap","sections":["reciprocity","separation"],"options":{"seed":99}}"#;
     let cold = c.req(analyze);
     let v: serde_json::Value = serde_json::from_str(&cold).unwrap();
     assert_eq!(v["ok"].as_bool(), Some(true));
@@ -78,12 +78,12 @@ fn register_analyze_and_cache_hit_round_trip() {
     // A different thread count is the same cache key: options fingerprints
     // exclude `threads` because results are thread-count invariant.
     let threaded = c.req(
-        r#"{"cmd":"analyze","snapshot":"snap","sections":["reciprocity","separation"],"options":{"seed":99,"threads":4}}"#,
+        r#"{"v":1,"cmd":"analyze","snapshot":"snap","sections":["reciprocity","separation"],"options":{"seed":99,"threads":4}}"#,
     );
     assert_eq!(cold, threaded, "thread count leaked into the reply");
 
     // Counters prove the cache did the work: 2 cold misses, then 4 hits.
-    let metrics = c.req(r#"{"cmd":"metrics"}"#);
+    let metrics = c.req(r#"{"v":1,"cmd":"metrics"}"#);
     assert_eq!(counter(&metrics, "cache.misses"), 2, "metrics: {metrics}");
     assert_eq!(counter(&metrics, "cache.hits"), 4, "metrics: {metrics}");
     assert_eq!(counter(&metrics, "cache.entries"), 2, "metrics: {metrics}");
@@ -100,7 +100,7 @@ fn register_over_the_wire_from_a_saved_bundle() {
     let handle = start(ServerConfig::default());
     let mut c = Client::connect(handle.local_addr());
     let reply = c.req(&format!(
-        r#"{{"cmd":"register","name":"wire","dir":{}}}"#,
+        r#"{{"v":1,"cmd":"register","name":"wire","dir":{}}}"#,
         serde_json::to_string(&dir.display().to_string()).unwrap()
     ));
     let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
@@ -109,7 +109,7 @@ fn register_over_the_wire_from_a_saved_bundle() {
     assert_eq!(v["fingerprint"].as_u64(), Some(dataset().fingerprint()));
     assert_eq!(v["users"].as_u64(), Some(dataset().summary().users as u64));
 
-    let analyzed = c.req(r#"{"cmd":"analyze","snapshot":"wire","sections":["basic"]}"#);
+    let analyzed = c.req(r#"{"v":1,"cmd":"analyze","snapshot":"wire","sections":["basic"]}"#);
     let v: serde_json::Value = serde_json::from_str(&analyzed).unwrap();
     assert_eq!(v["ok"].as_bool(), Some(true));
     assert!(v["sections"][0]["payload"]["users"].as_u64().unwrap() > 2_000);
@@ -123,7 +123,7 @@ fn register_over_the_wire_from_a_saved_bundle() {
 fn cold_replies_match_across_independent_servers() {
     // Two fresh servers, no shared cache: the reply is a pure function of
     // (dataset, options, sections), so both cold computations agree.
-    let analyze = r#"{"cmd":"analyze","snapshot":"s","sections":["basic"],"options":{"seed":5}}"#;
+    let analyze = r#"{"v":1,"cmd":"analyze","snapshot":"s","sections":["basic"],"options":{"seed":5}}"#;
     let replies: Vec<String> = (0..2)
         .map(|_| {
             let handle = start(ServerConfig::default());
@@ -144,10 +144,10 @@ fn malformed_requests_get_structured_errors() {
     let mut c = Client::connect(handle.local_addr());
     for (line, code) in [
         ("this is not json", "bad_request"),
-        (r#"{"cmd":"dance"}"#, "bad_request"),
-        (r#"{"cmd":"register","name":"x"}"#, "bad_request"),
-        (r#"{"cmd":"analyze","snapshot":"x","sections":["nope"]}"#, "unknown_section"),
-        (r#"{"cmd":"analyze","snapshot":"ghost","sections":["basic"]}"#, "unknown_snapshot"),
+        (r#"{"v":1,"cmd":"dance"}"#, "bad_request"),
+        (r#"{"v":1,"cmd":"register","name":"x"}"#, "bad_request"),
+        (r#"{"v":1,"cmd":"analyze","snapshot":"x","sections":["nope"]}"#, "unknown_section"),
+        (r#"{"v":1,"cmd":"analyze","snapshot":"ghost","sections":["basic"]}"#, "unknown_snapshot"),
     ] {
         let reply = c.req(line);
         let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
@@ -156,7 +156,7 @@ fn malformed_requests_get_structured_errors() {
         assert!(!v["error"]["message"].as_str().unwrap_or("").is_empty());
     }
     // The connection survives every error: a good request still works.
-    let status = c.req(r#"{"cmd":"status"}"#);
+    let status = c.req(r#"{"v":1,"cmd":"status"}"#);
     assert!(status.contains("\"ok\":true"));
     handle.shutdown();
     handle.join();
@@ -170,7 +170,7 @@ fn queue_full_backpressure_reply() {
     let handle = start(config);
     handle.register_dataset("s", dataset().clone());
     let mut c = Client::connect(handle.local_addr());
-    let reply = c.req(r#"{"cmd":"analyze","snapshot":"s","sections":["basic"]}"#);
+    let reply = c.req(r#"{"v":1,"cmd":"analyze","snapshot":"s","sections":["basic"]}"#);
     let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
     assert_eq!(v["ok"].as_bool(), Some(false));
     assert_eq!(v["error"]["code"].as_str(), Some("queue_full"));
@@ -187,7 +187,7 @@ fn per_request_timeout_reply() {
     let handle = start(config);
     handle.register_dataset("s", dataset().clone());
     let mut c = Client::connect(handle.local_addr());
-    let reply = c.req(r#"{"cmd":"analyze","snapshot":"s","sections":["centrality"]}"#);
+    let reply = c.req(r#"{"v":1,"cmd":"analyze","snapshot":"s","sections":["centrality"]}"#);
     let v: serde_json::Value = serde_json::from_str(&reply).unwrap();
     assert_eq!(v["ok"].as_bool(), Some(false));
     assert_eq!(v["error"]["code"].as_str(), Some("timeout"));
@@ -205,12 +205,12 @@ fn graceful_shutdown_drains_in_flight_work() {
     // is still in flight. A must still get its full reply.
     let worker = std::thread::spawn(move || {
         let mut a = Client::connect(addr);
-        a.req(r#"{"cmd":"analyze","snapshot":"s","sections":["centrality"],"options":{"seed":3}}"#)
+        a.req(r#"{"v":1,"cmd":"analyze","snapshot":"s","sections":["centrality"],"options":{"seed":3}}"#)
     });
     // Give A a moment to be admitted before requesting shutdown.
     std::thread::sleep(std::time::Duration::from_millis(150));
     let mut b = Client::connect(addr);
-    let shutdown_reply = b.req(r#"{"cmd":"shutdown"}"#);
+    let shutdown_reply = b.req(r#"{"v":1,"cmd":"shutdown"}"#);
     let v: serde_json::Value = serde_json::from_str(&shutdown_reply).unwrap();
     assert_eq!(v["ok"].as_bool(), Some(true));
     assert_eq!(v["drained"].as_bool(), Some(true));

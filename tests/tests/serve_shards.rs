@@ -105,20 +105,20 @@ fn saturated_hot_shard_does_not_starve_the_cold_shard() {
 
     // … while the cold shard, saturated-neighbour notwithstanding, admits
     // and serves: this is the isolation property the registry exists for.
-    let served = c.req(r#"{"cmd":"analyze","snapshot":"cold","sections":["basic"]}"#);
+    let served = c.req(r#"{"v":1,"cmd":"analyze","snapshot":"cold","sections":["basic"]}"#);
     let v: serde_json::Value = serde_json::from_str(&served).expect("cold parse");
     assert_eq!(v["ok"].as_bool(), Some(true), "cold shard starved: {served}");
     assert_eq!(v["snapshot"].as_str(), Some("cold"));
 
     // Global status sees both shards and the hot backlog.
-    let status = c.req(r#"{"cmd":"status"}"#);
+    let status = c.req(r#"{"v":1,"cmd":"status"}"#);
     let v: serde_json::Value = serde_json::from_str(&status).expect("status parse");
     assert_eq!(v["snapshots"][0].as_str(), Some("cold"));
     assert_eq!(v["snapshots"][1].as_str(), Some("hot"));
     assert_eq!(v["shards"][0]["snapshot"].as_str(), Some("cold"));
 
     // The hot shard's metrics carry its refusal under its own label.
-    let metrics = c.req(r#"{"cmd":"metrics","snapshot":"hot"}"#);
+    let metrics = c.req(r#"{"v":1,"cmd":"metrics","snapshot":"hot"}"#);
     let v: serde_json::Value = serde_json::from_str(&metrics).expect("metrics parse");
     assert_eq!(
         v["counters"]["serve.rejected{reason=queue_full,shard=hot}"].as_u64(),
@@ -152,8 +152,8 @@ fn shard_targeted_status_is_golden() {
     for _ in 0..2 {
         let handle = quiescent_server();
         let mut c = Client::connect(handle.local_addr());
-        assert_eq!(c.req(r#"{"cmd":"status","snapshot":"snap"}"#), expected);
-        let unknown = c.req(r#"{"cmd":"status","snapshot":"ghost"}"#);
+        assert_eq!(c.req(r#"{"v":1,"cmd":"status","snapshot":"snap"}"#), expected);
+        let unknown = c.req(r#"{"v":1,"cmd":"status","snapshot":"ghost"}"#);
         let v: serde_json::Value = serde_json::from_str(&unknown).expect("unknown parse");
         assert_eq!(v["error"]["code"].as_str(), Some("unknown_snapshot"));
         handle.shutdown();
@@ -172,13 +172,13 @@ fn shard_filtered_metrics_are_golden_after_one_analyze() {
         handle.register_dataset("a", dataset().clone());
         handle.register_dataset("b", dataset().clone());
         let mut c = Client::connect(handle.local_addr());
-        let served = c.req(r#"{"cmd":"analyze","snapshot":"a","sections":["basic"],"options":{"seed":3}}"#);
+        let served = c.req(r#"{"v":1,"cmd":"analyze","snapshot":"a","sections":["basic"],"options":{"seed":3}}"#);
         assert!(served.starts_with("{\"ok\":true"), "analyze failed: {served}");
         // The worker publishes its reply before settling the running
         // gauge back to zero; poll briefly for the settled snapshot.
         let deadline = Instant::now() + Duration::from_secs(10);
         loop {
-            let metrics = c.req(r#"{"cmd":"metrics","snapshot":"a"}"#);
+            let metrics = c.req(r#"{"v":1,"cmd":"metrics","snapshot":"a"}"#);
             if metrics == expected {
                 break;
             }
@@ -189,9 +189,9 @@ fn shard_filtered_metrics_are_golden_after_one_analyze() {
             std::thread::sleep(Duration::from_millis(10));
         }
         // Shard b saw no traffic: its filtered view is empty.
-        let b = c.req(r#"{"cmd":"metrics","snapshot":"b"}"#);
+        let b = c.req(r#"{"v":1,"cmd":"metrics","snapshot":"b"}"#);
         assert_eq!(b, "{\"ok\":true,\"counters\":{},\"gauges\":{}}", "b leaked series: {b}");
-        let unknown = c.req(r#"{"cmd":"metrics","snapshot":"ghost"}"#);
+        let unknown = c.req(r#"{"v":1,"cmd":"metrics","snapshot":"ghost"}"#);
         let v: serde_json::Value = serde_json::from_str(&unknown).expect("unknown parse");
         assert_eq!(v["error"]["code"].as_str(), Some("unknown_snapshot"));
         handle.shutdown();

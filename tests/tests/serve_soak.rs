@@ -193,7 +193,7 @@ fn open_loop_soak_stays_faithful_and_drains_clean() {
         let conn = i % CONNS;
         senders[conn].send(Expect { snapshot, section, seed }).expect("reader alive");
         let request = format!(
-            "{{\"cmd\":\"analyze\",\"snapshot\":\"{}\",\"sections\":[\"{}\"],\"options\":{{\"seed\":{seed}}},\"client\":\"c{client}\"}}\n",
+            "{{\"v\":1,\"cmd\":\"analyze\",\"snapshot\":\"{}\",\"sections\":[\"{}\"],\"options\":{{\"seed\":{seed}}},\"client\":\"c{client}\"}}\n",
             SNAPSHOTS[snapshot],
             section.id(),
         );

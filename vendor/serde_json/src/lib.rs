@@ -412,6 +412,14 @@ impl Value {
     pub fn is_null(&self) -> bool {
         matches!(self.0, Content::Null)
     }
+
+    /// The object's keys in document order, if the value is an object.
+    pub fn keys(&self) -> Option<Vec<&str>> {
+        match &self.0 {
+            Content::Map(entries) => Some(entries.iter().map(|(k, _)| k.as_str()).collect()),
+            _ => None,
+        }
+    }
 }
 
 impl Deserialize for Value {
