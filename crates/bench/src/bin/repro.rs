@@ -48,14 +48,19 @@ use verified_net::experiments::{experiment, EXPERIMENTS};
 use verified_net::{deviations, run_analysis_section, Section, SectionReport};
 use verified_net::{AnalysisCtx, AnalysisOptions, Dataset};
 use verified_net::SynthesisConfig;
+use vnet_detect::{evaluate, run_detection, DetectConfig, DetectInput};
 use vnet_obs::{fingerprint_str, Obs, Reporter};
 use vnet_par::ParPool;
+use vnet_synth::{
+    inject_sybil, ChurnConfig, ChurnEvent, ChurnStream, SybilConfig, VerifiedNetConfig,
+    VerifiedNetwork,
+};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help") {
         eprintln!(
-            "usage: repro [--all | --exp <id> ... | --list] [--scale small|medium|default|paper] [--threads <n>] [--bootstrap-reps <n>] [--save <dir>] [--load <dir>] [--markdown <file>] [--manifest <file>]"
+            "usage: repro [--all | --exp <id> ... | --list] [--sybil] [--scale small|medium|default|paper] [--threads <n>] [--bootstrap-reps <n>] [--save <dir>] [--load <dir>] [--markdown <file>] [--manifest <file>]"
         );
         std::process::exit(2);
     }
@@ -80,10 +85,12 @@ fn main() {
     let mut manifest_out: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut bootstrap_reps: Option<usize> = None;
+    let mut sybil_run = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--all" => run_all = true,
+            "--sybil" => sybil_run = true,
             "--threads" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => threads = Some(n),
                 None => {
@@ -121,7 +128,7 @@ fn main() {
     } else {
         ids
     };
-    if ids.is_empty() {
+    if ids.is_empty() && !sybil_run {
         eprintln!("nothing to run; see --list");
         std::process::exit(2);
     }
@@ -223,6 +230,22 @@ fn main() {
             None => eprintln!("unknown experiment '{id}' (see --list)"),
         }
     }
+    if sybil_run {
+        // The adversarial block runs on its own fixed-seed workload (the
+        // same seeds as the `sybil_detection.rs` battery), independent of
+        // `--scale`: the manifest's `exp.sybil` fingerprint covers the
+        // exact suspicion ranking and P/R curve the verify lane asserts,
+        // so any drift in generator, scorers, or fusion shows up as one
+        // digest change.
+        let block = Reporter::capture();
+        {
+            let _span = obs.span("exp.sybil");
+            run_sybil_experiment(&block, &ctx);
+        }
+        let text = block.captured();
+        block_digests.push(("exp.sybil".to_string(), fingerprint_str(&text)));
+        print!("{text}");
+    }
 
     // Final OS high-water mark, after synthesis and every experiment: the
     // honest end-to-end memory figure. `_bytes` gauges are scrubbed from
@@ -245,6 +268,61 @@ fn main() {
     }
     rep.section("run manifest (deterministic view)");
     rep.line(manifest.deterministic_json());
+}
+
+/// The `--sybil` block: plant the calibrated fake-follower workload,
+/// ride its campaigns on a churn stream, run the three-scorer detection
+/// pipeline, and render the canonical ranking + P/R blocks (the bytes
+/// the `exp.sybil` manifest fingerprint covers).
+fn run_sybil_experiment(rep: &Reporter, ctx: &AnalysisCtx) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let sybil = SybilConfig::default();
+    rep.line("======================================================================");
+    rep.line("[sybil] adversarial workload — planted rings, purchased-follower bursts");
+    rep.line(format!(
+        "plant: {} rings x {} + {} bursts x {} = {} sybils (seed {:#x})",
+        sybil.rings,
+        sybil.ring_size,
+        sybil.bursts,
+        sybil.burst_size,
+        sybil.planted_count(),
+        sybil.seed,
+    ));
+    rep.line("----------------------------------------------------------------------");
+    let mut rng = StdRng::seed_from_u64(17);
+    let net = VerifiedNetwork::generate(&VerifiedNetConfig::small(), &mut rng);
+    let workload = inject_sybil(&net.graph, &sybil);
+    let mut stream = ChurnStream::from_graph(
+        &workload.graph,
+        ChurnConfig { seed: 23, ..ChurnConfig::default() },
+    );
+    workload.attach(&mut stream);
+    let horizon = sybil.burst_day + (sybil.bursts - 1) * sybil.burst_stride + sybil.burst_span + 2;
+    let mut daily: Vec<Vec<(vnet_graph::NodeId, vnet_graph::NodeId)>> = Vec::new();
+    for _ in 0..horizon {
+        let batch = stream.next_day();
+        daily.push(
+            batch
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    ChurnEvent::Follow { source, target } => Some((*source, *target)),
+                    _ => None,
+                })
+                .collect(),
+        );
+    }
+    let graph = stream.snapshot_graph();
+    let report = run_detection(
+        &DetectInput { graph: &graph, daily_follows: &daily },
+        &DetectConfig::default(),
+        ctx,
+    );
+    let eval = evaluate(&report, &workload.labels.sybils());
+    rep.line(report.canonical(20).trim_end());
+    rep.line(eval.canonical().trim_end());
+    rep.blank();
 }
 
 fn header(id: &str, rep: &Reporter) {

@@ -143,14 +143,22 @@ impl Admission {
     }
 
     /// Admit one request from `client`, or reject with the deterministic
-    /// `retry_after_ms` hint.
+    /// `retry_after_ms` hint, clamped to ≥ 1 ms. [`RateWindow::charge`]
+    /// can legitimately report a 0 ms reset (a zero-length window, i.e. a
+    /// `window_millis: 0` policy rejecting on its own boundary), and a
+    /// client that obeys a 0 ms hint literally busy-retries; the wire hint
+    /// therefore never goes below one millisecond. The clamp lives here —
+    /// not in `charge` — so the window arithmetic stays bit-identical to
+    /// `twittersim`'s for the conformance proptest.
     pub fn try_admit(&self, client: &str) -> Result<(), u64> {
         let now = self.clock.now_ms();
         let mut windows = self.windows.lock().expect("admission windows lock");
         let window = windows
             .entry(client.to_string())
             .or_insert_with(|| RateWindow::begin(now));
-        window.charge(now, self.policy.requests, self.policy.window_millis)
+        window
+            .charge(now, self.policy.requests, self.policy.window_millis)
+            .map_err(|retry_after_ms| retry_after_ms.max(1))
     }
 
     /// Distinct clients seen so far (diagnostics for `status`).
@@ -206,6 +214,45 @@ mod tests {
         assert_eq!(gate.try_admit("a"), Err(750));
         clock.advance(750);
         assert_eq!(gate.try_admit("a"), Ok(()));
+    }
+
+    #[test]
+    fn boundary_rejection_hint_is_never_zero() {
+        // A zero-length window is the one policy under which the raw reset
+        // hint is 0: every charge lands exactly on its own window boundary.
+        // The raw window keeps twittersim's arithmetic (hint 0) while the
+        // admission gate clamps the wire hint to >= 1 ms.
+        let mut w = RateWindow::begin(0);
+        assert_eq!(w.charge(0, 0, 0), Err(0), "raw charge stays twittersim-identical");
+
+        let clock = AdmissionClock::manual();
+        let gate = Admission::new(
+            AdmissionPolicy { requests: 0, window_millis: 0 },
+            clock.clone(),
+        );
+        // Golden boundary frames: the same rejection at several clock
+        // readings, each pinned to exactly 1 ms on the wire.
+        for advance in [0u64, 1, 7, 900] {
+            clock.advance(advance);
+            assert_eq!(gate.try_admit("edge"), Err(1), "at t={} ms", clock.now_ms());
+        }
+        // A non-degenerate policy still passes real hints through
+        // unclamped...
+        let gate = Admission::new(
+            AdmissionPolicy { requests: 1, window_millis: 500 },
+            AdmissionClock::manual(),
+        );
+        assert_eq!(gate.try_admit("a"), Ok(()));
+        assert_eq!(gate.try_admit("a"), Err(500));
+        // ...and a 1 ms window rejecting mid-window yields the clamped
+        // minimum, not zero.
+        let clock = AdmissionClock::manual();
+        let gate = Admission::new(
+            AdmissionPolicy { requests: 1, window_millis: 1 },
+            clock.clone(),
+        );
+        assert_eq!(gate.try_admit("b"), Ok(()));
+        assert_eq!(gate.try_admit("b"), Err(1));
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub enum Request {
         /// When present, build a churn timeline so the snapshot answers
         /// `as_of` queries.
         churn: Option<ChurnSpec>,
+        /// Inject the calibrated sybil workload (fake-follower rings live
+        /// at day 0, purchased-follower bursts scheduled onto the churn
+        /// stream) so the snapshot answers `detect` queries. Requires
+        /// `churn_days`: the campaigns arrive as churn days.
+        sybil: bool,
     },
     /// Compute (or serve from cache) one or more sections of a snapshot.
     Analyze {
@@ -107,6 +112,21 @@ pub enum Request {
         /// Number of delta frames before `watch_complete`.
         frames: u64,
     },
+    /// Run the sybil-detection pipeline over a snapshot registered with
+    /// `sybil:true`, ranked by fused suspicion and scored against the
+    /// planted ground truth.
+    Detect {
+        /// A previously registered snapshot name.
+        snapshot: String,
+        /// Admission-control identity (the optional `client` field).
+        client: String,
+        /// Score the graph as of end of churn day `as_of`; defaults to
+        /// the full churn horizon.
+        as_of: Option<u32>,
+        /// How many top suspects the reply lists (the ranking itself is
+        /// always computed over every node).
+        top_k: usize,
+    },
     /// Drain in-flight work, then stop accepting connections.
     Shutdown,
 }
@@ -143,6 +163,12 @@ pub const WATCH_MAX_INTERVAL_MS: u64 = 60_000;
 /// Upper bound on requested frames per watch session.
 pub const WATCH_MAX_FRAMES: u64 = 100_000;
 
+/// Suspects listed in a `detect` reply when `top_k` is omitted.
+pub const DETECT_DEFAULT_TOP_K: usize = 20;
+/// Upper bound on `top_k` (the ranking covers every node regardless; the
+/// cap bounds reply bytes, not detection work).
+pub const DETECT_MAX_TOP_K: usize = 10_000;
+
 fn required_str(v: &Value, key: &str, cmd: &str) -> Result<String, VnetError> {
     v[key]
         .as_str()
@@ -153,8 +179,9 @@ fn required_str(v: &Value, key: &str, cmd: &str) -> Result<String, VnetError> {
 /// Top-level keys each command accepts under the v1 envelope.
 fn allowed_keys(cmd: &str) -> &'static [&'static str] {
     match cmd {
-        "register" => &["v", "cmd", "name", "dir", "scale", "churn_days", "churn_seed", "churn_shock_day"],
+        "register" => &["v", "cmd", "name", "dir", "scale", "churn_days", "churn_seed", "churn_shock_day", "sybil"],
         "analyze" => &["v", "cmd", "snapshot", "sections", "options", "client", "as_of"],
+        "detect" => &["v", "cmd", "snapshot", "client", "as_of", "top_k"],
         "status" => &["v", "cmd", "snapshot"],
         "metrics" => &["v", "cmd", "snapshot", "format"],
         "watch" => &["v", "cmd", "snapshot", "interval_ms", "frames"],
@@ -328,7 +355,41 @@ pub fn parse_request(line: &str) -> Result<ParsedRequest, VnetError> {
                 ));
             };
             let churn = parse_churn(&v)?;
-            Request::Register { name, source, churn }
+            let sybil = match &v["sybil"] {
+                s if s.is_null() => false,
+                s => s.as_bool().ok_or_else(|| {
+                    VnetError::BadRequest("'sybil' must be a boolean".into())
+                })?,
+            };
+            if sybil && churn.is_none() {
+                return Err(VnetError::BadRequest(
+                    "'sybil' needs a 'churn_days' field: the planted campaigns arrive as churn days"
+                        .into(),
+                ));
+            }
+            Request::Register { name, source, churn, sybil }
+        }
+        "detect" => {
+            let snapshot = required_str(&v, "snapshot", "detect")?;
+            let client = v["client"].as_str().unwrap_or("").to_string();
+            let as_of = match &v["as_of"] {
+                d if d.is_null() => None,
+                d => Some(d.as_u64().ok_or_else(|| {
+                    VnetError::BadRequest("'as_of' must be a non-negative integer day".into())
+                })? as u32),
+            };
+            let top_k = match &v["top_k"] {
+                t if t.is_null() => DETECT_DEFAULT_TOP_K,
+                t => t.as_u64().ok_or_else(|| {
+                    VnetError::BadRequest("'top_k' must be a positive integer".into())
+                })? as usize,
+            };
+            if !(1..=DETECT_MAX_TOP_K).contains(&top_k) {
+                return Err(VnetError::BadRequest(format!(
+                    "'top_k' must be in [1, {DETECT_MAX_TOP_K}]"
+                )));
+            }
+            Request::Detect { snapshot, client, as_of, top_k }
         }
         "analyze" => {
             let snapshot = required_str(&v, "snapshot", "analyze")?;
@@ -445,10 +506,11 @@ mod tests {
     fn parses_register_and_analyze() {
         let r = parse(r#"{"cmd":"register","name":"a","dir":"/tmp/x"}"#);
         match r {
-            Request::Register { name, source, churn } => {
+            Request::Register { name, source, churn, sybil } => {
                 assert_eq!(name, "a");
                 assert_eq!(source, RegisterSource::Dir("/tmp/x".into()));
                 assert_eq!(churn, None);
+                assert!(!sybil, "sybil defaults off");
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -539,6 +601,55 @@ mod tests {
             let e = parse_request(bad).unwrap_err();
             assert_eq!(e.code(), "bad_request", "line {bad} gave {e}");
         }
+    }
+
+    #[test]
+    fn parses_sybil_register_knob_and_detect() {
+        let r = parse(
+            r#"{"v":1,"cmd":"register","name":"a","scale":"small","churn_days":17,"sybil":true}"#,
+        );
+        match r {
+            Request::Register { churn: Some(spec), sybil: true, .. } => {
+                assert_eq!(spec.days, 17);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Sybil without a churn horizon is meaningless: the campaigns are
+        // scheduled churn days.
+        for bad in [
+            r#"{"cmd":"register","name":"a","scale":"small","sybil":true}"#,
+            r#"{"cmd":"register","name":"a","scale":"small","churn_days":17,"sybil":"yes"}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.code(), "bad_request", "line {bad} gave {e}");
+        }
+
+        match parse(r#"{"v":1,"cmd":"detect","snapshot":"a"}"#) {
+            Request::Detect { snapshot, client, as_of: None, top_k } => {
+                assert_eq!(snapshot, "a");
+                assert_eq!(client, "");
+                assert_eq!(top_k, DETECT_DEFAULT_TOP_K);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(r#"{"v":1,"cmd":"detect","snapshot":"a","client":"t1","as_of":5,"top_k":3}"#) {
+            Request::Detect { client, as_of: Some(5), top_k: 3, .. } => {
+                assert_eq!(client, "t1")
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        for bad in [
+            r#"{"cmd":"detect"}"#,
+            r#"{"cmd":"detect","snapshot":"a","top_k":0}"#,
+            r#"{"cmd":"detect","snapshot":"a","top_k":100000}"#,
+            r#"{"cmd":"detect","snapshot":"a","as_of":"soon"}"#,
+        ] {
+            let e = parse_request(bad).unwrap_err();
+            assert_eq!(e.code(), "bad_request", "line {bad} gave {e}");
+        }
+        // v1 strictness applies to the new command too.
+        let e = parse_request(r#"{"v":1,"cmd":"detect","snapshot":"a","topk":5}"#).unwrap_err();
+        assert_eq!(e.code(), "invalid_input");
     }
 
     #[test]

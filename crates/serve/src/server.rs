@@ -26,9 +26,13 @@ use verified_net::{
     run_analysis_section, AnalysisCtx, AnalysisOptions, Dataset, Section, SynthesisConfig,
     VnetError,
 };
+use vnet_detect::{evaluate, run_detection, DetectConfig, DetectInput};
+use vnet_graph::NodeId;
 use vnet_obs::{fingerprint_str, render_prometheus_parts, Obs, Telemetry};
 use vnet_par::ParPool;
-use vnet_synth::{ChurnConfig, ChurnStream};
+use vnet_synth::{
+    inject_sybil, ChurnConfig, ChurnEvent, ChurnStream, SybilConfig, SybilWorkload,
+};
 use vnet_temporal::{EngineConfig, Timeline};
 
 use crate::admission::{Admission, AdmissionClock, AdmissionPolicy};
@@ -41,7 +45,7 @@ use crate::protocol::{
     add_deprecation_note, error_reply, json_str, parse_request, ChurnSpec, MetricsFormat,
     RegisterSource, Request,
 };
-use crate::shards::{Shard, ShardRegistry, SnapshotData, TemporalState};
+use crate::shards::{Shard, ShardRegistry, SnapshotData, SybilState, TemporalState};
 use crate::stats::ServeStats;
 
 /// Server construction knobs.
@@ -337,12 +341,15 @@ pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> Dispatch {
         }
     };
     match parsed.request {
-        Request::Register { name, source, churn } => {
-            noted(Dispatch::Reply(handle_register(shared, &name, source, churn)))
+        Request::Register { name, source, churn, sybil } => {
+            noted(Dispatch::Reply(handle_register(shared, &name, source, churn, sybil)))
         }
         Request::Analyze { snapshot, sections, options, client, as_of } => noted(
             Dispatch::Reply(handle_analyze(shared, &snapshot, sections, options, &client, as_of)),
         ),
+        Request::Detect { snapshot, client, as_of, top_k } => {
+            noted(Dispatch::Reply(handle_detect(shared, &snapshot, &client, as_of, top_k)))
+        }
         Request::Status { snapshot } => {
             noted(Dispatch::Reply(handle_status(shared, snapshot.as_deref())))
         }
@@ -422,11 +429,15 @@ const TIMELINE_CHECKPOINT_STRIDE: u32 = 7;
 /// Build the churn timeline for a snapshot registered with `churn_days`.
 /// The stream derives roles/fame from the crawled graph's degrees; the
 /// engine skips PageRank (serve sections compute their own ranks) and
-/// refits the tail exponent weekly to keep registration cheap.
+/// refits the tail exponent weekly to keep registration cheap. With a
+/// sybil `workload`, the planted campaigns are scheduled onto the stream
+/// (so they arrive as temporal shock days) and the per-day follow
+/// attribution + ground truth ride along in a [`SybilState`].
 fn build_temporal(
     shared: &Shared,
     dataset: &Dataset,
     spec: &ChurnSpec,
+    workload: Option<&SybilWorkload>,
 ) -> Result<TemporalState, VnetError> {
     let seed = spec.seed.unwrap_or(ChurnConfig::default().seed);
     let mut churn_config = ChurnConfig { seed, ..ChurnConfig::default() };
@@ -434,7 +445,10 @@ fn build_temporal(
         churn_config =
             churn_config.with_shock(day, ChurnConfig::default().shock_churn_multiplier);
     }
-    let stream = ChurnStream::from_graph(&dataset.graph, churn_config);
+    let mut stream = ChurnStream::from_graph(&dataset.graph, churn_config);
+    if let Some(w) = workload {
+        w.attach(&mut stream);
+    }
     let engine_config = EngineConfig {
         compact_every: TIMELINE_CHECKPOINT_STRIDE,
         refit_every: TIMELINE_CHECKPOINT_STRIDE,
@@ -447,7 +461,43 @@ fn build_temporal(
         TIMELINE_CHECKPOINT_STRIDE,
         &shared.ctx,
     );
-    Ok(TemporalState::new(timeline, seed))
+    let state = TemporalState::new(timeline, seed);
+    Ok(match workload {
+        None => state,
+        Some(w) => {
+            let daily = collect_daily_follows(dataset, churn_config, w, spec.days);
+            state.with_sybil(SybilState::new(w.labels.clone(), daily))
+        }
+    })
+}
+
+/// Replay the (deterministic) churn stream once more to record each day's
+/// `Follow` events — the burst scorer's attribution. [`Timeline::build`]
+/// consumes its stream, so the replay runs on an identically-seeded
+/// second stream with the same scheduled campaigns.
+fn collect_daily_follows(
+    dataset: &Dataset,
+    churn_config: ChurnConfig,
+    workload: &SybilWorkload,
+    days: u32,
+) -> Vec<Vec<(NodeId, NodeId)>> {
+    let mut stream = ChurnStream::from_graph(&dataset.graph, churn_config);
+    workload.attach(&mut stream);
+    let mut daily = Vec::with_capacity(days as usize);
+    for _ in 0..days {
+        let batch = stream.next_day();
+        daily.push(
+            batch
+                .events
+                .iter()
+                .filter_map(|e| match e {
+                    ChurnEvent::Follow { source, target } => Some((*source, *target)),
+                    _ => None,
+                })
+                .collect(),
+        );
+    }
+    daily
 }
 
 fn handle_register(
@@ -455,6 +505,7 @@ fn handle_register(
     name: &str,
     source: RegisterSource,
     churn: Option<ChurnSpec>,
+    sybil: bool,
 ) -> String {
     if shared.shutting_down.load(Ordering::SeqCst) {
         return error_reply(&VnetError::ShuttingDown);
@@ -473,8 +524,16 @@ fn handle_register(
             Dataset::build(&config, &shared.ctx)
         }
     };
+    // Adversarial registration: plant the calibrated sybil workload into
+    // the base graph (rings live at day 0) before the churn timeline is
+    // built, so the scheduled purchase campaigns arrive as churn days.
+    let workload = sybil.then(|| inject_sybil(&dataset.graph, &SybilConfig::default()));
+    let dataset = match &workload {
+        Some(w) => Dataset { graph: w.graph.clone(), ..dataset },
+        None => dataset,
+    };
     let temporal = match &churn {
-        Some(spec) => match build_temporal(shared, &dataset, spec) {
+        Some(spec) => match build_temporal(shared, &dataset, spec, workload.as_ref()) {
             Ok(state) => {
                 let series = state.timeline.series();
                 shared.obs.set_counter(
@@ -498,15 +557,20 @@ fn handle_register(
         .as_ref()
         .map(|spec| format!(",\"churn_days\":{}", spec.days))
         .unwrap_or_default();
+    let sybil_suffix = workload
+        .as_ref()
+        .map(|w| format!(",\"sybil_planted\":{}", w.labels.sybils().len()))
+        .unwrap_or_default();
     let summary = dataset.summary();
     let fingerprint = register_snapshot(shared, name, dataset, temporal);
     format!(
-        "{{\"ok\":true,\"snapshot\":{},\"fingerprint\":{},\"users\":{},\"edges\":{}{}}}",
+        "{{\"ok\":true,\"snapshot\":{},\"fingerprint\":{},\"users\":{},\"edges\":{}{}{}}}",
         json_str(name),
         fingerprint,
         summary.users,
         summary.edges,
         churn_suffix,
+        sybil_suffix,
     )
 }
 
@@ -732,6 +796,190 @@ fn compute_reply(
         data.fingerprint,
         opts_fp,
         parts.join(","),
+    )
+}
+
+/// `detect`: the same admission → shard-router → executor path as
+/// `analyze`, running the sybil-detection pipeline instead of analysis
+/// sections. Requires the snapshot to have been registered with
+/// `sybil:true` (and therefore `churn_days`).
+fn handle_detect(
+    shared: &Arc<Shared>,
+    snapshot: &str,
+    client: &str,
+    as_of: Option<u32>,
+    top_k: usize,
+) -> String {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return error_reply(&VnetError::ShuttingDown);
+    }
+    if let Some(admission) = &shared.admission {
+        let stats = &shared.stats;
+        let admission_started = Instant::now();
+        let verdict = admission.try_admit(client);
+        stats.observe_stage(&stats.stage_admission, admission_started);
+        if let Err(retry_after_ms) = verdict {
+            stats.telemetry.inc(stats.rejected_rate_limited);
+            stats.telemetry.observe(&stats.retry_after_ms, retry_after_ms);
+            return error_reply(&VnetError::RateLimited { retry_after_ms });
+        }
+    }
+    let shard = match shared.shards.get(snapshot) {
+        Some(s) => s,
+        None => return error_reply(&VnetError::UnknownSnapshot(snapshot.to_string())),
+    };
+    let data = shard.data();
+    let worker_shared = Arc::clone(shared);
+    let worker_shard = Arc::clone(&shard);
+    let submitted = shard.executor.submit(move |cancel| {
+        compute_detect_reply(&worker_shared, &worker_shard, &data, as_of, top_k, cancel)
+    });
+    let stats = &shared.stats;
+    let handle = match submitted {
+        Ok(h) => h,
+        Err(SubmitRefusal::Saturated { in_flight, limit }) => {
+            stats.telemetry.inc(stats.rejected_queue_full);
+            stats.telemetry.inc(shard.stats.rejected_queue_full);
+            return error_reply(&VnetError::QueueFull { in_flight, limit });
+        }
+        Err(SubmitRefusal::ShuttingDown) => {
+            return error_reply(&VnetError::ShuttingDown);
+        }
+    };
+    stats.telemetry.inc(stats.requests);
+    stats.telemetry.inc(stats.admitted);
+    stats.telemetry.inc(shard.stats.requests);
+    shared.obs.inc_by("serve.detect_requests", &[], 1);
+    let budget = Duration::from_millis(shared.config.request_timeout_millis);
+    match handle.wait_timeout(budget) {
+        Some(reply) => reply,
+        None => {
+            handle.cancel();
+            shared.obs.inc_by("serve.rejected{reason=timeout}", &[], 1);
+            error_reply(&VnetError::Timeout { millis: shared.config.request_timeout_millis })
+        }
+    }
+}
+
+/// Run (or serve from the per-shard detect cache) the detection pipeline
+/// as of churn day `as_of` (default: the full horizon). Runs on a shard
+/// executor worker. The cache key is `(day, top_k)` — the base dataset,
+/// planted workload, and churn replay are all fixed at registration, so
+/// day and reply depth are the only free inputs.
+fn compute_detect_reply(
+    shared: &Shared,
+    shard: &Shard,
+    base: &SnapshotData,
+    as_of: Option<u32>,
+    top_k: usize,
+    cancel: &CancelToken,
+) -> String {
+    let no_workload = || {
+        error_reply(&VnetError::InvalidInput(format!(
+            "snapshot '{}' has no sybil workload; register it with \"sybil\":true and churn_days",
+            shard.name,
+        )))
+    };
+    let Some(temporal) = shard.temporal() else {
+        return no_workload();
+    };
+    let Some(sybil) = temporal.sybil.as_ref() else {
+        return no_workload();
+    };
+    let horizon = temporal.timeline.days();
+    let day = as_of.unwrap_or(horizon);
+    if day > horizon {
+        return error_reply(&VnetError::InvalidInput(format!(
+            "as_of day {day} is beyond the churn horizon ({horizon} days)"
+        )));
+    }
+    let envelope = |value: &CachedSection| {
+        format!(
+            "{{\"ok\":true,\"snapshot\":{},\"as_of\":{},\"top_k\":{},\"fingerprint\":{},\"detect\":{}}}",
+            json_str(&shard.name),
+            day,
+            top_k,
+            value.fingerprint,
+            value.payload_json,
+        )
+    };
+    if let Some(hit) = sybil.cached(day, top_k) {
+        shared.stats.telemetry.inc(shared.stats.cache_hits);
+        shared.stats.telemetry.inc(shard.stats.hits);
+        return envelope(&hit);
+    }
+    if cancel.is_cancelled() {
+        shared.obs.inc_by("serve.cancelled_jobs", &[], 1);
+        return error_reply(&VnetError::Timeout {
+            millis: shared.config.request_timeout_millis,
+        });
+    }
+    shared.obs.inc_by("cache.misses", &[], 1);
+    let (data, materialized) = match temporal.day_data(day, base) {
+        Ok(resolved) => resolved,
+        Err(e) => return error_reply(&e),
+    };
+    if materialized {
+        shared.stats.telemetry.inc(shared.stats.asof_materializations);
+    }
+    let input = DetectInput {
+        graph: &data.dataset.graph,
+        daily_follows: &sybil.daily_follows[..day as usize],
+    };
+    let report = run_detection(&input, &DetectConfig::default(), &shared.ctx);
+    let eval = evaluate(&report, &sybil.labels.sybils());
+    let payload_json = render_detect_payload(&report, &eval, data.fingerprint, top_k);
+    let fingerprint = fingerprint_str(&payload_json);
+    let value = Arc::new(CachedSection { payload_json, fingerprint });
+    sybil.insert(day, top_k, Arc::clone(&value));
+    envelope(&value)
+}
+
+/// Deterministic JSON rendering of a detection run: the fit parameters,
+/// campaign findings, top-`k` suspects, and the P/R evaluation against
+/// the planted ground truth. Floats use Rust's shortest-round-trip
+/// formatting, so the bytes are a pure function of the inputs.
+fn render_detect_payload(
+    report: &vnet_detect::DetectionReport,
+    eval: &vnet_detect::Evaluation,
+    dataset_fingerprint: u64,
+    top_k: usize,
+) -> String {
+    let fit_out = match (report.alpha_out, report.xmin_out) {
+        (Some(a), Some(x)) => format!("{{\"alpha\":{a:?},\"xmin\":{x}}}"),
+        _ => "null".to_string(),
+    };
+    let fit_in = report
+        .alpha_in
+        .map(|a| format!("{{\"alpha\":{a:?}}}"))
+        .unwrap_or_else(|| "null".to_string());
+    let burst_days: Vec<String> = report.burst_days.iter().map(u32::to_string).collect();
+    let targets: Vec<String> = report.campaign_targets.iter().map(|t| t.to_string()).collect();
+    let top: Vec<String> = report
+        .ranked
+        .iter()
+        .take(top_k)
+        .map(|e| {
+            format!(
+                "{{\"node\":{},\"fused\":{:?},\"deviation\":{:?},\"reciprocity\":{:?},\"burst\":{:?}}}",
+                e.node, e.fused, e.deviation, e.reciprocity, e.burst,
+            )
+        })
+        .collect();
+    let pr: Vec<String> =
+        eval.pr_curve.iter().map(|&(r, p)| format!("[{r:?},{p:?}]")).collect();
+    format!(
+        "{{\"dataset_fingerprint\":{},\"fit_out\":{},\"fit_in\":{},\"burst_days\":[{}],\"campaign_targets\":[{}],\"top\":[{}],\"eval\":{{\"planted\":{},\"recall_at_planted\":{:?},\"auc\":{:?},\"pr_curve\":[{}]}}}}",
+        dataset_fingerprint,
+        fit_out,
+        fit_in,
+        burst_days.join(","),
+        targets.join(","),
+        top.join(","),
+        eval.planted,
+        eval.recall_at_planted,
+        eval.auc,
+        pr.join(","),
     )
 }
 

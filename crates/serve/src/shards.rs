@@ -20,10 +20,12 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use verified_net::{Dataset, VnetError};
+use vnet_graph::NodeId;
 use vnet_obs::Obs;
+use vnet_synth::PlantedLabels;
 use vnet_temporal::Timeline;
 
-use crate::cache::ResultCache;
+use crate::cache::{CachedSection, ResultCache};
 use crate::executor::{Executor, ExecutorTelemetry};
 use crate::flight::FlightMap;
 use crate::stats::{ServeStats, ShardStats};
@@ -50,6 +52,74 @@ pub(crate) struct SnapshotData {
     pub(crate) fingerprint: u64,
 }
 
+/// Rendered `detect` payloads kept per sybil shard, keyed `(day, top_k)`.
+/// Detection replays the full pipeline over every node, so even a tiny
+/// LRU absorbs the repeat traffic of a day-sweep.
+const DETECT_CACHE_CAPACITY: usize = 8;
+
+/// The adversarial side of a shard: the planted ground truth and the
+/// per-day follow attribution the detection pipeline consumes. Present
+/// only when the snapshot was registered with `sybil:true` (which in turn
+/// requires `churn_days`, so this always lives inside a
+/// [`TemporalState`]).
+pub(crate) struct SybilState {
+    /// Which node ids are planted fakes (and who bought them).
+    pub(crate) labels: PlantedLabels,
+    /// `daily_follows[d]` = the `(source, target)` follow events of churn
+    /// day `d + 1`, in event order — the burst scorer's attribution.
+    pub(crate) daily_follows: Vec<Vec<(NodeId, NodeId)>>,
+    cache: Mutex<Vec<((u32, usize), Arc<CachedSection>, u64)>>,
+    clock: Mutex<u64>,
+}
+
+impl SybilState {
+    pub(crate) fn new(
+        labels: PlantedLabels,
+        daily_follows: Vec<Vec<(NodeId, NodeId)>>,
+    ) -> Self {
+        Self { labels, daily_follows, cache: Mutex::new(Vec::new()), clock: Mutex::new(0) }
+    }
+
+    fn tick(&self) -> u64 {
+        let mut clock = self.clock.lock().expect("detect clock lock");
+        *clock += 1;
+        *clock
+    }
+
+    /// Cached rendered payload for `(day, top_k)`, marking it
+    /// most-recently-used on a hit.
+    pub(crate) fn cached(&self, day: u32, top_k: usize) -> Option<Arc<CachedSection>> {
+        let tick = self.tick();
+        let mut cache = self.cache.lock().expect("detect cache lock");
+        cache.iter_mut().find(|(k, _, _)| *k == (day, top_k)).map(|entry| {
+            entry.2 = tick;
+            Arc::clone(&entry.1)
+        })
+    }
+
+    /// Insert a rendered payload, evicting the least-recently-used entry
+    /// past capacity. A concurrent insert of the same key keeps the first
+    /// copy (detection is deterministic, the bytes are identical).
+    pub(crate) fn insert(&self, day: u32, top_k: usize, value: Arc<CachedSection>) {
+        let tick = self.tick();
+        let mut cache = self.cache.lock().expect("detect cache lock");
+        if let Some(entry) = cache.iter_mut().find(|(k, _, _)| *k == (day, top_k)) {
+            entry.2 = tick;
+            return;
+        }
+        cache.push(((day, top_k), value, tick));
+        if cache.len() > DETECT_CACHE_CAPACITY {
+            let oldest = cache
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| *used)
+                .map(|(i, _)| i)
+                .expect("non-empty over capacity");
+            cache.swap_remove(oldest);
+        }
+    }
+}
+
 /// The temporal side of a shard: the churn [`Timeline`] built at
 /// registration plus a tiny LRU of materialized day-datasets. Present only
 /// when the snapshot was registered with `churn_days`.
@@ -57,13 +127,27 @@ pub(crate) struct TemporalState {
     pub(crate) timeline: Timeline,
     /// Churn master seed (reported in `status`).
     pub(crate) seed: u64,
+    /// Planted sybil workload, when registered with `sybil:true`.
+    pub(crate) sybil: Option<Arc<SybilState>>,
     day_cache: Mutex<Vec<(u32, Arc<SnapshotData>, u64)>>,
     day_clock: Mutex<u64>,
 }
 
 impl TemporalState {
     pub(crate) fn new(timeline: Timeline, seed: u64) -> Self {
-        Self { timeline, seed, day_cache: Mutex::new(Vec::new()), day_clock: Mutex::new(0) }
+        Self {
+            timeline,
+            seed,
+            sybil: None,
+            day_cache: Mutex::new(Vec::new()),
+            day_clock: Mutex::new(0),
+        }
+    }
+
+    /// Attach the planted workload's ground truth and attribution.
+    pub(crate) fn with_sybil(mut self, state: SybilState) -> Self {
+        self.sybil = Some(Arc::new(state));
+        self
     }
 
     /// The dataset as of end of churn `day`: the base snapshot with its

@@ -171,6 +171,10 @@ pub struct ChurnStream {
     /// Dormant node ids, ascending; verifications pop from the front.
     dormant: Vec<NodeId>,
     edges: u64,
+    /// Externally scheduled event injections, ascending by day. The sybil
+    /// workload plants purchased-follower bursts here so they arrive as
+    /// ordinary temporal days ([`ChurnStream::schedule_events`]).
+    schedule: Vec<(u32, Vec<ChurnEvent>)>,
 }
 
 impl ChurnStream {
@@ -230,7 +234,16 @@ impl ChurnStream {
             .filter(|&(_, &r)| r == ChurnRole::Dormant)
             .map(|(i, _)| i as NodeId)
             .collect();
-        Self { config, day: 0, adj, roles, fame, dormant, edges: graph.edge_count() as u64 }
+        Self {
+            config,
+            day: 0,
+            adj,
+            roles,
+            fame,
+            dormant,
+            edges: graph.edge_count() as u64,
+            schedule: Vec::new(),
+        }
     }
 
     /// The day the stream's state corresponds to (0 = the base graph).
@@ -251,6 +264,34 @@ impl ChurnStream {
     /// The stream's configuration.
     pub fn config(&self) -> &ChurnConfig {
         self.config_ref()
+    }
+
+    /// Queue externally planted events for delivery on `day` (appended
+    /// after that day's organic churn, in the order given). Events that no
+    /// longer apply when the day arrives — a follow of an existing edge,
+    /// an unfollow of an absent one, a verify of a non-dormant node — are
+    /// skipped deterministically rather than emitted. Days already in the
+    /// past fire on the next generated day.
+    ///
+    /// Scheduled days are part of the replay contract: they serialize into
+    /// [`ChurnStream::checkpoint`] (as a v2 blob; schedule-free streams
+    /// keep emitting byte-stable v1 blobs).
+    pub fn schedule_events(&mut self, day: u32, events: Vec<ChurnEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        match self.schedule.iter_mut().find(|(d, _)| *d == day) {
+            Some((_, existing)) => existing.extend(events),
+            None => {
+                let pos = self.schedule.partition_point(|&(d, _)| d < day);
+                self.schedule.insert(pos, (day, events));
+            }
+        }
+    }
+
+    /// Days with scheduled events still waiting to fire.
+    pub fn scheduled_days(&self) -> Vec<u32> {
+        self.schedule.iter().map(|&(d, _)| d).collect()
     }
 
     fn config_ref(&self) -> &ChurnConfig {
@@ -419,6 +460,40 @@ impl ChurnStream {
             }
         }
 
+        // --- Scheduled injections ------------------------------------
+        // Planted events (sybil bursts) land after the organic churn, in
+        // scheduling order; entries whose day has passed fire now.
+        while let Some(&(d, _)) = self.schedule.first() {
+            if d > day {
+                break;
+            }
+            let (_, planted) = self.schedule.remove(0);
+            for event in planted {
+                match event {
+                    ChurnEvent::Follow { source, target } => {
+                        if self.insert(source, target) {
+                            events.push(event);
+                        }
+                    }
+                    ChurnEvent::Unfollow { source, target } => {
+                        if self.remove(source, target) {
+                            events.push(event);
+                        }
+                    }
+                    ChurnEvent::Verify { node, fame } => {
+                        if self.roles[node as usize] == ChurnRole::Dormant && fame > 0.0 {
+                            if let Ok(pos) = self.dormant.binary_search(&node) {
+                                self.dormant.remove(pos);
+                            }
+                            self.roles[node as usize] = ChurnRole::Source;
+                            self.fame[node as usize] = fame;
+                            events.push(event);
+                        }
+                    }
+                }
+            }
+        }
+
         ChurnBatch { day, events }
     }
 
@@ -449,7 +524,10 @@ impl ChurnStream {
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(b"VNCK");
-        out.extend_from_slice(&1u32.to_le_bytes()); // version
+        // Schedule-free streams keep the byte-stable v1 layout; a pending
+        // schedule appends a trailing section under version 2.
+        let version: u32 = if self.schedule.is_empty() { 1 } else { 2 };
+        out.extend_from_slice(&version.to_le_bytes());
         let c = &self.config;
         out.extend_from_slice(&c.seed.to_le_bytes());
         out.extend_from_slice(&c.follow_rate.to_bits().to_le_bytes());
@@ -477,6 +555,32 @@ impl ChurnStream {
         for &v in &self.dormant {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        if version >= 2 {
+            out.extend_from_slice(&(self.schedule.len() as u32).to_le_bytes());
+            for (day, events) in &self.schedule {
+                out.extend_from_slice(&day.to_le_bytes());
+                out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+                for event in events {
+                    match *event {
+                        ChurnEvent::Follow { source, target } => {
+                            out.push(0);
+                            out.extend_from_slice(&source.to_le_bytes());
+                            out.extend_from_slice(&target.to_le_bytes());
+                        }
+                        ChurnEvent::Unfollow { source, target } => {
+                            out.push(1);
+                            out.extend_from_slice(&source.to_le_bytes());
+                            out.extend_from_slice(&target.to_le_bytes());
+                        }
+                        ChurnEvent::Verify { node, fame } => {
+                            out.push(2);
+                            out.extend_from_slice(&node.to_le_bytes());
+                            out.extend_from_slice(&fame.to_bits().to_le_bytes());
+                        }
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -487,7 +591,7 @@ impl ChurnStream {
             return Err("not a churn checkpoint (bad magic)".into());
         }
         let version = r.u32()?;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(format!("unsupported churn checkpoint version {version}"));
         }
         let config = ChurnConfig {
@@ -534,10 +638,31 @@ impl ChurnStream {
         for _ in 0..n_dormant {
             dormant.push(r.u32()?);
         }
+        let mut schedule = Vec::new();
+        if version >= 2 {
+            let n_days = r.u32()? as usize;
+            for _ in 0..n_days {
+                let sched_day = r.u32()?;
+                let n_events = r.u32()? as usize;
+                let mut events = Vec::with_capacity(n_events);
+                for _ in 0..n_events {
+                    events.push(match r.u8()? {
+                        0 => ChurnEvent::Follow { source: r.u32()?, target: r.u32()? },
+                        1 => ChurnEvent::Unfollow { source: r.u32()?, target: r.u32()? },
+                        2 => ChurnEvent::Verify {
+                            node: r.u32()?,
+                            fame: f64::from_bits(r.u64()?),
+                        },
+                        other => return Err(format!("bad scheduled event tag {other}")),
+                    });
+                }
+                schedule.push((sched_day, events));
+            }
+        }
         if r.pos != bytes.len() {
             return Err("trailing bytes after churn checkpoint".into());
         }
-        Ok(Self { config, day, adj, roles, fame, dormant, edges })
+        Ok(Self { config, day, adj, roles, fame, dormant, edges, schedule })
     }
 }
 
@@ -675,11 +800,114 @@ mod tests {
     }
 
     #[test]
+    fn resume_exactly_on_the_shock_day_replays_the_shock_once() {
+        // Regression: a checkpoint taken exactly on the `with_shock` day
+        // must resume into the shock regime exactly once — the first
+        // resumed day is already post-shock (rates flip for day > shock),
+        // and no day is generated under the wrong regime. Pinned as byte
+        // equality of every subsequent batch AND of the serialized end
+        // state against the uninterrupted stream.
+        let shock_day = 3u32;
+        let cfg = ChurnConfig { seed: 11, ..ChurnConfig::default() }.with_shock(shock_day, 6.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = VerifiedNetwork::generate(&VerifiedNetConfig::small(), &mut rng);
+        let mut uninterrupted = ChurnStream::from_network(&net, cfg);
+        let mut checkpointed = ChurnStream::from_network(&net, cfg);
+        for _ in 0..shock_day {
+            uninterrupted.next_day();
+            checkpointed.next_day();
+        }
+        assert_eq!(checkpointed.day(), shock_day, "checkpoint lands exactly on the shock day");
+        let blob = checkpointed.checkpoint();
+        let mut resumed = ChurnStream::resume(&blob).expect("shock-day checkpoint round-trips");
+        assert_eq!(resumed.day(), shock_day);
+        for d in 1..=4 {
+            let a = uninterrupted.next_day();
+            let b = resumed.next_day();
+            assert_eq!(a, b, "batch divergence {d} days after the shock-day checkpoint");
+        }
+        assert_eq!(
+            uninterrupted.checkpoint(),
+            resumed.checkpoint(),
+            "end state must be byte-identical to the uninterrupted stream"
+        );
+        // The shock really did engage on the resumed side: its first
+        // resumed day ran the post-shock regime, not the calm one.
+        let calm = ChurnConfig { seed: 11, ..ChurnConfig::default() };
+        let mut calm_fork =
+            ChurnStream::resume(&blob).map(|mut s| {
+                s.config = calm;
+                s
+            }).expect("round-trip");
+        let shocked_fork = ChurnStream::resume(&blob).expect("round-trip");
+        let mut shocked_fork = shocked_fork;
+        assert_ne!(
+            calm_fork.next_day(),
+            shocked_fork.next_day(),
+            "day shock+1 must be generated under the shock regime"
+        );
+    }
+
+    #[test]
     fn checkpoint_rejects_garbage() {
         assert!(ChurnStream::resume(b"nope").is_err());
         let mut blob = small_stream(7).checkpoint();
         blob.truncate(blob.len() - 1);
         assert!(ChurnStream::resume(&blob).is_err());
+    }
+
+    #[test]
+    fn scheduled_events_fire_once_and_survive_checkpoints() {
+        let mut a = small_stream(13);
+        let mut b = small_stream(13);
+        // A planted burst: node 0 gains three followers on day 2, from
+        // sources verified to not already follow it.
+        let start = a.snapshot_graph();
+        let sources: Vec<NodeId> = (4..start.node_count() as NodeId)
+            .filter(|&u| !start.has_edge(u, 0))
+            .take(3)
+            .collect();
+        assert_eq!(sources.len(), 3);
+        let burst: Vec<ChurnEvent> = sources
+            .iter()
+            .map(|&source| ChurnEvent::Follow { source, target: 0 })
+            .collect();
+        a.schedule_events(2, burst.clone());
+        b.schedule_events(2, burst);
+        assert_eq!(a.scheduled_days(), vec![2]);
+
+        let day1 = a.next_day();
+        assert_eq!(day1, b.next_day());
+        // Checkpoint while the schedule is still pending: v2 blob, exact
+        // resume (including the pending burst).
+        let blob = a.checkpoint();
+        assert_eq!(u32::from_le_bytes(blob[4..8].try_into().unwrap()), 2);
+        let mut resumed = ChurnStream::resume(&blob).expect("v2 round-trip");
+        assert_eq!(resumed.scheduled_days(), vec![2]);
+
+        let day2 = b.next_day();
+        assert_eq!(resumed.next_day(), day2);
+        // The burst fired exactly once, after the organic events.
+        let planted = day2
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e, ChurnEvent::Follow { target: 0, source } if sources.contains(source))
+            })
+            .count();
+        assert_eq!(planted, 3, "all three planted follows fire on day 2");
+        assert!(resumed.scheduled_days().is_empty());
+        // Post-schedule checkpoints drop back to the byte-stable v1 layout.
+        let after = resumed.checkpoint();
+        assert_eq!(u32::from_le_bytes(after[4..8].try_into().unwrap()), 1);
+        assert_eq!(after, b.checkpoint());
+        // A duplicate of an existing edge is skipped, not emitted.
+        let mut c = b.clone();
+        let dup = ChurnEvent::Follow { source: sources[0], target: 0 };
+        c.schedule_events(3, vec![dup]);
+        let day3 = c.next_day();
+        let dup_count = day3.events.iter().filter(|&&e| e == dup).count();
+        assert_eq!(dup_count, 0, "planted duplicate of a live edge must be skipped");
     }
 
     #[test]

@@ -29,8 +29,10 @@
 
 pub mod baselines;
 pub mod churn;
+pub mod sybil;
 pub mod verified_model;
 
 pub use baselines::{directed_configuration_model, erdos_renyi_directed, preferential_attachment_directed};
 pub use churn::{ChurnBatch, ChurnConfig, ChurnEvent, ChurnRole, ChurnStream};
+pub use sybil::{inject_sybil, PlantedLabels, SybilConfig, SybilWorkload};
 pub use verified_model::{NodeRole, VerifiedNetConfig, VerifiedNetwork};

@@ -26,6 +26,64 @@ use vnet_graph::{DiGraph, NodeId};
 
 use crate::overlay::DeltaOverlay;
 
+/// A structurally invalid edge delta, rejected before any counter moves.
+///
+/// The churn generator emits only valid deltas, but the counters also sit
+/// behind externally fed batches (serve `as_of` replays, future live-crawl
+/// feeds), where a duplicate follow or an unfollow of a never-followed
+/// edge must surface as a typed error — not as a `u64` underflow silently
+/// corrupting every statistic derived from the counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta names the same node on both endpoints; the live graph is
+    /// self-loop-free by construction.
+    SelfLoop {
+        /// The offending endpoint.
+        node: NodeId,
+    },
+    /// A follow of an edge that is already present (e.g. duplicated within
+    /// one day batch).
+    EdgeAlreadyPresent {
+        /// Follow source.
+        source: NodeId,
+        /// Follow target.
+        target: NodeId,
+    },
+    /// An unfollow of an edge that was never followed (or already removed).
+    EdgeAbsent {
+        /// Unfollow source.
+        source: NodeId,
+        /// Unfollow target.
+        target: NodeId,
+    },
+    /// An endpoint beyond the graph's node universe.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeltaError::SelfLoop { node } => write!(f, "self-loop delta on node {node}"),
+            DeltaError::EdgeAlreadyPresent { source, target } => {
+                write!(f, "follow of already-present edge {source} -> {target}")
+            }
+            DeltaError::EdgeAbsent { source, target } => {
+                write!(f, "unfollow of absent edge {source} -> {target}")
+            }
+            DeltaError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} outside graph of {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
 /// Integer structural state of the live graph, updated per edge flip.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StructuralCounters {
@@ -143,10 +201,32 @@ impl StructuralCounters {
         sorted_intersection_len(&nu, &nv)
     }
 
+    /// Validate a delta's endpoints against the counter state and the
+    /// overlay's node universe.
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), DeltaError> {
+        if u == v {
+            return Err(DeltaError::SelfLoop { node: u });
+        }
+        let nodes = self.out_deg.len();
+        for node in [u, v] {
+            if node as usize >= nodes {
+                return Err(DeltaError::NodeOutOfRange { node, nodes });
+            }
+        }
+        Ok(())
+    }
+
     /// Account for the directed edge `u → v` about to be inserted. Call
     /// **before** `ov.insert(u, v)`; the edge must currently be absent.
-    pub fn apply_add(&mut self, ov: &DeltaOverlay, u: NodeId, v: NodeId) {
-        debug_assert!(!ov.has_edge(u, v), "apply_add precondition: edge absent");
+    ///
+    /// An invalid delta (self-loop, out-of-range endpoint, or an edge that
+    /// is already present) returns a typed [`DeltaError`] and leaves every
+    /// counter untouched — a deterministic no-op, never an underflow.
+    pub fn apply_add(&mut self, ov: &DeltaOverlay, u: NodeId, v: NodeId) -> Result<(), DeltaError> {
+        self.check_endpoints(u, v)?;
+        if ov.has_edge(u, v) {
+            return Err(DeltaError::EdgeAlreadyPresent { source: u, target: v });
+        }
         self.edges += 1;
         self.out_deg[u as usize] += 1;
         self.in_deg[v as usize] += 1;
@@ -162,12 +242,25 @@ impl StructuralCounters {
             self.wedges += self.und_deg[v as usize];
             self.und_deg[v as usize] += 1;
         }
+        Ok(())
     }
 
     /// Account for the directed edge `u → v` about to be removed. Call
     /// **before** `ov.remove(u, v)`; the edge must currently be present.
-    pub fn apply_remove(&mut self, ov: &DeltaOverlay, u: NodeId, v: NodeId) {
-        debug_assert!(ov.has_edge(u, v), "apply_remove precondition: edge present");
+    ///
+    /// An invalid delta (self-loop, out-of-range endpoint, or an edge that
+    /// is not present — e.g. an unfollow of a never-followed pair) returns
+    /// a typed [`DeltaError`] and leaves every counter untouched.
+    pub fn apply_remove(
+        &mut self,
+        ov: &DeltaOverlay,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<(), DeltaError> {
+        self.check_endpoints(u, v)?;
+        if !ov.has_edge(u, v) {
+            return Err(DeltaError::EdgeAbsent { source: u, target: v });
+        }
         self.edges -= 1;
         self.out_deg[u as usize] -= 1;
         self.in_deg[v as usize] -= 1;
@@ -183,6 +276,7 @@ impl StructuralCounters {
             self.und_deg[v as usize] -= 1;
             self.wedges -= self.und_deg[v as usize];
         }
+        Ok(())
     }
 
     /// Fraction of directed edges that are reciprocated (the paper's 33.7%
@@ -266,11 +360,11 @@ mod tests {
             }
             if rng.random_bool(0.55) {
                 if !ov.has_edge(u, v) {
-                    c.apply_add(&ov, u, v);
+                    c.apply_add(&ov, u, v).unwrap();
                     assert!(ov.insert(u, v));
                 }
             } else if ov.has_edge(u, v) {
-                c.apply_remove(&ov, u, v);
+                c.apply_remove(&ov, u, v).unwrap();
                 assert!(ov.remove(u, v));
             }
             if step % 250 == 0 {
@@ -288,10 +382,56 @@ mod tests {
         let base = mutual_triangle();
         let mut ov = DeltaOverlay::new(Arc::new(base));
         let mut c = StructuralCounters::from_graph(ov.base());
-        c.apply_add(&ov, 3, 0);
+        c.apply_add(&ov, 3, 0).unwrap();
         ov.insert(3, 0);
         assert_eq!(c.out_degrees()[3], 1);
         assert_eq!(c.in_degrees()[0], 3);
         assert_eq!(c.positive_out_degrees().len(), 4);
+    }
+
+    #[test]
+    fn adversarial_deltas_are_typed_errors_and_counters_never_move() {
+        let base = mutual_triangle();
+        let mut ov = DeltaOverlay::new(Arc::new(base));
+        let mut c = StructuralCounters::from_graph(ov.base());
+        let before = c.clone();
+
+        // Unfollow of a never-followed edge: 3 → 2 was never present.
+        assert_eq!(
+            c.apply_remove(&ov, 3, 2),
+            Err(DeltaError::EdgeAbsent { source: 3, target: 2 })
+        );
+        // Duplicate follow inside one day batch: the first add lands, the
+        // second is rejected without moving any counter.
+        assert_eq!(c.apply_add(&ov, 3, 2), Ok(()));
+        assert!(ov.insert(3, 2));
+        let after_first = c.clone();
+        assert_eq!(
+            c.apply_add(&ov, 3, 2),
+            Err(DeltaError::EdgeAlreadyPresent { source: 3, target: 2 })
+        );
+        assert_eq!(c, after_first, "rejected duplicate must be a no-op");
+        // Self-loop rejection, both directions of the API.
+        assert_eq!(c.apply_add(&ov, 1, 1), Err(DeltaError::SelfLoop { node: 1 }));
+        assert_eq!(c.apply_remove(&ov, 1, 1), Err(DeltaError::SelfLoop { node: 1 }));
+        // Out-of-range endpoints are typed errors, not panics.
+        assert_eq!(
+            c.apply_add(&ov, 0, 99),
+            Err(DeltaError::NodeOutOfRange { node: 99, nodes: 4 })
+        );
+        assert_eq!(
+            c.apply_remove(&ov, 99, 0),
+            Err(DeltaError::NodeOutOfRange { node: 99, nodes: 4 })
+        );
+
+        // Roll the one successful add back; the counters return exactly to
+        // the starting state — nothing underflowed along the way.
+        assert_eq!(c.apply_remove(&ov, 3, 2), Ok(()));
+        assert!(ov.remove(3, 2));
+        assert_eq!(c, before);
+
+        // Errors carry a human-readable rendering for serve-side logs.
+        let msg = DeltaError::EdgeAbsent { source: 7, target: 9 }.to_string();
+        assert!(msg.contains("7") && msg.contains("9"), "{msg}");
     }
 }

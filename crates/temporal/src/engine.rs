@@ -304,13 +304,21 @@ impl TemporalEngine {
         for event in &batch.events {
             match *event {
                 ChurnEvent::Follow { source, target } => {
-                    self.counters.apply_add(&self.overlay, source, target);
+                    // The churn stream guarantees valid deltas; a rejected
+                    // one here is a broken generator invariant, and the
+                    // typed error makes the counters refuse it rather than
+                    // underflow (release mode included).
+                    self.counters
+                        .apply_add(&self.overlay, source, target)
+                        .expect("churn stream emits only valid follows");
                     let inserted = self.overlay.insert(source, target);
                     debug_assert!(inserted, "churn stream emits only absent follows");
                     follows += 1;
                 }
                 ChurnEvent::Unfollow { source, target } => {
-                    self.counters.apply_remove(&self.overlay, source, target);
+                    self.counters
+                        .apply_remove(&self.overlay, source, target)
+                        .expect("churn stream emits only valid unfollows");
                     let removed = self.overlay.remove(source, target);
                     debug_assert!(removed, "churn stream emits only present unfollows");
                     unfollows += 1;

@@ -34,7 +34,7 @@ pub mod engine;
 pub mod overlay;
 pub mod timeline;
 
-pub use counters::StructuralCounters;
+pub use counters::{DeltaError, StructuralCounters};
 pub use dynpr::{dynamic_pagerank, PullGraph};
 pub use engine::{
     scratch_replay, structural_shifts, EngineConfig, StructuralSeries, StructuralShift,

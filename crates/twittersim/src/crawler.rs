@@ -520,7 +520,10 @@ impl<'a, 's> Crawler<'a, 's> {
 /// clock, no RNG state, so the sleep sequence is a pure function of the
 /// simulation history.
 fn backoff_secs(retries: usize, now: u64) -> u64 {
-    let exp = BACKOFF_BASE_SECS.saturating_mul(1 << (retries - 1).min(8));
+    // Saturating end to end: `retries == 0` must not underflow the
+    // subtraction, and the doubling exponent is clamped before the shift so
+    // no retry count can shift past the word width.
+    let exp = BACKOFF_BASE_SECS.saturating_mul(1u64 << retries.saturating_sub(1).min(8));
     let cap = exp.min(BACKOFF_CAP_SECS);
     let mut z = (retries as u64)
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -639,8 +642,34 @@ mod tests {
             for now in [0u64, 17, 900, 123_456] {
                 let a = backoff_secs(retries, now);
                 assert_eq!(a, backoff_secs(retries, now));
-                let cap = (BACKOFF_BASE_SECS << (retries - 1).min(8)).min(BACKOFF_CAP_SECS);
+                let cap = (BACKOFF_BASE_SECS << retries.saturating_sub(1).min(8))
+                    .min(BACKOFF_CAP_SECS);
                 assert!(a >= cap / 2 && a <= cap, "retry {retries}: {a} not in [{}/2, {cap}]", cap);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_retry_counts() {
+        // retries == 0 must not underflow the `retries - 1` doubling
+        // exponent: it lands in the first-retry interval (the jitter hash
+        // still sees the distinct retry count, so only the bounds match).
+        for now in [0u64, 17, 123_456] {
+            let a = backoff_secs(0, now);
+            assert!(
+                a >= BACKOFF_BASE_SECS / 2 && a <= BACKOFF_BASE_SECS,
+                "retry 0: {a} outside base interval"
+            );
+        }
+        // Far beyond the clamp the backoff is pinned to the cap interval —
+        // no shift overflow at 64+, no saturating_mul wrap on the way there.
+        for retries in [9usize, 63, 64, 65, 1_000, usize::MAX] {
+            for now in [0u64, 17, 900, u64::MAX] {
+                let a = backoff_secs(retries, now);
+                assert!(
+                    a >= BACKOFF_CAP_SECS / 2 && a <= BACKOFF_CAP_SECS,
+                    "retry {retries}: {a} outside capped interval"
+                );
             }
         }
     }

@@ -38,6 +38,12 @@
 #                             shards, admission on); fails on oracle
 #                             divergence, accounting drift, undrained
 #                             queues, or leaked connections
+#   scripts/verify.sh sybil   adversarial lane: the vnet-detect unit
+#                             battery, the planted-workload detection
+#                             battery (recall >= 0.9 floor, thread-count
+#                             byte-invariance, label round-trip), the
+#                             detect wire battery, and the detect-scoped
+#                             clippy wall
 #   scripts/verify.sh         tier-1: release build + full quiet test suite
 #   scripts/verify.sh full    tier-1 plus the soak and obs-bench lanes,
 #                             clippy and rustdoc, warnings denied, and the compat
@@ -100,6 +106,17 @@ serve-soak)
     cargo test -q -p vnet-integration-tests --test serve_soak
     cargo run --release -q -p vnet-bench --bin serve_load -- --rate 400 --requests 1000 --seed 7
     ;;
+sybil)
+    cargo test -q -p vnet-detect
+    # The calibrated planted-recall floor (>= 0.9) and the byte-identical
+    # ranking / P-R block across thread counts are asserted inside this
+    # battery.
+    cargo test -q -p vnet-integration-tests --test sybil_detection
+    cargo test -q -p vnet-integration-tests --test serve_detect
+    # Detection scores run on the serve request path; same wall as the
+    # rest of the hot path.
+    cargo clippy -p vnet-detect --no-deps -- -D warnings -D clippy::unwrap_used
+    ;;
 tier1)
     cargo build --release
     cargo test -q
@@ -109,6 +126,7 @@ full)
     cargo test -q
     "$0" temporal
     "$0" serve-soak
+    "$0" sybil
     "$0" obs-bench
     "$0" graph-scale
     cargo clippy --workspace -- -D warnings
@@ -129,7 +147,7 @@ full)
     fi
     ;;
 *)
-    echo "usage: scripts/verify.sh [fast|obs|obs-bench|par|serve|graph-scale|temporal|serve-soak|tier1|full]" >&2
+    echo "usage: scripts/verify.sh [fast|obs|obs-bench|par|serve|graph-scale|temporal|serve-soak|sybil|tier1|full]" >&2
     exit 2
     ;;
 esac

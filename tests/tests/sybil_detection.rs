@@ -1,0 +1,133 @@
+//! The sybil detection battery (ROADMAP item 4, `scripts/verify.sh sybil`).
+//!
+//! Builds the calibrated adversarial workload end-to-end — generated
+//! verified network, planted fake-follower rings, purchased-follower
+//! campaigns arriving as churn days — runs the three-scorer detection
+//! pipeline, and pins:
+//!
+//! * the planted-recall floor (≥ 0.9 at the default calibration) and an
+//!   AUC sanity floor;
+//! * byte-identical suspicion rankings and P/R blocks across repeated
+//!   runs and across `AnalysisCtx` thread counts;
+//! * label round-trip through the serialized `VNSY` blob.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vnet_ctx::AnalysisCtx;
+use vnet_detect::{evaluate, run_detection, DetectConfig, DetectInput};
+use vnet_graph::NodeId;
+use vnet_synth::{
+    inject_sybil, ChurnConfig, ChurnEvent, PlantedLabels, SybilConfig, VerifiedNetConfig,
+    VerifiedNetwork,
+};
+
+/// The number of churn days the battery runs: every campaign has landed
+/// and a few calm days follow.
+fn horizon(cfg: &SybilConfig) -> u32 {
+    cfg.burst_day + (cfg.bursts - 1) * cfg.burst_stride + cfg.burst_span + 2
+}
+
+/// Build the full workload and collect the detection input: the churned
+/// end-state graph plus per-day follow attribution.
+fn build_workload(
+    net_seed: u64,
+    churn_seed: u64,
+    sybil: &SybilConfig,
+) -> (vnet_graph::DiGraph, Vec<Vec<(NodeId, NodeId)>>, PlantedLabels) {
+    let mut rng = StdRng::seed_from_u64(net_seed);
+    let net = VerifiedNetwork::generate(&VerifiedNetConfig::small(), &mut rng);
+    let workload = inject_sybil(&net.graph, sybil);
+    let mut stream = vnet_synth::ChurnStream::from_graph(
+        &workload.graph,
+        ChurnConfig { seed: churn_seed, ..ChurnConfig::default() },
+    );
+    workload.attach(&mut stream);
+    let mut daily: Vec<Vec<(NodeId, NodeId)>> = Vec::new();
+    for _ in 0..horizon(sybil) {
+        let batch = stream.next_day();
+        let mut follows: Vec<(NodeId, NodeId)> = Vec::new();
+        for event in &batch.events {
+            if let ChurnEvent::Follow { source, target } = event {
+                follows.push((*source, *target));
+            }
+        }
+        daily.push(follows);
+    }
+    (stream.snapshot_graph(), daily, workload.labels)
+}
+
+#[test]
+fn planted_recall_meets_the_calibrated_floor() {
+    let sybil = SybilConfig::default();
+    let (graph, daily, labels) = build_workload(17, 23, &sybil);
+    let ctx = AnalysisCtx::quiet();
+    let report = run_detection(
+        &DetectInput { graph: &graph, daily_follows: &daily },
+        &DetectConfig::default(),
+        &ctx,
+    );
+    let positives = labels.sybils();
+    assert_eq!(positives.len(), sybil.planted_count());
+    let eval = evaluate(&report, &positives);
+    assert!(
+        eval.recall_at_planted >= 0.9,
+        "recall floor broken: {}\n{}",
+        eval.recall_at_planted,
+        eval.canonical()
+    );
+    assert!(eval.auc >= 0.97, "auc floor broken: {}", eval.auc);
+    // Campaign days were actually found by the change-point machinery.
+    assert!(
+        !report.burst_days.is_empty(),
+        "PELT found no campaign days: {}",
+        report.canonical(5)
+    );
+}
+
+#[test]
+fn ranking_and_pr_block_are_thread_count_invariant() {
+    let sybil = SybilConfig::default();
+    let (graph, daily, labels) = build_workload(17, 23, &sybil);
+    let positives = labels.sybils();
+    let mut blocks: Vec<(String, String)> = Vec::new();
+    for threads in [1usize, 4] {
+        let ctx = AnalysisCtx::with_threads(threads);
+        let report = run_detection(
+            &DetectInput { graph: &graph, daily_follows: &daily },
+            &DetectConfig::default(),
+            &ctx,
+        );
+        let eval = evaluate(&report, &positives);
+        blocks.push((report.canonical(100), eval.canonical()));
+    }
+    assert_eq!(blocks[0], blocks[1], "detection must be thread-count invariant");
+    // And run-to-run identical.
+    let ctx = AnalysisCtx::quiet();
+    let again = run_detection(
+        &DetectInput { graph: &graph, daily_follows: &daily },
+        &DetectConfig::default(),
+        &ctx,
+    );
+    assert_eq!(blocks[0].0, again.canonical(100));
+}
+
+#[test]
+fn labels_round_trip_and_disjointness() {
+    let sybil = SybilConfig::default();
+    let mut rng = StdRng::seed_from_u64(17);
+    let net = VerifiedNetwork::generate(&VerifiedNetConfig::small(), &mut rng);
+    let workload = inject_sybil(&net.graph, &sybil);
+    let labels = &workload.labels;
+    let blob = labels.serialize();
+    assert_eq!(&PlantedLabels::deserialize(&blob).unwrap(), labels);
+    // Sybils are strictly above the base universe; customers strictly
+    // inside it.
+    let n_base = net.graph.node_count() as NodeId;
+    assert!(labels.sybils().iter().all(|&s| s >= n_base));
+    assert!(labels.customers.iter().all(|&c| c < n_base));
+    // Rings and bursts are disjoint.
+    assert!(labels
+        .ring_members
+        .iter()
+        .all(|m| labels.burst_accounts.binary_search(m).is_err()));
+}
